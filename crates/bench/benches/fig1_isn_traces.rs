@@ -1,0 +1,26 @@
+//! Fig 1 regenerator, scaled down: ISN utilization-trace synthesis.
+
+use cavm_trace::SimRng;
+use cavm_workload::{ClientWave, WebSearchCluster};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let cluster = WebSearchCluster::paper_setup1().expect("preset is valid");
+    let wave = ClientWave::sine(0.0, 300.0, 600.0).expect("valid wave");
+    let clients = wave.sample(1.0, 600).expect("sampling succeeds");
+
+    c.bench_function("fig1_isn_traces_600s", |b| {
+        b.iter(|| {
+            let mut rng = SimRng::new(1);
+            black_box(
+                cluster
+                    .utilization_traces(black_box(&clients), &mut rng)
+                    .expect("generation succeeds"),
+            )
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

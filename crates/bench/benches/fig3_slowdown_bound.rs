@@ -1,0 +1,34 @@
+//! Fig 3 regenerator, scaled down: cost-matrix construction plus
+//! server-cost evaluation over random co-location sets.
+
+use cavm_bench::mini_fleet;
+use cavm_core::corr::CostMatrix;
+use cavm_core::servercost::server_cost;
+use cavm_trace::{Reference, SimRng};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let fleet = mini_fleet(5, 16, 2.0);
+    let traces = fleet.traces();
+
+    c.bench_function("fig3_matrix_build_16vms_2h", |b| {
+        b.iter(|| {
+            black_box(
+                CostMatrix::from_traces(black_box(&traces), Reference::Peak)
+                    .expect("uniform traces"),
+            )
+        })
+    });
+
+    let matrix = CostMatrix::from_traces(&traces, Reference::Peak).expect("uniform traces");
+    c.bench_function("fig3_server_cost_eval", |b| {
+        let mut rng = SimRng::new(9);
+        let members: Vec<(usize, f64)> =
+            (0..5).map(|_| (rng.below(16), rng.range_f64(0.5, 3.0))).collect();
+        b.iter(|| black_box(server_cost(black_box(&members), &matrix)))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Fig 5 regenerator, scaled down: one short web-search cluster DES run
+//! per placement (Fig 4's utilization traces come from the same runs).
+
+use cavm_cluster::experiment::{run_setup1, Setup1Config, Setup1Placement};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let config = Setup1Config {
+        duration_s: 120.0,
+        wave_period_s: 120.0,
+        warmup_s: 10.0,
+        ..Setup1Config::default()
+    };
+    let mut group = c.benchmark_group("fig5_response_time_120s");
+    group.sample_size(10);
+    for placement in [
+        Setup1Placement::Segregated,
+        Setup1Placement::SharedUncorrelated,
+        Setup1Placement::SharedCorrelated,
+    ] {
+        group.bench_function(placement.label(), |b| {
+            b.iter(|| black_box(run_setup1(placement, black_box(&config)).expect("runs")))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Fig 6 regenerator, scaled down: dynamic-DVFS replay (the mode with
+//! per-minute level decisions) plus histogram extraction.
+
+use cavm_bench::{mini_fleet, run_setup2};
+use cavm_core::dvfs::DvfsMode;
+use cavm_sim::Policy;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let fleet = mini_fleet(13, 12, 3.0);
+    let mut group = c.benchmark_group("fig6_dynamic_12vms_3h");
+    group.sample_size(10);
+    for policy in [Policy::Bfd, Policy::Proposed(Default::default())] {
+        group.bench_function(policy.name(), |b| {
+            b.iter(|| {
+                let report = run_setup2(
+                    black_box(&fleet),
+                    policy,
+                    DvfsMode::Dynamic { interval_samples: 12 },
+                );
+                black_box(report.freq_distribution(0))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

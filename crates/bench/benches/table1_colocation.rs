@@ -1,0 +1,40 @@
+//! Table I regenerator, scaled down: one co-location run on the shared
+//! cache model.
+
+use cavm_microarch::machine::{Machine, MachineConfig};
+use cavm_microarch::stream::StreamProfile;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let config = MachineConfig { warmup_instructions: 100_000, ..MachineConfig::default() };
+    let machine = Machine::new(config).expect("valid machine");
+
+    c.bench_function("table1_websearch_solo_200k", |b| {
+        b.iter(|| {
+            black_box(
+                machine
+                    .run_solo(&StreamProfile::web_search(), 200_000, 1)
+                    .expect("run succeeds"),
+            )
+        })
+    });
+
+    c.bench_function("table1_websearch_with_canneal_200k", |b| {
+        b.iter(|| {
+            black_box(
+                machine
+                    .run_pair(
+                        &StreamProfile::web_search(),
+                        &StreamProfile::canneal(),
+                        200_000,
+                        1,
+                    )
+                    .expect("run succeeds"),
+            )
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

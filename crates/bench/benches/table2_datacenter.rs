@@ -1,0 +1,22 @@
+//! Table II regenerator, scaled down: a 3-hour, 12-VM datacenter replay
+//! per policy under static DVFS.
+
+use cavm_bench::{mini_fleet, run_setup2, table2_policies};
+use cavm_core::dvfs::DvfsMode;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let fleet = mini_fleet(11, 12, 3.0);
+    let mut group = c.benchmark_group("table2_static_12vms_3h");
+    group.sample_size(10);
+    for policy in table2_policies() {
+        group.bench_function(policy.name(), |b| {
+            b.iter(|| black_box(run_setup2(black_box(&fleet), policy, DvfsMode::Static)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+use cavm_trace::TraceError;
+use cavm_workload::WorkloadError;
+use std::fmt;
+
+/// Errors produced by the cluster simulator.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClusterError {
+    /// An underlying time-series operation failed.
+    Trace(TraceError),
+    /// An underlying workload-generation operation failed.
+    Workload(WorkloadError),
+    /// A simulation parameter was out of range.
+    InvalidParameter(&'static str),
+    /// VM-to-server assignment is inconsistent (unknown server, core
+    /// over-subscription, cluster/ISN mismatch).
+    BadAssignment(&'static str),
+}
+
+impl fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClusterError::Trace(e) => write!(f, "trace error: {e}"),
+            ClusterError::Workload(e) => write!(f, "workload error: {e}"),
+            ClusterError::InvalidParameter(what) => write!(f, "invalid parameter: {what}"),
+            ClusterError::BadAssignment(what) => write!(f, "bad vm assignment: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ClusterError::Trace(e) => Some(e),
+            ClusterError::Workload(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TraceError> for ClusterError {
+    fn from(e: TraceError) -> Self {
+        ClusterError::Trace(e)
+    }
+}
+
+impl From<WorkloadError> for ClusterError {
+    fn from(e: WorkloadError) -> Self {
+        ClusterError::Workload(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = ClusterError::from(TraceError::EmptyInput);
+        assert!(e.to_string().contains("trace error"));
+        assert!(std::error::Error::source(&e).is_some());
+        let w = ClusterError::from(WorkloadError::InvalidParameter("x"));
+        assert!(std::error::Error::source(&w).is_some());
+        assert!(ClusterError::BadAssignment("y").to_string().contains("y"));
+        assert!(std::error::Error::source(&ClusterError::InvalidParameter("z")).is_none());
+    }
+}

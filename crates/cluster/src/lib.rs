@@ -1,0 +1,53 @@
+//! Discrete-event simulation of distributed web-search clusters
+//! (paper Setup-1).
+//!
+//! The paper's first testbed runs two CloudSuite web-search clusters on
+//! two 8-core servers under Xen and measures 90th-percentile response
+//! times for three VM placements (Fig 4/5). This crate reproduces that
+//! testbed as a discrete-event **fan-out/join processor-sharing** model:
+//!
+//! * every query fans out to all index-serving nodes (ISNs) of its
+//!   cluster and completes when the **last** ISN finishes (the front-end
+//!   "sends results to clients only after collecting the search results
+//!   from all ISNs");
+//! * each ISN task occupies at most one core at a time; tasks sharing a
+//!   scheduling domain (a VM's dedicated core partition, or the server's
+//!   whole core pool) are processor-shared;
+//! * CPU frequency scales every task's execution rate — the Setup-1
+//!   servers offer 2.1 and 1.9 GHz.
+//!
+//! [`sim`] is the generic engine; [`experiment`] wires up the paper's
+//! exact scenario: two clusters (sine- and cosine-driven clients,
+//! 0–300), two servers, and the three placements *Segregated*,
+//! *Shared-UnCorr* and *Shared-Corr*.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use cavm_cluster::experiment::{run_setup1, Setup1Config, Setup1Placement};
+//!
+//! # fn main() -> Result<(), cavm_cluster::ClusterError> {
+//! let config = Setup1Config::default();
+//! let shared = run_setup1(Setup1Placement::SharedCorrelated, &config)?;
+//! let segregated = run_setup1(Setup1Placement::Segregated, &config)?;
+//! // Core sharing beats static partitioning on tail latency.
+//! assert!(shared.p90_response[0] < segregated.p90_response[0]);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+pub mod experiment;
+pub mod sim;
+
+pub use error::ClusterError;
+pub use experiment::{run_setup1, Setup1Config, Setup1Outcome, Setup1Placement};
+pub use sim::{
+    ArrivalModel, ClusterSim, ClusterSimConfig, ClusterSimResult, ServerSpec, VmAssignment,
+};
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, ClusterError>;

@@ -1,0 +1,107 @@
+//! Invariant tests for the processor-sharing discrete-event engine.
+
+use cavm_cluster::{
+    ArrivalModel, ClusterSim, ClusterSimConfig, ServerSpec, VmAssignment,
+};
+use cavm_workload::{ClientWave, WebSearchCluster};
+
+fn config(cores: usize, freq: f64, model: ArrivalModel, seed: u64) -> ClusterSimConfig {
+    ClusterSimConfig {
+        servers: vec![ServerSpec::new(cores, freq)],
+        clusters: vec![WebSearchCluster::paper_setup1().unwrap()],
+        waves: vec![ClientWave::sine(0.0, 150.0, 200.0).unwrap()],
+        assignments: vec![
+            VmAssignment { cluster: 0, isn: 0, server: 0, dedicated_cores: None },
+            VmAssignment { cluster: 0, isn: 1, server: 0, dedicated_cores: None },
+        ],
+        duration_s: 200.0,
+        sample_dt_s: 1.0,
+        warmup_s: 20.0,
+        arrival_model: model,
+        seed,
+    }
+}
+
+#[test]
+fn per_vm_usage_never_exceeds_server_cores_times_frequency() {
+    for model in [ArrivalModel::Open, ArrivalModel::Closed] {
+        for &freq in &[1.0, 0.8] {
+            let result = ClusterSim::new(config(8, freq, model, 3)).unwrap().run().unwrap();
+            let total_cap = 8.0 * freq;
+            for (v, t) in result.vm_utilization.iter().enumerate() {
+                assert!(
+                    t.peak() <= total_cap + 1e-6,
+                    "{model:?} freq {freq}: vm{v} peak {} exceeds capacity {total_cap}",
+                    t.peak()
+                );
+            }
+            assert!(result.server_utilization[0].peak() <= 1.0 + 1e-9);
+        }
+    }
+}
+
+#[test]
+fn work_conservation_completed_work_matches_busy_time() {
+    // Total integrated core usage ≈ total demand of completed queries
+    // (plus in-flight remainder): check usage is within the issued
+    // demand envelope.
+    let result = ClusterSim::new(config(8, 1.0, ArrivalModel::Open, 9)).unwrap().run().unwrap();
+    let cluster = WebSearchCluster::paper_setup1().unwrap();
+    let used: f64 = result
+        .vm_utilization
+        .iter()
+        .map(|t| t.mean() * t.duration())
+        .sum();
+    let mean_demand_per_query: f64 =
+        (0..cluster.isns()).map(|i| cluster.expected_isn_demand(i)).sum();
+    let offered = result.queries_issued[0] as f64 * mean_demand_per_query;
+    assert!(used > 0.0);
+    assert!(
+        used <= offered * 1.1,
+        "used {used} core-s exceeds offered {offered} core-s by >10%"
+    );
+    assert!(
+        used >= offered * 0.7,
+        "used {used} core-s is implausibly below offered {offered} core-s"
+    );
+}
+
+#[test]
+fn responses_are_positive_and_ordered_by_load() {
+    // Doubling the client population cannot reduce the p90.
+    let mut light = config(8, 1.0, ArrivalModel::Open, 5);
+    light.waves = vec![ClientWave::sine(0.0, 80.0, 200.0).unwrap()];
+    let mut heavy = light.clone();
+    heavy.waves = vec![ClientWave::sine(0.0, 240.0, 200.0).unwrap()];
+    let l = ClusterSim::new(light).unwrap().run().unwrap();
+    let h = ClusterSim::new(heavy).unwrap().run().unwrap();
+    let (pl, ph) = (l.p90_response(0).unwrap(), h.p90_response(0).unwrap());
+    assert!(pl > 0.0);
+    assert!(ph >= pl * 0.9, "heavier load p90 {ph} below lighter {pl}");
+}
+
+#[test]
+fn completed_never_exceeds_issued() {
+    for model in [ArrivalModel::Open, ArrivalModel::Closed] {
+        let result = ClusterSim::new(config(8, 1.0, model, 11)).unwrap().run().unwrap();
+        assert!(result.queries_completed[0] <= result.queries_issued[0]);
+        // And the vast majority complete in a stable system.
+        assert!(
+            result.queries_completed[0] as f64 >= 0.9 * result.queries_issued[0] as f64
+        );
+    }
+}
+
+#[test]
+fn frequency_scale_reduces_throughput_capacity_not_correctness() {
+    let slow = ClusterSim::new(config(2, 0.5, ArrivalModel::Closed, 13))
+        .unwrap()
+        .run()
+        .unwrap();
+    // Even badly overloaded, the closed-loop sim terminates and records
+    // bounded responses.
+    assert!(slow.queries_issued[0] > 0);
+    if !slow.response_times[0].is_empty() {
+        assert!(slow.p90_response(0).unwrap().is_finite());
+    }
+}

@@ -1,0 +1,135 @@
+//! Best-Fit-Decreasing — the paper's primary baseline (Table II's
+//! normalization reference).
+//!
+//! Like FFD, but each VM goes to the feasible server with the *least*
+//! residual capacity (the tightest fit), which empirically packs
+//! slightly better. Correlation-blind.
+
+use crate::alloc::{
+    decreasing_order, validate_inputs, AllocationPolicy, Placement, VmDescriptor, FIT_EPS,
+};
+use crate::corr::CostMatrix;
+use serde::{Deserialize, Serialize};
+
+/// Best-Fit-Decreasing allocation.
+///
+/// # Example
+///
+/// ```
+/// use cavm_core::alloc::{AllocationPolicy, BfdPolicy, VmDescriptor};
+/// use cavm_core::corr::CostMatrix;
+/// use cavm_trace::Reference;
+///
+/// # fn main() -> Result<(), cavm_core::CoreError> {
+/// let vms = vec![
+///     VmDescriptor::new(0, 6.0),
+///     VmDescriptor::new(1, 5.0),
+///     VmDescriptor::new(2, 2.0),
+/// ];
+/// let matrix = CostMatrix::new(3, Reference::Peak)?;
+/// let p = BfdPolicy.place(&vms, &matrix, 8.0)?;
+/// // The 2-core VM best-fits next to the 6-core one (residual 0),
+/// // not the 5-core one (residual 1).
+/// assert_eq!(p.server_of(2), p.server_of(0));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BfdPolicy;
+
+impl AllocationPolicy for BfdPolicy {
+    fn name(&self) -> &'static str {
+        "BFD"
+    }
+
+    fn place(
+        &self,
+        vms: &[VmDescriptor],
+        matrix: &CostMatrix,
+        capacity: f64,
+    ) -> crate::Result<Placement> {
+        validate_inputs(vms, matrix, capacity)?;
+        let mut servers: Vec<(Vec<usize>, f64)> = Vec::new();
+        for idx in decreasing_order(vms) {
+            let vm = &vms[idx];
+            // Tightest feasible bin: maximal used capacity that still
+            // fits the VM.
+            let best = servers
+                .iter_mut()
+                .filter(|(_, used)| used + vm.demand <= capacity + FIT_EPS)
+                .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite loads"));
+            match best {
+                Some((members, used)) => {
+                    members.push(vm.id);
+                    *used += vm.demand;
+                }
+                None => servers.push((vec![vm.id], vm.demand)),
+            }
+        }
+        Ok(Placement::from_servers(servers.into_iter().map(|(m, _)| m).collect()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cavm_trace::Reference;
+
+    fn descs(demands: &[f64]) -> Vec<VmDescriptor> {
+        demands.iter().enumerate().map(|(i, &d)| VmDescriptor::new(i, d)).collect()
+    }
+
+    fn matrix(n: usize) -> CostMatrix {
+        CostMatrix::new(n, Reference::Peak).unwrap()
+    }
+
+    #[test]
+    fn best_fit_prefers_tightest_bin() {
+        // After placing 6 and 5 on separate servers, the 2 fits both but
+        // best-fits next to the 6.
+        let vms = descs(&[6.0, 5.0, 2.0]);
+        let p = BfdPolicy.place(&vms, &matrix(3), 8.0).unwrap();
+        assert_eq!(p.server_of(2), p.server_of(0));
+        assert_ne!(p.server_of(2), p.server_of(1));
+        p.validate(&vms, 8.0).unwrap();
+    }
+
+    #[test]
+    fn bfd_can_beat_ffd_in_server_count() {
+        // Classic instance where best-fit packs tighter than first-fit:
+        // capacity 10, items 7,6,3,3,2,2 (FFD: [7,3],[6,3],[2,2]=3 bins
+        // only if first-fit misplaces; construct a case where counts
+        // differ at least sometimes). Here we only pin BFD's optimum.
+        let vms = descs(&[7.0, 6.0, 3.0, 3.0, 2.0, 2.0]);
+        let p = BfdPolicy.place(&vms, &matrix(6), 10.0).unwrap();
+        assert!(p.server_count() <= 3);
+        p.validate(&vms, 10.0).unwrap();
+    }
+
+    #[test]
+    fn oversized_and_empty_inputs() {
+        let p = BfdPolicy.place(&[], &matrix(1), 4.0).unwrap();
+        assert_eq!(p.server_count(), 0);
+        let vms = descs(&[9.0]);
+        let p = BfdPolicy.place(&vms, &matrix(1), 4.0).unwrap();
+        assert_eq!(p.server_count(), 1);
+        assert_eq!(BfdPolicy.name(), "BFD");
+    }
+
+    #[test]
+    fn capacity_is_respected() {
+        let vms = descs(&[3.0, 3.0, 3.0, 3.0, 3.0]);
+        let p = BfdPolicy.place(&vms, &matrix(5), 7.0).unwrap();
+        for i in 0..p.server_count() {
+            assert!(p.demand_of(i, &vms) <= 7.0 + 1e-9);
+        }
+        p.validate(&vms, 7.0).unwrap();
+    }
+
+    #[test]
+    fn rejects_invalid_inputs() {
+        let vms = descs(&[1.0]);
+        assert!(BfdPolicy.place(&vms, &matrix(1), -1.0).is_err());
+        assert!(BfdPolicy.place(&descs(&[f64::NAN]), &matrix(1), 8.0).is_err());
+    }
+}

@@ -1,0 +1,140 @@
+//! First-Fit-Decreasing — the classical bin-packing heuristic the
+//! proposed algorithm (Fig 2) is built on.
+//!
+//! VMs are sorted by decreasing demand "to reduce the fragmentation of
+//! the bin-packing problem" (paper, line 6 of Fig 2) and each VM goes to
+//! the first server with room; a new server opens when none fits. FFD is
+//! correlation-blind: it never consults the cost matrix.
+
+use crate::alloc::{
+    decreasing_order, validate_inputs, AllocationPolicy, Placement, VmDescriptor, FIT_EPS,
+};
+use crate::corr::CostMatrix;
+use serde::{Deserialize, Serialize};
+
+/// First-Fit-Decreasing allocation.
+///
+/// # Example
+///
+/// ```
+/// use cavm_core::alloc::{AllocationPolicy, FfdPolicy, VmDescriptor};
+/// use cavm_core::corr::CostMatrix;
+/// use cavm_trace::Reference;
+///
+/// # fn main() -> Result<(), cavm_core::CoreError> {
+/// let vms = vec![
+///     VmDescriptor::new(0, 5.0),
+///     VmDescriptor::new(1, 4.0),
+///     VmDescriptor::new(2, 3.0),
+/// ];
+/// let matrix = CostMatrix::new(3, Reference::Peak)?;
+/// let p = FfdPolicy.place(&vms, &matrix, 8.0)?;
+/// // 5+3 share the first server, 4 goes to the second.
+/// assert_eq!(p.server_count(), 2);
+/// assert_eq!(p.server_of(0), p.server_of(2));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FfdPolicy;
+
+impl AllocationPolicy for FfdPolicy {
+    fn name(&self) -> &'static str {
+        "FFD"
+    }
+
+    fn place(
+        &self,
+        vms: &[VmDescriptor],
+        matrix: &CostMatrix,
+        capacity: f64,
+    ) -> crate::Result<Placement> {
+        validate_inputs(vms, matrix, capacity)?;
+        let mut servers: Vec<(Vec<usize>, f64)> = Vec::new();
+        for idx in decreasing_order(vms) {
+            let vm = &vms[idx];
+            let slot = servers
+                .iter_mut()
+                .find(|(_, used)| used + vm.demand <= capacity + FIT_EPS);
+            match slot {
+                Some((members, used)) => {
+                    members.push(vm.id);
+                    *used += vm.demand;
+                }
+                None => servers.push((vec![vm.id], vm.demand)),
+            }
+        }
+        Ok(Placement::from_servers(servers.into_iter().map(|(m, _)| m).collect()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cavm_trace::Reference;
+
+    fn descs(demands: &[f64]) -> Vec<VmDescriptor> {
+        demands.iter().enumerate().map(|(i, &d)| VmDescriptor::new(i, d)).collect()
+    }
+
+    fn matrix(n: usize) -> CostMatrix {
+        CostMatrix::new(n, Reference::Peak).unwrap()
+    }
+
+    #[test]
+    fn empty_input_gives_empty_placement() {
+        let p = FfdPolicy.place(&[], &matrix(1), 8.0).unwrap();
+        assert_eq!(p.server_count(), 0);
+    }
+
+    #[test]
+    fn single_vm() {
+        let vms = descs(&[3.0]);
+        let p = FfdPolicy.place(&vms, &matrix(1), 8.0).unwrap();
+        assert_eq!(p.server_count(), 1);
+        p.validate(&vms, 8.0).unwrap();
+    }
+
+    #[test]
+    fn classic_ffd_example() {
+        // Demands 5,4,3,2,2 into capacity 8: FFD gives [5,3], [4,2,2].
+        let vms = descs(&[5.0, 4.0, 3.0, 2.0, 2.0]);
+        let p = FfdPolicy.place(&vms, &matrix(5), 8.0).unwrap();
+        assert_eq!(p.server_count(), 2);
+        assert_eq!(p.server(0).unwrap(), &[0, 2]);
+        assert_eq!(p.server(1).unwrap(), &[1, 3, 4]);
+        p.validate(&vms, 8.0).unwrap();
+    }
+
+    #[test]
+    fn exact_fits_are_accepted() {
+        let vms = descs(&[4.0, 4.0]);
+        let p = FfdPolicy.place(&vms, &matrix(2), 8.0).unwrap();
+        assert_eq!(p.server_count(), 1);
+    }
+
+    #[test]
+    fn oversized_vm_gets_its_own_server() {
+        let vms = descs(&[10.0, 1.0]);
+        let p = FfdPolicy.place(&vms, &matrix(2), 8.0).unwrap();
+        assert_eq!(p.server_count(), 2);
+        p.validate(&vms, 8.0).unwrap();
+    }
+
+    #[test]
+    fn zero_demand_vms_pack_into_one_server() {
+        let vms = descs(&[0.0, 0.0, 0.0]);
+        let p = FfdPolicy.place(&vms, &matrix(3), 8.0).unwrap();
+        assert_eq!(p.server_count(), 1);
+    }
+
+    #[test]
+    fn respects_server_lower_bound() {
+        // 10 VMs of demand 3 into capacity 8 need at least ceil(30/8)=4.
+        let vms = descs(&[3.0; 10]);
+        let p = FfdPolicy.place(&vms, &matrix(10), 8.0).unwrap();
+        assert!(p.server_count() >= 4);
+        p.validate(&vms, 8.0).unwrap();
+        assert_eq!(FfdPolicy.name(), "FFD");
+    }
+}

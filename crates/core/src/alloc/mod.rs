@@ -1,0 +1,371 @@
+//! VM-to-server allocation policies.
+//!
+//! All policies implement [`AllocationPolicy`]: given per-VM demand
+//! descriptors, the pairwise [`CostMatrix`] and a per-server CPU
+//! capacity (in cores), they produce a [`Placement`]. Available policies:
+//!
+//! * [`ProposedPolicy`] — the paper's correlation-aware
+//!   UPDATE/ALLOCATE heuristic (Fig 2).
+//! * [`BfdPolicy`] — Best-Fit-Decreasing, the paper's primary baseline.
+//! * [`FfdPolicy`] — First-Fit-Decreasing, the classical bin-packing
+//!   heuristic the proposed algorithm is derived from.
+//! * [`PcpPolicy`] — Peak Clustering-based Placement (Verma et al. \[6\]),
+//!   the prior correlation-aware baseline.
+//! * [`SuperVmPolicy`] — joint-VM sizing (Meng et al. \[7\]), the second
+//!   related-work baseline, which fuses un-correlated pairs once and
+//!   then ignores correlation.
+//!
+//! The placement problem is bin packing (NP-hard); every policy here is
+//! a polynomial heuristic, as in the paper.
+
+pub mod bfd;
+pub mod ffd;
+pub mod pcp;
+pub mod proposed;
+pub mod supervm;
+
+pub use bfd::BfdPolicy;
+pub use ffd::FfdPolicy;
+pub use pcp::PcpPolicy;
+pub use proposed::{ProposedConfig, ProposedPolicy};
+pub use supervm::SuperVmPolicy;
+
+use crate::corr::CostMatrix;
+use crate::CoreError;
+use cavm_trace::{Reference, TimeSeries};
+use serde::{Deserialize, Serialize};
+
+/// Tolerance for capacity comparisons: a VM "fits" when the residual
+/// capacity is short by at most this many cores (guards against float
+/// round-off rejecting exact fits).
+pub(crate) const FIT_EPS: f64 = 1e-9;
+
+/// Per-VM provisioning input to an allocation policy.
+///
+/// `demand` is the (typically *predicted*) reference utilization û in
+/// cores — the quantity every capacity check and Eqn (2)/(3)/(4) use.
+/// `off_peak` carries the off-peak (90th-percentile) value alongside;
+/// only the PCP baseline consumes it (off-peak provisioning with a
+/// shared peak buffer).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct VmDescriptor {
+    /// VM identifier; must index into the [`CostMatrix`] given to the
+    /// policy.
+    pub id: usize,
+    /// Reference utilization û, cores.
+    pub demand: f64,
+    /// Off-peak (e.g. 90th percentile) utilization, cores.
+    pub off_peak: f64,
+}
+
+impl VmDescriptor {
+    /// Creates a descriptor with `off_peak == demand` (pure peak
+    /// provisioning).
+    pub fn new(id: usize, demand: f64) -> Self {
+        Self { id, demand, off_peak: demand }
+    }
+
+    /// Sets the off-peak utilization.
+    pub fn with_off_peak(mut self, off_peak: f64) -> Self {
+        self.off_peak = off_peak;
+        self
+    }
+
+    /// Builds descriptors from measured traces: `demand` from the given
+    /// reference, `off_peak` from the 90th percentile (the paper's usual
+    /// off-peak choice). Ids are assigned positionally.
+    ///
+    /// # Errors
+    ///
+    /// Propagates trace errors (empty traces, invalid percentile).
+    pub fn from_traces(
+        traces: &[&TimeSeries],
+        reference: Reference,
+    ) -> crate::Result<Vec<VmDescriptor>> {
+        traces
+            .iter()
+            .enumerate()
+            .map(|(id, t)| {
+                Ok(VmDescriptor {
+                    id,
+                    demand: reference.of_series(t)?,
+                    off_peak: Reference::Percentile(90.0).of_series(t)?,
+                })
+            })
+            .collect()
+    }
+}
+
+/// The output of an allocation policy: which VMs share which server.
+///
+/// Server indices are dense (`0..server_count`); only non-empty servers
+/// are kept.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Placement {
+    servers: Vec<Vec<usize>>,
+}
+
+impl Placement {
+    /// Wraps raw server membership lists, dropping empty servers.
+    pub fn from_servers(servers: Vec<Vec<usize>>) -> Self {
+        Self { servers: servers.into_iter().filter(|s| !s.is_empty()).collect() }
+    }
+
+    /// Number of active (non-empty) servers.
+    pub fn server_count(&self) -> usize {
+        self.servers.len()
+    }
+
+    /// Membership lists of all active servers.
+    pub fn servers(&self) -> &[Vec<usize>] {
+        &self.servers
+    }
+
+    /// Member VM ids of server `index`, or `None` past the end.
+    pub fn server(&self, index: usize) -> Option<&[usize]> {
+        self.servers.get(index).map(|v| v.as_slice())
+    }
+
+    /// The server hosting VM `vm`, or `None` if the VM is not placed.
+    pub fn server_of(&self, vm: usize) -> Option<usize> {
+        self.servers.iter().position(|s| s.contains(&vm))
+    }
+
+    /// Total descriptor demand packed on server `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range or a member id is outside
+    /// `vms` — placements and descriptor tables travel together.
+    pub fn demand_of(&self, index: usize, vms: &[VmDescriptor]) -> f64 {
+        self.servers[index]
+            .iter()
+            .map(|&id| {
+                vms.iter()
+                    .find(|d| d.id == id)
+                    .unwrap_or_else(|| panic!("vm {id} missing from descriptor table"))
+                    .demand
+            })
+            .sum()
+    }
+
+    /// Checks coverage only: every descriptor placed exactly once and no
+    /// foreign ids. Capacity is *not* checked — policies that provision
+    /// below peak (PCP's off-peak plus shared buffer) legitimately pack
+    /// beyond the sum-of-peaks bound.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParameter`] describing the first
+    /// violation found.
+    pub fn validate_structure(&self, vms: &[VmDescriptor]) -> crate::Result<()> {
+        self.validate_inner(vms, None)
+    }
+
+    /// Checks structural soundness against a descriptor table:
+    /// every descriptor placed exactly once, no foreign ids, and no
+    /// multi-VM server over `capacity` (a single VM larger than a whole
+    /// server is tolerated — it must run *somewhere*).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParameter`] describing the first
+    /// violation found.
+    pub fn validate(&self, vms: &[VmDescriptor], capacity: f64) -> crate::Result<()> {
+        self.validate_inner(vms, Some(capacity))
+    }
+
+    fn validate_inner(&self, vms: &[VmDescriptor], capacity: Option<f64>) -> crate::Result<()> {
+        let mut seen = std::collections::HashSet::new();
+        let ids: std::collections::HashMap<usize, f64> =
+            vms.iter().map(|d| (d.id, d.demand)).collect();
+        for server in &self.servers {
+            let mut load = 0.0;
+            for &vm in server {
+                if !ids.contains_key(&vm) {
+                    return Err(CoreError::InvalidParameter(
+                        "placement contains a vm id absent from the descriptor table",
+                    ));
+                }
+                if !seen.insert(vm) {
+                    return Err(CoreError::InvalidParameter(
+                        "placement assigns a vm to more than one server",
+                    ));
+                }
+                load += ids[&vm];
+            }
+            if let Some(capacity) = capacity {
+                if server.len() > 1 && load > capacity + FIT_EPS {
+                    return Err(CoreError::InvalidParameter(
+                        "placement overcommits a server beyond its capacity",
+                    ));
+                }
+            }
+        }
+        if seen.len() != vms.len() {
+            return Err(CoreError::InvalidParameter(
+                "placement leaves at least one vm unallocated",
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// A VM-to-server allocation heuristic.
+pub trait AllocationPolicy {
+    /// Short stable name for reports (e.g. `"BFD"`, `"Proposed"`).
+    fn name(&self) -> &'static str;
+
+    /// Places every descriptor onto servers of the given capacity
+    /// (cores).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParameter`] for malformed inputs
+    /// (non-positive capacity, negative demands, duplicate or
+    /// out-of-matrix ids) and [`CoreError::AllocationDiverged`] if the
+    /// policy cannot terminate.
+    fn place(
+        &self,
+        vms: &[VmDescriptor],
+        matrix: &CostMatrix,
+        capacity: f64,
+    ) -> crate::Result<Placement>;
+}
+
+/// Shared input validation for all policies.
+pub(crate) fn validate_inputs(
+    vms: &[VmDescriptor],
+    matrix: &CostMatrix,
+    capacity: f64,
+) -> crate::Result<()> {
+    if !(capacity.is_finite() && capacity > 0.0) {
+        return Err(CoreError::InvalidParameter("server capacity must be finite and > 0"));
+    }
+    let mut seen = std::collections::HashSet::new();
+    for d in vms {
+        if !(d.demand.is_finite() && d.demand >= 0.0) {
+            return Err(CoreError::InvalidParameter("vm demand must be finite and >= 0"));
+        }
+        if !(d.off_peak.is_finite() && d.off_peak >= 0.0) {
+            return Err(CoreError::InvalidParameter("vm off-peak must be finite and >= 0"));
+        }
+        if d.id >= matrix.len() {
+            return Err(CoreError::UnknownVm { id: d.id, known: matrix.len() });
+        }
+        if !seen.insert(d.id) {
+            return Err(CoreError::InvalidParameter("duplicate vm id in descriptor table"));
+        }
+    }
+    Ok(())
+}
+
+/// Returns descriptor indices sorted by decreasing demand (ties by id
+/// for determinism) — the "Decreasing" in FFD/BFD and Fig 2's line 6.
+pub(crate) fn decreasing_order(vms: &[VmDescriptor]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..vms.len()).collect();
+    order.sort_by(|&a, &b| {
+        vms[b]
+            .demand
+            .partial_cmp(&vms[a].demand)
+            .expect("finite demands")
+            .then_with(|| vms[a].id.cmp(&vms[b].id))
+    });
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn descs(demands: &[f64]) -> Vec<VmDescriptor> {
+        demands.iter().enumerate().map(|(i, &d)| VmDescriptor::new(i, d)).collect()
+    }
+
+    #[test]
+    fn descriptor_constructors() {
+        let d = VmDescriptor::new(3, 2.5);
+        assert_eq!((d.id, d.demand, d.off_peak), (3, 2.5, 2.5));
+        let d = d.with_off_peak(1.75);
+        assert_eq!(d.off_peak, 1.75);
+    }
+
+    #[test]
+    fn descriptors_from_traces() {
+        let a = TimeSeries::new(1.0, vec![1.0; 99].into_iter().chain([9.0]).collect())
+            .unwrap();
+        let b = TimeSeries::new(1.0, vec![2.0; 100]).unwrap();
+        let ds = VmDescriptor::from_traces(&[&a, &b], Reference::Peak).unwrap();
+        assert_eq!(ds.len(), 2);
+        assert_eq!(ds[0].id, 0);
+        assert_eq!(ds[0].demand, 9.0);
+        assert!(ds[0].off_peak < 9.0); // p90 shaves the spike
+        assert_eq!(ds[1].demand, 2.0);
+        assert_eq!(ds[1].off_peak, 2.0);
+    }
+
+    #[test]
+    fn placement_accessors() {
+        let p = Placement::from_servers(vec![vec![0, 2], vec![], vec![1]]);
+        assert_eq!(p.server_count(), 2);
+        assert_eq!(p.server(0), Some(&[0, 2][..]));
+        assert_eq!(p.server(5), None);
+        assert_eq!(p.server_of(1), Some(1));
+        assert_eq!(p.server_of(7), None);
+        let vms = descs(&[1.0, 2.0, 3.0]);
+        assert_eq!(p.demand_of(0, &vms), 4.0);
+    }
+
+    #[test]
+    fn placement_validation_catches_problems() {
+        let vms = descs(&[1.0, 2.0]);
+        // Valid.
+        Placement::from_servers(vec![vec![0, 1]]).validate(&vms, 8.0).unwrap();
+        // Missing VM.
+        assert!(Placement::from_servers(vec![vec![0]]).validate(&vms, 8.0).is_err());
+        // Duplicate VM.
+        assert!(Placement::from_servers(vec![vec![0], vec![0, 1]])
+            .validate(&vms, 8.0)
+            .is_err());
+        // Foreign id.
+        assert!(Placement::from_servers(vec![vec![0, 1, 9]])
+            .validate(&vms, 8.0)
+            .is_err());
+        // Overcommit (multi-VM server beyond capacity).
+        assert!(Placement::from_servers(vec![vec![0, 1]]).validate(&vms, 2.5).is_err());
+        // A single oversized VM alone is tolerated.
+        let big = descs(&[99.0]);
+        Placement::from_servers(vec![vec![0]]).validate(&big, 8.0).unwrap();
+    }
+
+    #[test]
+    fn input_validation() {
+        let m = CostMatrix::new(2, Reference::Peak).unwrap();
+        assert!(validate_inputs(&descs(&[1.0, 2.0]), &m, 8.0).is_ok());
+        assert!(validate_inputs(&descs(&[1.0]), &m, 0.0).is_err());
+        assert!(validate_inputs(&descs(&[-1.0]), &m, 8.0).is_err());
+        assert!(validate_inputs(
+            &[VmDescriptor::new(0, 1.0).with_off_peak(f64::NAN)],
+            &m,
+            8.0
+        )
+        .is_err());
+        assert!(matches!(
+            validate_inputs(&[VmDescriptor::new(7, 1.0)], &m, 8.0),
+            Err(CoreError::UnknownVm { id: 7, known: 2 })
+        ));
+        assert!(validate_inputs(
+            &[VmDescriptor::new(0, 1.0), VmDescriptor::new(0, 2.0)],
+            &m,
+            8.0
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn decreasing_order_is_stable_and_sorted() {
+        let vms = descs(&[1.0, 3.0, 2.0, 3.0]);
+        let order = decreasing_order(&vms);
+        assert_eq!(order, vec![1, 3, 2, 0]);
+    }
+}

@@ -1,0 +1,471 @@
+//! The paper's correlation-aware VM allocation (Fig 2).
+//!
+//! The algorithm has two phases:
+//!
+//! * **UPDATE** (lines 1–8): initialize the unallocated set, predict
+//!   next-period û per VM, sort by decreasing û, refresh the pairwise
+//!   cost matrix, and estimate the number of active servers (Eqn 3):
+//!   `Ñ = ⌈Σ û / N_core⌉`. Prediction and matrix maintenance live in
+//!   [`crate::predict`] and [`crate::corr::matrix`]; this module
+//!   receives their outputs through the [`VmDescriptor`] table and
+//!   [`CostMatrix`].
+//! * **ALLOCATE** (lines 9–18): repeatedly take the server with the
+//!   largest remaining capacity and greedily add the unallocated VM that
+//!   (a) fits, (b) maximizes the resulting server cost (Eqn 2) and
+//!   (c) keeps that cost above the threshold `TH_cost`. When a pass
+//!   leaves VMs unallocated, `TH_cost` is relaxed by the factor `α` and
+//!   the pass repeats over servers re-sorted by remaining capacity.
+//!
+//! Two necessary interpretations of details the paper leaves implicit:
+//!
+//! 1. An **empty server** has no pairs, so no candidate can clear any
+//!    threshold; the first VM placed on a server is simply the largest
+//!    unallocated one that fits (this is exactly the FFD seeding the
+//!    heuristic builds on).
+//! 2. When `TH_cost` decays to its floor the threshold condition is
+//!    dropped entirely (any fitting VM is admissible, still picked by
+//!    maximal server cost), and if even then nothing fits the estimate
+//!    `Ñ` was too small for the fragmentation at hand — a server is
+//!    added, matching FFD's unbounded bin supply.
+
+use crate::alloc::{
+    decreasing_order, validate_inputs, AllocationPolicy, Placement, VmDescriptor, FIT_EPS,
+};
+use crate::corr::CostMatrix;
+use crate::servercost::server_cost_with_candidate;
+use crate::CoreError;
+use serde::{Deserialize, Serialize};
+
+/// Eqn (3): the minimum number of servers that can hold a total demand,
+/// `Ñ = ⌈total / capacity⌉` (at least 1 when there is any demand).
+///
+/// # Example
+///
+/// ```
+/// use cavm_core::alloc::proposed::estimate_server_count;
+///
+/// assert_eq!(estimate_server_count(30.0, 8.0), 4);
+/// assert_eq!(estimate_server_count(32.0, 8.0), 4);
+/// assert_eq!(estimate_server_count(0.0, 8.0), 0);
+/// ```
+pub fn estimate_server_count(total_demand: f64, capacity: f64) -> usize {
+    if total_demand <= 0.0 || capacity <= 0.0 {
+        return 0;
+    }
+    ((total_demand / capacity) - FIT_EPS).ceil().max(1.0) as usize
+}
+
+/// Tuning knobs of the ALLOCATE phase.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ProposedConfig {
+    /// Initial correlation threshold `TH_cost`. Costs live in `[1, 2]`
+    /// under peak reference, so a demanding initial threshold close to 2
+    /// makes the first passes pick strongly anti-correlated co-tenants.
+    pub th_init: f64,
+    /// Multiplicative decay `α ∈ (0, 1)` applied to `TH_cost` after any
+    /// pass that leaves VMs unallocated (Fig 2, line 17).
+    pub alpha: f64,
+    /// Once `TH_cost` falls to (or below) this floor the threshold test
+    /// is waived and any fitting VM is admissible.
+    pub th_floor: f64,
+    /// Safety bound on ALLOCATE passes; exceeded only on degenerate
+    /// inputs.
+    pub max_rounds: usize,
+}
+
+impl Default for ProposedConfig {
+    fn default() -> Self {
+        Self { th_init: 1.8, alpha: 0.92, th_floor: 1.0, max_rounds: 10_000 }
+    }
+}
+
+/// The paper's correlation-aware placement policy.
+///
+/// # Example
+///
+/// ```
+/// use cavm_core::alloc::{AllocationPolicy, ProposedPolicy, VmDescriptor};
+/// use cavm_core::corr::CostMatrix;
+/// use cavm_trace::Reference;
+///
+/// # fn main() -> Result<(), cavm_core::CoreError> {
+/// // Two pairs of clones: VMs 0/1 peak together, VMs 2/3 peak together,
+/// // opposite phases across pairs.
+/// let mut m = CostMatrix::new(4, Reference::Peak)?;
+/// m.push_sample(&[4.0, 4.0, 0.5, 0.5])?;
+/// m.push_sample(&[0.5, 0.5, 4.0, 4.0])?;
+///
+/// let vms: Vec<_> = (0..4).map(|i| VmDescriptor::new(i, 4.0)).collect();
+/// let p = ProposedPolicy::default().place(&vms, &m, 8.0)?;
+///
+/// // Correlation-aware placement pairs anti-correlated VMs.
+/// assert_eq!(p.server_count(), 2);
+/// assert_ne!(p.server_of(0), p.server_of(1));
+/// assert_ne!(p.server_of(2), p.server_of(3));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Default)]
+pub struct ProposedPolicy {
+    config: ProposedConfig,
+}
+
+
+impl ProposedPolicy {
+    /// Creates a policy with explicit tuning.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParameter`] unless
+    /// `0 < alpha < 1`, `th_floor <= th_init`, both thresholds finite,
+    /// and `max_rounds > 0`.
+    pub fn new(config: ProposedConfig) -> crate::Result<Self> {
+        if !(config.alpha > 0.0 && config.alpha < 1.0) {
+            return Err(CoreError::InvalidParameter("alpha must lie in (0, 1)"));
+        }
+        if !(config.th_init.is_finite() && config.th_floor.is_finite()) {
+            return Err(CoreError::InvalidParameter("thresholds must be finite"));
+        }
+        if config.th_floor > config.th_init {
+            return Err(CoreError::InvalidParameter("th_floor must not exceed th_init"));
+        }
+        if config.max_rounds == 0 {
+            return Err(CoreError::InvalidParameter("max_rounds must be >= 1"));
+        }
+        Ok(Self { config })
+    }
+
+    /// The active tuning.
+    pub fn config(&self) -> &ProposedConfig {
+        &self.config
+    }
+}
+
+struct Bin {
+    members: Vec<usize>, // vm ids
+    used: f64,
+}
+
+impl Bin {
+    fn remaining(&self, capacity: f64) -> f64 {
+        capacity - self.used
+    }
+}
+
+impl AllocationPolicy for ProposedPolicy {
+    fn name(&self) -> &'static str {
+        "Proposed"
+    }
+
+    fn place(
+        &self,
+        vms: &[VmDescriptor],
+        matrix: &CostMatrix,
+        capacity: f64,
+    ) -> crate::Result<Placement> {
+        validate_inputs(vms, matrix, capacity)?;
+        if vms.is_empty() {
+            return Ok(Placement::from_servers(vec![]));
+        }
+
+        // UPDATE phase residue: sort by decreasing predicted û (line 6)
+        // and size the active server set by Eqn (3) (line 8).
+        let order = decreasing_order(vms); // descriptor indices
+        let total: f64 = vms.iter().map(|d| d.demand).sum();
+        let n_est = estimate_server_count(total, capacity).max(1);
+
+        let mut bins: Vec<Bin> =
+            (0..n_est).map(|_| Bin { members: Vec::new(), used: 0.0 }).collect();
+        // Unallocated descriptor indices, kept in decreasing-demand order.
+        let mut unalloc: Vec<usize> = order;
+        let mut th = self.config.th_init;
+        let mut rounds = 0usize;
+
+        while !unalloc.is_empty() {
+            rounds += 1;
+            if rounds > self.config.max_rounds {
+                return Err(CoreError::AllocationDiverged { unallocated: unalloc.len() });
+            }
+
+            // Line 10: the server with the largest remaining capacity.
+            let bin_idx = bins
+                .iter()
+                .enumerate()
+                .max_by(|a, b| {
+                    a.1.remaining(capacity)
+                        .partial_cmp(&b.1.remaining(capacity))
+                        .expect("finite loads")
+                })
+                .map(|(i, _)| i)
+                .expect("at least one bin exists");
+
+            // Lines 11–16: greedily fill this server under the current
+            // threshold.
+            let placed = fill_bin(
+                &mut bins[bin_idx],
+                &mut unalloc,
+                vms,
+                matrix,
+                capacity,
+                th,
+                self.config.th_floor,
+            );
+
+            if unalloc.is_empty() {
+                break;
+            }
+            if placed == 0 {
+                if th > self.config.th_floor {
+                    // Line 17: relax the correlation threshold.
+                    th = (th * self.config.alpha).max(self.config.th_floor);
+                } else {
+                    // Threshold already waived and the roomiest server
+                    // cannot take the smallest VM: Eqn (3) undershot due
+                    // to fragmentation — open another server.
+                    let smallest = unalloc
+                        .last()
+                        .map(|&i| vms[i].demand)
+                        .expect("unalloc is non-empty");
+                    let roomiest = bins[bin_idx].remaining(capacity);
+                    debug_assert!(
+                        smallest > roomiest + FIT_EPS || bins[bin_idx].members.is_empty(),
+                        "no progress despite a fitting vm"
+                    );
+                    let _ = roomiest;
+                    bins.push(Bin { members: Vec::new(), used: 0.0 });
+                }
+            }
+        }
+
+        Ok(Placement::from_servers(bins.into_iter().map(|b| b.members).collect()))
+    }
+}
+
+/// Greedy inner loop (Fig 2, lines 11–16): keep adding the
+/// best-admissible VM to `bin` until none qualifies. Returns the number
+/// of VMs placed.
+fn fill_bin(
+    bin: &mut Bin,
+    unalloc: &mut Vec<usize>,
+    vms: &[VmDescriptor],
+    matrix: &CostMatrix,
+    capacity: f64,
+    th: f64,
+    th_floor: f64,
+) -> usize {
+    let mut placed = 0;
+    loop {
+        let rem = bin.remaining(capacity);
+        let choice = if bin.members.is_empty() {
+            // FFD seeding: the largest unallocated VM that fits; an
+            // oversized VM (demand > capacity) is admitted alone —
+            // it has to run somewhere.
+            match unalloc.iter().position(|&i| vms[i].demand <= rem + FIT_EPS) {
+                Some(pos) => Some(pos),
+                None if !unalloc.is_empty() => Some(0),
+                None => None,
+            }
+        } else {
+            // Line 11: among fitting VMs, the one maximizing the server
+            // cost after insertion, subject to cost ≥ TH (waived at the
+            // floor).
+            let mut best: Option<(usize, f64)> = None;
+            for (pos, &idx) in unalloc.iter().enumerate() {
+                let vm = &vms[idx];
+                if vm.demand > rem + FIT_EPS {
+                    continue;
+                }
+                let cost = server_cost_with_candidate(&bin.members, vm.id, vms, matrix);
+                if cost < th && th > th_floor {
+                    continue;
+                }
+                let better = match best {
+                    None => true,
+                    Some((_, best_cost)) => cost > best_cost + 1e-12,
+                };
+                if better {
+                    best = Some((pos, cost));
+                }
+            }
+            best.map(|(pos, _)| pos)
+        };
+
+        match choice {
+            Some(pos) => {
+                let idx = unalloc.remove(pos);
+                bin.used += vms[idx].demand;
+                bin.members.push(vms[idx].id);
+                placed += 1;
+            }
+            None => return placed,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cavm_trace::Reference;
+
+    fn matrix_from_rows(rows: &[&[f64]]) -> CostMatrix {
+        let n = rows[0].len();
+        let mut m = CostMatrix::new(n, Reference::Peak).unwrap();
+        for r in rows {
+            m.push_sample(r).unwrap();
+        }
+        m
+    }
+
+    fn descs(demands: &[f64]) -> Vec<VmDescriptor> {
+        demands.iter().enumerate().map(|(i, &d)| VmDescriptor::new(i, d)).collect()
+    }
+
+    #[test]
+    fn eqn3_estimate() {
+        assert_eq!(estimate_server_count(0.0, 8.0), 0);
+        assert_eq!(estimate_server_count(-3.0, 8.0), 0);
+        assert_eq!(estimate_server_count(1.0, 8.0), 1);
+        assert_eq!(estimate_server_count(8.0, 8.0), 1);
+        assert_eq!(estimate_server_count(8.1, 8.0), 2);
+        assert_eq!(estimate_server_count(100.0, 0.0), 0);
+    }
+
+    #[test]
+    fn config_validation() {
+        let ok = ProposedConfig::default();
+        assert!(ProposedPolicy::new(ok).is_ok());
+        assert!(ProposedPolicy::new(ProposedConfig { alpha: 0.0, ..ok }).is_err());
+        assert!(ProposedPolicy::new(ProposedConfig { alpha: 1.0, ..ok }).is_err());
+        assert!(ProposedPolicy::new(ProposedConfig { th_floor: 3.0, ..ok }).is_err());
+        assert!(ProposedPolicy::new(ProposedConfig { th_init: f64::NAN, ..ok }).is_err());
+        assert!(ProposedPolicy::new(ProposedConfig { max_rounds: 0, ..ok }).is_err());
+        assert_eq!(ProposedPolicy::default().config().th_floor, 1.0);
+    }
+
+    #[test]
+    fn separates_correlated_clones() {
+        // Clusters {0,1} and {2,3} peak in anti-phase.
+        let m = matrix_from_rows(&[
+            &[4.0, 4.0, 0.5, 0.5],
+            &[0.5, 0.5, 4.0, 4.0],
+            &[4.0, 4.0, 0.5, 0.5],
+            &[0.5, 0.5, 4.0, 4.0],
+        ]);
+        let vms = descs(&[4.0, 4.0, 4.0, 4.0]);
+        let p = ProposedPolicy::default().place(&vms, &m, 8.0).unwrap();
+        p.validate(&vms, 8.0).unwrap();
+        assert_eq!(p.server_count(), 2);
+        assert_ne!(p.server_of(0), p.server_of(1), "correlated pair must split");
+        assert_ne!(p.server_of(2), p.server_of(3), "correlated pair must split");
+    }
+
+    #[test]
+    fn bfd_colocates_what_proposed_separates() {
+        // Contrast case backing the paper's Table II mechanism.
+        let m = matrix_from_rows(&[
+            &[4.0, 4.0, 0.5, 0.5],
+            &[0.5, 0.5, 4.0, 4.0],
+        ]);
+        let vms = descs(&[4.0, 4.0, 4.0, 4.0]);
+        let bfd = crate::alloc::BfdPolicy.place(&vms, &m, 8.0).unwrap();
+        // BFD is order/size-driven: 0 and 1 (equal size, first fit wins)
+        // land together.
+        assert_eq!(bfd.server_of(0), bfd.server_of(1));
+    }
+
+    #[test]
+    fn respects_capacity_and_covers_all_vms() {
+        let mut rng = cavm_trace::SimRng::new(1);
+        let demands: Vec<f64> = (0..40).map(|_| rng.range_f64(0.2, 3.5)).collect();
+        let vms = descs(&demands);
+        let mut m = CostMatrix::new(40, Reference::Peak).unwrap();
+        for _ in 0..50 {
+            let sample: Vec<f64> = (0..40).map(|_| rng.range_f64(0.0, 3.5)).collect();
+            m.push_sample(&sample).unwrap();
+        }
+        let p = ProposedPolicy::default().place(&vms, &m, 8.0).unwrap();
+        p.validate(&vms, 8.0).unwrap();
+        let lower = estimate_server_count(demands.iter().sum(), 8.0);
+        assert!(p.server_count() >= lower);
+        // The FFD-family heuristics stay within a small constant of the
+        // lower bound on benign instances.
+        assert!(p.server_count() <= lower + 3);
+    }
+
+    #[test]
+    fn empty_and_single_inputs() {
+        let m = CostMatrix::new(1, Reference::Peak).unwrap();
+        let p = ProposedPolicy::default().place(&[], &m, 8.0).unwrap();
+        assert_eq!(p.server_count(), 0);
+        let vms = descs(&[2.0]);
+        let p = ProposedPolicy::default().place(&vms, &m, 8.0).unwrap();
+        assert_eq!(p.server_count(), 1);
+        p.validate(&vms, 8.0).unwrap();
+    }
+
+    #[test]
+    fn oversized_vm_is_admitted_alone() {
+        let m = CostMatrix::new(2, Reference::Peak).unwrap();
+        let vms = descs(&[12.0, 2.0]);
+        let p = ProposedPolicy::default().place(&vms, &m, 8.0).unwrap();
+        p.validate(&vms, 8.0).unwrap();
+        assert_eq!(p.server_count(), 2);
+        assert_ne!(p.server_of(0), p.server_of(1));
+    }
+
+    #[test]
+    fn fragmentation_opens_extra_servers() {
+        // Total 12 fits Eqn-3's two 6-capacity bins, but 4+4+4 per-item
+        // sizes force three bins of 5.0 capacity... construct: capacity
+        // 6, demands [4,4,4]: total 12 → Ñ=2, but no two 4s share a bin.
+        let m = CostMatrix::new(3, Reference::Peak).unwrap();
+        let vms = descs(&[4.0, 4.0, 4.0]);
+        let p = ProposedPolicy::default().place(&vms, &m, 6.0).unwrap();
+        p.validate(&vms, 6.0).unwrap();
+        assert_eq!(p.server_count(), 3);
+    }
+
+    #[test]
+    fn neutral_matrix_degenerates_to_ffd_like_packing() {
+        // With no correlation data every pair scores the neutral 1.5, so
+        // the heuristic packs like FFD (modulo the largest-remaining
+        // server-selection order) and reaches the same server count on
+        // this instance.
+        let m = CostMatrix::new(4, Reference::Peak).unwrap();
+        let vms = descs(&[5.0, 4.0, 3.0, 2.0]);
+        let p = ProposedPolicy::default().place(&vms, &m, 8.0).unwrap();
+        let f = crate::alloc::FfdPolicy.place(&vms, &m, 8.0).unwrap();
+        assert_eq!(p.server_count(), f.server_count());
+        p.validate(&vms, 8.0).unwrap();
+    }
+
+    #[test]
+    fn threshold_floor_waives_correlation_test() {
+        // All VMs perfectly correlated (cost 1 for every pair): with a
+        // floor of 1.0 the allocator must still pack them (cost 1 < any
+        // th > 1, but the floor waiver admits them).
+        let m = matrix_from_rows(&[&[4.0, 4.0, 4.0, 4.0], &[1.0, 1.0, 1.0, 1.0]]);
+        let vms = descs(&[4.0, 4.0, 4.0, 4.0]);
+        let p = ProposedPolicy::default().place(&vms, &m, 8.0).unwrap();
+        p.validate(&vms, 8.0).unwrap();
+        assert_eq!(p.server_count(), 2);
+    }
+
+    #[test]
+    fn never_colocates_the_correlated_pair() {
+        // VM0 and VM1 peak together; VM2 is anti-phased with both. The
+        // correlated pair must end up on different servers, whichever
+        // partner the greedy assigns VM2 to.
+        let m = matrix_from_rows(&[
+            &[4.0, 3.0, 0.5],
+            &[0.5, 0.4, 3.0],
+            &[4.0, 3.0, 0.5],
+        ]);
+        let vms = descs(&[4.0, 3.0, 3.0]);
+        let p = ProposedPolicy::default().place(&vms, &m, 8.0).unwrap();
+        p.validate(&vms, 8.0).unwrap();
+        assert_eq!(p.server_count(), 2);
+        assert_ne!(p.server_of(0), p.server_of(1));
+    }
+}

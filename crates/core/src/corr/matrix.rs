@@ -1,0 +1,386 @@
+//! The all-pairs cost matrix `M_cost` (paper §IV-A).
+//!
+//! "Using our new Cost function, we can model correlations among all VMs
+//! by constructing a 2-D matrix, namely M_cost, where the (i,j)-th
+//! element corresponds to Cost_ij."
+//!
+//! [`CostMatrix`] stores one streaming [`CostMetric`] per unordered VM
+//! pair (upper triangle), so a fleet-wide monitoring tick costs
+//! `O(n²)` constant-time updates and no sample storage — this is the
+//! UPDATE-phase step "update M_cost by updating the Cost_ij for all VM
+//! pairs" (Fig 2, line 7).
+
+use crate::corr::cost::{combine_cost, CostMetric};
+use crate::CoreError;
+use cavm_trace::{Reference, TimeSeries};
+use serde::{Deserialize, Serialize};
+
+/// Symmetric pairwise correlation-cost matrix over `n` VMs.
+///
+/// Diagonal entries are 1.0 by definition: a VM co-located with itself
+/// gains nothing (`(û+û)/û(2·VM) = 1`).
+///
+/// # Example
+///
+/// ```
+/// use cavm_core::corr::CostMatrix;
+/// use cavm_trace::Reference;
+///
+/// # fn main() -> Result<(), cavm_core::CoreError> {
+/// let mut m = CostMatrix::new(3, Reference::Peak)?;
+/// m.push_sample(&[4.0, 0.0, 2.0])?;
+/// m.push_sample(&[0.0, 4.0, 2.0])?;
+/// // VM0 and VM1 peak apart: cost 2. Each against the flat VM2: 6/6 = 1.
+/// assert_eq!(m.cost(0, 1), Some(2.0));
+/// assert_eq!(m.cost(0, 0), Some(1.0));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CostMatrix {
+    n: usize,
+    reference: Reference,
+    /// Upper-triangle metrics, row-major: pair (i, j) with i < j lives at
+    /// `i*(2n-i-1)/2 + (j-i-1)`.
+    metrics: Vec<CostMetric>,
+    /// When set, pairwise values are fixed (ablation studies swap in
+    /// foreign metrics, e.g. Pearson-derived scores) and the streaming
+    /// metrics are ignored.
+    fixed: Option<Vec<f64>>,
+}
+
+impl CostMatrix {
+    /// Creates an empty matrix over `n` VMs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParameter`] when `n == 0` or the
+    /// reference percentile is out of range.
+    pub fn new(n: usize, reference: Reference) -> crate::Result<Self> {
+        if n == 0 {
+            return Err(CoreError::InvalidParameter("cost matrix needs at least one vm"));
+        }
+        let pairs = n * (n - 1) / 2;
+        let mut metrics = Vec::with_capacity(pairs);
+        for _ in 0..pairs {
+            metrics.push(CostMetric::new(reference)?);
+        }
+        Ok(Self { n, reference, metrics, fixed: None })
+    }
+
+    /// Builds a matrix with *fixed* pairwise costs — `costs` is the
+    /// upper triangle, row-major (`(0,1), (0,2), ..., (1,2), ...`).
+    /// Used by ablation studies to drive the allocator with a foreign
+    /// correlation measure (e.g. Pearson mapped into `[1, 2]`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParameter`] when `n == 0` or the
+    /// triangle length is wrong.
+    pub fn from_costs(n: usize, costs: Vec<f64>) -> crate::Result<Self> {
+        if n == 0 {
+            return Err(CoreError::InvalidParameter("cost matrix needs at least one vm"));
+        }
+        if costs.len() != n * (n - 1) / 2 {
+            return Err(CoreError::InvalidParameter(
+                "fixed cost triangle has the wrong length",
+            ));
+        }
+        let mut matrix = Self::new(n, Reference::Peak)?;
+        matrix.fixed = Some(costs);
+        Ok(matrix)
+    }
+
+    /// Builds a matrix from complete traces in one pass (batch exact
+    /// percentiles for the pair sums are approximated by the same
+    /// streaming estimators the online path uses, keeping semantics
+    /// identical between offline and online use).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParameter`] for an empty trace set
+    /// and trace errors for length mismatches.
+    pub fn from_traces(traces: &[&TimeSeries], reference: Reference) -> crate::Result<Self> {
+        if traces.is_empty() {
+            return Err(CoreError::InvalidParameter("cost matrix needs at least one vm"));
+        }
+        let len = traces[0].len();
+        for t in traces {
+            if t.len() != len {
+                return Err(CoreError::Trace(cavm_trace::TraceError::LengthMismatch {
+                    left: len,
+                    right: t.len(),
+                }));
+            }
+        }
+        let mut matrix = Self::new(traces.len(), reference)?;
+        let mut sample = vec![0.0; traces.len()];
+        for k in 0..len {
+            for (v, t) in traces.iter().enumerate() {
+                sample[v] = t.values()[k];
+            }
+            matrix.push_sample(&sample)?;
+        }
+        Ok(matrix)
+    }
+
+    /// Number of VMs tracked.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// `false` by construction; provided for API completeness.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// The reference utilization the matrix tracks.
+    pub fn reference(&self) -> Reference {
+        self.reference
+    }
+
+    fn pair_index(&self, i: usize, j: usize) -> usize {
+        debug_assert!(i < j && j < self.n);
+        i * (2 * self.n - i - 1) / 2 + (j - i - 1)
+    }
+
+    /// Feeds one monitoring tick: `utils[v]` is VM `v`'s utilization at
+    /// this instant. Cost: `O(n²)` constant-time metric updates.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::SampleCountMismatch`] when `utils.len() != n`.
+    pub fn push_sample(&mut self, utils: &[f64]) -> crate::Result<()> {
+        if utils.len() != self.n {
+            return Err(CoreError::SampleCountMismatch {
+                got: utils.len(),
+                expected: self.n,
+            });
+        }
+        for i in 0..self.n {
+            for j in (i + 1)..self.n {
+                let idx = self.pair_index(i, j);
+                self.metrics[idx].push(utils[i], utils[j]);
+            }
+        }
+        Ok(())
+    }
+
+    /// The cost of pair `(i, j)`, or `None` before any sample (and
+    /// `Some(1.0)` on the diagonal).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i` or `j` is out of range — matrix indices are
+    /// program-internal, not user input.
+    pub fn cost(&self, i: usize, j: usize) -> Option<f64> {
+        assert!(i < self.n && j < self.n, "pair ({i},{j}) outside {}-vm matrix", self.n);
+        if i == j {
+            return Some(1.0);
+        }
+        let (lo, hi) = if i < j { (i, j) } else { (j, i) };
+        let idx = self.pair_index(lo, hi);
+        match &self.fixed {
+            Some(values) => Some(values[idx]),
+            None => self.metrics[idx].cost(),
+        }
+    }
+
+    /// The cost of pair `(i, j)`, defaulting to the *neutral* midpoint
+    /// 1.5 when no samples have been observed yet (first placement
+    /// period). With a constant default, all unknown pairs compare
+    /// equal and the proposed allocator degrades gracefully to
+    /// first-fit-decreasing.
+    pub fn cost_or_neutral(&self, i: usize, j: usize) -> f64 {
+        self.cost(i, j).unwrap_or(1.5)
+    }
+
+    /// Number of sample ticks observed (0 for a fresh matrix).
+    pub fn samples(&self) -> u64 {
+        self.metrics.first().map_or(0, |m| m.count())
+    }
+
+    /// Forgets all samples (keeps dimensions and reference) — used by
+    /// per-period windowed tracking.
+    pub fn reset(&mut self) {
+        for m in &mut self.metrics {
+            m.reset();
+        }
+    }
+
+    /// Dense symmetric snapshot of the matrix with `default` for
+    /// not-yet-observed pairs; diagonal 1.0. Row-major `n×n`.
+    pub fn to_dense(&self, default: f64) -> Vec<Vec<f64>> {
+        (0..self.n)
+            .map(|i| {
+                (0..self.n)
+                    .map(|j| if i == j { 1.0 } else { self.cost(i, j).unwrap_or(default) })
+                    .collect()
+            })
+            .collect()
+    }
+}
+
+/// Batch-exact pairwise cost of two utilization *slices* (helper for
+/// tests and experiments that already hold raw samples).
+///
+/// # Errors
+///
+/// Returns trace errors for empty or mismatched slices.
+pub fn cost_of_slices(
+    a: &[f64],
+    b: &[f64],
+    reference: Reference,
+) -> crate::Result<f64> {
+    if a.len() != b.len() {
+        return Err(CoreError::Trace(cavm_trace::TraceError::LengthMismatch {
+            left: a.len(),
+            right: b.len(),
+        }));
+    }
+    let u_a = reference.of(a)?;
+    let u_b = reference.of(b)?;
+    let sum: Vec<f64> = a.iter().zip(b).map(|(x, y)| x + y).collect();
+    let u_sum = reference.of(&sum)?;
+    Ok(combine_cost(u_a, u_b, u_sum))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_validates() {
+        assert!(CostMatrix::new(0, Reference::Peak).is_err());
+        assert!(CostMatrix::new(3, Reference::Percentile(0.0)).is_err());
+        assert!(CostMatrix::new(1, Reference::Peak).is_ok());
+        assert!(CostMatrix::from_traces(&[], Reference::Peak).is_err());
+    }
+
+    #[test]
+    fn pair_indexing_covers_triangle_uniquely() {
+        let m = CostMatrix::new(6, Reference::Peak).unwrap();
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..6 {
+            for j in (i + 1)..6 {
+                assert!(seen.insert(m.pair_index(i, j)));
+            }
+        }
+        assert_eq!(seen.len(), 15);
+        assert_eq!(*seen.iter().max().unwrap(), 14);
+    }
+
+    #[test]
+    fn symmetric_and_diagonal() {
+        let mut m = CostMatrix::new(3, Reference::Peak).unwrap();
+        m.push_sample(&[1.0, 3.0, 2.0]).unwrap();
+        m.push_sample(&[3.0, 1.0, 2.0]).unwrap();
+        for i in 0..3 {
+            assert_eq!(m.cost(i, i), Some(1.0));
+            for j in 0..3 {
+                assert_eq!(m.cost(i, j), m.cost(j, i));
+            }
+        }
+    }
+
+    #[test]
+    fn push_sample_validates_width() {
+        let mut m = CostMatrix::new(3, Reference::Peak).unwrap();
+        assert!(matches!(
+            m.push_sample(&[1.0, 2.0]),
+            Err(CoreError::SampleCountMismatch { got: 2, expected: 3 })
+        ));
+    }
+
+    #[test]
+    fn from_traces_matches_manual_pushes() {
+        let a = TimeSeries::new(1.0, vec![4.0, 0.0, 2.0, 1.0]).unwrap();
+        let b = TimeSeries::new(1.0, vec![0.0, 4.0, 2.0, 1.0]).unwrap();
+        let c = TimeSeries::new(1.0, vec![1.0, 1.0, 1.0, 4.0]).unwrap();
+        let batch = CostMatrix::from_traces(&[&a, &b, &c], Reference::Peak).unwrap();
+        let mut manual = CostMatrix::new(3, Reference::Peak).unwrap();
+        for k in 0..4 {
+            manual
+                .push_sample(&[a.values()[k], b.values()[k], c.values()[k]])
+                .unwrap();
+        }
+        for i in 0..3 {
+            for j in 0..3 {
+                assert_eq!(batch.cost(i, j), manual.cost(i, j));
+            }
+        }
+        assert_eq!(batch.samples(), 4);
+    }
+
+    #[test]
+    fn from_traces_rejects_mismatched_lengths() {
+        let a = TimeSeries::new(1.0, vec![1.0, 2.0]).unwrap();
+        let b = TimeSeries::new(1.0, vec![1.0]).unwrap();
+        assert!(CostMatrix::from_traces(&[&a, &b], Reference::Peak).is_err());
+    }
+
+    #[test]
+    fn neutral_default_before_samples() {
+        let m = CostMatrix::new(2, Reference::Peak).unwrap();
+        assert_eq!(m.cost(0, 1), None);
+        assert_eq!(m.cost_or_neutral(0, 1), 1.5);
+        assert_eq!(m.samples(), 0);
+    }
+
+    #[test]
+    fn reset_forgets_samples() {
+        let mut m = CostMatrix::new(2, Reference::Peak).unwrap();
+        m.push_sample(&[1.0, 2.0]).unwrap();
+        assert_eq!(m.samples(), 1);
+        m.reset();
+        assert_eq!(m.samples(), 0);
+        assert_eq!(m.cost(0, 1), None);
+        assert_eq!(m.len(), 2);
+        assert!(!m.is_empty());
+        assert_eq!(m.reference(), Reference::Peak);
+    }
+
+    #[test]
+    fn dense_snapshot() {
+        let mut m = CostMatrix::new(2, Reference::Peak).unwrap();
+        m.push_sample(&[3.0, 0.0]).unwrap();
+        m.push_sample(&[0.0, 3.0]).unwrap();
+        let d = m.to_dense(1.5);
+        assert_eq!(d[0][0], 1.0);
+        assert_eq!(d[1][1], 1.0);
+        assert_eq!(d[0][1], 2.0);
+        assert_eq!(d[0][1], d[1][0]);
+    }
+
+    #[test]
+    fn cost_of_slices_agrees_with_trace_path() {
+        let xs = [4.0, 0.0, 2.0];
+        let ys = [0.0, 4.0, 2.0];
+        let via_slices = cost_of_slices(&xs, &ys, Reference::Peak).unwrap();
+        let a = TimeSeries::new(1.0, xs.to_vec()).unwrap();
+        let b = TimeSeries::new(1.0, ys.to_vec()).unwrap();
+        let via_traces =
+            crate::corr::cost_of_traces(&a, &b, Reference::Peak).unwrap();
+        assert_eq!(via_slices, via_traces);
+        assert!(cost_of_slices(&xs, &ys[..2], Reference::Peak).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn out_of_range_pair_panics() {
+        let m = CostMatrix::new(2, Reference::Peak).unwrap();
+        let _ = m.cost(0, 5);
+    }
+
+    #[test]
+    fn fixed_cost_matrix_overrides_streaming() {
+        // Triangle for n=3: (0,1), (0,2), (1,2).
+        let m = CostMatrix::from_costs(3, vec![1.1, 1.9, 1.5]).unwrap();
+        assert_eq!(m.cost(0, 1), Some(1.1));
+        assert_eq!(m.cost(2, 0), Some(1.9));
+        assert_eq!(m.cost(1, 2), Some(1.5));
+        assert_eq!(m.cost(1, 1), Some(1.0));
+        assert!(CostMatrix::from_costs(3, vec![1.0]).is_err());
+        assert!(CostMatrix::from_costs(0, vec![]).is_err());
+    }
+}

@@ -1,0 +1,98 @@
+use cavm_power::PowerError;
+use cavm_trace::TraceError;
+use std::fmt;
+
+/// Errors produced by the correlation/allocation core.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// An underlying time-series operation failed.
+    Trace(TraceError),
+    /// An underlying power/DVFS operation failed.
+    Power(PowerError),
+    /// A VM id was outside the cost matrix / descriptor set.
+    UnknownVm {
+        /// The offending VM id.
+        id: usize,
+        /// The number of VMs known.
+        known: usize,
+    },
+    /// The number of per-VM samples disagreed with the matrix size.
+    SampleCountMismatch {
+        /// Samples provided.
+        got: usize,
+        /// VMs tracked by the matrix.
+        expected: usize,
+    },
+    /// A policy or metric parameter was out of range.
+    InvalidParameter(&'static str),
+    /// The allocator could not terminate within its round budget —
+    /// indicates an impossible instance (e.g. zero capacity).
+    AllocationDiverged {
+        /// VMs that remained unallocated.
+        unallocated: usize,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Trace(e) => write!(f, "trace error: {e}"),
+            CoreError::Power(e) => write!(f, "power error: {e}"),
+            CoreError::UnknownVm { id, known } => {
+                write!(f, "vm id {id} outside the {known} known vms")
+            }
+            CoreError::SampleCountMismatch { got, expected } => {
+                write!(f, "got {got} samples for {expected} vms")
+            }
+            CoreError::InvalidParameter(what) => write!(f, "invalid parameter: {what}"),
+            CoreError::AllocationDiverged { unallocated } => {
+                write!(f, "allocation failed to place {unallocated} vms within its round budget")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Trace(e) => Some(e),
+            CoreError::Power(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TraceError> for CoreError {
+    fn from(e: TraceError) -> Self {
+        CoreError::Trace(e)
+    }
+}
+
+impl From<PowerError> for CoreError {
+    fn from(e: PowerError) -> Self {
+        CoreError::Power(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = CoreError::from(TraceError::EmptyInput);
+        assert!(e.to_string().contains("trace error"));
+        assert!(std::error::Error::source(&e).is_some());
+        let p = CoreError::from(PowerError::EmptyLadder);
+        assert!(std::error::Error::source(&p).is_some());
+        for e in [
+            CoreError::UnknownVm { id: 3, known: 2 },
+            CoreError::SampleCountMismatch { got: 1, expected: 2 },
+            CoreError::InvalidParameter("x"),
+            CoreError::AllocationDiverged { unallocated: 4 },
+        ] {
+            assert!(!e.to_string().is_empty());
+            assert!(std::error::Error::source(&e).is_none());
+        }
+    }
+}

@@ -1,0 +1,176 @@
+//! The per-server correlation cost (paper Eqn 2).
+//!
+//! For the VMs allocated to a server, the server cost is the
+//! utilization-weighted average of each member's mean pairwise cost
+//! against its co-residents:
+//!
+//! ```text
+//! Cost_server = Σ_j w_j · ( Σ_{k≠j} Cost(j,k) / (n-1) ),   w_j = û_j / Σ û
+//! ```
+//!
+//! It extends the *pairwise* Eqn (1) to a whole server and is the
+//! quantity the ALLOCATE phase maximizes when picking the next VM, and
+//! the `1/Cost_server` factor by which Eqn (4) lowers the frequency.
+//! Because Eqn (1) only captures pairs, Cost_server is an (empirically
+//! linear, Fig 3) *lower bound* on the server's true peak-aggregation
+//! benefit `Σ û_j / û(Σ VMs)` — which is why scaling frequency by it is
+//! "aggressive-yet-safe".
+
+use crate::alloc::VmDescriptor;
+use crate::corr::CostMatrix;
+
+/// Evaluates Eqn (2) over `(vm_id, û)` members.
+///
+/// Conventions for degenerate servers: an empty or single-VM server has
+/// cost **1.0** — a lone VM gets no multiplexing benefit, so Eqn (4)
+/// must not scale its frequency down. If all û are zero the members are
+/// weighted equally.
+///
+/// Pairs the matrix has not observed yet contribute the neutral cost 1.5
+/// (see [`CostMatrix::cost_or_neutral`]).
+///
+/// # Panics
+///
+/// Panics if a member id is outside the matrix (program error).
+///
+/// # Example
+///
+/// ```
+/// use cavm_core::corr::CostMatrix;
+/// use cavm_core::servercost::server_cost;
+/// use cavm_trace::Reference;
+///
+/// # fn main() -> Result<(), cavm_core::CoreError> {
+/// let mut m = CostMatrix::new(2, Reference::Peak)?;
+/// m.push_sample(&[4.0, 0.0])?;
+/// m.push_sample(&[0.0, 4.0])?;
+/// // Two complementary, equally-sized VMs: server cost = pair cost = 2.
+/// let c = server_cost(&[(0, 4.0), (1, 4.0)], &m);
+/// assert_eq!(c, 2.0);
+/// # Ok(())
+/// # }
+/// ```
+pub fn server_cost(members: &[(usize, f64)], matrix: &CostMatrix) -> f64 {
+    let n = members.len();
+    if n <= 1 {
+        return 1.0;
+    }
+    let total: f64 = members.iter().map(|&(_, u)| u).sum();
+    let mut cost = 0.0;
+    for &(j, u_j) in members {
+        let w_j = if total > 0.0 { u_j / total } else { 1.0 / n as f64 };
+        let mut pair_sum = 0.0;
+        for &(k, _) in members {
+            if k != j {
+                pair_sum += matrix.cost_or_neutral(j, k);
+            }
+        }
+        cost += w_j * pair_sum / (n - 1) as f64;
+    }
+    cost
+}
+
+/// Evaluates Eqn (2) for member ids drawn from a descriptor table
+/// (û = `vms[id].demand`).
+///
+/// # Panics
+///
+/// Panics if an id is outside `vms` or the matrix.
+pub fn server_cost_of(members: &[usize], vms: &[VmDescriptor], matrix: &CostMatrix) -> f64 {
+    let weighted: Vec<(usize, f64)> =
+        members.iter().map(|&id| (id, vms[id].demand)).collect();
+    server_cost(&weighted, matrix)
+}
+
+/// Evaluates Eqn (2) for a server *after* hypothetically adding
+/// `candidate` to `members` — the ALLOCATE phase's selection score
+/// (Fig 2, line 11).
+///
+/// # Panics
+///
+/// Panics if an id is outside `vms` or the matrix.
+pub fn server_cost_with_candidate(
+    members: &[usize],
+    candidate: usize,
+    vms: &[VmDescriptor],
+    matrix: &CostMatrix,
+) -> f64 {
+    let mut weighted: Vec<(usize, f64)> =
+        members.iter().map(|&id| (id, vms[id].demand)).collect();
+    weighted.push((candidate, vms[candidate].demand));
+    server_cost(&weighted, matrix)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cavm_trace::Reference;
+
+    fn matrix3() -> CostMatrix {
+        // VM0/VM1 complementary (cost 2), VM2 flat (cost 1 with both).
+        let mut m = CostMatrix::new(3, Reference::Peak).unwrap();
+        m.push_sample(&[4.0, 0.0, 2.0]).unwrap();
+        m.push_sample(&[0.0, 4.0, 2.0]).unwrap();
+        m
+    }
+
+    #[test]
+    fn degenerate_servers_cost_one() {
+        let m = matrix3();
+        assert_eq!(server_cost(&[], &m), 1.0);
+        assert_eq!(server_cost(&[(0, 4.0)], &m), 1.0);
+    }
+
+    #[test]
+    fn pair_server_equals_pair_cost_when_balanced() {
+        let m = matrix3();
+        assert_eq!(server_cost(&[(0, 4.0), (1, 4.0)], &m), 2.0);
+    }
+
+    #[test]
+    fn weights_follow_utilization() {
+        let m = matrix3();
+        // VM0 dominant: its average pair cost (vs VM2: 6/6=1) dominates.
+        let heavy0 = server_cost(&[(0, 100.0), (2, 1.0)], &m);
+        let c02 = m.cost(0, 2).unwrap();
+        assert!((heavy0 - c02).abs() < 0.02);
+    }
+
+    #[test]
+    fn zero_total_weighting_is_uniform() {
+        let m = matrix3();
+        let c = server_cost(&[(0, 0.0), (1, 0.0)], &m);
+        assert_eq!(c, m.cost(0, 1).unwrap());
+    }
+
+    #[test]
+    fn triple_server_mixes_pairs() {
+        let m = matrix3();
+        // Equal demands: cost = mean over j of mean pair cost.
+        let c = server_cost(&[(0, 1.0), (1, 1.0), (2, 1.0)], &m);
+        let c01 = m.cost(0, 1).unwrap(); // 2.0
+        let c02 = m.cost(0, 2).unwrap(); // 1.0
+        let c12 = m.cost(1, 2).unwrap(); // 1.0
+        let expected = ((c01 + c02) / 2.0 + (c01 + c12) / 2.0 + (c02 + c12) / 2.0) / 3.0;
+        assert!((c - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn candidate_helper_matches_direct_evaluation() {
+        let m = matrix3();
+        let vms = vec![
+            VmDescriptor::new(0, 4.0),
+            VmDescriptor::new(1, 4.0),
+            VmDescriptor::new(2, 2.0),
+        ];
+        let direct = server_cost_of(&[0, 1], &vms, &m);
+        let via_candidate = server_cost_with_candidate(&[0], 1, &vms, &m);
+        assert_eq!(direct, via_candidate);
+    }
+
+    #[test]
+    fn unknown_pairs_use_neutral_cost() {
+        let m = CostMatrix::new(2, Reference::Peak).unwrap();
+        assert_eq!(server_cost(&[(0, 1.0), (1, 1.0)], &m), 1.5);
+    }
+}

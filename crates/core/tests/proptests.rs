@@ -1,0 +1,173 @@
+//! Property-based tests for the correlation/allocation core.
+
+use cavm_core::alloc::proposed::estimate_server_count;
+use cavm_core::alloc::{
+    AllocationPolicy, BfdPolicy, FfdPolicy, PcpPolicy, ProposedPolicy, VmDescriptor,
+};
+use cavm_core::corr::matrix::cost_of_slices;
+use cavm_core::corr::CostMatrix;
+use cavm_core::dvfs::FrequencyPlanner;
+use cavm_core::servercost::server_cost;
+use cavm_power::DvfsLadder;
+use cavm_trace::Reference;
+use proptest::prelude::*;
+
+fn util_pairs(max_len: usize) -> impl Strategy<Value = Vec<(f64, f64)>> {
+    prop::collection::vec((0.0f64..8.0, 0.0f64..8.0), 2..max_len)
+}
+
+proptest! {
+    /// Eqn 1 under peak reference is symmetric and confined to [1, 2].
+    #[test]
+    fn cost_bounds_and_symmetry(pairs in util_pairs(120)) {
+        let (xs, ys): (Vec<f64>, Vec<f64>) = pairs.into_iter().unzip();
+        let ab = cost_of_slices(&xs, &ys, Reference::Peak).unwrap();
+        let ba = cost_of_slices(&ys, &xs, Reference::Peak).unwrap();
+        prop_assert_eq!(ab, ba);
+        prop_assert!((1.0 - 1e-9..=2.0 + 1e-9).contains(&ab), "cost {}", ab);
+    }
+
+    /// The all-pairs matrix stays symmetric with unit diagonal under any
+    /// sample stream.
+    #[test]
+    fn matrix_symmetry(
+        samples in prop::collection::vec(
+            prop::collection::vec(0.0f64..8.0, 4), 1..50
+        )
+    ) {
+        let mut m = CostMatrix::new(4, Reference::Peak).unwrap();
+        for s in &samples {
+            m.push_sample(s).unwrap();
+        }
+        for i in 0..4 {
+            prop_assert_eq!(m.cost(i, i), Some(1.0));
+            for j in 0..4 {
+                prop_assert_eq!(m.cost(i, j), m.cost(j, i));
+            }
+        }
+    }
+
+    /// Eqn 2 lies within the min/max pairwise cost of the member set.
+    #[test]
+    fn server_cost_within_pair_range(
+        samples in prop::collection::vec(
+            prop::collection::vec(0.0f64..8.0, 5), 2..40
+        ),
+        demands in prop::collection::vec(0.1f64..4.0, 5)
+    ) {
+        let mut m = CostMatrix::new(5, Reference::Peak).unwrap();
+        for s in &samples {
+            m.push_sample(s).unwrap();
+        }
+        let members: Vec<(usize, f64)> =
+            demands.iter().enumerate().map(|(i, &d)| (i, d)).collect();
+        let cost = server_cost(&members, &m);
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for i in 0..5 {
+            for j in (i + 1)..5 {
+                let c = m.cost(i, j).unwrap();
+                lo = lo.min(c);
+                hi = hi.max(c);
+            }
+        }
+        prop_assert!(cost >= lo - 1e-9 && cost <= hi + 1e-9,
+            "server cost {} outside pair range [{}, {}]", cost, lo, hi);
+    }
+
+    /// Every capacity-respecting policy covers all VMs exactly once,
+    /// respects capacity, and meets the Eqn 3 lower bound.
+    #[test]
+    fn policies_produce_sound_placements(
+        demands in prop::collection::vec(0.05f64..6.0, 1..30),
+        capacity in 6.0f64..12.0
+    ) {
+        let vms: Vec<VmDescriptor> = demands
+            .iter()
+            .enumerate()
+            .map(|(i, &d)| VmDescriptor::new(i, d))
+            .collect();
+        let matrix = CostMatrix::new(vms.len(), Reference::Peak).unwrap();
+        let lower = estimate_server_count(demands.iter().sum(), capacity);
+        for policy in [
+            &ProposedPolicy::default() as &dyn AllocationPolicy,
+            &BfdPolicy,
+            &FfdPolicy,
+        ] {
+            let placement = policy.place(&vms, &matrix, capacity).unwrap();
+            placement.validate(&vms, capacity).unwrap();
+            prop_assert!(placement.server_count() >= lower, "{} under Eqn 3", policy.name());
+        }
+    }
+
+    /// PCP (multi-cluster mode) covers all VMs exactly once and honours
+    /// its off-peak + shared-buffer capacity rule.
+    #[test]
+    fn pcp_placement_sound(
+        demands in prop::collection::vec(0.5f64..4.0, 2..20),
+        capacity in 6.0f64..12.0,
+        cluster_stride in 2usize..4
+    ) {
+        let vms: Vec<VmDescriptor> = demands
+            .iter()
+            .enumerate()
+            .map(|(i, &d)| VmDescriptor::new(i, d).with_off_peak(d * 0.8))
+            .collect();
+        let labels: Vec<usize> = (0..vms.len()).map(|i| i % cluster_stride).collect();
+        let pcp = PcpPolicy::from_labels(labels).unwrap();
+        let matrix = CostMatrix::new(vms.len(), Reference::Peak).unwrap();
+        let placement = pcp.place(&vms, &matrix, capacity).unwrap();
+        placement.validate_structure(&vms).unwrap();
+        for server in placement.servers() {
+            if server.len() == 1 {
+                continue; // lone oversized VMs are tolerated
+            }
+            let off: f64 = server.iter().map(|&id| vms[id].off_peak).sum();
+            let buffer = server
+                .iter()
+                .map(|&id| vms[id].demand - vms[id].off_peak)
+                .fold(0.0, f64::max);
+            prop_assert!(off + buffer <= capacity + 1e-9);
+        }
+    }
+
+    /// Eqn 4 with a larger server cost never selects a higher level, and
+    /// the result is always a ladder level.
+    #[test]
+    fn eqn4_monotone_in_cost(
+        demand in 0.0f64..16.0,
+        cost_a in 1.0f64..2.0,
+        cost_b in 1.0f64..2.0
+    ) {
+        let planner = FrequencyPlanner::new(DvfsLadder::xeon_e5410());
+        let (lo, hi) = if cost_a <= cost_b { (cost_a, cost_b) } else { (cost_b, cost_a) };
+        let f_lo_cost = planner.static_level_correlation_aware(demand, 8.0, lo).unwrap();
+        let f_hi_cost = planner.static_level_correlation_aware(demand, 8.0, hi).unwrap();
+        prop_assert!(f_hi_cost <= f_lo_cost);
+        prop_assert!(planner.ladder().index_of(f_lo_cost).is_some());
+        let worst = planner.static_level_worst_case(demand, 8.0).unwrap();
+        prop_assert!(f_lo_cost <= worst);
+    }
+
+    /// The ALLOCATE heuristic is insensitive to descriptor order
+    /// (it re-sorts internally): permuted inputs give placements with
+    /// the same server count.
+    #[test]
+    fn proposed_order_invariant(
+        demands in prop::collection::vec(0.1f64..4.0, 2..15),
+        seed in any::<u64>()
+    ) {
+        let vms: Vec<VmDescriptor> = demands
+            .iter()
+            .enumerate()
+            .map(|(i, &d)| VmDescriptor::new(i, d))
+            .collect();
+        let mut shuffled = vms.clone();
+        let mut rng = cavm_trace::SimRng::new(seed);
+        rng.shuffle(&mut shuffled);
+        let matrix = CostMatrix::new(vms.len(), Reference::Peak).unwrap();
+        let a = ProposedPolicy::default().place(&vms, &matrix, 8.0).unwrap();
+        let b = ProposedPolicy::default().place(&shuffled, &matrix, 8.0).unwrap();
+        prop_assert_eq!(a.server_count(), b.server_count());
+    }
+}

@@ -1,0 +1,35 @@
+use std::fmt;
+
+/// Errors produced by the microarchitectural models.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MicroarchError {
+    /// A cache geometry parameter was invalid (zero, not a power of two
+    /// where required, or inconsistent).
+    BadGeometry(&'static str),
+    /// A workload or machine parameter was out of range.
+    InvalidParameter(&'static str),
+}
+
+impl fmt::Display for MicroarchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MicroarchError::BadGeometry(what) => write!(f, "bad cache geometry: {what}"),
+            MicroarchError::InvalidParameter(what) => {
+                write!(f, "invalid parameter: {what}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MicroarchError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_nonempty() {
+        assert!(!MicroarchError::BadGeometry("x").to_string().is_empty());
+        assert!(!MicroarchError::InvalidParameter("y").to_string().is_empty());
+    }
+}

@@ -1,0 +1,61 @@
+use crate::Frequency;
+use std::fmt;
+
+/// Errors produced by the power/DVFS models.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PowerError {
+    /// A DVFS ladder needs at least one frequency level.
+    EmptyLadder,
+    /// A frequency was not finite and positive.
+    InvalidFrequency(f64),
+    /// The requested frequency is not a level of the ladder/model.
+    UnknownLevel(Frequency),
+    /// Utilization must lie in `[0, 1]` (fraction of capacity).
+    InvalidUtilization(f64),
+    /// A generic invalid parameter with a short description.
+    InvalidParameter(&'static str),
+}
+
+impl fmt::Display for PowerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PowerError::EmptyLadder => write!(f, "dvfs ladder must have at least one level"),
+            PowerError::InvalidFrequency(ghz) => {
+                write!(f, "invalid frequency {ghz} GHz, must be finite and > 0")
+            }
+            PowerError::UnknownLevel(freq) => {
+                write!(f, "frequency {} GHz is not a level of this model", freq.as_ghz())
+            }
+            PowerError::InvalidUtilization(u) => {
+                write!(f, "utilization {u} outside [0, 1]")
+            }
+            PowerError::InvalidParameter(what) => write!(f, "invalid parameter: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for PowerError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_nonempty() {
+        for e in [
+            PowerError::EmptyLadder,
+            PowerError::InvalidFrequency(-1.0),
+            PowerError::UnknownLevel(Frequency::from_ghz(1.0)),
+            PowerError::InvalidUtilization(1.5),
+            PowerError::InvalidParameter("x"),
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync + 'static>() {}
+        assert_send_sync::<PowerError>();
+    }
+}

@@ -1,0 +1,317 @@
+//! Scenario description and builder.
+
+use crate::SimError;
+use cavm_core::alloc::proposed::ProposedConfig;
+use cavm_core::dvfs::DvfsMode;
+use cavm_power::LinearPowerModel;
+use cavm_trace::Reference;
+use cavm_workload::datacenter::VmFleet;
+use serde::{Deserialize, Serialize};
+
+/// Which placement policy drives the scenario.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Policy {
+    /// Best-Fit-Decreasing (the Table II baseline and normalization
+    /// reference).
+    Bfd,
+    /// First-Fit-Decreasing.
+    Ffd,
+    /// Peak Clustering-based Placement (Verma et al. \[6\]); re-clustered
+    /// every period from the previous period's traces.
+    Pcp {
+        /// Envelope threshold percentile (Verma's off-peak value; the
+        /// paper's experiments use the 90th).
+        envelope_percentile: f64,
+        /// Minimum envelope containment for two VMs to join a cluster.
+        affinity_threshold: f64,
+    },
+    /// The paper's correlation-aware heuristic plus Eqn (4) frequency
+    /// scaling.
+    Proposed(ProposedConfig),
+    /// Joint-VM sizing (Meng et al. \[7\]): un-correlated VMs fused into
+    /// super-VMs once per period, then packed with BFD. Fused pairs get
+    /// a joint size below their peak sum, so the placement overcommits
+    /// relative to coincident peaks; frequency stays worst-case (the
+    /// scheme has no per-server correlation model to discount with).
+    SuperVm {
+        /// Minimum pair cost (Eqn 1) for fusing two VMs.
+        min_pair_cost: f64,
+    },
+}
+
+impl Policy {
+    /// Stable display name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Policy::Bfd => "BFD",
+            Policy::Ffd => "FFD",
+            Policy::Pcp { .. } => "PCP",
+            Policy::Proposed(_) => "Proposed",
+            Policy::SuperVm { .. } => "SuperVM",
+        }
+    }
+
+    /// Whether this policy may discount the frequency by the server
+    /// cost (Eqn 4). Only the proposed policy has the correlation
+    /// knowledge to do so safely.
+    pub fn correlation_aware_frequency(&self) -> bool {
+        matches!(self, Policy::Proposed(_))
+    }
+}
+
+/// A fully-specified, validated simulation scenario.
+///
+/// Build with [`ScenarioBuilder`]; run with [`Scenario::run`].
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    pub(crate) fleet: VmFleet,
+    pub(crate) server_count: usize,
+    pub(crate) cores_per_server: usize,
+    pub(crate) power_model: LinearPowerModel,
+    pub(crate) policy: Policy,
+    pub(crate) dvfs_mode: DvfsMode,
+    pub(crate) period_samples: usize,
+    pub(crate) reference: Reference,
+    pub(crate) dynamic_headroom: f64,
+    pub(crate) default_demand: f64,
+}
+
+impl Scenario {
+    /// The placement policy.
+    pub fn policy(&self) -> Policy {
+        self.policy
+    }
+
+    /// Samples per placement period.
+    pub fn period_samples(&self) -> usize {
+        self.period_samples
+    }
+}
+
+/// Builder with the paper's Setup-2 defaults: 20 Xeon-E5410-like servers
+/// of 8 cores, 1-hour placement periods over 5-second samples (720
+/// samples per period), peak-reference provisioning, static DVFS.
+#[derive(Debug, Clone)]
+pub struct ScenarioBuilder {
+    fleet: VmFleet,
+    server_count: usize,
+    cores_per_server: usize,
+    power_model: LinearPowerModel,
+    policy: Policy,
+    dvfs_mode: DvfsMode,
+    period_samples: usize,
+    reference: Reference,
+    dynamic_headroom: f64,
+    default_demand: f64,
+}
+
+impl ScenarioBuilder {
+    /// Starts a builder around a trace fleet.
+    pub fn new(fleet: VmFleet) -> Self {
+        Self {
+            fleet,
+            server_count: 20,
+            cores_per_server: 8,
+            power_model: LinearPowerModel::xeon_e5410(),
+            policy: Policy::Bfd,
+            dvfs_mode: DvfsMode::Static,
+            period_samples: 720,
+            reference: Reference::Peak,
+            dynamic_headroom: 0.25,
+            default_demand: 2.0,
+        }
+    }
+
+    /// Number of available servers (paper: 20).
+    pub fn servers(mut self, count: usize) -> Self {
+        self.server_count = count;
+        self
+    }
+
+    /// Cores per server (paper: 8).
+    pub fn cores_per_server(mut self, cores: usize) -> Self {
+        self.cores_per_server = cores;
+        self
+    }
+
+    /// Server power model (default: Xeon E5410 preset).
+    pub fn power_model(mut self, model: LinearPowerModel) -> Self {
+        self.power_model = model;
+        self
+    }
+
+    /// Placement policy (default: BFD).
+    pub fn policy(mut self, policy: Policy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Static or dynamic frequency scaling (default: static).
+    pub fn dvfs_mode(mut self, mode: DvfsMode) -> Self {
+        self.dvfs_mode = mode;
+        self
+    }
+
+    /// Samples per placement period (default 720 = 1 h of 5 s samples).
+    pub fn period_samples(mut self, samples: usize) -> Self {
+        self.period_samples = samples;
+        self
+    }
+
+    /// Reference utilization for provisioning (default: peak, as in the
+    /// paper's Setup-2).
+    pub fn reference(mut self, reference: Reference) -> Self {
+        self.reference = reference;
+        self
+    }
+
+    /// Relative headroom of the dynamic governor (default 0.25).
+    pub fn dynamic_headroom(mut self, headroom: f64) -> Self {
+        self.dynamic_headroom = headroom;
+        self
+    }
+
+    /// Demand assumed for a VM before its first observed period
+    /// (default 2.0 cores).
+    pub fn default_demand(mut self, demand: f64) -> Self {
+        self.default_demand = demand;
+        self
+    }
+
+    /// Validates and freezes the scenario.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidParameter`] for an empty fleet,
+    /// zero servers/cores, a period longer than the traces, mismatched
+    /// trace lengths, or out-of-range tuning values.
+    pub fn build(self) -> crate::Result<Scenario> {
+        if self.fleet.is_empty() {
+            return Err(SimError::InvalidParameter("fleet must not be empty"));
+        }
+        if self.server_count == 0 || self.cores_per_server == 0 {
+            return Err(SimError::InvalidParameter("need at least one server and one core"));
+        }
+        if self.period_samples == 0 {
+            return Err(SimError::InvalidParameter("period must be at least one sample"));
+        }
+        let len = self.fleet.vms()[0].fine.len();
+        if len < self.period_samples {
+            return Err(SimError::InvalidParameter("traces shorter than one period"));
+        }
+        for vm in self.fleet.vms() {
+            if vm.fine.len() != len {
+                return Err(SimError::InvalidParameter("all fine traces must have equal length"));
+            }
+        }
+        if !(self.dynamic_headroom.is_finite() && self.dynamic_headroom >= 0.0) {
+            return Err(SimError::InvalidParameter("dynamic headroom must be >= 0"));
+        }
+        if !(self.default_demand.is_finite() && self.default_demand > 0.0) {
+            return Err(SimError::InvalidParameter("default demand must be > 0"));
+        }
+        if let Policy::Pcp { envelope_percentile, affinity_threshold } = self.policy {
+            if !(0.0 < envelope_percentile && envelope_percentile < 100.0) {
+                return Err(SimError::InvalidParameter(
+                    "pcp envelope percentile must lie in (0, 100)",
+                ));
+            }
+            if !(0.0..=1.0).contains(&affinity_threshold) {
+                return Err(SimError::InvalidParameter(
+                    "pcp affinity threshold must lie in [0, 1]",
+                ));
+            }
+        }
+        if let Policy::SuperVm { min_pair_cost } = self.policy {
+            if !min_pair_cost.is_finite() {
+                return Err(SimError::InvalidParameter(
+                    "super-vm pair-cost threshold must be finite",
+                ));
+            }
+        }
+        if let DvfsMode::Dynamic { interval_samples } = self.dvfs_mode {
+            if interval_samples == 0 {
+                return Err(SimError::InvalidParameter("dynamic interval must be >= 1 sample"));
+            }
+        }
+        Ok(Scenario {
+            fleet: self.fleet,
+            server_count: self.server_count,
+            cores_per_server: self.cores_per_server,
+            power_model: self.power_model,
+            policy: self.policy,
+            dvfs_mode: self.dvfs_mode,
+            period_samples: self.period_samples,
+            reference: self.reference,
+            dynamic_headroom: self.dynamic_headroom,
+            default_demand: self.default_demand,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cavm_workload::datacenter::DatacenterTraceBuilder;
+
+    fn fleet() -> VmFleet {
+        DatacenterTraceBuilder::new(4)
+            .groups(2)
+            .seed(9)
+            .duration_hours(2.0)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn policy_names_and_awareness() {
+        assert_eq!(Policy::Bfd.name(), "BFD");
+        assert_eq!(Policy::Ffd.name(), "FFD");
+        assert_eq!(
+            Policy::Pcp { envelope_percentile: 90.0, affinity_threshold: 0.2 }.name(),
+            "PCP"
+        );
+        assert_eq!(Policy::Proposed(Default::default()).name(), "Proposed");
+        assert!(Policy::Proposed(Default::default()).correlation_aware_frequency());
+        assert!(!Policy::Bfd.correlation_aware_frequency());
+        assert!(!Policy::Pcp { envelope_percentile: 90.0, affinity_threshold: 0.2 }
+            .correlation_aware_frequency());
+    }
+
+    #[test]
+    fn builder_validates() {
+        assert!(ScenarioBuilder::new(fleet()).build().is_ok());
+        assert!(ScenarioBuilder::new(fleet()).servers(0).build().is_err());
+        assert!(ScenarioBuilder::new(fleet()).cores_per_server(0).build().is_err());
+        assert!(ScenarioBuilder::new(fleet()).period_samples(0).build().is_err());
+        // 2 h of 5 s samples = 1440 < one 2000-sample period.
+        assert!(ScenarioBuilder::new(fleet()).period_samples(2000).build().is_err());
+        assert!(ScenarioBuilder::new(fleet()).dynamic_headroom(-1.0).build().is_err());
+        assert!(ScenarioBuilder::new(fleet()).default_demand(0.0).build().is_err());
+        assert!(ScenarioBuilder::new(fleet())
+            .policy(Policy::Pcp { envelope_percentile: 0.0, affinity_threshold: 0.2 })
+            .build()
+            .is_err());
+        assert!(ScenarioBuilder::new(fleet())
+            .policy(Policy::Pcp { envelope_percentile: 90.0, affinity_threshold: 2.0 })
+            .build()
+            .is_err());
+        assert!(ScenarioBuilder::new(fleet())
+            .dvfs_mode(DvfsMode::Dynamic { interval_samples: 0 })
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn builder_passes_settings_through() {
+        let s = ScenarioBuilder::new(fleet())
+            .servers(5)
+            .cores_per_server(4)
+            .policy(Policy::Ffd)
+            .period_samples(360)
+            .build()
+            .unwrap();
+        assert_eq!(s.policy().name(), "FFD");
+        assert_eq!(s.period_samples(), 360);
+    }
+}

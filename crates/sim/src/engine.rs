@@ -1,0 +1,422 @@
+//! The time-stepped replay engine.
+//!
+//! One run proceeds period by period (Fig 2 is invoked "at every
+//! t_period"):
+//!
+//! 1. **UPDATE** — per-VM demands are *predicted* with the paper's
+//!    last-value predictor from the previous period's observed reference
+//!    utilization; the pairwise cost matrix carries the previous
+//!    period's samples (streaming, O(1) per sample per pair).
+//! 2. **ALLOCATE** — the configured policy places the VMs; the static
+//!    frequency of every active server is chosen by Eqn (4) for the
+//!    proposed policy and by the coincident-peaks worst case for the
+//!    correlation-blind baselines.
+//! 3. **Replay** — the period's 5-second samples are replayed: each
+//!    active server accumulates its members' demands, violations are
+//!    counted whenever the aggregate exceeds the frequency-scaled
+//!    capacity, power is integrated, and (in dynamic mode) the governor
+//!    re-plans from the recent measured peak every `interval_samples`.
+
+use crate::config::{Policy, Scenario};
+use crate::report::{PeriodRecord, SimReport};
+use crate::SimError;
+use cavm_core::alloc::{
+    AllocationPolicy, BfdPolicy, FfdPolicy, PcpPolicy, Placement, ProposedPolicy,
+    SuperVmPolicy, VmDescriptor,
+};
+use cavm_core::corr::CostMatrix;
+use cavm_core::dvfs::{DvfsMode, FrequencyPlanner};
+use cavm_core::predict::{LastValuePredictor, Predictor};
+use cavm_core::servercost::server_cost_of;
+use cavm_power::{EnergyMeter, PowerModel};
+use cavm_trace::TimeSeries;
+
+const VIOLATION_EPS: f64 = 1e-9;
+
+impl Scenario {
+    /// Runs the scenario to completion. Deterministic: identical
+    /// scenarios produce identical reports.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InsufficientServers`] when a period's
+    /// placement needs more servers than available, and propagates
+    /// trace/power/core errors.
+    pub fn run(&self) -> crate::Result<SimReport> {
+        let n = self.fleet.len();
+        let traces: Vec<&TimeSeries> = self.fleet.traces();
+        let dt = traces[0].dt();
+        let n_samples = traces[0].len();
+        let periods = n_samples / self.period_samples;
+        let capacity = self.cores_per_server as f64;
+        let ladder = self.power_model.ladder().clone();
+        let planner = FrequencyPlanner::new(ladder.clone());
+
+        let mut peak_pred = LastValuePredictor::new(n);
+        let mut offpeak_pred = LastValuePredictor::new(n);
+        let mut prev_matrix: Option<CostMatrix> = None;
+        let mut prev_assignment: Option<Vec<usize>> = None;
+
+        let mut energy = EnergyMeter::new();
+        let mut freq_histogram = vec![vec![0u64; ladder.len()]; self.server_count];
+        let mut period_records = Vec::with_capacity(periods);
+        let mut violation_instances = 0usize;
+        let mut sample_buf = vec![0.0f64; n];
+
+        for period in 0..periods {
+            let start = period * self.period_samples;
+            let end = start + self.period_samples;
+
+            // ---- UPDATE: predicted descriptors + correlation matrix.
+            let mut vms = Vec::with_capacity(n);
+            for i in 0..n {
+                let demand = peak_pred
+                    .predict(i)
+                    .map_err(SimError::Core)?
+                    .unwrap_or(self.default_demand)
+                    .max(0.0);
+                let off_peak = offpeak_pred
+                    .predict(i)
+                    .map_err(SimError::Core)?
+                    .unwrap_or(demand * 0.9)
+                    .clamp(0.0, demand);
+                vms.push(VmDescriptor::new(i, demand).with_off_peak(off_peak));
+            }
+            let matrix = match prev_matrix.take() {
+                Some(m) => m,
+                None => CostMatrix::new(n, self.reference).map_err(SimError::Core)?,
+            };
+
+            // ---- ALLOCATE.
+            let (placement, pcp_clusters) =
+                self.place_period(period, start, &vms, &matrix, capacity, &traces)?;
+            if placement.server_count() > self.server_count {
+                return Err(SimError::InsufficientServers {
+                    needed: placement.server_count(),
+                    available: self.server_count,
+                });
+            }
+
+            // Migrations relative to the previous period.
+            let mut assignment = vec![usize::MAX; n];
+            for (s, members) in placement.servers().iter().enumerate() {
+                for &v in members {
+                    assignment[v] = s;
+                }
+            }
+            let migrations = match &prev_assignment {
+                Some(prev) => {
+                    assignment.iter().zip(prev).filter(|(a, b)| a != b).count()
+                }
+                None => 0,
+            };
+
+            // Static frequency per active server.
+            let active = placement.server_count();
+            let mut freq_idx = Vec::with_capacity(active);
+            for members in placement.servers() {
+                let total: f64 = members.iter().map(|&v| vms[v].demand).sum();
+                let f = if self.policy.correlation_aware_frequency() {
+                    let cost = server_cost_of(members, &vms, &matrix).max(1.0);
+                    planner
+                        .static_level_correlation_aware(total, capacity, cost)
+                        .map_err(SimError::Core)?
+                } else {
+                    planner
+                        .static_level_worst_case(total, capacity)
+                        .map_err(SimError::Core)?
+                };
+                freq_idx.push(ladder.index_of(f).expect("planner returns ladder levels"));
+            }
+
+            // ---- Replay the period.
+            let mut matrix_next =
+                CostMatrix::new(n, self.reference).map_err(SimError::Core)?;
+            // Correlation-aware governors trust the measured *aggregate*
+            // peak; correlation-blind ones must assume per-VM peaks can
+            // coincide and track the sum of individual window peaks
+            // (Σ max ≥ max Σ, so blind governors never run slower).
+            let mut window_max_agg = vec![0.0f64; active];
+            let mut window_max_vm = vec![0.0f64; n];
+            let mut server_violations = vec![0usize; active];
+            for k in start..end {
+                for (i, trace) in traces.iter().enumerate() {
+                    sample_buf[i] = trace.values()[k];
+                }
+                matrix_next.push_sample(&sample_buf).map_err(SimError::Core)?;
+                let k_in_period = k - start;
+
+                for (s, members) in placement.servers().iter().enumerate() {
+                    let agg: f64 = members.iter().map(|&v| sample_buf[v]).sum();
+
+                    if let DvfsMode::Dynamic { interval_samples } = self.dvfs_mode {
+                        if k_in_period > 0 && k_in_period.is_multiple_of(interval_samples) {
+                            let recent = if self.policy.correlation_aware_frequency() {
+                                window_max_agg[s]
+                            } else {
+                                members.iter().map(|&v| window_max_vm[v]).sum()
+                            };
+                            let f = planner
+                                .dynamic_level(recent, capacity, self.dynamic_headroom)
+                                .map_err(SimError::Core)?;
+                            freq_idx[s] =
+                                ladder.index_of(f).expect("planner returns ladder levels");
+                            window_max_agg[s] = 0.0;
+                            for &v in members {
+                                window_max_vm[v] = 0.0;
+                            }
+                        }
+                        window_max_agg[s] = window_max_agg[s].max(agg);
+                        for &v in members {
+                            window_max_vm[v] = window_max_vm[v].max(sample_buf[v]);
+                        }
+                    }
+
+                    let f = ladder.get(freq_idx[s]).expect("index within ladder");
+                    let eff_capacity = capacity * f.ratio_to(ladder.max());
+                    if agg > eff_capacity + VIOLATION_EPS {
+                        server_violations[s] += 1;
+                        violation_instances += 1;
+                    }
+                    let u = (agg / eff_capacity).clamp(0.0, 1.0);
+                    let watts = self.power_model.power(u, f).map_err(SimError::Power)?;
+                    energy.add(watts, dt);
+                    freq_histogram[s][freq_idx[s]] += 1;
+                }
+            }
+
+            // ---- Observe this period for the next UPDATE.
+            for (i, trace) in traces.iter().enumerate() {
+                let slice = &trace.values()[start..end];
+                let peak = self.reference.of(slice).map_err(SimError::Trace)?;
+                peak_pred.observe(i, peak).map_err(SimError::Core)?;
+                let off = cavm_trace::percentile(slice, 90.0).map_err(SimError::Trace)?;
+                offpeak_pred.observe(i, off).map_err(SimError::Core)?;
+            }
+            prev_matrix = Some(matrix_next);
+            prev_assignment = Some(assignment);
+
+            let max_ratio = server_violations
+                .iter()
+                .map(|&v| v as f64 / self.period_samples as f64)
+                .fold(0.0, f64::max);
+            period_records.push(PeriodRecord {
+                period,
+                servers_used: active,
+                max_violation_ratio: max_ratio,
+                migrations,
+                pcp_clusters,
+            });
+        }
+
+        let max_violation = period_records
+            .iter()
+            .map(|p| p.max_violation_ratio)
+            .fold(0.0, f64::max);
+        let mean_violation = if period_records.is_empty() {
+            0.0
+        } else {
+            period_records.iter().map(|p| p.max_violation_ratio).sum::<f64>()
+                / period_records.len() as f64
+        };
+        Ok(SimReport {
+            policy: self.policy.name().to_string(),
+            dynamic_dvfs: matches!(self.dvfs_mode, DvfsMode::Dynamic { .. }),
+            energy,
+            max_violation_percent: max_violation * 100.0,
+            mean_violation_percent: mean_violation * 100.0,
+            violation_instances,
+            periods: period_records,
+            freq_histogram,
+            freq_levels_ghz: ladder.levels().iter().map(|f| f.as_ghz()).collect(),
+        })
+    }
+
+    /// One period's placement (plus the PCP cluster count when
+    /// applicable).
+    fn place_period(
+        &self,
+        period: usize,
+        start: usize,
+        vms: &[VmDescriptor],
+        matrix: &CostMatrix,
+        capacity: f64,
+        traces: &[&TimeSeries],
+    ) -> crate::Result<(Placement, Option<usize>)> {
+        match self.policy {
+            Policy::Bfd => Ok((
+                BfdPolicy.place(vms, matrix, capacity).map_err(SimError::Core)?,
+                None,
+            )),
+            Policy::Ffd => Ok((
+                FfdPolicy.place(vms, matrix, capacity).map_err(SimError::Core)?,
+                None,
+            )),
+            Policy::Proposed(config) => {
+                let policy = ProposedPolicy::new(config).map_err(SimError::Core)?;
+                Ok((policy.place(vms, matrix, capacity).map_err(SimError::Core)?, None))
+            }
+            Policy::SuperVm { min_pair_cost } => {
+                let policy = SuperVmPolicy::new(min_pair_cost).map_err(SimError::Core)?;
+                Ok((policy.place(vms, matrix, capacity).map_err(SimError::Core)?, None))
+            }
+            Policy::Pcp { envelope_percentile, affinity_threshold } => {
+                if period == 0 {
+                    // No history yet: a single degenerate cluster, i.e.
+                    // BFD behaviour.
+                    return Ok((
+                        BfdPolicy.place(vms, matrix, capacity).map_err(SimError::Core)?,
+                        Some(1),
+                    ));
+                }
+                let prev_start = start - self.period_samples;
+                let slices: Vec<TimeSeries> = traces
+                    .iter()
+                    .map(|t| t.slice(prev_start, start))
+                    .collect::<std::result::Result<_, _>>()
+                    .map_err(SimError::Trace)?;
+                let refs: Vec<&TimeSeries> = slices.iter().collect();
+                let pcp = PcpPolicy::from_traces(&refs, envelope_percentile, affinity_threshold)
+                    .map_err(SimError::Core)?;
+                let clusters = pcp.cluster_count();
+                Ok((
+                    pcp.place(vms, matrix, capacity).map_err(SimError::Core)?,
+                    Some(clusters),
+                ))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ScenarioBuilder;
+    use cavm_workload::datacenter::DatacenterTraceBuilder;
+
+    fn fleet(vms: usize, hours: f64, seed: u64) -> cavm_workload::datacenter::VmFleet {
+        DatacenterTraceBuilder::new(vms)
+            .groups((vms / 3).max(1))
+            .seed(seed)
+            .duration_hours(hours)
+            .build()
+            .unwrap()
+    }
+
+    fn run(policy: Policy, mode: DvfsMode) -> SimReport {
+        ScenarioBuilder::new(fleet(9, 4.0, 5))
+            .servers(12)
+            .policy(policy)
+            .dvfs_mode(mode)
+            .build()
+            .unwrap()
+            .run()
+            .unwrap()
+    }
+
+    #[test]
+    fn run_is_deterministic() {
+        let a = run(Policy::Bfd, DvfsMode::Static);
+        let b = run(Policy::Bfd, DvfsMode::Static);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn all_policies_complete() {
+        for policy in [
+            Policy::Bfd,
+            Policy::Ffd,
+            Policy::Pcp { envelope_percentile: 90.0, affinity_threshold: 0.2 },
+            Policy::Proposed(Default::default()),
+        ] {
+            let r = run(policy, DvfsMode::Static);
+            assert_eq!(r.policy, policy.name());
+            assert!(r.energy.joules() > 0.0, "{}", r.policy);
+            assert_eq!(r.periods.len(), 4, "{}", r.policy);
+            assert!((0.0..=100.0).contains(&r.max_violation_percent));
+            assert!(r.mean_violation_percent <= r.max_violation_percent + 1e-9);
+        }
+    }
+
+    #[test]
+    fn dynamic_mode_runs_and_flags_report() {
+        let r = run(Policy::Bfd, DvfsMode::Dynamic { interval_samples: 12 });
+        assert!(r.dynamic_dvfs);
+        let s = run(Policy::Bfd, DvfsMode::Static);
+        assert!(!s.dynamic_dvfs);
+    }
+
+    #[test]
+    fn proposed_uses_no_more_energy_than_bfd_static() {
+        // The headline Table II(a) direction.
+        let bfd = run(Policy::Bfd, DvfsMode::Static);
+        let prop = run(Policy::Proposed(Default::default()), DvfsMode::Static);
+        let ratio = prop.energy.normalized_to(&bfd.energy).unwrap();
+        assert!(ratio <= 1.02, "proposed/bfd energy ratio {ratio}");
+    }
+
+    #[test]
+    fn frequency_histogram_accounts_every_active_sample() {
+        let r = run(Policy::Bfd, DvfsMode::Static);
+        let total: u64 = r.freq_histogram.iter().flatten().sum();
+        let expected: u64 = r
+            .periods
+            .iter()
+            .map(|p| (p.servers_used * 720) as u64)
+            .sum();
+        assert_eq!(total, expected);
+        assert_eq!(r.freq_levels_ghz, vec![2.0, 2.3]);
+    }
+
+    #[test]
+    fn pcp_reports_cluster_counts() {
+        let r = run(
+            Policy::Pcp { envelope_percentile: 90.0, affinity_threshold: 0.15 },
+            DvfsMode::Static,
+        );
+        for p in &r.periods {
+            assert!(p.pcp_clusters.is_some());
+        }
+        assert!(r.pcp_single_cluster_periods().is_some());
+    }
+
+    #[test]
+    fn insufficient_servers_is_detected() {
+        let err = ScenarioBuilder::new(fleet(12, 2.0, 3))
+            .servers(1)
+            .cores_per_server(2)
+            .default_demand(2.0)
+            .build()
+            .unwrap()
+            .run()
+            .unwrap_err();
+        assert!(matches!(err, SimError::InsufficientServers { .. }));
+    }
+
+    #[test]
+    fn migrations_are_counted_between_periods() {
+        let r = run(Policy::Proposed(Default::default()), DvfsMode::Static);
+        assert_eq!(r.periods[0].migrations, 0, "first period has no predecessor");
+        // Subsequent periods may migrate; totals must be consistent.
+        assert_eq!(
+            r.total_migrations(),
+            r.periods.iter().map(|p| p.migrations).sum::<usize>()
+        );
+    }
+
+    #[test]
+    fn first_period_uses_default_demand() {
+        // With an absurd default demand every VM gets its own server in
+        // period 0.
+        let r = ScenarioBuilder::new(fleet(4, 2.0, 7))
+            .servers(8)
+            .default_demand(7.9)
+            .build()
+            .unwrap()
+            .run()
+            .unwrap();
+        assert_eq!(r.periods[0].servers_used, 4);
+        // Later periods use observed (much smaller) demands.
+        assert!(r.periods[1].servers_used < 4);
+    }
+}

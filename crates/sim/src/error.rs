@@ -1,0 +1,83 @@
+use cavm_core::CoreError;
+use cavm_power::PowerError;
+use cavm_trace::TraceError;
+use std::fmt;
+
+/// Errors produced by the datacenter simulator.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// An underlying time-series operation failed.
+    Trace(TraceError),
+    /// An underlying power-model operation failed.
+    Power(PowerError),
+    /// An underlying correlation/allocation operation failed.
+    Core(CoreError),
+    /// A scenario parameter was out of range.
+    InvalidParameter(&'static str),
+    /// A placement needed more servers than the scenario provides.
+    InsufficientServers {
+        /// Servers the placement wanted.
+        needed: usize,
+        /// Servers the scenario has.
+        available: usize,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Trace(e) => write!(f, "trace error: {e}"),
+            SimError::Power(e) => write!(f, "power error: {e}"),
+            SimError::Core(e) => write!(f, "core error: {e}"),
+            SimError::InvalidParameter(what) => write!(f, "invalid parameter: {what}"),
+            SimError::InsufficientServers { needed, available } => {
+                write!(f, "placement needs {needed} servers but only {available} exist")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SimError::Trace(e) => Some(e),
+            SimError::Power(e) => Some(e),
+            SimError::Core(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TraceError> for SimError {
+    fn from(e: TraceError) -> Self {
+        SimError::Trace(e)
+    }
+}
+
+impl From<PowerError> for SimError {
+    fn from(e: PowerError) -> Self {
+        SimError::Power(e)
+    }
+}
+
+impl From<CoreError> for SimError {
+    fn from(e: CoreError) -> Self {
+        SimError::Core(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        assert!(SimError::from(TraceError::EmptyInput).to_string().contains("trace"));
+        assert!(SimError::from(PowerError::EmptyLadder).to_string().contains("power"));
+        assert!(SimError::from(CoreError::InvalidParameter("x")).to_string().contains("core"));
+        let e = SimError::InsufficientServers { needed: 30, available: 20 };
+        assert!(e.to_string().contains("30"));
+        assert!(std::error::Error::source(&e).is_none());
+        assert!(std::error::Error::source(&SimError::from(TraceError::EmptyInput)).is_some());
+    }
+}

@@ -1,0 +1,143 @@
+//! Simulation reports: the quantities Table II and Fig 6 print.
+
+use cavm_power::EnergyMeter;
+use serde::{Deserialize, Serialize};
+
+/// Per-period bookkeeping.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PeriodRecord {
+    /// Period index.
+    pub period: usize,
+    /// Active (non-empty) servers this period.
+    pub servers_used: usize,
+    /// Worst per-server violation ratio this period (over-utilized
+    /// samples / period samples).
+    pub max_violation_ratio: f64,
+    /// VMs whose server changed relative to the previous period.
+    pub migrations: usize,
+    /// Number of PCP clusters this period (`None` for non-PCP
+    /// policies). The paper reports 22 of 24 periods collapsing to one
+    /// cluster.
+    pub pcp_clusters: Option<usize>,
+}
+
+/// Aggregated outcome of a scenario run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimReport {
+    /// Policy display name.
+    pub policy: String,
+    /// Whether dynamic DVFS was active.
+    pub dynamic_dvfs: bool,
+    /// Total energy over the run (normalize against a baseline's meter
+    /// for Table II's "normalized power").
+    pub energy: EnergyMeter,
+    /// The paper's QoS metric: max over periods (and servers) of the
+    /// per-period over-utilization ratio, in percent.
+    pub max_violation_percent: f64,
+    /// Mean over periods of the per-period worst violation ratio, in
+    /// percent.
+    pub mean_violation_percent: f64,
+    /// Total over-utilized (server, sample) instances.
+    pub violation_instances: usize,
+    /// Per-period records.
+    pub periods: Vec<PeriodRecord>,
+    /// Frequency usage histogram: `freq_histogram[server][level]` =
+    /// samples spent at that ladder level (Fig 6). Servers that were
+    /// never active have all-zero rows.
+    pub freq_histogram: Vec<Vec<u64>>,
+    /// GHz value of each ladder level (column labels of
+    /// `freq_histogram`).
+    pub freq_levels_ghz: Vec<f64>,
+}
+
+impl SimReport {
+    /// Fraction of samples a server spent at each level, or `None` for
+    /// a never-active server.
+    pub fn freq_distribution(&self, server: usize) -> Option<Vec<f64>> {
+        let row = self.freq_histogram.get(server)?;
+        let total: u64 = row.iter().sum();
+        if total == 0 {
+            return None;
+        }
+        Some(row.iter().map(|&c| c as f64 / total as f64).collect())
+    }
+
+    /// Maximum number of servers used in any period.
+    pub fn peak_servers_used(&self) -> usize {
+        self.periods.iter().map(|p| p.servers_used).max().unwrap_or(0)
+    }
+
+    /// Total migrations across all period boundaries.
+    pub fn total_migrations(&self) -> usize {
+        self.periods.iter().map(|p| p.migrations).sum()
+    }
+
+    /// Number of periods in which PCP found a single cluster (the
+    /// degeneration the paper reports); `None` for non-PCP runs.
+    pub fn pcp_single_cluster_periods(&self) -> Option<usize> {
+        let counts: Vec<usize> =
+            self.periods.iter().filter_map(|p| p.pcp_clusters).collect();
+        if counts.is_empty() {
+            None
+        } else {
+            Some(counts.iter().filter(|&&c| c == 1).count())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> SimReport {
+        SimReport {
+            policy: "BFD".into(),
+            dynamic_dvfs: false,
+            energy: EnergyMeter::new(),
+            max_violation_percent: 10.0,
+            mean_violation_percent: 2.0,
+            violation_instances: 5,
+            periods: vec![
+                PeriodRecord {
+                    period: 0,
+                    servers_used: 3,
+                    max_violation_ratio: 0.1,
+                    migrations: 0,
+                    pcp_clusters: Some(1),
+                },
+                PeriodRecord {
+                    period: 1,
+                    servers_used: 5,
+                    max_violation_ratio: 0.0,
+                    migrations: 2,
+                    pcp_clusters: Some(3),
+                },
+            ],
+            freq_histogram: vec![vec![10, 30], vec![0, 0]],
+            freq_levels_ghz: vec![2.0, 2.3],
+        }
+    }
+
+    #[test]
+    fn freq_distribution_normalizes() {
+        let r = report();
+        let d = r.freq_distribution(0).unwrap();
+        assert!((d[0] - 0.25).abs() < 1e-12);
+        assert!((d[1] - 0.75).abs() < 1e-12);
+        assert_eq!(r.freq_distribution(1), None, "inactive server");
+        assert_eq!(r.freq_distribution(9), None, "unknown server");
+    }
+
+    #[test]
+    fn aggregates() {
+        let r = report();
+        assert_eq!(r.peak_servers_used(), 5);
+        assert_eq!(r.total_migrations(), 2);
+        assert_eq!(r.pcp_single_cluster_periods(), Some(1));
+        let mut no_pcp = r;
+        for p in &mut no_pcp.periods {
+            p.pcp_clusters = None;
+        }
+        assert_eq!(no_pcp.pcp_single_cluster_periods(), None);
+    }
+}

@@ -1,0 +1,93 @@
+use std::fmt;
+
+/// Errors produced by the time-series substrate.
+///
+/// All fallible operations in this crate return [`TraceError`]; it is
+/// `Send + Sync + 'static` so it composes with any error-handling stack.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceError {
+    /// A sampling interval was zero, negative, NaN or infinite.
+    InvalidInterval(f64),
+    /// An operation required a non-empty series or slice.
+    EmptyInput,
+    /// Two series that must be sampled alike had different lengths.
+    LengthMismatch {
+        /// Length of the first operand.
+        left: usize,
+        /// Length of the second operand.
+        right: usize,
+    },
+    /// Two series that must be sampled alike had different intervals.
+    IntervalMismatch {
+        /// Interval of the first operand, in seconds.
+        left: f64,
+        /// Interval of the second operand, in seconds.
+        right: f64,
+    },
+    /// A percentile outside the closed range `[0, 100]` was requested.
+    InvalidPercentile(f64),
+    /// A sample value was NaN or infinite where a finite value is required.
+    NonFiniteSample {
+        /// Index of the offending sample.
+        index: usize,
+        /// The offending value.
+        value: f64,
+    },
+    /// A generic invalid parameter with a short description.
+    InvalidParameter(&'static str),
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::InvalidInterval(dt) => {
+                write!(f, "invalid sampling interval {dt}, must be finite and > 0")
+            }
+            TraceError::EmptyInput => write!(f, "operation requires non-empty input"),
+            TraceError::LengthMismatch { left, right } => {
+                write!(f, "series length mismatch: {left} vs {right}")
+            }
+            TraceError::IntervalMismatch { left, right } => {
+                write!(f, "sampling interval mismatch: {left} vs {right}")
+            }
+            TraceError::InvalidPercentile(p) => {
+                write!(f, "percentile {p} outside [0, 100]")
+            }
+            TraceError::NonFiniteSample { index, value } => {
+                write!(f, "non-finite sample {value} at index {index}")
+            }
+            TraceError::InvalidParameter(what) => write!(f, "invalid parameter: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let variants = [
+            TraceError::InvalidInterval(-1.0),
+            TraceError::EmptyInput,
+            TraceError::LengthMismatch { left: 1, right: 2 },
+            TraceError::IntervalMismatch { left: 1.0, right: 2.0 },
+            TraceError::InvalidPercentile(101.0),
+            TraceError::NonFiniteSample { index: 3, value: f64::NAN },
+            TraceError::InvalidParameter("cv must be positive"),
+        ];
+        for v in variants {
+            let msg = v.to_string();
+            assert!(!msg.is_empty());
+            assert!(msg.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync + 'static>() {}
+        assert_send_sync::<TraceError>();
+    }
+}

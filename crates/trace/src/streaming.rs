@@ -1,0 +1,508 @@
+//! Constant-memory streaming statistics.
+//!
+//! The paper's key argument for its cost function (§IV-A) is that it "can
+//! update the values at each sampling period", saving the memory to store
+//! all samples and spreading the computation evenly over time. The
+//! streaming estimators here make that operational:
+//!
+//! * [`StreamingPeak`] — running maximum (û under [`Reference::Peak`]).
+//! * [`P2Quantile`] — the P² algorithm of Jain & Chlamtac: a five-marker
+//!   streaming quantile estimator (û under [`Reference::Percentile`]).
+//! * [`Ewma`] — exponentially weighted moving average, used by the EWMA
+//!   workload predictor.
+//! * [`WindowedMax`] — sliding-window maximum with amortized O(1) updates
+//!   (monotonic deque), used by the dynamic DVFS governor.
+//!
+//! [`Reference::Peak`]: crate::Reference::Peak
+//! [`Reference::Percentile`]: crate::Reference::Percentile
+
+use crate::TraceError;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Running maximum of a sample stream.
+///
+/// # Example
+///
+/// ```
+/// use cavm_trace::StreamingPeak;
+///
+/// let mut peak = StreamingPeak::new();
+/// for x in [0.3, 1.8, 0.9] {
+///     peak.push(x);
+/// }
+/// assert_eq!(peak.peak(), 1.8);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct StreamingPeak {
+    peak: f64,
+    count: u64,
+}
+
+impl StreamingPeak {
+    /// Creates an empty tracker.
+    pub fn new() -> Self {
+        Self { peak: f64::NEG_INFINITY, count: 0 }
+    }
+
+    /// Feeds one sample.
+    pub fn push(&mut self, x: f64) {
+        self.peak = self.peak.max(x);
+        self.count += 1;
+    }
+
+    /// Current maximum; 0.0 before any sample (idle signal convention).
+    pub fn peak(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.peak
+        }
+    }
+
+    /// Number of samples seen.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Forgets everything.
+    pub fn reset(&mut self) {
+        *self = Self::new();
+    }
+}
+
+/// P² (P-square) streaming quantile estimator (Jain & Chlamtac, 1985).
+///
+/// Tracks a single quantile with five markers and O(1) work per sample —
+/// the standard answer to "percentile without storing the samples",
+/// which is exactly the constraint the paper motivates its cost function
+/// with.
+///
+/// Accuracy is typically within a fraction of a percent of the exact
+/// percentile for smooth distributions; the property tests in this module
+/// pin the error envelope.
+///
+/// # Example
+///
+/// ```
+/// use cavm_trace::P2Quantile;
+///
+/// # fn main() -> Result<(), cavm_trace::TraceError> {
+/// let mut q = P2Quantile::new(0.90)?;
+/// for i in 0..10_000 {
+///     q.push((i % 100) as f64);
+/// }
+/// let est = q.estimate().unwrap();
+/// assert!((est - 89.0).abs() < 2.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct P2Quantile {
+    p: f64,
+    /// Marker heights q_1..q_5.
+    q: [f64; 5],
+    /// Marker positions n_1..n_5 (1-based as in the original paper).
+    n: [f64; 5],
+    /// Desired marker positions.
+    np: [f64; 5],
+    /// Desired position increments.
+    dn: [f64; 5],
+    /// Number of samples seen.
+    count: u64,
+    /// First five samples, buffered until initialization.
+    init: Vec<f64>,
+}
+
+impl P2Quantile {
+    /// Creates an estimator for quantile `p ∈ (0, 1)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::InvalidParameter`] unless `0 < p < 1`.
+    pub fn new(p: f64) -> crate::Result<Self> {
+        if !(p > 0.0 && p < 1.0) {
+            return Err(TraceError::InvalidParameter("P2 quantile must lie in (0, 1)"));
+        }
+        Ok(Self {
+            p,
+            q: [0.0; 5],
+            n: [1.0, 2.0, 3.0, 4.0, 5.0],
+            np: [1.0, 1.0 + 2.0 * p, 1.0 + 4.0 * p, 3.0 + 2.0 * p, 5.0],
+            dn: [0.0, p / 2.0, p, (1.0 + p) / 2.0, 1.0],
+            count: 0,
+            init: Vec::with_capacity(5),
+        })
+    }
+
+    /// The tracked quantile, in `(0, 1)`.
+    pub fn quantile(&self) -> f64 {
+        self.p
+    }
+
+    /// Number of samples seen.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Feeds one sample.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        if self.init.len() < 5 {
+            self.init.push(x);
+            if self.init.len() == 5 {
+                self.init.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+                for (qi, &v) in self.q.iter_mut().zip(self.init.iter()) {
+                    *qi = v;
+                }
+            }
+            return;
+        }
+
+        // 1. Find the cell k containing x and update extreme markers.
+        let k = if x < self.q[0] {
+            self.q[0] = x;
+            0
+        } else if x < self.q[1] {
+            0
+        } else if x < self.q[2] {
+            1
+        } else if x < self.q[3] {
+            2
+        } else if x <= self.q[4] {
+            3
+        } else {
+            self.q[4] = x;
+            3
+        };
+
+        // 2. Increment positions of markers above the cell.
+        for i in (k + 1)..5 {
+            self.n[i] += 1.0;
+        }
+        for i in 0..5 {
+            self.np[i] += self.dn[i];
+        }
+
+        // 3. Adjust interior markers if they drifted off their desired
+        //    positions by one or more.
+        for i in 1..4 {
+            let d = self.np[i] - self.n[i];
+            if (d >= 1.0 && self.n[i + 1] - self.n[i] > 1.0)
+                || (d <= -1.0 && self.n[i - 1] - self.n[i] < -1.0)
+            {
+                let d = d.signum();
+                let candidate = self.parabolic(i, d);
+                self.q[i] = if self.q[i - 1] < candidate && candidate < self.q[i + 1] {
+                    candidate
+                } else {
+                    self.linear(i, d)
+                };
+                self.n[i] += d;
+            }
+        }
+    }
+
+    fn parabolic(&self, i: usize, d: f64) -> f64 {
+        let (q, n) = (&self.q, &self.n);
+        q[i] + d / (n[i + 1] - n[i - 1])
+            * ((n[i] - n[i - 1] + d) * (q[i + 1] - q[i]) / (n[i + 1] - n[i])
+                + (n[i + 1] - n[i] - d) * (q[i] - q[i - 1]) / (n[i] - n[i - 1]))
+    }
+
+    fn linear(&self, i: usize, d: f64) -> f64 {
+        let j = if d > 0.0 { i + 1 } else { i - 1 };
+        self.q[i] + d * (self.q[j] - self.q[i]) / (self.n[j] - self.n[i])
+    }
+
+    /// Current estimate, or `None` before any sample arrived.
+    ///
+    /// With fewer than five samples the exact sample quantile of the
+    /// buffered values is returned.
+    pub fn estimate(&self) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        if self.init.len() < 5 {
+            let mut sorted = self.init.clone();
+            sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+            return Some(crate::stats::percentile_of_sorted(&sorted, self.p * 100.0));
+        }
+        Some(self.q[2])
+    }
+}
+
+/// Exponentially weighted moving average.
+///
+/// `y_k = α·x_k + (1-α)·y_{k-1}`, seeded with the first sample.
+///
+/// # Example
+///
+/// ```
+/// use cavm_trace::Ewma;
+///
+/// # fn main() -> Result<(), cavm_trace::TraceError> {
+/// let mut e = Ewma::new(0.5)?;
+/// e.push(0.0);
+/// e.push(10.0);
+/// assert_eq!(e.value().unwrap(), 5.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Ewma {
+    alpha: f64,
+    value: Option<f64>,
+}
+
+impl Ewma {
+    /// Creates an EWMA with smoothing factor `alpha ∈ (0, 1]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::InvalidParameter`] unless `0 < alpha <= 1`.
+    pub fn new(alpha: f64) -> crate::Result<Self> {
+        if !(alpha > 0.0 && alpha <= 1.0) {
+            return Err(TraceError::InvalidParameter("EWMA alpha must lie in (0, 1]"));
+        }
+        Ok(Self { alpha, value: None })
+    }
+
+    /// Smoothing factor.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Feeds one sample and returns the updated average.
+    pub fn push(&mut self, x: f64) -> f64 {
+        let next = match self.value {
+            None => x,
+            Some(prev) => self.alpha * x + (1.0 - self.alpha) * prev,
+        };
+        self.value = Some(next);
+        next
+    }
+
+    /// Current average, or `None` before any sample.
+    pub fn value(&self) -> Option<f64> {
+        self.value
+    }
+
+    /// Forgets the state (keeps `alpha`).
+    pub fn reset(&mut self) {
+        self.value = None;
+    }
+}
+
+/// Sliding-window maximum with amortized O(1) push (monotonic deque).
+///
+/// Used by the dynamic DVFS governor, which re-evaluates the frequency
+/// from the peak utilization of the last `k` samples.
+///
+/// # Example
+///
+/// ```
+/// use cavm_trace::WindowedMax;
+///
+/// # fn main() -> Result<(), cavm_trace::TraceError> {
+/// let mut w = WindowedMax::new(3)?;
+/// for (x, expect) in [(1.0, 1.0), (5.0, 5.0), (2.0, 5.0), (0.5, 5.0), (0.2, 2.0)] {
+///     w.push(x);
+///     assert_eq!(w.max().unwrap(), expect);
+/// }
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WindowedMax {
+    window: usize,
+    /// (sequence index, value), values strictly decreasing front→back.
+    deque: VecDeque<(u64, f64)>,
+    next_index: u64,
+}
+
+impl WindowedMax {
+    /// Creates a tracker over the last `window` samples.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::InvalidParameter`] when `window == 0`.
+    pub fn new(window: usize) -> crate::Result<Self> {
+        if window == 0 {
+            return Err(TraceError::InvalidParameter("window must be >= 1"));
+        }
+        Ok(Self { window, deque: VecDeque::new(), next_index: 0 })
+    }
+
+    /// Window length in samples.
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// Feeds one sample.
+    pub fn push(&mut self, x: f64) {
+        let idx = self.next_index;
+        self.next_index += 1;
+        while matches!(self.deque.back(), Some(&(_, v)) if v <= x) {
+            self.deque.pop_back();
+        }
+        self.deque.push_back((idx, x));
+        // Expire entries that slid out of the window.
+        let min_live = idx + 1 - (self.window as u64).min(idx + 1);
+        while matches!(self.deque.front(), Some(&(i, _)) if i < min_live) {
+            self.deque.pop_front();
+        }
+    }
+
+    /// Maximum over the last `window` samples, or `None` before any
+    /// sample.
+    pub fn max(&self) -> Option<f64> {
+        self.deque.front().map(|&(_, v)| v)
+    }
+
+    /// Forgets all samples (keeps the window length).
+    pub fn reset(&mut self) {
+        self.deque.clear();
+        self.next_index = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::SimRng;
+
+    #[test]
+    fn streaming_peak_tracks_max() {
+        let mut p = StreamingPeak::new();
+        assert_eq!(p.peak(), 0.0);
+        p.push(-5.0);
+        assert_eq!(p.peak(), -5.0);
+        p.push(3.0);
+        p.push(1.0);
+        assert_eq!(p.peak(), 3.0);
+        assert_eq!(p.count(), 3);
+        p.reset();
+        assert_eq!(p.peak(), 0.0);
+        assert_eq!(p.count(), 0);
+    }
+
+    #[test]
+    fn p2_rejects_degenerate_quantiles() {
+        assert!(P2Quantile::new(0.0).is_err());
+        assert!(P2Quantile::new(1.0).is_err());
+        assert!(P2Quantile::new(-0.3).is_err());
+        assert!(P2Quantile::new(0.5).is_ok());
+    }
+
+    #[test]
+    fn p2_exact_below_five_samples() {
+        let mut q = P2Quantile::new(0.5).unwrap();
+        assert_eq!(q.estimate(), None);
+        q.push(3.0);
+        assert_eq!(q.estimate(), Some(3.0));
+        q.push(1.0);
+        // Median of {1, 3} with linear interpolation.
+        assert_eq!(q.estimate(), Some(2.0));
+    }
+
+    #[test]
+    fn p2_close_to_exact_on_uniform() {
+        let mut rng = SimRng::new(7);
+        let mut q = P2Quantile::new(0.9).unwrap();
+        let mut all = Vec::new();
+        for _ in 0..50_000 {
+            let x = rng.f64();
+            q.push(x);
+            all.push(x);
+        }
+        let exact = crate::percentile(&all, 90.0).unwrap();
+        let est = q.estimate().unwrap();
+        assert!(
+            (est - exact).abs() < 0.01,
+            "P² estimate {est} too far from exact {exact}"
+        );
+    }
+
+    #[test]
+    fn p2_close_to_exact_on_lognormal() {
+        let mut rng = SimRng::new(99);
+        let mut q = P2Quantile::new(0.95).unwrap();
+        let mut all = Vec::new();
+        for _ in 0..50_000 {
+            let x = rng.lognormal_mean_cv(2.0, 0.5);
+            q.push(x);
+            all.push(x);
+        }
+        let exact = crate::percentile(&all, 95.0).unwrap();
+        let est = q.estimate().unwrap();
+        assert!(
+            (est - exact).abs() / exact < 0.05,
+            "P² estimate {est} too far from exact {exact}"
+        );
+    }
+
+    #[test]
+    fn p2_monotone_input() {
+        let mut q = P2Quantile::new(0.9).unwrap();
+        for i in 0..1000 {
+            q.push(i as f64);
+        }
+        let est = q.estimate().unwrap();
+        assert!((est - 900.0).abs() < 30.0, "estimate {est}");
+        assert_eq!(q.count(), 1000);
+        assert_eq!(q.quantile(), 0.9);
+    }
+
+    #[test]
+    fn ewma_basics() {
+        assert!(Ewma::new(0.0).is_err());
+        assert!(Ewma::new(1.5).is_err());
+        let mut e = Ewma::new(1.0).unwrap();
+        assert_eq!(e.value(), None);
+        e.push(3.0);
+        e.push(9.0);
+        // alpha = 1 tracks the last sample exactly.
+        assert_eq!(e.value(), Some(9.0));
+        e.reset();
+        assert_eq!(e.value(), None);
+        assert_eq!(e.alpha(), 1.0);
+    }
+
+    #[test]
+    fn ewma_converges_to_constant() {
+        let mut e = Ewma::new(0.2).unwrap();
+        for _ in 0..200 {
+            e.push(4.0);
+        }
+        assert!((e.value().unwrap() - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn windowed_max_matches_naive() {
+        let mut rng = SimRng::new(3);
+        let xs: Vec<f64> = (0..500).map(|_| rng.f64()).collect();
+        for window in [1, 3, 7, 64] {
+            let mut w = WindowedMax::new(window).unwrap();
+            for (i, &x) in xs.iter().enumerate() {
+                w.push(x);
+                let lo = i + 1 - window.min(i + 1);
+                let naive =
+                    xs[lo..=i].iter().copied().fold(f64::NEG_INFINITY, f64::max);
+                assert_eq!(w.max().unwrap(), naive, "window={window} i={i}");
+            }
+        }
+        assert!(WindowedMax::new(0).is_err());
+    }
+
+    #[test]
+    fn windowed_max_reset() {
+        let mut w = WindowedMax::new(2).unwrap();
+        w.push(9.0);
+        w.reset();
+        assert_eq!(w.max(), None);
+        w.push(1.0);
+        assert_eq!(w.max(), Some(1.0));
+        assert_eq!(w.window(), 2);
+    }
+}

@@ -1,0 +1,159 @@
+//! Property-based tests for the time-series substrate.
+
+use cavm_trace::{percentile, Envelope, P2Quantile, Reference, SimRng, TimeSeries, Welford, WindowedMax};
+use proptest::prelude::*;
+
+fn finite_vec(max_len: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-1e6f64..1e6f64, 1..max_len)
+}
+
+proptest! {
+    /// Percentiles are monotone in p and bracketed by min/max.
+    #[test]
+    fn percentile_monotone(values in finite_vec(200), p1 in 0.0f64..100.0, p2 in 0.0f64..100.0) {
+        let (lo, hi) = if p1 <= p2 { (p1, p2) } else { (p2, p1) };
+        let a = percentile(&values, lo).unwrap();
+        let b = percentile(&values, hi).unwrap();
+        prop_assert!(a <= b + 1e-9);
+        let min = values.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(a >= min - 1e-9 && b <= max + 1e-9);
+    }
+
+    /// peak(a+b) is subadditive and at least the larger single peak —
+    /// the inequality underlying the paper's Cost ∈ [1, 2] bound
+    /// (for non-negative utilization signals).
+    #[test]
+    fn peak_subadditive(
+        pairs in prop::collection::vec((0.0f64..100.0, 0.0f64..100.0), 1..100)
+    ) {
+        let (xs, ys): (Vec<f64>, Vec<f64>) = pairs.into_iter().unzip();
+        let a = TimeSeries::new(1.0, xs).unwrap();
+        let b = TimeSeries::new(1.0, ys).unwrap();
+        let sum = TimeSeries::sum_of(&[&a, &b]).unwrap();
+        prop_assert!(sum.peak() <= a.peak() + b.peak() + 1e-9);
+        prop_assert!(sum.peak() >= a.peak().max(b.peak()) - 1e-9);
+    }
+
+    /// Welford matches the two-pass computation.
+    #[test]
+    fn welford_matches_two_pass(values in finite_vec(300)) {
+        let mut w = Welford::new();
+        for &v in &values { w.push(v); }
+        let mean = values.iter().sum::<f64>() / values.len() as f64;
+        let var = values.iter().map(|x| (x - mean).powi(2)).sum::<f64>()
+            / values.len() as f64;
+        let scale = 1.0 + mean.abs() + var.abs();
+        prop_assert!((w.mean() - mean).abs() / scale < 1e-9);
+        prop_assert!((w.population_variance() - var).abs() / scale.powi(2).max(1.0) < 1e-6);
+    }
+
+    /// Welford merge is equivalent to sequential feeding.
+    #[test]
+    fn welford_merge_associative(a in finite_vec(100), b in finite_vec(100)) {
+        let mut seq = Welford::new();
+        for &v in a.iter().chain(b.iter()) { seq.push(v); }
+        let mut wa = Welford::new();
+        for &v in &a { wa.push(v); }
+        let mut wb = Welford::new();
+        for &v in &b { wb.push(v); }
+        wa.merge(&wb);
+        let scale = 1.0 + seq.mean().abs();
+        prop_assert!((wa.mean() - seq.mean()).abs() / scale < 1e-9);
+        prop_assert!(
+            (wa.population_variance() - seq.population_variance()).abs()
+                / (1.0 + seq.population_variance()) < 1e-6
+        );
+    }
+
+    /// coarsen_mean preserves the overall mean when len divides evenly.
+    #[test]
+    fn coarsen_preserves_mean(values in prop::collection::vec(-1e3f64..1e3, 1..50), factor in 1usize..5) {
+        let padded: Vec<f64> = values
+            .iter()
+            .copied()
+            .cycle()
+            .take(values.len() * factor)
+            .collect();
+        let t = TimeSeries::new(1.0, padded).unwrap();
+        let c = t.coarsen_mean(factor).unwrap();
+        prop_assert!((c.mean() - t.mean()).abs() < 1e-6);
+        // Peak-preserving variant dominates the mean variant (up to
+        // float round-off in the chunk mean).
+        let m = t.coarsen_max(factor).unwrap();
+        for (a, b) in m.values().iter().zip(c.values()) {
+            prop_assert!(*a >= b - 1e-9 * (1.0 + b.abs()));
+        }
+    }
+
+    /// Envelope overlap metrics stay in [0, 1] and Jaccard ≤ containment.
+    #[test]
+    fn envelope_metric_bounds(
+        bits in prop::collection::vec((any::<bool>(), any::<bool>()), 1..200)
+    ) {
+        let (xs, ys): (Vec<bool>, Vec<bool>) = bits.into_iter().unzip();
+        let a = Envelope::from_bits(xs);
+        let b = Envelope::from_bits(ys);
+        let j = a.jaccard(&b).unwrap();
+        let c = a.containment(&b).unwrap();
+        prop_assert!((0.0..=1.0).contains(&j));
+        prop_assert!((0.0..=1.0).contains(&c));
+        prop_assert!(j <= c + 1e-12);
+    }
+
+    /// The reference utilization of a percentile never exceeds the peak.
+    #[test]
+    fn reference_percentile_below_peak(values in finite_vec(200), p in 0.0f64..100.0) {
+        let perc = Reference::Percentile(p).of(&values).unwrap();
+        let peak = Reference::Peak.of(&values).unwrap();
+        prop_assert!(perc <= peak + 1e-9);
+    }
+
+    /// WindowedMax equals the naive max over the trailing window.
+    #[test]
+    fn windowed_max_correct(values in finite_vec(150), window in 1usize..20) {
+        let mut w = WindowedMax::new(window).unwrap();
+        for (i, &x) in values.iter().enumerate() {
+            w.push(x);
+            let lo = i + 1 - window.min(i + 1);
+            let naive = values[lo..=i].iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            prop_assert_eq!(w.max().unwrap(), naive);
+        }
+    }
+
+    /// P² stays within the sample range and is finite.
+    #[test]
+    fn p2_stays_in_range(seed in any::<u64>(), q in 0.05f64..0.95) {
+        let mut rng = SimRng::new(seed);
+        let mut est = P2Quantile::new(q).unwrap();
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        for _ in 0..500 {
+            let x = rng.range_f64(-5.0, 5.0);
+            min = min.min(x);
+            max = max.max(x);
+            est.push(x);
+        }
+        let e = est.estimate().unwrap();
+        prop_assert!(e.is_finite());
+        prop_assert!(e >= min - 1e-9 && e <= max + 1e-9);
+    }
+
+    /// SimRng::below is always in range.
+    #[test]
+    fn below_in_range(seed in any::<u64>(), n in 1usize..1000) {
+        let mut rng = SimRng::new(seed);
+        for _ in 0..100 {
+            prop_assert!(rng.below(n) < n);
+        }
+    }
+
+    /// Lognormal draws are positive when the mean is positive.
+    #[test]
+    fn lognormal_positive(seed in any::<u64>(), mean in 0.01f64..100.0, cv in 0.0f64..3.0) {
+        let mut rng = SimRng::new(seed);
+        for _ in 0..50 {
+            prop_assert!(rng.lognormal_mean_cv(mean, cv) > 0.0);
+        }
+    }
+}

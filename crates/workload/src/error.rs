@@ -1,0 +1,50 @@
+use cavm_trace::TraceError;
+use std::fmt;
+
+/// Errors produced by the workload generators.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WorkloadError {
+    /// An underlying time-series operation failed.
+    Trace(TraceError),
+    /// A generator parameter was out of range.
+    InvalidParameter(&'static str),
+}
+
+impl fmt::Display for WorkloadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WorkloadError::Trace(e) => write!(f, "trace error: {e}"),
+            WorkloadError::InvalidParameter(what) => write!(f, "invalid parameter: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for WorkloadError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            WorkloadError::Trace(e) => Some(e),
+            WorkloadError::InvalidParameter(_) => None,
+        }
+    }
+}
+
+impl From<TraceError> for WorkloadError {
+    fn from(e: TraceError) -> Self {
+        WorkloadError::Trace(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = WorkloadError::from(TraceError::EmptyInput);
+        assert!(e.to_string().contains("trace error"));
+        assert!(std::error::Error::source(&e).is_some());
+        let p = WorkloadError::InvalidParameter("bad");
+        assert!(p.to_string().contains("bad"));
+        assert!(std::error::Error::source(&p).is_none());
+    }
+}

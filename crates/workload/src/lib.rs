@@ -1,0 +1,51 @@
+//! Workload generators for the `cavm` workspace.
+//!
+//! The paper evaluates on two kinds of input, and this crate synthesizes
+//! both:
+//!
+//! * **Setup-1** — distributed web-search clusters (CloudSuite) driven by
+//!   a client emulator whose population swings between 0 and 300 "with
+//!   the form of sine and cosine waves". [`clients::ClientWave`] produces
+//!   those drive signals and [`websearch::WebSearchCluster`] converts
+//!   them into per-ISN (index-serving-node) CPU demand — including the
+//!   load imbalance between ISNs that makes the Segregated placement of
+//!   Fig 4(a) saturate.
+//! * **Setup-2** — one day of per-VM CPU utilization traces from a real
+//!   datacenter, sampled every 5 minutes and refined to 5-second samples
+//!   "with a lognormal random number generator whose mean is the same as
+//!   the collected value". [`datacenter::DatacenterTraceBuilder`]
+//!   synthesizes archetype-based daily profiles with correlated VM
+//!   groups and performs exactly that refinement.
+//!
+//! Everything is deterministic given a seed (see
+//! [`cavm_trace::SimRng`]).
+//!
+//! # Example
+//!
+//! ```
+//! use cavm_workload::clients::ClientWave;
+//!
+//! # fn main() -> Result<(), cavm_workload::WorkloadError> {
+//! // 0..300 clients over a 20-minute period, sampled each second.
+//! let wave = ClientWave::sine(0.0, 300.0, 1200.0)?;
+//! let trace = wave.sample(1.0, 1200)?;
+//! assert!(trace.peak() <= 300.0 + 1e-9);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+pub mod clients;
+pub mod datacenter;
+pub mod websearch;
+
+pub use clients::ClientWave;
+pub use datacenter::{DailyArchetype, DatacenterTraceBuilder, VmFleet, VmTrace};
+pub use error::WorkloadError;
+pub use websearch::{WebSearchCluster, WebSearchClusterConfig};
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, WorkloadError>;

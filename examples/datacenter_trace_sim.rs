@@ -1,0 +1,60 @@
+//! Datacenter trace replay (the paper's Setup-2, reduced scale).
+//!
+//! Replays a synthetic day of datacenter traces under BFD and the
+//! correlation-aware policy, printing the per-period story: servers
+//! used, frequency choices, violations and migrations — and the final
+//! Table II-style comparison.
+//!
+//! Run with: `cargo run --release --example datacenter_trace_sim`
+
+use cavm::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 16 VMs in 5 correlated groups, 8 hours (8 placement periods).
+    let fleet = DatacenterTraceBuilder::new(16)
+        .groups(5)
+        .seed(41)
+        .duration_hours(8.0)
+        .vm_scale_range(0.35, 1.05)
+        .build()?;
+
+    let mut reports = Vec::new();
+    for policy in [Policy::Bfd, Policy::Proposed(Default::default())] {
+        let report = ScenarioBuilder::new(fleet.clone())
+            .servers(12)
+            .policy(policy)
+            .dvfs_mode(DvfsMode::Static)
+            .build()?
+            .run()?;
+
+        println!("=== {} ===", report.policy);
+        println!("period  servers  worst-violation  migrations");
+        for p in &report.periods {
+            println!(
+                "{:>6}  {:>7}  {:>14.1}%  {:>10}",
+                p.period,
+                p.servers_used,
+                100.0 * p.max_violation_ratio,
+                p.migrations
+            );
+        }
+        println!(
+            "energy {:.1} kWh, max violation {:.1}%, total migrations {}\n",
+            report.energy.kilowatt_hours(),
+            report.max_violation_percent,
+            report.total_migrations()
+        );
+        reports.push(report);
+    }
+
+    let ratio = reports[1]
+        .energy
+        .normalized_to(&reports[0].energy)
+        .expect("baseline consumed energy");
+    println!("normalized power (Proposed / BFD): {ratio:.3}");
+    println!(
+        "violations: BFD {:.1}% vs Proposed {:.1}%",
+        reports[0].max_violation_percent, reports[1].max_violation_percent
+    );
+    Ok(())
+}

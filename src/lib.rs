@@ -1,0 +1,93 @@
+//! # cavm — Correlation-Aware VM Allocation for Energy-Efficient Datacenters
+//!
+//! A from-scratch Rust reproduction of Kim, Ruggiero, Atienza &
+//! Lederberger, *"Correlation-Aware Virtual Machine Allocation for
+//! Energy-Efficient Datacenters"*, DATE 2013.
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! * [`trace`] — time-series substrate (sampled signals, streaming stats,
+//!   envelopes, deterministic RNG).
+//! * [`workload`] — workload generators (client waveforms, web-search
+//!   clusters, datacenter trace synthesis, PARSEC-like stream profiles).
+//! * [`power`] — DVFS ladders, power models, energy metering.
+//! * [`microarch`] — shared-cache interference simulator (paper Table I).
+//! * [`cluster`] — discrete-event web-search cluster simulator (paper
+//!   Setup-1: Figs 1, 4, 5).
+//! * [`core`] — the paper's contribution: the correlation cost metric
+//!   (Eqn 1), cost matrix, server cost (Eqn 2), the UPDATE/ALLOCATE
+//!   placement heuristic (Fig 2), baselines (FFD, BFD, PCP, SuperVM)
+//!   and the frequency decision (Eqn 4).
+//! * [`sim`] — trace-driven datacenter simulator (paper Setup-2:
+//!   Table II, Fig 6).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use cavm::prelude::*;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // Synthesize a tiny datacenter of 8 VMs in 2 correlated groups
+//! // (4 hours of traces keep the doctest fast).
+//! let fleet = DatacenterTraceBuilder::new(8)
+//!     .groups(2)
+//!     .seed(7)
+//!     .duration_hours(4.0)
+//!     .build()?;
+//!
+//! // Score pairwise correlation with the paper's cost metric (Eqn 1).
+//! let traces = fleet.traces();
+//! let matrix = CostMatrix::from_traces(&traces, Reference::Peak)?;
+//!
+//! // Place the VMs on 8-core servers with the paper's heuristic.
+//! let vms = VmDescriptor::from_traces(&traces, Reference::Peak)?;
+//! let placement = ProposedPolicy::default().place(&vms, &matrix, 8.0)?;
+//! assert!(placement.server_count() >= 1);
+//!
+//! // Pick each server's frequency by Eqn (4).
+//! let planner = FrequencyPlanner::new(DvfsLadder::xeon_e5410());
+//! for members in placement.servers() {
+//!     let demand: f64 = members.iter().map(|&id| vms[id].demand).sum();
+//!     let cost = server_cost_of(members, &vms, &matrix);
+//!     let f = planner.static_level_correlation_aware(demand, 8.0, cost.max(1.0))?;
+//!     assert!(f >= planner.ladder().min());
+//! }
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use cavm_cluster as cluster;
+pub use cavm_core as core;
+pub use cavm_microarch as microarch;
+pub use cavm_power as power;
+pub use cavm_sim as sim;
+pub use cavm_trace as trace;
+pub use cavm_workload as workload;
+
+/// The most commonly used items across the workspace, in one import.
+pub mod prelude {
+    pub use cavm_cluster::{
+        run_setup1, ClusterSim, ClusterSimConfig, Setup1Config, Setup1Placement,
+    };
+    pub use cavm_core::{
+        alloc::{
+            AllocationPolicy, BfdPolicy, FfdPolicy, PcpPolicy, Placement, ProposedPolicy,
+            SuperVmPolicy, VmDescriptor,
+        },
+        corr::{cost_of_traces, CostMatrix, CostMetric, PearsonStream},
+        dvfs::{DvfsMode, FrequencyPlanner},
+        predict::{EwmaPredictor, LastValuePredictor, MovingAveragePredictor, Predictor},
+        servercost::{server_cost, server_cost_of},
+    };
+    pub use cavm_microarch::{machine::Machine, stream::StreamProfile};
+    pub use cavm_power::{DvfsLadder, EnergyMeter, Frequency, LinearPowerModel, PowerModel};
+    pub use cavm_sim::{Policy, Scenario, ScenarioBuilder, SimReport};
+    pub use cavm_trace::{Envelope, Reference, SimRng, TimeSeries};
+    pub use cavm_workload::{
+        clients::ClientWave,
+        datacenter::{DailyArchetype, DatacenterTraceBuilder, VmFleet},
+        websearch::WebSearchCluster,
+    };
+}
