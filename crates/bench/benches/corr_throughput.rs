@@ -8,7 +8,10 @@ use std::hint::black_box;
 
 fn samples(n: usize, seed: u64) -> (Vec<f64>, Vec<f64>) {
     let mut rng = SimRng::new(seed);
-    ((0..n).map(|_| rng.f64() * 4.0).collect(), (0..n).map(|_| rng.f64() * 4.0).collect())
+    (
+        (0..n).map(|_| rng.f64() * 4.0).collect(),
+        (0..n).map(|_| rng.f64() * 4.0).collect(),
+    )
 }
 
 fn bench(c: &mut Criterion) {

@@ -24,8 +24,9 @@ fn bench(c: &mut Criterion) {
     let matrix = CostMatrix::from_traces(&traces, Reference::Peak).expect("uniform traces");
     c.bench_function("fig3_server_cost_eval", |b| {
         let mut rng = SimRng::new(9);
-        let members: Vec<(usize, f64)> =
-            (0..5).map(|_| (rng.below(16), rng.range_f64(0.5, 3.0))).collect();
+        let members: Vec<(usize, f64)> = (0..5)
+            .map(|_| (rng.below(16), rng.range_f64(0.5, 3.0)))
+            .collect();
         b.iter(|| black_box(server_cost(black_box(&members), &matrix)))
     });
 }

@@ -17,7 +17,9 @@ fn bench(c: &mut Criterion) {
                 let report = run_setup2(
                     black_box(&fleet),
                     policy,
-                    DvfsMode::Dynamic { interval_samples: 12 },
+                    DvfsMode::Dynamic {
+                        interval_samples: 12,
+                    },
                 );
                 black_box(report.freq_distribution(0))
             })

@@ -7,7 +7,10 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {
-    let config = MachineConfig { warmup_instructions: 100_000, ..MachineConfig::default() };
+    let config = MachineConfig {
+        warmup_instructions: 100_000,
+        ..MachineConfig::default()
+    };
     let machine = Machine::new(config).expect("valid machine");
 
     c.bench_function("table1_websearch_solo_200k", |b| {

@@ -36,8 +36,7 @@ fn metric_ablation() {
     let traces = fleet.traces();
     let n = traces.len();
 
-    let cost_matrix =
-        CostMatrix::from_traces(&traces, Reference::Peak).expect("uniform traces");
+    let cost_matrix = CostMatrix::from_traces(&traces, Reference::Peak).expect("uniform traces");
     // Pearson mapped into [1, 2]: r = +1 → 1.0 (correlated, avoid),
     // r = −1 → 2.0 (anti-correlated, prefer).
     let mut pearson_costs = Vec::with_capacity(n * (n - 1) / 2);
@@ -59,7 +58,9 @@ fn metric_ablation() {
         "pair score", "servers", "worst actual peak", "mean actual peak"
     );
     for (label, matrix) in [("Eqn 1 cost", &cost_matrix), ("Pearson", &pearson_matrix)] {
-        let placement = policy.place(&vms, matrix, 8.0).expect("instance is feasible");
+        let placement = policy
+            .place(&vms, matrix, 8.0)
+            .expect("instance is feasible");
         let mut worst: f64 = 0.0;
         let mut sum = 0.0;
         for members in placement.servers() {
@@ -90,14 +91,25 @@ fn threshold_ablation() {
         "(TH_init, alpha)", "normalized power", "max violations (%)"
     );
     let baseline = run_setup2(&fleet, Policy::Bfd, DvfsMode::Static);
-    for (th, alpha) in
-        [(1.8, 0.92), (1.9, 0.98), (1.5, 0.92), (1.2, 0.92), (1.0, 0.5)]
-    {
-        let config = ProposedConfig { th_init: th, alpha, ..Default::default() };
+    for (th, alpha) in [
+        (1.8, 0.92),
+        (1.9, 0.98),
+        (1.5, 0.92),
+        (1.2, 0.92),
+        (1.0, 0.5),
+    ] {
+        let config = ProposedConfig {
+            th_init: th,
+            alpha,
+            ..Default::default()
+        };
         let report = run_setup2(&fleet, Policy::Proposed(config), DvfsMode::Static);
         println!(
             "({th:.1}, {alpha:.2})           {:>18.3} {:>20.1}",
-            report.energy.normalized_to(&baseline.energy).expect("baseline non-zero"),
+            report
+                .energy
+                .normalized_to(&baseline.energy)
+                .expect("baseline non-zero"),
             report.max_violation_percent
         );
     }
@@ -117,10 +129,14 @@ fn predictor_ablation() {
             "moving-average(3)",
             Box::new(MovingAveragePredictor::new(n, 3).expect("window >= 1")),
         ),
-        ("ewma(0.5)", Box::new(EwmaPredictor::new(n, 0.5).expect("alpha in range"))),
+        (
+            "ewma(0.5)",
+            Box::new(EwmaPredictor::new(n, 0.5).expect("alpha in range")),
+        ),
     ];
-    let mut scores: Vec<PredictionScore> =
-        (0..predictors.len()).map(|_| PredictionScore::new()).collect();
+    let mut scores: Vec<PredictionScore> = (0..predictors.len())
+        .map(|_| PredictionScore::new())
+        .collect();
 
     let periods = fleet.traces()[0].len() / period;
     for p in 0..periods {
@@ -128,9 +144,7 @@ fn predictor_ablation() {
             let slice = &trace.values()[p * period..(p + 1) * period];
             let actual = Reference::Peak.of(slice).expect("non-empty slice");
             for ((_, predictor), score) in predictors.iter_mut().zip(scores.iter_mut()) {
-                if let Some(predicted) =
-                    predictor.predict(v).expect("vm id in range")
-                {
+                if let Some(predicted) = predictor.predict(v).expect("vm id in range") {
                     score.record(predicted, actual);
                 }
                 predictor.observe(v, actual).expect("vm id in range");

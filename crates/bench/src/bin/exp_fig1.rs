@@ -40,8 +40,8 @@ fn main() {
     let r_c1 = pearson_of_traces(&isns[1], &clients)
         .expect("equal-length traces")
         .expect("non-degenerate variance");
-    let cost = cost_of_traces(&isns[0], &isns[1], Reference::Peak)
-        .expect("cost evaluation succeeds");
+    let cost =
+        cost_of_traces(&isns[0], &isns[1], Reference::Peak).expect("cost evaluation succeeds");
 
     println!();
     println!("# Summary");

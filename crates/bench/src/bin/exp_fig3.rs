@@ -32,7 +32,12 @@ fn main() {
 
         let members: Vec<(usize, f64)> = ids
             .iter()
-            .map(|&id| (id, Reference::Peak.of_series(traces[id]).expect("non-empty")))
+            .map(|&id| {
+                (
+                    id,
+                    Reference::Peak.of_series(traces[id]).expect("non-empty"),
+                )
+            })
             .collect();
         let x = server_cost(&members, &matrix);
 
@@ -46,13 +51,16 @@ fn main() {
     }
 
     let below: usize = points.iter().filter(|&&(x, y)| y < x - 0.02).count();
-    let min_margin =
-        points.iter().map(|&(x, y)| y - x).fold(f64::INFINITY, f64::min);
+    let min_margin = points
+        .iter()
+        .map(|&(x, y)| y - x)
+        .fold(f64::INFINITY, f64::min);
     // Least-squares fit of Y on X to expose the (approximately linear)
     // relationship the paper reads off this plot.
     let n = points.len() as f64;
-    let (sx, sy): (f64, f64) =
-        points.iter().fold((0.0, 0.0), |(a, b), &(x, y)| (a + x, b + y));
+    let (sx, sy): (f64, f64) = points
+        .iter()
+        .fold((0.0, 0.0), |(a, b), &(x, y)| (a + x, b + y));
     let (sxx, sxy): (f64, f64) = points
         .iter()
         .fold((0.0, 0.0), |(a, b), &(x, y)| (a + x * x, b + x * y));

@@ -16,8 +16,14 @@ fn main() {
         Setup1Placement::SharedCorrelated,
     ] {
         let out = run_setup1(placement, &config).expect("scenario runs");
-        println!("# Fig 4 ({}) — normalized server utilization, 30 s resolution", out.placement.label());
-        println!("{:>6} {:>8} {:<26} {:>8} {:<26}", "t_s", "srv1", "", "srv2", "");
+        println!(
+            "# Fig 4 ({}) — normalized server utilization, 30 s resolution",
+            out.placement.label()
+        );
+        println!(
+            "{:>6} {:>8} {:<26} {:>8} {:<26}",
+            "t_s", "srv1", "", "srv2", ""
+        );
         let s1 = &out.result.server_utilization[0];
         let s2 = &out.result.server_utilization[1];
         for k in (0..s1.len()).step_by(30) {
@@ -45,7 +51,12 @@ fn main() {
         // Per-VM imbalance visible in the Segregated panel (Fig 4(a)).
         if placement == Setup1Placement::Segregated {
             for (v, t) in out.result.vm_utilization.iter().enumerate() {
-                println!("  vm{} mean {:.2} / peak {:.2} cores", v + 1, t.mean(), t.peak());
+                println!(
+                    "  vm{} mean {:.2} / peak {:.2} cores",
+                    v + 1,
+                    t.mean(),
+                    t.peak()
+                );
             }
         }
         println!();

@@ -13,20 +13,42 @@ use cavm_power::{Frequency, LinearPowerModel, PowerModel};
 fn main() {
     let mut rows = Vec::new();
     for closed_loop in [false, true] {
-        let full = Setup1Config { closed_loop, ..Setup1Config::default() };
-        let low = Setup1Config { frequency_scale: 1.9 / 2.1, ..full };
+        let full = Setup1Config {
+            closed_loop,
+            ..Setup1Config::default()
+        };
+        let low = Setup1Config {
+            frequency_scale: 1.9 / 2.1,
+            ..full
+        };
 
         println!(
             "# Fig 5 — 90th percentile response time (s), {} clients",
-            if closed_loop { "closed-loop (Faban-like)" } else { "open-loop Poisson" }
+            if closed_loop {
+                "closed-loop (Faban-like)"
+            } else {
+                "open-loop Poisson"
+            }
         );
         println!("{:<24} {:>10} {:>10}", "placement", "cluster1", "cluster2");
 
         for (label, placement, config) in [
             ("Segregated", Setup1Placement::Segregated, &full),
-            ("Shared-UnCorr (2.1G)", Setup1Placement::SharedUncorrelated, &full),
-            ("Shared-Corr (2.1G)", Setup1Placement::SharedCorrelated, &full),
-            ("Shared-Corr (1.9G)", Setup1Placement::SharedCorrelated, &low),
+            (
+                "Shared-UnCorr (2.1G)",
+                Setup1Placement::SharedUncorrelated,
+                &full,
+            ),
+            (
+                "Shared-Corr (2.1G)",
+                Setup1Placement::SharedCorrelated,
+                &full,
+            ),
+            (
+                "Shared-Corr (1.9G)",
+                Setup1Placement::SharedCorrelated,
+                &low,
+            ),
         ] {
             let out = run_setup1(placement, config).expect("scenario runs");
             println!(
@@ -45,10 +67,13 @@ fn main() {
     let model = LinearPowerModel::opteron_6174();
     let (f_hi, f_lo) = (Frequency::from_ghz(2.1), Frequency::from_ghz(1.9));
     let u_hi = rows[1].1.result.server_utilization[0].mean();
-    let u_lo = rows[3].1.result.server_utilization[0].mean()
-        * (1.9 / 2.1); // same work at lower clock = higher busy fraction, util recorded in fmax cores
-    let p_hi = model.power(u_hi.clamp(0.0, 1.0), f_hi).expect("level exists");
-    let p_lo = model.power((u_lo / (1.9 / 2.1)).clamp(0.0, 1.0), f_lo).expect("level exists");
+    let u_lo = rows[3].1.result.server_utilization[0].mean() * (1.9 / 2.1); // same work at lower clock = higher busy fraction, util recorded in fmax cores
+    let p_hi = model
+        .power(u_hi.clamp(0.0, 1.0), f_hi)
+        .expect("level exists");
+    let p_lo = model
+        .power((u_lo / (1.9 / 2.1)).clamp(0.0, 1.0), f_lo)
+        .expect("level exists");
     println!();
     println!(
         "estimated per-server power: {:.0} W @2.1 GHz vs {:.0} W @1.9 GHz → {:.1}% saving",

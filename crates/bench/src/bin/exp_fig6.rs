@@ -13,7 +13,11 @@ use cavm_sim::Policy;
 fn main() {
     let fleet = setup2_fleet(SETUP2_SEED);
     let bfd = run_setup2(&fleet, Policy::Bfd, DvfsMode::Static);
-    let proposed = run_setup2(&fleet, Policy::Proposed(Default::default()), DvfsMode::Static);
+    let proposed = run_setup2(
+        &fleet,
+        Policy::Proposed(Default::default()),
+        DvfsMode::Static,
+    );
 
     // The paper shows Server1 and Server3; print those two (indices 0
     // and 2) plus the fleet-wide aggregate.
@@ -25,7 +29,11 @@ fn main() {
                 .expect("servers 1 and 3 are active all day");
             print!("{:<10}", report.policy);
             for (level, share) in report.freq_levels_ghz.iter().zip(&dist) {
-                print!("  {level:.1} GHz: {:>5.1}% {} ", 100.0 * share, bar(*share, 20));
+                print!(
+                    "  {level:.1} GHz: {:>5.1}% {} ",
+                    100.0 * share,
+                    bar(*share, 20)
+                );
             }
             println!();
         }
@@ -44,7 +52,11 @@ fn main() {
         print!("{:<10}", report.policy);
         for (level, count) in report.freq_levels_ghz.iter().zip(&totals) {
             let share = *count as f64 / sum as f64;
-            print!("  {level:.1} GHz: {:>5.1}% {} ", 100.0 * share, bar(share, 20));
+            print!(
+                "  {level:.1} GHz: {:>5.1}% {} ",
+                100.0 * share,
+                bar(share, 20)
+            );
         }
         println!();
     }

@@ -1,0 +1,231 @@
+//! Perf baseline artifact for the M_cost hot path.
+//!
+//! Measures, with plain `Instant` timing (no external harness):
+//!
+//! * **matrix tick** — ns per fleet-wide `push_sample` for the SoA
+//!   kernel (Peak and P95, serial and parallel) and for the seed
+//!   per-pair path, at n ∈ {64, 256, 1024, 4096} (seed capped at 1024:
+//!   its ~640 B/pair layout would need ~5 GB at 4096);
+//! * **allocation** — ns per full ALLOCATE pass of the proposed policy
+//!   (incremental server-cost scan) plus BFD as the correlation-blind
+//!   yardstick, at n ∈ {64, 256, 1024}.
+//!
+//! Writes `BENCH_corr.json` (repo root when run from there) so future
+//! PRs have a trajectory to compare against:
+//!
+//! ```text
+//! cargo run --release -p cavm-bench --bin exp_perf_corr
+//! ```
+
+use cavm_core::alloc::{AllocationPolicy, BfdPolicy, ProposedPolicy, VmDescriptor};
+use cavm_core::corr::baseline::PairwiseCostMatrix;
+use cavm_core::corr::CostMatrix;
+use cavm_trace::{Reference, SimRng};
+use std::fmt::Write as _;
+use std::hint::black_box;
+use std::time::Instant;
+
+const MATRIX_SIZES: [usize; 4] = [64, 256, 1024, 4096];
+const SEED_MATRIX_CAP: usize = 1024;
+const ALLOC_SIZES: [usize; 3] = [64, 256, 1024];
+
+fn sample(n: usize, seed: u64) -> Vec<f64> {
+    let mut rng = SimRng::new(seed);
+    (0..n).map(|_| rng.f64() * 4.0).collect()
+}
+
+/// Median ns of `reps` timed invocations of `f` (after one warm-up).
+fn median_ns<F: FnMut()>(reps: usize, mut f: F) -> f64 {
+    f();
+    let mut times: Vec<f64> = (0..reps)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_nanos() as f64
+        })
+        .collect();
+    times.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    times[times.len() / 2]
+}
+
+/// Repetition count scaled so small sizes average more runs.
+fn reps_for(n: usize) -> usize {
+    (2_000_000 / (n * n / 2)).clamp(5, 400)
+}
+
+struct MatrixRow {
+    n: usize,
+    soa_peak_ns: f64,
+    soa_p95_ns: f64,
+    soa_peak_par_ns: f64,
+    seed_peak_ns: Option<f64>,
+}
+
+struct AllocRow {
+    n: usize,
+    proposed_ns: f64,
+    bfd_ns: f64,
+    servers: usize,
+}
+
+fn measure_matrix(n: usize) -> MatrixRow {
+    let utils = sample(n, n as u64);
+    let reps = reps_for(n);
+
+    let mut soa = CostMatrix::new(n, Reference::Peak).expect("valid size");
+    let soa_peak_ns = median_ns(reps, || soa.push_sample(black_box(&utils)).expect("width"));
+
+    let mut p95 = CostMatrix::new(n, Reference::Percentile(95.0)).expect("valid size");
+    let soa_p95_ns = median_ns(reps, || p95.push_sample(black_box(&utils)).expect("width"));
+
+    let mut par = CostMatrix::new(n, Reference::Peak).expect("valid size");
+    let soa_peak_par_ns = median_ns(reps, || {
+        par.par_push_sample(black_box(&utils)).expect("width")
+    });
+
+    let seed_peak_ns = (n <= SEED_MATRIX_CAP).then(|| {
+        let mut seed = PairwiseCostMatrix::new(n, Reference::Peak).expect("valid size");
+        median_ns(reps.min(40), || {
+            seed.push_sample(black_box(&utils)).expect("width")
+        })
+    });
+
+    MatrixRow {
+        n,
+        soa_peak_ns,
+        soa_p95_ns,
+        soa_peak_par_ns,
+        seed_peak_ns,
+    }
+}
+
+fn measure_alloc(n: usize) -> AllocRow {
+    let mut rng = SimRng::new(n as u64);
+    let vms: Vec<VmDescriptor> = (0..n)
+        .map(|i| VmDescriptor::new(i, rng.range_f64(0.3, 3.5)))
+        .collect();
+    let mut matrix = CostMatrix::new(n, Reference::Peak).expect("valid size");
+    for _ in 0..64 {
+        let s: Vec<f64> = (0..n).map(|_| rng.range_f64(0.0, 3.5)).collect();
+        matrix.push_sample(&s).expect("width");
+    }
+    let reps = (2_000.0 / (n as f64 / 64.0).powi(2)).clamp(3.0, 200.0) as usize;
+    let policy = ProposedPolicy::default();
+    let mut servers = 0;
+    let proposed_ns = median_ns(reps, || {
+        servers = policy
+            .place(black_box(&vms), &matrix, 8.0)
+            .expect("feasible")
+            .server_count();
+    });
+    let bfd_ns = median_ns(reps, || {
+        black_box(
+            BfdPolicy
+                .place(black_box(&vms), &matrix, 8.0)
+                .expect("feasible"),
+        );
+    });
+    AllocRow {
+        n,
+        proposed_ns,
+        bfd_ns,
+        servers,
+    }
+}
+
+fn json_opt(v: Option<f64>) -> String {
+    v.map_or_else(|| "null".to_string(), |x| format!("{x:.0}"))
+}
+
+fn main() {
+    let cores = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+    eprintln!("measuring matrix ticks (cores: {cores}) ...");
+    let matrix_rows: Vec<MatrixRow> = MATRIX_SIZES
+        .iter()
+        .map(|&n| {
+            let row = measure_matrix(n);
+            eprintln!(
+            "  n={:4}: soa {:>12.0} ns/tick  p95 {:>12.0} ns/tick  par {:>12.0} ns/tick  seed {}",
+            n,
+            row.soa_peak_ns,
+            row.soa_p95_ns,
+            row.soa_peak_par_ns,
+            row.seed_peak_ns.map_or("-".into(), |v| format!("{v:.0} ns/tick")),
+        );
+            row
+        })
+        .collect();
+
+    eprintln!("measuring allocation ...");
+    let alloc_rows: Vec<AllocRow> = ALLOC_SIZES
+        .iter()
+        .map(|&n| {
+            let row = measure_alloc(n);
+            eprintln!(
+                "  n={:4}: proposed {:>12.0} ns/placement ({} servers)  bfd {:>12.0} ns",
+                n, row.proposed_ns, row.servers, row.bfd_ns
+            );
+            row
+        })
+        .collect();
+
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"schema\": \"cavm-bench-corr/1\",");
+    let _ = writeln!(out, "  \"cores\": {cores},");
+    let _ = writeln!(
+        out,
+        "  \"note\": \"seed_peak is the retained per-pair baseline (PairwiseCostMatrix); null above n={SEED_MATRIX_CAP}. par uses std::thread chunked rows; speedup requires >1 core.\","
+    );
+    out.push_str("  \"matrix_tick\": [\n");
+    for (i, r) in matrix_rows.iter().enumerate() {
+        let speedup = r
+            .seed_peak_ns
+            .map(|seed| format!("{:.2}", seed / r.soa_peak_ns))
+            .unwrap_or_else(|| "null".to_string());
+        // On a single-core host the parallel path degenerates to the
+        // serial kernel; a "speedup" there is measurement noise, not a
+        // claim — record null.
+        let par_speedup = if cores > 1 {
+            format!("{:.2}", r.soa_peak_ns / r.soa_peak_par_ns)
+        } else {
+            "null".to_string()
+        };
+        let _ = write!(
+            out,
+            "    {{\"n\": {}, \"soa_peak_ns_per_tick\": {:.0}, \"soa_p95_ns_per_tick\": {:.0}, \"soa_peak_par_ns_per_tick\": {:.0}, \"seed_peak_ns_per_tick\": {}, \"speedup_vs_seed\": {}, \"par_speedup_vs_serial\": {}}}",
+            r.n,
+            r.soa_peak_ns,
+            r.soa_p95_ns,
+            r.soa_peak_par_ns,
+            json_opt(r.seed_peak_ns),
+            speedup,
+            par_speedup,
+        );
+        out.push_str(if i + 1 < matrix_rows.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    out.push_str("  ],\n  \"alloc\": [\n");
+    for (i, r) in alloc_rows.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"n\": {}, \"proposed_ns_per_placement\": {:.0}, \"bfd_ns_per_placement\": {:.0}, \"servers\": {}}}",
+            r.n, r.proposed_ns, r.bfd_ns, r.servers
+        );
+        out.push_str(if i + 1 < alloc_rows.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    out.push_str("  ]\n}\n");
+
+    std::fs::write("BENCH_corr.json", &out).expect("write BENCH_corr.json");
+    println!("{out}");
+    eprintln!("wrote BENCH_corr.json");
+}

@@ -23,7 +23,10 @@ fn main() {
         .expect("study runs to completion");
 
     println!("# Table I — web search metrics, co-located vs alone (in parentheses)");
-    println!("{:<18} {:>16} {:>18} {:>20}", "co-runner", "IPC", "L2 MPKI", "L2 miss rate (%)");
+    println!(
+        "{:<18} {:>16} {:>18} {:>20}",
+        "co-runner", "IPC", "L2 MPKI", "L2 miss rate (%)"
+    );
     for (name, m) in &paired {
         println!(
             "w/ {:<15} {:>8.2} ({:.2}) {:>10.2} ({:.2}) {:>12.2} ({:.2})",
@@ -42,7 +45,10 @@ fn main() {
         .map(|(_, m)| (m.ipc - solo.ipc).abs() / solo.ipc)
         .fold(0.0, f64::max);
     println!();
-    println!("max IPC deviation under co-location: {:.1}%", 100.0 * max_ipc_delta);
+    println!(
+        "max IPC deviation under co-location: {:.1}%",
+        100.0 * max_ipc_delta
+    );
     println!("(paper: 'only negligible variations over all the metrics')");
 
     let resident_solo = machine

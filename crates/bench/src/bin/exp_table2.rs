@@ -20,7 +20,9 @@ fn main() {
         ),
         (
             "(b) dynamic v/f scaling (re-planned every 12 samples = 1 min)",
-            DvfsMode::Dynamic { interval_samples: 12 },
+            DvfsMode::Dynamic {
+                interval_samples: 12,
+            },
             [(1.000, 20.3), (0.997, 20.3), (0.958, 3.1)],
         ),
     ] {
@@ -30,13 +32,14 @@ fn main() {
             "policy", "normalized power", "max violations (%)", "paper power", "paper viol"
         );
         let mut baseline = None;
-        for (policy, (paper_power, paper_viol)) in
-            table2_policies().into_iter().zip(paper)
-        {
+        for (policy, (paper_power, paper_viol)) in table2_policies().into_iter().zip(paper) {
             let report = run_setup2(&fleet, policy, mode);
             let normalized = match &baseline {
                 None => 1.0,
-                Some(base) => report.energy.normalized_to(base).expect("baseline non-zero"),
+                Some(base) => report
+                    .energy
+                    .normalized_to(base)
+                    .expect("baseline non-zero"),
             };
             if baseline.is_none() {
                 baseline = Some(report.energy);
@@ -57,7 +60,13 @@ fn main() {
         // [7], joint-VM sizing), which the paper discusses but does not
         // plot. Its once-per-period pairing overcommits when the fused
         // correlation shifts — the critique of §II, quantified.
-        let supervm = run_setup2(&fleet, cavm_sim::Policy::SuperVm { min_pair_cost: 1.25 }, mode);
+        let supervm = run_setup2(
+            &fleet,
+            cavm_sim::Policy::SuperVm {
+                min_pair_cost: 1.25,
+            },
+            mode,
+        );
         println!(
             "{:<10} {:>18.3} {:>22.1} {:>14} {:>12}   [extension, not in the paper's table]",
             supervm.policy,

@@ -115,8 +115,11 @@ pub fn setup1_sim_config(
     let wave2 = ClientWave::cosine(0.0, config.clients_max, config.wave_period_s)
         .map_err(ClusterError::Workload)?;
 
-    let a = |cluster: usize, isn: usize, server: usize, dedicated: Option<usize>| {
-        VmAssignment { cluster, isn, server, dedicated_cores: dedicated }
+    let a = |cluster: usize, isn: usize, server: usize, dedicated: Option<usize>| VmAssignment {
+        cluster,
+        isn,
+        server,
+        dedicated_cores: dedicated,
     };
     let assignments = match placement {
         Setup1Placement::Segregated => vec![
@@ -126,12 +129,22 @@ pub fn setup1_sim_config(
             a(1, 1, 1, Some(4)),
         ],
         Setup1Placement::SharedUncorrelated => {
-            vec![a(0, 0, 0, None), a(0, 1, 0, None), a(1, 0, 1, None), a(1, 1, 1, None)]
+            vec![
+                a(0, 0, 0, None),
+                a(0, 1, 0, None),
+                a(1, 0, 1, None),
+                a(1, 1, 1, None),
+            ]
         }
         // Hot shard of one cluster with the cold shard of the other:
         // anti-phased waves and complementary shard weights.
         Setup1Placement::SharedCorrelated => {
-            vec![a(0, 0, 0, None), a(1, 1, 0, None), a(0, 1, 1, None), a(1, 0, 1, None)]
+            vec![
+                a(0, 0, 0, None),
+                a(1, 1, 0, None),
+                a(0, 1, 1, None),
+                a(1, 0, 1, None),
+            ]
         }
     };
 
@@ -178,7 +191,12 @@ pub fn run_setup1(
     let peak_server_util = (0..result.server_utilization.len())
         .map(|s| result.peak_server_utilization(s))
         .collect();
-    Ok(Setup1Outcome { placement, result, p90_response, peak_server_util })
+    Ok(Setup1Outcome {
+        placement,
+        result,
+        p90_response,
+        peak_server_util,
+    })
 }
 
 #[cfg(test)]
@@ -188,7 +206,11 @@ mod tests {
     fn quick() -> Setup1Config {
         // Shorter run for unit tests; the bench binaries run the full
         // period.
-        Setup1Config { duration_s: 600.0, wave_period_s: 600.0, ..Setup1Config::default() }
+        Setup1Config {
+            duration_s: 600.0,
+            wave_period_s: 600.0,
+            ..Setup1Config::default()
+        }
     }
 
     #[test]
@@ -244,7 +266,10 @@ mod tests {
         // at 2.1 GHz (0.160 vs 0.155 s), i.e. the correlation gain pays
         // for the frequency drop.
         let unc = run_setup1(Setup1Placement::SharedUncorrelated, &quick()).unwrap();
-        let low = Setup1Config { frequency_scale: 1.9 / 2.1, ..quick() };
+        let low = Setup1Config {
+            frequency_scale: 1.9 / 2.1,
+            ..quick()
+        };
         let cor_low = run_setup1(Setup1Placement::SharedCorrelated, &low).unwrap();
         for c in 0..2 {
             assert!(

@@ -38,7 +38,10 @@ pub struct ServerSpec {
 impl ServerSpec {
     /// Creates a spec.
     pub fn new(cores: usize, frequency_scale: f64) -> Self {
-        Self { cores, frequency_scale }
+        Self {
+            cores,
+            frequency_scale,
+        }
     }
 }
 
@@ -187,12 +190,21 @@ fn issue_query(
     issued[cluster] += 1;
     let demands = cfg.clusters[cluster].sample_query_demands(qrng);
     let qid = queries.len();
-    queries.push(Query { cluster, arrival, pending: demands.len() });
+    queries.push(Query {
+        cluster,
+        arrival,
+        pending: demands.len(),
+    });
     for (isn, demand) in demands.into_iter().enumerate() {
         let vm = vm_of[&(cluster, isn)];
         let domain = domain_of_vm[vm];
         domains[domain].tasks += 1;
-        tasks.push(Task { domain, vm, query: qid, remaining: demand.max(1e-9) });
+        tasks.push(Task {
+            domain,
+            vm,
+            query: qid,
+            remaining: demand.max(1e-9),
+        });
     }
 }
 
@@ -255,9 +267,16 @@ impl ClientPool {
             need -= cancelled;
             for _ in 0..need {
                 self.live += 1;
-                let delay = self.rng.exponential(1.0 / think_time).expect("positive rate");
+                let delay = self
+                    .rng
+                    .exponential(1.0 / think_time)
+                    .expect("positive rate");
                 *seq += 1;
-                heap.push(ThinkEvent { time: now + delay, seq: *seq, cluster });
+                heap.push(ThinkEvent {
+                    time: now + delay,
+                    seq: *seq,
+                    cluster,
+                });
             }
         } else {
             self.retire_pending += effective - target;
@@ -278,9 +297,16 @@ impl ClientPool {
             self.retire_pending -= 1;
             self.live = self.live.saturating_sub(1);
         } else {
-            let delay = self.rng.exponential(1.0 / think_time).expect("positive rate");
+            let delay = self
+                .rng
+                .exponential(1.0 / think_time)
+                .expect("positive rate");
             *seq += 1;
-            heap.push(ThinkEvent { time: now + delay, seq: *seq, cluster });
+            heap.push(ThinkEvent {
+                time: now + delay,
+                seq: *seq,
+                cluster,
+            });
         }
     }
 }
@@ -294,33 +320,47 @@ impl ClusterSim {
     /// [`ClusterError::BadAssignment`] describing the first problem.
     pub fn new(config: ClusterSimConfig) -> crate::Result<Self> {
         if config.servers.is_empty() {
-            return Err(ClusterError::InvalidParameter("at least one server required"));
+            return Err(ClusterError::InvalidParameter(
+                "at least one server required",
+            ));
         }
         for s in &config.servers {
             if s.cores == 0 {
-                return Err(ClusterError::InvalidParameter("servers need at least one core"));
+                return Err(ClusterError::InvalidParameter(
+                    "servers need at least one core",
+                ));
             }
             if !(s.frequency_scale.is_finite() && s.frequency_scale > 0.0) {
-                return Err(ClusterError::InvalidParameter("frequency scale must be > 0"));
+                return Err(ClusterError::InvalidParameter(
+                    "frequency scale must be > 0",
+                ));
             }
         }
         if config.clusters.is_empty() {
-            return Err(ClusterError::InvalidParameter("at least one cluster required"));
+            return Err(ClusterError::InvalidParameter(
+                "at least one cluster required",
+            ));
         }
         if config.waves.len() != config.clusters.len() {
-            return Err(ClusterError::InvalidParameter("one client wave per cluster required"));
+            return Err(ClusterError::InvalidParameter(
+                "one client wave per cluster required",
+            ));
         }
         if !(config.duration_s.is_finite() && config.duration_s > 0.0) {
             return Err(ClusterError::InvalidParameter("duration must be > 0"));
         }
         if !(config.sample_dt_s.is_finite() && config.sample_dt_s > 0.0) {
-            return Err(ClusterError::InvalidParameter("sample interval must be > 0"));
+            return Err(ClusterError::InvalidParameter(
+                "sample interval must be > 0",
+            ));
         }
         if !(config.warmup_s.is_finite()
             && config.warmup_s >= 0.0
             && config.warmup_s < config.duration_s)
         {
-            return Err(ClusterError::InvalidParameter("warmup must lie within the run"));
+            return Err(ClusterError::InvalidParameter(
+                "warmup must lie within the run",
+            ));
         }
         // Exactly one assignment per (cluster, isn).
         let mut expected: std::collections::HashSet<(usize, usize)> =
@@ -333,7 +373,9 @@ impl ClusterSim {
         let mut seen = std::collections::HashSet::new();
         for a in &config.assignments {
             if a.server >= config.servers.len() {
-                return Err(ClusterError::BadAssignment("assignment names an unknown server"));
+                return Err(ClusterError::BadAssignment(
+                    "assignment names an unknown server",
+                ));
             }
             if !expected.contains(&(a.cluster, a.isn)) {
                 return Err(ClusterError::BadAssignment(
@@ -350,8 +392,11 @@ impl ClusterSim {
         // Per server: dedicated core budgets must fit, and dedicated /
         // shared VMs must not mix (the pool semantics would be ambiguous).
         for (s, spec) in config.servers.iter().enumerate() {
-            let on_server: Vec<&VmAssignment> =
-                config.assignments.iter().filter(|a| a.server == s).collect();
+            let on_server: Vec<&VmAssignment> = config
+                .assignments
+                .iter()
+                .filter(|a| a.server == s)
+                .collect();
             let dedicated: usize = on_server
                 .iter()
                 .map(|a| a.dedicated_cores.unwrap_or(0))
@@ -504,9 +549,7 @@ impl ClusterSim {
                     .get(next_arrival_idx)
                     .map(|&(t, _)| t)
                     .unwrap_or(f64::INFINITY),
-                ArrivalModel::Closed => {
-                    think_heap.peek().map(|e| e.time).unwrap_or(f64::INFINITY)
-                }
+                ArrivalModel::Closed => think_heap.peek().map(|e| e.time).unwrap_or(f64::INFINITY),
             };
             let horizon = next_completion.min(next_arrival).min(next_sample);
             let dt = (horizon - now).max(0.0);
@@ -537,8 +580,7 @@ impl ClusterSim {
                 q.pending -= 1;
                 if q.pending == 0 {
                     let cluster = &cfg.clusters[q.cluster];
-                    let response =
-                        now - q.arrival + cluster.config().frontend_demand_core_s;
+                    let response = now - q.arrival + cluster.config().frontend_demand_core_s;
                     completed[q.cluster] += 1;
                     if q.arrival >= cfg.warmup_s {
                         responses[q.cluster].push(response);
@@ -613,14 +655,7 @@ impl ClusterSim {
                     for (c, wave) in cfg.waves.iter().enumerate() {
                         let target = wave.value_at(now).round().max(0.0) as usize;
                         let think = cfg.clusters[c].config().think_time_s;
-                        pools[c].adjust(
-                            target,
-                            now,
-                            think,
-                            c,
-                            &mut think_seq,
-                            &mut think_heap,
-                        );
+                        pools[c].adjust(target, now, think, c, &mut think_seq, &mut think_heap);
                     }
                 }
             }
@@ -648,7 +683,8 @@ impl ClusterSim {
                 TimeSeries::sum_of(&members).map_err(ClusterError::Trace)?
             };
             server_utilization.push(
-                agg.scale(1.0 / spec.cores as f64).map_err(ClusterError::Trace)?,
+                agg.scale(1.0 / spec.cores as f64)
+                    .map_err(ClusterError::Trace)?,
             );
         }
         Ok(ClusterSimResult {
@@ -670,8 +706,18 @@ mod tests {
             servers: vec![ServerSpec::new(8, freq)],
             waves: vec![ClientWave::sine(0.0, 200.0, 300.0).unwrap()],
             assignments: vec![
-                VmAssignment { cluster: 0, isn: 0, server: 0, dedicated_cores: dedicated },
-                VmAssignment { cluster: 0, isn: 1, server: 0, dedicated_cores: dedicated },
+                VmAssignment {
+                    cluster: 0,
+                    isn: 0,
+                    server: 0,
+                    dedicated_cores: dedicated,
+                },
+                VmAssignment {
+                    cluster: 0,
+                    isn: 1,
+                    server: 0,
+                    dedicated_cores: dedicated,
+                },
             ],
             clusters: vec![cluster],
             duration_s: 300.0,
@@ -705,7 +751,10 @@ mod tests {
 
         let mut c = ok.clone();
         c.assignments[0].server = 9;
-        assert!(matches!(ClusterSim::new(c), Err(ClusterError::BadAssignment(_))));
+        assert!(matches!(
+            ClusterSim::new(c),
+            Err(ClusterError::BadAssignment(_))
+        ));
 
         let mut c = ok.clone();
         c.assignments[1].isn = 0;
@@ -744,8 +793,7 @@ mod tests {
         let expected: f64 = (0..2)
             .map(|i| cfg.clusters[0].expected_isn_load(wave_mean, i))
             .sum();
-        let measured: f64 =
-            result.vm_utilization.iter().map(|t| t.mean()).sum();
+        let measured: f64 = result.vm_utilization.iter().map(|t| t.mean()).sum();
         assert!(
             (measured - expected).abs() / expected < 0.1,
             "measured {measured} vs offered {expected}"
@@ -769,8 +817,7 @@ mod tests {
             .run()
             .unwrap();
         assert!(result.queries_issued[0] > 1000);
-        let completion_rate =
-            result.queries_completed[0] as f64 / result.queries_issued[0] as f64;
+        let completion_rate = result.queries_completed[0] as f64 / result.queries_issued[0] as f64;
         assert!(completion_rate > 0.95, "completion rate {completion_rate}");
         assert!(result.p90_response(0).unwrap() > 0.0);
     }

@@ -1,8 +1,6 @@
 //! Invariant tests for the processor-sharing discrete-event engine.
 
-use cavm_cluster::{
-    ArrivalModel, ClusterSim, ClusterSimConfig, ServerSpec, VmAssignment,
-};
+use cavm_cluster::{ArrivalModel, ClusterSim, ClusterSimConfig, ServerSpec, VmAssignment};
 use cavm_workload::{ClientWave, WebSearchCluster};
 
 fn config(cores: usize, freq: f64, model: ArrivalModel, seed: u64) -> ClusterSimConfig {
@@ -11,8 +9,18 @@ fn config(cores: usize, freq: f64, model: ArrivalModel, seed: u64) -> ClusterSim
         clusters: vec![WebSearchCluster::paper_setup1().unwrap()],
         waves: vec![ClientWave::sine(0.0, 150.0, 200.0).unwrap()],
         assignments: vec![
-            VmAssignment { cluster: 0, isn: 0, server: 0, dedicated_cores: None },
-            VmAssignment { cluster: 0, isn: 1, server: 0, dedicated_cores: None },
+            VmAssignment {
+                cluster: 0,
+                isn: 0,
+                server: 0,
+                dedicated_cores: None,
+            },
+            VmAssignment {
+                cluster: 0,
+                isn: 1,
+                server: 0,
+                dedicated_cores: None,
+            },
         ],
         duration_s: 200.0,
         sample_dt_s: 1.0,
@@ -26,7 +34,10 @@ fn config(cores: usize, freq: f64, model: ArrivalModel, seed: u64) -> ClusterSim
 fn per_vm_usage_never_exceeds_server_cores_times_frequency() {
     for model in [ArrivalModel::Open, ArrivalModel::Closed] {
         for &freq in &[1.0, 0.8] {
-            let result = ClusterSim::new(config(8, freq, model, 3)).unwrap().run().unwrap();
+            let result = ClusterSim::new(config(8, freq, model, 3))
+                .unwrap()
+                .run()
+                .unwrap();
             let total_cap = 8.0 * freq;
             for (v, t) in result.vm_utilization.iter().enumerate() {
                 assert!(
@@ -45,15 +56,19 @@ fn work_conservation_completed_work_matches_busy_time() {
     // Total integrated core usage ≈ total demand of completed queries
     // (plus in-flight remainder): check usage is within the issued
     // demand envelope.
-    let result = ClusterSim::new(config(8, 1.0, ArrivalModel::Open, 9)).unwrap().run().unwrap();
+    let result = ClusterSim::new(config(8, 1.0, ArrivalModel::Open, 9))
+        .unwrap()
+        .run()
+        .unwrap();
     let cluster = WebSearchCluster::paper_setup1().unwrap();
     let used: f64 = result
         .vm_utilization
         .iter()
         .map(|t| t.mean() * t.duration())
         .sum();
-    let mean_demand_per_query: f64 =
-        (0..cluster.isns()).map(|i| cluster.expected_isn_demand(i)).sum();
+    let mean_demand_per_query: f64 = (0..cluster.isns())
+        .map(|i| cluster.expected_isn_demand(i))
+        .sum();
     let offered = result.queries_issued[0] as f64 * mean_demand_per_query;
     assert!(used > 0.0);
     assert!(
@@ -83,12 +98,13 @@ fn responses_are_positive_and_ordered_by_load() {
 #[test]
 fn completed_never_exceeds_issued() {
     for model in [ArrivalModel::Open, ArrivalModel::Closed] {
-        let result = ClusterSim::new(config(8, 1.0, model, 11)).unwrap().run().unwrap();
+        let result = ClusterSim::new(config(8, 1.0, model, 11))
+            .unwrap()
+            .run()
+            .unwrap();
         assert!(result.queries_completed[0] <= result.queries_issued[0]);
         // And the vast majority complete in a stable system.
-        assert!(
-            result.queries_completed[0] as f64 >= 0.9 * result.queries_issued[0] as f64
-        );
+        assert!(result.queries_completed[0] as f64 >= 0.9 * result.queries_issued[0] as f64);
     }
 }
 

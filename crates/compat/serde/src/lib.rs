@@ -1,0 +1,30 @@
+//! Offline stand-in for the `serde` facade.
+//!
+//! The build environment has no access to a crate registry, so this
+//! workspace vendors the minimal serde surface it actually uses:
+//! `#[derive(Serialize, Deserialize)]` annotations on plain data types.
+//! No code path serializes at runtime, therefore:
+//!
+//! * the derive macros (re-exported from the sibling `serde_derive`
+//!   stub) expand to nothing, and
+//! * the traits are markers with blanket impls, so any generic bound on
+//!   `Serialize`/`Deserialize` is trivially satisfied.
+//!
+//! Swapping in the real serde later is a two-line `Cargo.toml` change;
+//! no source file needs to move because the import paths match.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`; blanket-implemented for all
+/// types.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`; blanket-implemented for
+/// all types.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Marker stand-in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned {}
+impl<T: ?Sized> DeserializeOwned for T {}

@@ -1,0 +1,22 @@
+//! No-op derive macros mirroring `serde_derive`'s entry points.
+//!
+//! The workspace builds in an offline environment without the real
+//! `serde` crates. Nothing in this repository serializes at runtime —
+//! the derives exist so types stay annotated for a future switch to the
+//! real serde — so expanding to an empty token stream is sufficient: the
+//! sibling `serde` stub provides blanket trait impls that satisfy any
+//! `Serialize`/`Deserialize` bound.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `serde_derive::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `serde_derive::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

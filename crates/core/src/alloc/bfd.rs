@@ -66,7 +66,9 @@ impl AllocationPolicy for BfdPolicy {
                 None => servers.push((vec![vm.id], vm.demand)),
             }
         }
-        Ok(Placement::from_servers(servers.into_iter().map(|(m, _)| m).collect()))
+        Ok(Placement::from_servers(
+            servers.into_iter().map(|(m, _)| m).collect(),
+        ))
     }
 }
 
@@ -76,7 +78,11 @@ mod tests {
     use cavm_trace::Reference;
 
     fn descs(demands: &[f64]) -> Vec<VmDescriptor> {
-        demands.iter().enumerate().map(|(i, &d)| VmDescriptor::new(i, d)).collect()
+        demands
+            .iter()
+            .enumerate()
+            .map(|(i, &d)| VmDescriptor::new(i, d))
+            .collect()
     }
 
     fn matrix(n: usize) -> CostMatrix {
@@ -130,6 +136,8 @@ mod tests {
     fn rejects_invalid_inputs() {
         let vms = descs(&[1.0]);
         assert!(BfdPolicy.place(&vms, &matrix(1), -1.0).is_err());
-        assert!(BfdPolicy.place(&descs(&[f64::NAN]), &matrix(1), 8.0).is_err());
+        assert!(BfdPolicy
+            .place(&descs(&[f64::NAN]), &matrix(1), 8.0)
+            .is_err());
     }
 }

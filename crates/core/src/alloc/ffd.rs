@@ -64,7 +64,9 @@ impl AllocationPolicy for FfdPolicy {
                 None => servers.push((vec![vm.id], vm.demand)),
             }
         }
-        Ok(Placement::from_servers(servers.into_iter().map(|(m, _)| m).collect()))
+        Ok(Placement::from_servers(
+            servers.into_iter().map(|(m, _)| m).collect(),
+        ))
     }
 }
 
@@ -74,7 +76,11 @@ mod tests {
     use cavm_trace::Reference;
 
     fn descs(demands: &[f64]) -> Vec<VmDescriptor> {
-        demands.iter().enumerate().map(|(i, &d)| VmDescriptor::new(i, d)).collect()
+        demands
+            .iter()
+            .enumerate()
+            .map(|(i, &d)| VmDescriptor::new(i, d))
+            .collect()
     }
 
     fn matrix(n: usize) -> CostMatrix {

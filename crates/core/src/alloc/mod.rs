@@ -62,7 +62,11 @@ impl VmDescriptor {
     /// Creates a descriptor with `off_peak == demand` (pure peak
     /// provisioning).
     pub fn new(id: usize, demand: f64) -> Self {
-        Self { id, demand, off_peak: demand }
+        Self {
+            id,
+            demand,
+            off_peak: demand,
+        }
     }
 
     /// Sets the off-peak utilization.
@@ -108,7 +112,9 @@ pub struct Placement {
 impl Placement {
     /// Wraps raw server membership lists, dropping empty servers.
     pub fn from_servers(servers: Vec<Vec<usize>>) -> Self {
-        Self { servers: servers.into_iter().filter(|s| !s.is_empty()).collect() }
+        Self {
+            servers: servers.into_iter().filter(|s| !s.is_empty()).collect(),
+        }
     }
 
     /// Number of active (non-empty) servers.
@@ -240,21 +246,32 @@ pub(crate) fn validate_inputs(
     capacity: f64,
 ) -> crate::Result<()> {
     if !(capacity.is_finite() && capacity > 0.0) {
-        return Err(CoreError::InvalidParameter("server capacity must be finite and > 0"));
+        return Err(CoreError::InvalidParameter(
+            "server capacity must be finite and > 0",
+        ));
     }
     let mut seen = std::collections::HashSet::new();
     for d in vms {
         if !(d.demand.is_finite() && d.demand >= 0.0) {
-            return Err(CoreError::InvalidParameter("vm demand must be finite and >= 0"));
+            return Err(CoreError::InvalidParameter(
+                "vm demand must be finite and >= 0",
+            ));
         }
         if !(d.off_peak.is_finite() && d.off_peak >= 0.0) {
-            return Err(CoreError::InvalidParameter("vm off-peak must be finite and >= 0"));
+            return Err(CoreError::InvalidParameter(
+                "vm off-peak must be finite and >= 0",
+            ));
         }
         if d.id >= matrix.len() {
-            return Err(CoreError::UnknownVm { id: d.id, known: matrix.len() });
+            return Err(CoreError::UnknownVm {
+                id: d.id,
+                known: matrix.len(),
+            });
         }
         if !seen.insert(d.id) {
-            return Err(CoreError::InvalidParameter("duplicate vm id in descriptor table"));
+            return Err(CoreError::InvalidParameter(
+                "duplicate vm id in descriptor table",
+            ));
         }
     }
     Ok(())
@@ -279,7 +296,11 @@ mod tests {
     use super::*;
 
     fn descs(demands: &[f64]) -> Vec<VmDescriptor> {
-        demands.iter().enumerate().map(|(i, &d)| VmDescriptor::new(i, d)).collect()
+        demands
+            .iter()
+            .enumerate()
+            .map(|(i, &d)| VmDescriptor::new(i, d))
+            .collect()
     }
 
     #[test]
@@ -292,8 +313,7 @@ mod tests {
 
     #[test]
     fn descriptors_from_traces() {
-        let a = TimeSeries::new(1.0, vec![1.0; 99].into_iter().chain([9.0]).collect())
-            .unwrap();
+        let a = TimeSeries::new(1.0, vec![1.0; 99].into_iter().chain([9.0]).collect()).unwrap();
         let b = TimeSeries::new(1.0, vec![2.0; 100]).unwrap();
         let ds = VmDescriptor::from_traces(&[&a, &b], Reference::Peak).unwrap();
         assert_eq!(ds.len(), 2);
@@ -320,9 +340,13 @@ mod tests {
     fn placement_validation_catches_problems() {
         let vms = descs(&[1.0, 2.0]);
         // Valid.
-        Placement::from_servers(vec![vec![0, 1]]).validate(&vms, 8.0).unwrap();
+        Placement::from_servers(vec![vec![0, 1]])
+            .validate(&vms, 8.0)
+            .unwrap();
         // Missing VM.
-        assert!(Placement::from_servers(vec![vec![0]]).validate(&vms, 8.0).is_err());
+        assert!(Placement::from_servers(vec![vec![0]])
+            .validate(&vms, 8.0)
+            .is_err());
         // Duplicate VM.
         assert!(Placement::from_servers(vec![vec![0], vec![0, 1]])
             .validate(&vms, 8.0)
@@ -332,10 +356,14 @@ mod tests {
             .validate(&vms, 8.0)
             .is_err());
         // Overcommit (multi-VM server beyond capacity).
-        assert!(Placement::from_servers(vec![vec![0, 1]]).validate(&vms, 2.5).is_err());
+        assert!(Placement::from_servers(vec![vec![0, 1]])
+            .validate(&vms, 2.5)
+            .is_err());
         // A single oversized VM alone is tolerated.
         let big = descs(&[99.0]);
-        Placement::from_servers(vec![vec![0]]).validate(&big, 8.0).unwrap();
+        Placement::from_servers(vec![vec![0]])
+            .validate(&big, 8.0)
+            .unwrap();
     }
 
     #[test]

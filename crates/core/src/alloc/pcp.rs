@@ -31,7 +31,9 @@ struct UnionFind {
 
 impl UnionFind {
     fn new(n: usize) -> Self {
-        Self { parent: (0..n).collect() }
+        Self {
+            parent: (0..n).collect(),
+        }
     }
 
     fn find(&mut self, x: usize) -> usize {
@@ -108,7 +110,9 @@ impl PcpPolicy {
             return Err(CoreError::InvalidParameter("pcp needs at least one trace"));
         }
         if !(0.0..=1.0).contains(&affinity_threshold) {
-            return Err(CoreError::InvalidParameter("affinity threshold must be in [0, 1]"));
+            return Err(CoreError::InvalidParameter(
+                "affinity threshold must be in [0, 1]",
+            ));
         }
         let envelopes: Vec<Envelope> = traces
             .iter()
@@ -119,8 +123,9 @@ impl PcpPolicy {
         let mut uf = UnionFind::new(n);
         for i in 0..n {
             for j in (i + 1)..n {
-                let affinity =
-                    envelopes[i].containment(&envelopes[j]).map_err(CoreError::Trace)?;
+                let affinity = envelopes[i]
+                    .containment(&envelopes[j])
+                    .map_err(CoreError::Trace)?;
                 if affinity >= affinity_threshold {
                     uf.union(i, j);
                 }
@@ -128,8 +133,7 @@ impl PcpPolicy {
         }
         let mut labels = vec![0usize; n];
         let mut next = 0usize;
-        let mut canon: std::collections::HashMap<usize, usize> =
-            std::collections::HashMap::new();
+        let mut canon: std::collections::HashMap<usize, usize> = std::collections::HashMap::new();
         for (v, label) in labels.iter_mut().enumerate() {
             let root = uf.find(v);
             let entry = canon.entry(root).or_insert_with(|| {
@@ -139,7 +143,10 @@ impl PcpPolicy {
             });
             *label = *entry;
         }
-        Ok(Self { clusters: labels, cluster_count: next })
+        Ok(Self {
+            clusters: labels,
+            cluster_count: next,
+        })
     }
 
     /// Uses precomputed cluster labels (`labels[vm_id]`).
@@ -155,7 +162,10 @@ impl PcpPolicy {
             let set: std::collections::HashSet<usize> = labels.iter().copied().collect();
             set.len()
         };
-        Ok(Self { clusters: labels, cluster_count })
+        Ok(Self {
+            clusters: labels,
+            cluster_count,
+        })
     }
 
     /// Number of clusters found.
@@ -204,7 +214,10 @@ impl AllocationPolicy for PcpPolicy {
         validate_inputs(vms, matrix, capacity)?;
         for d in vms {
             if d.id >= self.clusters.len() {
-                return Err(CoreError::UnknownVm { id: d.id, known: self.clusters.len() });
+                return Err(CoreError::UnknownVm {
+                    id: d.id,
+                    known: self.clusters.len(),
+                });
             }
             if d.off_peak > d.demand + FIT_EPS {
                 return Err(CoreError::InvalidParameter(
@@ -267,7 +280,9 @@ impl AllocationPolicy for PcpPolicy {
                 }
             }
         }
-        Ok(Placement::from_servers(bins.into_iter().map(|b| b.members).collect()))
+        Ok(Placement::from_servers(
+            bins.into_iter().map(|b| b.members).collect(),
+        ))
     }
 }
 
@@ -322,8 +337,7 @@ mod tests {
     #[test]
     fn single_cluster_delegates_to_bfd() {
         let pcp = PcpPolicy::from_labels(vec![0, 0, 0]).unwrap();
-        let vms: Vec<VmDescriptor> =
-            (0..3).map(|i| VmDescriptor::new(i, 3.0)).collect();
+        let vms: Vec<VmDescriptor> = (0..3).map(|i| VmDescriptor::new(i, 3.0)).collect();
         let matrix = CostMatrix::new(3, Reference::Peak).unwrap();
         let via_pcp = pcp.place(&vms, &matrix, 8.0).unwrap();
         let via_bfd = BfdPolicy.place(&vms, &matrix, 8.0).unwrap();

@@ -32,7 +32,7 @@ use crate::alloc::{
     decreasing_order, validate_inputs, AllocationPolicy, Placement, VmDescriptor, FIT_EPS,
 };
 use crate::corr::CostMatrix;
-use crate::servercost::server_cost_with_candidate;
+use crate::servercost::ServerCostAggregate;
 use crate::CoreError;
 use serde::{Deserialize, Serialize};
 
@@ -75,7 +75,12 @@ pub struct ProposedConfig {
 
 impl Default for ProposedConfig {
     fn default() -> Self {
-        Self { th_init: 1.8, alpha: 0.92, th_floor: 1.0, max_rounds: 10_000 }
+        Self {
+            th_init: 1.8,
+            alpha: 0.92,
+            th_floor: 1.0,
+            max_rounds: 10_000,
+        }
     }
 }
 
@@ -105,12 +110,10 @@ impl Default for ProposedConfig {
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
 pub struct ProposedPolicy {
     config: ProposedConfig,
 }
-
 
 impl ProposedPolicy {
     /// Creates a policy with explicit tuning.
@@ -128,7 +131,9 @@ impl ProposedPolicy {
             return Err(CoreError::InvalidParameter("thresholds must be finite"));
         }
         if config.th_floor > config.th_init {
-            return Err(CoreError::InvalidParameter("th_floor must not exceed th_init"));
+            return Err(CoreError::InvalidParameter(
+                "th_floor must not exceed th_init",
+            ));
         }
         if config.max_rounds == 0 {
             return Err(CoreError::InvalidParameter("max_rounds must be >= 1"));
@@ -142,14 +147,28 @@ impl ProposedPolicy {
     }
 }
 
+/// One open server: membership, packed load and the Eqn (2) pair sums
+/// all live in the single [`ServerCostAggregate`], so each candidate
+/// probe of the ALLOCATE scan is O(|members|) instead of a full
+/// O(|members|²) re-evaluation and there is no parallel state to keep
+/// in sync.
 struct Bin {
-    members: Vec<usize>, // vm ids
-    used: f64,
+    agg: ServerCostAggregate,
 }
 
 impl Bin {
+    fn empty() -> Self {
+        Bin {
+            agg: ServerCostAggregate::new(),
+        }
+    }
+
     fn remaining(&self, capacity: f64) -> f64 {
-        capacity - self.used
+        capacity - self.agg.total_util()
+    }
+
+    fn member_ids(&self) -> Vec<usize> {
+        self.agg.members().iter().map(|&(id, _)| id).collect()
     }
 }
 
@@ -175,8 +194,7 @@ impl AllocationPolicy for ProposedPolicy {
         let total: f64 = vms.iter().map(|d| d.demand).sum();
         let n_est = estimate_server_count(total, capacity).max(1);
 
-        let mut bins: Vec<Bin> =
-            (0..n_est).map(|_| Bin { members: Vec::new(), used: 0.0 }).collect();
+        let mut bins: Vec<Bin> = (0..n_est).map(|_| Bin::empty()).collect();
         // Unallocated descriptor indices, kept in decreasing-demand order.
         let mut unalloc: Vec<usize> = order;
         let mut th = self.config.th_init;
@@ -185,7 +203,9 @@ impl AllocationPolicy for ProposedPolicy {
         while !unalloc.is_empty() {
             rounds += 1;
             if rounds > self.config.max_rounds {
-                return Err(CoreError::AllocationDiverged { unallocated: unalloc.len() });
+                return Err(CoreError::AllocationDiverged {
+                    unallocated: unalloc.len(),
+                });
             }
 
             // Line 10: the server with the largest remaining capacity.
@@ -229,22 +249,31 @@ impl AllocationPolicy for ProposedPolicy {
                         .expect("unalloc is non-empty");
                     let roomiest = bins[bin_idx].remaining(capacity);
                     debug_assert!(
-                        smallest > roomiest + FIT_EPS || bins[bin_idx].members.is_empty(),
+                        smallest > roomiest + FIT_EPS || bins[bin_idx].agg.is_empty(),
                         "no progress despite a fitting vm"
                     );
                     let _ = roomiest;
-                    bins.push(Bin { members: Vec::new(), used: 0.0 });
+                    bins.push(Bin::empty());
                 }
             }
         }
 
-        Ok(Placement::from_servers(bins.into_iter().map(|b| b.members).collect()))
+        Ok(Placement::from_servers(
+            bins.iter().map(Bin::member_ids).collect(),
+        ))
     }
 }
 
 /// Greedy inner loop (Fig 2, lines 11–16): keep adding the
 /// best-admissible VM to `bin` until none qualifies. Returns the number
 /// of VMs placed.
+///
+/// `unalloc` holds descriptor indices in decreasing-demand order, which
+/// turns the fit check into a single binary search: every index at or
+/// past `partition_point(demand > rem)` fits, everything before it is
+/// too large, so a pass stops scanning (and the whole loop exits) the
+/// moment nothing fits. Candidate scoring goes through the bin's
+/// [`ServerCostAggregate`], making each probe O(|members|).
 fn fill_bin(
     bin: &mut Bin,
     unalloc: &mut Vec<usize>,
@@ -257,26 +286,28 @@ fn fill_bin(
     let mut placed = 0;
     loop {
         let rem = bin.remaining(capacity);
-        let choice = if bin.members.is_empty() {
+        // First position whose VM fits: demands are non-increasing
+        // along `unalloc`, so the predicate is monotone.
+        let first_fit = unalloc.partition_point(|&i| vms[i].demand > rem + FIT_EPS);
+        let choice = if bin.agg.is_empty() {
             // FFD seeding: the largest unallocated VM that fits; an
             // oversized VM (demand > capacity) is admitted alone —
             // it has to run somewhere.
-            match unalloc.iter().position(|&i| vms[i].demand <= rem + FIT_EPS) {
-                Some(pos) => Some(pos),
-                None if !unalloc.is_empty() => Some(0),
-                None => None,
+            if first_fit < unalloc.len() {
+                Some(first_fit)
+            } else if !unalloc.is_empty() {
+                Some(0)
+            } else {
+                None
             }
         } else {
             // Line 11: among fitting VMs, the one maximizing the server
             // cost after insertion, subject to cost ≥ TH (waived at the
             // floor).
             let mut best: Option<(usize, f64)> = None;
-            for (pos, &idx) in unalloc.iter().enumerate() {
+            for (pos, &idx) in unalloc.iter().enumerate().skip(first_fit) {
                 let vm = &vms[idx];
-                if vm.demand > rem + FIT_EPS {
-                    continue;
-                }
-                let cost = server_cost_with_candidate(&bin.members, vm.id, vms, matrix);
+                let cost = bin.agg.candidate_cost(vm.id, vm.demand, matrix);
                 if cost < th && th > th_floor {
                     continue;
                 }
@@ -294,8 +325,7 @@ fn fill_bin(
         match choice {
             Some(pos) => {
                 let idx = unalloc.remove(pos);
-                bin.used += vms[idx].demand;
-                bin.members.push(vms[idx].id);
+                bin.agg.push(vms[idx].id, vms[idx].demand, matrix);
                 placed += 1;
             }
             None => return placed,
@@ -318,7 +348,11 @@ mod tests {
     }
 
     fn descs(demands: &[f64]) -> Vec<VmDescriptor> {
-        demands.iter().enumerate().map(|(i, &d)| VmDescriptor::new(i, d)).collect()
+        demands
+            .iter()
+            .enumerate()
+            .map(|(i, &d)| VmDescriptor::new(i, d))
+            .collect()
     }
 
     #[test]
@@ -337,9 +371,21 @@ mod tests {
         assert!(ProposedPolicy::new(ok).is_ok());
         assert!(ProposedPolicy::new(ProposedConfig { alpha: 0.0, ..ok }).is_err());
         assert!(ProposedPolicy::new(ProposedConfig { alpha: 1.0, ..ok }).is_err());
-        assert!(ProposedPolicy::new(ProposedConfig { th_floor: 3.0, ..ok }).is_err());
-        assert!(ProposedPolicy::new(ProposedConfig { th_init: f64::NAN, ..ok }).is_err());
-        assert!(ProposedPolicy::new(ProposedConfig { max_rounds: 0, ..ok }).is_err());
+        assert!(ProposedPolicy::new(ProposedConfig {
+            th_floor: 3.0,
+            ..ok
+        })
+        .is_err());
+        assert!(ProposedPolicy::new(ProposedConfig {
+            th_init: f64::NAN,
+            ..ok
+        })
+        .is_err());
+        assert!(ProposedPolicy::new(ProposedConfig {
+            max_rounds: 0,
+            ..ok
+        })
+        .is_err());
         assert_eq!(ProposedPolicy::default().config().th_floor, 1.0);
     }
 
@@ -363,10 +409,7 @@ mod tests {
     #[test]
     fn bfd_colocates_what_proposed_separates() {
         // Contrast case backing the paper's Table II mechanism.
-        let m = matrix_from_rows(&[
-            &[4.0, 4.0, 0.5, 0.5],
-            &[0.5, 0.5, 4.0, 4.0],
-        ]);
+        let m = matrix_from_rows(&[&[4.0, 4.0, 0.5, 0.5], &[0.5, 0.5, 4.0, 4.0]]);
         let vms = descs(&[4.0, 4.0, 4.0, 4.0]);
         let bfd = crate::alloc::BfdPolicy.place(&vms, &m, 8.0).unwrap();
         // BFD is order/size-driven: 0 and 1 (equal size, first fit wins)
@@ -457,11 +500,7 @@ mod tests {
         // VM0 and VM1 peak together; VM2 is anti-phased with both. The
         // correlated pair must end up on different servers, whichever
         // partner the greedy assigns VM2 to.
-        let m = matrix_from_rows(&[
-            &[4.0, 3.0, 0.5],
-            &[0.5, 0.4, 3.0],
-            &[4.0, 3.0, 0.5],
-        ]);
+        let m = matrix_from_rows(&[&[4.0, 3.0, 0.5], &[0.5, 0.4, 3.0], &[4.0, 3.0, 0.5]]);
         let vms = descs(&[4.0, 3.0, 3.0]);
         let p = ProposedPolicy::default().place(&vms, &m, 8.0).unwrap();
         p.validate(&vms, 8.0).unwrap();

@@ -54,7 +54,9 @@ pub struct SuperVmPolicy {
 
 impl Default for SuperVmPolicy {
     fn default() -> Self {
-        Self { min_pair_cost: 1.25 }
+        Self {
+            min_pair_cost: 1.25,
+        }
     }
 }
 
@@ -67,7 +69,9 @@ impl SuperVmPolicy {
     /// threshold.
     pub fn new(min_pair_cost: f64) -> crate::Result<Self> {
         if !min_pair_cost.is_finite() {
-            return Err(CoreError::InvalidParameter("pair-cost threshold must be finite"));
+            return Err(CoreError::InvalidParameter(
+                "pair-cost threshold must be finite",
+            ));
         }
         Ok(Self { min_pair_cost })
     }
@@ -75,11 +79,7 @@ impl SuperVmPolicy {
     /// Greedy pairing: repeatedly take the largest unpaired VM and fuse
     /// it with the unpaired partner of maximal pair cost (if any clears
     /// the threshold). Returns `(members, joint_demand)` per super-VM.
-    fn build_super_vms(
-        &self,
-        vms: &[VmDescriptor],
-        matrix: &CostMatrix,
-    ) -> Vec<(Vec<usize>, f64)> {
+    fn build_super_vms(&self, vms: &[VmDescriptor], matrix: &CostMatrix) -> Vec<(Vec<usize>, f64)> {
         let order = decreasing_order(vms);
         let mut unpaired: Vec<usize> = order; // descriptor indices, desc demand
         let mut supers = Vec::new();
@@ -130,7 +130,10 @@ impl AllocationPolicy for SuperVmPolicy {
         // BFD over super-VMs by joint demand.
         let mut order: Vec<usize> = (0..supers.len()).collect();
         order.sort_by(|&x, &y| {
-            supers[y].1.partial_cmp(&supers[x].1).expect("finite joint demands")
+            supers[y]
+                .1
+                .partial_cmp(&supers[x].1)
+                .expect("finite joint demands")
         });
         let mut bins: Vec<(Vec<usize>, f64)> = Vec::new();
         for idx in order {
@@ -147,7 +150,9 @@ impl AllocationPolicy for SuperVmPolicy {
                 None => bins.push((members.clone(), *joint)),
             }
         }
-        Ok(Placement::from_servers(bins.into_iter().map(|(m, _)| m).collect()))
+        Ok(Placement::from_servers(
+            bins.into_iter().map(|(m, _)| m).collect(),
+        ))
     }
 }
 
@@ -166,17 +171,18 @@ mod tests {
     }
 
     fn descs(demands: &[f64]) -> Vec<VmDescriptor> {
-        demands.iter().enumerate().map(|(i, &d)| VmDescriptor::new(i, d)).collect()
+        demands
+            .iter()
+            .enumerate()
+            .map(|(i, &d)| VmDescriptor::new(i, d))
+            .collect()
     }
 
     #[test]
     fn fuses_anti_correlated_pairs() {
         // VMs 0/2 anti-phased, 1/3 anti-phased: two super-VMs of joint
         // size ≈ 4 each → one 8-core server, where BFD by peaks needs 2.
-        let m = matrix_from_rows(&[
-            &[4.0, 4.0, 0.0, 0.0],
-            &[0.0, 0.0, 4.0, 4.0],
-        ]);
+        let m = matrix_from_rows(&[&[4.0, 4.0, 0.0, 0.0], &[0.0, 0.0, 4.0, 4.0]]);
         let vms = descs(&[4.0, 4.0, 4.0, 4.0]);
         let p = SuperVmPolicy::default().place(&vms, &m, 8.0).unwrap();
         p.validate_structure(&vms).unwrap();

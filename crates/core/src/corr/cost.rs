@@ -195,11 +195,7 @@ pub(crate) fn combine_cost(u_a: f64, u_b: f64, u_sum: f64) -> f64 {
 /// # Ok(())
 /// # }
 /// ```
-pub fn cost_of_traces(
-    a: &TimeSeries,
-    b: &TimeSeries,
-    reference: Reference,
-) -> crate::Result<f64> {
+pub fn cost_of_traces(a: &TimeSeries, b: &TimeSeries, reference: Reference) -> crate::Result<f64> {
     let u_a = reference.of_series(a)?;
     let u_b = reference.of_series(b)?;
     let sum = TimeSeries::sum_of(&[a, b])?;
@@ -239,9 +235,7 @@ mod tests {
         let c = series(&[2.0, 4.0, 2.0]);
         let d = series(&[0.0, 2.0, 4.0]);
         // sum = [2, 6, 6]; cost = 8/6 ≈ 1.333.
-        assert!(
-            (cost_of_traces(&c, &d, Reference::Peak).unwrap() - 8.0 / 6.0).abs() < 1e-12
-        );
+        assert!((cost_of_traces(&c, &d, Reference::Peak).unwrap() - 8.0 / 6.0).abs() < 1e-12);
     }
 
     #[test]

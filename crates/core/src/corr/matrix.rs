@@ -1,21 +1,153 @@
-//! The all-pairs cost matrix `M_cost` (paper §IV-A).
+//! The all-pairs cost matrix `M_cost` (paper §IV-A) — struct-of-arrays
+//! kernel.
 //!
 //! "Using our new Cost function, we can model correlations among all VMs
 //! by constructing a 2-D matrix, namely M_cost, where the (i,j)-th
 //! element corresponds to Cost_ij."
 //!
-//! [`CostMatrix`] stores one streaming [`CostMetric`] per unordered VM
-//! pair (upper triangle), so a fleet-wide monitoring tick costs
-//! `O(n²)` constant-time updates and no sample storage — this is the
-//! UPDATE-phase step "update M_cost by updating the Cost_ij for all VM
-//! pairs" (Fig 2, line 7).
+//! # Storage layout
+//!
+//! The seed implementation (preserved as
+//! [`baseline::PairwiseCostMatrix`](crate::corr::baseline::PairwiseCostMatrix))
+//! kept one enum-dispatched [`CostMetric`](crate::corr::CostMetric) per
+//! pair: three boxed-enum trackers and ~640 bytes of state per pair,
+//! walked as an array of structs on every monitoring tick. This module
+//! flattens that hot path:
+//!
+//! * **Per-VM reference trackers are stored once**, not once per pair.
+//!   Every pair `(i, j)` needs û(VMi) and û(VMj); the seed paid for
+//!   `n-1` redundant copies of each VM's tracker. Here they live in one
+//!   length-`n` plane.
+//! * **Per-pair sum trackers are contiguous flat planes** over the
+//!   upper triangle (row-major, pair `(i, j)` with `i < j` at
+//!   `i·(2n-i-1)/2 + (j-i-1)`):
+//!   - under [`Reference::Peak`], a single `Vec<f64>` of running
+//!     maxima — 8 bytes per pair, and the tick kernel is a flat
+//!     `slot = max(slot, uᵢ + uⱼ)` sweep the compiler auto-vectorizes;
+//!   - under [`Reference::Percentile`], a `Vec<P2Cell>` of compact
+//!     64-byte P² marker cells driven by one shared [`P2Clock`] (the
+//!     sample count and desired marker positions are identical across
+//!     the bank, so they are hoisted out of the per-pair state).
+//! * **Monomorphized update paths**: the `Peak` and `Percentile`
+//!   kernels are separate loops selected once per call, instead of a
+//!   per-sample `match` on every tracker of every pair.
+//!
+//! Updates remain O(1) per pair per tick — the paper's UPDATE-phase
+//! argument (Fig 2, line 7) — but the constant is an order of magnitude
+//! smaller and the fleet tick ([`CostMatrix::push_sample`]) touches
+//! `n(n-1)/2 · 8` bytes instead of `· ~640`.
+//!
+//! # Parallel ticks
+//!
+//! With the `parallel` feature (default on),
+//! [`CostMatrix::par_push_sample`] and
+//! [`CostMatrix::par_push_columns`] split the triangle into
+//! near-equal-pair row chunks and update them on scoped `std::thread`s.
+//! (The build environment has no crate registry, so this uses the
+//! standard library rather than rayon; the chunking is embarrassingly
+//! parallel either way.) Each pair is still updated by exactly one
+//! thread in tick order, so parallel results are bit-identical to
+//! serial ones — the equivalence tests in `tests/soa_equivalence.rs`
+//! pin this.
+//!
+//! Batch window replay ([`CostMatrix::push_columns`]) walks the
+//! triangle *pair-major* instead of tick-major: each pair's slot is
+//! updated over the whole window while it is hot in cache, instead of
+//! re-touching the entire (possibly multi-megabyte) plane on every
+//! tick.
 
-use crate::corr::cost::{combine_cost, CostMetric};
+use crate::corr::cost::combine_cost;
 use crate::CoreError;
-use cavm_trace::{Reference, TimeSeries};
+use cavm_trace::{P2Cell, P2Clock, Reference, TimeSeries};
 use serde::{Deserialize, Serialize};
 
-/// Symmetric pairwise correlation-cost matrix over `n` VMs.
+/// Upper-triangle row-major index of pair `(i, j)`, `i < j < n`.
+#[inline]
+fn pair_index(n: usize, i: usize, j: usize) -> usize {
+    debug_assert!(i < j && j < n);
+    i * (2 * n - i - 1) / 2 + (j - i - 1)
+}
+
+/// Offset of row `i`'s first pair `(i, i+1)` in the triangle.
+#[cfg_attr(not(feature = "parallel"), allow(dead_code))]
+#[inline]
+fn row_offset(n: usize, i: usize) -> usize {
+    i * (2 * n - i - 1) / 2
+}
+
+/// Splits rows `0..n-1` into at most `threads` contiguous chunks of
+/// near-equal *pair* count. Returns `(row_start, row_end)` half-open
+/// ranges; empty when `n < 2`.
+#[cfg_attr(not(feature = "parallel"), allow(dead_code))]
+fn row_chunks(n: usize, threads: usize) -> Vec<(usize, usize)> {
+    let pairs = n * (n - 1) / 2;
+    if pairs == 0 {
+        return Vec::new();
+    }
+    let threads = threads.max(1).min(n.saturating_sub(1));
+    let target = pairs.div_ceil(threads);
+    let mut chunks = Vec::with_capacity(threads);
+    let mut row = 0;
+    while row + 1 < n {
+        let mut end = row;
+        let mut acc = 0;
+        while end + 1 < n && acc < target {
+            acc += n - end - 1;
+            end += 1;
+        }
+        chunks.push((row, end));
+        row = end;
+    }
+    chunks
+}
+
+/// Monomorphized streaming storage behind the matrix.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+enum Storage {
+    /// `Reference::Peak`: running maxima, one `f64` per VM / per pair.
+    Peak {
+        /// Per-VM running peak of `utils[v]` (length `n`).
+        vm_peak: Vec<f64>,
+        /// Per-pair running peak of `utils[i] + utils[j]` (triangle).
+        pair_peak: Vec<f64>,
+    },
+    /// `Reference::Percentile(p)`: compact P² cells under one clock.
+    Percentile {
+        /// Shared tick counter and desired marker positions.
+        clock: P2Clock,
+        /// Per-VM P² estimator state (length `n`).
+        vm_cells: Vec<P2Cell>,
+        /// Per-pair P² estimator state over `utils[i] + utils[j]`.
+        pair_cells: Vec<P2Cell>,
+    },
+}
+
+impl Storage {
+    fn new(n: usize, reference: Reference) -> crate::Result<Self> {
+        let pairs = n * (n - 1) / 2;
+        match reference {
+            Reference::Peak => Ok(Storage::Peak {
+                vm_peak: vec![f64::NEG_INFINITY; n],
+                pair_peak: vec![f64::NEG_INFINITY; pairs],
+            }),
+            Reference::Percentile(p) => {
+                if !(0.0..=100.0).contains(&p) || p == 0.0 || p == 100.0 {
+                    return Err(CoreError::InvalidParameter(
+                        "streaming percentile reference must lie in (0, 100)",
+                    ));
+                }
+                Ok(Storage::Percentile {
+                    clock: P2Clock::new(p / 100.0).map_err(CoreError::Trace)?,
+                    vm_cells: vec![P2Cell::new(); n],
+                    pair_cells: vec![P2Cell::new(); pairs],
+                })
+            }
+        }
+    }
+}
+
+/// Symmetric pairwise correlation-cost matrix over `n` VMs
+/// (struct-of-arrays kernel; see the [module docs](self) for layout).
 ///
 /// Diagonal entries are 1.0 by definition: a VM co-located with itself
 /// gains nothing (`(û+û)/û(2·VM) = 1`).
@@ -40,12 +172,11 @@ use serde::{Deserialize, Serialize};
 pub struct CostMatrix {
     n: usize,
     reference: Reference,
-    /// Upper-triangle metrics, row-major: pair (i, j) with i < j lives at
-    /// `i*(2n-i-1)/2 + (j-i-1)`.
-    metrics: Vec<CostMetric>,
+    samples: u64,
+    storage: Storage,
     /// When set, pairwise values are fixed (ablation studies swap in
     /// foreign metrics, e.g. Pearson-derived scores) and the streaming
-    /// metrics are ignored.
+    /// storage is ignored.
     fixed: Option<Vec<f64>>,
 }
 
@@ -58,14 +189,17 @@ impl CostMatrix {
     /// reference percentile is out of range.
     pub fn new(n: usize, reference: Reference) -> crate::Result<Self> {
         if n == 0 {
-            return Err(CoreError::InvalidParameter("cost matrix needs at least one vm"));
+            return Err(CoreError::InvalidParameter(
+                "cost matrix needs at least one vm",
+            ));
         }
-        let pairs = n * (n - 1) / 2;
-        let mut metrics = Vec::with_capacity(pairs);
-        for _ in 0..pairs {
-            metrics.push(CostMetric::new(reference)?);
-        }
-        Ok(Self { n, reference, metrics, fixed: None })
+        Ok(Self {
+            n,
+            reference,
+            samples: 0,
+            storage: Storage::new(n, reference)?,
+            fixed: None,
+        })
     }
 
     /// Builds a matrix with *fixed* pairwise costs — `costs` is the
@@ -79,7 +213,9 @@ impl CostMatrix {
     /// triangle length is wrong.
     pub fn from_costs(n: usize, costs: Vec<f64>) -> crate::Result<Self> {
         if n == 0 {
-            return Err(CoreError::InvalidParameter("cost matrix needs at least one vm"));
+            return Err(CoreError::InvalidParameter(
+                "cost matrix needs at least one vm",
+            ));
         }
         if costs.len() != n * (n - 1) / 2 {
             return Err(CoreError::InvalidParameter(
@@ -102,25 +238,12 @@ impl CostMatrix {
     /// and trace errors for length mismatches.
     pub fn from_traces(traces: &[&TimeSeries], reference: Reference) -> crate::Result<Self> {
         if traces.is_empty() {
-            return Err(CoreError::InvalidParameter("cost matrix needs at least one vm"));
-        }
-        let len = traces[0].len();
-        for t in traces {
-            if t.len() != len {
-                return Err(CoreError::Trace(cavm_trace::TraceError::LengthMismatch {
-                    left: len,
-                    right: t.len(),
-                }));
-            }
+            return Err(CoreError::InvalidParameter(
+                "cost matrix needs at least one vm",
+            ));
         }
         let mut matrix = Self::new(traces.len(), reference)?;
-        let mut sample = vec![0.0; traces.len()];
-        for k in 0..len {
-            for (v, t) in traces.iter().enumerate() {
-                sample[v] = t.values()[k];
-            }
-            matrix.push_sample(&sample)?;
-        }
+        matrix.push_columns(traces, 0, traces[0].len())?;
         Ok(matrix)
     }
 
@@ -134,34 +257,137 @@ impl CostMatrix {
         self.n == 0
     }
 
+    /// Number of unordered VM pairs tracked (`n(n-1)/2`).
+    pub fn pair_count(&self) -> usize {
+        self.n * (self.n - 1) / 2
+    }
+
     /// The reference utilization the matrix tracks.
     pub fn reference(&self) -> Reference {
         self.reference
     }
 
-    fn pair_index(&self, i: usize, j: usize) -> usize {
-        debug_assert!(i < j && j < self.n);
-        i * (2 * self.n - i - 1) / 2 + (j - i - 1)
+    fn check_width(&self, got: usize) -> crate::Result<()> {
+        if got != self.n {
+            return Err(CoreError::SampleCountMismatch {
+                got,
+                expected: self.n,
+            });
+        }
+        Ok(())
     }
 
     /// Feeds one monitoring tick: `utils[v]` is VM `v`'s utilization at
-    /// this instant. Cost: `O(n²)` constant-time metric updates.
+    /// this instant. Cost: `O(n²)` flat constant-time updates.
     ///
     /// # Errors
     ///
     /// Returns [`CoreError::SampleCountMismatch`] when `utils.len() != n`.
     pub fn push_sample(&mut self, utils: &[f64]) -> crate::Result<()> {
-        if utils.len() != self.n {
-            return Err(CoreError::SampleCountMismatch {
-                got: utils.len(),
-                expected: self.n,
-            });
-        }
-        for i in 0..self.n {
-            for j in (i + 1)..self.n {
-                let idx = self.pair_index(i, j);
-                self.metrics[idx].push(utils[i], utils[j]);
+        self.check_width(utils.len())?;
+        let n = self.n;
+        match &mut self.storage {
+            Storage::Peak { vm_peak, pair_peak } => {
+                peak_tick_rows(n, 0, n.saturating_sub(1), utils, pair_peak);
+                for (slot, &u) in vm_peak.iter_mut().zip(utils) {
+                    *slot = slot.max(u);
+                }
             }
+            Storage::Percentile {
+                clock,
+                vm_cells,
+                pair_cells,
+            } => {
+                clock.tick();
+                for (cell, &u) in vm_cells.iter_mut().zip(utils) {
+                    cell.push(u, clock);
+                }
+                p2_tick_rows(n, 0, n.saturating_sub(1), utils, pair_cells, clock);
+            }
+        }
+        self.samples += 1;
+        Ok(())
+    }
+
+    /// Replays a half-open window `[start, end)` of trace columns into
+    /// the matrix — the batch form of [`Self::push_sample`], equivalent
+    /// to pushing `end - start` individual ticks but walked pair-major
+    /// so each pair's state stays cache-resident across the window.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::SampleCountMismatch`] when
+    /// `traces.len() != n`, a trace length mismatch when the traces
+    /// disagree, and [`CoreError::InvalidParameter`] when the window is
+    /// out of range.
+    pub fn push_columns(
+        &mut self,
+        traces: &[&TimeSeries],
+        start: usize,
+        end: usize,
+    ) -> crate::Result<()> {
+        self.validate_columns(traces, start, end)?;
+        let n = self.n;
+        let ticks = (end - start) as u64;
+        match &mut self.storage {
+            Storage::Peak { vm_peak, pair_peak } => {
+                for (slot, t) in vm_peak.iter_mut().zip(traces) {
+                    for &u in &t.values()[start..end] {
+                        *slot = slot.max(u);
+                    }
+                }
+                peak_window_rows(n, 0, n.saturating_sub(1), traces, start, end, pair_peak);
+            }
+            Storage::Percentile {
+                clock,
+                vm_cells,
+                pair_cells,
+            } => {
+                let snapshot = clock.clone();
+                for (cell, t) in vm_cells.iter_mut().zip(traces) {
+                    let mut local = snapshot.clone();
+                    for &u in &t.values()[start..end] {
+                        local.tick();
+                        cell.push(u, &local);
+                    }
+                }
+                p2_window_rows(
+                    n,
+                    0,
+                    n.saturating_sub(1),
+                    traces,
+                    start,
+                    end,
+                    pair_cells,
+                    &snapshot,
+                );
+                for _ in start..end {
+                    clock.tick();
+                }
+            }
+        }
+        self.samples += ticks;
+        Ok(())
+    }
+
+    fn validate_columns(
+        &self,
+        traces: &[&TimeSeries],
+        start: usize,
+        end: usize,
+    ) -> crate::Result<()> {
+        self.check_width(traces.len())?;
+        let len = traces[0].len();
+        for t in traces {
+            if t.len() != len {
+                return Err(CoreError::Trace(cavm_trace::TraceError::LengthMismatch {
+                    left: len,
+                    right: t.len(),
+                }));
+            }
+        }
+        if start > end || end > len {
+            return Err(CoreError::InvalidParameter("column window out of range"));
         }
         Ok(())
     }
@@ -174,15 +400,36 @@ impl CostMatrix {
     /// Panics when `i` or `j` is out of range — matrix indices are
     /// program-internal, not user input.
     pub fn cost(&self, i: usize, j: usize) -> Option<f64> {
-        assert!(i < self.n && j < self.n, "pair ({i},{j}) outside {}-vm matrix", self.n);
+        assert!(
+            i < self.n && j < self.n,
+            "pair ({i},{j}) outside {}-vm matrix",
+            self.n
+        );
         if i == j {
             return Some(1.0);
         }
         let (lo, hi) = if i < j { (i, j) } else { (j, i) };
-        let idx = self.pair_index(lo, hi);
-        match &self.fixed {
-            Some(values) => Some(values[idx]),
-            None => self.metrics[idx].cost(),
+        let idx = pair_index(self.n, lo, hi);
+        if let Some(values) = &self.fixed {
+            return Some(values[idx]);
+        }
+        if self.samples == 0 {
+            return None;
+        }
+        match &self.storage {
+            Storage::Peak { vm_peak, pair_peak } => {
+                Some(combine_cost(vm_peak[lo], vm_peak[hi], pair_peak[idx]))
+            }
+            Storage::Percentile {
+                clock,
+                vm_cells,
+                pair_cells,
+            } => {
+                let a = vm_cells[lo].estimate(clock)?;
+                let b = vm_cells[hi].estimate(clock)?;
+                let sum = pair_cells[idx].estimate(clock)?;
+                Some(combine_cost(a, b, sum))
+            }
         }
     }
 
@@ -197,14 +444,27 @@ impl CostMatrix {
 
     /// Number of sample ticks observed (0 for a fresh matrix).
     pub fn samples(&self) -> u64 {
-        self.metrics.first().map_or(0, |m| m.count())
+        self.samples
     }
 
     /// Forgets all samples (keeps dimensions and reference) — used by
     /// per-period windowed tracking.
     pub fn reset(&mut self) {
-        for m in &mut self.metrics {
-            m.reset();
+        self.samples = 0;
+        match &mut self.storage {
+            Storage::Peak { vm_peak, pair_peak } => {
+                vm_peak.fill(f64::NEG_INFINITY);
+                pair_peak.fill(f64::NEG_INFINITY);
+            }
+            Storage::Percentile {
+                clock,
+                vm_cells,
+                pair_cells,
+            } => {
+                clock.reset();
+                vm_cells.iter_mut().for_each(P2Cell::reset);
+                pair_cells.iter_mut().for_each(P2Cell::reset);
+            }
         }
     }
 
@@ -214,10 +474,304 @@ impl CostMatrix {
         (0..self.n)
             .map(|i| {
                 (0..self.n)
-                    .map(|j| if i == j { 1.0 } else { self.cost(i, j).unwrap_or(default) })
+                    .map(|j| {
+                        if i == j {
+                            1.0
+                        } else {
+                            self.cost(i, j).unwrap_or(default)
+                        }
+                    })
                     .collect()
             })
             .collect()
+    }
+}
+
+#[cfg(feature = "parallel")]
+impl CostMatrix {
+    /// [`Self::push_sample`] with the triangle update fanned out over
+    /// all available cores. Bit-identical to the serial path: each pair
+    /// is updated by exactly one thread, in tick order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::SampleCountMismatch`] when `utils.len() != n`.
+    pub fn par_push_sample(&mut self, utils: &[f64]) -> crate::Result<()> {
+        self.par_push_sample_threads(utils, default_threads())
+    }
+
+    /// [`Self::par_push_sample`] with an explicit thread count
+    /// (`threads == 1` falls back to the serial kernel).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::SampleCountMismatch`] when `utils.len() != n`.
+    pub fn par_push_sample_threads(&mut self, utils: &[f64], threads: usize) -> crate::Result<()> {
+        let chunks = row_chunks(self.n, threads);
+        if chunks.len() <= 1 {
+            return self.push_sample(utils);
+        }
+        self.check_width(utils.len())?;
+        let n = self.n;
+        match &mut self.storage {
+            Storage::Peak { vm_peak, pair_peak } => {
+                std::thread::scope(|scope| {
+                    for ((row_start, row_end), plane) in
+                        chunked_rows(n, &chunks, pair_peak.as_mut_slice())
+                    {
+                        scope.spawn(move || {
+                            peak_tick_rows(n, row_start, row_end, utils, plane);
+                        });
+                    }
+                });
+                for (slot, &u) in vm_peak.iter_mut().zip(utils) {
+                    *slot = slot.max(u);
+                }
+            }
+            Storage::Percentile {
+                clock,
+                vm_cells,
+                pair_cells,
+            } => {
+                clock.tick();
+                for (cell, &u) in vm_cells.iter_mut().zip(utils) {
+                    cell.push(u, clock);
+                }
+                let clock = &*clock;
+                std::thread::scope(|scope| {
+                    for ((row_start, row_end), plane) in
+                        chunked_rows(n, &chunks, pair_cells.as_mut_slice())
+                    {
+                        scope.spawn(move || {
+                            p2_tick_rows(n, row_start, row_end, utils, plane, clock);
+                        });
+                    }
+                });
+            }
+        }
+        self.samples += 1;
+        Ok(())
+    }
+
+    /// [`Self::push_columns`] with the triangle replay fanned out over
+    /// all available cores. Bit-identical to the serial batch path.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Self::push_columns`].
+    pub fn par_push_columns(
+        &mut self,
+        traces: &[&TimeSeries],
+        start: usize,
+        end: usize,
+    ) -> crate::Result<()> {
+        self.par_push_columns_threads(traces, start, end, default_threads())
+    }
+
+    /// [`Self::par_push_columns`] with an explicit thread count.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Self::push_columns`].
+    pub fn par_push_columns_threads(
+        &mut self,
+        traces: &[&TimeSeries],
+        start: usize,
+        end: usize,
+        threads: usize,
+    ) -> crate::Result<()> {
+        let chunks = row_chunks(self.n, threads);
+        if chunks.len() <= 1 {
+            return self.push_columns(traces, start, end);
+        }
+        self.validate_columns(traces, start, end)?;
+        let n = self.n;
+        let ticks = (end - start) as u64;
+        match &mut self.storage {
+            Storage::Peak { vm_peak, pair_peak } => {
+                for (slot, t) in vm_peak.iter_mut().zip(traces) {
+                    for &u in &t.values()[start..end] {
+                        *slot = slot.max(u);
+                    }
+                }
+                std::thread::scope(|scope| {
+                    for ((row_start, row_end), plane) in
+                        chunked_rows(n, &chunks, pair_peak.as_mut_slice())
+                    {
+                        scope.spawn(move || {
+                            peak_window_rows(n, row_start, row_end, traces, start, end, plane);
+                        });
+                    }
+                });
+            }
+            Storage::Percentile {
+                clock,
+                vm_cells,
+                pair_cells,
+            } => {
+                let snapshot = clock.clone();
+                for (cell, t) in vm_cells.iter_mut().zip(traces) {
+                    let mut local = snapshot.clone();
+                    for &u in &t.values()[start..end] {
+                        local.tick();
+                        cell.push(u, &local);
+                    }
+                }
+                let snapshot_ref = &snapshot;
+                std::thread::scope(|scope| {
+                    for ((row_start, row_end), plane) in
+                        chunked_rows(n, &chunks, pair_cells.as_mut_slice())
+                    {
+                        scope.spawn(move || {
+                            p2_window_rows(
+                                n,
+                                row_start,
+                                row_end,
+                                traces,
+                                start,
+                                end,
+                                plane,
+                                snapshot_ref,
+                            );
+                        });
+                    }
+                });
+                for _ in start..end {
+                    clock.tick();
+                }
+            }
+        }
+        self.samples += ticks;
+        Ok(())
+    }
+}
+
+#[cfg(feature = "parallel")]
+fn default_threads() -> usize {
+    // `available_parallelism` is a syscall; resolve it once, not on
+    // every monitoring tick.
+    static THREADS: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *THREADS.get_or_init(|| {
+        std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+    })
+}
+
+/// Splits a triangle plane into the per-chunk mutable row slices
+/// described by `chunks`.
+#[cfg(feature = "parallel")]
+fn chunked_rows<'a, T>(
+    n: usize,
+    chunks: &'a [(usize, usize)],
+    mut plane: &'a mut [T],
+) -> impl Iterator<Item = ((usize, usize), &'a mut [T])> {
+    let mut consumed = 0;
+    chunks.iter().map(move |&(row_start, row_end)| {
+        let chunk_end = row_offset(n, row_end);
+        // `plane` walks forward through the original slice; `consumed`
+        // tracks how many pair slots earlier chunks took.
+        let (head, tail) = std::mem::take(&mut plane).split_at_mut(chunk_end - consumed);
+        plane = tail;
+        consumed = chunk_end;
+        ((row_start, row_end), head)
+    })
+}
+
+/// One tick of the Peak kernel over rows `[row_start, row_end)`.
+/// `plane` is the sub-slice of the pair plane covering exactly those
+/// rows.
+fn peak_tick_rows(n: usize, row_start: usize, row_end: usize, utils: &[f64], plane: &mut [f64]) {
+    let mut offset = 0;
+    for i in row_start..row_end {
+        let ui = utils[i];
+        let row_len = n - i - 1;
+        let row = &mut plane[offset..offset + row_len];
+        for (slot, &uj) in row.iter_mut().zip(&utils[i + 1..]) {
+            *slot = slot.max(ui + uj);
+        }
+        offset += row_len;
+    }
+}
+
+/// One tick of the P² kernel over rows `[row_start, row_end)`.
+fn p2_tick_rows(
+    n: usize,
+    row_start: usize,
+    row_end: usize,
+    utils: &[f64],
+    plane: &mut [P2Cell],
+    clock: &P2Clock,
+) {
+    let mut offset = 0;
+    for i in row_start..row_end {
+        let ui = utils[i];
+        let row_len = n - i - 1;
+        let row = &mut plane[offset..offset + row_len];
+        for (cell, &uj) in row.iter_mut().zip(&utils[i + 1..]) {
+            cell.push(ui + uj, clock);
+        }
+        offset += row_len;
+    }
+}
+
+/// Pair-major window replay of the Peak kernel over rows
+/// `[row_start, row_end)`.
+fn peak_window_rows(
+    n: usize,
+    row_start: usize,
+    row_end: usize,
+    traces: &[&TimeSeries],
+    start: usize,
+    end: usize,
+    plane: &mut [f64],
+) {
+    let mut offset = 0;
+    for i in row_start..row_end {
+        let xs = &traces[i].values()[start..end];
+        let row_len = n - i - 1;
+        let row = &mut plane[offset..offset + row_len];
+        for (slot, t) in row.iter_mut().zip(&traces[i + 1..]) {
+            let ys = &t.values()[start..end];
+            let mut peak = *slot;
+            for (&x, &y) in xs.iter().zip(ys) {
+                peak = peak.max(x + y);
+            }
+            *slot = peak;
+        }
+        offset += row_len;
+    }
+}
+
+/// Pair-major window replay of the P² kernel over rows
+/// `[row_start, row_end)`. `snapshot` is the clock state *before* the
+/// window; each pair replays its own local copy so marker positions
+/// advance exactly as in the tick-by-tick path.
+#[allow(clippy::too_many_arguments)]
+fn p2_window_rows(
+    n: usize,
+    row_start: usize,
+    row_end: usize,
+    traces: &[&TimeSeries],
+    start: usize,
+    end: usize,
+    plane: &mut [P2Cell],
+    snapshot: &P2Clock,
+) {
+    let mut offset = 0;
+    for i in row_start..row_end {
+        let xs = &traces[i].values()[start..end];
+        let row_len = n - i - 1;
+        let row = &mut plane[offset..offset + row_len];
+        for (cell, t) in row.iter_mut().zip(&traces[i + 1..]) {
+            let ys = &t.values()[start..end];
+            let mut local = snapshot.clone();
+            for (&x, &y) in xs.iter().zip(ys) {
+                local.tick();
+                cell.push(x + y, &local);
+            }
+        }
+        offset += row_len;
     }
 }
 
@@ -227,11 +781,7 @@ impl CostMatrix {
 /// # Errors
 ///
 /// Returns trace errors for empty or mismatched slices.
-pub fn cost_of_slices(
-    a: &[f64],
-    b: &[f64],
-    reference: Reference,
-) -> crate::Result<f64> {
+pub fn cost_of_slices(a: &[f64], b: &[f64], reference: Reference) -> crate::Result<f64> {
     if a.len() != b.len() {
         return Err(CoreError::Trace(cavm_trace::TraceError::LengthMismatch {
             left: a.len(),
@@ -259,15 +809,36 @@ mod tests {
 
     #[test]
     fn pair_indexing_covers_triangle_uniquely() {
-        let m = CostMatrix::new(6, Reference::Peak).unwrap();
         let mut seen = std::collections::HashSet::new();
         for i in 0..6 {
             for j in (i + 1)..6 {
-                assert!(seen.insert(m.pair_index(i, j)));
+                assert!(seen.insert(pair_index(6, i, j)));
             }
         }
         assert_eq!(seen.len(), 15);
         assert_eq!(*seen.iter().max().unwrap(), 14);
+    }
+
+    #[test]
+    fn row_chunks_partition_the_triangle() {
+        for n in [2usize, 3, 5, 17, 64] {
+            for threads in [1usize, 2, 3, 4, 9] {
+                let chunks = row_chunks(n, threads);
+                assert!(chunks.len() <= threads.max(1));
+                assert_eq!(chunks.first().map(|c| c.0), Some(0));
+                assert_eq!(chunks.last().map(|c| c.1), Some(n - 1));
+                let mut pairs = 0;
+                for w in chunks.windows(2) {
+                    assert_eq!(w[0].1, w[1].0, "chunks must be contiguous");
+                }
+                for &(a, b) in &chunks {
+                    assert!(a < b);
+                    pairs += row_offset(n, b) - row_offset(n, a);
+                }
+                assert_eq!(pairs, n * (n - 1) / 2);
+            }
+        }
+        assert!(row_chunks(1, 4).is_empty());
     }
 
     #[test]
@@ -288,7 +859,10 @@ mod tests {
         let mut m = CostMatrix::new(3, Reference::Peak).unwrap();
         assert!(matches!(
             m.push_sample(&[1.0, 2.0]),
-            Err(CoreError::SampleCountMismatch { got: 2, expected: 3 })
+            Err(CoreError::SampleCountMismatch {
+                got: 2,
+                expected: 3
+            })
         ));
     }
 
@@ -313,6 +887,46 @@ mod tests {
     }
 
     #[test]
+    fn push_columns_matches_ticks_for_percentile() {
+        let mut rng = cavm_trace::SimRng::new(11);
+        let traces: Vec<TimeSeries> = (0..5)
+            .map(|_| TimeSeries::new(1.0, (0..200).map(|_| rng.f64() * 4.0).collect()).unwrap())
+            .collect();
+        let refs: Vec<&TimeSeries> = traces.iter().collect();
+        let mut batch = CostMatrix::new(5, Reference::Percentile(95.0)).unwrap();
+        // Two windows back to back must equal one tick-by-tick replay.
+        batch.push_columns(&refs, 0, 80).unwrap();
+        batch.push_columns(&refs, 80, 200).unwrap();
+        let mut manual = CostMatrix::new(5, Reference::Percentile(95.0)).unwrap();
+        let mut buf = vec![0.0; 5];
+        for k in 0..200 {
+            for (v, t) in refs.iter().enumerate() {
+                buf[v] = t.values()[k];
+            }
+            manual.push_sample(&buf).unwrap();
+        }
+        for i in 0..5 {
+            for j in 0..5 {
+                let (a, b) = (batch.cost(i, j).unwrap(), manual.cost(i, j).unwrap());
+                assert_eq!(a.to_bits(), b.to_bits(), "pair ({i},{j})");
+            }
+        }
+        assert_eq!(batch.samples(), manual.samples());
+    }
+
+    #[test]
+    fn push_columns_validates_window() {
+        let a = TimeSeries::new(1.0, vec![1.0, 2.0]).unwrap();
+        let b = TimeSeries::new(1.0, vec![3.0, 4.0]).unwrap();
+        let mut m = CostMatrix::new(2, Reference::Peak).unwrap();
+        assert!(m.push_columns(&[&a, &b], 0, 3).is_err());
+        assert!(m.push_columns(&[&a, &b], 2, 1).is_err());
+        assert!(m.push_columns(&[&a], 0, 1).is_err());
+        m.push_columns(&[&a, &b], 0, 0).unwrap();
+        assert_eq!(m.samples(), 0);
+    }
+
+    #[test]
     fn from_traces_rejects_mismatched_lengths() {
         let a = TimeSeries::new(1.0, vec![1.0, 2.0]).unwrap();
         let b = TimeSeries::new(1.0, vec![1.0]).unwrap();
@@ -329,15 +943,18 @@ mod tests {
 
     #[test]
     fn reset_forgets_samples() {
-        let mut m = CostMatrix::new(2, Reference::Peak).unwrap();
-        m.push_sample(&[1.0, 2.0]).unwrap();
-        assert_eq!(m.samples(), 1);
-        m.reset();
-        assert_eq!(m.samples(), 0);
-        assert_eq!(m.cost(0, 1), None);
-        assert_eq!(m.len(), 2);
-        assert!(!m.is_empty());
-        assert_eq!(m.reference(), Reference::Peak);
+        for reference in [Reference::Peak, Reference::Percentile(90.0)] {
+            let mut m = CostMatrix::new(2, reference).unwrap();
+            m.push_sample(&[1.0, 2.0]).unwrap();
+            assert_eq!(m.samples(), 1);
+            m.reset();
+            assert_eq!(m.samples(), 0);
+            assert_eq!(m.cost(0, 1), None);
+            assert_eq!(m.len(), 2);
+            assert!(!m.is_empty());
+            assert_eq!(m.pair_count(), 1);
+            assert_eq!(m.reference(), reference);
+        }
     }
 
     #[test]
@@ -359,8 +976,7 @@ mod tests {
         let via_slices = cost_of_slices(&xs, &ys, Reference::Peak).unwrap();
         let a = TimeSeries::new(1.0, xs.to_vec()).unwrap();
         let b = TimeSeries::new(1.0, ys.to_vec()).unwrap();
-        let via_traces =
-            crate::corr::cost_of_traces(&a, &b, Reference::Peak).unwrap();
+        let via_traces = crate::corr::cost_of_traces(&a, &b, Reference::Peak).unwrap();
         assert_eq!(via_slices, via_traces);
         assert!(cost_of_slices(&xs, &ys[..2], Reference::Peak).is_err());
     }
@@ -382,5 +998,32 @@ mod tests {
         assert_eq!(m.cost(1, 1), Some(1.0));
         assert!(CostMatrix::from_costs(3, vec![1.0]).is_err());
         assert!(CostMatrix::from_costs(0, vec![]).is_err());
+    }
+
+    #[cfg(feature = "parallel")]
+    #[test]
+    fn parallel_tick_is_bit_identical() {
+        let mut rng = cavm_trace::SimRng::new(5);
+        for reference in [Reference::Peak, Reference::Percentile(95.0)] {
+            let n = 23;
+            let mut serial = CostMatrix::new(n, reference).unwrap();
+            let mut parallel = CostMatrix::new(n, reference).unwrap();
+            for _ in 0..40 {
+                let sample: Vec<f64> = (0..n).map(|_| rng.f64() * 4.0).collect();
+                serial.push_sample(&sample).unwrap();
+                parallel.par_push_sample_threads(&sample, 4).unwrap();
+            }
+            for i in 0..n {
+                for j in 0..n {
+                    let (a, b) = (serial.cost(i, j), parallel.cost(i, j));
+                    assert_eq!(
+                        a.map(f64::to_bits),
+                        b.map(f64::to_bits),
+                        "pair ({i},{j}) under {reference:?}"
+                    );
+                }
+            }
+            assert_eq!(serial.samples(), parallel.samples());
+        }
     }
 }

@@ -14,6 +14,7 @@
 //! [`matrix::CostMatrix`] maintains the all-pairs matrix `M_cost` the
 //! allocator consumes.
 
+pub mod baseline;
 pub mod cost;
 pub mod matrix;
 pub mod pearson;

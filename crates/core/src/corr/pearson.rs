@@ -98,7 +98,10 @@ pub fn pearson_of_traces(
     b: &TimeSeries,
 ) -> std::result::Result<Option<f64>, TraceError> {
     if a.len() != b.len() {
-        return Err(TraceError::LengthMismatch { left: a.len(), right: b.len() });
+        return Err(TraceError::LengthMismatch {
+            left: a.len(),
+            right: b.len(),
+        });
     }
     if a.is_empty() {
         return Err(TraceError::EmptyInput);
@@ -200,12 +203,21 @@ mod tests {
         // Sanity on the paper's Fig 1 phenomenon: two signals driven by
         // the same client wave correlate strongly.
         let n = 600;
-        let base: Vec<f64> =
-            (0..n).map(|i| 150.0 + 150.0 * (i as f64 / 100.0).sin()).collect();
+        let base: Vec<f64> = (0..n)
+            .map(|i| 150.0 + 150.0 * (i as f64 / 100.0).sin())
+            .collect();
         let mut rng = cavm_trace::SimRng::new(3);
-        let a: Vec<f64> = base.iter().map(|&b| 1.3 * b + rng.normal(0.0, 10.0)).collect();
-        let b: Vec<f64> = base.iter().map(|&b| 0.7 * b + rng.normal(0.0, 10.0)).collect();
-        let r = pearson_of_traces(&series(&a), &series(&b)).unwrap().unwrap();
+        let a: Vec<f64> = base
+            .iter()
+            .map(|&b| 1.3 * b + rng.normal(0.0, 10.0))
+            .collect();
+        let b: Vec<f64> = base
+            .iter()
+            .map(|&b| 0.7 * b + rng.normal(0.0, 10.0))
+            .collect();
+        let r = pearson_of_traces(&series(&a), &series(&b))
+            .unwrap()
+            .unwrap();
         assert!(r > 0.9, "correlation {r}");
     }
 }

@@ -75,10 +75,14 @@ impl FrequencyPlanner {
 
     fn validate(demand: f64, capacity: f64) -> crate::Result<()> {
         if !(capacity.is_finite() && capacity > 0.0) {
-            return Err(CoreError::InvalidParameter("capacity must be finite and > 0"));
+            return Err(CoreError::InvalidParameter(
+                "capacity must be finite and > 0",
+            ));
         }
         if !(demand.is_finite() && demand >= 0.0) {
-            return Err(CoreError::InvalidParameter("demand must be finite and >= 0"));
+            return Err(CoreError::InvalidParameter(
+                "demand must be finite and >= 0",
+            ));
         }
         Ok(())
     }
@@ -137,7 +141,9 @@ impl FrequencyPlanner {
     ) -> crate::Result<Frequency> {
         Self::validate(recent_peak_demand, capacity)?;
         if !(headroom.is_finite() && headroom >= 0.0) {
-            return Err(CoreError::InvalidParameter("headroom must be finite and >= 0"));
+            return Err(CoreError::InvalidParameter(
+                "headroom must be finite and >= 0",
+            ));
         }
         let fraction = recent_peak_demand * (1.0 + headroom) / capacity;
         Ok(self.ladder.snap_up_fraction(fraction)?)
@@ -196,7 +202,9 @@ mod tests {
         assert!(p.static_level_worst_case(-1.0, 8.0).is_err());
         assert!(p.static_level_worst_case(1.0, 0.0).is_err());
         assert!(p.static_level_correlation_aware(1.0, 8.0, 0.5).is_err());
-        assert!(p.static_level_correlation_aware(1.0, 8.0, f64::NAN).is_err());
+        assert!(p
+            .static_level_correlation_aware(1.0, 8.0, f64::NAN)
+            .is_err());
         assert!(p.dynamic_level(1.0, 8.0, -0.5).is_err());
         assert!(p.dynamic_level(f64::NAN, 8.0, 0.0).is_err());
         assert_eq!(p.ladder().len(), 2);
@@ -204,6 +212,11 @@ mod tests {
 
     #[test]
     fn modes_compare() {
-        assert_ne!(DvfsMode::Static, DvfsMode::Dynamic { interval_samples: 12 });
+        assert_ne!(
+            DvfsMode::Static,
+            DvfsMode::Dynamic {
+                interval_samples: 12
+            }
+        );
     }
 }

@@ -46,7 +46,10 @@ impl fmt::Display for CoreError {
             }
             CoreError::InvalidParameter(what) => write!(f, "invalid parameter: {what}"),
             CoreError::AllocationDiverged { unallocated } => {
-                write!(f, "allocation failed to place {unallocated} vms within its round budget")
+                write!(
+                    f,
+                    "allocation failed to place {unallocated} vms within its round budget"
+                )
             }
         }
     }
@@ -87,7 +90,10 @@ mod tests {
         assert!(std::error::Error::source(&p).is_some());
         for e in [
             CoreError::UnknownVm { id: 3, known: 2 },
-            CoreError::SampleCountMismatch { got: 1, expected: 2 },
+            CoreError::SampleCountMismatch {
+                got: 1,
+                expected: 2,
+            },
             CoreError::InvalidParameter("x"),
             CoreError::AllocationDiverged { unallocated: 4 },
         ] {

@@ -62,10 +62,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-mod error;
 pub mod alloc;
 pub mod corr;
 pub mod dvfs;
+mod error;
 pub mod predict;
 pub mod servercost;
 

@@ -65,7 +65,9 @@ pub struct LastValuePredictor {
 impl LastValuePredictor {
     /// Creates a predictor for `vm_count` VMs.
     pub fn new(vm_count: usize) -> Self {
-        Self { last: vec![None; vm_count] }
+        Self {
+            last: vec![None; vm_count],
+        }
     }
 }
 
@@ -81,10 +83,10 @@ impl Predictor for LastValuePredictor {
     }
 
     fn predict(&self, vm: usize) -> crate::Result<Option<f64>> {
-        self.last
-            .get(vm)
-            .copied()
-            .ok_or(CoreError::UnknownVm { id: vm, known: self.last.len() })
+        self.last.get(vm).copied().ok_or(CoreError::UnknownVm {
+            id: vm,
+            known: self.last.len(),
+        })
     }
 
     fn vm_count(&self) -> usize {
@@ -107,9 +109,14 @@ impl MovingAveragePredictor {
     /// Returns [`CoreError::InvalidParameter`] when `window == 0`.
     pub fn new(vm_count: usize, window: usize) -> crate::Result<Self> {
         if window == 0 {
-            return Err(CoreError::InvalidParameter("moving average window must be >= 1"));
+            return Err(CoreError::InvalidParameter(
+                "moving average window must be >= 1",
+            ));
         }
-        Ok(Self { window, history: vec![VecDeque::new(); vm_count] })
+        Ok(Self {
+            window,
+            history: vec![VecDeque::new(); vm_count],
+        })
     }
 }
 
@@ -128,10 +135,10 @@ impl Predictor for MovingAveragePredictor {
     }
 
     fn predict(&self, vm: usize) -> crate::Result<Option<f64>> {
-        let h = self
-            .history
-            .get(vm)
-            .ok_or(CoreError::UnknownVm { id: vm, known: self.history.len() })?;
+        let h = self.history.get(vm).ok_or(CoreError::UnknownVm {
+            id: vm,
+            known: self.history.len(),
+        })?;
         if h.is_empty() {
             Ok(None)
         } else {
@@ -161,7 +168,10 @@ impl EwmaPredictor {
         if !(alpha > 0.0 && alpha <= 1.0) {
             return Err(CoreError::InvalidParameter("ewma alpha must lie in (0, 1]"));
         }
-        Ok(Self { alpha, state: vec![None; vm_count] })
+        Ok(Self {
+            alpha,
+            state: vec![None; vm_count],
+        })
     }
 }
 
@@ -180,10 +190,10 @@ impl Predictor for EwmaPredictor {
     }
 
     fn predict(&self, vm: usize) -> crate::Result<Option<f64>> {
-        self.state
-            .get(vm)
-            .copied()
-            .ok_or(CoreError::UnknownVm { id: vm, known: self.state.len() })
+        self.state.get(vm).copied().ok_or(CoreError::UnknownVm {
+            id: vm,
+            known: self.state.len(),
+        })
     }
 
     fn vm_count(&self) -> usize {
@@ -257,7 +267,10 @@ mod tests {
     #[test]
     fn out_of_range_vm_errors() {
         let mut p = LastValuePredictor::new(1);
-        assert!(matches!(p.observe(5, 1.0), Err(CoreError::UnknownVm { id: 5, known: 1 })));
+        assert!(matches!(
+            p.observe(5, 1.0),
+            Err(CoreError::UnknownVm { id: 5, known: 1 })
+        ));
         assert!(p.predict(5).is_err());
         let mut ma = MovingAveragePredictor::new(1, 2).unwrap();
         assert!(ma.observe(9, 1.0).is_err());

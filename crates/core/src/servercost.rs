@@ -58,7 +58,11 @@ pub fn server_cost(members: &[(usize, f64)], matrix: &CostMatrix) -> f64 {
     let total: f64 = members.iter().map(|&(_, u)| u).sum();
     let mut cost = 0.0;
     for &(j, u_j) in members {
-        let w_j = if total > 0.0 { u_j / total } else { 1.0 / n as f64 };
+        let w_j = if total > 0.0 {
+            u_j / total
+        } else {
+            1.0 / n as f64
+        };
         let mut pair_sum = 0.0;
         for &(k, _) in members {
             if k != j {
@@ -77,8 +81,7 @@ pub fn server_cost(members: &[(usize, f64)], matrix: &CostMatrix) -> f64 {
 ///
 /// Panics if an id is outside `vms` or the matrix.
 pub fn server_cost_of(members: &[usize], vms: &[VmDescriptor], matrix: &CostMatrix) -> f64 {
-    let weighted: Vec<(usize, f64)> =
-        members.iter().map(|&id| (id, vms[id].demand)).collect();
+    let weighted: Vec<(usize, f64)> = members.iter().map(|&id| (id, vms[id].demand)).collect();
     server_cost(&weighted, matrix)
 }
 
@@ -95,10 +98,163 @@ pub fn server_cost_with_candidate(
     vms: &[VmDescriptor],
     matrix: &CostMatrix,
 ) -> f64 {
-    let mut weighted: Vec<(usize, f64)> =
-        members.iter().map(|&id| (id, vms[id].demand)).collect();
+    let mut weighted: Vec<(usize, f64)> = members.iter().map(|&id| (id, vms[id].demand)).collect();
     weighted.push((candidate, vms[candidate].demand));
     server_cost(&weighted, matrix)
+}
+
+/// Incrementally maintained Eqn (2) aggregate for one server.
+///
+/// Rewriting Eqn (2) with `w_j = û_j / U` (`U = Σ û`) gives
+///
+/// ```text
+/// Cost_server = Σ_{pairs {j,k}} (û_j + û_k)·Cost(j,k) / (U·(n-1))
+/// ```
+///
+/// so the whole server cost reduces to two running pair sums:
+/// `S = Σ (û_j + û_k)·Cost(j,k)` (utilization-weighted) and
+/// `S₀ = Σ Cost(j,k)` (plain, for the all-idle uniform-weight case).
+/// Adding a member only contributes its pairs against the *existing*
+/// members, so both a hypothetical candidate score
+/// ([`Self::candidate_cost`]) and a committed insertion
+/// ([`Self::push`]) are O(|members|) — the seed path re-evaluated the
+/// full double loop, O(|members|²), for every probe of the ALLOCATE
+/// scan.
+///
+/// Results match [`server_cost`] up to floating-point re-association
+/// (≲1e-12 relative); the equivalence property tests pin both the
+/// numeric agreement and that the allocator produces identical
+/// placements.
+///
+/// # Example
+///
+/// ```
+/// use cavm_core::corr::CostMatrix;
+/// use cavm_core::servercost::{server_cost, ServerCostAggregate};
+/// use cavm_trace::Reference;
+///
+/// # fn main() -> Result<(), cavm_core::CoreError> {
+/// let mut m = CostMatrix::new(2, Reference::Peak)?;
+/// m.push_sample(&[4.0, 0.0])?;
+/// m.push_sample(&[0.0, 4.0])?;
+/// let mut agg = ServerCostAggregate::new();
+/// agg.push(0, 4.0, &m);
+/// assert_eq!(agg.candidate_cost(1, 4.0, &m), 2.0);
+/// agg.push(1, 4.0, &m);
+/// assert_eq!(agg.cost(), server_cost(&[(0, 4.0), (1, 4.0)], &m));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ServerCostAggregate {
+    /// `(vm id, û)` of each committed member.
+    members: Vec<(usize, f64)>,
+    /// `U`: total member utilization.
+    total_util: f64,
+    /// `S`: Σ over member pairs of `(û_j + û_k)·Cost(j,k)`.
+    weighted_pair_sum: f64,
+    /// `S₀`: Σ over member pairs of `Cost(j,k)`.
+    plain_pair_sum: f64,
+}
+
+impl ServerCostAggregate {
+    /// Creates an empty-server aggregate.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of committed members.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// `true` when no member has been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// The committed members as `(vm id, û)` pairs.
+    pub fn members(&self) -> &[(usize, f64)] {
+        &self.members
+    }
+
+    /// `U`: total committed utilization (the server's packed load).
+    pub fn total_util(&self) -> f64 {
+        self.total_util
+    }
+
+    /// Eqn (2) over the committed members (1.0 for empty and single-VM
+    /// servers, matching [`server_cost`]).
+    pub fn cost(&self) -> f64 {
+        Self::combine(
+            self.members.len(),
+            self.total_util,
+            self.weighted_pair_sum,
+            self.plain_pair_sum,
+        )
+    }
+
+    /// Eqn (2) for the server *after* hypothetically adding
+    /// `(id, util)` — the ALLOCATE selection score, in O(|members|)
+    /// without mutating the aggregate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is outside the matrix.
+    pub fn candidate_cost(&self, id: usize, util: f64, matrix: &CostMatrix) -> f64 {
+        let (dw, dp) = self.pair_delta(id, util, matrix);
+        Self::combine(
+            self.members.len() + 1,
+            self.total_util + util,
+            self.weighted_pair_sum + dw,
+            self.plain_pair_sum + dp,
+        )
+    }
+
+    /// Commits `(id, util)` as a member, updating the pair sums in
+    /// O(|members|).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is outside the matrix.
+    pub fn push(&mut self, id: usize, util: f64, matrix: &CostMatrix) {
+        let (dw, dp) = self.pair_delta(id, util, matrix);
+        self.weighted_pair_sum += dw;
+        self.plain_pair_sum += dp;
+        self.total_util += util;
+        self.members.push((id, util));
+    }
+
+    /// Forgets all members.
+    pub fn clear(&mut self) {
+        *self = Self::default();
+    }
+
+    /// The candidate's contribution to `(S, S₀)`: its pairs against
+    /// every committed member.
+    fn pair_delta(&self, id: usize, util: f64, matrix: &CostMatrix) -> (f64, f64) {
+        let mut weighted = 0.0;
+        let mut plain = 0.0;
+        for &(member, member_util) in &self.members {
+            let c = matrix.cost_or_neutral(member, id);
+            weighted += (member_util + util) * c;
+            plain += c;
+        }
+        (weighted, plain)
+    }
+
+    fn combine(n: usize, total: f64, weighted: f64, plain: f64) -> f64 {
+        if n <= 1 {
+            return 1.0;
+        }
+        if total > 0.0 {
+            weighted / (total * (n - 1) as f64)
+        } else {
+            // All members idle: Eqn (2) weights uniformly, which
+            // reduces to the mean pair cost scaled by 2/n.
+            2.0 * plain / (n * (n - 1)) as f64
+        }
+    }
 }
 
 #[cfg(test)]
@@ -172,5 +328,45 @@ mod tests {
     fn unknown_pairs_use_neutral_cost() {
         let m = CostMatrix::new(2, Reference::Peak).unwrap();
         assert_eq!(server_cost(&[(0, 1.0), (1, 1.0)], &m), 1.5);
+    }
+
+    #[test]
+    fn aggregate_tracks_direct_evaluation() {
+        let m = matrix3();
+        let demands = [4.0, 4.0, 2.0];
+        let mut agg = ServerCostAggregate::new();
+        assert!(agg.is_empty());
+        assert_eq!(agg.cost(), 1.0);
+        let mut members: Vec<(usize, f64)> = Vec::new();
+        for (id, &demand) in demands.iter().enumerate() {
+            let candidate = agg.candidate_cost(id, demand, &m);
+            let mut direct_members = members.clone();
+            direct_members.push((id, demand));
+            let direct = server_cost(&direct_members, &m);
+            assert!(
+                (candidate - direct).abs() < 1e-12,
+                "candidate {candidate} vs direct {direct} at size {}",
+                members.len()
+            );
+            agg.push(id, demand, &m);
+            members.push((id, demand));
+            assert!((agg.cost() - server_cost(&members, &m)).abs() < 1e-12);
+        }
+        assert_eq!(agg.len(), 3);
+        assert_eq!(agg.members(), members.as_slice());
+        agg.clear();
+        assert!(agg.is_empty());
+        assert_eq!(agg.cost(), 1.0);
+    }
+
+    #[test]
+    fn aggregate_handles_all_idle_members() {
+        let m = matrix3();
+        let mut agg = ServerCostAggregate::new();
+        agg.push(0, 0.0, &m);
+        agg.push(1, 0.0, &m);
+        assert!((agg.cost() - server_cost(&[(0, 0.0), (1, 0.0)], &m)).abs() < 1e-12);
+        let direct = server_cost(&[(0, 0.0), (1, 0.0), (2, 0.0)], &m);
+        assert!((agg.candidate_cost(2, 0.0, &m) - direct).abs() < 1e-12);
     }
 }

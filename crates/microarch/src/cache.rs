@@ -17,13 +17,21 @@ pub struct CacheConfig {
 impl CacheConfig {
     /// A 64 KiB, 2-way, 64 B-line L1 (Opteron-6174-like).
     pub fn l1_opteron() -> Self {
-        Self { size_bytes: 64 * 1024, line_bytes: 64, ways: 2 }
+        Self {
+            size_bytes: 64 * 1024,
+            line_bytes: 64,
+            ways: 2,
+        }
     }
 
     /// A 512 KiB, 16-way, 64 B-line per-core L2 (Opteron-6174-like; the
     /// paper's Table I reports L2 statistics on this machine).
     pub fn l2_opteron() -> Self {
-        Self { size_bytes: 512 * 1024, line_bytes: 64, ways: 16 }
+        Self {
+            size_bytes: 512 * 1024,
+            line_bytes: 64,
+            ways: 16,
+        }
     }
 
     /// Number of sets implied by the geometry.
@@ -33,10 +41,14 @@ impl CacheConfig {
 
     fn validate(&self) -> crate::Result<()> {
         if self.size_bytes == 0 || self.line_bytes == 0 || self.ways == 0 {
-            return Err(MicroarchError::BadGeometry("all dimensions must be non-zero"));
+            return Err(MicroarchError::BadGeometry(
+                "all dimensions must be non-zero",
+            ));
         }
         if !self.line_bytes.is_power_of_two() {
-            return Err(MicroarchError::BadGeometry("line size must be a power of two"));
+            return Err(MicroarchError::BadGeometry(
+                "line size must be a power of two",
+            ));
         }
         if !self.size_bytes.is_multiple_of(self.line_bytes * self.ways) {
             return Err(MicroarchError::BadGeometry(
@@ -44,7 +56,9 @@ impl CacheConfig {
             ));
         }
         if !self.sets().is_power_of_two() {
-            return Err(MicroarchError::BadGeometry("set count must be a power of two"));
+            return Err(MicroarchError::BadGeometry(
+                "set count must be a power of two",
+            ));
         }
         Ok(())
     }
@@ -178,16 +192,41 @@ mod tests {
 
     fn tiny() -> Cache {
         // 4 sets × 2 ways × 64 B = 512 B.
-        Cache::new(CacheConfig { size_bytes: 512, line_bytes: 64, ways: 2 }).unwrap()
+        Cache::new(CacheConfig {
+            size_bytes: 512,
+            line_bytes: 64,
+            ways: 2,
+        })
+        .unwrap()
     }
 
     #[test]
     fn geometry_validation() {
-        assert!(Cache::new(CacheConfig { size_bytes: 0, line_bytes: 64, ways: 2 }).is_err());
-        assert!(Cache::new(CacheConfig { size_bytes: 512, line_bytes: 60, ways: 2 }).is_err());
-        assert!(Cache::new(CacheConfig { size_bytes: 500, line_bytes: 64, ways: 2 }).is_err());
+        assert!(Cache::new(CacheConfig {
+            size_bytes: 0,
+            line_bytes: 64,
+            ways: 2
+        })
+        .is_err());
+        assert!(Cache::new(CacheConfig {
+            size_bytes: 512,
+            line_bytes: 60,
+            ways: 2
+        })
+        .is_err());
+        assert!(Cache::new(CacheConfig {
+            size_bytes: 500,
+            line_bytes: 64,
+            ways: 2
+        })
+        .is_err());
         // 3 sets: not a power of two.
-        assert!(Cache::new(CacheConfig { size_bytes: 384, line_bytes: 64, ways: 2 }).is_err());
+        assert!(Cache::new(CacheConfig {
+            size_bytes: 384,
+            line_bytes: 64,
+            ways: 2
+        })
+        .is_err());
         assert_eq!(CacheConfig::l1_opteron().sets(), 512);
         assert_eq!(CacheConfig::l2_opteron().sets(), 512);
     }
@@ -221,8 +260,12 @@ mod tests {
 
     #[test]
     fn working_set_within_capacity_converges_to_hits() {
-        let mut c = Cache::new(CacheConfig { size_bytes: 4096, line_bytes: 64, ways: 4 })
-            .unwrap();
+        let mut c = Cache::new(CacheConfig {
+            size_bytes: 4096,
+            line_bytes: 64,
+            ways: 4,
+        })
+        .unwrap();
         // 32 lines < 64-line capacity: after the first pass, all hits.
         for pass in 0..3 {
             c.reset_counters();
@@ -238,7 +281,7 @@ mod tests {
     #[test]
     fn working_set_beyond_capacity_thrashes() {
         let mut c = tiny(); // 8 lines capacity
-        // 16 lines cycled: pure LRU round-robin thrashes every access.
+                            // 16 lines cycled: pure LRU round-robin thrashes every access.
         for _ in 0..4 {
             for i in 0..16u64 {
                 c.access(i * 64);

@@ -46,8 +46,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-mod error;
 pub mod cache;
+mod error;
 pub mod machine;
 pub mod stream;
 

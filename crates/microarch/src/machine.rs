@@ -72,7 +72,11 @@ impl Default for MachineConfig {
             l2: CacheConfig::l2_opteron(),
             // One die of the Opteron 6174 package: 6 MiB L3 minus the
             // HT-Assist probe filter, rounded to a power-of-two set count.
-            l3: CacheConfig { size_bytes: 4 * 1024 * 1024, line_bytes: 64, ways: 16 },
+            l3: CacheConfig {
+                size_bytes: 4 * 1024 * 1024,
+                line_bytes: 64,
+                ways: 16,
+            },
             l2_hit_cycles: 12.0,
             l3_hit_cycles: 45.0,
             mem_cycles: 200.0,
@@ -111,7 +115,9 @@ impl Machine {
             ));
         }
         if config.quantum_instructions == 0 {
-            return Err(MicroarchError::InvalidParameter("quantum must be >= 1 instruction"));
+            return Err(MicroarchError::InvalidParameter(
+                "quantum must be >= 1 instruction",
+            ));
         }
         Ok(Self { config })
     }
@@ -145,8 +151,10 @@ impl Machine {
     ) -> crate::Result<WorkloadMetrics> {
         let mut ctx = WorkloadContext::new(profile, 0, seed, &self.config)?;
         let mut l3 = Cache::new(self.config.l3)?;
-        let warm_quanta =
-            self.config.warmup_instructions.div_ceil(self.config.quantum_instructions);
+        let warm_quanta = self
+            .config
+            .warmup_instructions
+            .div_ceil(self.config.quantum_instructions);
         for _ in 0..warm_quanta {
             ctx.run_quantum(self.config.quantum_instructions, &mut l3, &self.config);
         }
@@ -178,8 +186,10 @@ impl Machine {
         let mut a = WorkloadContext::new(primary, 0, seed, &self.config)?;
         let mut b = WorkloadContext::new(corunner, 1 << 44, seed ^ 0x9E37, &self.config)?;
         let mut l3 = Cache::new(self.config.l3)?;
-        let warm_quanta =
-            self.config.warmup_instructions.div_ceil(self.config.quantum_instructions);
+        let warm_quanta = self
+            .config
+            .warmup_instructions
+            .div_ceil(self.config.quantum_instructions);
         for _ in 0..warm_quanta {
             a.run_quantum(self.config.quantum_instructions, &mut l3, &self.config);
             b.run_quantum(self.config.quantum_instructions, &mut l3, &self.config);
@@ -293,7 +303,11 @@ impl WorkloadContext {
     fn metrics(&self) -> WorkloadMetrics {
         let instr = self.instructions as f64;
         WorkloadMetrics {
-            ipc: if self.cycles > 0.0 { instr / self.cycles } else { 0.0 },
+            ipc: if self.cycles > 0.0 {
+                instr / self.cycles
+            } else {
+                0.0
+            },
             l2_mpki: if self.instructions > 0 {
                 self.l2.misses() as f64 * 1000.0 / instr
             } else {
@@ -324,13 +338,25 @@ mod tests {
     #[test]
     fn machine_validation() {
         let base = MachineConfig::default();
-        let cfg = MachineConfig { l2_hit_cycles: 0.0, ..base };
+        let cfg = MachineConfig {
+            l2_hit_cycles: 0.0,
+            ..base
+        };
         assert!(Machine::new(cfg).is_err());
-        let cfg = MachineConfig { l3_hit_cycles: base.l2_hit_cycles, ..base };
+        let cfg = MachineConfig {
+            l3_hit_cycles: base.l2_hit_cycles,
+            ..base
+        };
         assert!(Machine::new(cfg).is_err());
-        let cfg = MachineConfig { mem_cycles: base.l3_hit_cycles, ..base };
+        let cfg = MachineConfig {
+            mem_cycles: base.l3_hit_cycles,
+            ..base
+        };
         assert!(Machine::new(cfg).is_err());
-        let cfg = MachineConfig { quantum_instructions: 0, ..base };
+        let cfg = MachineConfig {
+            quantum_instructions: 0,
+            ..base
+        };
         assert!(Machine::new(cfg).is_err());
         assert!(Machine::opteron_like().is_ok());
     }
@@ -356,8 +382,9 @@ mod tests {
         let m = Machine::opteron_like().unwrap();
         let solo = m.run_solo(&StreamProfile::web_search(), INSTR, 1).unwrap();
         for co in StreamProfile::parsec_corunners() {
-            let (paired, _) =
-                m.run_pair(&StreamProfile::web_search(), &co, INSTR, 1).unwrap();
+            let (paired, _) = m
+                .run_pair(&StreamProfile::web_search(), &co, INSTR, 1)
+                .unwrap();
             let ipc_delta = (paired.ipc - solo.ipc).abs() / solo.ipc;
             assert!(ipc_delta < 0.06, "{}: ipc delta {ipc_delta}", co.name);
             let mpki_delta = (paired.l2_mpki - solo.l2_mpki).abs() / solo.l2_mpki;
@@ -371,9 +398,16 @@ mod tests {
         // working set lives in the shared cache — exactly why the
         // paper's argument needs the large-working-set premise.
         let m = Machine::opteron_like().unwrap();
-        let solo = m.run_solo(&StreamProfile::cache_resident(), INSTR, 1).unwrap();
+        let solo = m
+            .run_solo(&StreamProfile::cache_resident(), INSTR, 1)
+            .unwrap();
         let (paired, _) = m
-            .run_pair(&StreamProfile::cache_resident(), &StreamProfile::canneal(), INSTR, 1)
+            .run_pair(
+                &StreamProfile::cache_resident(),
+                &StreamProfile::canneal(),
+                INSTR,
+                1,
+            )
             .unwrap();
         let loss = (solo.ipc - paired.ipc) / solo.ipc;
         assert!(
@@ -386,9 +420,16 @@ mod tests {
     #[test]
     fn small_workloads_barely_interact() {
         let m = Machine::opteron_like().unwrap();
-        let solo = m.run_solo(&StreamProfile::blackscholes(), INSTR, 1).unwrap();
+        let solo = m
+            .run_solo(&StreamProfile::blackscholes(), INSTR, 1)
+            .unwrap();
         let (paired, _) = m
-            .run_pair(&StreamProfile::blackscholes(), &StreamProfile::swaptions(), INSTR, 1)
+            .run_pair(
+                &StreamProfile::blackscholes(),
+                &StreamProfile::swaptions(),
+                INSTR,
+                1,
+            )
             .unwrap();
         let delta = (paired.ipc - solo.ipc).abs() / solo.ipc;
         assert!(delta < 0.1, "ipc delta {delta}");
@@ -401,10 +442,20 @@ mod tests {
         let b = m.run_solo(&StreamProfile::canneal(), 100_000, 9).unwrap();
         assert_eq!(a, b);
         let p1 = m
-            .run_pair(&StreamProfile::canneal(), &StreamProfile::facesim(), 100_000, 9)
+            .run_pair(
+                &StreamProfile::canneal(),
+                &StreamProfile::facesim(),
+                100_000,
+                9,
+            )
             .unwrap();
         let p2 = m
-            .run_pair(&StreamProfile::canneal(), &StreamProfile::facesim(), 100_000, 9)
+            .run_pair(
+                &StreamProfile::canneal(),
+                &StreamProfile::facesim(),
+                100_000,
+                9,
+            )
             .unwrap();
         assert_eq!(p1, p2);
     }

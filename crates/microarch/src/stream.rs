@@ -73,7 +73,9 @@ impl StreamProfile {
             ));
         }
         if !(self.refs_per_kilo_instr > 0.0 && self.refs_per_kilo_instr.is_finite()) {
-            return Err(MicroarchError::InvalidParameter("memory intensity must be > 0"));
+            return Err(MicroarchError::InvalidParameter(
+                "memory intensity must be > 0",
+            ));
         }
         if !(self.base_cpi > 0.0 && self.base_cpi.is_finite()) {
             return Err(MicroarchError::InvalidParameter("base cpi must be > 0"));
@@ -180,7 +182,12 @@ impl StreamProfile {
 
     /// The paper's Table I co-runner set.
     pub fn parsec_corunners() -> Vec<StreamProfile> {
-        vec![Self::blackscholes(), Self::swaptions(), Self::facesim(), Self::canneal()]
+        vec![
+            Self::blackscholes(),
+            Self::swaptions(),
+            Self::facesim(),
+            Self::canneal(),
+        ]
     }
 }
 
@@ -213,7 +220,13 @@ impl AddressStream {
     /// Propagates profile validation errors.
     pub fn new(profile: StreamProfile, base: u64, seed: u64) -> crate::Result<Self> {
         profile.validate()?;
-        Ok(Self { profile, base, cursor: base, tier: Tier::Hot, rng: SimRng::new(seed) })
+        Ok(Self {
+            profile,
+            base,
+            cursor: base,
+            tier: Tier::Hot,
+            rng: SimRng::new(seed),
+        })
     }
 
     /// The profile.
@@ -324,7 +337,10 @@ mod tests {
         let mut s = AddressStream::new(p, base, 7).unwrap();
         for _ in 0..50_000 {
             let a = s.next_address();
-            assert!(a >= base && a < base + ws + 64, "address {a:#x} out of window");
+            assert!(
+                a >= base && a < base + ws + 64,
+                "address {a:#x} out of window"
+            );
         }
     }
 
@@ -366,8 +382,7 @@ mod tests {
         let hot_fraction = p.hot_fraction;
         let mut s = AddressStream::new(p, 0, 11).unwrap();
         let n = 100_000;
-        let hot_hits =
-            (0..n).filter(|_| s.next_address() < hot_limit).count();
+        let hot_hits = (0..n).filter(|_| s.next_address() < hot_limit).count();
         let measured = hot_hits as f64 / n as f64;
         assert!(
             (measured - hot_fraction).abs() < 0.01,

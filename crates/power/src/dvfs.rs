@@ -178,7 +178,9 @@ impl DvfsLadder {
     /// Returns [`PowerError::InvalidParameter`] for non-finite fractions.
     pub fn snap_up_fraction(&self, fraction: f64) -> crate::Result<Frequency> {
         if !fraction.is_finite() {
-            return Err(PowerError::InvalidParameter("frequency fraction must be finite"));
+            return Err(PowerError::InvalidParameter(
+                "frequency fraction must be finite",
+            ));
         }
         if fraction <= 0.0 {
             return Ok(self.min());
@@ -222,7 +224,11 @@ impl DwellGuard {
     /// level before a *downward* switch is honoured. `min_dwell == 0`
     /// disables the guard.
     pub fn new(min_dwell: u32) -> Self {
-        Self { min_dwell, current: None, dwelled: 0 }
+        Self {
+            min_dwell,
+            current: None,
+            dwelled: 0,
+        }
     }
 
     /// Filters a proposed level index; returns the level to actually use.
@@ -232,9 +238,7 @@ impl DwellGuard {
             // Up-switches are safety-critical and always pass; a
             // down-switch must wait out the dwell.
             Some(current) if proposed > current => proposed,
-            Some(current) if proposed < current && self.dwelled >= self.min_dwell => {
-                proposed
-            }
+            Some(current) if proposed < current && self.dwelled >= self.min_dwell => proposed,
             Some(current) => current,
         };
         if Some(decided) == self.current {
@@ -296,7 +300,10 @@ mod tests {
         assert_eq!(l.min().as_ghz(), 1.0);
         assert_eq!(l.max().as_ghz(), 2.0);
         assert!(!l.is_empty());
-        assert!(matches!(DvfsLadder::new(vec![]), Err(PowerError::EmptyLadder)));
+        assert!(matches!(
+            DvfsLadder::new(vec![]),
+            Err(PowerError::EmptyLadder)
+        ));
     }
 
     #[test]

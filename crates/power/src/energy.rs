@@ -42,7 +42,10 @@ impl EnergyMeter {
     /// output, so a bad value is a bug upstream, not recoverable input.
     pub fn add(&mut self, watts: f64, dt_seconds: f64) {
         assert!(watts.is_finite() && watts >= 0.0, "bad power {watts} W");
-        assert!(dt_seconds.is_finite() && dt_seconds >= 0.0, "bad dt {dt_seconds} s");
+        assert!(
+            dt_seconds.is_finite() && dt_seconds >= 0.0,
+            "bad dt {dt_seconds} s"
+        );
         self.joules += watts * dt_seconds;
         self.seconds += dt_seconds;
     }

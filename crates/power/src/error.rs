@@ -24,7 +24,11 @@ impl fmt::Display for PowerError {
                 write!(f, "invalid frequency {ghz} GHz, must be finite and > 0")
             }
             PowerError::UnknownLevel(freq) => {
-                write!(f, "frequency {} GHz is not a level of this model", freq.as_ghz())
+                write!(
+                    f,
+                    "frequency {} GHz is not a level of this model",
+                    freq.as_ghz()
+                )
             }
             PowerError::InvalidUtilization(u) => {
                 write!(f, "utilization {u} outside [0, 1]")

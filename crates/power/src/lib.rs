@@ -37,9 +37,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-mod error;
 pub mod dvfs;
 pub mod energy;
+mod error;
 pub mod model;
 
 pub use dvfs::{DvfsLadder, DwellGuard, Frequency};

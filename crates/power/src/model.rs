@@ -104,15 +104,15 @@ impl LinearPowerModel {
             }
         }
         points.sort_by(|a, b| {
-            a.frequency.partial_cmp(&b.frequency).expect("finite frequencies")
+            a.frequency
+                .partial_cmp(&b.frequency)
+                .expect("finite frequencies")
         });
         for pair in points.windows(2) {
             if pair[0].frequency == pair[1].frequency {
                 return Err(PowerError::InvalidParameter("duplicate frequency level"));
             }
-            if pair[0].idle_watts > pair[1].idle_watts
-                || pair[0].busy_watts > pair[1].busy_watts
-            {
+            if pair[0].idle_watts > pair[1].idle_watts || pair[0].busy_watts > pair[1].busy_watts {
                 return Err(PowerError::InvalidParameter(
                     "power must be monotone non-decreasing in frequency",
                 ));
@@ -223,7 +223,12 @@ impl CubicPowerModel {
                 "cubic model requires finite non-negative watts and idle_fraction in [0,1]",
             ));
         }
-        Ok(Self { ladder, static_watts, dynamic_watts, idle_fraction })
+        Ok(Self {
+            ladder,
+            static_watts,
+            dynamic_watts,
+            idle_fraction,
+        })
     }
 }
 
@@ -262,9 +267,18 @@ mod tests {
     fn linear_model_validates_inputs() {
         let m = LinearPowerModel::xeon_e5410();
         let f = Frequency::from_ghz(2.3);
-        assert!(matches!(m.power(-0.1, f), Err(PowerError::InvalidUtilization(_))));
-        assert!(matches!(m.power(1.1, f), Err(PowerError::InvalidUtilization(_))));
-        assert!(matches!(m.power(f64::NAN, f), Err(PowerError::InvalidUtilization(_))));
+        assert!(matches!(
+            m.power(-0.1, f),
+            Err(PowerError::InvalidUtilization(_))
+        ));
+        assert!(matches!(
+            m.power(1.1, f),
+            Err(PowerError::InvalidUtilization(_))
+        ));
+        assert!(matches!(
+            m.power(f64::NAN, f),
+            Err(PowerError::InvalidUtilization(_))
+        ));
         assert!(matches!(
             m.power(0.5, Frequency::from_ghz(3.0)),
             Err(PowerError::UnknownLevel(_))
@@ -309,7 +323,10 @@ mod tests {
         ])
         .is_err());
         // empty
-        assert!(matches!(LinearPowerModel::new(vec![]), Err(PowerError::EmptyLadder)));
+        assert!(matches!(
+            LinearPowerModel::new(vec![]),
+            Err(PowerError::EmptyLadder)
+        ));
     }
 
     #[test]
@@ -332,11 +349,8 @@ mod tests {
 
     #[test]
     fn cubic_model_scales_with_f_cubed() {
-        let ladder = DvfsLadder::new(vec![
-            Frequency::from_ghz(1.0),
-            Frequency::from_ghz(2.0),
-        ])
-        .unwrap();
+        let ladder =
+            DvfsLadder::new(vec![Frequency::from_ghz(1.0), Frequency::from_ghz(2.0)]).unwrap();
         let m = CubicPowerModel::new(ladder, 100.0, 200.0, 0.0).unwrap();
         let p_lo = m.power(1.0, Frequency::from_ghz(1.0)).unwrap();
         let p_hi = m.power(1.0, Frequency::from_ghz(2.0)).unwrap();
@@ -362,9 +376,7 @@ mod tests {
     fn models_are_object_safe() {
         let models: Vec<Box<dyn PowerModel>> = vec![
             Box::new(LinearPowerModel::xeon_e5410()),
-            Box::new(
-                CubicPowerModel::new(DvfsLadder::xeon_e5410(), 100.0, 150.0, 0.2).unwrap(),
-            ),
+            Box::new(CubicPowerModel::new(DvfsLadder::xeon_e5410(), 100.0, 150.0, 0.2).unwrap()),
         ];
         for m in &models {
             let p = m.power(0.5, m.ladder().max()).unwrap();

@@ -1,8 +1,7 @@
 //! Property-based tests for the power/DVFS models.
 
 use cavm_power::{
-    CubicPowerModel, DvfsLadder, DwellGuard, EnergyMeter, Frequency, LinearPowerModel,
-    PowerModel,
+    CubicPowerModel, DvfsLadder, DwellGuard, EnergyMeter, Frequency, LinearPowerModel, PowerModel,
 };
 use proptest::prelude::*;
 

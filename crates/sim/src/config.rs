@@ -190,10 +190,14 @@ impl ScenarioBuilder {
             return Err(SimError::InvalidParameter("fleet must not be empty"));
         }
         if self.server_count == 0 || self.cores_per_server == 0 {
-            return Err(SimError::InvalidParameter("need at least one server and one core"));
+            return Err(SimError::InvalidParameter(
+                "need at least one server and one core",
+            ));
         }
         if self.period_samples == 0 {
-            return Err(SimError::InvalidParameter("period must be at least one sample"));
+            return Err(SimError::InvalidParameter(
+                "period must be at least one sample",
+            ));
         }
         let len = self.fleet.vms()[0].fine.len();
         if len < self.period_samples {
@@ -201,7 +205,9 @@ impl ScenarioBuilder {
         }
         for vm in self.fleet.vms() {
             if vm.fine.len() != len {
-                return Err(SimError::InvalidParameter("all fine traces must have equal length"));
+                return Err(SimError::InvalidParameter(
+                    "all fine traces must have equal length",
+                ));
             }
         }
         if !(self.dynamic_headroom.is_finite() && self.dynamic_headroom >= 0.0) {
@@ -210,7 +216,11 @@ impl ScenarioBuilder {
         if !(self.default_demand.is_finite() && self.default_demand > 0.0) {
             return Err(SimError::InvalidParameter("default demand must be > 0"));
         }
-        if let Policy::Pcp { envelope_percentile, affinity_threshold } = self.policy {
+        if let Policy::Pcp {
+            envelope_percentile,
+            affinity_threshold,
+        } = self.policy
+        {
             if !(0.0 < envelope_percentile && envelope_percentile < 100.0) {
                 return Err(SimError::InvalidParameter(
                     "pcp envelope percentile must lie in (0, 100)",
@@ -231,7 +241,9 @@ impl ScenarioBuilder {
         }
         if let DvfsMode::Dynamic { interval_samples } = self.dvfs_mode {
             if interval_samples == 0 {
-                return Err(SimError::InvalidParameter("dynamic interval must be >= 1 sample"));
+                return Err(SimError::InvalidParameter(
+                    "dynamic interval must be >= 1 sample",
+                ));
             }
         }
         Ok(Scenario {
@@ -268,36 +280,66 @@ mod tests {
         assert_eq!(Policy::Bfd.name(), "BFD");
         assert_eq!(Policy::Ffd.name(), "FFD");
         assert_eq!(
-            Policy::Pcp { envelope_percentile: 90.0, affinity_threshold: 0.2 }.name(),
+            Policy::Pcp {
+                envelope_percentile: 90.0,
+                affinity_threshold: 0.2
+            }
+            .name(),
             "PCP"
         );
         assert_eq!(Policy::Proposed(Default::default()).name(), "Proposed");
         assert!(Policy::Proposed(Default::default()).correlation_aware_frequency());
         assert!(!Policy::Bfd.correlation_aware_frequency());
-        assert!(!Policy::Pcp { envelope_percentile: 90.0, affinity_threshold: 0.2 }
-            .correlation_aware_frequency());
+        assert!(!Policy::Pcp {
+            envelope_percentile: 90.0,
+            affinity_threshold: 0.2
+        }
+        .correlation_aware_frequency());
     }
 
     #[test]
     fn builder_validates() {
         assert!(ScenarioBuilder::new(fleet()).build().is_ok());
         assert!(ScenarioBuilder::new(fleet()).servers(0).build().is_err());
-        assert!(ScenarioBuilder::new(fleet()).cores_per_server(0).build().is_err());
-        assert!(ScenarioBuilder::new(fleet()).period_samples(0).build().is_err());
+        assert!(ScenarioBuilder::new(fleet())
+            .cores_per_server(0)
+            .build()
+            .is_err());
+        assert!(ScenarioBuilder::new(fleet())
+            .period_samples(0)
+            .build()
+            .is_err());
         // 2 h of 5 s samples = 1440 < one 2000-sample period.
-        assert!(ScenarioBuilder::new(fleet()).period_samples(2000).build().is_err());
-        assert!(ScenarioBuilder::new(fleet()).dynamic_headroom(-1.0).build().is_err());
-        assert!(ScenarioBuilder::new(fleet()).default_demand(0.0).build().is_err());
         assert!(ScenarioBuilder::new(fleet())
-            .policy(Policy::Pcp { envelope_percentile: 0.0, affinity_threshold: 0.2 })
+            .period_samples(2000)
             .build()
             .is_err());
         assert!(ScenarioBuilder::new(fleet())
-            .policy(Policy::Pcp { envelope_percentile: 90.0, affinity_threshold: 2.0 })
+            .dynamic_headroom(-1.0)
             .build()
             .is_err());
         assert!(ScenarioBuilder::new(fleet())
-            .dvfs_mode(DvfsMode::Dynamic { interval_samples: 0 })
+            .default_demand(0.0)
+            .build()
+            .is_err());
+        assert!(ScenarioBuilder::new(fleet())
+            .policy(Policy::Pcp {
+                envelope_percentile: 0.0,
+                affinity_threshold: 0.2
+            })
+            .build()
+            .is_err());
+        assert!(ScenarioBuilder::new(fleet())
+            .policy(Policy::Pcp {
+                envelope_percentile: 90.0,
+                affinity_threshold: 2.0
+            })
+            .build()
+            .is_err());
+        assert!(ScenarioBuilder::new(fleet())
+            .dvfs_mode(DvfsMode::Dynamic {
+                interval_samples: 0
+            })
             .build()
             .is_err());
     }

@@ -21,8 +21,8 @@ use crate::config::{Policy, Scenario};
 use crate::report::{PeriodRecord, SimReport};
 use crate::SimError;
 use cavm_core::alloc::{
-    AllocationPolicy, BfdPolicy, FfdPolicy, PcpPolicy, Placement, ProposedPolicy,
-    SuperVmPolicy, VmDescriptor,
+    AllocationPolicy, BfdPolicy, FfdPolicy, PcpPolicy, Placement, ProposedPolicy, SuperVmPolicy,
+    VmDescriptor,
 };
 use cavm_core::corr::CostMatrix;
 use cavm_core::dvfs::{DvfsMode, FrequencyPlanner};
@@ -105,9 +105,7 @@ impl Scenario {
                 }
             }
             let migrations = match &prev_assignment {
-                Some(prev) => {
-                    assignment.iter().zip(prev).filter(|(a, b)| a != b).count()
-                }
+                Some(prev) => assignment.iter().zip(prev).filter(|(a, b)| a != b).count(),
                 None => 0,
             };
 
@@ -130,8 +128,20 @@ impl Scenario {
             }
 
             // ---- Replay the period.
-            let mut matrix_next =
-                CostMatrix::new(n, self.reference).map_err(SimError::Core)?;
+            // UPDATE-phase matrix maintenance ("update M_cost ... for
+            // all VM pairs", Fig 2 line 7) runs as one batch/parallel
+            // window replay over the period's trace columns — the flat
+            // SoA kernel walks the pair triangle pair-major instead of
+            // re-touching the whole plane every tick.
+            let mut matrix_next = CostMatrix::new(n, self.reference).map_err(SimError::Core)?;
+            #[cfg(feature = "parallel")]
+            matrix_next
+                .par_push_columns(&traces, start, end)
+                .map_err(SimError::Core)?;
+            #[cfg(not(feature = "parallel"))]
+            matrix_next
+                .push_columns(&traces, start, end)
+                .map_err(SimError::Core)?;
             // Correlation-aware governors trust the measured *aggregate*
             // peak; correlation-blind ones must assume per-VM peaks can
             // coincide and track the sum of individual window peaks
@@ -143,7 +153,6 @@ impl Scenario {
                 for (i, trace) in traces.iter().enumerate() {
                     sample_buf[i] = trace.values()[k];
                 }
-                matrix_next.push_sample(&sample_buf).map_err(SimError::Core)?;
                 let k_in_period = k - start;
 
                 for (s, members) in placement.servers().iter().enumerate() {
@@ -216,7 +225,10 @@ impl Scenario {
         let mean_violation = if period_records.is_empty() {
             0.0
         } else {
-            period_records.iter().map(|p| p.max_violation_ratio).sum::<f64>()
+            period_records
+                .iter()
+                .map(|p| p.max_violation_ratio)
+                .sum::<f64>()
                 / period_records.len() as f64
         };
         Ok(SimReport {
@@ -245,27 +257,46 @@ impl Scenario {
     ) -> crate::Result<(Placement, Option<usize>)> {
         match self.policy {
             Policy::Bfd => Ok((
-                BfdPolicy.place(vms, matrix, capacity).map_err(SimError::Core)?,
+                BfdPolicy
+                    .place(vms, matrix, capacity)
+                    .map_err(SimError::Core)?,
                 None,
             )),
             Policy::Ffd => Ok((
-                FfdPolicy.place(vms, matrix, capacity).map_err(SimError::Core)?,
+                FfdPolicy
+                    .place(vms, matrix, capacity)
+                    .map_err(SimError::Core)?,
                 None,
             )),
             Policy::Proposed(config) => {
                 let policy = ProposedPolicy::new(config).map_err(SimError::Core)?;
-                Ok((policy.place(vms, matrix, capacity).map_err(SimError::Core)?, None))
+                Ok((
+                    policy
+                        .place(vms, matrix, capacity)
+                        .map_err(SimError::Core)?,
+                    None,
+                ))
             }
             Policy::SuperVm { min_pair_cost } => {
                 let policy = SuperVmPolicy::new(min_pair_cost).map_err(SimError::Core)?;
-                Ok((policy.place(vms, matrix, capacity).map_err(SimError::Core)?, None))
+                Ok((
+                    policy
+                        .place(vms, matrix, capacity)
+                        .map_err(SimError::Core)?,
+                    None,
+                ))
             }
-            Policy::Pcp { envelope_percentile, affinity_threshold } => {
+            Policy::Pcp {
+                envelope_percentile,
+                affinity_threshold,
+            } => {
                 if period == 0 {
                     // No history yet: a single degenerate cluster, i.e.
                     // BFD behaviour.
                     return Ok((
-                        BfdPolicy.place(vms, matrix, capacity).map_err(SimError::Core)?,
+                        BfdPolicy
+                            .place(vms, matrix, capacity)
+                            .map_err(SimError::Core)?,
                         Some(1),
                     ));
                 }
@@ -326,7 +357,10 @@ mod tests {
         for policy in [
             Policy::Bfd,
             Policy::Ffd,
-            Policy::Pcp { envelope_percentile: 90.0, affinity_threshold: 0.2 },
+            Policy::Pcp {
+                envelope_percentile: 90.0,
+                affinity_threshold: 0.2,
+            },
             Policy::Proposed(Default::default()),
         ] {
             let r = run(policy, DvfsMode::Static);
@@ -340,7 +374,12 @@ mod tests {
 
     #[test]
     fn dynamic_mode_runs_and_flags_report() {
-        let r = run(Policy::Bfd, DvfsMode::Dynamic { interval_samples: 12 });
+        let r = run(
+            Policy::Bfd,
+            DvfsMode::Dynamic {
+                interval_samples: 12,
+            },
+        );
         assert!(r.dynamic_dvfs);
         let s = run(Policy::Bfd, DvfsMode::Static);
         assert!(!s.dynamic_dvfs);
@@ -371,7 +410,10 @@ mod tests {
     #[test]
     fn pcp_reports_cluster_counts() {
         let r = run(
-            Policy::Pcp { envelope_percentile: 90.0, affinity_threshold: 0.15 },
+            Policy::Pcp {
+                envelope_percentile: 90.0,
+                affinity_threshold: 0.15,
+            },
             DvfsMode::Static,
         );
         for p in &r.periods {
@@ -396,7 +438,10 @@ mod tests {
     #[test]
     fn migrations_are_counted_between_periods() {
         let r = run(Policy::Proposed(Default::default()), DvfsMode::Static);
-        assert_eq!(r.periods[0].migrations, 0, "first period has no predecessor");
+        assert_eq!(
+            r.periods[0].migrations, 0,
+            "first period has no predecessor"
+        );
         // Subsequent periods may migrate; totals must be consistent.
         assert_eq!(
             r.total_migrations(),

@@ -31,7 +31,10 @@ impl fmt::Display for SimError {
             SimError::Core(e) => write!(f, "core error: {e}"),
             SimError::InvalidParameter(what) => write!(f, "invalid parameter: {what}"),
             SimError::InsufficientServers { needed, available } => {
-                write!(f, "placement needs {needed} servers but only {available} exist")
+                write!(
+                    f,
+                    "placement needs {needed} servers but only {available} exist"
+                )
             }
         }
     }
@@ -72,10 +75,19 @@ mod tests {
 
     #[test]
     fn display_and_source() {
-        assert!(SimError::from(TraceError::EmptyInput).to_string().contains("trace"));
-        assert!(SimError::from(PowerError::EmptyLadder).to_string().contains("power"));
-        assert!(SimError::from(CoreError::InvalidParameter("x")).to_string().contains("core"));
-        let e = SimError::InsufficientServers { needed: 30, available: 20 };
+        assert!(SimError::from(TraceError::EmptyInput)
+            .to_string()
+            .contains("trace"));
+        assert!(SimError::from(PowerError::EmptyLadder)
+            .to_string()
+            .contains("power"));
+        assert!(SimError::from(CoreError::InvalidParameter("x"))
+            .to_string()
+            .contains("core"));
+        let e = SimError::InsufficientServers {
+            needed: 30,
+            available: 20,
+        };
         assert!(e.to_string().contains("30"));
         assert!(std::error::Error::source(&e).is_none());
         assert!(std::error::Error::source(&SimError::from(TraceError::EmptyInput)).is_some());

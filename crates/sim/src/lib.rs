@@ -47,9 +47,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod config;
 mod engine;
 mod error;
-pub mod config;
 pub mod report;
 
 pub use config::{Policy, Scenario, ScenarioBuilder};

@@ -64,7 +64,11 @@ impl SimReport {
 
     /// Maximum number of servers used in any period.
     pub fn peak_servers_used(&self) -> usize {
-        self.periods.iter().map(|p| p.servers_used).max().unwrap_or(0)
+        self.periods
+            .iter()
+            .map(|p| p.servers_used)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Total migrations across all period boundaries.
@@ -75,8 +79,7 @@ impl SimReport {
     /// Number of periods in which PCP found a single cluster (the
     /// degeneration the paper reports); `None` for non-PCP runs.
     pub fn pcp_single_cluster_periods(&self) -> Option<usize> {
-        let counts: Vec<usize> =
-            self.periods.iter().filter_map(|p| p.pcp_clusters).collect();
+        let counts: Vec<usize> = self.periods.iter().filter_map(|p| p.pcp_clusters).collect();
         if counts.is_empty() {
             None
         } else {

@@ -54,7 +54,9 @@ impl Envelope {
     /// Builds an envelope by thresholding at an absolute utilization
     /// value.
     pub fn from_threshold(series: &TimeSeries, threshold: f64) -> Self {
-        Self { bits: series.values().iter().map(|&v| v >= threshold).collect() }
+        Self {
+            bits: series.values().iter().map(|&v| v >= threshold).collect(),
+        }
     }
 
     /// Builds an envelope from raw bits.
@@ -98,7 +100,10 @@ impl Envelope {
     /// Returns [`TraceError::LengthMismatch`] when lengths differ.
     pub fn overlap_count(&self, other: &Envelope) -> crate::Result<usize> {
         if self.len() != other.len() {
-            return Err(TraceError::LengthMismatch { left: self.len(), right: other.len() });
+            return Err(TraceError::LengthMismatch {
+                left: self.len(),
+                right: other.len(),
+            });
         }
         Ok(self
             .bits
@@ -219,10 +224,22 @@ mod tests {
     fn length_mismatch_is_an_error() {
         let a = Envelope::from_bits(vec![true]);
         let b = Envelope::from_bits(vec![true, false]);
-        assert!(matches!(a.overlap_count(&b), Err(TraceError::LengthMismatch { .. })));
-        assert!(matches!(a.jaccard(&b), Err(TraceError::LengthMismatch { .. })));
-        assert!(matches!(a.containment(&b), Err(TraceError::LengthMismatch { .. })));
-        assert!(matches!(a.is_disjoint(&b), Err(TraceError::LengthMismatch { .. })));
+        assert!(matches!(
+            a.overlap_count(&b),
+            Err(TraceError::LengthMismatch { .. })
+        ));
+        assert!(matches!(
+            a.jaccard(&b),
+            Err(TraceError::LengthMismatch { .. })
+        ));
+        assert!(matches!(
+            a.containment(&b),
+            Err(TraceError::LengthMismatch { .. })
+        ));
+        assert!(matches!(
+            a.is_disjoint(&b),
+            Err(TraceError::LengthMismatch { .. })
+        ));
     }
 
     #[test]

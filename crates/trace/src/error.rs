@@ -73,9 +73,15 @@ mod tests {
             TraceError::InvalidInterval(-1.0),
             TraceError::EmptyInput,
             TraceError::LengthMismatch { left: 1, right: 2 },
-            TraceError::IntervalMismatch { left: 1.0, right: 2.0 },
+            TraceError::IntervalMismatch {
+                left: 1.0,
+                right: 2.0,
+            },
             TraceError::InvalidPercentile(101.0),
-            TraceError::NonFiniteSample { index: 3, value: f64::NAN },
+            TraceError::NonFiniteSample {
+                index: 3,
+                value: f64::NAN,
+            },
             TraceError::InvalidParameter("cv must be positive"),
         ];
         for v in variants {

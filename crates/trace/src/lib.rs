@@ -39,19 +39,19 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-mod error;
 pub mod envelope;
+mod error;
 pub mod rng;
 pub mod series;
 pub mod stats;
 pub mod streaming;
 
-pub use error::TraceError;
 pub use envelope::Envelope;
+pub use error::TraceError;
 pub use rng::SimRng;
 pub use series::TimeSeries;
 pub use stats::{percentile, Reference, Summary, Welford};
-pub use streaming::{Ewma, P2Quantile, StreamingPeak, WindowedMax};
+pub use streaming::{Ewma, P2Cell, P2Clock, P2Quantile, StreamingPeak, WindowedMax};
 
 /// Crate-wide result alias.
 pub type Result<T> = std::result::Result<T, TraceError>;

@@ -63,7 +63,10 @@ impl SimRng {
             splitmix64(&mut sm),
             splitmix64(&mut sm),
         ];
-        Self { s, spare_normal: None }
+        Self {
+            s,
+            spare_normal: None,
+        }
     }
 
     /// Derives an independent child generator for a named sub-stream.
@@ -86,7 +89,10 @@ impl SimRng {
             splitmix64(&mut sm),
             splitmix64(&mut sm),
         ];
-        SimRng { s, spare_normal: None }
+        SimRng {
+            s,
+            spare_normal: None,
+        }
     }
 
     /// Next raw 64-bit output.
@@ -114,7 +120,10 @@ impl SimRng {
     ///
     /// Panics if `lo > hi` or either bound is non-finite.
     pub fn range_f64(&mut self, lo: f64, hi: f64) -> f64 {
-        assert!(lo.is_finite() && hi.is_finite() && lo <= hi, "bad range [{lo}, {hi})");
+        assert!(
+            lo.is_finite() && hi.is_finite() && lo <= hi,
+            "bad range [{lo}, {hi})"
+        );
         lo + (hi - lo) * self.f64()
     }
 
@@ -424,7 +433,10 @@ mod tests {
         let mut sorted = v.clone();
         sorted.sort_unstable();
         assert_eq!(sorted, (0..100).collect::<Vec<_>>());
-        assert_ne!(v, sorted, "shuffle left the identity permutation (astronomically unlikely)");
+        assert_ne!(
+            v, sorted,
+            "shuffle left the identity permutation (astronomically unlikely)"
+        );
     }
 
     #[test]

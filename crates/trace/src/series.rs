@@ -131,7 +131,10 @@ impl TimeSeries {
         if self.values.is_empty() {
             0.0
         } else {
-            self.values.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+            self.values
+                .iter()
+                .copied()
+                .fold(f64::NEG_INFINITY, f64::max)
         }
     }
 
@@ -186,10 +189,16 @@ impl TimeSeries {
         let mut acc = vec![0.0; first.len()];
         for s in series {
             if s.len() != first.len() {
-                return Err(TraceError::LengthMismatch { left: first.len(), right: s.len() });
+                return Err(TraceError::LengthMismatch {
+                    left: first.len(),
+                    right: s.len(),
+                });
             }
             if s.dt() != first.dt() {
-                return Err(TraceError::IntervalMismatch { left: first.dt(), right: s.dt() });
+                return Err(TraceError::IntervalMismatch {
+                    left: first.dt(),
+                    right: s.dt(),
+                });
             }
             for (a, v) in acc.iter_mut().zip(s.values()) {
                 *a += v;
@@ -245,7 +254,10 @@ impl TimeSeries {
         if start > end || end > self.values.len() {
             return Err(TraceError::InvalidParameter("slice range out of bounds"));
         }
-        Ok(TimeSeries { dt: self.dt, values: self.values[start..end].to_vec() })
+        Ok(TimeSeries {
+            dt: self.dt,
+            values: self.values[start..end].to_vec(),
+        })
     }
 
     /// Coarsens the series by averaging consecutive groups of `factor`
@@ -417,7 +429,10 @@ mod tests {
             TimeSeries::sum_of(&[&a, &c]),
             Err(TraceError::IntervalMismatch { .. })
         ));
-        assert!(matches!(TimeSeries::sum_of(&[]), Err(TraceError::EmptyInput)));
+        assert!(matches!(
+            TimeSeries::sum_of(&[]),
+            Err(TraceError::EmptyInput)
+        ));
     }
 
     #[test]

@@ -384,7 +384,9 @@ mod tests {
 
     #[test]
     fn summary_fields_are_ordered() {
-        let v: Vec<f64> = (0..1000).map(|i| (i as f64 * 0.7).sin() * 3.0 + 5.0).collect();
+        let v: Vec<f64> = (0..1000)
+            .map(|i| (i as f64 * 0.7).sin() * 3.0 + 5.0)
+            .collect();
         let s = Summary::of(&v).unwrap();
         assert!(s.min <= s.median);
         assert!(s.median <= s.p90);

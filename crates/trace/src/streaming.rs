@@ -42,13 +42,30 @@ pub struct StreamingPeak {
 impl StreamingPeak {
     /// Creates an empty tracker.
     pub fn new() -> Self {
-        Self { peak: f64::NEG_INFINITY, count: 0 }
+        Self {
+            peak: f64::NEG_INFINITY,
+            count: 0,
+        }
     }
 
     /// Feeds one sample.
     pub fn push(&mut self, x: f64) {
         self.peak = self.peak.max(x);
         self.count += 1;
+    }
+
+    /// Feeds a whole slice of samples — a batch convenience for
+    /// replaying a stored window into a standalone tracker.
+    /// Equivalent to pushing each sample in order. (The SoA cost
+    /// matrix keeps raw `f64` planes instead; see
+    /// `cavm_core::corr::matrix`.)
+    pub fn push_batch(&mut self, xs: &[f64]) {
+        let mut peak = self.peak;
+        for &x in xs {
+            peak = peak.max(x);
+        }
+        self.peak = peak;
+        self.count += xs.len() as u64;
     }
 
     /// Current maximum; 0.0 before any sample (idle signal convention).
@@ -122,7 +139,9 @@ impl P2Quantile {
     /// Returns [`TraceError::InvalidParameter`] unless `0 < p < 1`.
     pub fn new(p: f64) -> crate::Result<Self> {
         if !(p > 0.0 && p < 1.0) {
-            return Err(TraceError::InvalidParameter("P2 quantile must lie in (0, 1)"));
+            return Err(TraceError::InvalidParameter(
+                "P2 quantile must lie in (0, 1)",
+            ));
         }
         Ok(Self {
             p,
@@ -151,7 +170,8 @@ impl P2Quantile {
         if self.init.len() < 5 {
             self.init.push(x);
             if self.init.len() == 5 {
-                self.init.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+                self.init
+                    .sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
                 for (qi, &v) in self.q.iter_mut().zip(self.init.iter()) {
                     *qi = v;
                 }
@@ -230,6 +250,218 @@ impl P2Quantile {
         }
         Some(self.q[2])
     }
+
+    /// Feeds a whole slice of samples in order — a batch convenience
+    /// for replaying a stored window into a standalone estimator.
+    /// (Banked estimators use [`P2Cell`]/[`P2Clock`] instead.)
+    pub fn push_batch(&mut self, xs: &[f64]) {
+        for &x in xs {
+            self.push(x);
+        }
+    }
+}
+
+/// Shared per-tick bookkeeping for a *bank* of P² estimators that all
+/// receive exactly one sample per tick (e.g. every pair slot of a cost
+/// matrix).
+///
+/// The P² algorithm keeps three kinds of state per estimator: marker
+/// heights `q`, marker positions `n`, and *desired* positions `np`.
+/// When every estimator in a bank sees the same number of samples, the
+/// desired positions and the sample count are identical across the
+/// bank — only `q` and the interior of `n` are data-dependent. Hoisting
+/// the shared part into one clock shrinks per-stream state from the
+/// ~200 bytes of [`P2Quantile`] to the 64 bytes of [`P2Cell`] and
+/// removes all per-sample branching on initialization bookkeeping.
+///
+/// Protocol: call [`P2Clock::tick`] once per sampling instant, then
+/// [`P2Cell::push`] every cell with that tick's sample.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct P2Clock {
+    p: f64,
+    count: u64,
+    /// Desired marker positions (valid once `count >= 5`).
+    np: [f64; 5],
+    /// Desired position increments.
+    dn: [f64; 5],
+}
+
+impl P2Clock {
+    /// Creates a clock for quantile `p ∈ (0, 1)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::InvalidParameter`] unless `0 < p < 1`.
+    pub fn new(p: f64) -> crate::Result<Self> {
+        if !(p > 0.0 && p < 1.0) {
+            return Err(TraceError::InvalidParameter(
+                "P2 quantile must lie in (0, 1)",
+            ));
+        }
+        Ok(Self {
+            p,
+            count: 0,
+            np: [1.0, 1.0 + 2.0 * p, 1.0 + 4.0 * p, 3.0 + 2.0 * p, 5.0],
+            dn: [0.0, p / 2.0, p, (1.0 + p) / 2.0, 1.0],
+        })
+    }
+
+    /// The tracked quantile, in `(0, 1)`.
+    pub fn quantile(&self) -> f64 {
+        self.p
+    }
+
+    /// Number of ticks seen.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Advances the clock by one sampling instant. Must be called
+    /// exactly once per tick, *before* pushing that tick's samples into
+    /// the cells.
+    pub fn tick(&mut self) {
+        self.count += 1;
+        // P² only advances desired positions after the five-sample
+        // initialization phase — mirroring `P2Quantile::push`.
+        if self.count > 5 {
+            for i in 0..5 {
+                self.np[i] += self.dn[i];
+            }
+        }
+    }
+
+    /// Forgets all ticks (keeps the quantile).
+    pub fn reset(&mut self) {
+        *self = Self::new(self.p).expect("quantile already validated");
+    }
+}
+
+/// Compact per-stream P² state driven by a shared [`P2Clock`]:
+/// five marker heights plus the three *interior* marker positions
+/// (`n[0] ≡ 1` and `n[4] ≡ count` are implied by the clock).
+///
+/// Produces bit-identical estimates to a standalone [`P2Quantile`] fed
+/// the same sample sequence — the property tests in this module and the
+/// cost-matrix equivalence suite pin that.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[repr(C)]
+pub struct P2Cell {
+    /// Marker heights `q_1..q_5`; doubles as the init buffer while the
+    /// clock counts the first five ticks.
+    q: [f64; 5],
+    /// Interior marker positions `n_2..n_4` (1-based as in the paper).
+    n: [f64; 3],
+}
+
+impl Default for P2Cell {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl P2Cell {
+    /// Creates an empty cell.
+    pub fn new() -> Self {
+        Self {
+            q: [0.0; 5],
+            n: [2.0, 3.0, 4.0],
+        }
+    }
+
+    /// Feeds the sample for the clock's current tick. The clock must
+    /// already have been advanced with [`P2Clock::tick`] for this
+    /// instant.
+    pub fn push(&mut self, x: f64, clock: &P2Clock) {
+        let count = clock.count;
+        debug_assert!(count > 0, "tick the clock before pushing");
+        if count <= 5 {
+            self.q[(count - 1) as usize] = x;
+            if count == 5 {
+                self.q
+                    .sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+            }
+            return;
+        }
+
+        // Reconstruct the full 5-marker position vector; the clock has
+        // already advanced np for this tick. The arithmetic below is a
+        // verbatim transcription of `P2Quantile::push` so the two paths
+        // stay bit-identical.
+        let q = &mut self.q;
+        let mut n = [1.0, self.n[0], self.n[1], self.n[2], (count - 1) as f64];
+        let np = &clock.np;
+
+        // 1. Find the cell k containing x and update extreme markers.
+        let k = if x < q[0] {
+            q[0] = x;
+            0
+        } else if x < q[1] {
+            0
+        } else if x < q[2] {
+            1
+        } else if x < q[3] {
+            2
+        } else if x <= q[4] {
+            3
+        } else {
+            q[4] = x;
+            3
+        };
+
+        // 2. Increment positions of markers above the cell.
+        for item in n.iter_mut().take(5).skip(k + 1) {
+            *item += 1.0;
+        }
+
+        // 3. Adjust interior markers that drifted off their desired
+        //    positions by one or more.
+        for i in 1..4 {
+            let d = np[i] - n[i];
+            if (d >= 1.0 && n[i + 1] - n[i] > 1.0) || (d <= -1.0 && n[i - 1] - n[i] < -1.0) {
+                let d = d.signum();
+                let candidate = Self::parabolic(q, &n, i, d);
+                q[i] = if q[i - 1] < candidate && candidate < q[i + 1] {
+                    candidate
+                } else {
+                    Self::linear(q, &n, i, d)
+                };
+                n[i] += d;
+            }
+        }
+
+        self.n = [n[1], n[2], n[3]];
+    }
+
+    fn parabolic(q: &[f64; 5], n: &[f64; 5], i: usize, d: f64) -> f64 {
+        q[i] + d / (n[i + 1] - n[i - 1])
+            * ((n[i] - n[i - 1] + d) * (q[i + 1] - q[i]) / (n[i + 1] - n[i])
+                + (n[i + 1] - n[i] - d) * (q[i] - q[i - 1]) / (n[i] - n[i - 1]))
+    }
+
+    fn linear(q: &[f64; 5], n: &[f64; 5], i: usize, d: f64) -> f64 {
+        let j = if d > 0.0 { i + 1 } else { i - 1 };
+        q[i] + d * (q[j] - q[i]) / (n[j] - n[i])
+    }
+
+    /// Current estimate under the given clock, or `None` before any
+    /// tick. With fewer than five ticks the exact sample quantile of
+    /// the buffered values is returned (matching [`P2Quantile`]).
+    pub fn estimate(&self, clock: &P2Clock) -> Option<f64> {
+        if clock.count == 0 {
+            return None;
+        }
+        if clock.count < 5 {
+            let mut sorted = self.q[..clock.count as usize].to_vec();
+            sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+            return Some(crate::stats::percentile_of_sorted(&sorted, clock.p * 100.0));
+        }
+        Some(self.q[2])
+    }
+
+    /// Forgets all samples.
+    pub fn reset(&mut self) {
+        *self = Self::new();
+    }
 }
 
 /// Exponentially weighted moving average.
@@ -263,7 +495,9 @@ impl Ewma {
     /// Returns [`TraceError::InvalidParameter`] unless `0 < alpha <= 1`.
     pub fn new(alpha: f64) -> crate::Result<Self> {
         if !(alpha > 0.0 && alpha <= 1.0) {
-            return Err(TraceError::InvalidParameter("EWMA alpha must lie in (0, 1]"));
+            return Err(TraceError::InvalidParameter(
+                "EWMA alpha must lie in (0, 1]",
+            ));
         }
         Ok(Self { alpha, value: None })
     }
@@ -331,7 +565,11 @@ impl WindowedMax {
         if window == 0 {
             return Err(TraceError::InvalidParameter("window must be >= 1"));
         }
-        Ok(Self { window, deque: VecDeque::new(), next_index: 0 })
+        Ok(Self {
+            window,
+            deque: VecDeque::new(),
+            next_index: 0,
+        })
     }
 
     /// Window length in samples.
@@ -487,12 +725,70 @@ mod tests {
             for (i, &x) in xs.iter().enumerate() {
                 w.push(x);
                 let lo = i + 1 - window.min(i + 1);
-                let naive =
-                    xs[lo..=i].iter().copied().fold(f64::NEG_INFINITY, f64::max);
+                let naive = xs[lo..=i].iter().copied().fold(f64::NEG_INFINITY, f64::max);
                 assert_eq!(w.max().unwrap(), naive, "window={window} i={i}");
             }
         }
         assert!(WindowedMax::new(0).is_err());
+    }
+
+    #[test]
+    fn p2_cell_bit_identical_to_p2_quantile() {
+        for (seed, p) in [(1u64, 0.5), (7, 0.9), (13, 0.95), (99, 0.05)] {
+            let mut rng = SimRng::new(seed);
+            let mut reference = P2Quantile::new(p).unwrap();
+            let mut clock = P2Clock::new(p).unwrap();
+            let mut cell = P2Cell::new();
+            assert_eq!(cell.estimate(&clock), None);
+            for i in 0..5_000 {
+                let x = rng.lognormal_mean_cv(2.0, 0.8);
+                reference.push(x);
+                clock.tick();
+                cell.push(x, &clock);
+                let a = reference.estimate().unwrap();
+                let b = cell.estimate(&clock).unwrap();
+                assert_eq!(a.to_bits(), b.to_bits(), "diverged at sample {i} (p={p})");
+            }
+            assert_eq!(clock.count(), 5_000);
+            assert_eq!(clock.quantile(), p);
+        }
+    }
+
+    #[test]
+    fn p2_clock_validates_and_resets() {
+        assert!(P2Clock::new(0.0).is_err());
+        assert!(P2Clock::new(1.0).is_err());
+        let mut clock = P2Clock::new(0.9).unwrap();
+        let mut cell = P2Cell::new();
+        clock.tick();
+        cell.push(3.0, &clock);
+        assert_eq!(cell.estimate(&clock), Some(3.0));
+        clock.reset();
+        cell.reset();
+        assert_eq!(clock.count(), 0);
+        assert_eq!(cell.estimate(&clock), None);
+    }
+
+    #[test]
+    fn push_batch_matches_serial_pushes() {
+        let mut rng = SimRng::new(21);
+        let xs: Vec<f64> = (0..400).map(|_| rng.f64() * 9.0 - 3.0).collect();
+
+        let mut serial_peak = StreamingPeak::new();
+        xs.iter().for_each(|&x| serial_peak.push(x));
+        let mut batch_peak = StreamingPeak::new();
+        batch_peak.push_batch(&xs);
+        assert_eq!(serial_peak, batch_peak);
+
+        let mut serial_q = P2Quantile::new(0.9).unwrap();
+        xs.iter().for_each(|&x| serial_q.push(x));
+        let mut batch_q = P2Quantile::new(0.9).unwrap();
+        batch_q.push_batch(&xs);
+        assert_eq!(
+            serial_q.estimate().unwrap().to_bits(),
+            batch_q.estimate().unwrap().to_bits()
+        );
+        assert_eq!(serial_q.count(), batch_q.count());
     }
 
     #[test]

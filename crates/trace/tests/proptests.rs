@@ -1,6 +1,8 @@
 //! Property-based tests for the time-series substrate.
 
-use cavm_trace::{percentile, Envelope, P2Quantile, Reference, SimRng, TimeSeries, Welford, WindowedMax};
+use cavm_trace::{
+    percentile, Envelope, P2Quantile, Reference, SimRng, TimeSeries, Welford, WindowedMax,
+};
 use proptest::prelude::*;
 
 fn finite_vec(max_len: usize) -> impl Strategy<Value = Vec<f64>> {

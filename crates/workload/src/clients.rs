@@ -58,12 +58,20 @@ impl ClientWave {
     /// bounds are non-finite, or the period is not positive.
     pub fn new(shape: WaveShape, min: f64, max: f64, period_s: f64) -> crate::Result<Self> {
         if !(min.is_finite() && max.is_finite() && min <= max) {
-            return Err(WorkloadError::InvalidParameter("wave bounds must be finite, min <= max"));
+            return Err(WorkloadError::InvalidParameter(
+                "wave bounds must be finite, min <= max",
+            ));
         }
         if !(period_s.is_finite() && period_s > 0.0) {
             return Err(WorkloadError::InvalidParameter("wave period must be > 0"));
         }
-        Ok(Self { shape, min, max, period_s, phase_rad: 0.0 })
+        Ok(Self {
+            shape,
+            min,
+            max,
+            period_s,
+            phase_rad: 0.0,
+        })
     }
 
     /// Sine wave between `min` and `max` (paper's Cluster1 drive).
@@ -128,7 +136,11 @@ impl ClientWave {
             WaveShape::Triangle => {
                 // Triangle from the phase within the period, peak at T/2.
                 let frac = (theta / (2.0 * std::f64::consts::PI)).rem_euclid(1.0);
-                let tri = if frac < 0.5 { 2.0 * frac } else { 2.0 * (1.0 - frac) };
+                let tri = if frac < 0.5 {
+                    2.0 * frac
+                } else {
+                    2.0 * (1.0 - frac)
+                };
                 self.min + (self.max - self.min) * tri
             }
         }
@@ -140,7 +152,9 @@ impl ClientWave {
     ///
     /// Propagates series-construction errors (invalid `dt`).
     pub fn sample(&self, dt: f64, n: usize) -> crate::Result<TimeSeries> {
-        Ok(TimeSeries::from_fn(dt, n, |i| self.value_at(i as f64 * dt))?)
+        Ok(TimeSeries::from_fn(dt, n, |i| {
+            self.value_at(i as f64 * dt)
+        })?)
     }
 
     /// Samples with additive Gaussian noise, clamped to `[min, max]`
@@ -158,8 +172,7 @@ impl ClientWave {
         rng: &mut SimRng,
     ) -> crate::Result<TimeSeries> {
         Ok(TimeSeries::from_fn(dt, n, |i| {
-            (self.value_at(i as f64 * dt) + rng.normal(0.0, noise_std))
-                .clamp(self.min, self.max)
+            (self.value_at(i as f64 * dt) + rng.normal(0.0, noise_std)).clamp(self.min, self.max)
         })?)
     }
 }

@@ -85,14 +85,21 @@ impl DailyArchetype {
     /// with bursts materialized at `burst_hours`.
     fn mean_at(&self, hour: f64, burst_hours: &[f64]) -> f64 {
         match *self {
-            DailyArchetype::Diurnal { base, peak, peak_hour, width_h } => {
+            DailyArchetype::Diurnal {
+                base,
+                peak,
+                peak_hour,
+                width_h,
+            } => {
                 // Circular distance within the 24 h day.
                 let mut d = (hour - peak_hour).abs();
                 d = d.min(24.0 - d);
                 base + (peak - base) * (-0.5 * (d / width_h).powi(2)).exp()
             }
             DailyArchetype::Flat { level } => level,
-            DailyArchetype::Bursty { base, burst_height, .. } => {
+            DailyArchetype::Bursty {
+                base, burst_height, ..
+            } => {
                 let mut v = base;
                 for &b in burst_hours {
                     let mut d = (hour - b).abs();
@@ -102,7 +109,12 @@ impl DailyArchetype {
                 }
                 v
             }
-            DailyArchetype::Surge { base, surge_level, start_hour, duration_h } => {
+            DailyArchetype::Surge {
+                base,
+                surge_level,
+                start_hour,
+                duration_h,
+            } => {
                 if hour >= start_hour && hour < start_hour + duration_h {
                     surge_level
                 } else {
@@ -115,17 +127,24 @@ impl DailyArchetype {
     /// Validates the archetype's numeric ranges.
     fn validate(&self) -> crate::Result<()> {
         let ok = match *self {
-            DailyArchetype::Diurnal { base, peak, peak_hour, width_h } => {
-                base >= 0.0
-                    && peak >= base
-                    && (0.0..24.0).contains(&peak_hour)
-                    && width_h > 0.0
-            }
+            DailyArchetype::Diurnal {
+                base,
+                peak,
+                peak_hour,
+                width_h,
+            } => base >= 0.0 && peak >= base && (0.0..24.0).contains(&peak_hour) && width_h > 0.0,
             DailyArchetype::Flat { level } => level >= 0.0,
-            DailyArchetype::Bursty { base, burst_height, bursts_per_day } => {
-                base >= 0.0 && burst_height >= 0.0 && bursts_per_day >= 0.0
-            }
-            DailyArchetype::Surge { base, surge_level, start_hour, duration_h } => {
+            DailyArchetype::Bursty {
+                base,
+                burst_height,
+                bursts_per_day,
+            } => base >= 0.0 && burst_height >= 0.0 && bursts_per_day >= 0.0,
+            DailyArchetype::Surge {
+                base,
+                surge_level,
+                start_hour,
+                duration_h,
+            } => {
                 base >= 0.0
                     && surge_level >= 0.0
                     && (0.0..24.0).contains(&start_hour)
@@ -135,7 +154,9 @@ impl DailyArchetype {
         if ok {
             Ok(())
         } else {
-            Err(WorkloadError::InvalidParameter("archetype parameters out of range"))
+            Err(WorkloadError::InvalidParameter(
+                "archetype parameters out of range",
+            ))
         }
     }
 }
@@ -207,8 +228,15 @@ impl VmFleet {
                 .partial_cmp(&self.vms[a].fine.mean())
                 .expect("finite means")
         });
-        let vms = order.into_iter().take(n).map(|i| self.vms[i].clone()).collect();
-        VmFleet { vms, groups: self.groups }
+        let vms = order
+            .into_iter()
+            .take(n)
+            .map(|i| self.vms[i].clone())
+            .collect();
+        VmFleet {
+            vms,
+            groups: self.groups,
+        }
     }
 }
 
@@ -399,7 +427,11 @@ impl DatacenterTraceBuilder {
         let mut chain = Vec::with_capacity(len);
         for _ in 0..len {
             chain.push(state);
-            state = if state { !rng.bernoulli(exit) } else { rng.bernoulli(enter) };
+            state = if state {
+                !rng.bernoulli(exit)
+            } else {
+                rng.bernoulli(enter)
+            };
         }
         chain
     }
@@ -424,7 +456,11 @@ impl DatacenterTraceBuilder {
                 start_hour: 8.0 + rng.range_f64(0.0, 4.0),
                 duration_h: 2.0,
             },
-            DailyArchetype::Bursty { base: 0.7, burst_height: 0.9, bursts_per_day: 5.0 },
+            DailyArchetype::Bursty {
+                base: 0.7,
+                burst_height: 0.9,
+                bursts_per_day: 5.0,
+            },
             DailyArchetype::Diurnal {
                 base: 0.4,
                 peak: 2.4,
@@ -438,7 +474,11 @@ impl DatacenterTraceBuilder {
                 duration_h: 1.5,
             },
             DailyArchetype::Flat { level: 1.1 },
-            DailyArchetype::Bursty { base: 0.5, burst_height: 1.1, bursts_per_day: 3.0 },
+            DailyArchetype::Bursty {
+                base: 0.5,
+                burst_height: 1.1,
+                bursts_per_day: 3.0,
+            },
         ]
     }
 
@@ -452,13 +492,17 @@ impl DatacenterTraceBuilder {
     /// errors.
     pub fn build(&self) -> crate::Result<VmFleet> {
         if self.vm_count == 0 {
-            return Err(WorkloadError::InvalidParameter("fleet needs at least one VM"));
+            return Err(WorkloadError::InvalidParameter(
+                "fleet needs at least one VM",
+            ));
         }
         if !(self.duration_hours > 0.0 && self.duration_hours.is_finite()) {
             return Err(WorkloadError::InvalidParameter("duration must be > 0"));
         }
         if !(self.coarse_dt_s > 0.0 && self.fine_dt_s > 0.0) {
-            return Err(WorkloadError::InvalidParameter("sampling intervals must be > 0"));
+            return Err(WorkloadError::InvalidParameter(
+                "sampling intervals must be > 0",
+            ));
         }
         let refine_factor = self.coarse_dt_s / self.fine_dt_s;
         if refine_factor.fract().abs() > 1e-9 || refine_factor < 1.0 {
@@ -471,23 +515,35 @@ impl DatacenterTraceBuilder {
             return Err(WorkloadError::InvalidParameter("refine cv must be >= 0"));
         }
         if !(0.0..=1.0).contains(&self.group_spike_sync) {
-            return Err(WorkloadError::InvalidParameter("spike sync must be in [0, 1]"));
+            return Err(WorkloadError::InvalidParameter(
+                "spike sync must be in [0, 1]",
+            ));
         }
         if !(self.burst_amplitude.is_finite() && self.burst_amplitude >= 0.0) {
-            return Err(WorkloadError::InvalidParameter("burst amplitude must be >= 0"));
+            return Err(WorkloadError::InvalidParameter(
+                "burst amplitude must be >= 0",
+            ));
         }
         if !(0.0..1.0).contains(&self.burst_on_fraction) {
-            return Err(WorkloadError::InvalidParameter("burst on-fraction must be in [0, 1)"));
+            return Err(WorkloadError::InvalidParameter(
+                "burst on-fraction must be in [0, 1)",
+            ));
         }
         if self.burst_duration_samples == 0 {
-            return Err(WorkloadError::InvalidParameter("burst duration must be >= 1 sample"));
+            return Err(WorkloadError::InvalidParameter(
+                "burst duration must be >= 1 sample",
+            ));
         }
         if !(0.0..=1.0).contains(&self.idle_fraction) {
-            return Err(WorkloadError::InvalidParameter("idle fraction must be in [0, 1]"));
+            return Err(WorkloadError::InvalidParameter(
+                "idle fraction must be in [0, 1]",
+            ));
         }
         let (scale_lo, scale_hi) = self.vm_scale_range;
         if !(scale_lo > 0.0 && scale_hi >= scale_lo) {
-            return Err(WorkloadError::InvalidParameter("vm scale range must be 0 < lo <= hi"));
+            return Err(WorkloadError::InvalidParameter(
+                "vm scale range must be 0 < lo <= hi",
+            ));
         }
         if self.vm_cap_cores <= 0.0 || self.vm_cap_cores.is_nan() {
             return Err(WorkloadError::InvalidParameter("vm cap must be > 0"));
@@ -497,7 +553,9 @@ impl DatacenterTraceBuilder {
         let mut root = SimRng::new(self.seed);
         let palette = match &self.archetypes {
             Some(a) if a.is_empty() => {
-                return Err(WorkloadError::InvalidParameter("archetype palette is empty"))
+                return Err(WorkloadError::InvalidParameter(
+                    "archetype palette is empty",
+                ))
             }
             Some(a) => {
                 for arch in a {
@@ -508,10 +566,11 @@ impl DatacenterTraceBuilder {
             None => Self::default_palette(&mut root),
         };
 
-        let coarse_samples =
-            (self.duration_hours * 3600.0 / self.coarse_dt_s).round() as usize;
+        let coarse_samples = (self.duration_hours * 3600.0 / self.coarse_dt_s).round() as usize;
         if coarse_samples == 0 {
-            return Err(WorkloadError::InvalidParameter("duration shorter than one coarse sample"));
+            return Err(WorkloadError::InvalidParameter(
+                "duration shorter than one coarse sample",
+            ));
         }
 
         // Per-group: archetype, burst times, a common size scale (the
@@ -624,14 +683,38 @@ mod tests {
     #[test]
     fn build_validates_parameters() {
         assert!(DatacenterTraceBuilder::new(0).build().is_err());
-        assert!(DatacenterTraceBuilder::new(2).duration_hours(0.0).build().is_err());
-        assert!(DatacenterTraceBuilder::new(2).fine_dt_s(7.0).build().is_err());
-        assert!(DatacenterTraceBuilder::new(2).refine_cv(-1.0).build().is_err());
-        assert!(DatacenterTraceBuilder::new(2).group_spike_sync(1.5).build().is_err());
-        assert!(DatacenterTraceBuilder::new(2).vm_scale_range(0.0, 1.0).build().is_err());
-        assert!(DatacenterTraceBuilder::new(2).vm_cap_cores(0.0).build().is_err());
-        assert!(DatacenterTraceBuilder::new(2).idle_fraction(2.0).build().is_err());
-        assert!(DatacenterTraceBuilder::new(2).archetypes(vec![]).build().is_err());
+        assert!(DatacenterTraceBuilder::new(2)
+            .duration_hours(0.0)
+            .build()
+            .is_err());
+        assert!(DatacenterTraceBuilder::new(2)
+            .fine_dt_s(7.0)
+            .build()
+            .is_err());
+        assert!(DatacenterTraceBuilder::new(2)
+            .refine_cv(-1.0)
+            .build()
+            .is_err());
+        assert!(DatacenterTraceBuilder::new(2)
+            .group_spike_sync(1.5)
+            .build()
+            .is_err());
+        assert!(DatacenterTraceBuilder::new(2)
+            .vm_scale_range(0.0, 1.0)
+            .build()
+            .is_err());
+        assert!(DatacenterTraceBuilder::new(2)
+            .vm_cap_cores(0.0)
+            .build()
+            .is_err());
+        assert!(DatacenterTraceBuilder::new(2)
+            .idle_fraction(2.0)
+            .build()
+            .is_err());
+        assert!(DatacenterTraceBuilder::new(2)
+            .archetypes(vec![])
+            .build()
+            .is_err());
         assert!(DatacenterTraceBuilder::new(2)
             .archetypes(vec![DailyArchetype::Flat { level: -1.0 }])
             .build()
@@ -723,10 +806,13 @@ mod tests {
             .unwrap();
         let top = fleet.select_top(10);
         assert_eq!(top.len(), 10);
-        let min_top = top.vms().iter().map(|v| v.fine.mean()).fold(f64::INFINITY, f64::min);
+        let min_top = top
+            .vms()
+            .iter()
+            .map(|v| v.fine.mean())
+            .fold(f64::INFINITY, f64::min);
         // Every non-selected VM has mean <= the smallest selected mean.
-        let selected: std::collections::HashSet<usize> =
-            top.vms().iter().map(|v| v.id).collect();
+        let selected: std::collections::HashSet<usize> = top.vms().iter().map(|v| v.id).collect();
         for vm in fleet.vms() {
             if !selected.contains(&vm.id) {
                 assert!(vm.fine.mean() <= min_top + 1e-12);
@@ -752,8 +838,12 @@ mod tests {
 
     #[test]
     fn diurnal_peaks_at_peak_hour_circularly() {
-        let arch =
-            DailyArchetype::Diurnal { base: 0.2, peak: 2.0, peak_hour: 23.0, width_h: 2.0 };
+        let arch = DailyArchetype::Diurnal {
+            base: 0.2,
+            peak: 2.0,
+            peak_hour: 23.0,
+            width_h: 2.0,
+        };
         let at_peak = arch.mean_at(23.0, &[]);
         assert!((at_peak - 2.0).abs() < 1e-9);
         // 0.5 h after midnight is 1.5 h from the peak, circularly.

@@ -37,9 +37,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-mod error;
 pub mod clients;
 pub mod datacenter;
+mod error;
 pub mod websearch;
 
 pub use clients::ClientWave;

@@ -96,7 +96,9 @@ impl WebSearchCluster {
     /// `isns`, or any share is non-positive.
     pub fn new(mut config: WebSearchClusterConfig) -> crate::Result<Self> {
         if config.isns == 0 {
-            return Err(WorkloadError::InvalidParameter("cluster needs at least one ISN"));
+            return Err(WorkloadError::InvalidParameter(
+                "cluster needs at least one ISN",
+            ));
         }
         if !(config.think_time_s.is_finite() && config.think_time_s > 0.0) {
             return Err(WorkloadError::InvalidParameter("think time must be > 0"));
@@ -107,18 +109,24 @@ impl WebSearchCluster {
         if !(config.demand_cv.is_finite() && config.demand_cv >= 0.0) {
             return Err(WorkloadError::InvalidParameter("demand cv must be >= 0"));
         }
-        if !(config.frontend_demand_core_s.is_finite() && config.frontend_demand_core_s >= 0.0)
-        {
-            return Err(WorkloadError::InvalidParameter("frontend demand must be >= 0"));
+        if !(config.frontend_demand_core_s.is_finite() && config.frontend_demand_core_s >= 0.0) {
+            return Err(WorkloadError::InvalidParameter(
+                "frontend demand must be >= 0",
+            ));
         }
         if config.isn_shares.len() != config.isns {
-            return Err(WorkloadError::InvalidParameter("one shard share per ISN required"));
+            return Err(WorkloadError::InvalidParameter(
+                "one shard share per ISN required",
+            ));
         }
-        if config.isn_shares.iter().any(|&s| !(s.is_finite() && s > 0.0)) {
+        if config
+            .isn_shares
+            .iter()
+            .any(|&s| !(s.is_finite() && s > 0.0))
+        {
             return Err(WorkloadError::InvalidParameter("shard shares must be > 0"));
         }
-        let mean: f64 =
-            config.isn_shares.iter().sum::<f64>() / config.isn_shares.len() as f64;
+        let mean: f64 = config.isn_shares.iter().sum::<f64>() / config.isn_shares.len() as f64;
         for s in &mut config.isn_shares {
             *s /= mean;
         }
@@ -262,7 +270,10 @@ mod tests {
 
     #[test]
     fn shares_are_normalized_to_mean_one() {
-        let cfg = WebSearchClusterConfig { isn_shares: vec![2.6, 1.4], ..Default::default() };
+        let cfg = WebSearchClusterConfig {
+            isn_shares: vec![2.6, 1.4],
+            ..Default::default()
+        };
         let cluster = WebSearchCluster::new(cfg).unwrap();
         let shares = &cluster.config().isn_shares;
         assert!((shares.iter().sum::<f64>() - 2.0).abs() < 1e-12);
@@ -293,7 +304,11 @@ mod tests {
         assert!(hot > 4.0 && hot < 4.5, "hot {hot}");
         assert!(cold < 4.0, "cold {cold}");
         let total = hot + cold;
-        assert!((total / 8.0 - 0.81).abs() < 0.02, "cluster peak {}", total / 8.0);
+        assert!(
+            (total / 8.0 - 0.81).abs() < 0.02,
+            "cluster peak {}",
+            total / 8.0
+        );
     }
 
     #[test]

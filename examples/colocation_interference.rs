@@ -20,8 +20,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         instructions,
         1,
     )?;
-    println!("web search alone : IPC {:.2}, L2 MPKI {:.2}, L2 miss {:.1}%",
-        solo.ipc, solo.l2_mpki, 100.0 * solo.l2_miss_rate);
+    println!(
+        "web search alone : IPC {:.2}, L2 MPKI {:.2}, L2 miss {:.1}%",
+        solo.ipc,
+        solo.l2_mpki,
+        100.0 * solo.l2_miss_rate
+    );
     for (name, m) in &paired {
         println!(
             "  w/ {name:<13}: IPC {:.2}, L2 MPKI {:.2}, L2 miss {:.1}%  (Δipc {:+.1}%)",
@@ -34,8 +38,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let resident = StreamProfile::cache_resident();
     let r_solo = machine.run_solo(&resident, instructions, 1)?;
-    let (r_paired, _) =
-        machine.run_pair(&resident, &StreamProfile::canneal(), instructions, 1)?;
+    let (r_paired, _) = machine.run_pair(&resident, &StreamProfile::canneal(), instructions, 1)?;
     println!(
         "\ncache-resident contrast: IPC {:.2} alone → {:.2} w/ canneal ({:+.0}%)",
         r_solo.ipc,

@@ -45,9 +45,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let demand: f64 = members.iter().map(|&id| vms[id].demand).sum();
         let cost = server_cost_of(members, &vms, &matrix);
         let f = planner.static_level_correlation_aware(demand, 8.0, cost.max(1.0))?;
-        println!(
-            "  server{s}: vms {members:?}  Σû = {demand:.2} cores, cost = {cost:.2} → {f}"
-        );
+        println!("  server{s}: vms {members:?}  Σû = {demand:.2} cores, cost = {cost:.2} → {f}");
     }
     Ok(())
 }

@@ -30,10 +30,20 @@ fn run(fleet: &VmFleet, policy: Policy, mode: DvfsMode) -> SimReport {
 fn setup2_static_proposed_beats_bfd_on_power() {
     let fleet = fleet(2013);
     let bfd = run(&fleet, Policy::Bfd, DvfsMode::Static);
-    let proposed = run(&fleet, Policy::Proposed(Default::default()), DvfsMode::Static);
-    let ratio = proposed.energy.normalized_to(&bfd.energy).expect("baseline non-zero");
+    let proposed = run(
+        &fleet,
+        Policy::Proposed(Default::default()),
+        DvfsMode::Static,
+    );
+    let ratio = proposed
+        .energy
+        .normalized_to(&bfd.energy)
+        .expect("baseline non-zero");
     assert!(ratio < 1.0, "proposed/bfd power ratio {ratio} must be < 1");
-    assert!(ratio > 0.7, "ratio {ratio} suspiciously low — check the power model");
+    assert!(
+        ratio > 0.7,
+        "ratio {ratio} suspiciously low — check the power model"
+    );
 }
 
 #[test]
@@ -44,8 +54,12 @@ fn setup2_proposed_reduces_violations() {
     for seed in [2013, 2014, 2015] {
         let fleet = fleet(seed);
         bfd_total += run(&fleet, Policy::Bfd, DvfsMode::Static).max_violation_percent;
-        prop_total += run(&fleet, Policy::Proposed(Default::default()), DvfsMode::Static)
-            .max_violation_percent;
+        prop_total += run(
+            &fleet,
+            Policy::Proposed(Default::default()),
+            DvfsMode::Static,
+        )
+        .max_violation_percent;
     }
     assert!(
         prop_total <= bfd_total,
@@ -59,26 +73,45 @@ fn setup2_pcp_degenerates_to_bfd() {
     let bfd = run(&fleet, Policy::Bfd, DvfsMode::Static);
     let pcp = run(
         &fleet,
-        Policy::Pcp { envelope_percentile: 90.0, affinity_threshold: 0.10 },
+        Policy::Pcp {
+            envelope_percentile: 90.0,
+            affinity_threshold: 0.10,
+        },
         DvfsMode::Static,
     );
     // The paper: PCP collapses to one cluster on bursty traces and then
     // "behaves exactly same with BFD".
-    let single = pcp.pcp_single_cluster_periods().expect("pcp reports clusters");
+    let single = pcp
+        .pcp_single_cluster_periods()
+        .expect("pcp reports clusters");
     assert!(
         single >= pcp.periods.len() - 1,
         "PCP should degenerate in (almost) all periods, got {single}/{}",
         pcp.periods.len()
     );
-    let ratio = pcp.energy.normalized_to(&bfd.energy).expect("baseline non-zero");
-    assert!((ratio - 1.0).abs() < 0.02, "PCP/BFD power ratio {ratio} should be ≈ 1");
+    let ratio = pcp
+        .energy
+        .normalized_to(&bfd.energy)
+        .expect("baseline non-zero");
+    assert!(
+        (ratio - 1.0).abs() < 0.02,
+        "PCP/BFD power ratio {ratio} should be ≈ 1"
+    );
 }
 
 #[test]
 fn setup2_runs_are_deterministic() {
     let fleet = fleet(99);
-    let a = run(&fleet, Policy::Proposed(Default::default()), DvfsMode::Static);
-    let b = run(&fleet, Policy::Proposed(Default::default()), DvfsMode::Static);
+    let a = run(
+        &fleet,
+        Policy::Proposed(Default::default()),
+        DvfsMode::Static,
+    );
+    let b = run(
+        &fleet,
+        Policy::Proposed(Default::default()),
+        DvfsMode::Static,
+    );
     assert_eq!(a, b);
 }
 
@@ -86,17 +119,35 @@ fn setup2_runs_are_deterministic() {
 fn setup2_dynamic_mode_narrows_the_power_gap() {
     let fleet = fleet(2013);
     let bfd_s = run(&fleet, Policy::Bfd, DvfsMode::Static);
-    let prop_s = run(&fleet, Policy::Proposed(Default::default()), DvfsMode::Static);
-    let bfd_d = run(&fleet, Policy::Bfd, DvfsMode::Dynamic { interval_samples: 12 });
+    let prop_s = run(
+        &fleet,
+        Policy::Proposed(Default::default()),
+        DvfsMode::Static,
+    );
+    let bfd_d = run(
+        &fleet,
+        Policy::Bfd,
+        DvfsMode::Dynamic {
+            interval_samples: 12,
+        },
+    );
     let prop_d = run(
         &fleet,
         Policy::Proposed(Default::default()),
-        DvfsMode::Dynamic { interval_samples: 12 },
+        DvfsMode::Dynamic {
+            interval_samples: 12,
+        },
     );
-    let gap_static =
-        1.0 - prop_s.energy.normalized_to(&bfd_s.energy).expect("non-zero");
-    let gap_dynamic =
-        1.0 - prop_d.energy.normalized_to(&bfd_d.energy).expect("non-zero");
+    let gap_static = 1.0
+        - prop_s
+            .energy
+            .normalized_to(&bfd_s.energy)
+            .expect("non-zero");
+    let gap_dynamic = 1.0
+        - prop_d
+            .energy
+            .normalized_to(&bfd_d.energy)
+            .expect("non-zero");
     // Table II: 13.7% static gap vs 4.2% dynamic gap.
     assert!(
         gap_dynamic < gap_static,
@@ -116,7 +167,10 @@ fn setup1_placement_ordering_holds() {
     let unc = run_setup1(Setup1Placement::SharedUncorrelated, &config).expect("runs");
     let cor = run_setup1(Setup1Placement::SharedCorrelated, &config).expect("runs");
     for c in 0..2 {
-        assert!(unc.p90_response[c] < seg.p90_response[c], "sharing must beat segregation");
+        assert!(
+            unc.p90_response[c] < seg.p90_response[c],
+            "sharing must beat segregation"
+        );
         assert!(
             cor.p90_response[c] < unc.p90_response[c] * 1.05,
             "correlation-aware sharing must not lose to blind sharing"
@@ -128,8 +182,7 @@ fn setup1_placement_ordering_holds() {
 fn fig3_bound_holds_on_sampled_sets() {
     let fleet = fleet(7);
     let traces = fleet.traces();
-    let matrix =
-        CostMatrix::from_traces(&traces, Reference::Peak).expect("uniform traces");
+    let matrix = CostMatrix::from_traces(&traces, Reference::Peak).expect("uniform traces");
     let mut rng = SimRng::new(5);
     let mut worst_margin = f64::INFINITY;
     for _ in 0..60 {
@@ -139,7 +192,12 @@ fn fig3_bound_holds_on_sampled_sets() {
         ids.truncate(size);
         let members: Vec<(usize, f64)> = ids
             .iter()
-            .map(|&id| (id, Reference::Peak.of_series(traces[id]).expect("non-empty")))
+            .map(|&id| {
+                (
+                    id,
+                    Reference::Peak.of_series(traces[id]).expect("non-empty"),
+                )
+            })
             .collect();
         let x = server_cost(&members, &matrix);
         let sum: f64 = members.iter().map(|&(_, u)| u).sum();
@@ -165,7 +223,10 @@ fn microarch_table1_claim_holds() {
         .expect("study completes");
     for (name, m) in &paired {
         let delta = (m.ipc - solo.ipc).abs() / solo.ipc;
-        assert!(delta < 0.05, "{name}: co-location moved web-search IPC by {delta}");
+        assert!(
+            delta < 0.05,
+            "{name}: co-location moved web-search IPC by {delta}"
+        );
     }
 }
 
