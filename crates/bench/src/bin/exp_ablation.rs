@@ -59,7 +59,7 @@ fn metric_ablation() {
     );
     for (label, matrix) in [("Eqn 1 cost", &cost_matrix), ("Pearson", &pearson_matrix)] {
         let placement = policy
-            .place(&vms, matrix, 8.0)
+            .place_uniform(&vms, matrix, 8.0)
             .expect("instance is feasible");
         let mut worst: f64 = 0.0;
         let mut sum = 0.0;

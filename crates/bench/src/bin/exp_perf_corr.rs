@@ -8,7 +8,9 @@
 //!   its ~640 B/pair layout would need ~5 GB at 4096);
 //! * **allocation** — ns per full ALLOCATE pass of the proposed policy
 //!   (incremental server-cost scan) plus BFD as the correlation-blind
-//!   yardstick, at n ∈ {64, 256, 1024}.
+//!   yardstick, at n ∈ {64, 256, 1024}, both on the uniform 8-core
+//!   fleet (`alloc`) and on a 3-class 4/8/16-core heterogeneous fleet
+//!   (`alloc_hetero`).
 //!
 //! Writes `BENCH_corr.json` (repo root when run from there) so future
 //! PRs have a trajectory to compare against:
@@ -20,6 +22,8 @@
 use cavm_core::alloc::{AllocationPolicy, BfdPolicy, ProposedPolicy, VmDescriptor};
 use cavm_core::corr::baseline::PairwiseCostMatrix;
 use cavm_core::corr::CostMatrix;
+use cavm_core::fleet::{ServerFleet, UNBOUNDED};
+use cavm_power::LinearPowerModel;
 use cavm_trace::{Reference, SimRng};
 use std::fmt::Write as _;
 use std::hint::black_box;
@@ -99,7 +103,12 @@ fn measure_matrix(n: usize) -> MatrixRow {
     }
 }
 
-fn measure_alloc(n: usize) -> AllocRow {
+/// The uniform fleet (classic 8-core servers, unbounded supply).
+fn uniform_fleet() -> ServerFleet {
+    ServerFleet::uniform(UNBOUNDED, 8.0, LinearPowerModel::xeon_e5410()).expect("valid fleet")
+}
+
+fn measure_alloc(n: usize, fleet: &ServerFleet) -> AllocRow {
     let mut rng = SimRng::new(n as u64);
     let vms: Vec<VmDescriptor> = (0..n)
         .map(|i| VmDescriptor::new(i, rng.range_f64(0.3, 3.5)))
@@ -114,14 +123,14 @@ fn measure_alloc(n: usize) -> AllocRow {
     let mut servers = 0;
     let proposed_ns = median_ns(reps, || {
         servers = policy
-            .place(black_box(&vms), &matrix, 8.0)
+            .place(black_box(&vms), &matrix, fleet)
             .expect("feasible")
             .server_count();
     });
     let bfd_ns = median_ns(reps, || {
         black_box(
             BfdPolicy
-                .place(black_box(&vms), &matrix, 8.0)
+                .place(black_box(&vms), &matrix, fleet)
                 .expect("feasible"),
         );
     });
@@ -158,11 +167,28 @@ fn main() {
         })
         .collect();
 
-    eprintln!("measuring allocation ...");
+    eprintln!("measuring allocation (uniform 8-core fleet) ...");
+    let uniform = uniform_fleet();
     let alloc_rows: Vec<AllocRow> = ALLOC_SIZES
         .iter()
         .map(|&n| {
-            let row = measure_alloc(n);
+            let row = measure_alloc(n, &uniform);
+            eprintln!(
+                "  n={:4}: proposed {:>12.0} ns/placement ({} servers)  bfd {:>12.0} ns",
+                n, row.proposed_ns, row.servers, row.bfd_ns
+            );
+            row
+        })
+        .collect();
+
+    eprintln!("measuring allocation (3-class 4/8/16-core fleet) ...");
+    let hetero_rows: Vec<AllocRow> = ALLOC_SIZES
+        .iter()
+        .map(|&n| {
+            let row = measure_alloc(
+                n,
+                &ServerFleet::mixed_4_8_16(n, n, n).expect("valid counts"),
+            );
             eprintln!(
                 "  n={:4}: proposed {:>12.0} ns/placement ({} servers)  bfd {:>12.0} ns",
                 n, row.proposed_ns, row.servers, row.bfd_ns
@@ -210,18 +236,16 @@ fn main() {
             "\n"
         });
     }
-    out.push_str("  ],\n  \"alloc\": [\n");
-    for (i, r) in alloc_rows.iter().enumerate() {
-        let _ = write!(
-            out,
-            "    {{\"n\": {}, \"proposed_ns_per_placement\": {:.0}, \"bfd_ns_per_placement\": {:.0}, \"servers\": {}}}",
-            r.n, r.proposed_ns, r.bfd_ns, r.servers
-        );
-        out.push_str(if i + 1 < alloc_rows.len() {
-            ",\n"
-        } else {
-            "\n"
-        });
+    for (key, rows) in [("alloc", &alloc_rows), ("alloc_hetero", &hetero_rows)] {
+        let _ = write!(out, "  ],\n  \"{key}\": [\n");
+        for (i, r) in rows.iter().enumerate() {
+            let _ = write!(
+                out,
+                "    {{\"n\": {}, \"proposed_ns_per_placement\": {:.0}, \"bfd_ns_per_placement\": {:.0}, \"servers\": {}}}",
+                r.n, r.proposed_ns, r.bfd_ns, r.servers
+            );
+            out.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+        }
     }
     out.push_str("  ]\n}\n");
 

@@ -12,12 +12,17 @@ const INSTRUCTIONS: u64 = 3_000_000;
 const SEED: u64 = 1;
 
 fn main() {
+    // `CAVM_T1_INSTRUCTIONS` shrinks the run for CI smoke checks.
+    let instructions = std::env::var("CAVM_T1_INSTRUCTIONS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(INSTRUCTIONS);
     let machine = Machine::opteron_like().expect("preset machine is valid");
     let (solo, paired) = machine
         .colocation_study(
             &StreamProfile::web_search(),
             &StreamProfile::parsec_corunners(),
-            INSTRUCTIONS,
+            instructions,
             SEED,
         )
         .expect("study runs to completion");
@@ -52,13 +57,13 @@ fn main() {
     println!("(paper: 'only negligible variations over all the metrics')");
 
     let resident_solo = machine
-        .run_solo(&StreamProfile::cache_resident(), INSTRUCTIONS, SEED)
+        .run_solo(&StreamProfile::cache_resident(), instructions, SEED)
         .expect("solo run succeeds");
     let (resident_paired, _) = machine
         .run_pair(
             &StreamProfile::cache_resident(),
             &StreamProfile::canneal(),
-            INSTRUCTIONS,
+            instructions,
             SEED,
         )
         .expect("pair run succeeds");

@@ -190,7 +190,7 @@ pub fn run_setup1(
         .collect::<crate::Result<Vec<f64>>>()?;
     let peak_server_util = (0..result.server_utilization.len())
         .map(|s| result.peak_server_utilization(s))
-        .collect();
+        .collect::<crate::Result<Vec<f64>>>()?;
     Ok(Setup1Outcome {
         placement,
         result,

@@ -122,14 +122,33 @@ impl ClusterSimResult {
     ///
     /// # Errors
     ///
-    /// Returns a trace error when the cluster recorded no responses.
+    /// Returns [`ClusterError::InvalidParameter`] for a cluster index
+    /// the simulation does not know, and a trace error when the
+    /// cluster recorded no responses.
     pub fn p90_response(&self, cluster: usize) -> crate::Result<f64> {
-        Ok(cavm_trace::percentile(&self.response_times[cluster], 90.0)?)
+        let responses = self
+            .response_times
+            .get(cluster)
+            .ok_or(ClusterError::InvalidParameter(
+                "cluster index outside the simulated clusters",
+            ))?;
+        Ok(cavm_trace::percentile(responses, 90.0)?)
     }
 
     /// Peak of a server's utilization trace (fraction of cores).
-    pub fn peak_server_utilization(&self, server: usize) -> f64 {
-        self.server_utilization[server].peak()
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::InvalidParameter`] for a server index
+    /// the simulation does not know.
+    pub fn peak_server_utilization(&self, server: usize) -> crate::Result<f64> {
+        Ok(self
+            .server_utilization
+            .get(server)
+            .ok_or(ClusterError::InvalidParameter(
+                "server index outside the simulated servers",
+            ))?
+            .peak())
     }
 }
 
@@ -782,6 +801,24 @@ mod tests {
         let a = ClusterSim::new(cfg.clone()).unwrap().run().unwrap();
         let b = ClusterSim::new(cfg).unwrap().run().unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn out_of_range_result_queries_error_instead_of_panicking() {
+        let result = ClusterSim::new(one_cluster_config(None, 1.0))
+            .unwrap()
+            .run()
+            .unwrap();
+        assert!(result.p90_response(0).is_ok());
+        assert!(matches!(
+            result.p90_response(7),
+            Err(ClusterError::InvalidParameter(_))
+        ));
+        assert!(result.peak_server_utilization(0).is_ok());
+        assert!(matches!(
+            result.peak_server_utilization(9),
+            Err(ClusterError::InvalidParameter(_))
+        ));
     }
 
     #[test]

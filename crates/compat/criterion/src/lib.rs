@@ -8,7 +8,8 @@
 //!
 //! 1. warm up for [`WARM_UP`] per benchmark,
 //! 2. auto-scale the batch size so one timing frame lasts ≳1 ms,
-//! 3. collect timing frames for roughly [`Criterion::measurement_ms`],
+//! 3. collect timing frames for roughly the configured measurement
+//!    window,
 //! 4. report the median, min and max ns/iteration on stdout in a
 //!    criterion-like format.
 //!

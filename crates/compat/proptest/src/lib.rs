@@ -241,7 +241,8 @@ pub mod prop {
         use super::super::{Strategy, TestRng};
         use std::ops::{Range, RangeInclusive};
 
-        /// Length specification for [`vec`]: an exact size or a range.
+        /// Length specification for [`vec()`](fn@vec): an exact size
+        /// or a range.
         #[derive(Debug, Clone)]
         pub struct SizeRange {
             min: usize,

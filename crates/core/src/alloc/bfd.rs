@@ -1,14 +1,16 @@
 //! Best-Fit-Decreasing — the paper's primary baseline (Table II's
 //! normalization reference).
 //!
-//! Like FFD, but each VM goes to the feasible server with the *least*
-//! residual capacity (the tightest fit), which empirically packs
-//! slightly better. Correlation-blind.
+//! Like FFD, but each VM goes to the feasible open server with the
+//! *least* residual capacity (the tightest fit), which empirically packs
+//! slightly better; new servers open through the fleet cursor (largest
+//! class first). Correlation-blind.
 
 use crate::alloc::{
     decreasing_order, validate_inputs, AllocationPolicy, Placement, VmDescriptor, FIT_EPS,
 };
 use crate::corr::CostMatrix;
+use crate::fleet::{FleetCursor, ServerFleet};
 use serde::{Deserialize, Serialize};
 
 /// Best-Fit-Decreasing allocation.
@@ -27,7 +29,7 @@ use serde::{Deserialize, Serialize};
 ///     VmDescriptor::new(2, 2.0),
 /// ];
 /// let matrix = CostMatrix::new(3, Reference::Peak)?;
-/// let p = BfdPolicy.place(&vms, &matrix, 8.0)?;
+/// let p = BfdPolicy.place_uniform(&vms, &matrix, 8.0)?;
 /// // The 2-core VM best-fits next to the 6-core one (residual 0),
 /// // not the 5-core one (residual 1).
 /// assert_eq!(p.server_of(2), p.server_of(0));
@@ -46,28 +48,44 @@ impl AllocationPolicy for BfdPolicy {
         &self,
         vms: &[VmDescriptor],
         matrix: &CostMatrix,
-        capacity: f64,
+        fleet: &ServerFleet,
     ) -> crate::Result<Placement> {
-        validate_inputs(vms, matrix, capacity)?;
-        let mut servers: Vec<(Vec<usize>, f64)> = Vec::new();
-        for idx in decreasing_order(vms) {
+        validate_inputs(vms, matrix)?;
+        let mut cursor = FleetCursor::new(fleet);
+        // (members, used, capacity, class) per open server.
+        let mut servers: Vec<(Vec<usize>, f64, f64, usize)> = Vec::new();
+        let order = decreasing_order(vms);
+        for (placed, &idx) in order.iter().enumerate() {
             let vm = &vms[idx];
-            // Tightest feasible bin: maximal used capacity that still
-            // fits the VM.
-            let best = servers
-                .iter_mut()
-                .filter(|(_, used)| used + vm.demand <= capacity + FIT_EPS)
-                .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite loads"));
+            // Tightest feasible open server: minimal residual capacity
+            // that still fits the VM. Ties keep the *last* candidate —
+            // the `max_by`-on-used semantics of the uniform-capacity
+            // formulation, which the regression suite pins.
+            let mut best: Option<(usize, f64)> = None;
+            for (i, (_, used, cap, _)) in servers.iter().enumerate() {
+                let residual = cap - used;
+                if vm.demand <= residual + FIT_EPS
+                    && best.is_none_or(|(_, best_residual)| residual <= best_residual)
+                {
+                    best = Some((i, residual));
+                }
+            }
             match best {
-                Some((members, used)) => {
+                Some((i, _)) => {
+                    let (members, used, _, _) = &mut servers[i];
                     members.push(vm.id);
                     *used += vm.demand;
                 }
-                None => servers.push((vec![vm.id], vm.demand)),
+                None => {
+                    let (class, cap) = cursor
+                        .open_next()
+                        .ok_or_else(|| cursor.exhausted(vms.len() - placed))?;
+                    servers.push((vec![vm.id], vm.demand, cap, class));
+                }
             }
         }
-        Ok(Placement::from_servers(
-            servers.into_iter().map(|(m, _)| m).collect(),
+        Ok(Placement::from_classed_servers(
+            servers.into_iter().map(|(m, _, _, c)| (m, c)).collect(),
         ))
     }
 }
@@ -75,6 +93,8 @@ impl AllocationPolicy for BfdPolicy {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fleet::ServerClass;
+    use cavm_power::LinearPowerModel;
     use cavm_trace::Reference;
 
     fn descs(demands: &[f64]) -> Vec<VmDescriptor> {
@@ -94,7 +114,7 @@ mod tests {
         // After placing 6 and 5 on separate servers, the 2 fits both but
         // best-fits next to the 6.
         let vms = descs(&[6.0, 5.0, 2.0]);
-        let p = BfdPolicy.place(&vms, &matrix(3), 8.0).unwrap();
+        let p = BfdPolicy.place_uniform(&vms, &matrix(3), 8.0).unwrap();
         assert_eq!(p.server_of(2), p.server_of(0));
         assert_ne!(p.server_of(2), p.server_of(1));
         p.validate(&vms, 8.0).unwrap();
@@ -107,17 +127,17 @@ mod tests {
         // only if first-fit misplaces; construct a case where counts
         // differ at least sometimes). Here we only pin BFD's optimum.
         let vms = descs(&[7.0, 6.0, 3.0, 3.0, 2.0, 2.0]);
-        let p = BfdPolicy.place(&vms, &matrix(6), 10.0).unwrap();
+        let p = BfdPolicy.place_uniform(&vms, &matrix(6), 10.0).unwrap();
         assert!(p.server_count() <= 3);
         p.validate(&vms, 10.0).unwrap();
     }
 
     #[test]
     fn oversized_and_empty_inputs() {
-        let p = BfdPolicy.place(&[], &matrix(1), 4.0).unwrap();
+        let p = BfdPolicy.place_uniform(&[], &matrix(1), 4.0).unwrap();
         assert_eq!(p.server_count(), 0);
         let vms = descs(&[9.0]);
-        let p = BfdPolicy.place(&vms, &matrix(1), 4.0).unwrap();
+        let p = BfdPolicy.place_uniform(&vms, &matrix(1), 4.0).unwrap();
         assert_eq!(p.server_count(), 1);
         assert_eq!(BfdPolicy.name(), "BFD");
     }
@@ -125,9 +145,10 @@ mod tests {
     #[test]
     fn capacity_is_respected() {
         let vms = descs(&[3.0, 3.0, 3.0, 3.0, 3.0]);
-        let p = BfdPolicy.place(&vms, &matrix(5), 7.0).unwrap();
-        for i in 0..p.server_count() {
-            assert!(p.demand_of(i, &vms) <= 7.0 + 1e-9);
+        let p = BfdPolicy.place_uniform(&vms, &matrix(5), 7.0).unwrap();
+        for (i, &load) in p.server_demands(&vms).iter().enumerate() {
+            assert!(load <= 7.0 + 1e-9);
+            assert_eq!(load, p.demand_of(i, &vms));
         }
         p.validate(&vms, 7.0).unwrap();
     }
@@ -135,9 +156,28 @@ mod tests {
     #[test]
     fn rejects_invalid_inputs() {
         let vms = descs(&[1.0]);
-        assert!(BfdPolicy.place(&vms, &matrix(1), -1.0).is_err());
+        assert!(BfdPolicy.place_uniform(&vms, &matrix(1), -1.0).is_err());
         assert!(BfdPolicy
-            .place(&descs(&[f64::NAN]), &matrix(1), 8.0)
+            .place_uniform(&descs(&[f64::NAN]), &matrix(1), 8.0)
             .is_err());
+    }
+
+    #[test]
+    fn heterogeneous_fleet_respects_per_class_capacity() {
+        let xeon = LinearPowerModel::xeon_e5410;
+        let fleet = ServerFleet::new(vec![
+            ServerClass::new("big", 1, 16.0, xeon().scaled(2.0).unwrap()).unwrap(),
+            ServerClass::new("small", 8, 4.0, xeon()).unwrap(),
+        ])
+        .unwrap();
+        let vms = descs(&[9.0, 6.0, 3.0, 3.0]);
+        let p = BfdPolicy.place(&vms, &matrix(4), &fleet).unwrap();
+        p.validate_fleet(&vms, &fleet).unwrap();
+        // 9+6 tight-pack the 16-core box; the 3s open 4-core boxes.
+        assert_eq!(p.server_of(0), p.server_of(1));
+        assert_eq!(p.class_of(p.server_of(0).unwrap()), Some(0));
+        for s in 1..p.server_count() {
+            assert_eq!(p.class_of(s), Some(1));
+        }
     }
 }

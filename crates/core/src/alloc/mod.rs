@@ -1,8 +1,11 @@
 //! VM-to-server allocation policies.
 //!
 //! All policies implement [`AllocationPolicy`]: given per-VM demand
-//! descriptors, the pairwise [`CostMatrix`] and a per-server CPU
-//! capacity (in cores), they produce a [`Placement`]. Available policies:
+//! descriptors, the pairwise [`CostMatrix`] and a [`ServerFleet`]
+//! describing the available servers (possibly several classes with
+//! different core counts and power curves), they produce a
+//! [`Placement`] that maps each active server to a concrete fleet
+//! class. Available policies:
 //!
 //! * [`ProposedPolicy`] — the paper's correlation-aware
 //!   UPDATE/ALLOCATE heuristic (Fig 2).
@@ -14,6 +17,13 @@
 //! * [`SuperVmPolicy`] — joint-VM sizing (Meng et al. \[7\]), the second
 //!   related-work baseline, which fuses un-correlated pairs once and
 //!   then ignores correlation.
+//!
+//! Every policy opens servers through the fleet's
+//! [`FleetCursor`](crate::fleet::FleetCursor) (largest-capacity-first
+//! fill order), so a degenerate one-class fleet
+//! reproduces the historical scalar-capacity behaviour *bit-identically*
+//! — [`AllocationPolicy::place_uniform`] is that compatibility spelling,
+//! and the `fleet_regression` suite pins it.
 //!
 //! The placement problem is bin packing (NP-hard); every policy here is
 //! a polynomial heuristic, as in the paper.
@@ -31,6 +41,7 @@ pub use proposed::{ProposedConfig, ProposedPolicy};
 pub use supervm::SuperVmPolicy;
 
 use crate::corr::CostMatrix;
+use crate::fleet::ServerFleet;
 use crate::CoreError;
 use cavm_trace::{Reference, TimeSeries};
 use serde::{Deserialize, Serialize};
@@ -100,21 +111,35 @@ impl VmDescriptor {
     }
 }
 
-/// The output of an allocation policy: which VMs share which server.
+/// The output of an allocation policy: which VMs share which server,
+/// and which fleet class each active server belongs to.
 ///
 /// Server indices are dense (`0..server_count`); only non-empty servers
-/// are kept.
+/// are kept. Placements built through the scalar-capacity compatibility
+/// path carry class `0` everywhere.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Placement {
     servers: Vec<Vec<usize>>,
+    /// Fleet-class index per active server; same length as `servers`.
+    classes: Vec<usize>,
 }
 
 impl Placement {
-    /// Wraps raw server membership lists, dropping empty servers.
+    /// Wraps raw server membership lists, dropping empty servers. All
+    /// servers are assigned class `0` (the uniform-fleet convention).
     pub fn from_servers(servers: Vec<Vec<usize>>) -> Self {
-        Self {
-            servers: servers.into_iter().filter(|s| !s.is_empty()).collect(),
-        }
+        let servers: Vec<Vec<usize>> = servers.into_iter().filter(|s| !s.is_empty()).collect();
+        let classes = vec![0; servers.len()];
+        Self { servers, classes }
+    }
+
+    /// Wraps `(members, class)` bins, dropping empty servers.
+    pub fn from_classed_servers(bins: Vec<(Vec<usize>, usize)>) -> Self {
+        let (servers, classes): (Vec<Vec<usize>>, Vec<usize>) = bins
+            .into_iter()
+            .filter(|(members, _)| !members.is_empty())
+            .unzip();
+        Self { servers, classes }
     }
 
     /// Number of active (non-empty) servers.
@@ -132,9 +157,62 @@ impl Placement {
         self.servers.get(index).map(|v| v.as_slice())
     }
 
+    /// Fleet-class index per active server (aligned with
+    /// [`Placement::servers`]).
+    pub fn classes(&self) -> &[usize] {
+        &self.classes
+    }
+
+    /// Fleet-class index of server `index`, or `None` past the end.
+    pub fn class_of(&self, index: usize) -> Option<usize> {
+        self.classes.get(index).copied()
+    }
+
     /// The server hosting VM `vm`, or `None` if the VM is not placed.
     pub fn server_of(&self, vm: usize) -> Option<usize> {
         self.servers.iter().position(|s| s.contains(&vm))
+    }
+
+    /// `vm id → hosting server` for ids in `0..n_vms`, built in one
+    /// pass over the membership lists — the lookup the replay engine's
+    /// assignment/migration pass reuses instead of calling
+    /// [`Placement::server_of`] per VM (which would rescan every
+    /// membership list each time).
+    pub fn assignment(&self, n_vms: usize) -> Vec<Option<usize>> {
+        let mut map = vec![None; n_vms];
+        for (s, members) in self.servers.iter().enumerate() {
+            for &vm in members {
+                if let Some(slot) = map.get_mut(vm) {
+                    *slot = Some(s);
+                }
+            }
+        }
+        map
+    }
+
+    /// Total descriptor demand per active server, computed in one pass
+    /// (an id-indexed demand table is built once and reused for every
+    /// member, instead of a linear descriptor search per member).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a member id is outside `vms` — placements and
+    /// descriptor tables travel together.
+    pub fn server_demands(&self, vms: &[VmDescriptor]) -> Vec<f64> {
+        let demand_of_id = demand_table(vms);
+        self.servers
+            .iter()
+            .map(|members| {
+                members
+                    .iter()
+                    .map(|&id| {
+                        demand_of_id
+                            .get(&id)
+                            .unwrap_or_else(|| panic!("vm {id} missing from descriptor table"))
+                    })
+                    .sum()
+            })
+            .collect()
     }
 
     /// Total descriptor demand packed on server `index`.
@@ -144,13 +222,13 @@ impl Placement {
     /// Panics if `index` is out of range or a member id is outside
     /// `vms` — placements and descriptor tables travel together.
     pub fn demand_of(&self, index: usize, vms: &[VmDescriptor]) -> f64 {
+        let demand_of_id = demand_table(vms);
         self.servers[index]
             .iter()
             .map(|&id| {
-                vms.iter()
-                    .find(|d| d.id == id)
+                demand_of_id
+                    .get(&id)
                     .unwrap_or_else(|| panic!("vm {id} missing from descriptor table"))
-                    .demand
             })
             .sum()
     }
@@ -165,7 +243,7 @@ impl Placement {
     /// Returns [`CoreError::InvalidParameter`] describing the first
     /// violation found.
     pub fn validate_structure(&self, vms: &[VmDescriptor]) -> crate::Result<()> {
-        self.validate_inner(vms, None)
+        self.validate_inner(vms, |_| None)
     }
 
     /// Checks structural soundness against a descriptor table:
@@ -178,14 +256,55 @@ impl Placement {
     /// Returns [`CoreError::InvalidParameter`] describing the first
     /// violation found.
     pub fn validate(&self, vms: &[VmDescriptor], capacity: f64) -> crate::Result<()> {
-        self.validate_inner(vms, Some(capacity))
+        self.validate_inner(vms, |_| Some(capacity))
     }
 
-    fn validate_inner(&self, vms: &[VmDescriptor], capacity: Option<f64>) -> crate::Result<()> {
+    /// Checks structural soundness against a heterogeneous fleet: the
+    /// coverage rules of [`Placement::validate`], each multi-VM server
+    /// within *its own class's* capacity, valid class indices, and no
+    /// class used beyond its server count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParameter`] describing the first
+    /// violation found.
+    pub fn validate_fleet(&self, vms: &[VmDescriptor], fleet: &ServerFleet) -> crate::Result<()> {
+        if self.classes.len() != self.servers.len() {
+            return Err(CoreError::InvalidParameter(
+                "placement class list length disagrees with its server list",
+            ));
+        }
+        let mut used = vec![0usize; fleet.len()];
+        for &class in &self.classes {
+            if class >= fleet.len() {
+                return Err(CoreError::InvalidParameter(
+                    "placement names a class outside the fleet",
+                ));
+            }
+            used[class] += 1;
+        }
+        for (class, &n) in used.iter().enumerate() {
+            if n > fleet.classes()[class].count() {
+                return Err(CoreError::InvalidParameter(
+                    "placement uses more servers than a class provides",
+                ));
+            }
+        }
+        self.validate_inner(vms, |server| {
+            Some(fleet.classes()[self.classes[server]].cores())
+        })
+    }
+
+    /// `capacity_of(server_index)` returns the capacity cap to enforce
+    /// for that server, or `None` to skip the capacity check.
+    fn validate_inner(
+        &self,
+        vms: &[VmDescriptor],
+        capacity_of: impl Fn(usize) -> Option<f64>,
+    ) -> crate::Result<()> {
         let mut seen = std::collections::HashSet::new();
-        let ids: std::collections::HashMap<usize, f64> =
-            vms.iter().map(|d| (d.id, d.demand)).collect();
-        for server in &self.servers {
+        let ids = demand_table(vms);
+        for (s, server) in self.servers.iter().enumerate() {
             let mut load = 0.0;
             for &vm in server {
                 if !ids.contains_key(&vm) {
@@ -200,7 +319,7 @@ impl Placement {
                 }
                 load += ids[&vm];
             }
-            if let Some(capacity) = capacity {
+            if let Some(capacity) = capacity_of(s) {
                 if server.len() > 1 && load > capacity + FIT_EPS {
                     return Err(CoreError::InvalidParameter(
                         "placement overcommits a server beyond its capacity",
@@ -217,39 +336,56 @@ impl Placement {
     }
 }
 
+/// The id-indexed demand lookup shared by the placement accessors.
+fn demand_table(vms: &[VmDescriptor]) -> std::collections::HashMap<usize, f64> {
+    vms.iter().map(|d| (d.id, d.demand)).collect()
+}
+
 /// A VM-to-server allocation heuristic.
 pub trait AllocationPolicy {
     /// Short stable name for reports (e.g. `"BFD"`, `"Proposed"`).
     fn name(&self) -> &'static str;
 
-    /// Places every descriptor onto servers of the given capacity
-    /// (cores).
+    /// Places every descriptor onto the fleet's servers, opening them
+    /// in the fleet's fill order (largest capacity first).
     ///
     /// # Errors
     ///
     /// Returns [`CoreError::InvalidParameter`] for malformed inputs
-    /// (non-positive capacity, negative demands, duplicate or
-    /// out-of-matrix ids) and [`CoreError::AllocationDiverged`] if the
-    /// policy cannot terminate.
+    /// (negative demands, duplicate or out-of-matrix ids),
+    /// [`CoreError::FleetExhausted`] when every server of every class
+    /// is open and VMs remain, and [`CoreError::AllocationDiverged`] if
+    /// the policy cannot terminate.
     fn place(
         &self,
         vms: &[VmDescriptor],
         matrix: &CostMatrix,
-        capacity: f64,
+        fleet: &ServerFleet,
     ) -> crate::Result<Placement>;
+
+    /// Scalar-capacity compatibility spelling: places onto an unbounded
+    /// one-class fleet of `capacity`-core servers (the paper's uniform
+    /// setting). Produces exactly the placements the pre-fleet API
+    /// produced.
+    ///
+    /// # Errors
+    ///
+    /// As [`AllocationPolicy::place`], plus
+    /// [`CoreError::InvalidParameter`] for a non-finite or non-positive
+    /// capacity.
+    fn place_uniform(
+        &self,
+        vms: &[VmDescriptor],
+        matrix: &CostMatrix,
+        capacity: f64,
+    ) -> crate::Result<Placement> {
+        self.place(vms, matrix, &ServerFleet::unbounded(capacity)?)
+    }
 }
 
-/// Shared input validation for all policies.
-pub(crate) fn validate_inputs(
-    vms: &[VmDescriptor],
-    matrix: &CostMatrix,
-    capacity: f64,
-) -> crate::Result<()> {
-    if !(capacity.is_finite() && capacity > 0.0) {
-        return Err(CoreError::InvalidParameter(
-            "server capacity must be finite and > 0",
-        ));
-    }
+/// Shared input validation for all policies (the fleet validates itself
+/// at construction).
+pub(crate) fn validate_inputs(vms: &[VmDescriptor], matrix: &CostMatrix) -> crate::Result<()> {
     let mut seen = std::collections::HashSet::new();
     for d in vms {
         if !(d.demand.is_finite() && d.demand >= 0.0) {
@@ -294,6 +430,8 @@ pub(crate) fn decreasing_order(vms: &[VmDescriptor]) -> Vec<usize> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fleet::ServerClass;
+    use cavm_power::LinearPowerModel;
 
     fn descs(demands: &[f64]) -> Vec<VmDescriptor> {
         demands
@@ -332,8 +470,27 @@ mod tests {
         assert_eq!(p.server(5), None);
         assert_eq!(p.server_of(1), Some(1));
         assert_eq!(p.server_of(7), None);
+        assert_eq!(p.classes(), &[0, 0]);
+        assert_eq!(p.class_of(1), Some(0));
+        assert_eq!(p.class_of(9), None);
         let vms = descs(&[1.0, 2.0, 3.0]);
         assert_eq!(p.demand_of(0, &vms), 4.0);
+        assert_eq!(p.server_demands(&vms), vec![4.0, 2.0]);
+        assert_eq!(p.assignment(3), vec![Some(0), Some(1), Some(0)]);
+        assert_eq!(p.assignment(2), vec![Some(0), Some(1)]);
+    }
+
+    #[test]
+    fn classed_placement_accessors() {
+        let p = Placement::from_classed_servers(vec![
+            (vec![0], 1),
+            (vec![], 0), // dropped
+            (vec![1, 2], 0),
+        ]);
+        assert_eq!(p.server_count(), 2);
+        assert_eq!(p.classes(), &[1, 0]);
+        assert_eq!(p.class_of(0), Some(1));
+        assert_eq!(p.server_of(2), Some(1));
     }
 
     #[test]
@@ -367,27 +524,60 @@ mod tests {
     }
 
     #[test]
+    fn fleet_validation_checks_per_class_capacity_and_counts() {
+        let xeon = LinearPowerModel::xeon_e5410;
+        let fleet = ServerFleet::new(vec![
+            ServerClass::new("big", 1, 8.0, xeon()).unwrap(),
+            ServerClass::new("small", 2, 4.0, xeon()).unwrap(),
+        ])
+        .unwrap();
+        let vms = descs(&[3.0, 3.0, 3.0]);
+        // 3+3 on the 8-core box, 3 on a 4-core box: fine.
+        Placement::from_classed_servers(vec![(vec![0, 1], 0), (vec![2], 1)])
+            .validate_fleet(&vms, &fleet)
+            .unwrap();
+        // 3+3 on a 4-core box: over its own class capacity.
+        assert!(
+            Placement::from_classed_servers(vec![(vec![0, 1], 1), (vec![2], 0)])
+                .validate_fleet(&vms, &fleet)
+                .is_err()
+        );
+        // Two servers of the one-server class 0.
+        assert!(
+            Placement::from_classed_servers(vec![(vec![0, 1], 0), (vec![2], 0)])
+                .validate_fleet(&vms, &fleet)
+                .is_err()
+        );
+        // Unknown class index.
+        assert!(
+            Placement::from_classed_servers(vec![(vec![0, 1], 0), (vec![2], 7)])
+                .validate_fleet(&vms, &fleet)
+                .is_err()
+        );
+    }
+
+    #[test]
     fn input_validation() {
         let m = CostMatrix::new(2, Reference::Peak).unwrap();
-        assert!(validate_inputs(&descs(&[1.0, 2.0]), &m, 8.0).is_ok());
-        assert!(validate_inputs(&descs(&[1.0]), &m, 0.0).is_err());
-        assert!(validate_inputs(&descs(&[-1.0]), &m, 8.0).is_err());
-        assert!(validate_inputs(
-            &[VmDescriptor::new(0, 1.0).with_off_peak(f64::NAN)],
-            &m,
-            8.0
-        )
-        .is_err());
+        assert!(validate_inputs(&descs(&[1.0, 2.0]), &m).is_ok());
+        assert!(validate_inputs(&descs(&[-1.0]), &m).is_err());
+        assert!(validate_inputs(&[VmDescriptor::new(0, 1.0).with_off_peak(f64::NAN)], &m).is_err());
         assert!(matches!(
-            validate_inputs(&[VmDescriptor::new(7, 1.0)], &m, 8.0),
+            validate_inputs(&[VmDescriptor::new(7, 1.0)], &m),
             Err(CoreError::UnknownVm { id: 7, known: 2 })
         ));
-        assert!(validate_inputs(
-            &[VmDescriptor::new(0, 1.0), VmDescriptor::new(0, 2.0)],
-            &m,
-            8.0
-        )
-        .is_err());
+        assert!(
+            validate_inputs(&[VmDescriptor::new(0, 1.0), VmDescriptor::new(0, 2.0)], &m).is_err()
+        );
+    }
+
+    #[test]
+    fn place_uniform_rejects_bad_capacity() {
+        let m = CostMatrix::new(1, Reference::Peak).unwrap();
+        assert!(BfdPolicy.place_uniform(&descs(&[1.0]), &m, 0.0).is_err());
+        assert!(BfdPolicy
+            .place_uniform(&descs(&[1.0]), &m, f64::NAN)
+            .is_err());
     }
 
     #[test]

@@ -12,13 +12,15 @@
 //! fast-changing scale-out traces the envelopes of all VMs overlap, PCP
 //! collapses to a single cluster, and "when the number of clusters is
 //! '1', PCP behaves exactly same with BFD" — which this implementation
-//! makes literal by delegating to [`BfdPolicy`] in that case.
+//! makes literal by delegating to [`BfdPolicy`] (on the same
+//! [`ServerFleet`]) in that case.
 
 use crate::alloc::{
     decreasing_order, validate_inputs, AllocationPolicy, BfdPolicy, Placement, VmDescriptor,
     FIT_EPS,
 };
 use crate::corr::CostMatrix;
+use crate::fleet::{FleetCursor, ServerFleet};
 use crate::CoreError;
 use cavm_trace::{Envelope, Reference, TimeSeries};
 use serde::{Deserialize, Serialize};
@@ -75,7 +77,7 @@ impl UnionFind {
 ///
 /// let vms: Vec<_> = (0..4).map(|i| VmDescriptor::new(i, 4.0).with_off_peak(3.0)).collect();
 /// let matrix = CostMatrix::new(4, Reference::Peak)?;
-/// let p = pcp.place(&vms, &matrix, 8.0)?;
+/// let p = pcp.place_uniform(&vms, &matrix, 8.0)?;
 /// // Day VMs split across servers, paired with night VMs.
 /// assert_ne!(p.server_of(0), p.server_of(1));
 /// # Ok(())
@@ -183,13 +185,26 @@ struct PcpBin {
     members: Vec<usize>,
     used_off_peak: f64,
     peak_buffer: f64,
+    cores: f64,
+    class: usize,
     clusters: std::collections::HashSet<usize>,
 }
 
 impl PcpBin {
-    fn fits(&self, vm: &VmDescriptor, capacity: f64) -> bool {
+    fn open(class: usize, cores: f64) -> Self {
+        PcpBin {
+            members: Vec::new(),
+            used_off_peak: 0.0,
+            peak_buffer: 0.0,
+            cores,
+            class,
+            clusters: std::collections::HashSet::new(),
+        }
+    }
+
+    fn fits(&self, vm: &VmDescriptor) -> bool {
         let buffer = self.peak_buffer.max(vm.demand - vm.off_peak);
-        self.used_off_peak + vm.off_peak + buffer <= capacity + FIT_EPS
+        self.used_off_peak + vm.off_peak + buffer <= self.cores + FIT_EPS
     }
 
     fn add(&mut self, vm: &VmDescriptor, cluster: usize) {
@@ -209,9 +224,9 @@ impl AllocationPolicy for PcpPolicy {
         &self,
         vms: &[VmDescriptor],
         matrix: &CostMatrix,
-        capacity: f64,
+        fleet: &ServerFleet,
     ) -> crate::Result<Placement> {
-        validate_inputs(vms, matrix, capacity)?;
+        validate_inputs(vms, matrix)?;
         for d in vms {
             if d.id >= self.clusters.len() {
                 return Err(CoreError::UnknownVm {
@@ -227,61 +242,62 @@ impl AllocationPolicy for PcpPolicy {
         }
         // The degenerate single-cluster case the paper highlights.
         if self.cluster_count <= 1 {
-            return BfdPolicy.place(vms, matrix, capacity);
+            return BfdPolicy.place(vms, matrix, fleet);
         }
 
-        // Pre-open the off-peak lower bound of servers so that early
-        // (large) VMs spread across bins instead of stacking cluster
-        // mates into the first one — PCP's whole point is interleaving
-        // VMs of different clusters.
+        // Pre-open the off-peak lower bound of servers (a prefix of the
+        // fleet's fill order) so that early (large) VMs spread across
+        // bins instead of stacking cluster mates into the first one —
+        // PCP's whole point is interleaving VMs of different clusters.
         let total_off_peak: f64 = vms.iter().map(|d| d.off_peak).sum();
-        let n_est = if total_off_peak > 0.0 {
-            ((total_off_peak / capacity) - FIT_EPS).ceil().max(1.0) as usize
-        } else {
-            0
-        };
-        let mut bins: Vec<PcpBin> = (0..n_est)
-            .map(|_| PcpBin {
-                members: Vec::new(),
-                used_off_peak: 0.0,
-                peak_buffer: 0.0,
-                clusters: std::collections::HashSet::new(),
-            })
-            .collect();
-        for idx in decreasing_order(vms) {
+        let mut cursor = FleetCursor::new(fleet);
+        let mut bins: Vec<PcpBin> = Vec::new();
+        let mut open_capacity = 0.0;
+        while total_off_peak > 0.0 && open_capacity + FIT_EPS < total_off_peak {
+            match cursor.open_next() {
+                Some((class, cores)) => {
+                    open_capacity += cores;
+                    bins.push(PcpBin::open(class, cores));
+                }
+                None => break,
+            }
+        }
+        for (placed, &idx) in decreasing_order(vms).iter().enumerate() {
             let vm = &vms[idx];
             let cluster = self.clusters[vm.id];
             // Prefer the tightest feasible bin NOT already hosting this
-            // cluster; fall back to any feasible bin; else a new one.
+            // cluster; fall back to any feasible bin; else open the next
+            // fill-order server. "Tightest" is the minimal off-peak
+            // residual (ties keep the last candidate — the
+            // `max_by`-on-used semantics of the uniform formulation).
             let pick = |require_disjoint: bool, bins: &[PcpBin]| -> Option<usize> {
-                bins.iter()
-                    .enumerate()
-                    .filter(|(_, b)| b.fits(vm, capacity))
-                    .filter(|(_, b)| !require_disjoint || !b.clusters.contains(&cluster))
-                    .max_by(|a, b| {
-                        a.1.used_off_peak
-                            .partial_cmp(&b.1.used_off_peak)
-                            .expect("finite loads")
-                    })
-                    .map(|(i, _)| i)
+                let mut best: Option<(usize, f64)> = None;
+                for (i, b) in bins.iter().enumerate() {
+                    if !b.fits(vm) || (require_disjoint && b.clusters.contains(&cluster)) {
+                        continue;
+                    }
+                    let residual = b.cores - b.used_off_peak;
+                    if best.is_none_or(|(_, best_residual)| residual <= best_residual) {
+                        best = Some((i, residual));
+                    }
+                }
+                best.map(|(i, _)| i)
             };
             let target = pick(true, &bins).or_else(|| pick(false, &bins));
             match target {
                 Some(i) => bins[i].add(vm, cluster),
                 None => {
-                    let mut bin = PcpBin {
-                        members: Vec::new(),
-                        used_off_peak: 0.0,
-                        peak_buffer: 0.0,
-                        clusters: std::collections::HashSet::new(),
-                    };
+                    let (class, cores) = cursor
+                        .open_next()
+                        .ok_or_else(|| cursor.exhausted(vms.len() - placed))?;
+                    let mut bin = PcpBin::open(class, cores);
                     bin.add(vm, cluster);
                     bins.push(bin);
                 }
             }
         }
-        Ok(Placement::from_servers(
-            bins.into_iter().map(|b| b.members).collect(),
+        Ok(Placement::from_classed_servers(
+            bins.into_iter().map(|b| (b.members, b.class)).collect(),
         ))
     }
 }
@@ -339,8 +355,8 @@ mod tests {
         let pcp = PcpPolicy::from_labels(vec![0, 0, 0]).unwrap();
         let vms: Vec<VmDescriptor> = (0..3).map(|i| VmDescriptor::new(i, 3.0)).collect();
         let matrix = CostMatrix::new(3, Reference::Peak).unwrap();
-        let via_pcp = pcp.place(&vms, &matrix, 8.0).unwrap();
-        let via_bfd = BfdPolicy.place(&vms, &matrix, 8.0).unwrap();
+        let via_pcp = pcp.place_uniform(&vms, &matrix, 8.0).unwrap();
+        let via_bfd = BfdPolicy.place_uniform(&vms, &matrix, 8.0).unwrap();
         assert_eq!(via_pcp, via_bfd);
         assert_eq!(pcp.name(), "PCP");
     }
@@ -352,7 +368,7 @@ mod tests {
             .map(|i| VmDescriptor::new(i, 4.0).with_off_peak(3.0))
             .collect();
         let matrix = CostMatrix::new(4, Reference::Peak).unwrap();
-        let p = pcp.place(&vms, &matrix, 8.0).unwrap();
+        let p = pcp.place_uniform(&vms, &matrix, 8.0).unwrap();
         p.validate(&vms, 8.0).unwrap();
         // Cluster-mates are split.
         assert_ne!(p.server_of(0), p.server_of(1));
@@ -369,7 +385,7 @@ mod tests {
             .map(|i| VmDescriptor::new(i, 4.0).with_off_peak(2.0))
             .collect();
         let matrix = CostMatrix::new(3, Reference::Peak).unwrap();
-        let p = pcp.place(&vms, &matrix, 8.0).unwrap();
+        let p = pcp.place_uniform(&vms, &matrix, 8.0).unwrap();
         assert_eq!(p.server_count(), 1);
     }
 
@@ -380,12 +396,12 @@ mod tests {
         // Id 2 has no cluster label.
         let vms = vec![VmDescriptor::new(2, 1.0)];
         assert!(matches!(
-            pcp.place(&vms, &matrix, 8.0),
+            pcp.place_uniform(&vms, &matrix, 8.0),
             Err(CoreError::UnknownVm { id: 2, known: 2 })
         ));
         // off_peak > demand is malformed.
         let vms = vec![VmDescriptor::new(0, 1.0).with_off_peak(2.0)];
-        assert!(pcp.place(&vms, &matrix, 8.0).is_err());
+        assert!(pcp.place_uniform(&vms, &matrix, 8.0).is_err());
         assert!(PcpPolicy::from_labels(vec![]).is_err());
         assert!(PcpPolicy::from_traces(&[], 90.0, 0.5).is_err());
         let t = series(&[1.0, 2.0]);
@@ -399,7 +415,7 @@ mod tests {
             .map(|i| VmDescriptor::new(i, 3.0).with_off_peak(2.5))
             .collect();
         let matrix = CostMatrix::new(6, Reference::Peak).unwrap();
-        let p = pcp.place(&vms, &matrix, 8.0).unwrap();
+        let p = pcp.place_uniform(&vms, &matrix, 8.0).unwrap();
         // Peak-sum capacity does not bound PCP (off-peak provisioning);
         // check coverage plus PCP's own off-peak + buffer rule instead.
         p.validate_structure(&vms).unwrap();
@@ -410,6 +426,37 @@ mod tests {
                 .map(|&id| vms[id].demand - vms[id].off_peak)
                 .fold(0.0, f64::max);
             assert!(off + buffer <= 8.0 + 1e-9, "server {i} overcommitted");
+        }
+    }
+
+    #[test]
+    fn hetero_fleet_honours_per_class_off_peak_budget() {
+        use crate::fleet::ServerClass;
+        use cavm_power::LinearPowerModel;
+        let xeon = LinearPowerModel::xeon_e5410;
+        let fleet = ServerFleet::new(vec![
+            ServerClass::new("big", 1, 12.0, xeon().scaled(1.5).unwrap()).unwrap(),
+            ServerClass::new("small", 6, 4.0, xeon()).unwrap(),
+        ])
+        .unwrap();
+        let pcp = PcpPolicy::from_labels(vec![0, 1, 0, 1, 0, 1]).unwrap();
+        let vms: Vec<VmDescriptor> = (0..6)
+            .map(|i| VmDescriptor::new(i, 3.0).with_off_peak(2.5))
+            .collect();
+        let matrix = CostMatrix::new(6, Reference::Peak).unwrap();
+        let p = pcp.place(&vms, &matrix, &fleet).unwrap();
+        p.validate_structure(&vms).unwrap();
+        for (i, server) in p.servers().iter().enumerate() {
+            let cores = fleet.classes()[p.class_of(i).unwrap()].cores();
+            let off: f64 = server.iter().map(|&id| vms[id].off_peak).sum();
+            let buffer = server
+                .iter()
+                .map(|&id| vms[id].demand - vms[id].off_peak)
+                .fold(0.0, f64::max);
+            assert!(
+                server.len() == 1 || off + buffer <= cores + 1e-9,
+                "server {i} overcommitted for its class"
+            );
         }
     }
 }

@@ -8,13 +8,18 @@
 //!   `Ñ = ⌈Σ û / N_core⌉`. Prediction and matrix maintenance live in
 //!   [`crate::predict`] and [`crate::corr::matrix`]; this module
 //!   receives their outputs through the [`VmDescriptor`] table and
-//!   [`CostMatrix`].
+//!   [`CostMatrix`]. On a heterogeneous [`ServerFleet`] the estimate
+//!   generalizes to a prefix of the fleet's fill order: servers open
+//!   largest-class-first until their cumulative capacity covers Σ û.
 //! * **ALLOCATE** (lines 9–18): repeatedly take the server with the
 //!   largest remaining capacity and greedily add the unallocated VM that
 //!   (a) fits, (b) maximizes the resulting server cost (Eqn 2) and
 //!   (c) keeps that cost above the threshold `TH_cost`. When a pass
 //!   leaves VMs unallocated, `TH_cost` is relaxed by the factor `α` and
 //!   the pass repeats over servers re-sorted by remaining capacity.
+//!   Each open server keeps its own incremental [`ServerCostAggregate`],
+//!   so candidate probes stay O(|members|) regardless of the mix of
+//!   server classes.
 //!
 //! Two necessary interpretations of details the paper leaves implicit:
 //!
@@ -25,13 +30,15 @@
 //! 2. When `TH_cost` decays to its floor the threshold condition is
 //!    dropped entirely (any fitting VM is admissible, still picked by
 //!    maximal server cost), and if even then nothing fits the estimate
-//!    `Ñ` was too small for the fragmentation at hand — a server is
-//!    added, matching FFD's unbounded bin supply.
+//!    `Ñ` was too small for the fragmentation at hand — the next server
+//!    of the fill order opens, matching FFD's unbounded bin supply (or
+//!    [`crate::CoreError::FleetExhausted`] when the fleet is spent).
 
 use crate::alloc::{
     decreasing_order, validate_inputs, AllocationPolicy, Placement, VmDescriptor, FIT_EPS,
 };
 use crate::corr::CostMatrix;
+use crate::fleet::{FleetCursor, ServerFleet};
 use crate::servercost::ServerCostAggregate;
 use crate::CoreError;
 use serde::{Deserialize, Serialize};
@@ -101,7 +108,7 @@ impl Default for ProposedConfig {
 /// m.push_sample(&[0.5, 0.5, 4.0, 4.0])?;
 ///
 /// let vms: Vec<_> = (0..4).map(|i| VmDescriptor::new(i, 4.0)).collect();
-/// let p = ProposedPolicy::default().place(&vms, &m, 8.0)?;
+/// let p = ProposedPolicy::default().place_uniform(&vms, &m, 8.0)?;
 ///
 /// // Correlation-aware placement pairs anti-correlated VMs.
 /// assert_eq!(p.server_count(), 2);
@@ -151,20 +158,24 @@ impl ProposedPolicy {
 /// all live in the single [`ServerCostAggregate`], so each candidate
 /// probe of the ALLOCATE scan is O(|members|) instead of a full
 /// O(|members|²) re-evaluation and there is no parallel state to keep
-/// in sync.
+/// in sync. `cores`/`class` pin the server to its fleet class.
 struct Bin {
     agg: ServerCostAggregate,
+    cores: f64,
+    class: usize,
 }
 
 impl Bin {
-    fn empty() -> Self {
+    fn open(class: usize, cores: f64) -> Self {
         Bin {
             agg: ServerCostAggregate::new(),
+            cores,
+            class,
         }
     }
 
-    fn remaining(&self, capacity: f64) -> f64 {
-        capacity - self.agg.total_util()
+    fn remaining(&self) -> f64 {
+        self.cores - self.agg.total_util()
     }
 
     fn member_ids(&self) -> Vec<usize> {
@@ -181,20 +192,38 @@ impl AllocationPolicy for ProposedPolicy {
         &self,
         vms: &[VmDescriptor],
         matrix: &CostMatrix,
-        capacity: f64,
+        fleet: &ServerFleet,
     ) -> crate::Result<Placement> {
-        validate_inputs(vms, matrix, capacity)?;
+        validate_inputs(vms, matrix)?;
         if vms.is_empty() {
             return Ok(Placement::from_servers(vec![]));
         }
 
         // UPDATE phase residue: sort by decreasing predicted û (line 6)
-        // and size the active server set by Eqn (3) (line 8).
+        // and size the active server set by Eqn (3) (line 8) — on a
+        // heterogeneous fleet, the shortest fill-order prefix whose
+        // cumulative capacity covers the total demand.
         let order = decreasing_order(vms); // descriptor indices
         let total: f64 = vms.iter().map(|d| d.demand).sum();
-        let n_est = estimate_server_count(total, capacity).max(1);
+        let mut cursor = FleetCursor::new(fleet);
+        let mut bins: Vec<Bin> = Vec::new();
+        let mut open_capacity = 0.0;
+        while open_capacity + FIT_EPS < total || bins.is_empty() {
+            match cursor.open_next() {
+                Some((class, cores)) => {
+                    open_capacity += cores;
+                    bins.push(Bin::open(class, cores));
+                }
+                // The fleet cannot cover the estimate; proceed with
+                // what exists and let the fill report exhaustion if
+                // VMs truly do not fit.
+                None => break,
+            }
+        }
+        if bins.is_empty() {
+            return Err(cursor.exhausted(vms.len()));
+        }
 
-        let mut bins: Vec<Bin> = (0..n_est).map(|_| Bin::empty()).collect();
         // Unallocated descriptor indices, kept in decreasing-demand order.
         let mut unalloc: Vec<usize> = order;
         let mut th = self.config.th_init;
@@ -213,8 +242,8 @@ impl AllocationPolicy for ProposedPolicy {
                 .iter()
                 .enumerate()
                 .max_by(|a, b| {
-                    a.1.remaining(capacity)
-                        .partial_cmp(&b.1.remaining(capacity))
+                    a.1.remaining()
+                        .partial_cmp(&b.1.remaining())
                         .expect("finite loads")
                 })
                 .map(|(i, _)| i)
@@ -227,7 +256,6 @@ impl AllocationPolicy for ProposedPolicy {
                 &mut unalloc,
                 vms,
                 matrix,
-                capacity,
                 th,
                 self.config.th_floor,
             );
@@ -247,19 +275,22 @@ impl AllocationPolicy for ProposedPolicy {
                         .last()
                         .map(|&i| vms[i].demand)
                         .expect("unalloc is non-empty");
-                    let roomiest = bins[bin_idx].remaining(capacity);
+                    let roomiest = bins[bin_idx].remaining();
                     debug_assert!(
                         smallest > roomiest + FIT_EPS || bins[bin_idx].agg.is_empty(),
                         "no progress despite a fitting vm"
                     );
-                    let _ = roomiest;
-                    bins.push(Bin::empty());
+                    let _ = (smallest, roomiest);
+                    let (class, cores) = cursor
+                        .open_next()
+                        .ok_or_else(|| cursor.exhausted(unalloc.len()))?;
+                    bins.push(Bin::open(class, cores));
                 }
             }
         }
 
-        Ok(Placement::from_servers(
-            bins.iter().map(Bin::member_ids).collect(),
+        Ok(Placement::from_classed_servers(
+            bins.iter().map(|b| (b.member_ids(), b.class)).collect(),
         ))
     }
 }
@@ -279,13 +310,12 @@ fn fill_bin(
     unalloc: &mut Vec<usize>,
     vms: &[VmDescriptor],
     matrix: &CostMatrix,
-    capacity: f64,
     th: f64,
     th_floor: f64,
 ) -> usize {
     let mut placed = 0;
     loop {
-        let rem = bin.remaining(capacity);
+        let rem = bin.remaining();
         // First position whose VM fits: demands are non-increasing
         // along `unalloc`, so the predicate is monotone.
         let first_fit = unalloc.partition_point(|&i| vms[i].demand > rem + FIT_EPS);
@@ -336,6 +366,8 @@ fn fill_bin(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fleet::ServerClass;
+    use cavm_power::LinearPowerModel;
     use cavm_trace::Reference;
 
     fn matrix_from_rows(rows: &[&[f64]]) -> CostMatrix {
@@ -399,7 +431,9 @@ mod tests {
             &[0.5, 0.5, 4.0, 4.0],
         ]);
         let vms = descs(&[4.0, 4.0, 4.0, 4.0]);
-        let p = ProposedPolicy::default().place(&vms, &m, 8.0).unwrap();
+        let p = ProposedPolicy::default()
+            .place_uniform(&vms, &m, 8.0)
+            .unwrap();
         p.validate(&vms, 8.0).unwrap();
         assert_eq!(p.server_count(), 2);
         assert_ne!(p.server_of(0), p.server_of(1), "correlated pair must split");
@@ -411,7 +445,9 @@ mod tests {
         // Contrast case backing the paper's Table II mechanism.
         let m = matrix_from_rows(&[&[4.0, 4.0, 0.5, 0.5], &[0.5, 0.5, 4.0, 4.0]]);
         let vms = descs(&[4.0, 4.0, 4.0, 4.0]);
-        let bfd = crate::alloc::BfdPolicy.place(&vms, &m, 8.0).unwrap();
+        let bfd = crate::alloc::BfdPolicy
+            .place_uniform(&vms, &m, 8.0)
+            .unwrap();
         // BFD is order/size-driven: 0 and 1 (equal size, first fit wins)
         // land together.
         assert_eq!(bfd.server_of(0), bfd.server_of(1));
@@ -427,7 +463,9 @@ mod tests {
             let sample: Vec<f64> = (0..40).map(|_| rng.range_f64(0.0, 3.5)).collect();
             m.push_sample(&sample).unwrap();
         }
-        let p = ProposedPolicy::default().place(&vms, &m, 8.0).unwrap();
+        let p = ProposedPolicy::default()
+            .place_uniform(&vms, &m, 8.0)
+            .unwrap();
         p.validate(&vms, 8.0).unwrap();
         let lower = estimate_server_count(demands.iter().sum(), 8.0);
         assert!(p.server_count() >= lower);
@@ -439,10 +477,14 @@ mod tests {
     #[test]
     fn empty_and_single_inputs() {
         let m = CostMatrix::new(1, Reference::Peak).unwrap();
-        let p = ProposedPolicy::default().place(&[], &m, 8.0).unwrap();
+        let p = ProposedPolicy::default()
+            .place_uniform(&[], &m, 8.0)
+            .unwrap();
         assert_eq!(p.server_count(), 0);
         let vms = descs(&[2.0]);
-        let p = ProposedPolicy::default().place(&vms, &m, 8.0).unwrap();
+        let p = ProposedPolicy::default()
+            .place_uniform(&vms, &m, 8.0)
+            .unwrap();
         assert_eq!(p.server_count(), 1);
         p.validate(&vms, 8.0).unwrap();
     }
@@ -451,7 +493,9 @@ mod tests {
     fn oversized_vm_is_admitted_alone() {
         let m = CostMatrix::new(2, Reference::Peak).unwrap();
         let vms = descs(&[12.0, 2.0]);
-        let p = ProposedPolicy::default().place(&vms, &m, 8.0).unwrap();
+        let p = ProposedPolicy::default()
+            .place_uniform(&vms, &m, 8.0)
+            .unwrap();
         p.validate(&vms, 8.0).unwrap();
         assert_eq!(p.server_count(), 2);
         assert_ne!(p.server_of(0), p.server_of(1));
@@ -464,7 +508,9 @@ mod tests {
         // 6, demands [4,4,4]: total 12 → Ñ=2, but no two 4s share a bin.
         let m = CostMatrix::new(3, Reference::Peak).unwrap();
         let vms = descs(&[4.0, 4.0, 4.0]);
-        let p = ProposedPolicy::default().place(&vms, &m, 6.0).unwrap();
+        let p = ProposedPolicy::default()
+            .place_uniform(&vms, &m, 6.0)
+            .unwrap();
         p.validate(&vms, 6.0).unwrap();
         assert_eq!(p.server_count(), 3);
     }
@@ -477,8 +523,12 @@ mod tests {
         // this instance.
         let m = CostMatrix::new(4, Reference::Peak).unwrap();
         let vms = descs(&[5.0, 4.0, 3.0, 2.0]);
-        let p = ProposedPolicy::default().place(&vms, &m, 8.0).unwrap();
-        let f = crate::alloc::FfdPolicy.place(&vms, &m, 8.0).unwrap();
+        let p = ProposedPolicy::default()
+            .place_uniform(&vms, &m, 8.0)
+            .unwrap();
+        let f = crate::alloc::FfdPolicy
+            .place_uniform(&vms, &m, 8.0)
+            .unwrap();
         assert_eq!(p.server_count(), f.server_count());
         p.validate(&vms, 8.0).unwrap();
     }
@@ -490,7 +540,9 @@ mod tests {
         // th > 1, but the floor waiver admits them).
         let m = matrix_from_rows(&[&[4.0, 4.0, 4.0, 4.0], &[1.0, 1.0, 1.0, 1.0]]);
         let vms = descs(&[4.0, 4.0, 4.0, 4.0]);
-        let p = ProposedPolicy::default().place(&vms, &m, 8.0).unwrap();
+        let p = ProposedPolicy::default()
+            .place_uniform(&vms, &m, 8.0)
+            .unwrap();
         p.validate(&vms, 8.0).unwrap();
         assert_eq!(p.server_count(), 2);
     }
@@ -502,9 +554,40 @@ mod tests {
         // partner the greedy assigns VM2 to.
         let m = matrix_from_rows(&[&[4.0, 3.0, 0.5], &[0.5, 0.4, 3.0], &[4.0, 3.0, 0.5]]);
         let vms = descs(&[4.0, 3.0, 3.0]);
-        let p = ProposedPolicy::default().place(&vms, &m, 8.0).unwrap();
+        let p = ProposedPolicy::default()
+            .place_uniform(&vms, &m, 8.0)
+            .unwrap();
         p.validate(&vms, 8.0).unwrap();
         assert_eq!(p.server_count(), 2);
         assert_ne!(p.server_of(0), p.server_of(1));
+    }
+
+    #[test]
+    fn hetero_fleet_eqn3_opens_fill_order_prefix() {
+        let xeon = LinearPowerModel::xeon_e5410;
+        let fleet = ServerFleet::new(vec![
+            ServerClass::new("small", 10, 4.0, xeon()).unwrap(),
+            ServerClass::new("big", 1, 16.0, xeon().scaled(2.0).unwrap()).unwrap(),
+        ])
+        .unwrap();
+        // Total demand 20: one 16-core + one 4-core server cover it.
+        let m = CostMatrix::new(8, Reference::Peak).unwrap();
+        let vms = descs(&[3.0, 3.0, 3.0, 3.0, 2.0, 2.0, 2.0, 2.0]);
+        let p = ProposedPolicy::default().place(&vms, &m, &fleet).unwrap();
+        p.validate_fleet(&vms, &fleet).unwrap();
+        assert_eq!(p.server_count(), 2);
+        assert_eq!(p.class_of(0), Some(1));
+        assert_eq!(p.class_of(1), Some(0));
+    }
+
+    #[test]
+    fn hetero_fleet_exhaustion_is_reported() {
+        let fleet = ServerFleet::uniform(2, 4.0, LinearPowerModel::xeon_e5410()).unwrap();
+        let m = CostMatrix::new(4, Reference::Peak).unwrap();
+        let vms = descs(&[3.0, 3.0, 3.0, 3.0]);
+        assert!(matches!(
+            ProposedPolicy::default().place(&vms, &m, &fleet),
+            Err(CoreError::FleetExhausted { slots: 2, .. })
+        ));
     }
 }

@@ -21,6 +21,7 @@ use crate::alloc::{
     decreasing_order, validate_inputs, AllocationPolicy, Placement, VmDescriptor, FIT_EPS,
 };
 use crate::corr::CostMatrix;
+use crate::fleet::{FleetCursor, ServerFleet};
 use crate::CoreError;
 use serde::{Deserialize, Serialize};
 
@@ -39,7 +40,7 @@ use serde::{Deserialize, Serialize};
 /// m.push_sample(&[4.0, 0.0])?;
 /// m.push_sample(&[0.0, 4.0])?;
 /// let vms = vec![VmDescriptor::new(0, 4.0), VmDescriptor::new(1, 4.0)];
-/// let p = SuperVmPolicy::default().place(&vms, &m, 8.0)?;
+/// let p = SuperVmPolicy::default().place_uniform(&vms, &m, 8.0)?;
 /// assert_eq!(p.server_count(), 1);
 /// # Ok(())
 /// # }
@@ -122,9 +123,9 @@ impl AllocationPolicy for SuperVmPolicy {
         &self,
         vms: &[VmDescriptor],
         matrix: &CostMatrix,
-        capacity: f64,
+        fleet: &ServerFleet,
     ) -> crate::Result<Placement> {
-        validate_inputs(vms, matrix, capacity)?;
+        validate_inputs(vms, matrix)?;
         let supers = self.build_super_vms(vms, matrix);
 
         // BFD over super-VMs by joint demand.
@@ -135,23 +136,42 @@ impl AllocationPolicy for SuperVmPolicy {
                 .partial_cmp(&supers[x].1)
                 .expect("finite joint demands")
         });
-        let mut bins: Vec<(Vec<usize>, f64)> = Vec::new();
+        let mut cursor = FleetCursor::new(fleet);
+        // (members, used, capacity, class) per open server.
+        let mut bins: Vec<(Vec<usize>, f64, f64, usize)> = Vec::new();
+        let mut placed_vms = 0usize;
         for idx in order {
             let (members, joint) = &supers[idx];
-            let best = bins
-                .iter_mut()
-                .filter(|(_, used)| *used + joint <= capacity + FIT_EPS)
-                .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite loads"));
+            // Tightest feasible open server: minimal residual that
+            // still fits the super-VM (ties keep the last candidate —
+            // the `max_by`-on-used semantics of the uniform
+            // formulation).
+            let mut best: Option<(usize, f64)> = None;
+            for (i, (_, used, cap, _)) in bins.iter().enumerate() {
+                let residual = cap - used;
+                if *joint <= residual + FIT_EPS
+                    && best.is_none_or(|(_, best_residual)| residual <= best_residual)
+                {
+                    best = Some((i, residual));
+                }
+            }
             match best {
-                Some((bin_members, used)) => {
+                Some((i, _)) => {
+                    let (bin_members, used, _, _) = &mut bins[i];
                     bin_members.extend_from_slice(members);
                     *used += joint;
                 }
-                None => bins.push((members.clone(), *joint)),
+                None => {
+                    let (class, cap) = cursor
+                        .open_next()
+                        .ok_or_else(|| cursor.exhausted(vms.len() - placed_vms))?;
+                    bins.push((members.clone(), *joint, cap, class));
+                }
             }
+            placed_vms += members.len();
         }
-        Ok(Placement::from_servers(
-            bins.into_iter().map(|(m, _)| m).collect(),
+        Ok(Placement::from_classed_servers(
+            bins.into_iter().map(|(m, _, _, c)| (m, c)).collect(),
         ))
     }
 }
@@ -184,10 +204,14 @@ mod tests {
         // size ≈ 4 each → one 8-core server, where BFD by peaks needs 2.
         let m = matrix_from_rows(&[&[4.0, 4.0, 0.0, 0.0], &[0.0, 0.0, 4.0, 4.0]]);
         let vms = descs(&[4.0, 4.0, 4.0, 4.0]);
-        let p = SuperVmPolicy::default().place(&vms, &m, 8.0).unwrap();
+        let p = SuperVmPolicy::default()
+            .place_uniform(&vms, &m, 8.0)
+            .unwrap();
         p.validate_structure(&vms).unwrap();
         assert_eq!(p.server_count(), 1, "joint sizing must halve the footprint");
-        let bfd = crate::alloc::BfdPolicy.place(&vms, &m, 8.0).unwrap();
+        let bfd = crate::alloc::BfdPolicy
+            .place_uniform(&vms, &m, 8.0)
+            .unwrap();
         assert_eq!(bfd.server_count(), 2);
     }
 
@@ -197,7 +221,9 @@ mod tests {
         // sizing degenerates to individual peaks (BFD-like).
         let m = matrix_from_rows(&[&[4.0, 4.0, 4.0, 4.0], &[0.5, 0.5, 0.5, 0.5]]);
         let vms = descs(&[4.0, 4.0, 4.0, 4.0]);
-        let p = SuperVmPolicy::default().place(&vms, &m, 8.0).unwrap();
+        let p = SuperVmPolicy::default()
+            .place_uniform(&vms, &m, 8.0)
+            .unwrap();
         p.validate(&vms, 8.0).unwrap();
         assert_eq!(p.server_count(), 2);
     }
@@ -206,7 +232,9 @@ mod tests {
     fn odd_vm_counts_leave_one_single() {
         let m = matrix_from_rows(&[&[3.0, 0.0, 3.0], &[0.0, 3.0, 0.0]]);
         let vms = descs(&[3.0, 3.0, 3.0]);
-        let p = SuperVmPolicy::default().place(&vms, &m, 8.0).unwrap();
+        let p = SuperVmPolicy::default()
+            .place_uniform(&vms, &m, 8.0)
+            .unwrap();
         p.validate_structure(&vms).unwrap();
         let total: usize = p.servers().iter().map(|s| s.len()).sum();
         assert_eq!(total, 3);
@@ -218,7 +246,9 @@ mod tests {
         // fuses, which is exactly the over-trust the paper critiques.
         let m = CostMatrix::new(4, Reference::Peak).unwrap();
         let vms = descs(&[3.0, 3.0, 3.0, 3.0]);
-        let p = SuperVmPolicy::default().place(&vms, &m, 8.0).unwrap();
+        let p = SuperVmPolicy::default()
+            .place_uniform(&vms, &m, 8.0)
+            .unwrap();
         p.validate_structure(&vms).unwrap();
         assert_eq!(p.server_count(), 1);
     }
@@ -233,7 +263,48 @@ mod tests {
     #[test]
     fn empty_input() {
         let m = CostMatrix::new(1, Reference::Peak).unwrap();
-        let p = SuperVmPolicy::default().place(&[], &m, 8.0).unwrap();
+        let p = SuperVmPolicy::default()
+            .place_uniform(&[], &m, 8.0)
+            .unwrap();
         assert_eq!(p.server_count(), 0);
+    }
+
+    #[test]
+    fn exhaustion_reports_unplaced_vms_not_super_vms() {
+        use crate::fleet::ServerFleet;
+        use cavm_power::LinearPowerModel;
+        // Pairs (0,2) and (1,3) fuse into two super-VMs of joint size 8
+        // each; a single 8-core server takes only the first, leaving
+        // one super-VM = TWO real VMs unplaced.
+        let m = matrix_from_rows(&[&[8.0, 8.0, 0.0, 0.0], &[0.0, 0.0, 8.0, 8.0]]);
+        let vms = descs(&[8.0, 8.0, 8.0, 8.0]);
+        let fleet = ServerFleet::uniform(1, 8.0, LinearPowerModel::xeon_e5410()).unwrap();
+        assert!(matches!(
+            SuperVmPolicy::default().place(&vms, &m, &fleet),
+            Err(CoreError::FleetExhausted {
+                slots: 1,
+                unallocated: 2
+            })
+        ));
+    }
+
+    #[test]
+    fn hetero_fleet_packs_super_vms_onto_classes() {
+        use crate::fleet::{ServerClass, ServerFleet};
+        use cavm_power::LinearPowerModel;
+        let xeon = LinearPowerModel::xeon_e5410;
+        let fleet = ServerFleet::new(vec![
+            ServerClass::new("big", 1, 8.0, xeon()).unwrap(),
+            ServerClass::new("small", 4, 4.0, xeon().scaled(0.5).unwrap()).unwrap(),
+        ])
+        .unwrap();
+        // 0/2 and 1/3 fuse to joint size ≈ 4 each: both super-VMs fit
+        // the single 8-core box.
+        let m = matrix_from_rows(&[&[4.0, 4.0, 0.0, 0.0], &[0.0, 0.0, 4.0, 4.0]]);
+        let vms = descs(&[4.0, 4.0, 4.0, 4.0]);
+        let p = SuperVmPolicy::default().place(&vms, &m, &fleet).unwrap();
+        p.validate_structure(&vms).unwrap();
+        assert_eq!(p.server_count(), 1);
+        assert_eq!(p.class_of(0), Some(0));
     }
 }

@@ -20,6 +20,7 @@
 //! ([`FrequencyPlanner::dynamic_level`]); the paper re-evaluates every 12
 //! five-second samples (1 minute) to limit level oscillation.
 
+use crate::fleet::ServerFleet;
 use crate::CoreError;
 use cavm_power::{DvfsLadder, Frequency};
 use serde::{Deserialize, Serialize};
@@ -150,9 +151,131 @@ impl FrequencyPlanner {
     }
 }
 
+/// Per-class frequency planning over a heterogeneous [`ServerFleet`]:
+/// one [`FrequencyPlanner`] per server class, each bound to its class's
+/// DVFS ladder *and* core capacity, so Eqn (4) evaluates against the
+/// right `N_core` for whichever class hosts the server.
+///
+/// # Example
+///
+/// ```
+/// use cavm_core::dvfs::FleetFrequencyPlanner;
+/// use cavm_core::fleet::{ServerClass, ServerFleet};
+/// use cavm_power::LinearPowerModel;
+///
+/// # fn main() -> Result<(), cavm_core::CoreError> {
+/// let xeon = LinearPowerModel::xeon_e5410();
+/// let fleet = ServerFleet::new(vec![
+///     ServerClass::new("small", 8, 4.0, xeon.clone())?,
+///     ServerClass::new("big", 2, 16.0, xeon.scaled(2.0).expect("factor > 0"))?,
+/// ])?;
+/// let planner = FleetFrequencyPlanner::new(&fleet);
+/// // The same 3.5-core demand saturates a small box but idles a big one.
+/// assert_eq!(planner.static_level_worst_case(0, 3.5)?.as_ghz(), 2.3);
+/// assert_eq!(planner.static_level_worst_case(1, 3.5)?.as_ghz(), 2.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetFrequencyPlanner {
+    /// One planner per fleet class, in class order.
+    planners: Vec<FrequencyPlanner>,
+    /// Core capacity per fleet class, in class order.
+    cores: Vec<f64>,
+}
+
+impl FleetFrequencyPlanner {
+    /// Builds per-class planners from the fleet's class ladders.
+    pub fn new(fleet: &ServerFleet) -> Self {
+        Self {
+            planners: fleet
+                .classes()
+                .iter()
+                .map(|c| FrequencyPlanner::new(c.ladder().clone()))
+                .collect(),
+            cores: fleet.classes().iter().map(|c| c.cores()).collect(),
+        }
+    }
+
+    /// Number of classes planned for.
+    pub fn len(&self) -> usize {
+        self.planners.len()
+    }
+
+    /// `false` by construction (fleets are non-empty).
+    pub fn is_empty(&self) -> bool {
+        self.planners.is_empty()
+    }
+
+    /// The per-class planner, or `None` for an unknown class.
+    pub fn class_planner(&self, class: usize) -> Option<&FrequencyPlanner> {
+        self.planners.get(class)
+    }
+
+    fn lookup(&self, class: usize) -> crate::Result<(&FrequencyPlanner, f64)> {
+        match (self.planners.get(class), self.cores.get(class)) {
+            (Some(p), Some(&c)) => Ok((p, c)),
+            _ => Err(CoreError::InvalidParameter(
+                "unknown server class for frequency planning",
+            )),
+        }
+    }
+
+    /// [`FrequencyPlanner::static_level_worst_case`] against the class's
+    /// own capacity and ladder.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParameter`] for an unknown class or
+    /// malformed demand.
+    pub fn static_level_worst_case(
+        &self,
+        class: usize,
+        total_demand: f64,
+    ) -> crate::Result<Frequency> {
+        let (planner, cores) = self.lookup(class)?;
+        planner.static_level_worst_case(total_demand, cores)
+    }
+
+    /// Eqn (4) against the class's own capacity and ladder.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParameter`] for an unknown class,
+    /// malformed demand, or a server cost below 1.
+    pub fn static_level_correlation_aware(
+        &self,
+        class: usize,
+        total_demand: f64,
+        server_cost: f64,
+    ) -> crate::Result<Frequency> {
+        let (planner, cores) = self.lookup(class)?;
+        planner.static_level_correlation_aware(total_demand, cores, server_cost)
+    }
+
+    /// [`FrequencyPlanner::dynamic_level`] against the class's own
+    /// capacity and ladder.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParameter`] for an unknown class or
+    /// malformed inputs.
+    pub fn dynamic_level(
+        &self,
+        class: usize,
+        recent_peak_demand: f64,
+        headroom: f64,
+    ) -> crate::Result<Frequency> {
+        let (planner, cores) = self.lookup(class)?;
+        planner.dynamic_level(recent_peak_demand, cores, headroom)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fleet::ServerClass;
+    use cavm_power::LinearPowerModel;
 
     fn planner() -> FrequencyPlanner {
         FrequencyPlanner::new(DvfsLadder::xeon_e5410())
@@ -208,6 +331,36 @@ mod tests {
         assert!(p.dynamic_level(1.0, 8.0, -0.5).is_err());
         assert!(p.dynamic_level(f64::NAN, 8.0, 0.0).is_err());
         assert_eq!(p.ladder().len(), 2);
+    }
+
+    #[test]
+    fn fleet_planner_is_per_class() {
+        let xeon = LinearPowerModel::xeon_e5410();
+        let opteron = LinearPowerModel::opteron_6174();
+        let fleet = ServerFleet::new(vec![
+            ServerClass::new("xeon", 4, 8.0, xeon).unwrap(),
+            ServerClass::new("opteron", 4, 12.0, opteron).unwrap(),
+        ])
+        .unwrap();
+        let fp = FleetFrequencyPlanner::new(&fleet);
+        assert_eq!(fp.len(), 2);
+        assert!(!fp.is_empty());
+        // Each class snaps on its own ladder.
+        assert_eq!(fp.static_level_worst_case(0, 8.0).unwrap().as_ghz(), 2.3);
+        assert_eq!(fp.static_level_worst_case(1, 12.0).unwrap().as_ghz(), 2.1);
+        // Capacity is per class: 7 cores is >86.96% of 8 but <87% of 12.
+        assert_eq!(fp.static_level_worst_case(0, 7.2).unwrap().as_ghz(), 2.3);
+        assert_eq!(fp.static_level_worst_case(1, 7.2).unwrap().as_ghz(), 1.9);
+        // Eqn (4) and the dynamic governor go through the same lookup.
+        let aware = fp.static_level_correlation_aware(0, 7.2, 1.3).unwrap();
+        assert!(aware < fp.static_level_worst_case(0, 7.2).unwrap());
+        assert_eq!(fp.dynamic_level(1, 6.0, 0.1).unwrap().as_ghz(), 1.9);
+        // Unknown classes error instead of panicking.
+        assert!(fp.static_level_worst_case(9, 1.0).is_err());
+        assert!(fp.static_level_correlation_aware(9, 1.0, 1.0).is_err());
+        assert!(fp.dynamic_level(9, 1.0, 0.0).is_err());
+        assert!(fp.class_planner(0).is_some());
+        assert!(fp.class_planner(9).is_none());
     }
 
     #[test]

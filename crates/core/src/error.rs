@@ -31,6 +31,14 @@ pub enum CoreError {
         /// VMs that remained unallocated.
         unallocated: usize,
     },
+    /// Every server of every class is open and VMs remain unplaced —
+    /// the fleet is too small for the demand.
+    FleetExhausted {
+        /// Total servers the fleet provides.
+        slots: usize,
+        /// VMs that remained unallocated.
+        unallocated: usize,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -49,6 +57,12 @@ impl fmt::Display for CoreError {
                 write!(
                     f,
                     "allocation failed to place {unallocated} vms within its round budget"
+                )
+            }
+            CoreError::FleetExhausted { slots, unallocated } => {
+                write!(
+                    f,
+                    "fleet exhausted: all {slots} servers are open but {unallocated} vms remain"
                 )
             }
         }
@@ -96,6 +110,10 @@ mod tests {
             },
             CoreError::InvalidParameter("x"),
             CoreError::AllocationDiverged { unallocated: 4 },
+            CoreError::FleetExhausted {
+                slots: 3,
+                unallocated: 2,
+            },
         ] {
             assert!(!e.to_string().is_empty());
             assert!(std::error::Error::source(&e).is_none());

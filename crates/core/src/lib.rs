@@ -14,6 +14,14 @@
 //! | Server-count estimate, Eqn (3), and the UPDATE/ALLOCATE heuristic (Fig 2) | [`alloc::proposed`] |
 //! | Baselines: FFD, BFD, PCP (Verma et al. \[6\]) | [`alloc`] |
 //! | Frequency decision, Eqn (4), static and dynamic | [`dvfs`] |
+//! | Heterogeneous server fleets (beyond the paper's uniform testbed) | [`fleet`] |
+//!
+//! The paper's testbed is uniform, so its equations take one scalar
+//! capacity. This crate generalizes every layer to a [`fleet::ServerFleet`]
+//! — an ordered set of server classes with their own core counts, power
+//! models and DVFS ladders — and recovers the paper exactly through the
+//! degenerate one-class fleet
+//! ([`alloc::AllocationPolicy::place_uniform`]).
 //!
 //! The cost function deliberately replaces Pearson's correlation: it can
 //! be updated in O(1) per utilization sample (no per-interval batch
@@ -28,9 +36,10 @@
 //! ```
 //! use cavm_core::alloc::{AllocationPolicy, ProposedPolicy, VmDescriptor};
 //! use cavm_core::corr::CostMatrix;
-//! use cavm_core::dvfs::FrequencyPlanner;
+//! use cavm_core::dvfs::FleetFrequencyPlanner;
+//! use cavm_core::fleet::ServerFleet;
 //! use cavm_core::servercost::server_cost_of;
-//! use cavm_power::DvfsLadder;
+//! use cavm_power::LinearPowerModel;
 //! use cavm_trace::{Reference, TimeSeries};
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -44,17 +53,21 @@
 //! // a and b never peak together: cost (4+4)/5 = 1.6.
 //! assert!((matrix.cost(0, 1).unwrap() - 1.6).abs() < 1e-12);
 //!
+//! // The paper's uniform testbed is the one-class degenerate fleet.
+//! let fleet = ServerFleet::uniform(20, 8.0, LinearPowerModel::xeon_e5410())?;
 //! let vms = VmDescriptor::from_traces(&traces, Reference::Peak)?;
-//! let placement = ProposedPolicy::default().place(&vms, &matrix, 8.0)?;
+//! let placement = ProposedPolicy::default().place(&vms, &matrix, &fleet)?;
 //! assert_eq!(placement.server_count(), 2);
 //!
-//! // Eqn (4): the correlation-aware frequency for the first server.
-//! let planner = FrequencyPlanner::new(DvfsLadder::xeon_e5410());
+//! // Eqn (4): the correlation-aware frequency for the first server,
+//! // evaluated against its own class's capacity and ladder.
+//! let planner = FleetFrequencyPlanner::new(&fleet);
 //! let members = placement.server(0).unwrap();
+//! let class = placement.class_of(0).unwrap();
 //! let demand: f64 = members.iter().map(|&id| vms[id].demand).sum();
 //! let cost = server_cost_of(members, &vms, &matrix);
-//! let f = planner.static_level_correlation_aware(demand, 8.0, cost)?;
-//! assert!(f <= planner.ladder().max());
+//! let f = planner.static_level_correlation_aware(class, demand, cost)?;
+//! assert!(f <= fleet.class(class).unwrap().ladder().max());
 //! # Ok(())
 //! # }
 //! ```
@@ -66,6 +79,7 @@ pub mod alloc;
 pub mod corr;
 pub mod dvfs;
 mod error;
+pub mod fleet;
 pub mod predict;
 pub mod servercost;
 

@@ -166,7 +166,7 @@ proptest! {
                 .collect();
 
             let optimized =
-                ProposedPolicy::default().place(&vms, &soa, capacity).unwrap();
+                ProposedPolicy::default().place_uniform(&vms, &soa, capacity).unwrap();
             let reference_placement =
                 seed_reference_place(&vms, &seed, capacity);
 

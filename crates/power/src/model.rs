@@ -166,6 +166,33 @@ impl LinearPowerModel {
     pub fn points(&self) -> &[LevelPower] {
         &self.points
     }
+
+    /// A copy with every idle/busy wattage multiplied by `factor` — a
+    /// quick way to derive plausible models for bigger or smaller boxes
+    /// of the same generation (e.g. a dual-board 16-core sibling at
+    /// `factor = 2.0`) when building heterogeneous fleets.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PowerError::InvalidParameter`] for a non-finite or
+    /// non-positive factor.
+    pub fn scaled(&self, factor: f64) -> crate::Result<Self> {
+        if !(factor.is_finite() && factor > 0.0) {
+            return Err(PowerError::InvalidParameter(
+                "power scale factor must be finite and > 0",
+            ));
+        }
+        Self::new(
+            self.points
+                .iter()
+                .map(|p| LevelPower {
+                    frequency: p.frequency,
+                    idle_watts: p.idle_watts * factor,
+                    busy_watts: p.busy_watts * factor,
+                })
+                .collect(),
+        )
+    }
 }
 
 impl PowerModel for LinearPowerModel {
@@ -337,6 +364,24 @@ mod tests {
             let hi = m.power(u, Frequency::from_ghz(2.3)).unwrap();
             assert!(lo < hi, "u={u}: {lo} !< {hi}");
         }
+    }
+
+    #[test]
+    fn scaled_model_multiplies_wattages() {
+        let m = LinearPowerModel::xeon_e5410();
+        let double = m.scaled(2.0).unwrap();
+        let f = Frequency::from_ghz(2.0);
+        assert_eq!(
+            double.power(0.0, f).unwrap(),
+            2.0 * m.power(0.0, f).unwrap()
+        );
+        assert_eq!(
+            double.power(1.0, f).unwrap(),
+            2.0 * m.power(1.0, f).unwrap()
+        );
+        assert_eq!(double.ladder(), m.ladder());
+        assert!(m.scaled(0.0).is_err());
+        assert!(m.scaled(f64::NAN).is_err());
     }
 
     #[test]

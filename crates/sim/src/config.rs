@@ -3,6 +3,7 @@
 use crate::SimError;
 use cavm_core::alloc::proposed::ProposedConfig;
 use cavm_core::dvfs::DvfsMode;
+use cavm_core::fleet::ServerFleet;
 use cavm_power::LinearPowerModel;
 use cavm_trace::Reference;
 use cavm_workload::datacenter::VmFleet;
@@ -65,9 +66,7 @@ impl Policy {
 #[derive(Debug, Clone)]
 pub struct Scenario {
     pub(crate) fleet: VmFleet,
-    pub(crate) server_count: usize,
-    pub(crate) cores_per_server: usize,
-    pub(crate) power_model: LinearPowerModel,
+    pub(crate) server_fleet: ServerFleet,
     pub(crate) policy: Policy,
     pub(crate) dvfs_mode: DvfsMode,
     pub(crate) period_samples: usize,
@@ -86,17 +85,30 @@ impl Scenario {
     pub fn period_samples(&self) -> usize {
         self.period_samples
     }
+
+    /// The server fleet the scenario replays against.
+    pub fn server_fleet(&self) -> &ServerFleet {
+        &self.server_fleet
+    }
 }
 
 /// Builder with the paper's Setup-2 defaults: 20 Xeon-E5410-like servers
 /// of 8 cores, 1-hour placement periods over 5-second samples (720
 /// samples per period), peak-reference provisioning, static DVFS.
+///
+/// The uniform knobs ([`ScenarioBuilder::servers`],
+/// [`ScenarioBuilder::cores_per_server`],
+/// [`ScenarioBuilder::power_model`]) assemble a one-class
+/// [`ServerFleet`] at [`ScenarioBuilder::build`];
+/// [`ScenarioBuilder::server_fleet`] supplies a heterogeneous fleet
+/// directly and overrides all three.
 #[derive(Debug, Clone)]
 pub struct ScenarioBuilder {
     fleet: VmFleet,
     server_count: usize,
     cores_per_server: usize,
     power_model: LinearPowerModel,
+    server_fleet: Option<ServerFleet>,
     policy: Policy,
     dvfs_mode: DvfsMode,
     period_samples: usize,
@@ -113,6 +125,7 @@ impl ScenarioBuilder {
             server_count: 20,
             cores_per_server: 8,
             power_model: LinearPowerModel::xeon_e5410(),
+            server_fleet: None,
             policy: Policy::Bfd,
             dvfs_mode: DvfsMode::Static,
             period_samples: 720,
@@ -122,21 +135,32 @@ impl ScenarioBuilder {
         }
     }
 
-    /// Number of available servers (paper: 20).
+    /// Number of available servers (paper: 20). Ignored when
+    /// [`ScenarioBuilder::server_fleet`] is set.
     pub fn servers(mut self, count: usize) -> Self {
         self.server_count = count;
         self
     }
 
-    /// Cores per server (paper: 8).
+    /// Cores per server (paper: 8). Ignored when
+    /// [`ScenarioBuilder::server_fleet`] is set.
     pub fn cores_per_server(mut self, cores: usize) -> Self {
         self.cores_per_server = cores;
         self
     }
 
-    /// Server power model (default: Xeon E5410 preset).
+    /// Server power model (default: Xeon E5410 preset). Ignored when
+    /// [`ScenarioBuilder::server_fleet`] is set.
     pub fn power_model(mut self, model: LinearPowerModel) -> Self {
         self.power_model = model;
+        self
+    }
+
+    /// Replays against an explicit (possibly heterogeneous) server
+    /// fleet, overriding the uniform knobs. Every class must be
+    /// bounded.
+    pub fn server_fleet(mut self, fleet: ServerFleet) -> Self {
+        self.server_fleet = Some(fleet);
         self
     }
 
@@ -189,9 +213,25 @@ impl ScenarioBuilder {
         if self.fleet.is_empty() {
             return Err(SimError::InvalidParameter("fleet must not be empty"));
         }
-        if self.server_count == 0 || self.cores_per_server == 0 {
+        let server_fleet = match self.server_fleet {
+            Some(fleet) => fleet,
+            None => {
+                if self.server_count == 0 || self.cores_per_server == 0 {
+                    return Err(SimError::InvalidParameter(
+                        "need at least one server and one core",
+                    ));
+                }
+                ServerFleet::uniform(
+                    self.server_count,
+                    self.cores_per_server as f64,
+                    self.power_model,
+                )
+                .map_err(SimError::Core)?
+            }
+        };
+        if server_fleet.total_slots().is_none() {
             return Err(SimError::InvalidParameter(
-                "need at least one server and one core",
+                "sim fleets must be bounded (no UNBOUNDED classes)",
             ));
         }
         if self.period_samples == 0 {
@@ -248,9 +288,7 @@ impl ScenarioBuilder {
         }
         Ok(Scenario {
             fleet: self.fleet,
-            server_count: self.server_count,
-            cores_per_server: self.cores_per_server,
-            power_model: self.power_model,
+            server_fleet,
             policy: self.policy,
             dvfs_mode: self.dvfs_mode,
             period_samples: self.period_samples,
@@ -355,5 +393,35 @@ mod tests {
             .unwrap();
         assert_eq!(s.policy().name(), "FFD");
         assert_eq!(s.period_samples(), 360);
+        assert!(s.server_fleet().is_uniform());
+        assert_eq!(s.server_fleet().total_slots(), Some(5));
+        assert_eq!(s.server_fleet().class(0).unwrap().cores(), 4.0);
+    }
+
+    #[test]
+    fn builder_accepts_explicit_fleet_and_rejects_unbounded() {
+        use cavm_core::fleet::{ServerClass, ServerFleet, UNBOUNDED};
+        let hetero = ServerFleet::new(vec![
+            ServerClass::new("small", 8, 4.0, LinearPowerModel::xeon_e5410()).unwrap(),
+            ServerClass::new("big", 2, 16.0, LinearPowerModel::xeon_e5410()).unwrap(),
+        ])
+        .unwrap();
+        let s = ScenarioBuilder::new(fleet())
+            .server_fleet(hetero.clone())
+            .build()
+            .unwrap();
+        assert_eq!(s.server_fleet(), &hetero);
+        let unbounded = ServerFleet::new(vec![ServerClass::new(
+            "open",
+            UNBOUNDED,
+            8.0,
+            LinearPowerModel::xeon_e5410(),
+        )
+        .unwrap()])
+        .unwrap();
+        assert!(ScenarioBuilder::new(fleet())
+            .server_fleet(unbounded)
+            .build()
+            .is_err());
     }
 }

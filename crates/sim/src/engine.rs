@@ -7,31 +7,52 @@
 //!    last-value predictor from the previous period's observed reference
 //!    utilization; the pairwise cost matrix carries the previous
 //!    period's samples (streaming, O(1) per sample per pair).
-//! 2. **ALLOCATE** — the configured policy places the VMs; the static
-//!    frequency of every active server is chosen by Eqn (4) for the
-//!    proposed policy and by the coincident-peaks worst case for the
+//! 2. **ALLOCATE** — the configured policy places the VMs onto the
+//!    scenario's [`ServerFleet`] (opening servers largest-class-first);
+//!    the static frequency of every active server is chosen per its
+//!    *class* — Eqn (4) on the class ladder/capacity for the proposed
+//!    policy, the coincident-peaks worst case for the
 //!    correlation-blind baselines.
 //! 3. **Replay** — the period's 5-second samples are replayed: each
 //!    active server accumulates its members' demands, violations are
-//!    counted whenever the aggregate exceeds the frequency-scaled
-//!    capacity, power is integrated, and (in dynamic mode) the governor
-//!    re-plans from the recent measured peak every `interval_samples`.
+//!    counted whenever the aggregate exceeds the server's
+//!    frequency-scaled *class* capacity, power is integrated through
+//!    the class's own model into per-class meters, and (in dynamic
+//!    mode) the governor re-plans from the recent measured peak every
+//!    `interval_samples`.
+//!
+//! [`ServerFleet`]: cavm_core::fleet::ServerFleet
 
 use crate::config::{Policy, Scenario};
-use crate::report::{PeriodRecord, SimReport};
+use crate::report::{ClassBreakdown, PeriodRecord, SimReport};
 use crate::SimError;
 use cavm_core::alloc::{
     AllocationPolicy, BfdPolicy, FfdPolicy, PcpPolicy, Placement, ProposedPolicy, SuperVmPolicy,
     VmDescriptor,
 };
 use cavm_core::corr::CostMatrix;
-use cavm_core::dvfs::{DvfsMode, FrequencyPlanner};
+use cavm_core::dvfs::{DvfsMode, FleetFrequencyPlanner};
 use cavm_core::predict::{LastValuePredictor, Predictor};
 use cavm_core::servercost::server_cost_of;
+use cavm_core::CoreError;
 use cavm_power::{EnergyMeter, PowerModel};
 use cavm_trace::TimeSeries;
 
 const VIOLATION_EPS: f64 = 1e-9;
+
+/// A fleet that cannot host the placement surfaces as the sim-level
+/// "insufficient servers" error; everything else passes through.
+fn map_core(e: CoreError) -> SimError {
+    match e {
+        CoreError::FleetExhausted { slots, unallocated } => SimError::InsufficientServers {
+            // Each leftover VM needs at most one more server, so this
+            // is an upper bound on the shortfall.
+            needed: slots.saturating_add(unallocated),
+            available: slots,
+        },
+        e => SimError::Core(e),
+    }
+}
 
 impl Scenario {
     /// Runs the scenario to completion. Deterministic: identical
@@ -40,25 +61,58 @@ impl Scenario {
     /// # Errors
     ///
     /// Returns [`SimError::InsufficientServers`] when a period's
-    /// placement needs more servers than available, and propagates
-    /// trace/power/core errors.
+    /// placement needs more servers than the fleet provides, and
+    /// propagates trace/power/core errors.
     pub fn run(&self) -> crate::Result<SimReport> {
         let n = self.fleet.len();
         let traces: Vec<&TimeSeries> = self.fleet.traces();
         let dt = traces[0].dt();
         let n_samples = traces[0].len();
         let periods = n_samples / self.period_samples;
-        let capacity = self.cores_per_server as f64;
-        let ladder = self.power_model.ladder().clone();
-        let planner = FrequencyPlanner::new(ladder.clone());
+        let server_fleet = &self.server_fleet;
+        let n_classes = server_fleet.len();
+        let total_slots = server_fleet
+            .total_slots()
+            .expect("builder rejects unbounded sim fleets");
+        let planner = FleetFrequencyPlanner::new(server_fleet);
+
+        // The histogram's frequency axis is the sorted union of every
+        // class ladder (a uniform fleet keeps its own ladder).
+        // `union_level[class][class_level]` maps into it.
+        let mut union_ghz: Vec<f64> = server_fleet
+            .classes()
+            .iter()
+            .flat_map(|c| c.ladder().levels().iter().map(|f| f.as_ghz()))
+            .collect();
+        union_ghz.sort_by(|a, b| a.partial_cmp(b).expect("finite frequencies"));
+        union_ghz.dedup();
+        let union_level: Vec<Vec<usize>> = server_fleet
+            .classes()
+            .iter()
+            .map(|c| {
+                c.ladder()
+                    .levels()
+                    .iter()
+                    .map(|f| {
+                        union_ghz
+                            .iter()
+                            .position(|&g| g == f.as_ghz())
+                            .expect("union contains every class level")
+                    })
+                    .collect()
+            })
+            .collect();
 
         let mut peak_pred = LastValuePredictor::new(n);
         let mut offpeak_pred = LastValuePredictor::new(n);
         let mut prev_matrix: Option<CostMatrix> = None;
-        let mut prev_assignment: Option<Vec<usize>> = None;
+        let mut prev_assignment: Option<Vec<Option<usize>>> = None;
 
-        let mut energy = EnergyMeter::new();
-        let mut freq_histogram = vec![vec![0u64; ladder.len()]; self.server_count];
+        let mut class_energy = vec![EnergyMeter::new(); n_classes];
+        let mut class_violations = vec![0usize; n_classes];
+        let mut class_migrations = vec![0usize; n_classes];
+        let mut class_peak_servers = vec![0usize; n_classes];
+        let mut freq_histogram = vec![vec![0u64; union_ghz.len()]; total_slots];
         let mut period_records = Vec::with_capacity(periods);
         let mut violation_instances = 0usize;
         let mut sample_buf = vec![0.0f64; n];
@@ -89,41 +143,48 @@ impl Scenario {
 
             // ---- ALLOCATE.
             let (placement, pcp_clusters) =
-                self.place_period(period, start, &vms, &matrix, capacity, &traces)?;
-            if placement.server_count() > self.server_count {
-                return Err(SimError::InsufficientServers {
-                    needed: placement.server_count(),
-                    available: self.server_count,
-                });
-            }
+                self.place_period(period, start, &vms, &matrix, &traces)?;
+            let classes_of = placement.classes().to_vec();
+            let cores_of: Vec<f64> = classes_of
+                .iter()
+                .map(|&c| server_fleet.classes()[c].cores())
+                .collect();
 
-            // Migrations relative to the previous period.
-            let mut assignment = vec![usize::MAX; n];
-            for (s, members) in placement.servers().iter().enumerate() {
-                for &v in members {
-                    assignment[v] = s;
+            // Migrations relative to the previous period, attributed to
+            // the class of the *destination* server.
+            let assignment = placement.assignment(n);
+            let mut migrations = 0usize;
+            if let Some(prev) = &prev_assignment {
+                for (now, before) in assignment.iter().zip(prev) {
+                    if now != before {
+                        migrations += 1;
+                        if let Some(s) = now {
+                            class_migrations[classes_of[*s]] += 1;
+                        }
+                    }
                 }
             }
-            let migrations = match &prev_assignment {
-                Some(prev) => assignment.iter().zip(prev).filter(|(a, b)| a != b).count(),
-                None => 0,
-            };
 
-            // Static frequency per active server.
+            // Static frequency per active server, planned against its
+            // own class ladder and capacity. Per-server demand totals
+            // come from the placement's one-pass accessor.
             let active = placement.server_count();
+            let server_demands = placement.server_demands(&vms);
             let mut freq_idx = Vec::with_capacity(active);
-            for members in placement.servers() {
-                let total: f64 = members.iter().map(|&v| vms[v].demand).sum();
+            for (s, members) in placement.servers().iter().enumerate() {
+                let class = classes_of[s];
+                let total = server_demands[s];
                 let f = if self.policy.correlation_aware_frequency() {
                     let cost = server_cost_of(members, &vms, &matrix).max(1.0);
                     planner
-                        .static_level_correlation_aware(total, capacity, cost)
+                        .static_level_correlation_aware(class, total, cost)
                         .map_err(SimError::Core)?
                 } else {
                     planner
-                        .static_level_worst_case(total, capacity)
+                        .static_level_worst_case(class, total)
                         .map_err(SimError::Core)?
                 };
+                let ladder = server_fleet.classes()[class].ladder();
                 freq_idx.push(ladder.index_of(f).expect("planner returns ladder levels"));
             }
 
@@ -156,6 +217,9 @@ impl Scenario {
                 let k_in_period = k - start;
 
                 for (s, members) in placement.servers().iter().enumerate() {
+                    let class = classes_of[s];
+                    let capacity = cores_of[s];
+                    let ladder = server_fleet.classes()[class].ladder();
                     let agg: f64 = members.iter().map(|&v| sample_buf[v]).sum();
 
                     if let DvfsMode::Dynamic { interval_samples } = self.dvfs_mode {
@@ -166,7 +230,7 @@ impl Scenario {
                                 members.iter().map(|&v| window_max_vm[v]).sum()
                             };
                             let f = planner
-                                .dynamic_level(recent, capacity, self.dynamic_headroom)
+                                .dynamic_level(class, recent, self.dynamic_headroom)
                                 .map_err(SimError::Core)?;
                             freq_idx[s] =
                                 ladder.index_of(f).expect("planner returns ladder levels");
@@ -186,11 +250,15 @@ impl Scenario {
                     if agg > eff_capacity + VIOLATION_EPS {
                         server_violations[s] += 1;
                         violation_instances += 1;
+                        class_violations[class] += 1;
                     }
                     let u = (agg / eff_capacity).clamp(0.0, 1.0);
-                    let watts = self.power_model.power(u, f).map_err(SimError::Power)?;
-                    energy.add(watts, dt);
-                    freq_histogram[s][freq_idx[s]] += 1;
+                    let watts = server_fleet.classes()[class]
+                        .power_model()
+                        .power(u, f)
+                        .map_err(SimError::Power)?;
+                    class_energy[class].add(watts, dt);
+                    freq_histogram[s][union_level[class][freq_idx[s]]] += 1;
                 }
             }
 
@@ -204,6 +272,11 @@ impl Scenario {
             }
             prev_matrix = Some(matrix_next);
             prev_assignment = Some(assignment);
+
+            for (class, peak) in class_peak_servers.iter_mut().enumerate() {
+                let used = classes_of.iter().filter(|&&c| c == class).count();
+                *peak = (*peak).max(used);
+            }
 
             let max_ratio = server_violations
                 .iter()
@@ -231,6 +304,24 @@ impl Scenario {
                 .sum::<f64>()
                 / period_records.len() as f64
         };
+        let mut energy = EnergyMeter::new();
+        for meter in &class_energy {
+            energy.merge(meter);
+        }
+        let classes: Vec<ClassBreakdown> = server_fleet
+            .classes()
+            .iter()
+            .enumerate()
+            .map(|(c, spec)| ClassBreakdown {
+                name: spec.name().to_string(),
+                cores: spec.cores(),
+                servers_available: spec.count(),
+                peak_servers_used: class_peak_servers[c],
+                energy: class_energy[c],
+                violation_instances: class_violations[c],
+                migrations_in: class_migrations[c],
+            })
+            .collect();
         Ok(SimReport {
             policy: self.policy.name().to_string(),
             dynamic_dvfs: matches!(self.dvfs_mode, DvfsMode::Dynamic { .. }),
@@ -239,8 +330,9 @@ impl Scenario {
             mean_violation_percent: mean_violation * 100.0,
             violation_instances,
             periods: period_records,
+            classes,
             freq_histogram,
-            freq_levels_ghz: ladder.levels().iter().map(|f| f.as_ghz()).collect(),
+            freq_levels_ghz: union_ghz,
         })
     }
 
@@ -252,39 +344,19 @@ impl Scenario {
         start: usize,
         vms: &[VmDescriptor],
         matrix: &CostMatrix,
-        capacity: f64,
         traces: &[&TimeSeries],
     ) -> crate::Result<(Placement, Option<usize>)> {
+        let fleet = &self.server_fleet;
         match self.policy {
-            Policy::Bfd => Ok((
-                BfdPolicy
-                    .place(vms, matrix, capacity)
-                    .map_err(SimError::Core)?,
-                None,
-            )),
-            Policy::Ffd => Ok((
-                FfdPolicy
-                    .place(vms, matrix, capacity)
-                    .map_err(SimError::Core)?,
-                None,
-            )),
+            Policy::Bfd => Ok((BfdPolicy.place(vms, matrix, fleet).map_err(map_core)?, None)),
+            Policy::Ffd => Ok((FfdPolicy.place(vms, matrix, fleet).map_err(map_core)?, None)),
             Policy::Proposed(config) => {
                 let policy = ProposedPolicy::new(config).map_err(SimError::Core)?;
-                Ok((
-                    policy
-                        .place(vms, matrix, capacity)
-                        .map_err(SimError::Core)?,
-                    None,
-                ))
+                Ok((policy.place(vms, matrix, fleet).map_err(map_core)?, None))
             }
             Policy::SuperVm { min_pair_cost } => {
                 let policy = SuperVmPolicy::new(min_pair_cost).map_err(SimError::Core)?;
-                Ok((
-                    policy
-                        .place(vms, matrix, capacity)
-                        .map_err(SimError::Core)?,
-                    None,
-                ))
+                Ok((policy.place(vms, matrix, fleet).map_err(map_core)?, None))
             }
             Policy::Pcp {
                 envelope_percentile,
@@ -294,9 +366,7 @@ impl Scenario {
                     // No history yet: a single degenerate cluster, i.e.
                     // BFD behaviour.
                     return Ok((
-                        BfdPolicy
-                            .place(vms, matrix, capacity)
-                            .map_err(SimError::Core)?,
+                        BfdPolicy.place(vms, matrix, fleet).map_err(map_core)?,
                         Some(1),
                     ));
                 }
@@ -311,7 +381,7 @@ impl Scenario {
                     .map_err(SimError::Core)?;
                 let clusters = pcp.cluster_count();
                 Ok((
-                    pcp.place(vms, matrix, capacity).map_err(SimError::Core)?,
+                    pcp.place(vms, matrix, fleet).map_err(map_core)?,
                     Some(clusters),
                 ))
             }
@@ -323,6 +393,8 @@ impl Scenario {
 mod tests {
     use super::*;
     use crate::ScenarioBuilder;
+    use cavm_core::fleet::{ServerClass, ServerFleet};
+    use cavm_power::LinearPowerModel;
     use cavm_workload::datacenter::DatacenterTraceBuilder;
 
     fn fleet(vms: usize, hours: f64, seed: u64) -> cavm_workload::datacenter::VmFleet {
@@ -370,6 +442,20 @@ mod tests {
             assert!((0.0..=100.0).contains(&r.max_violation_percent));
             assert!(r.mean_violation_percent <= r.max_violation_percent + 1e-9);
         }
+    }
+
+    #[test]
+    fn uniform_breakdown_matches_totals() {
+        let r = run(Policy::Proposed(Default::default()), DvfsMode::Static);
+        assert_eq!(r.classes.len(), 1);
+        let c = &r.classes[0];
+        assert_eq!(c.name, "uniform");
+        assert_eq!(c.cores, 8.0);
+        assert_eq!(c.servers_available, 12);
+        assert_eq!(c.peak_servers_used, r.peak_servers_used());
+        assert_eq!(c.energy, r.energy);
+        assert_eq!(c.violation_instances, r.violation_instances);
+        assert_eq!(c.migrations_in, r.total_migrations());
     }
 
     #[test]
@@ -463,5 +549,55 @@ mod tests {
         assert_eq!(r.periods[0].servers_used, 4);
         // Later periods use observed (much smaller) demands.
         assert!(r.periods[1].servers_used < 4);
+    }
+
+    #[test]
+    fn heterogeneous_scenario_reports_per_class_breakdowns() {
+        let xeon = LinearPowerModel::xeon_e5410;
+        let hetero = ServerFleet::new(vec![
+            ServerClass::new("quad", 8, 4.0, xeon().scaled(0.6).unwrap()).unwrap(),
+            ServerClass::new("octo", 6, 8.0, xeon()).unwrap(),
+            ServerClass::new("hexadeca", 2, 16.0, xeon().scaled(1.9).unwrap()).unwrap(),
+        ])
+        .unwrap();
+        for policy in [
+            Policy::Bfd,
+            Policy::Ffd,
+            Policy::Pcp {
+                envelope_percentile: 90.0,
+                affinity_threshold: 0.2,
+            },
+            Policy::Proposed(Default::default()),
+            Policy::SuperVm {
+                min_pair_cost: 1.25,
+            },
+        ] {
+            let r = ScenarioBuilder::new(fleet(9, 2.0, 5))
+                .server_fleet(hetero.clone())
+                .policy(policy)
+                .build()
+                .unwrap()
+                .run()
+                .unwrap();
+            assert_eq!(r.classes.len(), 3, "{}", r.policy);
+            // The 16-core boxes fill first, so they must be active.
+            assert!(r.classes[2].peak_servers_used >= 1, "{}", r.policy);
+            // Per-class totals reassemble the run totals.
+            let class_joules: f64 = r.classes.iter().map(|c| c.energy.joules()).sum();
+            assert!(
+                (class_joules - r.energy.joules()).abs() < 1e-6,
+                "{}: class energies {} vs total {}",
+                r.policy,
+                class_joules,
+                r.energy.joules()
+            );
+            let class_violations: usize = r.classes.iter().map(|c| c.violation_instances).sum();
+            assert_eq!(class_violations, r.violation_instances, "{}", r.policy);
+            let class_migrations: usize = r.classes.iter().map(|c| c.migrations_in).sum();
+            assert_eq!(class_migrations, r.total_migrations(), "{}", r.policy);
+            // The histogram axis is the union ladder (one per class
+            // here, all sharing 2.0/2.3 GHz).
+            assert_eq!(r.freq_levels_ghz, vec![2.0, 2.3], "{}", r.policy);
+        }
     }
 }

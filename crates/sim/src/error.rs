@@ -14,11 +14,13 @@ pub enum SimError {
     Core(CoreError),
     /// A scenario parameter was out of range.
     InvalidParameter(&'static str),
-    /// A placement needed more servers than the scenario provides.
+    /// A placement needed more servers than the scenario's fleet
+    /// provides.
     InsufficientServers {
-        /// Servers the placement wanted.
+        /// Upper bound on the servers the placement would have wanted
+        /// (every open slot plus one per still-unallocated VM).
         needed: usize,
-        /// Servers the scenario has.
+        /// Servers the scenario's fleet has.
         available: usize,
     },
 }

@@ -1,26 +1,34 @@
 //! Trace-driven datacenter simulator (paper Setup-2).
 //!
-//! Replays per-VM utilization traces against a fleet of DVFS-capable
-//! servers, re-running VM placement every `t_period` (the paper uses
-//! 1 hour) with *predicted* demands, and accounting power and capacity
-//! violations exactly as Table II does:
+//! Replays per-VM utilization traces against a [`ServerFleet`] of
+//! DVFS-capable servers — the paper's uniform rack or a heterogeneous
+//! mix of classes ([`ScenarioBuilder::server_fleet`]) — re-running VM
+//! placement every `t_period` (the paper uses 1 hour) with *predicted*
+//! demands, and accounting power and capacity violations exactly as
+//! Table II does:
 //!
 //! * **Placement** — any [`Policy`]: BFD, FFD, PCP (re-clustered each
-//!   period from the previous period's envelopes), or the paper's
-//!   correlation-aware heuristic.
+//!   period from the previous period's envelopes), SuperVM, or the
+//!   paper's correlation-aware heuristic; all place onto the fleet,
+//!   opening servers largest-class-first.
 //! * **Frequency** — static per period (Eqn 4 for the proposed policy,
 //!   the worst-case level for correlation-blind baselines) or dynamic
 //!   re-evaluation every k samples from the measured recent peak
-//!   (Table II(b)).
+//!   (Table II(b)); always on the hosting server's own class ladder
+//!   and capacity.
 //! * **Violations** — a sample is over-utilized when a server's
-//!   aggregate demand exceeds its frequency-scaled capacity; the report
-//!   carries the paper's metric, the maximum per-period ratio of
-//!   over-utilized instances.
-//! * **Power** — a [`PowerModel`] integrated over every active server's
-//!   utilization; inactive servers are off. Table II's "normalized
-//!   power" is `report.energy.normalized_to(&baseline.energy)`.
+//!   aggregate demand exceeds its frequency-scaled class capacity; the
+//!   report carries the paper's metric, the maximum per-period ratio
+//!   of over-utilized instances.
+//! * **Power** — each class's [`PowerModel`] integrated over its active
+//!   servers' utilization; inactive servers are off. Table II's
+//!   "normalized power" is
+//!   `report.energy.normalized_to(&baseline.energy)`, and
+//!   [`SimReport::classes`] breaks energy/violations/migrations down
+//!   per class.
 //!
 //! [`PowerModel`]: cavm_power::PowerModel
+//! [`ServerFleet`]: cavm_core::fleet::ServerFleet
 //!
 //! # Example
 //!
@@ -54,7 +62,7 @@ pub mod report;
 
 pub use config::{Policy, Scenario, ScenarioBuilder};
 pub use error::SimError;
-pub use report::{PeriodRecord, SimReport};
+pub use report::{ClassBreakdown, PeriodRecord, SimReport};
 
 /// Crate-wide result alias.
 pub type Result<T> = std::result::Result<T, SimError>;

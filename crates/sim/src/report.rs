@@ -21,6 +21,27 @@ pub struct PeriodRecord {
     pub pcp_clusters: Option<usize>,
 }
 
+/// Per-server-class aggregates of a scenario run — how each slice of a
+/// heterogeneous fleet contributed. A uniform scenario reports exactly
+/// one breakdown whose totals equal the report's.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClassBreakdown {
+    /// Class display name (from the fleet configuration).
+    pub name: String,
+    /// Cores per server of this class.
+    pub cores: f64,
+    /// Servers the fleet provides in this class.
+    pub servers_available: usize,
+    /// Maximum servers of this class active in any period.
+    pub peak_servers_used: usize,
+    /// Energy integrated over this class's active servers.
+    pub energy: EnergyMeter,
+    /// Over-utilized (server, sample) instances on this class.
+    pub violation_instances: usize,
+    /// VM migrations whose *destination* server belongs to this class.
+    pub migrations_in: usize,
+}
+
 /// Aggregated outcome of a scenario run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SimReport {
@@ -41,12 +62,15 @@ pub struct SimReport {
     pub violation_instances: usize,
     /// Per-period records.
     pub periods: Vec<PeriodRecord>,
+    /// Per-server-class breakdowns, in fleet class order.
+    pub classes: Vec<ClassBreakdown>,
     /// Frequency usage histogram: `freq_histogram[server][level]` =
-    /// samples spent at that ladder level (Fig 6). Servers that were
-    /// never active have all-zero rows.
+    /// samples spent at that level of the fleet-wide frequency list
+    /// (Fig 6). Servers that were never active have all-zero rows.
     pub freq_histogram: Vec<Vec<u64>>,
-    /// GHz value of each ladder level (column labels of
-    /// `freq_histogram`).
+    /// GHz value of each histogram column: the sorted union of every
+    /// class ladder's levels (a uniform fleet's own ladder,
+    /// unchanged).
     pub freq_levels_ghz: Vec<f64>,
 }
 
@@ -116,6 +140,15 @@ mod tests {
                     pcp_clusters: Some(3),
                 },
             ],
+            classes: vec![ClassBreakdown {
+                name: "uniform".into(),
+                cores: 8.0,
+                servers_available: 20,
+                peak_servers_used: 5,
+                energy: EnergyMeter::new(),
+                violation_instances: 5,
+                migrations_in: 2,
+            }],
             freq_histogram: vec![vec![10, 30], vec![0, 0]],
             freq_levels_ghz: vec![2.0, 2.3],
         }

@@ -1,0 +1,92 @@
+//! Sim-level regression pins for the fleet refactor: a uniform
+//! scenario (one-class [`ServerFleet`]) must reproduce the pre-fleet
+//! engine **bit-identically** — energy totals down to the f64 bits,
+//! plus violations, migrations, peak server usage and the frequency
+//! histogram mass.
+//!
+//! The pinned numbers were captured by running the pre-refactor engine
+//! (commit `3555b16`) on the same deterministic scenario.
+//!
+//! [`ServerFleet`]: cavm_core::fleet::ServerFleet
+
+use cavm_core::dvfs::DvfsMode;
+use cavm_sim::{Policy, ScenarioBuilder, SimReport};
+use cavm_workload::datacenter::DatacenterTraceBuilder;
+
+fn run(policy: Policy, mode: DvfsMode) -> SimReport {
+    let fleet = DatacenterTraceBuilder::new(9)
+        .groups(3)
+        .seed(5)
+        .duration_hours(4.0)
+        .build()
+        .unwrap();
+    ScenarioBuilder::new(fleet)
+        .servers(12)
+        .policy(policy)
+        .dvfs_mode(mode)
+        .build()
+        .unwrap()
+        .run()
+        .unwrap()
+}
+
+/// `(policy, dynamic, joules_bits, violations, migrations, peak_servers, hist_mass)`
+const GOLDEN: [(&str, bool, u64, usize, usize, usize, u64); 10] = [
+    ("proposed", false, 0x4158717c4b2ee8b8, 0, 13, 3, 6480),
+    ("bfd", false, 0x415ab172ebda2be2, 0, 7, 3, 6480),
+    ("ffd", false, 0x415ab172ebda2be2, 0, 7, 3, 6480),
+    ("pcp", false, 0x415abca5668259a0, 4, 9, 3, 6480),
+    ("supervm", false, 0x415814b8504fc43b, 0, 7, 2, 5760),
+    ("proposed", true, 0x41588d1f4a441f25, 0, 13, 3, 6480),
+    ("bfd", true, 0x4158db74a6bd9e77, 0, 7, 3, 6480),
+    ("ffd", true, 0x4158db74a6bd9e77, 0, 7, 3, 6480),
+    ("pcp", true, 0x4159a8714cb19e93, 4, 9, 3, 6480),
+    ("supervm", true, 0x41571d749724887c, 0, 7, 2, 5760),
+];
+
+fn policy_of(name: &str) -> Policy {
+    match name {
+        "proposed" => Policy::Proposed(Default::default()),
+        "bfd" => Policy::Bfd,
+        "ffd" => Policy::Ffd,
+        "pcp" => Policy::Pcp {
+            envelope_percentile: 90.0,
+            affinity_threshold: 0.2,
+        },
+        "supervm" => Policy::SuperVm {
+            min_pair_cost: 1.25,
+        },
+        other => panic!("unknown policy {other}"),
+    }
+}
+
+#[test]
+fn uniform_scenarios_reproduce_pre_refactor_reports_bitwise() {
+    for (name, dynamic, joules_bits, violations, migrations, peak, hist) in GOLDEN {
+        let mode = if dynamic {
+            DvfsMode::Dynamic {
+                interval_samples: 12,
+            }
+        } else {
+            DvfsMode::Static
+        };
+        let r = run(policy_of(name), mode);
+        assert_eq!(
+            r.energy.joules().to_bits(),
+            joules_bits,
+            "{name} ({mode:?}): energy diverged from the pre-fleet engine \
+             ({} J vs {} J)",
+            r.energy.joules(),
+            f64::from_bits(joules_bits)
+        );
+        assert_eq!(r.violation_instances, violations, "{name} ({mode:?})");
+        assert_eq!(r.total_migrations(), migrations, "{name} ({mode:?})");
+        assert_eq!(r.peak_servers_used(), peak, "{name} ({mode:?})");
+        let mass: u64 = r.freq_histogram.iter().flatten().sum();
+        assert_eq!(mass, hist, "{name} ({mode:?})");
+        // The degenerate path also reports a single class whose
+        // breakdown equals the totals.
+        assert_eq!(r.classes.len(), 1);
+        assert_eq!(r.classes[0].energy, r.energy);
+    }
+}

@@ -36,7 +36,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Correlation-aware placement onto 8-core servers.
     let vms = VmDescriptor::from_traces(&traces, Reference::Peak)?;
-    let placement = ProposedPolicy::default().place(&vms, &matrix, 8.0)?;
+    let placement = ProposedPolicy::default().place_uniform(&vms, &matrix, 8.0)?;
     println!("\nplacement on {} servers:", placement.server_count());
 
     // Eqn 4: per-server frequency on the Xeon E5410 ladder.

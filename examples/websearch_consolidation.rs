@@ -44,7 +44,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let traces: Vec<&TimeSeries> = result.vm_utilization.iter().collect();
     let matrix = CostMatrix::from_traces(&traces, Reference::Percentile(99.0))?;
     let vms = VmDescriptor::from_traces(&traces, Reference::Percentile(99.0))?;
-    let placement = ProposedPolicy::default().place(&vms, &matrix, 8.0)?;
+    let placement = ProposedPolicy::default().place_uniform(&vms, &matrix, 8.0)?;
 
     println!("\nallocator's own placement from measured traces:");
     for (s, members) in placement.servers().iter().enumerate() {

@@ -39,18 +39,29 @@
 //! let traces = fleet.traces();
 //! let matrix = CostMatrix::from_traces(&traces, Reference::Peak)?;
 //!
-//! // Place the VMs on 8-core servers with the paper's heuristic.
+//! // Place the VMs on a heterogeneous fleet: a few dense 16-core
+//! // boxes in front of the paper's 8-core Xeons.
+//! let servers = ServerFleet::new(vec![
+//!     ServerClass::new("octo", 20, 8.0, LinearPowerModel::xeon_e5410())?,
+//!     ServerClass::new(
+//!         "hexadeca",
+//!         4,
+//!         16.0,
+//!         LinearPowerModel::xeon_e5410().scaled(1.85)?,
+//!     )?,
+//! ])?;
 //! let vms = VmDescriptor::from_traces(&traces, Reference::Peak)?;
-//! let placement = ProposedPolicy::default().place(&vms, &matrix, 8.0)?;
+//! let placement = ProposedPolicy::default().place(&vms, &matrix, &servers)?;
 //! assert!(placement.server_count() >= 1);
 //!
-//! // Pick each server's frequency by Eqn (4).
-//! let planner = FrequencyPlanner::new(DvfsLadder::xeon_e5410());
-//! for members in placement.servers() {
+//! // Pick each server's frequency by Eqn (4), on its own class ladder.
+//! let planner = FleetFrequencyPlanner::new(&servers);
+//! for (s, members) in placement.servers().iter().enumerate() {
+//!     let class = placement.class_of(s).unwrap();
 //!     let demand: f64 = members.iter().map(|&id| vms[id].demand).sum();
 //!     let cost = server_cost_of(members, &vms, &matrix);
-//!     let f = planner.static_level_correlation_aware(demand, 8.0, cost.max(1.0))?;
-//!     assert!(f >= planner.ladder().min());
+//!     let f = planner.static_level_correlation_aware(class, demand, cost.max(1.0))?;
+//!     assert!(f >= servers.class(class).unwrap().ladder().min());
 //! }
 //! # Ok(())
 //! # }
@@ -77,7 +88,8 @@ pub mod prelude {
             SuperVmPolicy, VmDescriptor,
         },
         corr::{cost_of_traces, CostMatrix, CostMetric, PearsonStream},
-        dvfs::{DvfsMode, FrequencyPlanner},
+        dvfs::{DvfsMode, FleetFrequencyPlanner, FrequencyPlanner},
+        fleet::{ServerClass, ServerFleet},
         predict::{EwmaPredictor, LastValuePredictor, MovingAveragePredictor, Predictor},
         servercost::{server_cost, server_cost_of},
     };
