@@ -145,4 +145,19 @@ fn main() {
         "the correlation-aware policy must not lose to the blind baselines here"
     );
     println!("(proposed ≤ both correlation-blind baselines — asserted)");
+    // At the canonical size, pin the headline ratio so the class-aware
+    // open-server scoring (watts-per-served-core tie-break) can only
+    // improve on the ≈89% the fleet PR landed at, never regress past
+    // 92%.
+    if vms == 40 && (hours - 24.0).abs() < 1e-9 {
+        let ratio = proposed
+            .energy
+            .normalized_to(&bfd.energy)
+            .expect("nonzero baseline");
+        assert!(
+            ratio <= 0.92,
+            "proposed/BFD hetero energy regressed to {ratio:.4} (> 0.92)"
+        );
+        println!("(proposed/BFD ratio {ratio:.4} ≤ 0.92 — asserted)");
+    }
 }

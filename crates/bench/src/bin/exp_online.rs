@@ -1,0 +1,202 @@
+//! Online-churn experiment: all five policies as a long-running
+//! allocation service under continuous VM arrivals and departures —
+//! the open-system setting the paper never measured (its Setup-2 is a
+//! closed world where every VM exists for the whole horizon).
+//!
+//! VMs arrive by a Poisson process over the day and hold bounded
+//! (uniform) leases, so placement periods see mid-period arrivals that
+//! must be admitted through the **incremental single-VM placement**
+//! (`AllocationPolicy::place_one` — no re-pack) and departures that
+//! power servers off. The run asserts that every policy exercised the
+//! incremental admit path, prints the Table II-style comparison, and
+//! appends an `"online"` section to `BENCH_corr.json`.
+//!
+//! ```text
+//! cargo run --release -p cavm-bench --bin exp_online
+//! ```
+//!
+//! Environment knobs (for CI smoke runs): `CAVM_ONLINE_VMS` (default
+//! 40), `CAVM_ONLINE_HOURS` (default 24).
+
+use cavm_bench::{bar, PCP_AFFINITY_THRESHOLD, PCP_ENVELOPE_PERCENTILE};
+use cavm_core::dvfs::DvfsMode;
+use cavm_sim::{Policy, ReportSink, ScenarioBuilder, SimReport};
+use cavm_workload::datacenter::DatacenterTraceBuilder;
+use cavm_workload::lifecycle::{ArrivalProcess, Lifecycle, LifecycleBuilder, LifetimeModel};
+use std::fmt::Write as _;
+
+fn env_usize(key: &str, default: usize) -> usize {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn env_f64(key: &str, default: f64) -> f64 {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Splices the `"online"` section into an existing `BENCH_corr.json`
+/// (replacing a previous online section) or wraps it in a fresh
+/// document when the perf artifact does not exist yet.
+fn write_bench_json(section: &str) {
+    const PATH: &str = "BENCH_corr.json";
+    let body = match std::fs::read_to_string(PATH) {
+        Ok(existing) => {
+            // Drop a previously appended online section, then the
+            // closing brace, and re-append.
+            let head = match existing.find(",\n  \"online\":") {
+                Some(idx) => existing[..idx].to_string(),
+                None => {
+                    let idx = existing.rfind('}').expect("valid json artifact");
+                    existing[..idx].trim_end().to_string()
+                }
+            };
+            format!("{head},\n  \"online\": {section}\n}}\n")
+        }
+        Err(_) => {
+            format!("{{\n  \"schema\": \"cavm-bench-corr/1\",\n  \"online\": {section}\n}}\n")
+        }
+    };
+    std::fs::write(PATH, body).expect("write BENCH_corr.json");
+    eprintln!("updated {PATH} (online section)");
+}
+
+fn main() {
+    let vms = env_usize("CAVM_ONLINE_VMS", 40);
+    let hours = env_f64("CAVM_ONLINE_HOURS", 24.0);
+    let fleet = DatacenterTraceBuilder::new((vms * 3).max(vms))
+        .groups((vms / 4).max(2))
+        .seed(2013)
+        .idle_fraction(0.4)
+        .vm_scale_range(0.35, 1.05)
+        .duration_hours(hours)
+        .build()
+        .expect("static builder parameters are valid")
+        .select_top(vms);
+    let horizon = fleet.vms()[0].fine.len();
+
+    // Churn: arrivals spread over the first ~60% of the horizon (so
+    // late arrivals still run for a while), leases of 30–80% of the
+    // horizon. Both are deterministic given the seed.
+    let lifecycle: Lifecycle = LifecycleBuilder::new(vms, horizon)
+        .seed(2013)
+        .arrivals(ArrivalProcess::Poisson {
+            mean_gap_samples: horizon as f64 * 0.6 / vms as f64,
+        })
+        .lifetimes(LifetimeModel::Uniform {
+            min_samples: (horizon * 3) / 10,
+            max_samples: (horizon * 8) / 10,
+        })
+        .build()
+        .expect("static lifecycle parameters are valid");
+    assert!(
+        lifecycle.entries().iter().any(|e| e.arrival_sample > 0),
+        "churn schedule must contain mid-horizon arrivals"
+    );
+
+    let policies = [
+        Policy::Bfd,
+        Policy::Ffd,
+        Policy::Pcp {
+            envelope_percentile: PCP_ENVELOPE_PERCENTILE,
+            affinity_threshold: PCP_AFFINITY_THRESHOLD,
+        },
+        Policy::SuperVm {
+            min_pair_cost: 1.25,
+        },
+        Policy::Proposed(Default::default()),
+    ];
+    let reports: Vec<SimReport> = policies
+        .iter()
+        .map(|&policy| {
+            let mut sink = ReportSink::new();
+            ScenarioBuilder::new(fleet.clone())
+                .servers(vms.max(4))
+                .policy(policy)
+                .dvfs_mode(DvfsMode::Static)
+                .lifecycle(lifecycle.clone())
+                .build()
+                .expect("scenario parameters are valid")
+                .run_with_sink(&mut sink)
+                .expect("scenario runs to completion");
+            let report = sink.into_report().expect("summary fired");
+            assert!(
+                report.online_admissions > 0,
+                "{}: mid-horizon arrivals must go through the incremental admit path",
+                report.policy
+            );
+            report
+        })
+        .collect();
+    let baseline = reports
+        .iter()
+        .find(|r| r.policy == "BFD")
+        .expect("BFD is in the policy set")
+        .energy;
+
+    println!(
+        "# Online churn — {} of {} VMs scheduled over {hours} h ({} peak concurrent), static DVFS",
+        lifecycle.len(),
+        vms,
+        lifecycle.max_concurrent()
+    );
+    println!();
+    println!(
+        "{:<10} {:>12} {:>12} {:>10} {:>12} {:>8}  normalized bar",
+        "policy", "energy kWh", "norm. power", "max viol%", "migrations", "admits"
+    );
+    for r in &reports {
+        let norm = r.energy.normalized_to(&baseline).expect("baseline > 0");
+        println!(
+            "{:<10} {:>12.2} {:>12.3} {:>10.2} {:>12} {:>8}  {}",
+            r.policy,
+            r.energy.kilowatt_hours(),
+            norm,
+            r.max_violation_percent,
+            r.total_migrations(),
+            r.online_admissions,
+            bar(norm, 30),
+        );
+    }
+
+    let proposed = &reports[4];
+    let bfd = &reports[0];
+    println!();
+    println!(
+        "proposed vs BFD under churn: {:.1}% energy, {} vs {} violation instances",
+        100.0 * proposed.energy.normalized_to(&bfd.energy).expect("nonzero"),
+        proposed.violation_instances,
+        bfd.violation_instances,
+    );
+
+    let mut section = String::new();
+    section.push_str("{\n");
+    let _ = writeln!(section, "    \"vms\": {vms},");
+    let _ = writeln!(section, "    \"hours\": {hours},");
+    let _ = writeln!(section, "    \"scheduled\": {},", lifecycle.len());
+    let _ = writeln!(
+        section,
+        "    \"peak_concurrent\": {},",
+        lifecycle.max_concurrent()
+    );
+    section.push_str("    \"policies\": [\n");
+    for (i, r) in reports.iter().enumerate() {
+        let _ = write!(
+            section,
+            "      {{\"policy\": \"{}\", \"energy_kwh\": {:.3}, \"normalized_power\": {:.4}, \"max_violation_percent\": {:.3}, \"migrations\": {}, \"online_admissions\": {}}}",
+            r.policy,
+            r.energy.kilowatt_hours(),
+            r.energy.normalized_to(&baseline).expect("baseline > 0"),
+            r.max_violation_percent,
+            r.total_migrations(),
+            r.online_admissions,
+        );
+        section.push_str(if i + 1 < reports.len() { ",\n" } else { "\n" });
+    }
+    section.push_str("    ]\n  }");
+    write_bench_json(&section);
+}

@@ -13,7 +13,9 @@
 //!   (`alloc_hetero`).
 //!
 //! Writes `BENCH_corr.json` (repo root when run from there) so future
-//! PRs have a trajectory to compare against:
+//! PRs have a trajectory to compare against — rewriting the whole
+//! artifact, so re-run `exp_online` afterwards to restore its
+//! `"online"` section:
 //!
 //! ```text
 //! cargo run --release -p cavm-bench --bin exp_perf_corr

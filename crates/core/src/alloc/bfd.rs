@@ -52,26 +52,44 @@ impl AllocationPolicy for BfdPolicy {
     ) -> crate::Result<Placement> {
         validate_inputs(vms, matrix)?;
         let mut cursor = FleetCursor::new(fleet);
+        let class_wpc: Vec<f64> = fleet
+            .classes()
+            .iter()
+            .map(|c| c.busy_watts_per_core())
+            .collect();
         // (members, used, capacity, class) per open server.
         let mut servers: Vec<(Vec<usize>, f64, f64, usize)> = Vec::new();
         let order = decreasing_order(vms);
         for (placed, &idx) in order.iter().enumerate() {
             let vm = &vms[idx];
             // Tightest feasible open server: minimal residual capacity
-            // that still fits the VM. Ties keep the *last* candidate —
-            // the `max_by`-on-used semantics of the uniform-capacity
-            // formulation, which the regression suite pins.
-            let mut best: Option<(usize, f64)> = None;
-            for (i, (_, used, cap, _)) in servers.iter().enumerate() {
+            // that still fits the VM. Exact residual ties go to the
+            // hosting class with the lower busy-watts-per-core (the
+            // efficient class absorbs the load); remaining ties keep
+            // the *last* candidate — the `max_by`-on-used semantics of
+            // the uniform-capacity formulation, which the regression
+            // suite pins (on a one-class fleet the wattage never
+            // differs, so the historical behaviour is preserved
+            // bit-identically).
+            let mut best: Option<(usize, f64, f64)> = None;
+            for (i, (_, used, cap, class)) in servers.iter().enumerate() {
                 let residual = cap - used;
-                if vm.demand <= residual + FIT_EPS
-                    && best.is_none_or(|(_, best_residual)| residual <= best_residual)
-                {
-                    best = Some((i, residual));
+                if vm.demand > residual + FIT_EPS {
+                    continue;
+                }
+                let wpc = class_wpc[*class];
+                let better = match best {
+                    None => true,
+                    Some((_, best_residual, best_wpc)) => {
+                        residual < best_residual || (residual == best_residual && wpc <= best_wpc)
+                    }
+                };
+                if better {
+                    best = Some((i, residual, wpc));
                 }
             }
             match best {
-                Some((i, _)) => {
+                Some((i, _, _)) => {
                     let (members, used, _, _) = &mut servers[i];
                     members.push(vm.id);
                     *used += vm.demand;
@@ -160,6 +178,25 @@ mod tests {
         assert!(BfdPolicy
             .place_uniform(&descs(&[f64::NAN]), &matrix(1), 8.0)
             .is_err());
+    }
+
+    #[test]
+    fn residual_ties_go_to_the_efficient_class() {
+        let xeon = LinearPowerModel::xeon_e5410;
+        // Two 8-core classes differing only in wattage; the frugal one
+        // leads the fill order.
+        let fleet = ServerFleet::new(vec![
+            ServerClass::new("frugal", 1, 8.0, xeon()).unwrap(),
+            ServerClass::new("hungry", 1, 8.0, xeon().scaled(1.4).unwrap()).unwrap(),
+        ])
+        .unwrap();
+        // 7 + 7 open both servers (residual 1 each); the final 1-core VM
+        // ties on residual and must join the frugal host.
+        let vms = descs(&[7.0, 7.0, 1.0]);
+        let p = BfdPolicy.place(&vms, &matrix(3), &fleet).unwrap();
+        p.validate_fleet(&vms, &fleet).unwrap();
+        assert_eq!(p.server_of(2), p.server_of(0));
+        assert_eq!(p.class_of(p.server_of(2).unwrap()), Some(0));
     }
 
     #[test]

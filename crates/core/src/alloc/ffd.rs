@@ -7,6 +7,7 @@
 //! server (largest class first) when none fits. FFD is
 //! correlation-blind: it never consults the cost matrix.
 
+use crate::alloc::online::{first_fit_server, OpenServer};
 use crate::alloc::{
     decreasing_order, validate_inputs, AllocationPolicy, Placement, VmDescriptor, FIT_EPS,
 };
@@ -80,6 +81,17 @@ impl AllocationPolicy for FfdPolicy {
         Ok(Placement::from_classed_servers(
             servers.into_iter().map(|(m, _, _, c)| (m, c)).collect(),
         ))
+    }
+
+    /// Online arrivals keep FFD's rule: the first open server with
+    /// room.
+    fn place_one(
+        &self,
+        vm: &VmDescriptor,
+        servers: &[OpenServer<'_>],
+        _matrix: &CostMatrix,
+    ) -> Option<usize> {
+        first_fit_server(vm, servers)
     }
 }
 

@@ -30,12 +30,14 @@
 
 pub mod bfd;
 pub mod ffd;
+pub mod online;
 pub mod pcp;
 pub mod proposed;
 pub mod supervm;
 
 pub use bfd::BfdPolicy;
 pub use ffd::FfdPolicy;
+pub use online::OpenServer;
 pub use pcp::PcpPolicy;
 pub use proposed::{ProposedConfig, ProposedPolicy};
 pub use supervm::SuperVmPolicy;
@@ -171,6 +173,69 @@ impl Placement {
     /// The server hosting VM `vm`, or `None` if the VM is not placed.
     pub fn server_of(&self, vm: usize) -> Option<usize> {
         self.servers.iter().position(|s| s.contains(&vm))
+    }
+
+    /// Number of non-empty servers. Batch-built placements never carry
+    /// empty servers, so this equals [`Placement::server_count`] for
+    /// them; a *live* placement mutated by [`Placement::evict`] may
+    /// hold empty (powered-off but still reserved) slots.
+    pub fn active_server_count(&self) -> usize {
+        self.servers.iter().filter(|s| !s.is_empty()).count()
+    }
+
+    /// Appends an empty server of fleet class `class`, returning its
+    /// index — the online admission path's "open the next fill-order
+    /// server". The slot stays in place even while empty so that
+    /// caller-side per-server state (cost aggregates, frequency levels,
+    /// meters) keeps stable indices.
+    pub fn open_server(&mut self, class: usize) -> usize {
+        self.servers.push(Vec::new());
+        self.classes.push(class);
+        self.servers.len() - 1
+    }
+
+    /// Adds `vm` to server `server` in place — the single-VM admission
+    /// used by the online controller. No capacity check happens here
+    /// (the admitting policy already chose a feasible server, and
+    /// oversized VMs are legitimately admitted alone).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParameter`] when `server` does not
+    /// exist or `vm` is already placed.
+    pub fn admit(&mut self, vm: usize, server: usize) -> crate::Result<()> {
+        if server >= self.servers.len() {
+            return Err(CoreError::InvalidParameter(
+                "admit target server does not exist",
+            ));
+        }
+        if self.servers.iter().any(|s| s.contains(&vm)) {
+            return Err(CoreError::InvalidParameter(
+                "vm is already placed on a server",
+            ));
+        }
+        self.servers[server].push(vm);
+        Ok(())
+    }
+
+    /// Removes `vm` from the placement, returning the server index it
+    /// occupied. The server keeps its (possibly now empty) slot so that
+    /// sibling indices stay valid; the next policy-driven re-pack
+    /// compacts naturally.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParameter`] when `vm` is not placed.
+    pub fn evict(&mut self, vm: usize) -> crate::Result<usize> {
+        for (s, members) in self.servers.iter_mut().enumerate() {
+            if let Some(pos) = members.iter().position(|&m| m == vm) {
+                members.remove(pos);
+                return Ok(s);
+            }
+        }
+        Err(CoreError::InvalidParameter(
+            "vm is not placed on any server",
+        ))
     }
 
     /// `vm id → hosting server` for ids in `0..n_vms`, built in one
@@ -381,6 +446,28 @@ pub trait AllocationPolicy {
     ) -> crate::Result<Placement> {
         self.place(vms, matrix, &ServerFleet::unbounded(capacity)?)
     }
+
+    /// Single-VM admission against a live placement: picks an open
+    /// server for an *arriving* VM, or returns `None` to open the next
+    /// fill-order server — no full re-pack. `servers` are
+    /// [`OpenServer`] views over the live per-server
+    /// [`ServerCostAggregate`](crate::servercost::ServerCostAggregate)s,
+    /// so a correlation-aware probe is O(|members|) per candidate.
+    ///
+    /// The default is correlation-blind best fit with a
+    /// watts-per-core tie-break ([`online::best_fit_server`]); FFD and
+    /// the proposed policy override it (first fit / maximal Eqn (2)
+    /// server cost). The matrix may predate `vm` — unobserved pairs
+    /// (including ids beyond the matrix) score the neutral cost.
+    fn place_one(
+        &self,
+        vm: &VmDescriptor,
+        servers: &[OpenServer<'_>],
+        matrix: &CostMatrix,
+    ) -> Option<usize> {
+        let _ = matrix;
+        online::best_fit_server(vm, servers)
+    }
 }
 
 /// Shared input validation for all policies (the fleet validates itself
@@ -490,6 +577,32 @@ mod tests {
         assert_eq!(p.server_count(), 2);
         assert_eq!(p.classes(), &[1, 0]);
         assert_eq!(p.class_of(0), Some(1));
+        assert_eq!(p.server_of(2), Some(1));
+    }
+
+    #[test]
+    fn placement_admit_and_evict_mutate_in_place() {
+        let mut p = Placement::from_servers(vec![vec![0, 1], vec![2]]);
+        // Open a new class-1 server and admit into it.
+        let s = p.open_server(1);
+        assert_eq!(s, 2);
+        p.admit(3, s).unwrap();
+        assert_eq!(p.server(2), Some(&[3][..]));
+        assert_eq!(p.class_of(2), Some(1));
+        assert_eq!(p.server_count(), 3);
+        assert_eq!(p.active_server_count(), 3);
+        // Admission into a missing server or of an already-placed VM
+        // fails.
+        assert!(p.admit(9, 7).is_err());
+        assert!(p.admit(0, 1).is_err());
+        // Eviction returns the host and keeps the (now empty) slot.
+        assert_eq!(p.evict(2).unwrap(), 1);
+        assert_eq!(p.server(1), Some(&[][..]));
+        assert_eq!(p.server_count(), 3);
+        assert_eq!(p.active_server_count(), 2);
+        assert!(p.evict(2).is_err(), "already evicted");
+        // The emptied slot is reusable.
+        p.admit(2, 1).unwrap();
         assert_eq!(p.server_of(2), Some(1));
     }
 

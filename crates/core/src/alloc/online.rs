@@ -1,0 +1,261 @@
+//! Single-VM (online) admission — the incremental half of the
+//! allocation API.
+//!
+//! The batch entry point ([`AllocationPolicy::place`]) re-packs a whole
+//! descriptor table; an online controller cannot afford that on every
+//! arrival. [`AllocationPolicy::place_one`] instead picks a server for
+//! *one* arriving VM against a live placement, expressed as a slice of
+//! [`OpenServer`] views over each server's incremental
+//! [`ServerCostAggregate`] — so a correlation-aware probe stays
+//! O(|members|) per candidate server, exactly like the batch ALLOCATE
+//! scan, and no full re-pack happens on arrival. Periodic re-packs
+//! remain policy-driven (the controller re-runs the batch path at every
+//! placement period boundary).
+//!
+//! The default admission rule is correlation-blind best fit — the
+//! tightest feasible server, capacity ties broken by the hosting
+//! class's busy-watts-per-core (the more efficient class wins) — which
+//! is what BFD, PCP and SuperVM use between their period re-packs. FFD
+//! overrides it with first fit, and the proposed policy overrides it
+//! with the Eqn (2) maximal-server-cost rule.
+
+use crate::alloc::{VmDescriptor, FIT_EPS};
+use crate::corr::CostMatrix;
+use crate::servercost::ServerCostAggregate;
+
+#[cfg(doc)]
+use crate::alloc::AllocationPolicy;
+
+/// A live open server as seen by the single-VM admission path: its
+/// fleet class, capacity, efficiency score and the incremental Eqn (2)
+/// aggregate holding its members and packed load.
+#[derive(Debug, Clone, Copy)]
+pub struct OpenServer<'a> {
+    /// Fleet-class index of the server.
+    pub class: usize,
+    /// Core capacity of the server.
+    pub cores: f64,
+    /// Busy-watts-per-core of the hosting class (lower = more
+    /// efficient; used as the capacity tie-break).
+    pub watts_per_core: f64,
+    /// The server's incremental Eqn (2) aggregate.
+    pub agg: &'a ServerCostAggregate,
+}
+
+impl OpenServer<'_> {
+    /// Residual capacity in cores.
+    pub fn remaining(&self) -> f64 {
+        self.cores - self.agg.total_util()
+    }
+
+    /// Whether a VM of `demand` cores fits the residual capacity.
+    pub fn fits(&self, demand: f64) -> bool {
+        demand <= self.remaining() + FIT_EPS
+    }
+}
+
+/// The default [`AllocationPolicy::place_one`] rule: tightest feasible
+/// server, exact capacity ties broken by watts-per-core (efficient
+/// class first), remaining ties keep the last candidate — the same
+/// keep-last semantics as the batch BFD scan, so a uniform fleet
+/// admits exactly where batch BFD would.
+pub fn best_fit_server(vm: &VmDescriptor, servers: &[OpenServer<'_>]) -> Option<usize> {
+    let mut best: Option<(usize, f64, f64)> = None;
+    for (i, server) in servers.iter().enumerate() {
+        if !server.fits(vm.demand) {
+            continue;
+        }
+        let residual = server.remaining();
+        let better = match best {
+            None => true,
+            Some((_, best_residual, best_wpc)) => {
+                residual < best_residual
+                    || (residual == best_residual && server.watts_per_core <= best_wpc)
+            }
+        };
+        if better {
+            best = Some((i, residual, server.watts_per_core));
+        }
+    }
+    best.map(|(i, _, _)| i)
+}
+
+/// First-fit admission: the lowest-indexed feasible server (FFD's
+/// online analogue).
+pub fn first_fit_server(vm: &VmDescriptor, servers: &[OpenServer<'_>]) -> Option<usize> {
+    servers.iter().position(|s| s.fits(vm.demand))
+}
+
+/// Correlation-aware admission: among feasible servers, the one whose
+/// Eqn (2) server cost after insertion is maximal (ties prefer the
+/// more efficient class, then the first candidate). Pairs the matrix
+/// has never observed — including a VM that postdates the matrix —
+/// score the neutral 1.5, so a brand-new arrival degrades gracefully
+/// to an efficiency-aware best fit.
+pub fn max_cost_server(
+    vm: &VmDescriptor,
+    servers: &[OpenServer<'_>],
+    matrix: &CostMatrix,
+) -> Option<usize> {
+    let mut best: Option<(usize, f64, f64)> = None;
+    for (i, server) in servers.iter().enumerate() {
+        if !server.fits(vm.demand) {
+            continue;
+        }
+        let cost = server.agg.candidate_cost(vm.id, vm.demand, matrix);
+        let better = match best {
+            None => true,
+            Some((_, best_cost, best_wpc)) => {
+                cost > best_cost + 1e-12
+                    || ((cost - best_cost).abs() <= 1e-12 && server.watts_per_core < best_wpc)
+            }
+        };
+        if better {
+            best = Some((i, cost, server.watts_per_core));
+        }
+    }
+    best.map(|(i, _, _)| i)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alloc::{AllocationPolicy, BfdPolicy, FfdPolicy, ProposedPolicy};
+    use cavm_trace::Reference;
+
+    /// `(members, cores, class, watts_per_core)` of one test server.
+    type ServerSpec<'a> = (&'a [(usize, f64)], f64, usize, f64);
+
+    /// Builds aggregates for servers with the given `(members, cores,
+    /// class, wpc)` tuples.
+    struct Fixture {
+        aggs: Vec<ServerCostAggregate>,
+        meta: Vec<(usize, f64, f64)>,
+    }
+
+    impl Fixture {
+        fn new(servers: &[ServerSpec<'_>], matrix: &CostMatrix) -> Self {
+            let mut aggs = Vec::new();
+            let mut meta = Vec::new();
+            for &(members, cores, class, wpc) in servers {
+                let mut agg = ServerCostAggregate::new();
+                for &(id, util) in members {
+                    agg.push(id, util, matrix);
+                }
+                aggs.push(agg);
+                meta.push((class, cores, wpc));
+            }
+            Self { aggs, meta }
+        }
+
+        fn views(&self) -> Vec<OpenServer<'_>> {
+            self.aggs
+                .iter()
+                .zip(&self.meta)
+                .map(|(agg, &(class, cores, watts_per_core))| OpenServer {
+                    class,
+                    cores,
+                    watts_per_core,
+                    agg,
+                })
+                .collect()
+        }
+    }
+
+    #[test]
+    fn open_server_accessors() {
+        let m = CostMatrix::new(4, Reference::Peak).unwrap();
+        let fx = Fixture::new(&[(&[(0, 3.0)], 8.0, 0, 37.5)], &m);
+        let views = fx.views();
+        assert_eq!(views[0].remaining(), 5.0);
+        assert!(views[0].fits(5.0));
+        assert!(!views[0].fits(5.1));
+    }
+
+    #[test]
+    fn best_fit_picks_tightest_then_efficiency() {
+        let m = CostMatrix::new(8, Reference::Peak).unwrap();
+        let vm = VmDescriptor::new(7, 2.0);
+        // Residuals 5, 2, 2 — the two ties differ in efficiency.
+        let fx = Fixture::new(
+            &[
+                (&[(0, 3.0)], 8.0, 0, 37.5),
+                (&[(1, 6.0)], 8.0, 0, 37.5),
+                (&[(2, 2.0)], 4.0, 1, 20.0),
+            ],
+            &m,
+        );
+        assert_eq!(best_fit_server(&vm, &fx.views()), Some(2));
+        // With equal efficiency the last tie wins (batch BFD keep-last).
+        let fx = Fixture::new(
+            &[
+                (&[(0, 3.0)], 8.0, 0, 37.5),
+                (&[(1, 6.0)], 8.0, 0, 37.5),
+                (&[(2, 6.0)], 8.0, 0, 37.5),
+            ],
+            &m,
+        );
+        assert_eq!(best_fit_server(&vm, &fx.views()), Some(2));
+        // Nothing fits: open a new server.
+        let vm = VmDescriptor::new(7, 7.0);
+        assert_eq!(best_fit_server(&vm, &fx.views()), None);
+    }
+
+    #[test]
+    fn first_fit_ignores_tightness() {
+        let m = CostMatrix::new(8, Reference::Peak).unwrap();
+        let vm = VmDescriptor::new(7, 2.0);
+        let fx = Fixture::new(
+            &[(&[(0, 3.0)], 8.0, 0, 37.5), (&[(1, 6.0)], 8.0, 0, 37.5)],
+            &m,
+        );
+        assert_eq!(first_fit_server(&vm, &fx.views()), Some(0));
+    }
+
+    #[test]
+    fn max_cost_prefers_anti_correlated_server() {
+        // VM 2 is anti-correlated with VM 0 and correlated with VM 1.
+        let mut m = CostMatrix::new(3, Reference::Peak).unwrap();
+        m.push_sample(&[4.0, 0.5, 0.5]).unwrap();
+        m.push_sample(&[0.5, 4.0, 4.0]).unwrap();
+        let vm = VmDescriptor::new(2, 4.0);
+        let fx = Fixture::new(
+            &[
+                (&[(1, 4.0)], 8.0, 0, 37.5), // correlated host
+                (&[(0, 4.0)], 8.0, 0, 37.5), // anti-correlated host
+            ],
+            &m,
+        );
+        assert_eq!(max_cost_server(&vm, &fx.views(), &m), Some(1));
+    }
+
+    #[test]
+    fn policies_route_place_one_to_their_rules() {
+        let mut m = CostMatrix::new(4, Reference::Peak).unwrap();
+        m.push_sample(&[4.0, 0.5, 0.0, 0.0]).unwrap();
+        m.push_sample(&[0.5, 4.0, 0.0, 0.0]).unwrap();
+        let vm = VmDescriptor::new(2, 2.0);
+        let fx = Fixture::new(
+            &[
+                (&[(0, 3.0)], 8.0, 0, 37.5), // residual 5, anti-correlated
+                (&[(1, 6.0)], 8.0, 0, 37.5), // residual 2, correlated
+            ],
+            &m,
+        );
+        let views = fx.views();
+        // BFD (default rule): tightest fit.
+        assert_eq!(BfdPolicy.place_one(&vm, &views, &m), Some(1));
+        // FFD: first fit.
+        assert_eq!(FfdPolicy.place_one(&vm, &views, &m), Some(0));
+        // Proposed: maximal Eqn (2) cost — the anti-correlated host.
+        assert_eq!(
+            ProposedPolicy::default().place_one(&vm, &views, &m),
+            Some(0)
+        );
+        // An oversized VM opens a new server under every rule.
+        let huge = VmDescriptor::new(3, 20.0);
+        assert_eq!(BfdPolicy.place_one(&huge, &views, &m), None);
+        assert_eq!(FfdPolicy.place_one(&huge, &views, &m), None);
+        assert_eq!(ProposedPolicy::default().place_one(&huge, &views, &m), None);
+    }
+}

@@ -34,6 +34,7 @@
 //!    of the fill order opens, matching FFD's unbounded bin supply (or
 //!    [`crate::CoreError::FleetExhausted`] when the fleet is spent).
 
+use crate::alloc::online::{max_cost_server, OpenServer};
 use crate::alloc::{
     decreasing_order, validate_inputs, AllocationPolicy, Placement, VmDescriptor, FIT_EPS,
 };
@@ -228,6 +229,11 @@ impl AllocationPolicy for ProposedPolicy {
         let mut unalloc: Vec<usize> = order;
         let mut th = self.config.th_init;
         let mut rounds = 0usize;
+        let class_wpc: Vec<f64> = fleet
+            .classes()
+            .iter()
+            .map(|c| c.busy_watts_per_core())
+            .collect();
 
         while !unalloc.is_empty() {
             rounds += 1;
@@ -238,16 +244,23 @@ impl AllocationPolicy for ProposedPolicy {
             }
 
             // Line 10: the server with the largest remaining capacity.
-            let bin_idx = bins
-                .iter()
-                .enumerate()
-                .max_by(|a, b| {
-                    a.1.remaining()
-                        .partial_cmp(&b.1.remaining())
-                        .expect("finite loads")
-                })
-                .map(|(i, _)| i)
-                .expect("at least one bin exists");
+            // Exact capacity ties prefer the class with the lower
+            // busy-watts-per-core (fill the efficient host); remaining
+            // ties keep the last candidate, which on a one-class fleet
+            // reproduces the historical `max_by` (last maximum wins)
+            // semantics bit-identically.
+            let mut bin_idx = 0usize;
+            let mut best_remaining = f64::NEG_INFINITY;
+            let mut best_wpc = f64::INFINITY;
+            for (i, bin) in bins.iter().enumerate() {
+                let remaining = bin.remaining();
+                let wpc = class_wpc[bin.class];
+                if remaining > best_remaining || (remaining == best_remaining && wpc <= best_wpc) {
+                    bin_idx = i;
+                    best_remaining = remaining;
+                    best_wpc = wpc;
+                }
+            }
 
             // Lines 11–16: greedily fill this server under the current
             // threshold.
@@ -292,6 +305,20 @@ impl AllocationPolicy for ProposedPolicy {
         Ok(Placement::from_classed_servers(
             bins.iter().map(|b| (b.member_ids(), b.class)).collect(),
         ))
+    }
+
+    /// Online arrivals use the ALLOCATE selection rule for a single
+    /// VM: the feasible server whose Eqn (2) cost after insertion is
+    /// maximal. The threshold-relaxation loop does not apply to a lone
+    /// arrival — `TH_cost` exists to stage the order in which a whole
+    /// *batch* packs — so the cost test is waived as at the floor.
+    fn place_one(
+        &self,
+        vm: &VmDescriptor,
+        servers: &[OpenServer<'_>],
+        matrix: &CostMatrix,
+    ) -> Option<usize> {
+        max_cost_server(vm, servers, matrix)
     }
 }
 

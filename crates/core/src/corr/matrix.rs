@@ -438,7 +438,15 @@ impl CostMatrix {
     /// period). With a constant default, all unknown pairs compare
     /// equal and the proposed allocator degrades gracefully to
     /// first-fit-decreasing.
+    ///
+    /// Unlike [`CostMatrix::cost`], ids beyond the matrix are also
+    /// neutral instead of a panic: the online admission path scores VMs
+    /// that arrived *after* the period matrix was built, and such VMs
+    /// have no observed pairs by definition.
     pub fn cost_or_neutral(&self, i: usize, j: usize) -> f64 {
+        if i >= self.n || j >= self.n {
+            return 1.5;
+        }
         self.cost(i, j).unwrap_or(1.5)
     }
 
@@ -939,6 +947,16 @@ mod tests {
         assert_eq!(m.cost(0, 1), None);
         assert_eq!(m.cost_or_neutral(0, 1), 1.5);
         assert_eq!(m.samples(), 0);
+    }
+
+    #[test]
+    fn neutral_for_ids_beyond_the_matrix() {
+        // Online admissions score VMs that postdate the period matrix.
+        let mut m = CostMatrix::new(2, Reference::Peak).unwrap();
+        m.push_sample(&[3.0, 1.0]).unwrap();
+        assert_eq!(m.cost_or_neutral(0, 7), 1.5);
+        assert_eq!(m.cost_or_neutral(9, 1), 1.5);
+        assert!(m.cost_or_neutral(0, 1) != 1.5 || m.samples() == 0);
     }
 
     #[test]

@@ -287,6 +287,74 @@ impl ServerFleet {
             .map(|c| c.cores)
             .fold(f64::NEG_INFINITY, f64::max)
     }
+
+    /// Eqn (3) generalized to a heterogeneous fleet: the length of the
+    /// shortest fill-order prefix whose cumulative capacity covers
+    /// `total_demand` — on a one-class fleet this reproduces
+    /// `⌈Σû / N_core⌉`
+    /// ([`estimate_server_count`](crate::alloc::proposed::estimate_server_count),
+    /// up to float round-off at exact-fit boundaries).
+    ///
+    /// Because the fill order opens the roomiest servers first, no
+    /// placement that keeps every server within its own class capacity
+    /// can use fewer servers, so the estimate is a *lower bound* for
+    /// all capacity-respecting policies (a single VM larger than every
+    /// class breaks that premise — it overcommits its lone server by
+    /// construction). Returns 0 for non-positive demand and saturates
+    /// at [`ServerFleet::total_slots`] when even the whole fleet cannot
+    /// cover the demand.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use cavm_core::fleet::{ServerClass, ServerFleet};
+    /// use cavm_power::LinearPowerModel;
+    ///
+    /// # fn main() -> Result<(), cavm_core::CoreError> {
+    /// let xeon = LinearPowerModel::xeon_e5410();
+    /// let fleet = ServerFleet::new(vec![
+    ///     ServerClass::new("small", 10, 4.0, xeon.clone())?,
+    ///     ServerClass::new("big", 1, 16.0, xeon.scaled(2.0).expect("factor > 0"))?,
+    /// ])?;
+    /// // 22 cores of demand: the 16-core box plus two 4-core boxes.
+    /// assert_eq!(fleet.estimate_server_count(22.0), 3);
+    /// assert_eq!(fleet.estimate_server_count(16.0), 1);
+    /// assert_eq!(fleet.estimate_server_count(0.0), 0);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn estimate_server_count(&self, total_demand: f64) -> usize {
+        // NaN and non-positive demands need no servers.
+        if total_demand.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
+            return 0;
+        }
+        // An infinite demand saturates (no finite prefix covers it);
+        // without this, an UNBOUNDED class would loop forever below.
+        if !total_demand.is_finite() {
+            return self.total_slots().unwrap_or(usize::MAX);
+        }
+        let mut opened = 0usize;
+        let mut capacity = 0.0f64;
+        for &class_idx in &self.fill {
+            let class = &self.classes[class_idx];
+            if class.count == UNBOUNDED {
+                // Infinite supply of this class covers any remainder.
+                while capacity + crate::alloc::FIT_EPS < total_demand {
+                    capacity += class.cores;
+                    opened += 1;
+                }
+                return opened.max(1);
+            }
+            for _ in 0..class.count {
+                if capacity + crate::alloc::FIT_EPS >= total_demand {
+                    return opened.max(1);
+                }
+                capacity += class.cores;
+                opened += 1;
+            }
+        }
+        opened.max(1)
+    }
 }
 
 /// Hands out server instances in the fleet's fill order; allocation
@@ -436,6 +504,46 @@ mod tests {
                 unallocated: 5
             }
         ));
+    }
+
+    #[test]
+    fn estimate_server_count_walks_the_fill_order() {
+        let fleet = ServerFleet::new(vec![
+            ServerClass::new("small", 10, 4.0, xeon()).unwrap(),
+            ServerClass::new("big", 2, 16.0, xeon().scaled(2.0).unwrap()).unwrap(),
+        ])
+        .unwrap();
+        assert_eq!(fleet.estimate_server_count(0.0), 0);
+        assert_eq!(fleet.estimate_server_count(-3.0), 0);
+        assert_eq!(fleet.estimate_server_count(1.0), 1);
+        assert_eq!(fleet.estimate_server_count(16.0), 1);
+        assert_eq!(fleet.estimate_server_count(17.0), 2);
+        assert_eq!(fleet.estimate_server_count(32.0), 2);
+        // 16 + 16 + 4 + 4 covers 40.
+        assert_eq!(fleet.estimate_server_count(40.0), 4);
+        // Beyond total capacity (72): saturates at the slot count.
+        assert_eq!(fleet.estimate_server_count(500.0), 12);
+        // Non-finite demands saturate instead of looping.
+        assert_eq!(fleet.estimate_server_count(f64::INFINITY), 12);
+        assert_eq!(fleet.estimate_server_count(f64::NAN), 0);
+        assert_eq!(
+            ServerFleet::unbounded(8.0)
+                .unwrap()
+                .estimate_server_count(f64::INFINITY),
+            usize::MAX
+        );
+    }
+
+    #[test]
+    fn estimate_server_count_matches_scalar_eqn3_on_uniform_fleets() {
+        let fleet = ServerFleet::unbounded(8.0).unwrap();
+        for total in [0.5, 7.9, 8.0, 8.1, 30.0, 32.0, 33.0] {
+            assert_eq!(
+                fleet.estimate_server_count(total),
+                crate::alloc::proposed::estimate_server_count(total, 8.0),
+                "total {total}"
+            );
+        }
     }
 
     #[test]

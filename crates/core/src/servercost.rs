@@ -26,12 +26,10 @@ use crate::corr::CostMatrix;
 /// must not scale its frequency down. If all û are zero the members are
 /// weighted equally.
 ///
-/// Pairs the matrix has not observed yet contribute the neutral cost 1.5
-/// (see [`CostMatrix::cost_or_neutral`]).
-///
-/// # Panics
-///
-/// Panics if a member id is outside the matrix (program error).
+/// Pairs the matrix has not observed yet — including member ids beyond
+/// the matrix, as happens when a VM arrives after the period matrix was
+/// built — contribute the neutral cost 1.5 (see
+/// [`CostMatrix::cost_or_neutral`]).
 ///
 /// # Example
 ///
@@ -75,11 +73,11 @@ pub fn server_cost(members: &[(usize, f64)], matrix: &CostMatrix) -> f64 {
 }
 
 /// Evaluates Eqn (2) for member ids drawn from a descriptor table
-/// (û = `vms[id].demand`).
+/// (û = `vms[id].demand`). Ids beyond the matrix score neutral pairs.
 ///
 /// # Panics
 ///
-/// Panics if an id is outside `vms` or the matrix.
+/// Panics if an id is outside `vms`.
 pub fn server_cost_of(members: &[usize], vms: &[VmDescriptor], matrix: &CostMatrix) -> f64 {
     let weighted: Vec<(usize, f64)> = members.iter().map(|&id| (id, vms[id].demand)).collect();
     server_cost(&weighted, matrix)
@@ -87,11 +85,11 @@ pub fn server_cost_of(members: &[usize], vms: &[VmDescriptor], matrix: &CostMatr
 
 /// Evaluates Eqn (2) for a server *after* hypothetically adding
 /// `candidate` to `members` — the ALLOCATE phase's selection score
-/// (Fig 2, line 11).
+/// (Fig 2, line 11). Ids beyond the matrix score neutral pairs.
 ///
 /// # Panics
 ///
-/// Panics if an id is outside `vms` or the matrix.
+/// Panics if an id is outside `vms`.
 pub fn server_cost_with_candidate(
     members: &[usize],
     candidate: usize,
@@ -196,11 +194,8 @@ impl ServerCostAggregate {
 
     /// Eqn (2) for the server *after* hypothetically adding
     /// `(id, util)` — the ALLOCATE selection score, in O(|members|)
-    /// without mutating the aggregate.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `id` is outside the matrix.
+    /// without mutating the aggregate. An `id` beyond the matrix (a VM
+    /// newer than the period matrix) scores neutral pairs.
     pub fn candidate_cost(&self, id: usize, util: f64, matrix: &CostMatrix) -> f64 {
         let (dw, dp) = self.pair_delta(id, util, matrix);
         Self::combine(
@@ -212,11 +207,8 @@ impl ServerCostAggregate {
     }
 
     /// Commits `(id, util)` as a member, updating the pair sums in
-    /// O(|members|).
-    ///
-    /// # Panics
-    ///
-    /// Panics if `id` is outside the matrix.
+    /// O(|members|). An `id` beyond the matrix contributes neutral
+    /// pairs.
     pub fn push(&mut self, id: usize, util: f64, matrix: &CostMatrix) {
         let (dw, dp) = self.pair_delta(id, util, matrix);
         self.weighted_pair_sum += dw;

@@ -226,6 +226,54 @@ proptest! {
         }
     }
 
+    /// The fill-order-prefix Eqn (3) estimate is a true lower bound on
+    /// the server count of every capacity-respecting policy, on any
+    /// heterogeneous fleet — provided no VM overflows even the
+    /// smallest class (an oversized VM overcommits its lone server and
+    /// voids the capacity argument), which the generator guarantees by
+    /// scaling demands below the smallest class capacity.
+    #[test]
+    fn hetero_estimate_is_a_server_count_lower_bound(
+        raw_demands in prop::collection::vec(0.05f64..1.0, 1..25),
+        class_cores in prop::collection::vec(3.0f64..20.0, 1..4),
+        scale in 0.5f64..2.5
+    ) {
+        let min_cores = class_cores.iter().cloned().fold(f64::INFINITY, f64::min);
+        let demands: Vec<f64> = raw_demands.iter().map(|d| d * min_cores * 0.99).collect();
+        let vms: Vec<VmDescriptor> = demands
+            .iter()
+            .enumerate()
+            .map(|(i, &d)| VmDescriptor::new(i, d))
+            .collect();
+        let matrix = CostMatrix::new(vms.len(), Reference::Peak).unwrap();
+        let n = vms.len();
+        let classes: Vec<ServerClass> = class_cores
+            .iter()
+            .enumerate()
+            .map(|(i, &cores)| {
+                let model = LinearPowerModel::xeon_e5410()
+                    .scaled(scale * (1.0 + i as f64 * 0.3))
+                    .unwrap();
+                ServerClass::new(&format!("class{i}"), 4 * n, cores, model).unwrap()
+            })
+            .collect();
+        let fleet = ServerFleet::new(classes).unwrap();
+        let lower = fleet.estimate_server_count(demands.iter().sum());
+        for policy in [
+            &ProposedPolicy::default() as &dyn AllocationPolicy,
+            &BfdPolicy,
+            &FfdPolicy,
+        ] {
+            let placement = policy.place(&vms, &matrix, &fleet).unwrap();
+            placement.validate_fleet(&vms, &fleet).unwrap();
+            prop_assert!(
+                placement.server_count() >= lower,
+                "{}: {} servers under the fleet Eqn 3 bound {}",
+                policy.name(), placement.server_count(), lower
+            );
+        }
+    }
+
     /// The ALLOCATE heuristic is insensitive to descriptor order
     /// (it re-sorts internally): permuted inputs give placements with
     /// the same server count.

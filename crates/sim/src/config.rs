@@ -1,5 +1,6 @@
 //! Scenario description and builder.
 
+use crate::controller::{ControllerConfig, DatacenterController};
 use crate::SimError;
 use cavm_core::alloc::proposed::ProposedConfig;
 use cavm_core::dvfs::DvfsMode;
@@ -7,6 +8,7 @@ use cavm_core::fleet::ServerFleet;
 use cavm_power::LinearPowerModel;
 use cavm_trace::Reference;
 use cavm_workload::datacenter::VmFleet;
+use cavm_workload::lifecycle::Lifecycle;
 use serde::{Deserialize, Serialize};
 
 /// Which placement policy drives the scenario.
@@ -73,6 +75,7 @@ pub struct Scenario {
     pub(crate) reference: Reference,
     pub(crate) dynamic_headroom: f64,
     pub(crate) default_demand: f64,
+    pub(crate) lifecycle: Option<Lifecycle>,
 }
 
 impl Scenario {
@@ -89,6 +92,34 @@ impl Scenario {
     /// The server fleet the scenario replays against.
     pub fn server_fleet(&self) -> &ServerFleet {
         &self.server_fleet
+    }
+
+    /// The arrival/departure schedule, or `None` for the closed-world
+    /// batch replay.
+    pub fn lifecycle(&self) -> Option<&Lifecycle> {
+        self.lifecycle.as_ref()
+    }
+
+    /// Opens an online [`DatacenterController`] with this scenario's
+    /// knobs (fleet, policy, DVFS mode, period, reference, defaults).
+    /// [`Scenario::run`] is exactly this controller driven by the
+    /// scenario's lifecycle (or the all-at-t0 default).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SimError::InvalidParameter`] from controller
+    /// validation (the builder has already validated the same knobs).
+    pub fn controller(&self) -> crate::Result<DatacenterController> {
+        DatacenterController::new(ControllerConfig {
+            server_fleet: self.server_fleet.clone(),
+            policy: self.policy,
+            dvfs_mode: self.dvfs_mode,
+            period_samples: self.period_samples,
+            reference: self.reference,
+            dynamic_headroom: self.dynamic_headroom,
+            default_demand: self.default_demand,
+            sample_dt_s: self.fleet.vms()[0].fine.dt(),
+        })
     }
 }
 
@@ -115,6 +146,7 @@ pub struct ScenarioBuilder {
     reference: Reference,
     dynamic_headroom: f64,
     default_demand: f64,
+    lifecycle: Option<Lifecycle>,
 }
 
 impl ScenarioBuilder {
@@ -132,6 +164,7 @@ impl ScenarioBuilder {
             reference: Reference::Peak,
             dynamic_headroom: 0.25,
             default_demand: 2.0,
+            lifecycle: None,
         }
     }
 
@@ -199,6 +232,17 @@ impl ScenarioBuilder {
     /// (default 2.0 cores).
     pub fn default_demand(mut self, demand: f64) -> Self {
         self.default_demand = demand;
+        self
+    }
+
+    /// Drives the run from an arrival/departure schedule instead of
+    /// the closed-world default: each scheduled VM arrives (and is
+    /// admitted online, mid-period arrivals incrementally) at its
+    /// arrival sample and departs at its departure sample; fleet VMs
+    /// absent from the schedule never run. The schedule's horizon must
+    /// equal the fleet's fine trace length.
+    pub fn lifecycle(mut self, lifecycle: Lifecycle) -> Self {
+        self.lifecycle = Some(lifecycle);
         self
     }
 
@@ -286,6 +330,20 @@ impl ScenarioBuilder {
                 ));
             }
         }
+        if let Some(lifecycle) = &self.lifecycle {
+            if lifecycle.horizon_samples() != len {
+                return Err(SimError::InvalidParameter(
+                    "lifecycle horizon must equal the fine trace length",
+                ));
+            }
+            for entry in lifecycle.entries() {
+                if entry.id >= self.fleet.len() {
+                    return Err(SimError::InvalidParameter(
+                        "lifecycle references a vm outside the fleet",
+                    ));
+                }
+            }
+        }
         Ok(Scenario {
             fleet: self.fleet,
             server_fleet,
@@ -295,6 +353,7 @@ impl ScenarioBuilder {
             reference: self.reference,
             dynamic_headroom: self.dynamic_headroom,
             default_demand: self.default_demand,
+            lifecycle: self.lifecycle,
         })
     }
 }

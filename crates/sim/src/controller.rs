@@ -1,0 +1,1190 @@
+//! The online datacenter controller — an event-driven VM lifecycle
+//! session.
+//!
+//! Where [`Scenario::run`] replays a *closed* world (every VM exists
+//! for the whole horizon), [`DatacenterController`] is the open-system
+//! API underneath it: a stateful session driven by [`VmEvent`]s —
+//! `Arrive`, `Depart`, `Tick` — holding a live
+//! [`Placement`], per-server incremental
+//! [`ServerCostAggregate`]s and per-class energy meters, and streaming
+//! progress through a [`MetricSink`] instead of only a terminal report.
+//!
+//! Semantics per event:
+//!
+//! * **`Tick`** advances one monitoring sample. The first tick of each
+//!   placement period runs the batch UPDATE/ALLOCATE pass (predict →
+//!   cost matrix → full policy re-pack → per-server Eqn (4) frequency),
+//!   exactly as the paper's Fig 2 prescribes "at every t_period"; every
+//!   tick then replays one sample (violations, energy integration,
+//!   dynamic DVFS re-planning, Fig 6 histograms). The tick that
+//!   completes a period observes it for the next UPDATE and rebuilds
+//!   the pairwise matrix from the period's window.
+//! * **`Arrive`** registers a VM whose trace starts at the current
+//!   sample. Mid-period arrivals are admitted **incrementally** through
+//!   [`AllocationPolicy::place_one`] — an O(open servers ×
+//!   |members|) scan over the live cost aggregates, *not* a full
+//!   re-pack — and the hosting server's frequency is re-planned.
+//!   Arrivals between periods simply join the next batch pass.
+//! * **`Depart`** evicts the VM; the vacated server keeps its slot (and
+//!   stays admissible for future arrivals), its aggregate is rebuilt
+//!   and its frequency re-planned. Fully-emptied servers power off
+//!   (they are skipped by the replay) until re-used or compacted by the
+//!   next period's re-pack.
+//!
+//! Driven with every VM arriving at t = 0 and no departures, the
+//! controller is **bit-identical** to the historical batch engine —
+//! the `fleet_regression` golden tests and the batch≡online equivalence
+//! property tests pin this.
+//!
+//! [`Scenario::run`]: crate::config::Scenario::run
+//! [`AllocationPolicy::place_one`]: cavm_core::alloc::AllocationPolicy::place_one
+
+use crate::config::Policy;
+use crate::report::{ClassBreakdown, PeriodRecord, SimReport};
+use crate::SimError;
+use cavm_core::alloc::{
+    AllocationPolicy, BfdPolicy, FfdPolicy, OpenServer, PcpPolicy, Placement, ProposedPolicy,
+    SuperVmPolicy, VmDescriptor,
+};
+use cavm_core::corr::CostMatrix;
+use cavm_core::dvfs::{DvfsMode, FleetFrequencyPlanner};
+use cavm_core::fleet::ServerFleet;
+use cavm_core::servercost::{server_cost_of, ServerCostAggregate};
+use cavm_core::CoreError;
+use cavm_power::{EnergyMeter, PowerModel};
+use cavm_trace::{Reference, TimeSeries};
+
+pub(crate) const VIOLATION_EPS: f64 = 1e-9;
+
+/// A fleet that cannot host the placement surfaces as the sim-level
+/// "insufficient servers" error; everything else passes through.
+pub(crate) fn map_core(e: CoreError) -> SimError {
+    match e {
+        CoreError::FleetExhausted { slots, unallocated } => SimError::InsufficientServers {
+            // Each leftover VM needs at most one more server, so this
+            // is an upper bound on the shortfall.
+            needed: slots.saturating_add(unallocated),
+            available: slots,
+        },
+        e => SimError::Core(e),
+    }
+}
+
+/// One step of a VM's lifecycle, applied with
+/// [`DatacenterController::apply`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum VmEvent {
+    /// A VM enters the datacenter. `trace` is its demand signal from
+    /// this instant on (sample 0 of the trace is the current tick).
+    /// Ids are caller-chosen but must be fresh — a departed id cannot
+    /// re-arrive.
+    Arrive {
+        /// Fresh VM id; indexes the controller's registry (and the
+        /// period cost matrices) from now on.
+        id: usize,
+        /// Demand trace starting at the arrival instant. Samples past
+        /// its end (or after departure) read as zero demand.
+        trace: TimeSeries,
+    },
+    /// The VM's lease ends; it is evicted from its server before the
+    /// next sample is replayed.
+    Depart {
+        /// Id of a currently live VM.
+        id: usize,
+    },
+    /// Advance one monitoring sample.
+    Tick,
+}
+
+/// One capacity violation instance, as streamed to
+/// [`MetricSink::on_violation`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ViolationEvent {
+    /// Global sample index.
+    pub sample: usize,
+    /// Placement period index.
+    pub period: usize,
+    /// Server (placement bin) index.
+    pub server: usize,
+    /// Fleet class of the server.
+    pub class: usize,
+    /// Aggregate demand at the instant, cores.
+    pub demand: f64,
+    /// Frequency-scaled capacity it exceeded, cores.
+    pub capacity: f64,
+}
+
+/// Streaming observer of a controller session. All methods default to
+/// no-ops; implement the ones you care about.
+pub trait MetricSink {
+    /// A placement period completed.
+    fn on_period(&mut self, record: &PeriodRecord) {
+        let _ = record;
+    }
+
+    /// A VM moved servers across a period boundary (migration).
+    fn on_migration(&mut self, period: usize, vm: usize, from: usize, to: usize) {
+        let _ = (period, vm, from, to);
+    }
+
+    /// A server exceeded its frequency-scaled capacity for one sample.
+    fn on_violation(&mut self, event: &ViolationEvent) {
+        let _ = event;
+    }
+
+    /// Energy a server class consumed over the just-completed period.
+    fn on_class_energy(&mut self, period: usize, class: usize, name: &str, period_joules: f64) {
+        let _ = (period, class, name, period_joules);
+    }
+
+    /// A mid-period arrival was admitted through the incremental
+    /// single-VM placement path.
+    fn on_admit(&mut self, sample: usize, vm: usize, server: usize) {
+        let _ = (sample, vm, server);
+    }
+
+    /// The session finished; `report` is the terminal aggregate (the
+    /// same `SimReport` the batch API returns).
+    fn on_summary(&mut self, report: &SimReport) {
+        let _ = report;
+    }
+}
+
+/// A sink that ignores every event — for callers that only want the
+/// terminal report via [`DatacenterController::report`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullSink;
+
+impl MetricSink for NullSink {}
+
+/// Collects the stream back into batch-shaped results: the period
+/// records as they arrive and the terminal [`SimReport`] — this is the
+/// sink `Scenario::run` drives to keep the old API working.
+#[derive(Debug, Clone, Default)]
+pub struct ReportSink {
+    periods: Vec<PeriodRecord>,
+    migrations: usize,
+    violations: usize,
+    admissions: usize,
+    report: Option<SimReport>,
+}
+
+impl ReportSink {
+    /// An empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Period records streamed so far.
+    pub fn periods(&self) -> &[PeriodRecord] {
+        &self.periods
+    }
+
+    /// Migration events streamed so far.
+    pub fn migrations(&self) -> usize {
+        self.migrations
+    }
+
+    /// Violation instances streamed so far.
+    pub fn violations(&self) -> usize {
+        self.violations
+    }
+
+    /// Incremental admissions streamed so far.
+    pub fn admissions(&self) -> usize {
+        self.admissions
+    }
+
+    /// The terminal report, once [`MetricSink::on_summary`] has fired.
+    pub fn into_report(self) -> Option<SimReport> {
+        self.report
+    }
+}
+
+impl MetricSink for ReportSink {
+    fn on_period(&mut self, record: &PeriodRecord) {
+        self.periods.push(record.clone());
+    }
+
+    fn on_migration(&mut self, _period: usize, _vm: usize, _from: usize, _to: usize) {
+        self.migrations += 1;
+    }
+
+    fn on_violation(&mut self, _event: &ViolationEvent) {
+        self.violations += 1;
+    }
+
+    fn on_admit(&mut self, _sample: usize, _vm: usize, _server: usize) {
+        self.admissions += 1;
+    }
+
+    fn on_summary(&mut self, report: &SimReport) {
+        self.report = Some(report.clone());
+    }
+}
+
+/// Static configuration of a controller session — the scenario knobs
+/// minus the trace fleet (traces arrive with the VMs).
+#[derive(Debug, Clone)]
+pub struct ControllerConfig {
+    /// The server fleet to place onto. Must be bounded.
+    pub server_fleet: ServerFleet,
+    /// Placement policy (periodic re-packs *and* the incremental
+    /// admission rule).
+    pub policy: Policy,
+    /// Static or dynamic frequency scaling.
+    pub dvfs_mode: DvfsMode,
+    /// Samples per placement period.
+    pub period_samples: usize,
+    /// Reference utilization for provisioning.
+    pub reference: Reference,
+    /// Relative headroom of the dynamic governor.
+    pub dynamic_headroom: f64,
+    /// Demand assumed for a VM before its first observed period — also
+    /// the provisioning used to admit a brand-new arrival.
+    pub default_demand: f64,
+    /// Monitoring sample interval, seconds (the energy-integration dt).
+    pub sample_dt_s: f64,
+}
+
+impl ControllerConfig {
+    fn validate(&self) -> crate::Result<()> {
+        if self.server_fleet.total_slots().is_none() {
+            return Err(SimError::InvalidParameter(
+                "controller fleets must be bounded (no UNBOUNDED classes)",
+            ));
+        }
+        if self.period_samples == 0 {
+            return Err(SimError::InvalidParameter(
+                "period must be at least one sample",
+            ));
+        }
+        if !(self.dynamic_headroom.is_finite() && self.dynamic_headroom >= 0.0) {
+            return Err(SimError::InvalidParameter("dynamic headroom must be >= 0"));
+        }
+        if !(self.default_demand.is_finite() && self.default_demand > 0.0) {
+            return Err(SimError::InvalidParameter("default demand must be > 0"));
+        }
+        if !(self.sample_dt_s.is_finite() && self.sample_dt_s > 0.0) {
+            return Err(SimError::InvalidParameter(
+                "sample interval must be finite and > 0",
+            ));
+        }
+        if let Policy::Proposed(config) = self.policy {
+            // Surface a bad tuning at session construction, not at the
+            // first period boundary (or, worse, silently at an
+            // incremental admit).
+            ProposedPolicy::new(config).map_err(SimError::Core)?;
+        }
+        if let Policy::Pcp {
+            envelope_percentile,
+            affinity_threshold,
+        } = self.policy
+        {
+            if !(0.0 < envelope_percentile && envelope_percentile < 100.0) {
+                return Err(SimError::InvalidParameter(
+                    "pcp envelope percentile must lie in (0, 100)",
+                ));
+            }
+            if !(0.0..=1.0).contains(&affinity_threshold) {
+                return Err(SimError::InvalidParameter(
+                    "pcp affinity threshold must lie in [0, 1]",
+                ));
+            }
+        }
+        if let Policy::SuperVm { min_pair_cost } = self.policy {
+            if !min_pair_cost.is_finite() {
+                return Err(SimError::InvalidParameter(
+                    "super-vm pair-cost threshold must be finite",
+                ));
+            }
+        }
+        if let DvfsMode::Dynamic { interval_samples } = self.dvfs_mode {
+            if interval_samples == 0 {
+                return Err(SimError::InvalidParameter(
+                    "dynamic interval must be >= 1 sample",
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// One registered VM.
+#[derive(Debug, Clone)]
+struct VmSlot {
+    /// Demand trace; sample 0 is the arrival instant.
+    trace: TimeSeries,
+    /// Global sample index of the arrival.
+    arrival: usize,
+    /// `false` once departed.
+    live: bool,
+    /// Last observed per-period reference peak (predictor state).
+    last_peak: Option<f64>,
+    /// Last observed per-period 90th percentile (predictor state).
+    last_off: Option<f64>,
+}
+
+/// Demand of a registered VM at global sample `k` (zero before arrival,
+/// after departure, or past the end of its trace).
+fn sample_of(slot: &Option<VmSlot>, k: usize) -> f64 {
+    match slot {
+        Some(s) if s.live && k >= s.arrival => {
+            s.trace.values().get(k - s.arrival).copied().unwrap_or(0.0)
+        }
+        _ => 0.0,
+    }
+}
+
+/// The stateful online allocation session. See the [module
+/// docs](self) for event semantics.
+#[derive(Debug)]
+pub struct DatacenterController {
+    cfg: ControllerConfig,
+    planner: FleetFrequencyPlanner,
+    class_wpc: Vec<f64>,
+    total_slots: usize,
+    /// Sorted union of every class ladder (the report histogram axis).
+    union_ghz: Vec<f64>,
+    /// `union_level[class][class_level]` → union axis column.
+    union_level: Vec<Vec<usize>>,
+
+    // ---- registry & clock.
+    slots: Vec<Option<VmSlot>>,
+    clock: usize,
+    period: usize,
+    period_start: usize,
+    in_period: bool,
+    finished: bool,
+
+    // ---- live placement state (valid while `in_period`).
+    placement: Placement,
+    aggregates: Vec<ServerCostAggregate>,
+    classes_of: Vec<usize>,
+    cores_of: Vec<f64>,
+    freq_idx: Vec<usize>,
+    window_max_agg: Vec<f64>,
+    window_max_vm: Vec<f64>,
+    server_violations: Vec<usize>,
+    period_migrations: usize,
+    pcp_clusters: Option<usize>,
+    period_class_joules_start: Vec<f64>,
+    assignment: Vec<Option<usize>>,
+    /// Dense (id-indexed) descriptor table of the current period.
+    dense_vms: Vec<VmDescriptor>,
+
+    // ---- period window & matrix state.
+    matrix: Option<CostMatrix>,
+    window: Vec<Vec<f64>>,
+    prev_window: Option<Vec<TimeSeries>>,
+    sample_buf: Vec<f64>,
+
+    // ---- run accumulators.
+    class_energy: Vec<EnergyMeter>,
+    class_violations: Vec<usize>,
+    class_migrations: Vec<usize>,
+    class_peak_servers: Vec<usize>,
+    freq_histogram: Vec<Vec<u64>>,
+    class_freq_histogram: Vec<Vec<u64>>,
+    period_records: Vec<PeriodRecord>,
+    violation_instances: usize,
+    online_admissions: usize,
+}
+
+impl DatacenterController {
+    /// Opens a session.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidParameter`] for an unbounded fleet or
+    /// out-of-range tuning values.
+    pub fn new(cfg: ControllerConfig) -> crate::Result<Self> {
+        cfg.validate()?;
+        let fleet = &cfg.server_fleet;
+        let n_classes = fleet.len();
+        let total_slots = fleet
+            .total_slots()
+            .expect("validation rejects unbounded fleets");
+        let planner = FleetFrequencyPlanner::new(fleet);
+        let class_wpc: Vec<f64> = fleet
+            .classes()
+            .iter()
+            .map(|c| c.busy_watts_per_core())
+            .collect();
+
+        // The histogram's frequency axis is the sorted union of every
+        // class ladder (a uniform fleet keeps its own ladder).
+        let mut union_ghz: Vec<f64> = fleet
+            .classes()
+            .iter()
+            .flat_map(|c| c.ladder().levels().iter().map(|f| f.as_ghz()))
+            .collect();
+        union_ghz.sort_by(|a, b| a.partial_cmp(b).expect("finite frequencies"));
+        union_ghz.dedup();
+        let union_level: Vec<Vec<usize>> = fleet
+            .classes()
+            .iter()
+            .map(|c| {
+                c.ladder()
+                    .levels()
+                    .iter()
+                    .map(|f| {
+                        union_ghz
+                            .iter()
+                            .position(|&g| g == f.as_ghz())
+                            .expect("union contains every class level")
+                    })
+                    .collect()
+            })
+            .collect();
+        let class_freq_histogram = fleet
+            .classes()
+            .iter()
+            .map(|c| vec![0u64; c.ladder().len()])
+            .collect();
+
+        Ok(Self {
+            planner,
+            class_wpc,
+            total_slots,
+            freq_histogram: vec![vec![0u64; union_ghz.len()]; total_slots],
+            union_ghz,
+            union_level,
+            slots: Vec::new(),
+            clock: 0,
+            period: 0,
+            period_start: 0,
+            in_period: false,
+            finished: false,
+            placement: Placement::from_servers(vec![]),
+            aggregates: Vec::new(),
+            classes_of: Vec::new(),
+            cores_of: Vec::new(),
+            freq_idx: Vec::new(),
+            window_max_agg: Vec::new(),
+            window_max_vm: Vec::new(),
+            server_violations: Vec::new(),
+            period_migrations: 0,
+            pcp_clusters: None,
+            period_class_joules_start: vec![0.0; n_classes],
+            assignment: Vec::new(),
+            dense_vms: Vec::new(),
+            matrix: None,
+            window: Vec::new(),
+            prev_window: None,
+            sample_buf: Vec::new(),
+            class_energy: vec![EnergyMeter::new(); n_classes],
+            class_violations: vec![0; n_classes],
+            class_migrations: vec![0; n_classes],
+            class_peak_servers: vec![0; n_classes],
+            class_freq_histogram,
+            period_records: Vec::new(),
+            violation_instances: 0,
+            online_admissions: 0,
+            cfg,
+        })
+    }
+
+    /// The session configuration.
+    pub fn config(&self) -> &ControllerConfig {
+        &self.cfg
+    }
+
+    /// Global sample index of the next tick.
+    pub fn clock(&self) -> usize {
+        self.clock
+    }
+
+    /// Number of currently live VMs.
+    pub fn live_vms(&self) -> usize {
+        self.slots
+            .iter()
+            .filter(|s| s.as_ref().is_some_and(|s| s.live))
+            .count()
+    }
+
+    /// VMs admitted through the incremental (mid-period) path so far.
+    pub fn online_admissions(&self) -> usize {
+        self.online_admissions
+    }
+
+    /// Applies one lifecycle event.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidParameter`] for a finished session,
+    /// a duplicate or unknown VM id; placement/trace/power errors
+    /// propagate, with fleet exhaustion mapped to
+    /// [`SimError::InsufficientServers`].
+    pub fn apply(&mut self, event: VmEvent, sink: &mut dyn MetricSink) -> crate::Result<()> {
+        match event {
+            VmEvent::Arrive { id, trace } => self.arrive(id, trace, sink),
+            VmEvent::Depart { id } => self.depart(id),
+            VmEvent::Tick => self.tick(sink),
+        }
+    }
+
+    fn check_open(&self) -> crate::Result<()> {
+        if self.finished {
+            return Err(SimError::InvalidParameter(
+                "controller session already finished",
+            ));
+        }
+        Ok(())
+    }
+
+    /// Registers an arriving VM. Mid-period arrivals are admitted
+    /// incrementally (no re-pack); arrivals between periods join the
+    /// next period's batch placement.
+    ///
+    /// # Errors
+    ///
+    /// See [`DatacenterController::apply`].
+    pub fn arrive(
+        &mut self,
+        id: usize,
+        trace: TimeSeries,
+        sink: &mut dyn MetricSink,
+    ) -> crate::Result<()> {
+        self.check_open()?;
+        if self.slots.get(id).is_some_and(|s| s.is_some()) {
+            return Err(SimError::InvalidParameter(
+                "vm id already registered with the controller",
+            ));
+        }
+        while self.slots.len() <= id {
+            let fresh = self.slots.len();
+            self.slots.push(None);
+            self.dense_vms
+                .push(VmDescriptor::new(fresh, 0.0).with_off_peak(0.0));
+        }
+        self.slots[id] = Some(VmSlot {
+            trace,
+            arrival: self.clock,
+            live: true,
+            last_peak: None,
+            last_off: None,
+        });
+        if self.in_period {
+            self.admit_live(id, sink)?;
+        }
+        Ok(())
+    }
+
+    /// Ends a VM's lease.
+    ///
+    /// # Errors
+    ///
+    /// See [`DatacenterController::apply`].
+    pub fn depart(&mut self, id: usize) -> crate::Result<()> {
+        self.check_open()?;
+        let slot = self
+            .slots
+            .get_mut(id)
+            .and_then(|s| s.as_mut())
+            .ok_or(SimError::InvalidParameter("unknown vm id"))?;
+        if !slot.live {
+            return Err(SimError::InvalidParameter("vm already departed"));
+        }
+        slot.live = false;
+        if self.in_period && self.placement.server_of(id).is_some() {
+            let server = self.placement.evict(id).map_err(SimError::Core)?;
+            self.dense_vms[id] = VmDescriptor::new(id, 0.0).with_off_peak(0.0);
+            if let Some(a) = self.assignment.get_mut(id) {
+                *a = None;
+            }
+            // Rebuild the vacated server's aggregate from the remaining
+            // members and re-plan its frequency.
+            let matrix = self
+                .matrix
+                .as_ref()
+                .expect("a placed vm implies a period matrix");
+            let mut agg = ServerCostAggregate::new();
+            for &m in &self.placement.servers()[server] {
+                agg.push(m, self.dense_vms[m].demand, matrix);
+            }
+            self.aggregates[server] = agg;
+            self.replan_bin(server)?;
+        }
+        Ok(())
+    }
+
+    /// Advances one monitoring sample.
+    ///
+    /// # Errors
+    ///
+    /// See [`DatacenterController::apply`].
+    pub fn tick(&mut self, sink: &mut dyn MetricSink) -> crate::Result<()> {
+        self.check_open()?;
+        if !self.in_period {
+            self.start_period(sink)?;
+            self.in_period = true;
+        }
+        self.replay_tick(sink)?;
+        self.clock += 1;
+        if self.clock - self.period_start == self.cfg.period_samples {
+            self.end_period(sink)?;
+        }
+        Ok(())
+    }
+
+    /// Ends the session: emits [`MetricSink::on_summary`] with the
+    /// terminal report. A partially replayed period is dropped, like
+    /// the trailing partial period of a batch run.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidParameter`] if already finished.
+    pub fn finish(&mut self, sink: &mut dyn MetricSink) -> crate::Result<()> {
+        self.check_open()?;
+        self.finished = true;
+        sink.on_summary(&self.report());
+        Ok(())
+    }
+
+    /// The terminal aggregate over all *completed* periods — the same
+    /// shape (and, for a batch-equivalent drive, the same bits) as
+    /// [`Scenario::run`](crate::config::Scenario::run)'s report.
+    pub fn report(&self) -> SimReport {
+        let max_violation = self
+            .period_records
+            .iter()
+            .map(|p| p.max_violation_ratio)
+            .fold(0.0, f64::max);
+        let mean_violation = if self.period_records.is_empty() {
+            0.0
+        } else {
+            self.period_records
+                .iter()
+                .map(|p| p.max_violation_ratio)
+                .sum::<f64>()
+                / self.period_records.len() as f64
+        };
+        let mut energy = EnergyMeter::new();
+        for meter in &self.class_energy {
+            energy.merge(meter);
+        }
+        let classes: Vec<ClassBreakdown> = self
+            .cfg
+            .server_fleet
+            .classes()
+            .iter()
+            .enumerate()
+            .map(|(c, spec)| ClassBreakdown {
+                name: spec.name().to_string(),
+                cores: spec.cores(),
+                servers_available: spec.count(),
+                peak_servers_used: self.class_peak_servers[c],
+                energy: self.class_energy[c],
+                violation_instances: self.class_violations[c],
+                migrations_in: self.class_migrations[c],
+                freq_levels_ghz: spec.ladder().levels().iter().map(|f| f.as_ghz()).collect(),
+                freq_histogram: self.class_freq_histogram[c].clone(),
+            })
+            .collect();
+        SimReport {
+            policy: self.cfg.policy.name().to_string(),
+            dynamic_dvfs: matches!(self.cfg.dvfs_mode, DvfsMode::Dynamic { .. }),
+            energy,
+            max_violation_percent: max_violation * 100.0,
+            mean_violation_percent: mean_violation * 100.0,
+            violation_instances: self.violation_instances,
+            periods: self.period_records.clone(),
+            classes,
+            freq_histogram: self.freq_histogram.clone(),
+            freq_levels_ghz: self.union_ghz.clone(),
+            online_admissions: self.online_admissions,
+        }
+    }
+
+    // ---- period machinery -------------------------------------------------
+
+    /// Replays a window into a matrix with the same (possibly parallel)
+    /// kernel the batch engine used.
+    fn push_window(matrix: &mut CostMatrix, refs: &[&TimeSeries], len: usize) -> crate::Result<()> {
+        #[cfg(feature = "parallel")]
+        return matrix
+            .par_push_columns(refs, 0, len)
+            .map_err(SimError::Core);
+        #[cfg(not(feature = "parallel"))]
+        return matrix.push_columns(refs, 0, len).map_err(SimError::Core);
+    }
+
+    /// Builds a fresh matrix over `universe` VMs — from the previous
+    /// period's windows when they exist (zero-padded for VMs that
+    /// postdate them), else empty (period 0: all pairs neutral).
+    fn rebuild_matrix(&mut self, universe: usize) -> crate::Result<()> {
+        let mut matrix = CostMatrix::new(universe, self.cfg.reference).map_err(SimError::Core)?;
+        if let Some(windows) = &self.prev_window {
+            if !windows.is_empty() {
+                let len = windows[0].len();
+                let zero = TimeSeries::constant(self.cfg.sample_dt_s, len, 0.0)
+                    .map_err(SimError::Trace)?;
+                let mut refs: Vec<&TimeSeries> = windows.iter().collect();
+                while refs.len() < universe {
+                    refs.push(&zero);
+                }
+                refs.truncate(universe);
+                Self::push_window(&mut matrix, &refs, len)?;
+            }
+        }
+        self.matrix = Some(matrix);
+        Ok(())
+    }
+
+    /// The full policy re-pack of the live VM set (plus the PCP cluster
+    /// count when applicable) — the batch ALLOCATE pass.
+    fn place_live(&self, vms: &[VmDescriptor]) -> crate::Result<(Placement, Option<usize>)> {
+        let fleet = &self.cfg.server_fleet;
+        let matrix = self
+            .matrix
+            .as_ref()
+            .expect("matrix is built before placement");
+        match self.cfg.policy {
+            Policy::Bfd => Ok((BfdPolicy.place(vms, matrix, fleet).map_err(map_core)?, None)),
+            Policy::Ffd => Ok((FfdPolicy.place(vms, matrix, fleet).map_err(map_core)?, None)),
+            Policy::Proposed(config) => {
+                let policy = ProposedPolicy::new(config).map_err(SimError::Core)?;
+                Ok((policy.place(vms, matrix, fleet).map_err(map_core)?, None))
+            }
+            Policy::SuperVm { min_pair_cost } => {
+                let policy = SuperVmPolicy::new(min_pair_cost).map_err(SimError::Core)?;
+                Ok((policy.place(vms, matrix, fleet).map_err(map_core)?, None))
+            }
+            Policy::Pcp {
+                envelope_percentile,
+                affinity_threshold,
+            } => {
+                let windows = match &self.prev_window {
+                    // No history yet — including a previous period that
+                    // held zero VMs: a single degenerate cluster, i.e.
+                    // BFD behaviour.
+                    Some(w) if !w.is_empty() => w,
+                    _ => {
+                        return Ok((
+                            BfdPolicy.place(vms, matrix, fleet).map_err(map_core)?,
+                            Some(1),
+                        ))
+                    }
+                };
+                // VMs that postdate the window cluster from an all-zero
+                // envelope.
+                let len = windows[0].len();
+                let zero = TimeSeries::constant(self.cfg.sample_dt_s, len, 0.0)
+                    .map_err(SimError::Trace)?;
+                let mut refs: Vec<&TimeSeries> = windows.iter().collect();
+                while refs.len() < self.slots.len() {
+                    refs.push(&zero);
+                }
+                let pcp = PcpPolicy::from_traces(&refs, envelope_percentile, affinity_threshold)
+                    .map_err(SimError::Core)?;
+                let clusters = pcp.cluster_count();
+                Ok((
+                    pcp.place(vms, matrix, fleet).map_err(map_core)?,
+                    Some(clusters),
+                ))
+            }
+        }
+    }
+
+    /// The UPDATE + ALLOCATE pass at a period boundary: predict live
+    /// demands, refresh the matrix dimension, re-pack, count
+    /// migrations, and plan every server's static frequency.
+    fn start_period(&mut self, sink: &mut dyn MetricSink) -> crate::Result<()> {
+        let universe = self.slots.len();
+        self.period_start = self.clock;
+
+        // ---- UPDATE: predicted descriptors (last-value predictor with
+        // the configured default before the first observation).
+        self.dense_vms.clear();
+        let mut live_vms = Vec::new();
+        for (id, slot) in self.slots.iter().enumerate() {
+            let descriptor = match slot {
+                Some(s) if s.live => {
+                    let demand = s.last_peak.unwrap_or(self.cfg.default_demand).max(0.0);
+                    let off = s.last_off.unwrap_or(demand * 0.9).clamp(0.0, demand);
+                    let d = VmDescriptor::new(id, demand).with_off_peak(off);
+                    live_vms.push(d);
+                    d
+                }
+                _ => VmDescriptor::new(id, 0.0).with_off_peak(0.0),
+            };
+            self.dense_vms.push(descriptor);
+        }
+        if universe > 0 {
+            let stale = self.matrix.as_ref().is_none_or(|m| m.len() != universe);
+            if stale {
+                self.rebuild_matrix(universe)?;
+            }
+        }
+
+        // ---- ALLOCATE.
+        let (placement, pcp_clusters) = if live_vms.is_empty() {
+            let clusters = matches!(self.cfg.policy, Policy::Pcp { .. }).then_some(1);
+            (Placement::from_servers(vec![]), clusters)
+        } else {
+            self.place_live(&live_vms)?
+        };
+        self.pcp_clusters = pcp_clusters;
+
+        // Migrations relative to the live assignment at the end of the
+        // previous period, attributed to the class of the *destination*
+        // server. Only VMs placed in both periods can migrate.
+        let assignment = placement.assignment(universe);
+        let mut migrations = 0usize;
+        let prev = std::mem::take(&mut self.assignment);
+        if self.period > 0 {
+            for (id, &now) in assignment.iter().enumerate() {
+                let before = prev.get(id).copied().flatten();
+                if let (Some(b), Some(n)) = (before, now) {
+                    if b != n {
+                        migrations += 1;
+                        self.class_migrations[placement.classes()[n]] += 1;
+                        sink.on_migration(self.period, id, b, n);
+                    }
+                }
+            }
+        }
+        self.period_migrations = migrations;
+        self.assignment = assignment;
+
+        // Rebuild per-server state: cost aggregates, class/capacity
+        // tables, dynamic-governor windows.
+        let matrix = self.matrix.as_ref();
+        self.classes_of = placement.classes().to_vec();
+        self.cores_of = self
+            .classes_of
+            .iter()
+            .map(|&c| self.cfg.server_fleet.classes()[c].cores())
+            .collect();
+        self.aggregates = placement
+            .servers()
+            .iter()
+            .map(|members| {
+                let mut agg = ServerCostAggregate::new();
+                if let Some(m) = matrix {
+                    for &id in members {
+                        agg.push(id, self.dense_vms[id].demand, m);
+                    }
+                }
+                agg
+            })
+            .collect();
+        let bins = placement.server_count();
+        self.window_max_agg = vec![0.0; bins];
+        self.window_max_vm = vec![0.0; universe];
+        self.server_violations = vec![0; bins];
+        self.period_class_joules_start = self.class_energy.iter().map(|m| m.joules()).collect();
+
+        // Static frequency per active server, planned against its own
+        // class ladder and capacity.
+        let server_demands = placement.server_demands(&self.dense_vms);
+        let mut freq_idx = Vec::with_capacity(bins);
+        for (s, members) in placement.servers().iter().enumerate() {
+            let class = self.classes_of[s];
+            let total = server_demands[s];
+            let f = if self.cfg.policy.correlation_aware_frequency() {
+                let m = matrix.expect("live servers imply a matrix");
+                let cost = server_cost_of(members, &self.dense_vms, m).max(1.0);
+                self.planner
+                    .static_level_correlation_aware(class, total, cost)
+                    .map_err(SimError::Core)?
+            } else {
+                self.planner
+                    .static_level_worst_case(class, total)
+                    .map_err(SimError::Core)?
+            };
+            let ladder = self.cfg.server_fleet.classes()[class].ladder();
+            freq_idx.push(ladder.index_of(f).expect("planner returns ladder levels"));
+        }
+        self.freq_idx = freq_idx;
+        self.placement = placement;
+        Ok(())
+    }
+
+    /// Replays the current sample: per-server aggregation, dynamic
+    /// DVFS, violations, energy and histograms.
+    fn replay_tick(&mut self, sink: &mut dyn MetricSink) -> crate::Result<()> {
+        let universe = self.slots.len();
+        let k = self.clock;
+        let k_in_period = k - self.period_start;
+        let elapsed = k_in_period;
+        while self.window.len() < universe {
+            let mut w = Vec::with_capacity(self.cfg.period_samples);
+            w.resize(elapsed, 0.0);
+            self.window.push(w);
+        }
+        self.sample_buf.resize(universe, 0.0);
+        for id in 0..universe {
+            let v = sample_of(&self.slots[id], k);
+            self.sample_buf[id] = v;
+            self.window[id].push(v);
+        }
+
+        let dt = self.cfg.sample_dt_s;
+        for s in 0..self.placement.server_count() {
+            let members: &[usize] = &self.placement.servers()[s];
+            if members.is_empty() {
+                // A fully vacated server is powered off until re-used.
+                continue;
+            }
+            let class = self.classes_of[s];
+            let capacity = self.cores_of[s];
+            let ladder = self.cfg.server_fleet.classes()[class].ladder();
+            let agg: f64 = members.iter().map(|&v| self.sample_buf[v]).sum();
+
+            if let DvfsMode::Dynamic { interval_samples } = self.cfg.dvfs_mode {
+                if k_in_period > 0 && k_in_period.is_multiple_of(interval_samples) {
+                    // Correlation-aware governors trust the measured
+                    // *aggregate* peak; correlation-blind ones must
+                    // assume per-VM peaks can coincide (Σ max ≥ max Σ).
+                    let recent = if self.cfg.policy.correlation_aware_frequency() {
+                        self.window_max_agg[s]
+                    } else {
+                        members.iter().map(|&v| self.window_max_vm[v]).sum()
+                    };
+                    let f = self
+                        .planner
+                        .dynamic_level(class, recent, self.cfg.dynamic_headroom)
+                        .map_err(SimError::Core)?;
+                    self.freq_idx[s] = ladder.index_of(f).expect("planner returns ladder levels");
+                    self.window_max_agg[s] = 0.0;
+                    for &v in members {
+                        self.window_max_vm[v] = 0.0;
+                    }
+                }
+                self.window_max_agg[s] = self.window_max_agg[s].max(agg);
+                for &v in members {
+                    self.window_max_vm[v] = self.window_max_vm[v].max(self.sample_buf[v]);
+                }
+            }
+
+            let f = ladder.get(self.freq_idx[s]).expect("index within ladder");
+            let eff_capacity = capacity * f.ratio_to(ladder.max());
+            if agg > eff_capacity + VIOLATION_EPS {
+                self.server_violations[s] += 1;
+                self.violation_instances += 1;
+                self.class_violations[class] += 1;
+                sink.on_violation(&ViolationEvent {
+                    sample: k,
+                    period: self.period,
+                    server: s,
+                    class,
+                    demand: agg,
+                    capacity: eff_capacity,
+                });
+            }
+            let u = (agg / eff_capacity).clamp(0.0, 1.0);
+            let watts = self.cfg.server_fleet.classes()[class]
+                .power_model()
+                .power(u, f)
+                .map_err(SimError::Power)?;
+            self.class_energy[class].add(watts, dt);
+            self.freq_histogram[s][self.union_level[class][self.freq_idx[s]]] += 1;
+            self.class_freq_histogram[class][self.freq_idx[s]] += 1;
+        }
+        Ok(())
+    }
+
+    /// Observes the completed period for the next UPDATE, rebuilds the
+    /// matrix from the period window, and emits the period's metrics.
+    fn end_period(&mut self, sink: &mut dyn MetricSink) -> crate::Result<()> {
+        let universe = self.slots.len();
+
+        // ---- Observe this period for the next UPDATE.
+        for id in 0..universe {
+            if let Some(slot) = &mut self.slots[id] {
+                if slot.live {
+                    let win = &self.window[id];
+                    let peak = self.cfg.reference.of(win).map_err(SimError::Trace)?;
+                    slot.last_peak = Some(peak);
+                    let off = cavm_trace::percentile(win, 90.0).map_err(SimError::Trace)?;
+                    slot.last_off = Some(off);
+                }
+            }
+        }
+
+        // ---- Window replay into the next period's matrix.
+        if universe > 0 {
+            let mut windows = Vec::with_capacity(universe);
+            for values in self.window.drain(..) {
+                windows
+                    .push(TimeSeries::new(self.cfg.sample_dt_s, values).map_err(SimError::Trace)?);
+            }
+            let mut matrix =
+                CostMatrix::new(universe, self.cfg.reference).map_err(SimError::Core)?;
+            let refs: Vec<&TimeSeries> = windows.iter().collect();
+            Self::push_window(&mut matrix, &refs, self.cfg.period_samples)?;
+            self.matrix = Some(matrix);
+            self.prev_window = Some(windows);
+        } else {
+            self.window.clear();
+            self.prev_window = Some(Vec::new());
+        }
+
+        // ---- Per-class peaks and the period record.
+        for (class, peak) in self.class_peak_servers.iter_mut().enumerate() {
+            let used = self
+                .placement
+                .servers()
+                .iter()
+                .zip(&self.classes_of)
+                .filter(|(members, &c)| !members.is_empty() && c == class)
+                .count();
+            *peak = (*peak).max(used);
+        }
+        let max_ratio = self
+            .server_violations
+            .iter()
+            .map(|&v| v as f64 / self.cfg.period_samples as f64)
+            .fold(0.0, f64::max);
+        let record = PeriodRecord {
+            period: self.period,
+            servers_used: self.placement.active_server_count(),
+            max_violation_ratio: max_ratio,
+            migrations: self.period_migrations,
+            pcp_clusters: self.pcp_clusters,
+        };
+        sink.on_period(&record);
+        for (c, meter) in self.class_energy.iter().enumerate() {
+            sink.on_class_energy(
+                self.period,
+                c,
+                self.cfg.server_fleet.classes()[c].name(),
+                meter.joules() - self.period_class_joules_start[c],
+            );
+        }
+        self.period_records.push(record);
+        self.period += 1;
+        self.in_period = false;
+        Ok(())
+    }
+
+    // ---- incremental admission --------------------------------------------
+
+    /// The next fill-order server slot not consumed by the live
+    /// placement (empty-but-reserved slots count as consumed).
+    fn next_open_slot(&self) -> crate::Result<(usize, f64)> {
+        let fleet = &self.cfg.server_fleet;
+        let mut used = vec![0usize; fleet.len()];
+        for &c in self.placement.classes() {
+            used[c] += 1;
+        }
+        for &class in fleet.fill_order() {
+            if used[class] < fleet.classes()[class].count() {
+                return Ok((class, fleet.classes()[class].cores()));
+            }
+        }
+        Err(map_core(CoreError::FleetExhausted {
+            slots: self.total_slots,
+            unallocated: 1,
+        }))
+    }
+
+    /// Re-plans one server's static frequency level from its current
+    /// members (after an admit or evict).
+    fn replan_bin(&mut self, s: usize) -> crate::Result<()> {
+        let members: &[usize] = &self.placement.servers()[s];
+        if members.is_empty() {
+            return Ok(());
+        }
+        let class = self.classes_of[s];
+        let total: f64 = members.iter().map(|&id| self.dense_vms[id].demand).sum();
+        let f = if self.cfg.policy.correlation_aware_frequency() {
+            let matrix = self
+                .matrix
+                .as_ref()
+                .expect("live servers imply a period matrix");
+            let cost = server_cost_of(members, &self.dense_vms, matrix).max(1.0);
+            self.planner
+                .static_level_correlation_aware(class, total, cost)
+                .map_err(SimError::Core)?
+        } else {
+            self.planner
+                .static_level_worst_case(class, total)
+                .map_err(SimError::Core)?
+        };
+        let ladder = self.cfg.server_fleet.classes()[class].ladder();
+        self.freq_idx[s] = ladder.index_of(f).expect("planner returns ladder levels");
+        Ok(())
+    }
+
+    /// Admits a freshly arrived VM into the live placement through the
+    /// policy's single-VM entry point — no re-pack.
+    fn admit_live(&mut self, id: usize, sink: &mut dyn MetricSink) -> crate::Result<()> {
+        let universe = self.slots.len();
+        self.window_max_vm.resize(universe, 0.0);
+        if self.assignment.len() < universe {
+            self.assignment.resize(universe, None);
+        }
+        while self.dense_vms.len() < universe {
+            let fresh = self.dense_vms.len();
+            self.dense_vms
+                .push(VmDescriptor::new(fresh, 0.0).with_off_peak(0.0));
+        }
+        let demand = self.cfg.default_demand;
+        let vm = VmDescriptor::new(id, demand).with_off_peak(demand * 0.9);
+        self.dense_vms[id] = vm;
+        if self.matrix.is_none() {
+            self.rebuild_matrix(universe)?;
+        }
+
+        let choice = {
+            let matrix = self.matrix.as_ref().expect("ensured above");
+            let views: Vec<OpenServer<'_>> = (0..self.placement.server_count())
+                .map(|s| OpenServer {
+                    class: self.classes_of[s],
+                    cores: self.cores_of[s],
+                    watts_per_core: self.class_wpc[self.classes_of[s]],
+                    agg: &self.aggregates[s],
+                })
+                .collect();
+            admit_choice(self.cfg.policy, &vm, &views, matrix)
+        };
+        let server = match choice {
+            Some(s) => s,
+            None => {
+                let (class, cores) = self.next_open_slot()?;
+                let s = self.placement.open_server(class);
+                self.classes_of.push(class);
+                self.cores_of.push(cores);
+                self.aggregates.push(ServerCostAggregate::new());
+                self.freq_idx.push(0);
+                self.window_max_agg.push(0.0);
+                self.server_violations.push(0);
+                s
+            }
+        };
+        self.placement.admit(id, server).map_err(SimError::Core)?;
+        {
+            let matrix = self.matrix.as_ref().expect("ensured above");
+            self.aggregates[server].push(id, demand, matrix);
+        }
+        self.assignment[id] = Some(server);
+        self.replan_bin(server)?;
+        self.online_admissions += 1;
+        sink.on_admit(self.clock, id, server);
+        Ok(())
+    }
+}
+
+/// Routes a single-VM admission to the policy's `place_one` rule. PCP
+/// and SuperVM consolidate per period only; between re-packs their
+/// arrivals use the default best-fit rule (spelled through `BfdPolicy`,
+/// whose inherited default it is).
+fn admit_choice(
+    policy: Policy,
+    vm: &VmDescriptor,
+    servers: &[OpenServer<'_>],
+    matrix: &CostMatrix,
+) -> Option<usize> {
+    match policy {
+        Policy::Proposed(config) => ProposedPolicy::new(config)
+            .expect("controller construction validates the proposed config")
+            .place_one(vm, servers, matrix),
+        Policy::Ffd => FfdPolicy.place_one(vm, servers, matrix),
+        Policy::Bfd | Policy::Pcp { .. } | Policy::SuperVm { .. } => {
+            BfdPolicy.place_one(vm, servers, matrix)
+        }
+    }
+}

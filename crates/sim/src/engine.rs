@@ -1,58 +1,24 @@
-//! The time-stepped replay engine.
+//! The batch replay driver — a thin convenience wrapper over the
+//! online [`DatacenterController`].
 //!
-//! One run proceeds period by period (Fig 2 is invoked "at every
-//! t_period"):
+//! [`Scenario::run`] expresses the paper's closed-world replay in
+//! lifecycle terms: every VM arrives at t = 0 with its full trace (or
+//! per the scenario's [`Lifecycle`] when one is configured), the
+//! controller ticks through the horizon, and a [`ReportSink`] collects
+//! the terminal [`SimReport`]. The period-by-period semantics (Fig 2's
+//! UPDATE/ALLOCATE at every t_period, per-class Eqn (4) frequency
+//! planning, violation and energy accounting) live in
+//! [`crate::controller`]; driven without a lifecycle this path is
+//! bit-identical to the historical batch engine, which the
+//! `fleet_regression` golden tests pin.
 //!
-//! 1. **UPDATE** — per-VM demands are *predicted* with the paper's
-//!    last-value predictor from the previous period's observed reference
-//!    utilization; the pairwise cost matrix carries the previous
-//!    period's samples (streaming, O(1) per sample per pair).
-//! 2. **ALLOCATE** — the configured policy places the VMs onto the
-//!    scenario's [`ServerFleet`] (opening servers largest-class-first);
-//!    the static frequency of every active server is chosen per its
-//!    *class* — Eqn (4) on the class ladder/capacity for the proposed
-//!    policy, the coincident-peaks worst case for the
-//!    correlation-blind baselines.
-//! 3. **Replay** — the period's 5-second samples are replayed: each
-//!    active server accumulates its members' demands, violations are
-//!    counted whenever the aggregate exceeds the server's
-//!    frequency-scaled *class* capacity, power is integrated through
-//!    the class's own model into per-class meters, and (in dynamic
-//!    mode) the governor re-plans from the recent measured peak every
-//!    `interval_samples`.
-//!
-//! [`ServerFleet`]: cavm_core::fleet::ServerFleet
+//! [`Lifecycle`]: cavm_workload::lifecycle::Lifecycle
 
-use crate::config::{Policy, Scenario};
-use crate::report::{ClassBreakdown, PeriodRecord, SimReport};
+use crate::config::Scenario;
+use crate::controller::{MetricSink, ReportSink, VmEvent};
+use crate::report::SimReport;
 use crate::SimError;
-use cavm_core::alloc::{
-    AllocationPolicy, BfdPolicy, FfdPolicy, PcpPolicy, Placement, ProposedPolicy, SuperVmPolicy,
-    VmDescriptor,
-};
-use cavm_core::corr::CostMatrix;
-use cavm_core::dvfs::{DvfsMode, FleetFrequencyPlanner};
-use cavm_core::predict::{LastValuePredictor, Predictor};
-use cavm_core::servercost::server_cost_of;
-use cavm_core::CoreError;
-use cavm_power::{EnergyMeter, PowerModel};
-use cavm_trace::TimeSeries;
-
-const VIOLATION_EPS: f64 = 1e-9;
-
-/// A fleet that cannot host the placement surfaces as the sim-level
-/// "insufficient servers" error; everything else passes through.
-fn map_core(e: CoreError) -> SimError {
-    match e {
-        CoreError::FleetExhausted { slots, unallocated } => SimError::InsufficientServers {
-            // Each leftover VM needs at most one more server, so this
-            // is an upper bound on the shortfall.
-            needed: slots.saturating_add(unallocated),
-            available: slots,
-        },
-        e => SimError::Core(e),
-    }
-}
+use cavm_workload::lifecycle::LifecycleEntry;
 
 impl Scenario {
     /// Runs the scenario to completion. Deterministic: identical
@@ -60,339 +26,87 @@ impl Scenario {
     ///
     /// # Errors
     ///
-    /// Returns [`SimError::InsufficientServers`] when a period's
-    /// placement needs more servers than the fleet provides, and
-    /// propagates trace/power/core errors.
+    /// Returns [`SimError::InsufficientServers`] when a placement needs
+    /// more servers than the fleet provides, and propagates
+    /// trace/power/core errors.
     pub fn run(&self) -> crate::Result<SimReport> {
-        let n = self.fleet.len();
-        let traces: Vec<&TimeSeries> = self.fleet.traces();
-        let dt = traces[0].dt();
-        let n_samples = traces[0].len();
-        let periods = n_samples / self.period_samples;
-        let server_fleet = &self.server_fleet;
-        let n_classes = server_fleet.len();
-        let total_slots = server_fleet
-            .total_slots()
-            .expect("builder rejects unbounded sim fleets");
-        let planner = FleetFrequencyPlanner::new(server_fleet);
-
-        // The histogram's frequency axis is the sorted union of every
-        // class ladder (a uniform fleet keeps its own ladder).
-        // `union_level[class][class_level]` maps into it.
-        let mut union_ghz: Vec<f64> = server_fleet
-            .classes()
-            .iter()
-            .flat_map(|c| c.ladder().levels().iter().map(|f| f.as_ghz()))
-            .collect();
-        union_ghz.sort_by(|a, b| a.partial_cmp(b).expect("finite frequencies"));
-        union_ghz.dedup();
-        let union_level: Vec<Vec<usize>> = server_fleet
-            .classes()
-            .iter()
-            .map(|c| {
-                c.ladder()
-                    .levels()
-                    .iter()
-                    .map(|f| {
-                        union_ghz
-                            .iter()
-                            .position(|&g| g == f.as_ghz())
-                            .expect("union contains every class level")
-                    })
-                    .collect()
-            })
-            .collect();
-
-        let mut peak_pred = LastValuePredictor::new(n);
-        let mut offpeak_pred = LastValuePredictor::new(n);
-        let mut prev_matrix: Option<CostMatrix> = None;
-        let mut prev_assignment: Option<Vec<Option<usize>>> = None;
-
-        let mut class_energy = vec![EnergyMeter::new(); n_classes];
-        let mut class_violations = vec![0usize; n_classes];
-        let mut class_migrations = vec![0usize; n_classes];
-        let mut class_peak_servers = vec![0usize; n_classes];
-        let mut freq_histogram = vec![vec![0u64; union_ghz.len()]; total_slots];
-        let mut period_records = Vec::with_capacity(periods);
-        let mut violation_instances = 0usize;
-        let mut sample_buf = vec![0.0f64; n];
-
-        for period in 0..periods {
-            let start = period * self.period_samples;
-            let end = start + self.period_samples;
-
-            // ---- UPDATE: predicted descriptors + correlation matrix.
-            let mut vms = Vec::with_capacity(n);
-            for i in 0..n {
-                let demand = peak_pred
-                    .predict(i)
-                    .map_err(SimError::Core)?
-                    .unwrap_or(self.default_demand)
-                    .max(0.0);
-                let off_peak = offpeak_pred
-                    .predict(i)
-                    .map_err(SimError::Core)?
-                    .unwrap_or(demand * 0.9)
-                    .clamp(0.0, demand);
-                vms.push(VmDescriptor::new(i, demand).with_off_peak(off_peak));
-            }
-            let matrix = match prev_matrix.take() {
-                Some(m) => m,
-                None => CostMatrix::new(n, self.reference).map_err(SimError::Core)?,
-            };
-
-            // ---- ALLOCATE.
-            let (placement, pcp_clusters) =
-                self.place_period(period, start, &vms, &matrix, &traces)?;
-            let classes_of = placement.classes().to_vec();
-            let cores_of: Vec<f64> = classes_of
-                .iter()
-                .map(|&c| server_fleet.classes()[c].cores())
-                .collect();
-
-            // Migrations relative to the previous period, attributed to
-            // the class of the *destination* server.
-            let assignment = placement.assignment(n);
-            let mut migrations = 0usize;
-            if let Some(prev) = &prev_assignment {
-                for (now, before) in assignment.iter().zip(prev) {
-                    if now != before {
-                        migrations += 1;
-                        if let Some(s) = now {
-                            class_migrations[classes_of[*s]] += 1;
-                        }
-                    }
-                }
-            }
-
-            // Static frequency per active server, planned against its
-            // own class ladder and capacity. Per-server demand totals
-            // come from the placement's one-pass accessor.
-            let active = placement.server_count();
-            let server_demands = placement.server_demands(&vms);
-            let mut freq_idx = Vec::with_capacity(active);
-            for (s, members) in placement.servers().iter().enumerate() {
-                let class = classes_of[s];
-                let total = server_demands[s];
-                let f = if self.policy.correlation_aware_frequency() {
-                    let cost = server_cost_of(members, &vms, &matrix).max(1.0);
-                    planner
-                        .static_level_correlation_aware(class, total, cost)
-                        .map_err(SimError::Core)?
-                } else {
-                    planner
-                        .static_level_worst_case(class, total)
-                        .map_err(SimError::Core)?
-                };
-                let ladder = server_fleet.classes()[class].ladder();
-                freq_idx.push(ladder.index_of(f).expect("planner returns ladder levels"));
-            }
-
-            // ---- Replay the period.
-            // UPDATE-phase matrix maintenance ("update M_cost ... for
-            // all VM pairs", Fig 2 line 7) runs as one batch/parallel
-            // window replay over the period's trace columns — the flat
-            // SoA kernel walks the pair triangle pair-major instead of
-            // re-touching the whole plane every tick.
-            let mut matrix_next = CostMatrix::new(n, self.reference).map_err(SimError::Core)?;
-            #[cfg(feature = "parallel")]
-            matrix_next
-                .par_push_columns(&traces, start, end)
-                .map_err(SimError::Core)?;
-            #[cfg(not(feature = "parallel"))]
-            matrix_next
-                .push_columns(&traces, start, end)
-                .map_err(SimError::Core)?;
-            // Correlation-aware governors trust the measured *aggregate*
-            // peak; correlation-blind ones must assume per-VM peaks can
-            // coincide and track the sum of individual window peaks
-            // (Σ max ≥ max Σ, so blind governors never run slower).
-            let mut window_max_agg = vec![0.0f64; active];
-            let mut window_max_vm = vec![0.0f64; n];
-            let mut server_violations = vec![0usize; active];
-            for k in start..end {
-                for (i, trace) in traces.iter().enumerate() {
-                    sample_buf[i] = trace.values()[k];
-                }
-                let k_in_period = k - start;
-
-                for (s, members) in placement.servers().iter().enumerate() {
-                    let class = classes_of[s];
-                    let capacity = cores_of[s];
-                    let ladder = server_fleet.classes()[class].ladder();
-                    let agg: f64 = members.iter().map(|&v| sample_buf[v]).sum();
-
-                    if let DvfsMode::Dynamic { interval_samples } = self.dvfs_mode {
-                        if k_in_period > 0 && k_in_period.is_multiple_of(interval_samples) {
-                            let recent = if self.policy.correlation_aware_frequency() {
-                                window_max_agg[s]
-                            } else {
-                                members.iter().map(|&v| window_max_vm[v]).sum()
-                            };
-                            let f = planner
-                                .dynamic_level(class, recent, self.dynamic_headroom)
-                                .map_err(SimError::Core)?;
-                            freq_idx[s] =
-                                ladder.index_of(f).expect("planner returns ladder levels");
-                            window_max_agg[s] = 0.0;
-                            for &v in members {
-                                window_max_vm[v] = 0.0;
-                            }
-                        }
-                        window_max_agg[s] = window_max_agg[s].max(agg);
-                        for &v in members {
-                            window_max_vm[v] = window_max_vm[v].max(sample_buf[v]);
-                        }
-                    }
-
-                    let f = ladder.get(freq_idx[s]).expect("index within ladder");
-                    let eff_capacity = capacity * f.ratio_to(ladder.max());
-                    if agg > eff_capacity + VIOLATION_EPS {
-                        server_violations[s] += 1;
-                        violation_instances += 1;
-                        class_violations[class] += 1;
-                    }
-                    let u = (agg / eff_capacity).clamp(0.0, 1.0);
-                    let watts = server_fleet.classes()[class]
-                        .power_model()
-                        .power(u, f)
-                        .map_err(SimError::Power)?;
-                    class_energy[class].add(watts, dt);
-                    freq_histogram[s][union_level[class][freq_idx[s]]] += 1;
-                }
-            }
-
-            // ---- Observe this period for the next UPDATE.
-            for (i, trace) in traces.iter().enumerate() {
-                let slice = &trace.values()[start..end];
-                let peak = self.reference.of(slice).map_err(SimError::Trace)?;
-                peak_pred.observe(i, peak).map_err(SimError::Core)?;
-                let off = cavm_trace::percentile(slice, 90.0).map_err(SimError::Trace)?;
-                offpeak_pred.observe(i, off).map_err(SimError::Core)?;
-            }
-            prev_matrix = Some(matrix_next);
-            prev_assignment = Some(assignment);
-
-            for (class, peak) in class_peak_servers.iter_mut().enumerate() {
-                let used = classes_of.iter().filter(|&&c| c == class).count();
-                *peak = (*peak).max(used);
-            }
-
-            let max_ratio = server_violations
-                .iter()
-                .map(|&v| v as f64 / self.period_samples as f64)
-                .fold(0.0, f64::max);
-            period_records.push(PeriodRecord {
-                period,
-                servers_used: active,
-                max_violation_ratio: max_ratio,
-                migrations,
-                pcp_clusters,
-            });
-        }
-
-        let max_violation = period_records
-            .iter()
-            .map(|p| p.max_violation_ratio)
-            .fold(0.0, f64::max);
-        let mean_violation = if period_records.is_empty() {
-            0.0
-        } else {
-            period_records
-                .iter()
-                .map(|p| p.max_violation_ratio)
-                .sum::<f64>()
-                / period_records.len() as f64
-        };
-        let mut energy = EnergyMeter::new();
-        for meter in &class_energy {
-            energy.merge(meter);
-        }
-        let classes: Vec<ClassBreakdown> = server_fleet
-            .classes()
-            .iter()
-            .enumerate()
-            .map(|(c, spec)| ClassBreakdown {
-                name: spec.name().to_string(),
-                cores: spec.cores(),
-                servers_available: spec.count(),
-                peak_servers_used: class_peak_servers[c],
-                energy: class_energy[c],
-                violation_instances: class_violations[c],
-                migrations_in: class_migrations[c],
-            })
-            .collect();
-        Ok(SimReport {
-            policy: self.policy.name().to_string(),
-            dynamic_dvfs: matches!(self.dvfs_mode, DvfsMode::Dynamic { .. }),
-            energy,
-            max_violation_percent: max_violation * 100.0,
-            mean_violation_percent: mean_violation * 100.0,
-            violation_instances,
-            periods: period_records,
-            classes,
-            freq_histogram,
-            freq_levels_ghz: union_ghz,
-        })
+        let mut sink = ReportSink::new();
+        self.run_with_sink(&mut sink)?;
+        sink.into_report()
+            .ok_or(SimError::InvalidParameter("scenario produced no report"))
     }
 
-    /// One period's placement (plus the PCP cluster count when
-    /// applicable).
-    fn place_period(
-        &self,
-        period: usize,
-        start: usize,
-        vms: &[VmDescriptor],
-        matrix: &CostMatrix,
-        traces: &[&TimeSeries],
-    ) -> crate::Result<(Placement, Option<usize>)> {
-        let fleet = &self.server_fleet;
-        match self.policy {
-            Policy::Bfd => Ok((BfdPolicy.place(vms, matrix, fleet).map_err(map_core)?, None)),
-            Policy::Ffd => Ok((FfdPolicy.place(vms, matrix, fleet).map_err(map_core)?, None)),
-            Policy::Proposed(config) => {
-                let policy = ProposedPolicy::new(config).map_err(SimError::Core)?;
-                Ok((policy.place(vms, matrix, fleet).map_err(map_core)?, None))
+    /// Runs the scenario while streaming every period, migration,
+    /// violation, admission and the terminal report through `sink`.
+    ///
+    /// # Errors
+    ///
+    /// As [`Scenario::run`].
+    pub fn run_with_sink(&self, sink: &mut dyn MetricSink) -> crate::Result<()> {
+        let mut controller = self.controller()?;
+        let n_samples = self.fleet.vms()[0].fine.len();
+        let periods = n_samples / self.period_samples;
+        let total = periods * self.period_samples;
+
+        // The event schedule: the configured lifecycle, or the
+        // closed-world default (everything at t = 0, nothing departs).
+        let entries: Vec<LifecycleEntry> = match &self.lifecycle {
+            Some(lifecycle) => lifecycle.entries().to_vec(),
+            None => (0..self.fleet.len())
+                .map(|id| LifecycleEntry {
+                    id,
+                    arrival_sample: 0,
+                    departure_sample: None,
+                })
+                .collect(),
+        };
+        let mut departures: Vec<(usize, usize)> = entries
+            .iter()
+            .filter_map(|e| e.departure_sample.map(|d| (d, e.id)))
+            .filter(|&(d, _)| d < total)
+            .collect();
+        departures.sort_unstable();
+
+        let mut next_arrival = 0usize;
+        let mut next_departure = 0usize;
+        for k in 0..total {
+            while next_departure < departures.len() && departures[next_departure].0 == k {
+                controller.apply(
+                    VmEvent::Depart {
+                        id: departures[next_departure].1,
+                    },
+                    sink,
+                )?;
+                next_departure += 1;
             }
-            Policy::SuperVm { min_pair_cost } => {
-                let policy = SuperVmPolicy::new(min_pair_cost).map_err(SimError::Core)?;
-                Ok((policy.place(vms, matrix, fleet).map_err(map_core)?, None))
-            }
-            Policy::Pcp {
-                envelope_percentile,
-                affinity_threshold,
-            } => {
-                if period == 0 {
-                    // No history yet: a single degenerate cluster, i.e.
-                    // BFD behaviour.
-                    return Ok((
-                        BfdPolicy.place(vms, matrix, fleet).map_err(map_core)?,
-                        Some(1),
-                    ));
-                }
-                let prev_start = start - self.period_samples;
-                let slices: Vec<TimeSeries> = traces
-                    .iter()
-                    .map(|t| t.slice(prev_start, start))
-                    .collect::<std::result::Result<_, _>>()
+            while next_arrival < entries.len() && entries[next_arrival].arrival_sample == k {
+                let entry = &entries[next_arrival];
+                let end = entry.departure_sample.map_or(total, |d| d.min(total));
+                let trace = self.fleet.vms()[entry.id]
+                    .fine
+                    .slice(entry.arrival_sample, end)
                     .map_err(SimError::Trace)?;
-                let refs: Vec<&TimeSeries> = slices.iter().collect();
-                let pcp = PcpPolicy::from_traces(&refs, envelope_percentile, affinity_threshold)
-                    .map_err(SimError::Core)?;
-                let clusters = pcp.cluster_count();
-                Ok((
-                    pcp.place(vms, matrix, fleet).map_err(map_core)?,
-                    Some(clusters),
-                ))
+                controller.apply(
+                    VmEvent::Arrive {
+                        id: entry.id,
+                        trace,
+                    },
+                    sink,
+                )?;
+                next_arrival += 1;
             }
+            controller.apply(VmEvent::Tick, sink)?;
         }
+        controller.finish(sink)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::Policy;
     use crate::ScenarioBuilder;
+    use cavm_core::dvfs::DvfsMode;
     use cavm_core::fleet::{ServerClass, ServerFleet};
     use cavm_power::LinearPowerModel;
     use cavm_workload::datacenter::DatacenterTraceBuilder;
@@ -441,6 +155,11 @@ mod tests {
             assert_eq!(r.periods.len(), 4, "{}", r.policy);
             assert!((0.0..=100.0).contains(&r.max_violation_percent));
             assert!(r.mean_violation_percent <= r.max_violation_percent + 1e-9);
+            assert_eq!(
+                r.online_admissions, 0,
+                "{}: batch runs never admit",
+                r.policy
+            );
         }
     }
 
@@ -456,6 +175,11 @@ mod tests {
         assert_eq!(c.energy, r.energy);
         assert_eq!(c.violation_instances, r.violation_instances);
         assert_eq!(c.migrations_in, r.total_migrations());
+        // The one class's own histogram carries the whole union mass.
+        assert_eq!(c.freq_levels_ghz, r.freq_levels_ghz);
+        let class_mass: u64 = c.freq_histogram.iter().sum();
+        let union_mass: u64 = r.freq_histogram.iter().flatten().sum();
+        assert_eq!(class_mass, union_mass);
     }
 
     #[test]
@@ -491,6 +215,9 @@ mod tests {
             .sum();
         assert_eq!(total, expected);
         assert_eq!(r.freq_levels_ghz, vec![2.0, 2.3]);
+        // Per-class histograms carry the same mass, split by class.
+        let class_total: u64 = r.classes.iter().flat_map(|c| c.freq_histogram.iter()).sum();
+        assert_eq!(class_total, total);
     }
 
     #[test]
@@ -552,6 +279,24 @@ mod tests {
     }
 
     #[test]
+    fn streamed_metrics_agree_with_the_report() {
+        let scenario = ScenarioBuilder::new(fleet(9, 4.0, 5))
+            .servers(12)
+            .policy(Policy::Proposed(Default::default()))
+            .build()
+            .unwrap();
+        let mut sink = ReportSink::new();
+        scenario.run_with_sink(&mut sink).unwrap();
+        let streamed_periods = sink.periods().to_vec();
+        let streamed_migrations = sink.migrations();
+        let streamed_violations = sink.violations();
+        let report = sink.into_report().unwrap();
+        assert_eq!(streamed_periods, report.periods);
+        assert_eq!(streamed_migrations, report.total_migrations());
+        assert_eq!(streamed_violations, report.violation_instances);
+    }
+
+    #[test]
     fn heterogeneous_scenario_reports_per_class_breakdowns() {
         let xeon = LinearPowerModel::xeon_e5410;
         let hetero = ServerFleet::new(vec![
@@ -598,6 +343,10 @@ mod tests {
             // The histogram axis is the union ladder (one per class
             // here, all sharing 2.0/2.3 GHz).
             assert_eq!(r.freq_levels_ghz, vec![2.0, 2.3], "{}", r.policy);
+            // Per-class histogram masses reassemble the union mass.
+            let union_mass: u64 = r.freq_histogram.iter().flatten().sum();
+            let class_mass: u64 = r.classes.iter().flat_map(|c| c.freq_histogram.iter()).sum();
+            assert_eq!(class_mass, union_mass, "{}", r.policy);
         }
     }
 }

@@ -1,11 +1,18 @@
-//! Trace-driven datacenter simulator (paper Setup-2).
+//! Online datacenter allocation controller and trace-driven simulator
+//! (paper Setup-2).
 //!
-//! Replays per-VM utilization traces against a [`ServerFleet`] of
-//! DVFS-capable servers — the paper's uniform rack or a heterogeneous
-//! mix of classes ([`ScenarioBuilder::server_fleet`]) — re-running VM
-//! placement every `t_period` (the paper uses 1 hour) with *predicted*
-//! demands, and accounting power and capacity violations exactly as
-//! Table II does:
+//! The crate's centre is the **event-driven controller**,
+//! [`DatacenterController`]: a long-running allocation session over a
+//! [`ServerFleet`] — the paper's uniform rack or a heterogeneous mix
+//! of classes ([`ScenarioBuilder::server_fleet`]) — driven by
+//! [`VmEvent`]s (`Arrive` / `Depart` / `Tick`). Placement re-runs
+//! every `t_period` (the paper uses 1 hour) with *predicted* demands;
+//! VMs arriving **mid-period** are admitted through the incremental
+//! single-VM placement
+//! ([`AllocationPolicy::place_one`]) without a re-pack, and progress
+//! streams through a [`MetricSink`] (`on_period`, `on_migration`,
+//! `on_violation`, `on_class_energy`, …) instead of only a terminal
+//! report. Accounting matches Table II exactly:
 //!
 //! * **Placement** — any [`Policy`]: BFD, FFD, PCP (re-clustered each
 //!   period from the previous period's envelopes), SuperVM, or the
@@ -24,13 +31,23 @@
 //!   servers' utilization; inactive servers are off. Table II's
 //!   "normalized power" is
 //!   `report.energy.normalized_to(&baseline.energy)`, and
-//!   [`SimReport::classes`] breaks energy/violations/migrations down
-//!   per class.
+//!   [`SimReport::classes`] breaks energy/violations/migrations (and a
+//!   per-class Fig 6 histogram) down per class.
 //!
+//! The paper's closed-world **batch replay is a convenience wrapper**:
+//! [`Scenario::run`] drives the controller with every VM arriving at
+//! t = 0 (or per an explicit [`ScenarioBuilder::lifecycle`] schedule —
+//! Poisson arrivals, bounded leases, diurnal churn) and a
+//! [`ReportSink`] collects the terminal [`SimReport`]. Without a
+//! lifecycle this path is bit-identical to the historical batch
+//! engine, pinned by the `fleet_regression` golden tests and the
+//! batch≡online equivalence property tests.
+//!
+//! [`AllocationPolicy::place_one`]: cavm_core::alloc::AllocationPolicy::place_one
 //! [`PowerModel`]: cavm_power::PowerModel
 //! [`ServerFleet`]: cavm_core::fleet::ServerFleet
 //!
-//! # Example
+//! # Example: batch replay
 //!
 //! ```
 //! use cavm_sim::{Policy, ScenarioBuilder};
@@ -51,16 +68,52 @@
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! # Example: online churn
+//!
+//! ```
+//! use cavm_sim::{Policy, ReportSink, ScenarioBuilder};
+//! use cavm_workload::datacenter::DatacenterTraceBuilder;
+//! use cavm_workload::lifecycle::{ArrivalProcess, LifecycleBuilder, LifetimeModel};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let fleet = DatacenterTraceBuilder::new(8)
+//!     .groups(2)
+//!     .seed(3)
+//!     .duration_hours(4.0)
+//!     .build()?;
+//! let horizon = 4 * 720;
+//! let lifecycle = LifecycleBuilder::new(8, horizon)
+//!     .seed(3)
+//!     .arrivals(ArrivalProcess::Poisson { mean_gap_samples: 120.0 })
+//!     .lifetimes(LifetimeModel::Exponential { mean_samples: 1440.0 })
+//!     .build()?;
+//! let mut sink = ReportSink::new();
+//! ScenarioBuilder::new(fleet)
+//!     .servers(10)
+//!     .lifecycle(lifecycle)
+//!     .build()?
+//!     .run_with_sink(&mut sink)?;
+//! let report = sink.into_report().expect("summary fired");
+//! assert!(report.energy.joules() > 0.0);
+//! # Ok(())
+//! # }
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod config;
+pub mod controller;
 mod engine;
 mod error;
 pub mod report;
 
 pub use config::{Policy, Scenario, ScenarioBuilder};
+pub use controller::{
+    ControllerConfig, DatacenterController, MetricSink, NullSink, ReportSink, ViolationEvent,
+    VmEvent,
+};
 pub use error::SimError;
 pub use report::{ClassBreakdown, PeriodRecord, SimReport};
 

@@ -40,6 +40,33 @@ pub struct ClassBreakdown {
     pub violation_instances: usize,
     /// VM migrations whose *destination* server belongs to this class.
     pub migrations_in: usize,
+    /// GHz value of each level of this class's *own* DVFS ladder — the
+    /// axis of [`ClassBreakdown::freq_histogram`]. Unlike the
+    /// report-wide union axis, a mixed-ladder fleet reads naturally
+    /// here: every column is a level this class can actually run at.
+    pub freq_levels_ghz: Vec<f64>,
+    /// Per-class Fig 6 histogram: active (server, sample) instances of
+    /// this class spent at each ladder level, summed over the class's
+    /// servers. Total mass equals the class's share of the report-wide
+    /// histogram mass.
+    pub freq_histogram: Vec<u64>,
+}
+
+impl ClassBreakdown {
+    /// Fraction of this class's active samples spent at each of its
+    /// ladder levels, or `None` if the class was never active.
+    pub fn freq_distribution(&self) -> Option<Vec<f64>> {
+        let total: u64 = self.freq_histogram.iter().sum();
+        if total == 0 {
+            return None;
+        }
+        Some(
+            self.freq_histogram
+                .iter()
+                .map(|&c| c as f64 / total as f64)
+                .collect(),
+        )
+    }
 }
 
 /// Aggregated outcome of a scenario run.
@@ -72,6 +99,11 @@ pub struct SimReport {
     /// class ladder's levels (a uniform fleet's own ladder,
     /// unchanged).
     pub freq_levels_ghz: Vec<f64>,
+    /// VMs admitted through the incremental single-VM placement path
+    /// (mid-period arrivals in an online run). Always 0 for a batch
+    /// replay, where every VM exists from t = 0 and placement happens
+    /// only at period boundaries.
+    pub online_admissions: usize,
 }
 
 impl SimReport {
@@ -148,9 +180,12 @@ mod tests {
                 energy: EnergyMeter::new(),
                 violation_instances: 5,
                 migrations_in: 2,
+                freq_levels_ghz: vec![2.0, 2.3],
+                freq_histogram: vec![10, 30],
             }],
             freq_histogram: vec![vec![10, 30], vec![0, 0]],
             freq_levels_ghz: vec![2.0, 2.3],
+            online_admissions: 0,
         }
     }
 
@@ -162,6 +197,17 @@ mod tests {
         assert!((d[1] - 0.75).abs() < 1e-12);
         assert_eq!(r.freq_distribution(1), None, "inactive server");
         assert_eq!(r.freq_distribution(9), None, "unknown server");
+    }
+
+    #[test]
+    fn class_freq_distribution_normalizes() {
+        let r = report();
+        let d = r.classes[0].freq_distribution().unwrap();
+        assert!((d[0] - 0.25).abs() < 1e-12);
+        assert!((d[1] - 0.75).abs() < 1e-12);
+        let mut idle = r.classes[0].clone();
+        idle.freq_histogram = vec![0, 0];
+        assert_eq!(idle.freq_distribution(), None);
     }
 
     #[test]

@@ -1,0 +1,277 @@
+//! Online-controller acceptance: the batch≡online equivalence property
+//! and churn behaviour.
+//!
+//! The redesign's contract is that `Scenario::run()` — now a thin
+//! driver over [`DatacenterController`] — and an explicit lifecycle
+//! where every VM arrives at t = 0 and never departs produce **the
+//! same `SimReport`, field for field**, for all five policies. Churn
+//! tests then exercise what the batch API could never express:
+//! mid-period arrivals admitted through the incremental single-VM
+//! placement, departures powering servers off, and streaming metric
+//! sinks.
+//!
+//! [`DatacenterController`]: cavm_sim::DatacenterController
+
+use cavm_core::dvfs::DvfsMode;
+use cavm_sim::{Policy, ReportSink, ScenarioBuilder, SimReport};
+use cavm_workload::datacenter::DatacenterTraceBuilder;
+use cavm_workload::lifecycle::{
+    ArrivalProcess, Lifecycle, LifecycleBuilder, LifecycleEntry, LifetimeModel,
+};
+use proptest::prelude::*;
+
+fn fleet(vms: usize, hours: f64, seed: u64) -> cavm_workload::datacenter::VmFleet {
+    DatacenterTraceBuilder::new(vms)
+        .groups((vms / 3).max(1))
+        .seed(seed)
+        .duration_hours(hours)
+        .build()
+        .unwrap()
+}
+
+fn five_policies() -> [Policy; 5] {
+    [
+        Policy::Bfd,
+        Policy::Ffd,
+        Policy::Pcp {
+            envelope_percentile: 90.0,
+            affinity_threshold: 0.2,
+        },
+        Policy::SuperVm {
+            min_pair_cost: 1.25,
+        },
+        Policy::Proposed(Default::default()),
+    ]
+}
+
+proptest! {
+    /// A lifecycle where every VM arrives at t = 0 and never departs is
+    /// indistinguishable from the batch replay — identical `SimReport`s
+    /// (PartialEq covers energy bits, violations, migrations, periods,
+    /// class breakdowns and histograms) for all five policies, static
+    /// and dynamic DVFS.
+    #[test]
+    fn batch_equals_online_when_everyone_arrives_at_t0(
+        seed in 0u32..1000,
+        vms in 5usize..10,
+        dynamic in any::<bool>()
+    ) {
+        let traces = fleet(vms, 2.0, u64::from(seed));
+        let horizon = traces.vms()[0].fine.len();
+        let mode = if dynamic {
+            DvfsMode::Dynamic { interval_samples: 12 }
+        } else {
+            DvfsMode::Static
+        };
+        for policy in five_policies() {
+            let batch: SimReport = ScenarioBuilder::new(traces.clone())
+                .servers(2 * vms)
+                .policy(policy)
+                .dvfs_mode(mode)
+                .build()
+                .unwrap()
+                .run()
+                .unwrap();
+            let online: SimReport = ScenarioBuilder::new(traces.clone())
+                .servers(2 * vms)
+                .policy(policy)
+                .dvfs_mode(mode)
+                .lifecycle(Lifecycle::all_at_start(vms, horizon).unwrap())
+                .build()
+                .unwrap()
+                .run()
+                .unwrap();
+            prop_assert_eq!(&batch, &online, "{} diverged under churn-free lifecycle", batch.policy);
+            prop_assert_eq!(batch.online_admissions, 0);
+        }
+    }
+}
+
+/// A deterministic churn schedule over 4 one-hour periods: two VMs up
+/// front, the rest trickling in mid-period, some leaving early.
+fn churn_lifecycle(vms: usize, horizon: usize) -> Lifecycle {
+    let entries = (0..vms)
+        .map(|id| {
+            let arrival_sample = if id < 2 { 0 } else { (id - 1) * 300 + 37 };
+            let departure_sample = (id % 3 == 1).then(|| (arrival_sample + 1500).min(horizon - 1));
+            LifecycleEntry {
+                id,
+                arrival_sample,
+                departure_sample,
+            }
+        })
+        .collect();
+    Lifecycle::from_entries(entries, horizon).unwrap()
+}
+
+#[test]
+fn churn_exercises_the_incremental_admit_path() {
+    let traces = fleet(9, 4.0, 11);
+    let horizon = traces.vms()[0].fine.len();
+    let lifecycle = churn_lifecycle(9, horizon);
+    assert!(!lifecycle.is_batch_equivalent());
+    for policy in five_policies() {
+        let mut sink = ReportSink::new();
+        ScenarioBuilder::new(traces.clone())
+            .servers(12)
+            .policy(policy)
+            .lifecycle(lifecycle.clone())
+            .build()
+            .unwrap()
+            .run_with_sink(&mut sink)
+            .unwrap();
+        let admissions = sink.admissions();
+        let report = sink.into_report().unwrap();
+        // Mid-period arrivals were admitted without a re-pack.
+        assert!(
+            report.online_admissions > 0,
+            "{}: no incremental admissions under churn",
+            report.policy
+        );
+        assert_eq!(admissions, report.online_admissions, "{}", report.policy);
+        assert!(report.energy.joules() > 0.0, "{}", report.policy);
+        assert_eq!(report.periods.len(), 4, "{}", report.policy);
+        // Per-class tallies still reassemble the totals under churn.
+        let class_joules: f64 = report.classes.iter().map(|c| c.energy.joules()).sum();
+        assert!(
+            (class_joules - report.energy.joules()).abs() < 1e-6,
+            "{}",
+            report.policy
+        );
+        let class_violations: usize = report.classes.iter().map(|c| c.violation_instances).sum();
+        assert_eq!(
+            class_violations, report.violation_instances,
+            "{}",
+            report.policy
+        );
+    }
+}
+
+#[test]
+fn departures_reduce_load_on_later_periods() {
+    // All nine VMs start together; six leave after the first period.
+    let traces = fleet(9, 4.0, 7);
+    let horizon = traces.vms()[0].fine.len();
+    let entries = (0..9)
+        .map(|id| LifecycleEntry {
+            id,
+            arrival_sample: 0,
+            departure_sample: (id >= 3).then_some(730),
+        })
+        .collect();
+    let lifecycle = Lifecycle::from_entries(entries, horizon).unwrap();
+    let report = ScenarioBuilder::new(traces.clone())
+        .servers(12)
+        .lifecycle(lifecycle)
+        .build()
+        .unwrap()
+        .run()
+        .unwrap();
+    let full = ScenarioBuilder::new(traces)
+        .servers(12)
+        .build()
+        .unwrap()
+        .run()
+        .unwrap();
+    // Later periods pack only the three survivors.
+    let last = report.periods.last().unwrap();
+    assert!(
+        last.servers_used <= full.periods.last().unwrap().servers_used,
+        "fewer tenants must not need more servers"
+    );
+    assert!(
+        report.energy.joules() < full.energy.joules(),
+        "a mostly-departed datacenter must burn less energy"
+    );
+}
+
+#[test]
+fn streamed_events_are_consistent_under_churn() {
+    let traces = fleet(8, 3.0, 3);
+    let horizon = traces.vms()[0].fine.len();
+    let lifecycle = LifecycleBuilder::new(8, horizon)
+        .seed(5)
+        .arrivals(ArrivalProcess::Poisson {
+            mean_gap_samples: 150.0,
+        })
+        .lifetimes(LifetimeModel::Uniform {
+            min_samples: 720,
+            max_samples: 1800,
+        })
+        .build()
+        .unwrap();
+    let mut sink = ReportSink::new();
+    ScenarioBuilder::new(traces)
+        .servers(10)
+        .policy(Policy::Proposed(Default::default()))
+        .lifecycle(lifecycle)
+        .build()
+        .unwrap()
+        .run_with_sink(&mut sink)
+        .unwrap();
+    let periods = sink.periods().to_vec();
+    let migrations = sink.migrations();
+    let violations = sink.violations();
+    let report = sink.into_report().unwrap();
+    assert_eq!(periods, report.periods);
+    assert_eq!(migrations, report.total_migrations());
+    assert_eq!(violations, report.violation_instances);
+}
+
+#[test]
+fn empty_first_period_is_survivable_for_every_policy() {
+    // Nobody is live during period 0; the first VMs arrive exactly at
+    // the period-1 boundary and later. PCP in particular must fall
+    // back to its degenerate single cluster instead of reading an
+    // empty history window.
+    let traces = fleet(6, 4.0, 19);
+    let horizon = traces.vms()[0].fine.len();
+    let entries = (0..6)
+        .map(|id| LifecycleEntry {
+            id,
+            arrival_sample: 720 + id * 211,
+            departure_sample: None,
+        })
+        .collect();
+    let lifecycle = Lifecycle::from_entries(entries, horizon).unwrap();
+    for policy in five_policies() {
+        let report = ScenarioBuilder::new(traces.clone())
+            .servers(10)
+            .policy(policy)
+            .lifecycle(lifecycle.clone())
+            .build()
+            .unwrap()
+            .run()
+            .unwrap();
+        assert_eq!(report.periods.len(), 4, "{}", report.policy);
+        assert_eq!(report.periods[0].servers_used, 0, "{}", report.policy);
+        assert!(report.periods[1].servers_used > 0, "{}", report.policy);
+        assert!(report.energy.joules() > 0.0, "{}", report.policy);
+    }
+}
+
+#[test]
+fn lifecycle_validation_happens_at_build_time() {
+    let traces = fleet(4, 2.0, 1);
+    let horizon = traces.vms()[0].fine.len();
+    // Wrong horizon.
+    let wrong = Lifecycle::all_at_start(4, horizon + 1).unwrap();
+    assert!(ScenarioBuilder::new(traces.clone())
+        .lifecycle(wrong)
+        .build()
+        .is_err());
+    // Foreign VM id.
+    let foreign = Lifecycle::from_entries(
+        vec![LifecycleEntry {
+            id: 9,
+            arrival_sample: 0,
+            departure_sample: None,
+        }],
+        horizon,
+    )
+    .unwrap();
+    assert!(ScenarioBuilder::new(traces)
+        .lifecycle(foreign)
+        .build()
+        .is_err());
+}

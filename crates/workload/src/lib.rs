@@ -40,11 +40,13 @@
 pub mod clients;
 pub mod datacenter;
 mod error;
+pub mod lifecycle;
 pub mod websearch;
 
 pub use clients::ClientWave;
 pub use datacenter::{DailyArchetype, DatacenterTraceBuilder, VmFleet, VmTrace};
 pub use error::WorkloadError;
+pub use lifecycle::{ArrivalProcess, Lifecycle, LifecycleBuilder, LifecycleEntry, LifetimeModel};
 pub use websearch::{WebSearchCluster, WebSearchClusterConfig};
 
 /// Crate-wide result alias.

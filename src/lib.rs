@@ -18,7 +18,9 @@
 //!   (Eqn 1), cost matrix, server cost (Eqn 2), the UPDATE/ALLOCATE
 //!   placement heuristic (Fig 2), baselines (FFD, BFD, PCP, SuperVM)
 //!   and the frequency decision (Eqn 4).
-//! * [`sim`] — trace-driven datacenter simulator (paper Setup-2:
+//! * [`sim`] — the online datacenter controller (event-driven VM
+//!   lifecycle, incremental admissions, streaming metric sinks) and
+//!   the batch trace-driven simulator built on it (paper Setup-2:
 //!   Table II, Fig 6).
 //!
 //! # Quickstart
@@ -95,11 +97,15 @@ pub mod prelude {
     };
     pub use cavm_microarch::{machine::Machine, stream::StreamProfile};
     pub use cavm_power::{DvfsLadder, EnergyMeter, Frequency, LinearPowerModel, PowerModel};
-    pub use cavm_sim::{Policy, Scenario, ScenarioBuilder, SimReport};
+    pub use cavm_sim::{
+        ClassBreakdown, ControllerConfig, DatacenterController, MetricSink, NullSink, PeriodRecord,
+        Policy, ReportSink, Scenario, ScenarioBuilder, SimReport, ViolationEvent, VmEvent,
+    };
     pub use cavm_trace::{Envelope, Reference, SimRng, TimeSeries};
     pub use cavm_workload::{
         clients::ClientWave,
         datacenter::{DailyArchetype, DatacenterTraceBuilder, VmFleet},
+        lifecycle::{ArrivalProcess, Lifecycle, LifecycleBuilder, LifecycleEntry, LifetimeModel},
         websearch::WebSearchCluster,
     };
 }
