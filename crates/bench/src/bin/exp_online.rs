@@ -6,21 +6,27 @@
 //! VMs arrive by a Poisson process over the day and hold bounded
 //! (uniform) leases, so placement periods see mid-period arrivals that
 //! must be admitted through the **incremental single-VM placement**
-//! (`AllocationPolicy::place_one` — no re-pack) and departures that
-//! power servers off. The run asserts that every policy exercised the
-//! incremental admit path, prints the Table II-style comparison, and
-//! appends an `"online"` section to `BENCH_corr.json`.
+//! (`AllocationPolicy::place_one` — no re-pack, lease-aware) and
+//! departures that power servers off. The run asserts that every
+//! policy exercised the incremental admit path, prints the
+//! Table II-style comparison, then re-runs the proposed policy on a
+//! **departure-heavy** schedule under all three `RepackTrigger`s —
+//! asserting the adaptive `Hybrid` schedule never burns more energy
+//! than the paper's periodic-only clock — and appends an `"online"`
+//! section (comparison + adaptive rows) to `BENCH_corr.json`.
 //!
 //! ```text
 //! cargo run --release -p cavm-bench --bin exp_online
 //! ```
 //!
 //! Environment knobs (for CI smoke runs): `CAVM_ONLINE_VMS` (default
-//! 40), `CAVM_ONLINE_HOURS` (default 24).
+//! 40), `CAVM_ONLINE_HOURS` (default 24), `CAVM_ONLINE_TRIGGER`
+//! (`periodic` | `fragmentation` | `hybrid`; trigger of the main
+//! comparison, default `periodic`), `CAVM_ONLINE_SLACK` (default 1).
 
 use cavm_bench::{bar, PCP_AFFINITY_THRESHOLD, PCP_ENVELOPE_PERCENTILE};
 use cavm_core::dvfs::DvfsMode;
-use cavm_sim::{Policy, ReportSink, ScenarioBuilder, SimReport};
+use cavm_sim::{Policy, RepackTrigger, ReportSink, ScenarioBuilder, SimReport};
 use cavm_workload::datacenter::DatacenterTraceBuilder;
 use cavm_workload::lifecycle::{ArrivalProcess, Lifecycle, LifecycleBuilder, LifetimeModel};
 use std::fmt::Write as _;
@@ -37,6 +43,15 @@ fn env_f64(key: &str, default: f64) -> f64 {
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(default)
+}
+
+fn env_trigger(key: &str, slack: u32) -> RepackTrigger {
+    match std::env::var(key).as_deref() {
+        Ok("fragmentation") => RepackTrigger::Fragmentation { slack },
+        Ok("hybrid") => RepackTrigger::Hybrid { slack },
+        Ok("periodic") | Err(_) => RepackTrigger::Periodic,
+        Ok(other) => panic!("{key}={other}: expected periodic|fragmentation|hybrid"),
+    }
 }
 
 /// Splices the `"online"` section into an existing `BENCH_corr.json`
@@ -98,6 +113,9 @@ fn main() {
         "churn schedule must contain mid-horizon arrivals"
     );
 
+    let slack = env_usize("CAVM_ONLINE_SLACK", 1) as u32;
+    let trigger = env_trigger("CAVM_ONLINE_TRIGGER", slack);
+
     let policies = [
         Policy::Bfd,
         Policy::Ffd,
@@ -117,6 +135,7 @@ fn main() {
             ScenarioBuilder::new(fleet.clone())
                 .servers(vms.max(4))
                 .policy(policy)
+                .repack_trigger(trigger)
                 .dvfs_mode(DvfsMode::Static)
                 .lifecycle(lifecycle.clone())
                 .build()
@@ -139,10 +158,11 @@ fn main() {
         .energy;
 
     println!(
-        "# Online churn — {} of {} VMs scheduled over {hours} h ({} peak concurrent), static DVFS",
+        "# Online churn — {} of {} VMs scheduled over {hours} h ({} peak concurrent), static DVFS, {} re-packs",
         lifecycle.len(),
         vms,
-        lifecycle.max_concurrent()
+        lifecycle.max_concurrent(),
+        trigger.name(),
     );
     println!();
     println!(
@@ -173,6 +193,92 @@ fn main() {
         bfd.violation_instances,
     );
 
+    // ---- Adaptive consolidation under a departure-heavy schedule:
+    // every lease arrives in the first quarter of the day and ends
+    // well before it does, so the closing hours are dominated by
+    // fragmented, half-empty servers that only an off-cycle re-pack
+    // can consolidate before the next period boundary.
+    let horizon_f = horizon as f64;
+    let departure_heavy: Lifecycle = LifecycleBuilder::new(vms, horizon)
+        .seed(4027)
+        .arrivals(ArrivalProcess::Poisson {
+            mean_gap_samples: horizon_f * 0.25 / vms as f64,
+        })
+        .lifetimes(LifetimeModel::Uniform {
+            min_samples: (horizon / 4).max(1),
+            max_samples: (horizon * 55 / 100).max(2),
+        })
+        .build()
+        .expect("static lifecycle parameters are valid");
+    let departed_in_run = departure_heavy
+        .entries()
+        .iter()
+        .filter(|e| e.departure_sample.is_some())
+        .count();
+    assert!(
+        departed_in_run * 2 >= departure_heavy.len(),
+        "departure-heavy schedule must retire most leases mid-run"
+    );
+
+    let triggers = [
+        RepackTrigger::Periodic,
+        RepackTrigger::Fragmentation { slack },
+        RepackTrigger::Hybrid { slack },
+    ];
+    let adaptive: Vec<SimReport> = triggers
+        .iter()
+        .map(|&t| {
+            ScenarioBuilder::new(fleet.clone())
+                .servers(vms.max(4))
+                .policy(Policy::Proposed(Default::default()))
+                .repack_trigger(t)
+                .dvfs_mode(DvfsMode::Static)
+                .lifecycle(departure_heavy.clone())
+                .build()
+                .expect("scenario parameters are valid")
+                .run()
+                .expect("scenario runs to completion")
+        })
+        .collect();
+    let periodic_energy = adaptive[0].energy;
+
+    println!();
+    println!(
+        "# Adaptive consolidation — proposed policy, departure-heavy day ({} of {} leases end mid-run, slack {slack})",
+        departed_in_run,
+        departure_heavy.len(),
+    );
+    println!();
+    println!(
+        "{:<14} {:>12} {:>12} {:>10} {:>12} {:>9}  vs periodic",
+        "trigger", "energy kWh", "norm. power", "max viol%", "migrations", "re-packs"
+    );
+    for (t, r) in triggers.iter().zip(&adaptive) {
+        let norm = r.energy.normalized_to(&periodic_energy).expect("nonzero");
+        println!(
+            "{:<14} {:>12.2} {:>12.3} {:>10.2} {:>12} {:>9}  {}",
+            t.name(),
+            r.energy.kilowatt_hours(),
+            norm,
+            r.max_violation_percent,
+            r.total_migrations(),
+            r.offcycle_repacks,
+            bar(norm, 30),
+        );
+    }
+    let hybrid = &adaptive[2];
+    assert!(
+        hybrid.offcycle_repacks > 0,
+        "the departure-heavy schedule must fire off-cycle re-packs"
+    );
+    assert!(
+        hybrid.energy.joules() <= periodic_energy.joules(),
+        "hybrid re-packs must not burn more energy than the periodic-only clock \
+         ({} J vs {} J)",
+        hybrid.energy.joules(),
+        periodic_energy.joules(),
+    );
+
     let mut section = String::new();
     section.push_str("{\n");
     let _ = writeln!(section, "    \"vms\": {vms},");
@@ -183,6 +289,7 @@ fn main() {
         "    \"peak_concurrent\": {},",
         lifecycle.max_concurrent()
     );
+    let _ = writeln!(section, "    \"trigger\": \"{}\",", trigger.name());
     section.push_str("    \"policies\": [\n");
     for (i, r) in reports.iter().enumerate() {
         let _ = write!(
@@ -197,6 +304,25 @@ fn main() {
         );
         section.push_str(if i + 1 < reports.len() { ",\n" } else { "\n" });
     }
-    section.push_str("    ]\n  }");
+    section.push_str("    ],\n");
+    let _ = writeln!(section, "    \"adaptive\": {{");
+    let _ = writeln!(section, "      \"policy\": \"Proposed\",");
+    let _ = writeln!(section, "      \"slack\": {slack},");
+    let _ = writeln!(section, "      \"departed_leases\": {departed_in_run},");
+    section.push_str("      \"triggers\": [\n");
+    for (i, (t, r)) in triggers.iter().zip(&adaptive).enumerate() {
+        let _ = write!(
+            section,
+            "        {{\"trigger\": \"{}\", \"energy_kwh\": {:.3}, \"normalized_power\": {:.4}, \"max_violation_percent\": {:.3}, \"migrations\": {}, \"offcycle_repacks\": {}}}",
+            t.name(),
+            r.energy.kilowatt_hours(),
+            r.energy.normalized_to(&periodic_energy).expect("nonzero"),
+            r.max_violation_percent,
+            r.total_migrations(),
+            r.offcycle_repacks,
+        );
+        section.push_str(if i + 1 < triggers.len() { ",\n" } else { "\n" });
+    }
+    section.push_str("      ]\n    }\n  }");
     write_bench_json(&section);
 }

@@ -84,14 +84,15 @@ impl AllocationPolicy for FfdPolicy {
     }
 
     /// Online arrivals keep FFD's rule: the first open server with
-    /// room.
+    /// room (preferring one that outlives the arrival's lease).
     fn place_one(
         &self,
         vm: &VmDescriptor,
+        lease: Option<usize>,
         servers: &[OpenServer<'_>],
         _matrix: &CostMatrix,
     ) -> Option<usize> {
-        first_fit_server(vm, servers)
+        first_fit_server(vm, lease, servers)
     }
 }
 

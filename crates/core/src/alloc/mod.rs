@@ -454,6 +454,13 @@ pub trait AllocationPolicy {
     /// [`ServerCostAggregate`](crate::servercost::ServerCostAggregate)s,
     /// so a correlation-aware probe is O(|members|) per candidate.
     ///
+    /// `lease` is the arriving VM's remaining lease in samples (`None`
+    /// = open-ended). Every rule is lease-aware: servers whose members
+    /// all depart before the arrival would (so admitting it would keep
+    /// a soon-empty server alive) are avoided while an outliving
+    /// server fits — see [`online`]'s module docs. With no lease
+    /// information the bias is inert.
+    ///
     /// The default is correlation-blind best fit with a
     /// watts-per-core tie-break ([`online::best_fit_server`]); FFD and
     /// the proposed policy override it (first fit / maximal Eqn (2)
@@ -462,11 +469,12 @@ pub trait AllocationPolicy {
     fn place_one(
         &self,
         vm: &VmDescriptor,
+        lease: Option<usize>,
         servers: &[OpenServer<'_>],
         matrix: &CostMatrix,
     ) -> Option<usize> {
         let _ = matrix;
-        online::best_fit_server(vm, servers)
+        online::best_fit_server(vm, lease, servers)
     }
 }
 

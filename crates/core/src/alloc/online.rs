@@ -18,6 +18,21 @@
 //! is what BFD, PCP and SuperVM use between their period re-packs. FFD
 //! overrides it with first fit, and the proposed policy overrides it
 //! with the Eqn (2) maximal-server-cost rule.
+//!
+//! # Lease-aware admission
+//!
+//! Every rule is additionally **lease-aware** (cf. Quang-Hung et al.,
+//! *Energy-Aware Lease Scheduling*): when the arriving VM's remaining
+//! lease and the candidates' [`OpenServer::drain_samples`] are known,
+//! servers that would *outlive* the arrival anyway are preferred over
+//! servers whose members all depart sooner — admitting onto the latter
+//! would extend the server's life past its natural drain point and
+//! strand it half-empty. The bias is a strict two-tier preference, not
+//! a hard filter: when no outliving server fits, the draining tier is
+//! used unchanged, so lease awareness never opens more servers than
+//! the lease-blind rule would. With no lease information anywhere
+//! (every `drain_samples` is `None`, the batch setting) all three
+//! rules are bit-identical to their lease-blind selves.
 
 use crate::alloc::{VmDescriptor, FIT_EPS};
 use crate::corr::CostMatrix;
@@ -38,6 +53,14 @@ pub struct OpenServer<'a> {
     /// Busy-watts-per-core of the hosting class (lower = more
     /// efficient; used as the capacity tie-break).
     pub watts_per_core: f64,
+    /// Samples until the server's *last* current member departs —
+    /// `Some(k)` when every member's lease ends within `k` samples,
+    /// `None` when at least one member stays indefinitely (or no lease
+    /// information is known, the batch setting). Callers should leave
+    /// an *empty* (vacated but reserved) server at `None`: it is
+    /// already drained, so admitting there extends nothing and the
+    /// slot must stay as eligible as a fresh server.
+    pub drain_samples: Option<usize>,
     /// The server's incremental Eqn (2) aggregate.
     pub agg: &'a ServerCostAggregate,
 }
@@ -52,17 +75,31 @@ impl OpenServer<'_> {
     pub fn fits(&self, demand: f64) -> bool {
         demand <= self.remaining() + FIT_EPS
     }
+
+    /// Whether the server stays busy at least as long as an arriving
+    /// VM whose remaining lease is `lease` (`None` = open-ended) —
+    /// i.e. admitting the VM here would not extend the server's life
+    /// past its natural drain point. Servers with no known drain
+    /// horizon trivially outlive everything.
+    pub fn outlives(&self, lease: Option<usize>) -> bool {
+        match (self.drain_samples, lease) {
+            (None, _) => true,
+            (Some(_), None) => false,
+            (Some(d), Some(l)) => l <= d,
+        }
+    }
 }
 
-/// The default [`AllocationPolicy::place_one`] rule: tightest feasible
-/// server, exact capacity ties broken by watts-per-core (efficient
-/// class first), remaining ties keep the last candidate — the same
-/// keep-last semantics as the batch BFD scan, so a uniform fleet
-/// admits exactly where batch BFD would.
-pub fn best_fit_server(vm: &VmDescriptor, servers: &[OpenServer<'_>]) -> Option<usize> {
+/// Best-fit scan over the servers passing `admissible`, with the batch
+/// BFD keep-last tie semantics.
+fn best_fit_tier(
+    vm: &VmDescriptor,
+    servers: &[OpenServer<'_>],
+    admissible: impl Fn(&OpenServer<'_>) -> bool,
+) -> Option<usize> {
     let mut best: Option<(usize, f64, f64)> = None;
     for (i, server) in servers.iter().enumerate() {
-        if !server.fits(vm.demand) {
+        if !server.fits(vm.demand) || !admissible(server) {
             continue;
         }
         let residual = server.remaining();
@@ -80,26 +117,45 @@ pub fn best_fit_server(vm: &VmDescriptor, servers: &[OpenServer<'_>]) -> Option<
     best.map(|(i, _, _)| i)
 }
 
-/// First-fit admission: the lowest-indexed feasible server (FFD's
-/// online analogue).
-pub fn first_fit_server(vm: &VmDescriptor, servers: &[OpenServer<'_>]) -> Option<usize> {
-    servers.iter().position(|s| s.fits(vm.demand))
+/// The default [`AllocationPolicy::place_one`] rule: tightest feasible
+/// server, exact capacity ties broken by watts-per-core (efficient
+/// class first), remaining ties keep the last candidate — the same
+/// keep-last semantics as the batch BFD scan, so a uniform fleet
+/// admits exactly where batch BFD would. Servers that outlive the
+/// arrival's `lease` are preferred (see the [module docs](self)).
+pub fn best_fit_server(
+    vm: &VmDescriptor,
+    lease: Option<usize>,
+    servers: &[OpenServer<'_>],
+) -> Option<usize> {
+    best_fit_tier(vm, servers, |s| s.outlives(lease))
+        .or_else(|| best_fit_tier(vm, servers, |_| true))
 }
 
-/// Correlation-aware admission: among feasible servers, the one whose
-/// Eqn (2) server cost after insertion is maximal (ties prefer the
-/// more efficient class, then the first candidate). Pairs the matrix
-/// has never observed — including a VM that postdates the matrix —
-/// score the neutral 1.5, so a brand-new arrival degrades gracefully
-/// to an efficiency-aware best fit.
-pub fn max_cost_server(
+/// First-fit admission: the lowest-indexed feasible server that
+/// outlives the arrival's `lease`, else the lowest-indexed feasible
+/// server outright (FFD's online analogue).
+pub fn first_fit_server(
+    vm: &VmDescriptor,
+    lease: Option<usize>,
+    servers: &[OpenServer<'_>],
+) -> Option<usize> {
+    servers
+        .iter()
+        .position(|s| s.fits(vm.demand) && s.outlives(lease))
+        .or_else(|| servers.iter().position(|s| s.fits(vm.demand)))
+}
+
+/// Max-Eqn-2-cost scan over the servers passing `admissible`.
+fn max_cost_tier(
     vm: &VmDescriptor,
     servers: &[OpenServer<'_>],
     matrix: &CostMatrix,
+    admissible: impl Fn(&OpenServer<'_>) -> bool,
 ) -> Option<usize> {
     let mut best: Option<(usize, f64, f64)> = None;
     for (i, server) in servers.iter().enumerate() {
-        if !server.fits(vm.demand) {
+        if !server.fits(vm.demand) || !admissible(server) {
             continue;
         }
         let cost = server.agg.candidate_cost(vm.id, vm.demand, matrix);
@@ -117,6 +173,23 @@ pub fn max_cost_server(
     best.map(|(i, _, _)| i)
 }
 
+/// Correlation-aware admission: among feasible servers, the one whose
+/// Eqn (2) server cost after insertion is maximal (ties prefer the
+/// more efficient class, then the first candidate). Pairs the matrix
+/// has never observed — including a VM that postdates the matrix —
+/// score the neutral 1.5, so a brand-new arrival degrades gracefully
+/// to an efficiency-aware best fit. Servers that outlive the
+/// arrival's `lease` are preferred (see the [module docs](self)).
+pub fn max_cost_server(
+    vm: &VmDescriptor,
+    lease: Option<usize>,
+    servers: &[OpenServer<'_>],
+    matrix: &CostMatrix,
+) -> Option<usize> {
+    max_cost_tier(vm, servers, matrix, |s| s.outlives(lease))
+        .or_else(|| max_cost_tier(vm, servers, matrix, |_| true))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -127,10 +200,12 @@ mod tests {
     type ServerSpec<'a> = (&'a [(usize, f64)], f64, usize, f64);
 
     /// Builds aggregates for servers with the given `(members, cores,
-    /// class, wpc)` tuples.
+    /// class, wpc)` tuples (no lease information: `drain_samples` is
+    /// `None` everywhere unless overridden via [`Fixture::drains`]).
     struct Fixture {
         aggs: Vec<ServerCostAggregate>,
         meta: Vec<(usize, f64, f64)>,
+        drains: Vec<Option<usize>>,
     }
 
     impl Fixture {
@@ -145,19 +220,30 @@ mod tests {
                 aggs.push(agg);
                 meta.push((class, cores, wpc));
             }
-            Self { aggs, meta }
+            let drains = vec![None; meta.len()];
+            Self { aggs, meta, drains }
+        }
+
+        fn drains(mut self, drains: &[Option<usize>]) -> Self {
+            assert_eq!(drains.len(), self.meta.len());
+            self.drains = drains.to_vec();
+            self
         }
 
         fn views(&self) -> Vec<OpenServer<'_>> {
             self.aggs
                 .iter()
                 .zip(&self.meta)
-                .map(|(agg, &(class, cores, watts_per_core))| OpenServer {
-                    class,
-                    cores,
-                    watts_per_core,
-                    agg,
-                })
+                .zip(&self.drains)
+                .map(
+                    |((agg, &(class, cores, watts_per_core)), &drain_samples)| OpenServer {
+                        class,
+                        cores,
+                        watts_per_core,
+                        drain_samples,
+                        agg,
+                    },
+                )
                 .collect()
         }
     }
@@ -173,6 +259,21 @@ mod tests {
     }
 
     #[test]
+    fn outlives_compares_drain_to_lease() {
+        let m = CostMatrix::new(2, Reference::Peak).unwrap();
+        let fx = Fixture::new(&[(&[(0, 3.0)], 8.0, 0, 37.5)], &m).drains(&[Some(100)]);
+        let s = &fx.views()[0];
+        assert!(s.outlives(Some(100)), "equal horizons do not extend");
+        assert!(s.outlives(Some(40)));
+        assert!(!s.outlives(Some(101)));
+        assert!(!s.outlives(None), "open-ended lease outlasts any drain");
+        let fx = Fixture::new(&[(&[(0, 3.0)], 8.0, 0, 37.5)], &m);
+        let s = &fx.views()[0];
+        assert!(s.outlives(None), "no drain info trivially outlives");
+        assert!(s.outlives(Some(usize::MAX)));
+    }
+
+    #[test]
     fn best_fit_picks_tightest_then_efficiency() {
         let m = CostMatrix::new(8, Reference::Peak).unwrap();
         let vm = VmDescriptor::new(7, 2.0);
@@ -185,7 +286,7 @@ mod tests {
             ],
             &m,
         );
-        assert_eq!(best_fit_server(&vm, &fx.views()), Some(2));
+        assert_eq!(best_fit_server(&vm, None, &fx.views()), Some(2));
         // With equal efficiency the last tie wins (batch BFD keep-last).
         let fx = Fixture::new(
             &[
@@ -195,10 +296,38 @@ mod tests {
             ],
             &m,
         );
-        assert_eq!(best_fit_server(&vm, &fx.views()), Some(2));
+        assert_eq!(best_fit_server(&vm, None, &fx.views()), Some(2));
         // Nothing fits: open a new server.
         let vm = VmDescriptor::new(7, 7.0);
-        assert_eq!(best_fit_server(&vm, &fx.views()), None);
+        assert_eq!(best_fit_server(&vm, None, &fx.views()), None);
+    }
+
+    #[test]
+    fn lease_bias_avoids_draining_servers() {
+        let m = CostMatrix::new(8, Reference::Peak).unwrap();
+        let vm = VmDescriptor::new(7, 2.0);
+        // Tightest server (residual 2) drains in 50 samples; the
+        // roomier one (residual 5) hosts an unbounded member.
+        let fx = Fixture::new(
+            &[(&[(0, 3.0)], 8.0, 0, 37.5), (&[(1, 6.0)], 8.0, 0, 37.5)],
+            &m,
+        )
+        .drains(&[None, Some(50)]);
+        // A 200-sample lease outlasts server 1's drain: prefer server 0
+        // even though it is a looser fit.
+        assert_eq!(best_fit_server(&vm, Some(200), &fx.views()), Some(0));
+        // A 50-sample lease departs with (or before) server 1's members:
+        // the lease-blind tightest fit stands.
+        assert_eq!(best_fit_server(&vm, Some(50), &fx.views()), Some(1));
+        // No lease info on the arrival: an open-ended VM avoids the
+        // draining server too.
+        assert_eq!(best_fit_server(&vm, None, &fx.views()), Some(0));
+        // When only draining servers fit, the bias falls back instead
+        // of opening a new server.
+        let fx = Fixture::new(&[(&[(1, 6.0)], 8.0, 0, 37.5)], &m).drains(&[Some(50)]);
+        assert_eq!(best_fit_server(&vm, Some(200), &fx.views()), Some(0));
+        assert_eq!(first_fit_server(&vm, Some(200), &fx.views()), Some(0));
+        assert_eq!(max_cost_server(&vm, Some(200), &fx.views(), &m), Some(0));
     }
 
     #[test]
@@ -209,7 +338,15 @@ mod tests {
             &[(&[(0, 3.0)], 8.0, 0, 37.5), (&[(1, 6.0)], 8.0, 0, 37.5)],
             &m,
         );
-        assert_eq!(first_fit_server(&vm, &fx.views()), Some(0));
+        assert_eq!(first_fit_server(&vm, None, &fx.views()), Some(0));
+        // Lease-aware first fit skips ahead to the first outliving
+        // server.
+        let fx = Fixture::new(
+            &[(&[(0, 3.0)], 8.0, 0, 37.5), (&[(1, 6.0)], 8.0, 0, 37.5)],
+            &m,
+        )
+        .drains(&[Some(10), None]);
+        assert_eq!(first_fit_server(&vm, Some(99), &fx.views()), Some(1));
     }
 
     #[test]
@@ -226,7 +363,16 @@ mod tests {
             ],
             &m,
         );
-        assert_eq!(max_cost_server(&vm, &fx.views(), &m), Some(1));
+        assert_eq!(max_cost_server(&vm, None, &fx.views(), &m), Some(1));
+        // The lease tier outranks the correlation score: when the
+        // anti-correlated host is about to drain, the long-lease
+        // arrival goes to the outliving (if correlated) host.
+        let fx = Fixture::new(
+            &[(&[(1, 4.0)], 8.0, 0, 37.5), (&[(0, 4.0)], 8.0, 0, 37.5)],
+            &m,
+        )
+        .drains(&[None, Some(20)]);
+        assert_eq!(max_cost_server(&vm, Some(500), &fx.views(), &m), Some(0));
     }
 
     #[test]
@@ -244,18 +390,21 @@ mod tests {
         );
         let views = fx.views();
         // BFD (default rule): tightest fit.
-        assert_eq!(BfdPolicy.place_one(&vm, &views, &m), Some(1));
+        assert_eq!(BfdPolicy.place_one(&vm, None, &views, &m), Some(1));
         // FFD: first fit.
-        assert_eq!(FfdPolicy.place_one(&vm, &views, &m), Some(0));
+        assert_eq!(FfdPolicy.place_one(&vm, None, &views, &m), Some(0));
         // Proposed: maximal Eqn (2) cost — the anti-correlated host.
         assert_eq!(
-            ProposedPolicy::default().place_one(&vm, &views, &m),
+            ProposedPolicy::default().place_one(&vm, None, &views, &m),
             Some(0)
         );
         // An oversized VM opens a new server under every rule.
         let huge = VmDescriptor::new(3, 20.0);
-        assert_eq!(BfdPolicy.place_one(&huge, &views, &m), None);
-        assert_eq!(FfdPolicy.place_one(&huge, &views, &m), None);
-        assert_eq!(ProposedPolicy::default().place_one(&huge, &views, &m), None);
+        assert_eq!(BfdPolicy.place_one(&huge, None, &views, &m), None);
+        assert_eq!(FfdPolicy.place_one(&huge, None, &views, &m), None);
+        assert_eq!(
+            ProposedPolicy::default().place_one(&huge, None, &views, &m),
+            None
+        );
     }
 }

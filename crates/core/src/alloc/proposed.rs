@@ -315,10 +315,11 @@ impl AllocationPolicy for ProposedPolicy {
     fn place_one(
         &self,
         vm: &VmDescriptor,
+        lease: Option<usize>,
         servers: &[OpenServer<'_>],
         matrix: &CostMatrix,
     ) -> Option<usize> {
-        max_cost_server(vm, servers, matrix)
+        max_cost_server(vm, lease, servers, matrix)
     }
 }
 

@@ -1,6 +1,6 @@
 //! Scenario description and builder.
 
-use crate::controller::{ControllerConfig, DatacenterController};
+use crate::controller::{ControllerConfig, DatacenterController, RepackTrigger};
 use crate::SimError;
 use cavm_core::alloc::proposed::ProposedConfig;
 use cavm_core::dvfs::DvfsMode;
@@ -70,6 +70,7 @@ pub struct Scenario {
     pub(crate) fleet: VmFleet,
     pub(crate) server_fleet: ServerFleet,
     pub(crate) policy: Policy,
+    pub(crate) repack_trigger: RepackTrigger,
     pub(crate) dvfs_mode: DvfsMode,
     pub(crate) period_samples: usize,
     pub(crate) reference: Reference,
@@ -82,6 +83,11 @@ impl Scenario {
     /// The placement policy.
     pub fn policy(&self) -> Policy {
         self.policy
+    }
+
+    /// When the live placement is re-packed.
+    pub fn repack_trigger(&self) -> RepackTrigger {
+        self.repack_trigger
     }
 
     /// Samples per placement period.
@@ -113,6 +119,7 @@ impl Scenario {
         DatacenterController::new(ControllerConfig {
             server_fleet: self.server_fleet.clone(),
             policy: self.policy,
+            repack_trigger: self.repack_trigger,
             dvfs_mode: self.dvfs_mode,
             period_samples: self.period_samples,
             reference: self.reference,
@@ -141,6 +148,7 @@ pub struct ScenarioBuilder {
     power_model: LinearPowerModel,
     server_fleet: Option<ServerFleet>,
     policy: Policy,
+    repack_trigger: RepackTrigger,
     dvfs_mode: DvfsMode,
     period_samples: usize,
     reference: Reference,
@@ -159,6 +167,7 @@ impl ScenarioBuilder {
             power_model: LinearPowerModel::xeon_e5410(),
             server_fleet: None,
             policy: Policy::Bfd,
+            repack_trigger: RepackTrigger::Periodic,
             dvfs_mode: DvfsMode::Static,
             period_samples: 720,
             reference: Reference::Peak,
@@ -200,6 +209,15 @@ impl ScenarioBuilder {
     /// Placement policy (default: BFD).
     pub fn policy(mut self, policy: Policy) -> Self {
         self.policy = policy;
+        self
+    }
+
+    /// When the live placement is re-packed (default:
+    /// [`RepackTrigger::Periodic`], the paper's fixed schedule — the
+    /// fragmentation variants additionally consolidate off-cycle when
+    /// departures leave the fleet fragmented).
+    pub fn repack_trigger(mut self, trigger: RepackTrigger) -> Self {
+        self.repack_trigger = trigger;
         self
     }
 
@@ -283,6 +301,11 @@ impl ScenarioBuilder {
                 "period must be at least one sample",
             ));
         }
+        if self.repack_trigger.slack() == Some(0) {
+            return Err(SimError::InvalidParameter(
+                "fragmentation slack must be at least one server",
+            ));
+        }
         let len = self.fleet.vms()[0].fine.len();
         if len < self.period_samples {
             return Err(SimError::InvalidParameter("traces shorter than one period"));
@@ -348,6 +371,7 @@ impl ScenarioBuilder {
             fleet: self.fleet,
             server_fleet,
             policy: self.policy,
+            repack_trigger: self.repack_trigger,
             dvfs_mode: self.dvfs_mode,
             period_samples: self.period_samples,
             reference: self.reference,

@@ -20,21 +20,33 @@
 //!   completes a period observes it for the next UPDATE and rebuilds
 //!   the pairwise matrix from the period's window.
 //! * **`Arrive`** registers a VM whose trace starts at the current
-//!   sample. Mid-period arrivals are admitted **incrementally** through
+//!   sample, together with its remaining lease when known. Mid-period
+//!   arrivals are admitted **incrementally** through
 //!   [`AllocationPolicy::place_one`] — an O(open servers ×
 //!   |members|) scan over the live cost aggregates, *not* a full
-//!   re-pack — and the hosting server's frequency is re-planned.
+//!   re-pack — with a lease-aware bias away from servers whose members
+//!   all depart before the arrival would (soon-empty servers stay
+//!   drainable); the hosting server's frequency is re-planned.
 //!   Arrivals between periods simply join the next batch pass.
 //! * **`Depart`** evicts the VM; the vacated server keeps its slot (and
 //!   stays admissible for future arrivals), its aggregate is rebuilt
 //!   and its frequency re-planned. Fully-emptied servers power off
 //!   (they are skipped by the replay) until re-used or compacted by the
-//!   next period's re-pack.
+//!   next re-pack. Under a [`RepackTrigger`] with a fragmentation
+//!   slack, an eviction also *arms* the trigger: the next tick
+//!   compares the live Eqn (3) bound
+//!   ([`ServerFleet::estimate_server_count`]) against the active
+//!   server count and fires an **off-cycle re-pack** when the bound
+//!   has dropped at least `slack` servers below it — the adaptive
+//!   consolidation the fixed period clock cannot express.
 //!
-//! Driven with every VM arriving at t = 0 and no departures, the
-//! controller is **bit-identical** to the historical batch engine —
-//! the `fleet_regression` golden tests and the batch≡online equivalence
+//! Driven with every VM arriving at t = 0 and no departures (and the
+//! default [`RepackTrigger::Periodic`]), the controller is
+//! **bit-identical** to the historical batch engine — the
+//! `fleet_regression` golden tests and the batch≡online equivalence
 //! property tests pin this.
+//!
+//! [`ServerFleet::estimate_server_count`]: cavm_core::fleet::ServerFleet::estimate_server_count
 //!
 //! [`Scenario::run`]: crate::config::Scenario::run
 //! [`AllocationPolicy::place_one`]: cavm_core::alloc::AllocationPolicy::place_one
@@ -53,6 +65,7 @@ use cavm_core::servercost::{server_cost_of, ServerCostAggregate};
 use cavm_core::CoreError;
 use cavm_power::{EnergyMeter, PowerModel};
 use cavm_trace::{Reference, TimeSeries};
+use serde::{Deserialize, Serialize};
 
 pub(crate) const VIOLATION_EPS: f64 = 1e-9;
 
@@ -70,6 +83,131 @@ pub(crate) fn map_core(e: CoreError) -> SimError {
     }
 }
 
+/// When the controller re-packs the live placement.
+///
+/// The paper's Fig 2 re-packs strictly on the period clock; under
+/// heavy departure churn that leaves fragmented, half-empty servers
+/// burning idle watts until the next boundary. The fragmentation
+/// variants watch the live Eqn (3) lower bound
+/// ([`ServerFleet::estimate_server_count`] of the packed predicted
+/// demand) and fire an *off-cycle* re-pack as soon as it drops at
+/// least `slack` servers below
+/// [`Placement::active_server_count`] — checked at the first tick
+/// after a departure evicts a placed VM (between membership changes
+/// the predicate cannot change, so nothing else is ever checked).
+///
+/// ```
+/// use cavm_sim::RepackTrigger;
+///
+/// let trigger = RepackTrigger::Hybrid { slack: 2 };
+/// // 5 active servers, but the live demand would fit into 3.
+/// assert!(trigger.fires(3, 5));
+/// assert!(!trigger.fires(4, 5));
+/// assert!(!RepackTrigger::Periodic.fires(0, 5));
+/// ```
+///
+/// [`ServerFleet::estimate_server_count`]: cavm_core::fleet::ServerFleet::estimate_server_count
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RepackTrigger {
+    /// Re-pack at every period boundary only — the paper's schedule
+    /// and the default; bit-identical to the pre-trigger controller.
+    #[default]
+    Periodic,
+    /// Re-pack *only* when fragmentation warrants it: period
+    /// boundaries refresh predictions, the cost matrix and the
+    /// frequency plans but keep the standing placement (VMs that
+    /// arrived between periods are admitted incrementally), and a full
+    /// ALLOCATE pass runs only when the predicate fires. The session's
+    /// first placement of a live VM set is still a batch pass.
+    Fragmentation {
+        /// Minimum gap (in servers) between the active count and the
+        /// Eqn (3) bound before a re-pack fires; must be ≥ 1.
+        slack: u32,
+    },
+    /// Both schedules: periodic re-packs *plus* fragmentation-fired
+    /// off-cycle ones — never re-packs less than [`Periodic`] does.
+    ///
+    /// [`Periodic`]: RepackTrigger::Periodic
+    Hybrid {
+        /// Minimum gap (in servers) between the active count and the
+        /// Eqn (3) bound before an off-cycle re-pack fires; must be
+        /// ≥ 1.
+        slack: u32,
+    },
+}
+
+impl RepackTrigger {
+    /// Whether period boundaries run the full ALLOCATE re-pack
+    /// (`Periodic` and `Hybrid`).
+    pub fn periodic_repacks(&self) -> bool {
+        matches!(self, Self::Periodic | Self::Hybrid { .. })
+    }
+
+    /// The fragmentation slack, or `None` when off-cycle re-packs are
+    /// disabled.
+    pub fn slack(&self) -> Option<u32> {
+        match *self {
+            Self::Periodic => None,
+            Self::Fragmentation { slack } | Self::Hybrid { slack } => Some(slack),
+        }
+    }
+
+    /// The fragmentation predicate: `true` when the Eqn (3) bound
+    /// `estimate` sits at least `slack` servers below the `active`
+    /// server count (always `false` for [`RepackTrigger::Periodic`]).
+    pub fn fires(&self, estimate: usize, active: usize) -> bool {
+        match self.slack() {
+            None => false,
+            Some(slack) => active.saturating_sub(estimate) >= slack as usize,
+        }
+    }
+
+    /// Stable display name for reports and experiment tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Self::Periodic => "periodic",
+            Self::Fragmentation { .. } => "fragmentation",
+            Self::Hybrid { .. } => "hybrid",
+        }
+    }
+}
+
+/// Why a re-pack ran, carried by [`RepackEvent`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RepackReason {
+    /// The period clock (Fig 2's every-`t_period` ALLOCATE pass). The
+    /// session's first placement of a live VM set fires with this
+    /// reason under every trigger.
+    Periodic,
+    /// The fragmentation predicate fired off-cycle: the Eqn (3) bound
+    /// `estimate` had dropped at least `slack` below the `active`
+    /// server count.
+    Fragmentation {
+        /// Eqn (3) lower bound at the firing instant.
+        estimate: usize,
+        /// Active (non-empty) servers at the firing instant.
+        active: usize,
+    },
+}
+
+/// One full re-pack of the live placement, as streamed to
+/// [`MetricSink::on_repack`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RepackEvent {
+    /// Global sample index at which the re-pack ran.
+    pub sample: usize,
+    /// Placement period the re-pack belongs to.
+    pub period: usize,
+    /// What fired it.
+    pub reason: RepackReason,
+    /// Active servers before the re-pack.
+    pub servers_before: usize,
+    /// Active servers after the re-pack.
+    pub servers_after: usize,
+    /// VMs whose server changed in the re-pack.
+    pub migrations: usize,
+}
+
 /// One step of a VM's lifecycle, applied with
 /// [`DatacenterController::apply`].
 #[derive(Debug, Clone, PartialEq)]
@@ -85,6 +223,12 @@ pub enum VmEvent {
         /// Demand trace starting at the arrival instant. Samples past
         /// its end (or after departure) read as zero demand.
         trace: TimeSeries,
+        /// Remaining lease in samples, when known (`None` =
+        /// open-ended). Lease-aware admission uses it to keep
+        /// soon-empty servers drainable; the caller remains
+        /// responsible for sending the matching
+        /// [`VmEvent::Depart`].
+        lease_samples: Option<usize>,
     },
     /// The VM's lease ends; it is evicted from its server before the
     /// next sample is replayed.
@@ -116,10 +260,60 @@ pub struct ViolationEvent {
 
 /// Streaming observer of a controller session. All methods default to
 /// no-ops; implement the ones you care about.
+///
+/// # Example
+///
+/// A sink that tallies periods and narrates every re-pack (periodic
+/// *and* fragmentation-fired):
+///
+/// ```
+/// use cavm_sim::{MetricSink, PeriodRecord, RepackEvent, RepackReason};
+///
+/// #[derive(Default)]
+/// struct Tally {
+///     periods: usize,
+///     offcycle: usize,
+/// }
+///
+/// impl MetricSink for Tally {
+///     fn on_period(&mut self, _record: &PeriodRecord) {
+///         self.periods += 1;
+///     }
+///
+///     fn on_repack(&mut self, event: &RepackEvent) {
+///         if let RepackReason::Fragmentation { estimate, active } = event.reason {
+///             self.offcycle += 1;
+///             println!(
+///                 "t={} re-pack: {} servers packed into {} (bound {})",
+///                 event.sample, active, event.servers_after, estimate,
+///             );
+///         }
+///     }
+/// }
+///
+/// let mut sink = Tally::default();
+/// sink.on_repack(&RepackEvent {
+///     sample: 900,
+///     period: 1,
+///     reason: RepackReason::Fragmentation { estimate: 3, active: 5 },
+///     servers_before: 5,
+///     servers_after: 3,
+///     migrations: 4,
+/// });
+/// assert_eq!(sink.offcycle, 1);
+/// ```
 pub trait MetricSink {
     /// A placement period completed.
     fn on_period(&mut self, record: &PeriodRecord) {
         let _ = record;
+    }
+
+    /// A full re-pack of the live placement ran — at a period boundary
+    /// ([`RepackReason::Periodic`]) or fired off-cycle by a
+    /// [`RepackTrigger`] fragmentation predicate
+    /// ([`RepackReason::Fragmentation`]).
+    fn on_repack(&mut self, event: &RepackEvent) {
+        let _ = event;
     }
 
     /// A VM moved servers across a period boundary (migration).
@@ -163,6 +357,7 @@ impl MetricSink for NullSink {}
 #[derive(Debug, Clone, Default)]
 pub struct ReportSink {
     periods: Vec<PeriodRecord>,
+    repacks: Vec<RepackEvent>,
     migrations: usize,
     violations: usize,
     admissions: usize,
@@ -195,6 +390,19 @@ impl ReportSink {
         self.admissions
     }
 
+    /// Every re-pack streamed so far (periodic and off-cycle).
+    pub fn repacks(&self) -> &[RepackEvent] {
+        &self.repacks
+    }
+
+    /// Off-cycle (fragmentation-fired) re-packs streamed so far.
+    pub fn offcycle_repacks(&self) -> usize {
+        self.repacks
+            .iter()
+            .filter(|r| matches!(r.reason, RepackReason::Fragmentation { .. }))
+            .count()
+    }
+
     /// The terminal report, once [`MetricSink::on_summary`] has fired.
     pub fn into_report(self) -> Option<SimReport> {
         self.report
@@ -204,6 +412,10 @@ impl ReportSink {
 impl MetricSink for ReportSink {
     fn on_period(&mut self, record: &PeriodRecord) {
         self.periods.push(record.clone());
+    }
+
+    fn on_repack(&mut self, event: &RepackEvent) {
+        self.repacks.push(*event);
     }
 
     fn on_migration(&mut self, _period: usize, _vm: usize, _from: usize, _to: usize) {
@@ -232,6 +444,9 @@ pub struct ControllerConfig {
     /// Placement policy (periodic re-packs *and* the incremental
     /// admission rule).
     pub policy: Policy,
+    /// When the live placement is re-packed (default:
+    /// [`RepackTrigger::Periodic`], the paper's fixed schedule).
+    pub repack_trigger: RepackTrigger,
     /// Static or dynamic frequency scaling.
     pub dvfs_mode: DvfsMode,
     /// Samples per placement period.
@@ -257,6 +472,13 @@ impl ControllerConfig {
         if self.period_samples == 0 {
             return Err(SimError::InvalidParameter(
                 "period must be at least one sample",
+            ));
+        }
+        if self.repack_trigger.slack() == Some(0) {
+            // Slack 0 would fire on every armed tick regardless of
+            // fragmentation — a busy-loop, not a trigger.
+            return Err(SimError::InvalidParameter(
+                "fragmentation slack must be at least one server",
             ));
         }
         if !(self.dynamic_headroom.is_finite() && self.dynamic_headroom >= 0.0) {
@@ -317,6 +539,8 @@ struct VmSlot {
     trace: TimeSeries,
     /// Global sample index of the arrival.
     arrival: usize,
+    /// Global sample index at which the lease ends, when known.
+    lease_end: Option<usize>,
     /// `false` once departed.
     live: bool,
     /// Last observed per-period reference peak (predictor state).
@@ -366,7 +590,14 @@ pub struct DatacenterController {
     window_max_agg: Vec<f64>,
     window_max_vm: Vec<f64>,
     server_violations: Vec<usize>,
+    /// Worst per-server violation ratio folded out of counters an
+    /// off-cycle re-pack discarded (the bins changed under them).
+    period_ratio_floor: f64,
     period_migrations: usize,
+    /// Set by a departure-caused eviction; the next tick evaluates the
+    /// fragmentation predicate and clears it (between membership
+    /// changes the predicate cannot change).
+    repack_armed: bool,
     pcp_clusters: Option<usize>,
     period_class_joules_start: Vec<f64>,
     assignment: Vec<Option<usize>>,
@@ -389,6 +620,7 @@ pub struct DatacenterController {
     period_records: Vec<PeriodRecord>,
     violation_instances: usize,
     online_admissions: usize,
+    offcycle_repacks: usize,
 }
 
 impl DatacenterController {
@@ -464,7 +696,9 @@ impl DatacenterController {
             window_max_agg: Vec::new(),
             window_max_vm: Vec::new(),
             server_violations: Vec::new(),
+            period_ratio_floor: 0.0,
             period_migrations: 0,
+            repack_armed: false,
             pcp_clusters: None,
             period_class_joules_start: vec![0.0; n_classes],
             assignment: Vec::new(),
@@ -481,6 +715,7 @@ impl DatacenterController {
             period_records: Vec::new(),
             violation_instances: 0,
             online_admissions: 0,
+            offcycle_repacks: 0,
             cfg,
         })
     }
@@ -508,6 +743,53 @@ impl DatacenterController {
         self.online_admissions
     }
 
+    /// Off-cycle (fragmentation-fired) re-packs so far.
+    pub fn offcycle_repacks(&self) -> usize {
+        self.offcycle_repacks
+    }
+
+    /// The live placement — stale between periods (the next period's
+    /// first tick rebuilds or compacts it).
+    pub fn placement(&self) -> &Placement {
+        &self.placement
+    }
+
+    /// The dense (id-indexed) predicted descriptor table of the
+    /// current period: departed VMs read zero demand, unobserved live
+    /// VMs the configured default.
+    pub fn predicted_vms(&self) -> &[VmDescriptor] {
+        &self.dense_vms
+    }
+
+    /// Whether the controller is inside a placement period (at least
+    /// one tick replayed since the last boundary).
+    pub fn mid_period(&self) -> bool {
+        self.in_period
+    }
+
+    /// Whether a departure has armed the fragmentation check for the
+    /// next tick (always `false` under [`RepackTrigger::Periodic`]).
+    pub fn repack_armed(&self) -> bool {
+        self.repack_armed
+    }
+
+    /// The live Eqn (3) lower bound: the fill-order server count
+    /// [`ServerFleet::estimate_server_count`] needs for the placed
+    /// VMs' predicted demand. The fragmentation predicate compares
+    /// this against [`Placement::active_server_count`].
+    ///
+    /// [`ServerFleet::estimate_server_count`]: cavm_core::fleet::ServerFleet::estimate_server_count
+    pub fn fragmentation_estimate(&self) -> usize {
+        let total: f64 = self
+            .placement
+            .servers()
+            .iter()
+            .flatten()
+            .map(|&id| self.dense_vms[id].demand)
+            .sum();
+        self.cfg.server_fleet.estimate_server_count(total)
+    }
+
     /// Applies one lifecycle event.
     ///
     /// # Errors
@@ -518,7 +800,11 @@ impl DatacenterController {
     /// [`SimError::InsufficientServers`].
     pub fn apply(&mut self, event: VmEvent, sink: &mut dyn MetricSink) -> crate::Result<()> {
         match event {
-            VmEvent::Arrive { id, trace } => self.arrive(id, trace, sink),
+            VmEvent::Arrive {
+                id,
+                trace,
+                lease_samples,
+            } => self.arrive(id, trace, lease_samples, sink),
             VmEvent::Depart { id } => self.depart(id),
             VmEvent::Tick => self.tick(sink),
         }
@@ -533,9 +819,11 @@ impl DatacenterController {
         Ok(())
     }
 
-    /// Registers an arriving VM. Mid-period arrivals are admitted
-    /// incrementally (no re-pack); arrivals between periods join the
-    /// next period's batch placement.
+    /// Registers an arriving VM with an optional remaining lease (in
+    /// samples). Mid-period arrivals are admitted incrementally (no
+    /// re-pack), biased away from servers draining sooner than the
+    /// lease; arrivals between periods join the next period's batch
+    /// placement.
     ///
     /// # Errors
     ///
@@ -544,6 +832,7 @@ impl DatacenterController {
         &mut self,
         id: usize,
         trace: TimeSeries,
+        lease_samples: Option<usize>,
         sink: &mut dyn MetricSink,
     ) -> crate::Result<()> {
         self.check_open()?;
@@ -561,12 +850,15 @@ impl DatacenterController {
         self.slots[id] = Some(VmSlot {
             trace,
             arrival: self.clock,
+            lease_end: lease_samples.map(|l| self.clock.saturating_add(l)),
             live: true,
             last_peak: None,
             last_off: None,
         });
         if self.in_period {
-            self.admit_live(id, sink)?;
+            let demand = self.cfg.default_demand;
+            let vm = VmDescriptor::new(id, demand).with_off_peak(demand * 0.9);
+            self.admit_live(vm, sink)?;
         }
         Ok(())
     }
@@ -605,6 +897,11 @@ impl DatacenterController {
             }
             self.aggregates[server] = agg;
             self.replan_bin(server)?;
+            // A departure is what creates fragmentation: arm the
+            // off-cycle check for the next tick.
+            if self.cfg.repack_trigger.slack().is_some() {
+                self.repack_armed = true;
+            }
         }
         Ok(())
     }
@@ -619,6 +916,13 @@ impl DatacenterController {
         if !self.in_period {
             self.start_period(sink)?;
             self.in_period = true;
+        } else if self.repack_armed {
+            self.repack_armed = false;
+            let estimate = self.fragmentation_estimate();
+            let active = self.placement.active_server_count();
+            if self.cfg.repack_trigger.fires(estimate, active) {
+                self.offcycle_repack(estimate, active, sink)?;
+            }
         }
         self.replay_tick(sink)?;
         self.clock += 1;
@@ -694,6 +998,7 @@ impl DatacenterController {
             freq_histogram: self.freq_histogram.clone(),
             freq_levels_ghz: self.union_ghz.clone(),
             online_admissions: self.online_admissions,
+            offcycle_repacks: self.offcycle_repacks,
         }
     }
 
@@ -788,11 +1093,14 @@ impl DatacenterController {
     }
 
     /// The UPDATE + ALLOCATE pass at a period boundary: predict live
-    /// demands, refresh the matrix dimension, re-pack, count
-    /// migrations, and plan every server's static frequency.
+    /// demands, refresh the matrix dimension, re-pack (or, under a
+    /// pure [`RepackTrigger::Fragmentation`] schedule, keep the
+    /// standing placement), count migrations, and plan every server's
+    /// static frequency.
     fn start_period(&mut self, sink: &mut dyn MetricSink) -> crate::Result<()> {
         let universe = self.slots.len();
         self.period_start = self.clock;
+        self.period_ratio_floor = 0.0;
 
         // ---- UPDATE: predicted descriptors (last-value predictor with
         // the configured default before the first observation).
@@ -818,7 +1126,18 @@ impl DatacenterController {
             }
         }
 
+        // A fragmentation-only schedule keeps the standing placement
+        // across boundaries once one exists; everything else (and the
+        // very first placement) runs the batch ALLOCATE pass.
+        let keep = !self.cfg.repack_trigger.periodic_repacks()
+            && self.placement.servers().iter().any(|m| !m.is_empty());
+        if keep {
+            self.keep_placement_boundary(sink)?;
+            return Ok(());
+        }
+
         // ---- ALLOCATE.
+        let servers_before = self.placement.active_server_count();
         let (placement, pcp_clusters) = if live_vms.is_empty() {
             let clusters = matches!(self.cfg.policy, Policy::Pcp { .. }).then_some(1);
             (Placement::from_servers(vec![]), clusters)
@@ -826,26 +1145,53 @@ impl DatacenterController {
             self.place_live(&live_vms)?
         };
         self.pcp_clusters = pcp_clusters;
+        let ran_allocate = !live_vms.is_empty();
 
-        // Migrations relative to the live assignment at the end of the
-        // previous period, attributed to the class of the *destination*
-        // server. Only VMs placed in both periods can migrate.
+        let migrations = self.install_placement(placement, sink)?;
+        // A fresh period starts fresh dynamic-governor windows (the
+        // off-cycle re-pack path preserves them instead).
+        self.window_max_vm = vec![0.0; universe];
+        self.period_migrations = migrations;
+        self.period_class_joules_start = self.class_energy.iter().map(|m| m.joules()).collect();
+        // The batch pass healed whatever fragmentation was pending.
+        self.repack_armed = false;
+        if ran_allocate {
+            sink.on_repack(&RepackEvent {
+                sample: self.clock,
+                period: self.period,
+                reason: RepackReason::Periodic,
+                servers_before,
+                servers_after: self.placement.active_server_count(),
+                migrations,
+            });
+        }
+        Ok(())
+    }
+
+    /// Swaps in a freshly packed placement mid-stream: counts
+    /// migrations against the live assignment (attributed to the
+    /// destination server's class), rebuilds the per-server aggregate/
+    /// capacity/violation tables and plans every server's static
+    /// frequency. Returns the migration count.
+    fn install_placement(
+        &mut self,
+        placement: Placement,
+        sink: &mut dyn MetricSink,
+    ) -> crate::Result<usize> {
+        let universe = self.slots.len();
         let assignment = placement.assignment(universe);
         let mut migrations = 0usize;
         let prev = std::mem::take(&mut self.assignment);
-        if self.period > 0 {
-            for (id, &now) in assignment.iter().enumerate() {
-                let before = prev.get(id).copied().flatten();
-                if let (Some(b), Some(n)) = (before, now) {
-                    if b != n {
-                        migrations += 1;
-                        self.class_migrations[placement.classes()[n]] += 1;
-                        sink.on_migration(self.period, id, b, n);
-                    }
+        for (id, &now) in assignment.iter().enumerate() {
+            let before = prev.get(id).copied().flatten();
+            if let (Some(b), Some(n)) = (before, now) {
+                if b != n {
+                    migrations += 1;
+                    self.class_migrations[placement.classes()[n]] += 1;
+                    sink.on_migration(self.period, id, b, n);
                 }
             }
         }
-        self.period_migrations = migrations;
         self.assignment = assignment;
 
         // Rebuild per-server state: cost aggregates, class/capacity
@@ -871,10 +1217,11 @@ impl DatacenterController {
             })
             .collect();
         let bins = placement.server_count();
+        // Per-bin windows cannot survive a reshuffle; the per-VM
+        // maxima (`window_max_vm`) are bin-independent, so callers
+        // decide whether to reset or carry them.
         self.window_max_agg = vec![0.0; bins];
-        self.window_max_vm = vec![0.0; universe];
         self.server_violations = vec![0; bins];
-        self.period_class_joules_start = self.class_energy.iter().map(|m| m.joules()).collect();
 
         // Static frequency per active server, planned against its own
         // class ladder and capacity.
@@ -899,6 +1246,135 @@ impl DatacenterController {
         }
         self.freq_idx = freq_idx;
         self.placement = placement;
+        Ok(migrations)
+    }
+
+    /// The period boundary under a fragmentation-only schedule: the
+    /// standing placement is kept (members that departed between
+    /// periods are evicted first), its aggregates and frequency plans
+    /// are refreshed against the new matrix and predictions, and VMs
+    /// that arrived between periods are admitted incrementally. No
+    /// migrations happen, and [`PeriodRecord::pcp_clusters`] stays
+    /// `None` (no clustering ran).
+    fn keep_placement_boundary(&mut self, sink: &mut dyn MetricSink) -> crate::Result<()> {
+        let universe = self.slots.len();
+
+        // Members that departed between periods leave their (kept)
+        // slots now; like any eviction this arms the fragmentation
+        // check.
+        let mut evicted_any = false;
+        for id in 0..universe {
+            let live = self.slots[id].as_ref().is_some_and(|s| s.live);
+            if !live && self.placement.server_of(id).is_some() {
+                self.placement.evict(id).map_err(SimError::Core)?;
+                evicted_any = true;
+            }
+        }
+        self.assignment = self.placement.assignment(universe);
+        self.period_migrations = 0;
+        self.pcp_clusters = None;
+
+        // Refresh per-server state against the new matrix/predictions.
+        let matrix = self.matrix.as_ref();
+        let aggregates: Vec<ServerCostAggregate> = self
+            .placement
+            .servers()
+            .iter()
+            .map(|members| {
+                let mut agg = ServerCostAggregate::new();
+                if let Some(m) = matrix {
+                    for &id in members {
+                        agg.push(id, self.dense_vms[id].demand, m);
+                    }
+                }
+                agg
+            })
+            .collect();
+        self.aggregates = aggregates;
+        let bins = self.placement.server_count();
+        self.window_max_agg = vec![0.0; bins];
+        self.window_max_vm = vec![0.0; universe];
+        self.server_violations = vec![0; bins];
+        self.period_class_joules_start = self.class_energy.iter().map(|m| m.joules()).collect();
+        for s in 0..bins {
+            self.replan_bin(s)?;
+        }
+
+        // VMs that arrived between periods join incrementally, in id
+        // order, with their predicted descriptors.
+        for id in 0..universe {
+            let live = self.slots[id].as_ref().is_some_and(|s| s.live);
+            if live && self.placement.server_of(id).is_none() {
+                let vm = self.dense_vms[id];
+                self.admit_live(vm, sink)?;
+            }
+        }
+        if evicted_any && self.cfg.repack_trigger.slack().is_some() {
+            self.repack_armed = true;
+        }
+        Ok(())
+    }
+
+    /// A fragmentation-fired full re-pack between period boundaries:
+    /// re-packs the live VM set with the batch policy against the
+    /// current matrix, folds the obsoleted per-server violation
+    /// counters into the period's floor, and emits
+    /// [`MetricSink::on_repack`].
+    fn offcycle_repack(
+        &mut self,
+        estimate: usize,
+        active: usize,
+        sink: &mut dyn MetricSink,
+    ) -> crate::Result<()> {
+        let universe = self.slots.len();
+        let live_vms: Vec<VmDescriptor> = (0..universe)
+            .filter(|&id| self.slots[id].as_ref().is_some_and(|s| s.live))
+            .map(|id| self.dense_vms[id])
+            .collect();
+        if live_vms.is_empty() {
+            return Ok(());
+        }
+        // Mid-period arrivals may postdate the period matrix; the
+        // batch pass validates ids against it, so refresh the
+        // dimension first (new ids pair neutrally, as at a boundary).
+        if self.matrix.as_ref().is_none_or(|m| m.len() != universe) {
+            self.rebuild_matrix(universe)?;
+        }
+        let (placement, pcp_clusters) = self.place_live(&live_vms)?;
+
+        // The re-pack reshuffles the bins, so the per-server violation
+        // counters cannot carry across it — fold their worst ratio
+        // into the period's floor before they are reset.
+        let floor = self
+            .server_violations
+            .iter()
+            .map(|&v| v as f64 / self.cfg.period_samples as f64)
+            .fold(0.0, f64::max);
+        self.period_ratio_floor = self.period_ratio_floor.max(floor);
+
+        let migrations = self.install_placement(placement, sink)?;
+        // The per-VM window maxima are bin-independent: carry them
+        // across the reshuffle so a mid-interval dynamic replan still
+        // sees the whole interval's peaks, and seed each new bin's
+        // aggregate window with its members' per-VM maxima (Σ max ≥
+        // max Σ — a conservative stand-in until fresh samples land).
+        self.window_max_vm.resize(universe, 0.0);
+        for (s, members) in self.placement.servers().iter().enumerate() {
+            self.window_max_agg[s] = members.iter().map(|&v| self.window_max_vm[v]).sum();
+        }
+        self.period_migrations += migrations;
+        if pcp_clusters.is_some() {
+            self.pcp_clusters = pcp_clusters;
+        }
+        self.offcycle_repacks += 1;
+        sink.on_repack(&RepackEvent {
+            sample: self.clock,
+            period: self.period,
+            reason: RepackReason::Fragmentation { estimate, active },
+            servers_before: active,
+            servers_after: self.placement.active_server_count(),
+            migrations,
+        });
         Ok(())
     }
 
@@ -1033,11 +1509,13 @@ impl DatacenterController {
                 .count();
             *peak = (*peak).max(used);
         }
+        // Counters discarded by an off-cycle re-pack contribute
+        // through the folded floor (0 when no re-pack happened).
         let max_ratio = self
             .server_violations
             .iter()
             .map(|&v| v as f64 / self.cfg.period_samples as f64)
-            .fold(0.0, f64::max);
+            .fold(self.period_ratio_floor, f64::max);
         let record = PeriodRecord {
             period: self.period,
             servers_used: self.placement.active_server_count(),
@@ -1109,9 +1587,39 @@ impl DatacenterController {
         Ok(())
     }
 
-    /// Admits a freshly arrived VM into the live placement through the
-    /// policy's single-VM entry point — no re-pack.
-    fn admit_live(&mut self, id: usize, sink: &mut dyn MetricSink) -> crate::Result<()> {
+    /// Samples until the last member of `members` departs: `Some(k)`
+    /// when every member's lease end is known, `None` when any member
+    /// is open-ended — or when the server is empty (already drained,
+    /// hence bias-neutral).
+    fn drain_of(&self, members: &[usize]) -> Option<usize> {
+        // An already-vacated (powered-off but reserved) slot is
+        // drained: re-using it extends nothing, so it stays neutral
+        // (`None`) and the no-lease-info path remains bit-identical
+        // to the lease-blind rules.
+        if members.is_empty() {
+            return None;
+        }
+        let mut drain = 0usize;
+        for &m in members {
+            match self
+                .slots
+                .get(m)
+                .and_then(|s| s.as_ref())
+                .and_then(|s| s.lease_end)
+            {
+                None => return None,
+                Some(end) => drain = drain.max(end.saturating_sub(self.clock)),
+            }
+        }
+        Some(drain)
+    }
+
+    /// Admits the (already registered, live) VM described by `vm` into
+    /// the live placement through the policy's single-VM entry point —
+    /// no re-pack. The arriving VM's remaining lease and each server's
+    /// drain horizon feed the lease-aware bias.
+    fn admit_live(&mut self, vm: VmDescriptor, sink: &mut dyn MetricSink) -> crate::Result<()> {
+        let id = vm.id;
         let universe = self.slots.len();
         self.window_max_vm.resize(universe, 0.0);
         if self.assignment.len() < universe {
@@ -1122,24 +1630,33 @@ impl DatacenterController {
             self.dense_vms
                 .push(VmDescriptor::new(fresh, 0.0).with_off_peak(0.0));
         }
-        let demand = self.cfg.default_demand;
-        let vm = VmDescriptor::new(id, demand).with_off_peak(demand * 0.9);
         self.dense_vms[id] = vm;
         if self.matrix.is_none() {
             self.rebuild_matrix(universe)?;
         }
+        let lease = self.slots[id]
+            .as_ref()
+            .and_then(|s| s.lease_end)
+            .map(|end| end.saturating_sub(self.clock));
 
         let choice = {
             let matrix = self.matrix.as_ref().expect("ensured above");
+            let drains: Vec<Option<usize>> = self
+                .placement
+                .servers()
+                .iter()
+                .map(|members| self.drain_of(members))
+                .collect();
             let views: Vec<OpenServer<'_>> = (0..self.placement.server_count())
                 .map(|s| OpenServer {
                     class: self.classes_of[s],
                     cores: self.cores_of[s],
                     watts_per_core: self.class_wpc[self.classes_of[s]],
+                    drain_samples: drains[s],
                     agg: &self.aggregates[s],
                 })
                 .collect();
-            admit_choice(self.cfg.policy, &vm, &views, matrix)
+            admit_choice(self.cfg.policy, &vm, lease, &views, matrix)
         };
         let server = match choice {
             Some(s) => s,
@@ -1158,7 +1675,7 @@ impl DatacenterController {
         self.placement.admit(id, server).map_err(SimError::Core)?;
         {
             let matrix = self.matrix.as_ref().expect("ensured above");
-            self.aggregates[server].push(id, demand, matrix);
+            self.aggregates[server].push(id, vm.demand, matrix);
         }
         self.assignment[id] = Some(server);
         self.replan_bin(server)?;
@@ -1171,20 +1688,22 @@ impl DatacenterController {
 /// Routes a single-VM admission to the policy's `place_one` rule. PCP
 /// and SuperVM consolidate per period only; between re-packs their
 /// arrivals use the default best-fit rule (spelled through `BfdPolicy`,
-/// whose inherited default it is).
+/// whose inherited default it is). Every rule receives the arriving
+/// VM's remaining lease for the drain-aware bias.
 fn admit_choice(
     policy: Policy,
     vm: &VmDescriptor,
+    lease: Option<usize>,
     servers: &[OpenServer<'_>],
     matrix: &CostMatrix,
 ) -> Option<usize> {
     match policy {
         Policy::Proposed(config) => ProposedPolicy::new(config)
             .expect("controller construction validates the proposed config")
-            .place_one(vm, servers, matrix),
-        Policy::Ffd => FfdPolicy.place_one(vm, servers, matrix),
+            .place_one(vm, lease, servers, matrix),
+        Policy::Ffd => FfdPolicy.place_one(vm, lease, servers, matrix),
         Policy::Bfd | Policy::Pcp { .. } | Policy::SuperVm { .. } => {
-            BfdPolicy.place_one(vm, servers, matrix)
+            BfdPolicy.place_one(vm, lease, servers, matrix)
         }
     }
 }

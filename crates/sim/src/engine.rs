@@ -86,10 +86,16 @@ impl Scenario {
                     .fine
                     .slice(entry.arrival_sample, end)
                     .map_err(SimError::Trace)?;
+                // The schedule knows each lease up front; admission
+                // uses it to keep soon-empty servers drainable.
+                let lease_samples = entry
+                    .departure_sample
+                    .map(|d| d.saturating_sub(entry.arrival_sample));
                 controller.apply(
                     VmEvent::Arrive {
                         id: entry.id,
                         trace,
+                        lease_samples,
                     },
                     sink,
                 )?;

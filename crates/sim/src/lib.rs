@@ -6,13 +6,17 @@
 //! [`ServerFleet`] — the paper's uniform rack or a heterogeneous mix
 //! of classes ([`ScenarioBuilder::server_fleet`]) — driven by
 //! [`VmEvent`]s (`Arrive` / `Depart` / `Tick`). Placement re-runs
-//! every `t_period` (the paper uses 1 hour) with *predicted* demands;
-//! VMs arriving **mid-period** are admitted through the incremental
-//! single-VM placement
-//! ([`AllocationPolicy::place_one`]) without a re-pack, and progress
-//! streams through a [`MetricSink`] (`on_period`, `on_migration`,
-//! `on_violation`, `on_class_energy`, …) instead of only a terminal
-//! report. Accounting matches Table II exactly:
+//! every `t_period` (the paper uses 1 hour) with *predicted* demands —
+//! or adaptively: a [`RepackTrigger`] with a fragmentation slack fires
+//! **off-cycle re-packs** when departures leave the fleet fragmented
+//! (live Eqn 3 bound ≥ `slack` below the active server count). VMs
+//! arriving **mid-period** are admitted through the incremental
+//! single-VM placement ([`AllocationPolicy::place_one`]) without a
+//! re-pack, biased by their remaining *lease* away from servers about
+//! to drain, and progress streams through a [`MetricSink`]
+//! (`on_period`, `on_repack`, `on_migration`, `on_violation`,
+//! `on_class_energy`, …) instead of only a terminal report.
+//! Accounting matches Table II exactly:
 //!
 //! * **Placement** — any [`Policy`]: BFD, FFD, PCP (re-clustered each
 //!   period from the previous period's envelopes), SuperVM, or the
@@ -111,8 +115,8 @@ pub mod report;
 
 pub use config::{Policy, Scenario, ScenarioBuilder};
 pub use controller::{
-    ControllerConfig, DatacenterController, MetricSink, NullSink, ReportSink, ViolationEvent,
-    VmEvent,
+    ControllerConfig, DatacenterController, MetricSink, NullSink, RepackEvent, RepackReason,
+    RepackTrigger, ReportSink, ViolationEvent, VmEvent,
 };
 pub use error::SimError;
 pub use report::{ClassBreakdown, PeriodRecord, SimReport};

@@ -104,6 +104,10 @@ pub struct SimReport {
     /// replay, where every VM exists from t = 0 and placement happens
     /// only at period boundaries.
     pub online_admissions: usize,
+    /// Off-cycle re-packs fired by a fragmentation
+    /// [`RepackTrigger`](crate::RepackTrigger). Always 0 under the
+    /// default periodic schedule.
+    pub offcycle_repacks: usize,
 }
 
 impl SimReport {
@@ -186,6 +190,7 @@ mod tests {
             freq_histogram: vec![vec![10, 30], vec![0, 0]],
             freq_levels_ghz: vec![2.0, 2.3],
             online_admissions: 0,
+            offcycle_repacks: 0,
         }
     }
 

@@ -10,24 +10,28 @@
 //! [`ServerFleet`]: cavm_core::fleet::ServerFleet
 
 use cavm_core::dvfs::DvfsMode;
-use cavm_sim::{Policy, ScenarioBuilder, SimReport};
+use cavm_sim::{Policy, RepackTrigger, ScenarioBuilder, SimReport};
 use cavm_workload::datacenter::DatacenterTraceBuilder;
 
-fn run(policy: Policy, mode: DvfsMode) -> SimReport {
+fn run_with_trigger(policy: Policy, mode: DvfsMode, trigger: Option<RepackTrigger>) -> SimReport {
     let fleet = DatacenterTraceBuilder::new(9)
         .groups(3)
         .seed(5)
         .duration_hours(4.0)
         .build()
         .unwrap();
-    ScenarioBuilder::new(fleet)
+    let mut builder = ScenarioBuilder::new(fleet)
         .servers(12)
         .policy(policy)
-        .dvfs_mode(mode)
-        .build()
-        .unwrap()
-        .run()
-        .unwrap()
+        .dvfs_mode(mode);
+    if let Some(trigger) = trigger {
+        builder = builder.repack_trigger(trigger);
+    }
+    builder.build().unwrap().run().unwrap()
+}
+
+fn run(policy: Policy, mode: DvfsMode) -> SimReport {
+    run_with_trigger(policy, mode, None)
 }
 
 /// `(policy, dynamic, joules_bits, violations, migrations, peak_servers, hist_mass)`
@@ -88,5 +92,31 @@ fn uniform_scenarios_reproduce_pre_refactor_reports_bitwise() {
         // breakdown equals the totals.
         assert_eq!(r.classes.len(), 1);
         assert_eq!(r.classes[0].energy, r.energy);
+    }
+}
+
+/// An explicit `RepackTrigger::Periodic` is the default schedule
+/// spelled out: its reports (already pinned to the pre-fleet engine by
+/// the golden test above) must stay bit-identical, field for field,
+/// and never count an off-cycle re-pack.
+#[test]
+fn explicit_periodic_trigger_is_bit_identical_to_the_default() {
+    for (name, dynamic) in [
+        ("proposed", false),
+        ("bfd", true),
+        ("pcp", false),
+        ("supervm", true),
+    ] {
+        let mode = if dynamic {
+            DvfsMode::Dynamic {
+                interval_samples: 12,
+            }
+        } else {
+            DvfsMode::Static
+        };
+        let default = run(policy_of(name), mode);
+        let explicit = run_with_trigger(policy_of(name), mode, Some(RepackTrigger::Periodic));
+        assert_eq!(default, explicit, "{name} ({mode:?})");
+        assert_eq!(explicit.offcycle_repacks, 0, "{name} ({mode:?})");
     }
 }

@@ -5,8 +5,10 @@
 //! a `Lifecycle` schedule (Poisson arrivals, bounded leases) drives
 //! `DatacenterController` through `Scenario::run_with_sink`, and a
 //! custom `MetricSink` narrates the run live — periods as they
-//! complete, incremental mid-period admissions, per-class energy —
-//! before the terminal `SimReport` prints the totals.
+//! complete, incremental (lease-aware) mid-period admissions,
+//! fragmentation-fired off-cycle re-packs under the adaptive
+//! `RepackTrigger::Hybrid` schedule, per-class energy — before the
+//! terminal `SimReport` prints the totals.
 //!
 //! Run with: `cargo run --release --example online_churn`
 
@@ -36,6 +38,16 @@ impl MetricSink for Narrator {
         );
     }
 
+    fn on_repack(&mut self, event: &RepackEvent) {
+        if let RepackReason::Fragmentation { estimate, active } = event.reason {
+            println!(
+                "  t={:>5}  fragmentation re-pack: {} active servers vs bound {} -> {} \
+                 ({} migrations)",
+                event.sample, active, estimate, event.servers_after, event.migrations
+            );
+        }
+    }
+
     fn on_class_energy(&mut self, period: usize, _class: usize, name: &str, period_joules: f64) {
         if period_joules > 0.0 {
             println!(
@@ -47,12 +59,14 @@ impl MetricSink for Narrator {
 
     fn on_summary(&mut self, report: &SimReport) {
         println!(
-            "\n=== {} === {:.2} kWh, max violation {:.2}%, {} migrations, {} online admissions",
+            "\n=== {} === {:.2} kWh, max violation {:.2}%, {} migrations, {} online \
+             admissions, {} off-cycle re-packs",
             report.policy,
             report.energy.kilowatt_hours(),
             report.max_violation_percent,
             report.total_migrations(),
-            report.online_admissions
+            report.online_admissions,
+            report.offcycle_repacks
         );
     }
 }
@@ -90,6 +104,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let scenario = ScenarioBuilder::new(fleet)
         .servers(10)
         .policy(Policy::Proposed(Default::default()))
+        // Consolidate off-cycle as soon as departures leave a whole
+        // server's worth of slack, on top of the hourly clock.
+        .repack_trigger(RepackTrigger::Hybrid { slack: 1 })
         .lifecycle(lifecycle)
         .build()?;
     scenario.run_with_sink(&mut narrator)?;

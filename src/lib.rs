@@ -99,7 +99,8 @@ pub mod prelude {
     pub use cavm_power::{DvfsLadder, EnergyMeter, Frequency, LinearPowerModel, PowerModel};
     pub use cavm_sim::{
         ClassBreakdown, ControllerConfig, DatacenterController, MetricSink, NullSink, PeriodRecord,
-        Policy, ReportSink, Scenario, ScenarioBuilder, SimReport, ViolationEvent, VmEvent,
+        Policy, RepackEvent, RepackReason, RepackTrigger, ReportSink, Scenario, ScenarioBuilder,
+        SimReport, ViolationEvent, VmEvent,
     };
     pub use cavm_trace::{Envelope, Reference, SimRng, TimeSeries};
     pub use cavm_workload::{
