@@ -10,10 +10,15 @@
 //! departures that power servers off. The run asserts that every
 //! policy exercised the incremental admit path, prints the
 //! Table II-style comparison, then re-runs the proposed policy on a
-//! **departure-heavy** schedule under all three `RepackTrigger`s —
-//! asserting the adaptive `Hybrid` schedule never burns more energy
-//! than the paper's periodic-only clock — and appends an `"online"`
-//! section (comparison + adaptive rows) to `BENCH_corr.json`.
+//! **departure-heavy** schedule under four re-pack schedules —
+//! `periodic`, `fragmentation`, the QoS-**guarded** fragmentation
+//! schedule (`QosGuard` + adaptive `SlackController`) and `hybrid` —
+//! asserting that `hybrid` never burns more energy than the paper's
+//! periodic-only clock and that `guarded` recovers the pure
+//! fragmentation schedule's violation drift (worst-period ratio ≤
+//! periodic's) while keeping energy ≤ 0.95× periodic — and appends an
+//! `"online"` section (comparison + adaptive rows) to
+//! `BENCH_corr.json`.
 //!
 //! ```text
 //! cargo run --release -p cavm-bench --bin exp_online
@@ -21,12 +26,15 @@
 //!
 //! Environment knobs (for CI smoke runs): `CAVM_ONLINE_VMS` (default
 //! 40), `CAVM_ONLINE_HOURS` (default 24), `CAVM_ONLINE_TRIGGER`
-//! (`periodic` | `fragmentation` | `hybrid`; trigger of the main
-//! comparison, default `periodic`), `CAVM_ONLINE_SLACK` (default 1).
+//! (`periodic` | `fragmentation` | `guarded` | `hybrid`; schedule of
+//! the main comparison, default `periodic`), `CAVM_ONLINE_SLACK`
+//! (default 1), `CAVM_ONLINE_QOS` (guard violation-ratio threshold,
+//! default 0.08), `CAVM_ONLINE_SLACK_MAX` (adaptive-slack upper bound
+//! of the `hybrid-adaptive` schedule, default slack + 3).
 
 use cavm_bench::{bar, PCP_AFFINITY_THRESHOLD, PCP_ENVELOPE_PERCENTILE};
 use cavm_core::dvfs::DvfsMode;
-use cavm_sim::{Policy, RepackTrigger, ReportSink, ScenarioBuilder, SimReport};
+use cavm_sim::{Policy, QosGuard, RepackTrigger, ReportSink, ScenarioBuilder, SimReport};
 use cavm_workload::datacenter::DatacenterTraceBuilder;
 use cavm_workload::lifecycle::{ArrivalProcess, Lifecycle, LifecycleBuilder, LifetimeModel};
 use std::fmt::Write as _;
@@ -45,12 +53,80 @@ fn env_f64(key: &str, default: f64) -> f64 {
         .unwrap_or(default)
 }
 
-fn env_trigger(key: &str, slack: u32) -> RepackTrigger {
-    match std::env::var(key).as_deref() {
-        Ok("fragmentation") => RepackTrigger::Fragmentation { slack },
-        Ok("hybrid") => RepackTrigger::Hybrid { slack },
-        Ok("periodic") | Err(_) => RepackTrigger::Periodic,
-        Ok(other) => panic!("{key}={other}: expected periodic|fragmentation|hybrid"),
+/// One re-pack schedule of the adaptive comparison: a trigger plus the
+/// optional QoS guard and adaptive-slack bound composed onto it.
+#[derive(Clone, Copy)]
+struct Schedule {
+    name: &'static str,
+    trigger: RepackTrigger,
+    guard: Option<QosGuard>,
+    slack_max: Option<u32>,
+}
+
+impl Schedule {
+    fn apply(self, builder: ScenarioBuilder) -> ScenarioBuilder {
+        let mut builder = builder.repack_trigger(self.trigger);
+        if let Some(guard) = self.guard {
+            builder = builder.qos_guard(guard);
+        }
+        if let Some(max) = self.slack_max {
+            builder = builder.adaptive_slack_max(max);
+        }
+        builder
+    }
+}
+
+/// The five schedules of the adaptive section: `guarded` is the
+/// fragmentation schedule with the QoS guard composed on, and
+/// `hybrid-adaptive` is the hybrid clock with the [`SlackController`]
+/// walking the slack up when re-packs stop paying for their
+/// migrations (the knob the static `hybrid` row trades ~500
+/// migrations on).
+///
+/// [`SlackController`]: cavm_sim::SlackController
+fn schedules(slack: u32, guard: QosGuard, slack_max: u32) -> [Schedule; 5] {
+    [
+        Schedule {
+            name: "periodic",
+            trigger: RepackTrigger::Periodic,
+            guard: None,
+            slack_max: None,
+        },
+        Schedule {
+            name: "fragmentation",
+            trigger: RepackTrigger::Fragmentation { slack },
+            guard: None,
+            slack_max: None,
+        },
+        Schedule {
+            name: "guarded",
+            trigger: RepackTrigger::Fragmentation { slack },
+            guard: Some(guard),
+            slack_max: None,
+        },
+        Schedule {
+            name: "hybrid",
+            trigger: RepackTrigger::Hybrid { slack },
+            guard: None,
+            slack_max: None,
+        },
+        Schedule {
+            name: "hybrid-adaptive",
+            trigger: RepackTrigger::Hybrid { slack },
+            guard: None,
+            slack_max: Some(slack_max),
+        },
+    ]
+}
+
+fn env_schedule(key: &str, slack: u32, guard: QosGuard, slack_max: u32) -> Schedule {
+    let all = schedules(slack, guard, slack_max);
+    match std::env::var(key) {
+        Err(_) => all[0],
+        Ok(v) => *all
+            .iter()
+            .find(|s| s.name == v)
+            .unwrap_or_else(|| panic!("{key}={v}: expected periodic|fragmentation|guarded|hybrid")),
     }
 }
 
@@ -114,7 +190,11 @@ fn main() {
     );
 
     let slack = env_usize("CAVM_ONLINE_SLACK", 1) as u32;
-    let trigger = env_trigger("CAVM_ONLINE_TRIGGER", slack);
+    let qos_guard = QosGuard {
+        violation_ratio: env_f64("CAVM_ONLINE_QOS", 0.08),
+    };
+    let slack_max = env_usize("CAVM_ONLINE_SLACK_MAX", slack as usize + 3) as u32;
+    let schedule = env_schedule("CAVM_ONLINE_TRIGGER", slack, qos_guard, slack_max);
 
     let policies = [
         Policy::Bfd,
@@ -132,12 +212,14 @@ fn main() {
         .iter()
         .map(|&policy| {
             let mut sink = ReportSink::new();
-            ScenarioBuilder::new(fleet.clone())
-                .servers(vms.max(4))
-                .policy(policy)
-                .repack_trigger(trigger)
-                .dvfs_mode(DvfsMode::Static)
-                .lifecycle(lifecycle.clone())
+            schedule
+                .apply(
+                    ScenarioBuilder::new(fleet.clone())
+                        .servers(vms.max(4))
+                        .policy(policy)
+                        .dvfs_mode(DvfsMode::Static)
+                        .lifecycle(lifecycle.clone()),
+                )
                 .build()
                 .expect("scenario parameters are valid")
                 .run_with_sink(&mut sink)
@@ -162,7 +244,7 @@ fn main() {
         lifecycle.len(),
         vms,
         lifecycle.max_concurrent(),
-        trigger.name(),
+        schedule.name,
     );
     println!();
     println!(
@@ -194,19 +276,22 @@ fn main() {
     );
 
     // ---- Adaptive consolidation under a departure-heavy schedule:
-    // every lease arrives in the first quarter of the day and ends
-    // well before it does, so the closing hours are dominated by
-    // fragmented, half-empty servers that only an off-cycle re-pack
-    // can consolidate before the next period boundary.
+    // short leases (8–25% of the day) arriving over the first ~70%
+    // keep servers emptying out mid-period all day long, so the
+    // periodic clock spends up to an hour hosting half-empty servers
+    // after every departure wave — the consolidation opportunity the
+    // off-cycle triggers exist for — while its last-period predictions
+    // chronically trail the churn (a sizable violation budget the
+    // guarded schedule must stay under).
     let horizon_f = horizon as f64;
     let departure_heavy: Lifecycle = LifecycleBuilder::new(vms, horizon)
-        .seed(4027)
+        .seed(7)
         .arrivals(ArrivalProcess::Poisson {
-            mean_gap_samples: horizon_f * 0.25 / vms as f64,
+            mean_gap_samples: horizon_f * 0.7 / vms as f64,
         })
         .lifetimes(LifetimeModel::Uniform {
-            min_samples: (horizon / 4).max(1),
-            max_samples: (horizon * 55 / 100).max(2),
+            min_samples: (horizon * 8 / 100).max(1),
+            max_samples: (horizon / 4).max(2),
         })
         .build()
         .expect("static lifecycle parameters are valid");
@@ -220,44 +305,42 @@ fn main() {
         "departure-heavy schedule must retire most leases mid-run"
     );
 
-    let triggers = [
-        RepackTrigger::Periodic,
-        RepackTrigger::Fragmentation { slack },
-        RepackTrigger::Hybrid { slack },
-    ];
-    let adaptive: Vec<SimReport> = triggers
+    let adaptive_schedules = schedules(slack, qos_guard, slack_max);
+    let adaptive: Vec<SimReport> = adaptive_schedules
         .iter()
-        .map(|&t| {
-            ScenarioBuilder::new(fleet.clone())
-                .servers(vms.max(4))
-                .policy(Policy::Proposed(Default::default()))
-                .repack_trigger(t)
-                .dvfs_mode(DvfsMode::Static)
-                .lifecycle(departure_heavy.clone())
-                .build()
-                .expect("scenario parameters are valid")
-                .run()
-                .expect("scenario runs to completion")
+        .map(|&s| {
+            s.apply(
+                ScenarioBuilder::new(fleet.clone())
+                    .servers(vms.max(4))
+                    .policy(Policy::Proposed(Default::default()))
+                    .dvfs_mode(DvfsMode::Static)
+                    .lifecycle(departure_heavy.clone()),
+            )
+            .build()
+            .expect("scenario parameters are valid")
+            .run()
+            .expect("scenario runs to completion")
         })
         .collect();
     let periodic_energy = adaptive[0].energy;
 
     println!();
     println!(
-        "# Adaptive consolidation — proposed policy, departure-heavy day ({} of {} leases end mid-run, slack {slack})",
+        "# Adaptive consolidation — proposed policy, departure-heavy day ({} of {} leases end mid-run, slack {slack}, guard {:.0}%, adaptive slack ≤ {slack_max})",
         departed_in_run,
         departure_heavy.len(),
+        100.0 * qos_guard.violation_ratio,
     );
     println!();
     println!(
         "{:<14} {:>12} {:>12} {:>10} {:>12} {:>9}  vs periodic",
-        "trigger", "energy kWh", "norm. power", "max viol%", "migrations", "re-packs"
+        "schedule", "energy kWh", "norm. power", "max viol%", "migrations", "re-packs"
     );
-    for (t, r) in triggers.iter().zip(&adaptive) {
+    for (s, r) in adaptive_schedules.iter().zip(&adaptive) {
         let norm = r.energy.normalized_to(&periodic_energy).expect("nonzero");
         println!(
             "{:<14} {:>12.2} {:>12.3} {:>10.2} {:>12} {:>9}  {}",
-            t.name(),
+            s.name,
             r.energy.kilowatt_hours(),
             norm,
             r.max_violation_percent,
@@ -266,7 +349,10 @@ fn main() {
             bar(norm, 30),
         );
     }
-    let hybrid = &adaptive[2];
+    let periodic = &adaptive[0];
+    let guarded = &adaptive[2];
+    let hybrid = &adaptive[3];
+    let hybrid_adaptive = &adaptive[4];
     assert!(
         hybrid.offcycle_repacks > 0,
         "the departure-heavy schedule must fire off-cycle re-packs"
@@ -278,6 +364,50 @@ fn main() {
         hybrid.energy.joules(),
         periodic_energy.joules(),
     );
+    // The headline of the guarded schedule: the QoS guard recovers the
+    // pure fragmentation schedule's violation drift to (at worst) the
+    // periodic clock's level, without ever costing energy over it.
+    assert!(
+        guarded.max_violation_percent <= periodic.max_violation_percent + 1e-9,
+        "the QoS guard must recover violations to periodic level \
+         ({}% vs {}%)",
+        guarded.max_violation_percent,
+        periodic.max_violation_percent,
+    );
+    assert!(
+        guarded.energy.joules() <= periodic_energy.joules(),
+        "guarded fragmentation must not burn more energy than periodic \
+         ({} J vs {} J)",
+        guarded.energy.joules(),
+        periodic_energy.joules(),
+    );
+    // At the canonical size the headroom is real: pin the ≥5% energy
+    // win over periodic (measured 0.933 at 40 VMs / 24 h) and the
+    // adaptive slack's migration savings. Reduced smoke sizes leave
+    // too little churn for the margins to be meaningful.
+    if vms >= 40 && hours >= 24.0 {
+        assert!(
+            guarded.energy.joules() <= 0.95 * periodic_energy.joules(),
+            "guarded fragmentation must keep at least a 5% energy win over periodic \
+             ({} J vs {} J)",
+            guarded.energy.joules(),
+            periodic_energy.joules(),
+        );
+        // The adaptive slack exists to cut the hybrid clock's
+        // migration bill; it must never spend *more* migrations than
+        // static slack.
+        assert!(
+            hybrid_adaptive.total_migrations() <= hybrid.total_migrations(),
+            "adaptive slack must not out-migrate the static hybrid schedule \
+             ({} vs {})",
+            hybrid_adaptive.total_migrations(),
+            hybrid.total_migrations(),
+        );
+        println!();
+        println!(
+            "(guarded ≤ 0.95× periodic energy at ≤ periodic QoS, adaptive ≤ hybrid migrations — asserted)"
+        );
+    }
 
     let mut section = String::new();
     section.push_str("{\n");
@@ -289,7 +419,7 @@ fn main() {
         "    \"peak_concurrent\": {},",
         lifecycle.max_concurrent()
     );
-    let _ = writeln!(section, "    \"trigger\": \"{}\",", trigger.name());
+    let _ = writeln!(section, "    \"trigger\": \"{}\",", schedule.name);
     section.push_str("    \"policies\": [\n");
     for (i, r) in reports.iter().enumerate() {
         let _ = write!(
@@ -308,20 +438,30 @@ fn main() {
     let _ = writeln!(section, "    \"adaptive\": {{");
     let _ = writeln!(section, "      \"policy\": \"Proposed\",");
     let _ = writeln!(section, "      \"slack\": {slack},");
+    let _ = writeln!(
+        section,
+        "      \"qos_guard_ratio\": {},",
+        qos_guard.violation_ratio
+    );
+    let _ = writeln!(section, "      \"adaptive_slack_max\": {slack_max},");
     let _ = writeln!(section, "      \"departed_leases\": {departed_in_run},");
     section.push_str("      \"triggers\": [\n");
-    for (i, (t, r)) in triggers.iter().zip(&adaptive).enumerate() {
+    for (i, (s, r)) in adaptive_schedules.iter().zip(&adaptive).enumerate() {
         let _ = write!(
             section,
             "        {{\"trigger\": \"{}\", \"energy_kwh\": {:.3}, \"normalized_power\": {:.4}, \"max_violation_percent\": {:.3}, \"migrations\": {}, \"offcycle_repacks\": {}}}",
-            t.name(),
+            s.name,
             r.energy.kilowatt_hours(),
             r.energy.normalized_to(&periodic_energy).expect("nonzero"),
             r.max_violation_percent,
             r.total_migrations(),
             r.offcycle_repacks,
         );
-        section.push_str(if i + 1 < triggers.len() { ",\n" } else { "\n" });
+        section.push_str(if i + 1 < adaptive_schedules.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
     }
     section.push_str("      ]\n    }\n  }");
     write_bench_json(&section);

@@ -4,6 +4,25 @@
 //! policy consumes over the 24-hour trace divided by the BFD baseline's.
 //! [`EnergyMeter`] integrates instantaneous power over sampled intervals
 //! and exposes the totals that normalization needs.
+//!
+//! # Example
+//!
+//! The Table II quantity end to end — integrate two policies' draw,
+//! then normalize one against the other:
+//!
+//! ```
+//! use cavm_power::EnergyMeter;
+//!
+//! let mut bfd = EnergyMeter::new();
+//! let mut proposed = EnergyMeter::new();
+//! for _sample in 0..720 {
+//!     bfd.add(400.0, 5.0); // three busy servers
+//!     proposed.add(320.0, 5.0); // two, slightly hotter
+//! }
+//! let normalized = proposed.normalized_to(&bfd).expect("baseline > 0");
+//! assert!((normalized - 0.8).abs() < 1e-12);
+//! assert_eq!(bfd.seconds(), 3600.0);
+//! ```
 
 use crate::{Frequency, PowerModel};
 use cavm_trace::TimeSeries;

@@ -1,6 +1,6 @@
 //! Scenario description and builder.
 
-use crate::controller::{ControllerConfig, DatacenterController, RepackTrigger};
+use crate::controller::{ControllerConfig, DatacenterController, QosGuard, RepackTrigger};
 use crate::SimError;
 use cavm_core::alloc::proposed::ProposedConfig;
 use cavm_core::dvfs::DvfsMode;
@@ -71,6 +71,8 @@ pub struct Scenario {
     pub(crate) server_fleet: ServerFleet,
     pub(crate) policy: Policy,
     pub(crate) repack_trigger: RepackTrigger,
+    pub(crate) qos_guard: Option<QosGuard>,
+    pub(crate) adaptive_slack_max: Option<u32>,
     pub(crate) dvfs_mode: DvfsMode,
     pub(crate) period_samples: usize,
     pub(crate) reference: Reference,
@@ -88,6 +90,16 @@ impl Scenario {
     /// When the live placement is re-packed.
     pub fn repack_trigger(&self) -> RepackTrigger {
         self.repack_trigger
+    }
+
+    /// The QoS guard composed onto the re-pack schedule, if any.
+    pub fn qos_guard(&self) -> Option<QosGuard> {
+        self.qos_guard
+    }
+
+    /// The adaptive-slack upper bound, if adaptive slack is enabled.
+    pub fn adaptive_slack_max(&self) -> Option<u32> {
+        self.adaptive_slack_max
     }
 
     /// Samples per placement period.
@@ -120,6 +132,8 @@ impl Scenario {
             server_fleet: self.server_fleet.clone(),
             policy: self.policy,
             repack_trigger: self.repack_trigger,
+            qos_guard: self.qos_guard,
+            adaptive_slack_max: self.adaptive_slack_max,
             dvfs_mode: self.dvfs_mode,
             period_samples: self.period_samples,
             reference: self.reference,
@@ -149,6 +163,8 @@ pub struct ScenarioBuilder {
     server_fleet: Option<ServerFleet>,
     policy: Policy,
     repack_trigger: RepackTrigger,
+    qos_guard: Option<QosGuard>,
+    adaptive_slack_max: Option<u32>,
     dvfs_mode: DvfsMode,
     period_samples: usize,
     reference: Reference,
@@ -168,6 +184,8 @@ impl ScenarioBuilder {
             server_fleet: None,
             policy: Policy::Bfd,
             repack_trigger: RepackTrigger::Periodic,
+            qos_guard: None,
+            adaptive_slack_max: None,
             dvfs_mode: DvfsMode::Static,
             period_samples: 720,
             reference: Reference::Peak,
@@ -218,6 +236,29 @@ impl ScenarioBuilder {
     /// departures leave the fleet fragmented).
     pub fn repack_trigger(mut self, trigger: RepackTrigger) -> Self {
         self.repack_trigger = trigger;
+        self
+    }
+
+    /// Composes a [`QosGuard`] onto the re-pack schedule (default:
+    /// none): an off-cycle full re-pack fires when a period's observed
+    /// worst per-server violation ratio exceeds the guard's threshold,
+    /// and placement-keeping boundaries force-repack servers whose
+    /// refreshed predicted load exceeds capacity. This is what lets a
+    /// pure [`RepackTrigger::Fragmentation`] schedule keep its energy
+    /// win without the unbounded violation drift.
+    pub fn qos_guard(mut self, guard: QosGuard) -> Self {
+        self.qos_guard = Some(guard);
+        self
+    }
+
+    /// Enables adaptive fragmentation slack (default: static): the
+    /// controller walks the slack between the trigger's configured
+    /// value and `max` from each fired re-pack's realized
+    /// servers-freed-per-migration gain (see
+    /// [`SlackController`](crate::SlackController)). Requires a
+    /// trigger with a fragmentation dimension.
+    pub fn adaptive_slack_max(mut self, max: u32) -> Self {
+        self.adaptive_slack_max = Some(max);
         self
     }
 
@@ -306,6 +347,31 @@ impl ScenarioBuilder {
                 "fragmentation slack must be at least one server",
             ));
         }
+        if let Some(guard) = self.qos_guard {
+            if !(guard.violation_ratio.is_finite()
+                && guard.violation_ratio > 0.0
+                && guard.violation_ratio <= 1.0)
+            {
+                return Err(SimError::InvalidParameter(
+                    "qos guard violation ratio must lie in (0, 1]",
+                ));
+            }
+        }
+        if let Some(max) = self.adaptive_slack_max {
+            match self.repack_trigger.slack() {
+                None => {
+                    return Err(SimError::InvalidParameter(
+                        "adaptive slack requires a trigger with a fragmentation dimension",
+                    ))
+                }
+                Some(slack) if max < slack => {
+                    return Err(SimError::InvalidParameter(
+                        "adaptive slack bound must be at least the trigger's slack",
+                    ))
+                }
+                Some(_) => {}
+            }
+        }
         let len = self.fleet.vms()[0].fine.len();
         if len < self.period_samples {
             return Err(SimError::InvalidParameter("traces shorter than one period"));
@@ -372,6 +438,8 @@ impl ScenarioBuilder {
             server_fleet,
             policy: self.policy,
             repack_trigger: self.repack_trigger,
+            qos_guard: self.qos_guard,
+            adaptive_slack_max: self.adaptive_slack_max,
             dvfs_mode: self.dvfs_mode,
             period_samples: self.period_samples,
             reference: self.reference,

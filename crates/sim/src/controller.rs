@@ -172,6 +172,177 @@ impl RepackTrigger {
     }
 }
 
+/// The QoS dimension of the re-pack schedule, composable with any
+/// [`RepackTrigger`] via [`ControllerConfig::qos_guard`] /
+/// `ScenarioBuilder::qos_guard`.
+///
+/// A pure [`RepackTrigger::Fragmentation`] schedule keeps placements
+/// across period boundaries, so drifting predictions can leave kept
+/// servers overcommitted for hours — the SLA side of the paper's
+/// Eqn (2)/(3) energy/QoS tension. The guard watches the *observed*
+/// worst per-server violation ratio of the running period and, once a
+/// violation pushes it past `violation_ratio`, fires an off-cycle
+/// re-pack ([`RepackReason::QosGuard`]) of exactly the breaching
+/// servers: their members' predictions are refreshed from the
+/// period's samples so far and their largest members trimmed onto
+/// other servers until the refreshed load fits. At placement-keeping
+/// period boundaries it additionally force-repacks servers that
+/// breached the threshold over the completed period *and* remain
+/// overcommitted under the refreshed predictions
+/// ([`RepackReason::Overcommit`]). Sub-threshold overcommit is
+/// deliberately left standing in both checks — summed per-VM peaks
+/// overstating the coincident aggregate is the correlation gap the
+/// paper's Eqn (1) packing exploits, and it is where the
+/// placement-keeping schedule's energy win lives.
+///
+/// ```
+/// use cavm_sim::QosGuard;
+///
+/// let guard = QosGuard {
+///     violation_ratio: 0.05,
+/// };
+/// // 37 over-capacity samples in a 720-sample period is past 5%.
+/// assert!(guard.exceeded(37, 720));
+/// assert!(!guard.exceeded(36, 720));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QosGuard {
+    /// Worst per-server violation ratio (over-capacity samples /
+    /// period samples) above which the guard fires; must lie in
+    /// (0, 1].
+    pub violation_ratio: f64,
+}
+
+impl QosGuard {
+    /// The guard predicate: whether `violations` over-capacity samples
+    /// out of `period_samples` exceed the configured ratio.
+    pub fn exceeded(&self, violations: usize, period_samples: usize) -> bool {
+        period_samples > 0 && violations as f64 / period_samples as f64 > self.violation_ratio
+    }
+}
+
+/// Closed-loop tuning of the fragmentation slack.
+///
+/// A static `slack` trades energy against migration churn blindly: the
+/// hybrid schedule of the adaptive experiment pays ~500 migrations for
+/// its energy win. `SlackController` instead walks the slack between
+/// bounds from what the trigger *actually realizes*:
+///
+/// * **Raise on expensive re-packs** — a fired re-pack reports the
+///   servers it freed (the energy delta — every freed server stops
+///   burning idle watts) against the migrations it paid. Freeing fewer
+///   than one server per 1/[`SlackController::RAISE_BELOW`] migrations
+///   raises the slack, making re-packs rarer; freeing at least one per
+///   1/[`SlackController::LOWER_AT`] migrations lowers it again.
+/// * **Decay on persistent misses** — an armed check that finds real
+///   fragmentation (a gap at or above the configured floor) but below
+///   the raised slack is a *missed consolidation*.
+///   [`SlackController::MISS_STREAK`] consecutive misses walk the
+///   slack back down one step. Without this decay the slack would
+///   ratchet: once raised, re-packs stop firing, so nothing would
+///   ever feed back that consolidation has become cheap again (e.g.
+///   the nearly-drained end of a departure-heavy day, where each
+///   re-pack frees a server for a handful of migrations).
+///
+/// The in-effect value streams on every [`RepackEvent::slack_after`].
+///
+/// ```
+/// use cavm_sim::SlackController;
+///
+/// let mut ctl = SlackController::new(1, 3);
+/// assert_eq!(ctl.current(), 1);
+/// // 1 server freed for 8 migrations: too little per migration.
+/// ctl.observe(1, 8);
+/// assert_eq!(ctl.current(), 2);
+/// // Two armed checks in a row find a 1-server gap the raised slack
+/// // ignores: consolidation opportunities are going begging.
+/// ctl.observe_miss(1);
+/// ctl.observe_miss(1);
+/// assert_eq!(ctl.current(), 1);
+/// // 2 servers freed for 3 migrations: cheap — but never below the
+/// // configured floor.
+/// ctl.observe(2, 3);
+/// assert_eq!(ctl.current(), 1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SlackController {
+    min: u32,
+    max: u32,
+    current: u32,
+    misses: u32,
+}
+
+impl SlackController {
+    /// Below this servers-freed-per-migration gain the slack is raised.
+    pub const RAISE_BELOW: f64 = 0.25;
+    /// At or above this servers-freed-per-migration gain the slack is
+    /// lowered again.
+    pub const LOWER_AT: f64 = 0.5;
+    /// Consecutive armed-but-sub-slack fragmentation observations
+    /// before the slack decays one step.
+    pub const MISS_STREAK: u32 = 2;
+
+    /// A controller starting (and bounded below) at `initial`, bounded
+    /// above by `max` (clamped up to `initial` if smaller). Equal
+    /// bounds reproduce the static-slack behaviour exactly.
+    pub fn new(initial: u32, max: u32) -> Self {
+        Self {
+            min: initial,
+            max: max.max(initial),
+            current: initial,
+            misses: 0,
+        }
+    }
+
+    /// The slack currently in effect.
+    pub fn current(&self) -> u32 {
+        self.current
+    }
+
+    /// The `(min, max)` bounds the slack walks between.
+    pub fn bounds(&self) -> (u32, u32) {
+        (self.min, self.max)
+    }
+
+    /// Whether the bounds actually leave room to adapt.
+    pub fn is_adaptive(&self) -> bool {
+        self.min != self.max
+    }
+
+    /// Feeds back one fired re-pack's realized outcome; a re-pack with
+    /// no migrations carries no cost signal and leaves the slack
+    /// unchanged.
+    pub fn observe(&mut self, servers_freed: usize, migrations: usize) {
+        self.misses = 0;
+        if migrations == 0 {
+            return;
+        }
+        let gain = servers_freed as f64 / migrations as f64;
+        if gain < Self::RAISE_BELOW {
+            self.current = (self.current + 1).min(self.max);
+        } else if gain >= Self::LOWER_AT {
+            self.current = self.current.saturating_sub(1).max(self.min);
+        }
+    }
+
+    /// Feeds back an armed check that did *not* fire because the
+    /// observed `gap` (active servers minus the Eqn (3) bound) sat
+    /// below the raised slack. Gaps at or above the configured floor
+    /// count toward the decay streak; smaller gaps mean the fleet
+    /// really is compact and reset it.
+    pub fn observe_miss(&mut self, gap: usize) {
+        if self.current > self.min && gap >= self.min as usize {
+            self.misses += 1;
+            if self.misses >= Self::MISS_STREAK {
+                self.misses = 0;
+                self.current -= 1;
+            }
+        } else {
+            self.misses = 0;
+        }
+    }
+}
+
 /// Why a re-pack ran, carried by [`RepackEvent`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RepackReason {
@@ -187,6 +358,25 @@ pub enum RepackReason {
         estimate: usize,
         /// Active (non-empty) servers at the firing instant.
         active: usize,
+    },
+    /// The [`QosGuard`] fired off-cycle: some server had accumulated
+    /// `violations` over-capacity samples this period, pushing the
+    /// worst per-server violation ratio past the guard's threshold.
+    /// The breaching servers were surgically re-packed — predictions
+    /// refreshed from the period's observed samples, largest members
+    /// trimmed onto other servers until the refreshed load fits.
+    QosGuard {
+        /// Worst per-server over-capacity sample count at the firing
+        /// instant (divide by the period length for the ratio).
+        violations: usize,
+    },
+    /// A placement-keeping period boundary's capacity check (active
+    /// when a [`QosGuard`] is configured) evicted and re-admitted the
+    /// members of `servers` servers whose refreshed predicted Eqn (2)
+    /// aggregate exceeded their capacity.
+    Overcommit {
+        /// Servers whose predicted aggregate exceeded capacity.
+        servers: usize,
     },
 }
 
@@ -206,6 +396,11 @@ pub struct RepackEvent {
     pub servers_after: usize,
     /// VMs whose server changed in the re-pack.
     pub migrations: usize,
+    /// Fragmentation slack in effect *after* this re-pack — the
+    /// [`SlackController`] may have just adapted it from the re-pack's
+    /// realized outcome. `None` when the schedule has no fragmentation
+    /// dimension ([`RepackTrigger::Periodic`]).
+    pub slack_after: Option<u32>,
 }
 
 /// One step of a VM's lifecycle, applied with
@@ -299,6 +494,7 @@ pub struct ViolationEvent {
 ///     servers_before: 5,
 ///     servers_after: 3,
 ///     migrations: 4,
+///     slack_after: Some(1),
 /// });
 /// assert_eq!(sink.offcycle, 1);
 /// ```
@@ -395,11 +591,18 @@ impl ReportSink {
         &self.repacks
     }
 
-    /// Off-cycle (fragmentation-fired) re-packs streamed so far.
+    /// Off-cycle re-packs streamed so far — fragmentation-fired plus
+    /// [`QosGuard`]-fired (boundary [`RepackReason::Overcommit`]
+    /// capacity checks ride the period clock and are not counted).
     pub fn offcycle_repacks(&self) -> usize {
         self.repacks
             .iter()
-            .filter(|r| matches!(r.reason, RepackReason::Fragmentation { .. }))
+            .filter(|r| {
+                matches!(
+                    r.reason,
+                    RepackReason::Fragmentation { .. } | RepackReason::QosGuard { .. }
+                )
+            })
             .count()
     }
 
@@ -447,6 +650,18 @@ pub struct ControllerConfig {
     /// When the live placement is re-packed (default:
     /// [`RepackTrigger::Periodic`], the paper's fixed schedule).
     pub repack_trigger: RepackTrigger,
+    /// The QoS dimension of the re-pack schedule: fire an off-cycle
+    /// re-pack when the observed worst per-server violation ratio of
+    /// the running period exceeds the guard's threshold, and
+    /// force-repack overcommitted servers at placement-keeping period
+    /// boundaries. `None` (the default) disables both checks.
+    pub qos_guard: Option<QosGuard>,
+    /// Upper bound for the adaptive fragmentation slack: when set, a
+    /// [`SlackController`] walks the slack between the trigger's
+    /// configured value and this bound from each fired re-pack's
+    /// realized servers-freed-per-migration gain. Requires a trigger
+    /// with a fragmentation dimension; `None` keeps the slack static.
+    pub adaptive_slack_max: Option<u32>,
     /// Static or dynamic frequency scaling.
     pub dvfs_mode: DvfsMode,
     /// Samples per placement period.
@@ -480,6 +695,31 @@ impl ControllerConfig {
             return Err(SimError::InvalidParameter(
                 "fragmentation slack must be at least one server",
             ));
+        }
+        if let Some(guard) = self.qos_guard {
+            if !(guard.violation_ratio.is_finite()
+                && guard.violation_ratio > 0.0
+                && guard.violation_ratio <= 1.0)
+            {
+                return Err(SimError::InvalidParameter(
+                    "qos guard violation ratio must lie in (0, 1]",
+                ));
+            }
+        }
+        if let Some(max) = self.adaptive_slack_max {
+            match self.repack_trigger.slack() {
+                None => {
+                    return Err(SimError::InvalidParameter(
+                        "adaptive slack requires a trigger with a fragmentation dimension",
+                    ))
+                }
+                Some(slack) if max < slack => {
+                    return Err(SimError::InvalidParameter(
+                        "adaptive slack bound must be at least the trigger's slack",
+                    ))
+                }
+                Some(_) => {}
+            }
         }
         if !(self.dynamic_headroom.is_finite() && self.dynamic_headroom >= 0.0) {
             return Err(SimError::InvalidParameter("dynamic headroom must be >= 0"));
@@ -598,6 +838,14 @@ pub struct DatacenterController {
     /// fragmentation predicate and clears it (between membership
     /// changes the predicate cannot change).
     repack_armed: bool,
+    /// Set by a recorded capacity violation when a [`QosGuard`] is
+    /// configured; the next tick evaluates the guard predicate and
+    /// clears it (between violations the period ratio cannot rise).
+    qos_armed: bool,
+    /// The live fragmentation slack; `Some` exactly when the trigger
+    /// has a fragmentation dimension (degenerate equal bounds when
+    /// [`ControllerConfig::adaptive_slack_max`] is unset).
+    slack_ctl: Option<SlackController>,
     pcp_clusters: Option<usize>,
     period_class_joules_start: Vec<f64>,
     assignment: Vec<Option<usize>>,
@@ -699,6 +947,11 @@ impl DatacenterController {
             period_ratio_floor: 0.0,
             period_migrations: 0,
             repack_armed: false,
+            qos_armed: false,
+            slack_ctl: cfg
+                .repack_trigger
+                .slack()
+                .map(|s| SlackController::new(s, cfg.adaptive_slack_max.unwrap_or(s))),
             pcp_clusters: None,
             period_class_joules_start: vec![0.0; n_classes],
             assignment: Vec::new(),
@@ -771,6 +1024,51 @@ impl DatacenterController {
     /// next tick (always `false` under [`RepackTrigger::Periodic`]).
     pub fn repack_armed(&self) -> bool {
         self.repack_armed
+    }
+
+    /// Whether a recorded violation has armed the [`QosGuard`] check
+    /// for the next tick (always `false` without a configured guard).
+    pub fn qos_armed(&self) -> bool {
+        self.qos_armed
+    }
+
+    /// Worst per-server over-capacity sample count accumulated in the
+    /// running period, among servers the guard could act on (at least
+    /// two members — a lone tenant exceeding its own capacity cannot
+    /// be helped by any placement move, so it never arms the guard's
+    /// predicate; its violations still reach the period record). Live
+    /// counters only: counters a previous off-cycle re-pack discarded
+    /// contribute to the period *record* through its folded floor, not
+    /// here. This is the count the [`QosGuard`] predicate divides by
+    /// the period length.
+    pub fn period_worst_violations(&self) -> usize {
+        self.server_violations
+            .iter()
+            .enumerate()
+            .filter(|&(s, _)| {
+                self.placement
+                    .servers()
+                    .get(s)
+                    .is_some_and(|m| m.len() >= 2)
+            })
+            .map(|(_, &v)| v)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// [`DatacenterController::period_worst_violations`] as a ratio of
+    /// the period length — the quantity a [`QosGuard`] thresholds.
+    pub fn period_violation_ratio(&self) -> f64 {
+        self.period_worst_violations() as f64 / self.cfg.period_samples as f64
+    }
+
+    /// The fragmentation slack currently in effect — adapted by the
+    /// [`SlackController`] when
+    /// [`ControllerConfig::adaptive_slack_max`] is set, else the
+    /// trigger's static value. `None` under
+    /// [`RepackTrigger::Periodic`].
+    pub fn current_slack(&self) -> Option<u32> {
+        self.slack_ctl.map(|c| c.current())
     }
 
     /// The live Eqn (3) lower bound: the fill-order server count
@@ -916,12 +1214,27 @@ impl DatacenterController {
         if !self.in_period {
             self.start_period(sink)?;
             self.in_period = true;
-        } else if self.repack_armed {
-            self.repack_armed = false;
-            let estimate = self.fragmentation_estimate();
-            let active = self.placement.active_server_count();
-            if self.cfg.repack_trigger.fires(estimate, active) {
-                self.offcycle_repack(estimate, active, sink)?;
+        } else {
+            // QoS outranks energy: an armed guard is evaluated first.
+            // Its surgical re-pack does NOT consolidate (it can even
+            // open a server), so a pending fragmentation check is not
+            // consumed — it stays armed and is evaluated next tick,
+            // against the post-heal placement.
+            let qos_fired = self.maybe_qos_repack(sink)?;
+            if !qos_fired && self.repack_armed {
+                self.repack_armed = false;
+                let estimate = self.fragmentation_estimate();
+                let active = self.placement.active_server_count();
+                let slack = self.slack_ctl.map(|c| c.current());
+                let gap = active.saturating_sub(estimate);
+                if slack.is_some_and(|s| gap >= s as usize) {
+                    self.offcycle_repack(estimate, active, sink)?;
+                } else if let Some(ctl) = self.slack_ctl.as_mut() {
+                    // Armed but below the (possibly raised) slack:
+                    // let the adaptive controller see the missed
+                    // consolidation so a raised slack can decay.
+                    ctl.observe_miss(gap);
+                }
             }
         }
         self.replay_tick(sink)?;
@@ -999,6 +1312,7 @@ impl DatacenterController {
             freq_levels_ghz: self.union_ghz.clone(),
             online_admissions: self.online_admissions,
             offcycle_repacks: self.offcycle_repacks,
+            sink_dropped_events: 0,
         }
     }
 
@@ -1101,6 +1415,10 @@ impl DatacenterController {
         let universe = self.slots.len();
         self.period_start = self.clock;
         self.period_ratio_floor = 0.0;
+        // The boundary starts fresh violation counters; a guard armed
+        // by the previous period's last samples has nothing valid to
+        // threshold (the keep-path's capacity check covers the drift).
+        self.qos_armed = false;
 
         // ---- UPDATE: predicted descriptors (last-value predictor with
         // the configured default before the first observation).
@@ -1163,6 +1481,7 @@ impl DatacenterController {
                 servers_before,
                 servers_after: self.placement.active_server_count(),
                 migrations,
+                slack_after: self.current_slack(),
             });
         }
         Ok(())
@@ -1294,10 +1613,99 @@ impl DatacenterController {
         let bins = self.placement.server_count();
         self.window_max_agg = vec![0.0; bins];
         self.window_max_vm = vec![0.0; universe];
-        self.server_violations = vec![0; bins];
+        // The completed period's per-server violation counters are the
+        // guard's boundary evidence; capture them across the reset.
+        let prior_violations = std::mem::replace(&mut self.server_violations, vec![0; bins]);
         self.period_class_joules_start = self.class_energy.iter().map(|m| m.joules()).collect();
         for s in 0..bins {
             self.replan_bin(s)?;
+        }
+
+        // The QoS guard's boundary capacity check. A kept server is
+        // force-repacked only on *evidence*: its violation ratio over
+        // the completed period exceeded the guard's threshold (it
+        // ended the period un-healed — e.g. crossed too late for the
+        // mid-period guard to act) AND the refreshed predictions say
+        // it is overcommitted going into the next one. Sub-threshold
+        // violators keep their packing deliberately: predicted
+        // overcommit whose coincident peaks stay within the SLA budget
+        // is exactly the correlation gap the paper's Eqn (1) packing
+        // exploits, and splitting on it would forfeit the
+        // fragmentation schedule's energy win. The fix is surgical:
+        // the largest members are trimmed off (and re-admitted below)
+        // until the remainder fits the capacity, moving the minimum of
+        // VMs.
+        let mut forced: Vec<(usize, usize)> = Vec::new();
+        let mut over_servers = 0usize;
+        let servers_before = self.placement.active_server_count();
+        if let Some(guard) = self.cfg.qos_guard {
+            for s in 0..bins {
+                let members = self.placement.servers()[s].clone();
+                let violations = prior_violations.get(s).copied().unwrap_or(0);
+                if members.is_empty() || !guard.exceeded(violations, self.cfg.period_samples) {
+                    continue;
+                }
+                let mut load: f64 = members.iter().map(|&id| self.dense_vms[id].demand).sum();
+                if load <= self.cores_of[s] + VIOLATION_EPS {
+                    continue;
+                }
+                over_servers += 1;
+                let mut by_demand = members;
+                by_demand.sort_by(|&a, &b| {
+                    self.dense_vms[b]
+                        .demand
+                        .partial_cmp(&self.dense_vms[a].demand)
+                        .expect("finite demands")
+                        .then(a.cmp(&b))
+                });
+                for &m in &by_demand {
+                    if load <= self.cores_of[s] + VIOLATION_EPS {
+                        break;
+                    }
+                    self.placement.evict(m).map_err(SimError::Core)?;
+                    if let Some(a) = self.assignment.get_mut(m) {
+                        *a = None;
+                    }
+                    load -= self.dense_vms[m].demand;
+                    forced.push((m, s));
+                }
+                let matrix = self.matrix.as_ref().expect("kept servers imply a matrix");
+                let mut agg = ServerCostAggregate::new();
+                for &m in &self.placement.servers()[s] {
+                    agg.push(m, self.dense_vms[m].demand, matrix);
+                }
+                self.aggregates[s] = agg;
+                self.replan_bin(s)?;
+            }
+        }
+        if over_servers > 0 {
+            // Re-admit the displaced members in id order through the
+            // policy's single-VM rule (origin excluded — re-admitting
+            // there would undo the trim); a changed server is a
+            // migration, attributed like any boundary migration.
+            forced.sort_unstable();
+            let mut migrations = 0usize;
+            for &(id, old) in &forced {
+                let vm = self.dense_vms[id];
+                let server = self.admit_slot_excluding(vm, Some(old))?;
+                if server != old {
+                    migrations += 1;
+                    self.class_migrations[self.placement.classes()[server]] += 1;
+                    sink.on_migration(self.period, id, old, server);
+                }
+            }
+            self.period_migrations += migrations;
+            sink.on_repack(&RepackEvent {
+                sample: self.clock,
+                period: self.period,
+                reason: RepackReason::Overcommit {
+                    servers: over_servers,
+                },
+                servers_before,
+                servers_after: self.placement.active_server_count(),
+                migrations,
+                slack_after: self.current_slack(),
+            });
         }
 
         // VMs that arrived between periods join incrementally, in id
@@ -1315,15 +1723,132 @@ impl DatacenterController {
         Ok(())
     }
 
-    /// A fragmentation-fired full re-pack between period boundaries:
-    /// re-packs the live VM set with the batch policy against the
-    /// current matrix, folds the obsoleted per-server violation
-    /// counters into the period's floor, and emits
-    /// [`MetricSink::on_repack`].
+    /// Evaluates an armed [`QosGuard`]: when the running period's
+    /// observed worst per-server violation ratio exceeds the
+    /// threshold, fire the off-cycle QoS re-pack
+    /// ([`RepackReason::QosGuard`]). Returns whether one fired.
+    ///
+    /// The re-pack is deliberately *surgical*: only servers whose own
+    /// ratio breached the threshold are touched, and each loses
+    /// exactly its **hotspot member** — the one with the largest peak
+    /// observed this period — which is re-admitted onto another server
+    /// through the policy's single-VM rule (origin excluded; the
+    /// correlation-aware rule lands it with anti-correlated tenants).
+    /// The move uses the *standing* predictions, so quiet servers keep
+    /// their packing and a sub-threshold overcommitted fleet stays
+    /// consolidated: a full honest re-pack here would convert every
+    /// server to worst-case provisioning and forfeit exactly the
+    /// correlation-gap energy win the placement-keeping schedule
+    /// exists to hold on to. If violations persist, the ratio
+    /// re-crosses the threshold one heal-interval later and the next
+    /// hotspot moves — gradual, self-limiting redistribution, with the
+    /// boundary capacity check as the stronger periodic backstop.
+    fn maybe_qos_repack(&mut self, sink: &mut dyn MetricSink) -> crate::Result<bool> {
+        if !self.qos_armed {
+            return Ok(false);
+        }
+        self.qos_armed = false;
+        let Some(guard) = self.cfg.qos_guard else {
+            return Ok(false);
+        };
+        let worst = self.period_worst_violations();
+        if !guard.exceeded(worst, self.cfg.period_samples) || self.live_vms() == 0 {
+            return Ok(false);
+        }
+
+        let bins = self.placement.server_count();
+        let servers_before = self.placement.active_server_count();
+        let mut forced: Vec<(usize, usize)> = Vec::new();
+        for s in 0..bins {
+            let violations = self.server_violations[s];
+            let members = self.placement.servers()[s].clone();
+            // A lone member would be alone wherever it goes — moving
+            // it buys nothing, so lone-tenant breaches neither fire
+            // nor reset (they are excluded from the predicate above).
+            if members.len() < 2 || !guard.exceeded(violations, self.cfg.period_samples) {
+                continue;
+            }
+            // The healed server's counter cannot carry on (its load is
+            // about to change): fold its ratio into the period floor
+            // so the record keeps the damage, and reset it so the
+            // guard does not re-fire on stale evidence.
+            let ratio = violations as f64 / self.cfg.period_samples as f64;
+            self.period_ratio_floor = self.period_ratio_floor.max(ratio);
+            self.server_violations[s] = 0;
+            // The hotspot: the member with the largest reference peak
+            // actually observed this period.
+            let mut hotspot = members[0];
+            let mut hotspot_peak = f64::NEG_INFINITY;
+            for &m in &members {
+                let peak = match self.window.get(m).filter(|w| !w.is_empty()) {
+                    Some(win) => self.cfg.reference.of(win).map_err(SimError::Trace)?,
+                    None => 0.0,
+                };
+                if peak > hotspot_peak {
+                    hotspot_peak = peak;
+                    hotspot = m;
+                }
+            }
+            self.placement.evict(hotspot).map_err(SimError::Core)?;
+            if let Some(a) = self.assignment.get_mut(hotspot) {
+                *a = None;
+            }
+            forced.push((hotspot, s));
+            let matrix = self.matrix.as_ref().expect("violations imply a matrix");
+            let mut agg = ServerCostAggregate::new();
+            for &m in &self.placement.servers()[s] {
+                agg.push(m, self.dense_vms[m].demand, matrix);
+            }
+            self.aggregates[s] = agg;
+            self.replan_bin(s)?;
+        }
+
+        // Re-admit the displaced hotspots in id order through the
+        // policy's single-VM rule, never back onto their origin.
+        forced.sort_unstable();
+        let mut migrations = 0usize;
+        for &(id, old) in &forced {
+            let vm = self.dense_vms[id];
+            let server = self.admit_slot_excluding(vm, Some(old))?;
+            if server != old {
+                migrations += 1;
+                self.class_migrations[self.placement.classes()[server]] += 1;
+                sink.on_migration(self.period, id, old, server);
+            }
+        }
+        self.period_migrations += migrations;
+        self.offcycle_repacks += 1;
+        sink.on_repack(&RepackEvent {
+            sample: self.clock,
+            period: self.period,
+            reason: RepackReason::QosGuard { violations: worst },
+            servers_before,
+            servers_after: self.placement.active_server_count(),
+            migrations,
+            slack_after: self.current_slack(),
+        });
+        Ok(true)
+    }
+
+    /// A fragmentation-fired full re-pack between period boundaries;
+    /// the [`SlackController`] observes its realized outcome.
     fn offcycle_repack(
         &mut self,
         estimate: usize,
         active: usize,
+        sink: &mut dyn MetricSink,
+    ) -> crate::Result<()> {
+        self.midperiod_repack(RepackReason::Fragmentation { estimate, active }, sink)
+    }
+
+    /// A full re-pack of the live VM set between period boundaries
+    /// (fragmentation- or QoS-fired): re-packs with the batch policy
+    /// against the current matrix, folds the obsoleted per-server
+    /// violation counters into the period's floor, and emits
+    /// [`MetricSink::on_repack`].
+    fn midperiod_repack(
+        &mut self,
+        reason: RepackReason,
         sink: &mut dyn MetricSink,
     ) -> crate::Result<()> {
         let universe = self.slots.len();
@@ -1340,6 +1865,7 @@ impl DatacenterController {
         if self.matrix.as_ref().is_none_or(|m| m.len() != universe) {
             self.rebuild_matrix(universe)?;
         }
+        let servers_before = self.placement.active_server_count();
         let (placement, pcp_clusters) = self.place_live(&live_vms)?;
 
         // The re-pack reshuffles the bins, so the per-server violation
@@ -1367,13 +1893,20 @@ impl DatacenterController {
             self.pcp_clusters = pcp_clusters;
         }
         self.offcycle_repacks += 1;
+        let servers_after = self.placement.active_server_count();
+        if let (RepackReason::Fragmentation { .. }, Some(ctl)) = (reason, self.slack_ctl.as_mut()) {
+            // Feed the realized outcome back into the adaptive slack:
+            // freed servers are the energy win, migrations the price.
+            ctl.observe(servers_before.saturating_sub(servers_after), migrations);
+        }
         sink.on_repack(&RepackEvent {
             sample: self.clock,
             period: self.period,
-            reason: RepackReason::Fragmentation { estimate, active },
-            servers_before: active,
-            servers_after: self.placement.active_server_count(),
+            reason,
+            servers_before,
+            servers_after,
             migrations,
+            slack_after: self.current_slack(),
         });
         Ok(())
     }
@@ -1441,6 +1974,12 @@ impl DatacenterController {
                 self.server_violations[s] += 1;
                 self.violation_instances += 1;
                 self.class_violations[class] += 1;
+                // A violation is what degrades QoS: arm the guard
+                // check for the next tick (the period ratio cannot
+                // rise between violations).
+                if self.cfg.qos_guard.is_some() {
+                    self.qos_armed = true;
+                }
                 sink.on_violation(&ViolationEvent {
                     sample: k,
                     period: self.period,
@@ -1617,8 +2156,35 @@ impl DatacenterController {
     /// Admits the (already registered, live) VM described by `vm` into
     /// the live placement through the policy's single-VM entry point —
     /// no re-pack. The arriving VM's remaining lease and each server's
-    /// drain horizon feed the lease-aware bias.
+    /// drain horizon feed the lease-aware bias. Counts as an online
+    /// admission and emits [`MetricSink::on_admit`]; the boundary
+    /// capacity check uses [`Self::admit_slot`] directly instead (a
+    /// displaced member is a migration, not an arrival).
     fn admit_live(&mut self, vm: VmDescriptor, sink: &mut dyn MetricSink) -> crate::Result<()> {
+        let id = vm.id;
+        let server = self.admit_slot(vm)?;
+        self.online_admissions += 1;
+        sink.on_admit(self.clock, id, server);
+        Ok(())
+    }
+
+    /// The placement half of an incremental admission: routes `vm`
+    /// through the policy's `place_one` rule (opening a fresh
+    /// fill-order server when nothing fits), pushes it into the chosen
+    /// server's aggregate and re-plans that server's frequency.
+    /// Returns the chosen server.
+    fn admit_slot(&mut self, vm: VmDescriptor) -> crate::Result<usize> {
+        self.admit_slot_excluding(vm, None)
+    }
+
+    /// [`Self::admit_slot`], with an optional server the rule may not
+    /// pick — the guard's healing moves exclude the origin server, or
+    /// re-admission would happily undo the eviction it just made.
+    fn admit_slot_excluding(
+        &mut self,
+        vm: VmDescriptor,
+        exclude: Option<usize>,
+    ) -> crate::Result<usize> {
         let id = vm.id;
         let universe = self.slots.len();
         self.window_max_vm.resize(universe, 0.0);
@@ -1641,22 +2207,25 @@ impl DatacenterController {
 
         let choice = {
             let matrix = self.matrix.as_ref().expect("ensured above");
-            let drains: Vec<Option<usize>> = self
-                .placement
-                .servers()
-                .iter()
-                .map(|members| self.drain_of(members))
+            let candidates: Vec<usize> = (0..self.placement.server_count())
+                .filter(|&s| exclude != Some(s))
                 .collect();
-            let views: Vec<OpenServer<'_>> = (0..self.placement.server_count())
-                .map(|s| OpenServer {
+            let drains: Vec<Option<usize>> = candidates
+                .iter()
+                .map(|&s| self.drain_of(&self.placement.servers()[s]))
+                .collect();
+            let views: Vec<OpenServer<'_>> = candidates
+                .iter()
+                .zip(&drains)
+                .map(|(&s, &drain_samples)| OpenServer {
                     class: self.classes_of[s],
                     cores: self.cores_of[s],
                     watts_per_core: self.class_wpc[self.classes_of[s]],
-                    drain_samples: drains[s],
+                    drain_samples,
                     agg: &self.aggregates[s],
                 })
                 .collect();
-            admit_choice(self.cfg.policy, &vm, lease, &views, matrix)
+            admit_choice(self.cfg.policy, &vm, lease, &views, matrix).map(|i| candidates[i])
         };
         let server = match choice {
             Some(s) => s,
@@ -1679,9 +2248,7 @@ impl DatacenterController {
         }
         self.assignment[id] = Some(server);
         self.replan_bin(server)?;
-        self.online_admissions += 1;
-        sink.on_admit(self.clock, id, server);
-        Ok(())
+        Ok(server)
     }
 }
 

@@ -9,13 +9,20 @@
 //! every `t_period` (the paper uses 1 hour) with *predicted* demands —
 //! or adaptively: a [`RepackTrigger`] with a fragmentation slack fires
 //! **off-cycle re-packs** when departures leave the fleet fragmented
-//! (live Eqn 3 bound ≥ `slack` below the active server count). VMs
+//! (live Eqn 3 bound ≥ `slack` below the active server count), a
+//! [`QosGuard`] composes a violation-triggered re-pack (plus a
+//! boundary capacity check) onto any schedule so drifting predictions
+//! cannot overcommit kept servers indefinitely, and a
+//! [`SlackController`] adapts the slack between bounds from each
+//! re-pack's realized servers-freed-per-migration gain. VMs
 //! arriving **mid-period** are admitted through the incremental
 //! single-VM placement ([`AllocationPolicy::place_one`]) without a
 //! re-pack, biased by their remaining *lease* away from servers about
 //! to drain, and progress streams through a [`MetricSink`]
 //! (`on_period`, `on_repack`, `on_migration`, `on_violation`,
-//! `on_class_energy`, …) instead of only a terminal report.
+//! `on_class_energy`, …) instead of only a terminal report — wrap an
+//! expensive sink in [`sink::Buffered`] to batch delivery behind a
+//! bounded queue that can never stall the replay loop.
 //! Accounting matches Table II exactly:
 //!
 //! * **Placement** — any [`Policy`]: BFD, FFD, PCP (re-clustered each
@@ -112,14 +119,16 @@ pub mod controller;
 mod engine;
 mod error;
 pub mod report;
+pub mod sink;
 
 pub use config::{Policy, Scenario, ScenarioBuilder};
 pub use controller::{
-    ControllerConfig, DatacenterController, MetricSink, NullSink, RepackEvent, RepackReason,
-    RepackTrigger, ReportSink, ViolationEvent, VmEvent,
+    ControllerConfig, DatacenterController, MetricSink, NullSink, QosGuard, RepackEvent,
+    RepackReason, RepackTrigger, ReportSink, SlackController, ViolationEvent, VmEvent,
 };
 pub use error::SimError;
 pub use report::{ClassBreakdown, PeriodRecord, SimReport};
+pub use sink::{Buffered, SinkEvent};
 
 /// Crate-wide result alias.
 pub type Result<T> = std::result::Result<T, SimError>;

@@ -105,9 +105,15 @@ pub struct SimReport {
     /// only at period boundaries.
     pub online_admissions: usize,
     /// Off-cycle re-packs fired by a fragmentation
-    /// [`RepackTrigger`](crate::RepackTrigger). Always 0 under the
-    /// default periodic schedule.
+    /// [`RepackTrigger`](crate::RepackTrigger) or a
+    /// [`QosGuard`](crate::QosGuard). Always 0 under the default
+    /// periodic schedule.
     pub offcycle_repacks: usize,
+    /// Events a bounded [`Buffered`](crate::sink::Buffered) sink
+    /// adapter dropped on queue overflow during the run. Always 0 when
+    /// the stream was consumed unbuffered — the controller itself
+    /// never drops events; only the adapter's bounded queue can.
+    pub sink_dropped_events: u64,
 }
 
 impl SimReport {
@@ -191,6 +197,7 @@ mod tests {
             freq_levels_ghz: vec![2.0, 2.3],
             online_admissions: 0,
             offcycle_repacks: 0,
+            sink_dropped_events: 0,
         }
     }
 

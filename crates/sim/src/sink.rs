@@ -1,0 +1,404 @@
+//! Sink adapters — composable wrappers around a [`MetricSink`].
+//!
+//! The controller delivers every event synchronously: a sink that
+//! renders a dashboard, writes a socket or flushes a file would stall
+//! the replay loop on every violation sample. [`Buffered`] decouples
+//! the two rates: events land in a **bounded** in-memory queue (an
+//! overflowing queue *drops* the incoming event and counts it — the
+//! replay loop never blocks and never grows memory without bound) and
+//! the queue drains into the inner sink in batches at the natural
+//! flush points — every completed period, at the terminal summary, or
+//! whenever the caller asks via [`Buffered::drain`].
+//!
+//! The terminal [`SimReport`] an inner sink receives through
+//! [`MetricSink::on_summary`] carries the adapter's drop counter in
+//! [`SimReport::sink_dropped_events`], so a consumer can tell a quiet
+//! run from a saturated queue.
+//!
+//! ```
+//! use cavm_sim::sink::{Buffered, SinkEvent};
+//! use cavm_sim::{MetricSink, PeriodRecord};
+//!
+//! /// Counts what actually reaches the expensive consumer.
+//! #[derive(Default)]
+//! struct Dashboard {
+//!     violations: usize,
+//! }
+//!
+//! impl MetricSink for Dashboard {
+//!     fn on_violation(&mut self, _event: &cavm_sim::ViolationEvent) {
+//!         self.violations += 1;
+//!     }
+//! }
+//!
+//! let mut sink = Buffered::new(Dashboard::default(), 2);
+//! for sample in 0..5 {
+//!     sink.on_violation(&cavm_sim::ViolationEvent {
+//!         sample,
+//!         period: 0,
+//!         server: 0,
+//!         class: 0,
+//!         demand: 9.0,
+//!         capacity: 8.0,
+//!     });
+//! }
+//! // Nothing delivered yet, three of five overflowed the queue.
+//! assert_eq!(sink.inner().violations, 0);
+//! assert_eq!(sink.queued(), 2);
+//! assert_eq!(sink.dropped(), 3);
+//! sink.drain();
+//! assert_eq!(sink.inner().violations, 2);
+//! ```
+
+use crate::controller::{MetricSink, RepackEvent, ViolationEvent};
+use crate::report::{PeriodRecord, SimReport};
+use std::collections::VecDeque;
+
+/// One buffered controller event, in delivery order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SinkEvent {
+    /// A completed period ([`MetricSink::on_period`]).
+    Period(PeriodRecord),
+    /// A re-pack ([`MetricSink::on_repack`]).
+    Repack(RepackEvent),
+    /// A cross-boundary migration ([`MetricSink::on_migration`]).
+    Migration {
+        /// Placement period of the migration.
+        period: usize,
+        /// The VM that moved.
+        vm: usize,
+        /// Source server.
+        from: usize,
+        /// Destination server.
+        to: usize,
+    },
+    /// A capacity violation sample ([`MetricSink::on_violation`]).
+    Violation(ViolationEvent),
+    /// A class's per-period energy ([`MetricSink::on_class_energy`]).
+    ClassEnergy {
+        /// Placement period the energy was integrated over.
+        period: usize,
+        /// Fleet class index.
+        class: usize,
+        /// Class display name.
+        name: String,
+        /// Joules the class consumed over the period.
+        period_joules: f64,
+    },
+    /// An incremental admission ([`MetricSink::on_admit`]).
+    Admit {
+        /// Global sample index of the admission.
+        sample: usize,
+        /// The admitted VM.
+        vm: usize,
+        /// The hosting server.
+        server: usize,
+    },
+}
+
+/// A bounded, batching adapter around an inner [`MetricSink`]. See the
+/// [module docs](self).
+#[derive(Debug, Clone)]
+pub struct Buffered<S> {
+    inner: S,
+    queue: VecDeque<SinkEvent>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl<S: MetricSink> Buffered<S> {
+    /// Wraps `inner` behind a queue of at most `capacity` events
+    /// (clamped up to 1 — a zero-capacity queue would drop every
+    /// between-boundary event unseen). Period records and the terminal
+    /// summary are delivered at the flush points themselves and are
+    /// never queued, so they can never be dropped.
+    pub fn new(inner: S, capacity: usize) -> Self {
+        Self {
+            inner,
+            queue: VecDeque::with_capacity(capacity.clamp(1, 4096)),
+            capacity: capacity.max(1),
+            dropped: 0,
+        }
+    }
+
+    /// The wrapped sink.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+
+    /// The wrapped sink, mutably.
+    pub fn inner_mut(&mut self) -> &mut S {
+        &mut self.inner
+    }
+
+    /// Drains the queue and returns the wrapped sink.
+    pub fn into_inner(mut self) -> S {
+        self.drain();
+        self.inner
+    }
+
+    /// Events currently queued and not yet delivered.
+    pub fn queued(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Events dropped on queue overflow so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Delivers every queued event to the inner sink, in arrival
+    /// order. Called automatically on every completed period and at
+    /// the terminal summary.
+    pub fn drain(&mut self) {
+        while let Some(event) = self.queue.pop_front() {
+            match event {
+                SinkEvent::Period(record) => self.inner.on_period(&record),
+                SinkEvent::Repack(event) => self.inner.on_repack(&event),
+                SinkEvent::Migration {
+                    period,
+                    vm,
+                    from,
+                    to,
+                } => self.inner.on_migration(period, vm, from, to),
+                SinkEvent::Violation(event) => self.inner.on_violation(&event),
+                SinkEvent::ClassEnergy {
+                    period,
+                    class,
+                    name,
+                    period_joules,
+                } => self
+                    .inner
+                    .on_class_energy(period, class, &name, period_joules),
+                SinkEvent::Admit { sample, vm, server } => self.inner.on_admit(sample, vm, server),
+            }
+        }
+    }
+
+    /// Enqueues one event, dropping (and counting) it when the queue
+    /// is at capacity.
+    fn enqueue(&mut self, event: SinkEvent) {
+        if self.queue.len() >= self.capacity {
+            self.dropped += 1;
+        } else {
+            self.queue.push_back(event);
+        }
+    }
+}
+
+impl<S: MetricSink> MetricSink for Buffered<S> {
+    fn on_period(&mut self, record: &PeriodRecord) {
+        // The period boundary is the flush point: drain the queued
+        // events first (they precede the record in stream order), then
+        // deliver the record directly — a flush-point record never
+        // touches the bounded queue, so it can never be dropped.
+        self.drain();
+        self.inner.on_period(record);
+    }
+
+    fn on_repack(&mut self, event: &RepackEvent) {
+        self.enqueue(SinkEvent::Repack(*event));
+    }
+
+    fn on_migration(&mut self, period: usize, vm: usize, from: usize, to: usize) {
+        self.enqueue(SinkEvent::Migration {
+            period,
+            vm,
+            from,
+            to,
+        });
+    }
+
+    fn on_violation(&mut self, event: &ViolationEvent) {
+        self.enqueue(SinkEvent::Violation(*event));
+    }
+
+    fn on_class_energy(&mut self, period: usize, class: usize, name: &str, period_joules: f64) {
+        self.enqueue(SinkEvent::ClassEnergy {
+            period,
+            class,
+            name: name.to_string(),
+            period_joules,
+        });
+    }
+
+    fn on_admit(&mut self, sample: usize, vm: usize, server: usize) {
+        self.enqueue(SinkEvent::Admit { sample, vm, server });
+    }
+
+    fn on_summary(&mut self, report: &SimReport) {
+        // Everything still queued is delivered before the summary, and
+        // the summary itself is never queued (nor droppable): the
+        // inner sink sees it exactly once, with the adapter's drop
+        // counter folded in.
+        self.drain();
+        let mut report = report.clone();
+        report.sink_dropped_events = self.dropped;
+        self.inner.on_summary(&report);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::controller::RepackReason;
+
+    /// Records the call order and the summary it received.
+    #[derive(Default)]
+    struct Recorder {
+        calls: Vec<String>,
+        summary: Option<SimReport>,
+    }
+
+    impl MetricSink for Recorder {
+        fn on_period(&mut self, record: &PeriodRecord) {
+            self.calls.push(format!("period{}", record.period));
+        }
+
+        fn on_repack(&mut self, event: &RepackEvent) {
+            self.calls.push(format!("repack@{}", event.sample));
+        }
+
+        fn on_migration(&mut self, _period: usize, vm: usize, _from: usize, _to: usize) {
+            self.calls.push(format!("migrate{vm}"));
+        }
+
+        fn on_violation(&mut self, event: &ViolationEvent) {
+            self.calls.push(format!("violation@{}", event.sample));
+        }
+
+        fn on_class_energy(&mut self, period: usize, _class: usize, name: &str, _joules: f64) {
+            self.calls.push(format!("energy{period}:{name}"));
+        }
+
+        fn on_admit(&mut self, _sample: usize, vm: usize, _server: usize) {
+            self.calls.push(format!("admit{vm}"));
+        }
+
+        fn on_summary(&mut self, report: &SimReport) {
+            self.calls.push("summary".into());
+            self.summary = Some(report.clone());
+        }
+    }
+
+    fn violation(sample: usize) -> ViolationEvent {
+        ViolationEvent {
+            sample,
+            period: 0,
+            server: 0,
+            class: 0,
+            demand: 9.0,
+            capacity: 8.0,
+        }
+    }
+
+    fn period(period: usize) -> PeriodRecord {
+        PeriodRecord {
+            period,
+            servers_used: 2,
+            max_violation_ratio: 0.0,
+            migrations: 0,
+            pcp_clusters: None,
+        }
+    }
+
+    fn report() -> SimReport {
+        SimReport {
+            policy: "BFD".into(),
+            dynamic_dvfs: false,
+            energy: cavm_power::EnergyMeter::new(),
+            max_violation_percent: 0.0,
+            mean_violation_percent: 0.0,
+            violation_instances: 0,
+            periods: vec![],
+            classes: vec![],
+            freq_histogram: vec![],
+            freq_levels_ghz: vec![],
+            online_admissions: 0,
+            offcycle_repacks: 0,
+            sink_dropped_events: 0,
+        }
+    }
+
+    #[test]
+    fn events_batch_until_the_period_boundary_in_order() {
+        let mut sink = Buffered::new(Recorder::default(), 64);
+        sink.on_admit(3, 7, 1);
+        sink.on_violation(&violation(5));
+        sink.on_repack(&RepackEvent {
+            sample: 6,
+            period: 0,
+            reason: RepackReason::Fragmentation {
+                estimate: 1,
+                active: 3,
+            },
+            servers_before: 3,
+            servers_after: 1,
+            migrations: 2,
+            slack_after: Some(1),
+        });
+        assert!(sink.inner().calls.is_empty(), "nothing before the flush");
+        assert_eq!(sink.queued(), 3);
+        sink.on_period(&period(0));
+        assert_eq!(
+            sink.inner().calls,
+            vec!["admit7", "violation@5", "repack@6", "period0"],
+            "arrival order survives the batch"
+        );
+        assert_eq!(sink.queued(), 0);
+        assert_eq!(sink.dropped(), 0);
+    }
+
+    #[test]
+    fn overflow_drops_newest_and_counts() {
+        let mut sink = Buffered::new(Recorder::default(), 2);
+        for k in 0..5 {
+            sink.on_violation(&violation(k));
+        }
+        assert_eq!(sink.queued(), 2);
+        assert_eq!(sink.dropped(), 3);
+        sink.drain();
+        assert_eq!(sink.inner().calls, vec!["violation@0", "violation@1"]);
+        // The counter survives the drain (it is a run total).
+        assert_eq!(sink.dropped(), 3);
+    }
+
+    #[test]
+    fn summary_drains_first_and_carries_the_drop_counter() {
+        let mut sink = Buffered::new(Recorder::default(), 2);
+        for k in 0..4 {
+            sink.on_violation(&violation(k));
+        }
+        sink.on_summary(&report());
+        let recorder = sink.into_inner();
+        assert_eq!(
+            recorder.calls,
+            vec!["violation@0", "violation@1", "summary"],
+            "queued events deliver before the summary; the summary is never dropped"
+        );
+        assert_eq!(
+            recorder
+                .summary
+                .expect("summary delivered")
+                .sink_dropped_events,
+            2
+        );
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped_to_one() {
+        let mut sink = Buffered::new(Recorder::default(), 0);
+        sink.on_admit(0, 1, 0);
+        sink.on_admit(1, 2, 0);
+        assert_eq!(sink.queued(), 1);
+        assert_eq!(sink.dropped(), 1);
+    }
+
+    #[test]
+    fn into_inner_drains_the_queue() {
+        let mut sink = Buffered::new(Recorder::default(), 8);
+        sink.on_migration(1, 4, 0, 2);
+        let recorder = sink.into_inner();
+        assert_eq!(recorder.calls, vec!["migrate4"]);
+    }
+}

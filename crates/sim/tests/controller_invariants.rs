@@ -2,39 +2,52 @@
 //!
 //! Random `Arrive`/`Depart`/`Tick` sequences are driven through the
 //! controller for **every** combination of the five policies, the
-//! three [`RepackTrigger`]s and static/dynamic DVFS, while a naive
-//! reference model (the live VM set, the event clock, and the armed
-//! state of the fragmentation check) predicts what must hold after
-//! every single event:
+//! re-pack schedules (the three [`RepackTrigger`]s, with and without a
+//! composed [`QosGuard`], static and adaptive slack) and
+//! static/dynamic DVFS, while a naive reference model (the live VM
+//! set, the event clock, and the armed state of the fragmentation and
+//! QoS checks) predicts what must hold after every single event:
 //!
 //! * **membership consistency** — while mid-period, the placement
 //!   holds exactly the live VMs, each on exactly one server, and the
 //!   per-class server usage never exceeds what the fleet provides;
 //! * **no over-capacity server** — for the capacity-respecting
 //!   policies (BFD/FFD/Proposed) under schedules that re-pack every
-//!   boundary, no multi-VM server's predicted demand exceeds its own
-//!   class capacity, and the live Eqn (3) bound
-//!   ([`fragmentation_estimate`]) really is a lower bound on the
-//!   active server count;
+//!   boundary *or* carry a [`QosGuard`] (whose boundary capacity check
+//!   force-repacks overcommitted kept servers), no multi-VM server's
+//!   predicted demand exceeds its own class capacity, and the live
+//!   Eqn (3) bound ([`fragmentation_estimate`]) really is a lower
+//!   bound on the active server count;
 //! * **monotone event clock** — `Tick` advances the clock by exactly
 //!   one sample; `Arrive`/`Depart` leave it alone;
 //! * **the fragmentation trigger fires iff its predicate holds** — an
 //!   off-cycle re-pack happens at a tick exactly when the check is
-//!   armed (a departure evicted a placed VM) and the Eqn (3) bound
-//!   sits at least `slack` below the active count, with the event
-//!   payload reporting exactly those numbers; `Periodic` never fires
-//!   one.
+//!   armed (a departure evicted a placed VM), no QoS re-pack consumed
+//!   it, and the Eqn (3) bound sits at least `slack` servers below the
+//!   active count — `slack` read live from
+//!   [`current_slack`], so the adaptive [`SlackController`] is pinned
+//!   by the same predicate — with the event payload reporting exactly
+//!   those numbers; `Periodic` never fires one;
+//! * **the QoS guard fires iff armed ∧ ratio > threshold** — a
+//!   guard re-pack happens at a tick exactly when a violation armed
+//!   the check and the period's observed worst per-server violation
+//!   ratio exceeds the guard's threshold (and someone is live to
+//!   re-pack), with the event carrying exactly that violation count;
+//!   without a configured guard it never fires.
 //!
 //! [`DatacenterController`]: cavm_sim::DatacenterController
 //! [`RepackTrigger`]: cavm_sim::RepackTrigger
+//! [`QosGuard`]: cavm_sim::QosGuard
+//! [`SlackController`]: cavm_sim::SlackController
+//! [`current_slack`]: cavm_sim::DatacenterController::current_slack
 //! [`fragmentation_estimate`]: cavm_sim::DatacenterController::fragmentation_estimate
 
 use cavm_core::dvfs::DvfsMode;
 use cavm_core::fleet::{ServerClass, ServerFleet};
 use cavm_power::LinearPowerModel;
 use cavm_sim::{
-    ControllerConfig, DatacenterController, MetricSink, Policy, RepackEvent, RepackReason,
-    RepackTrigger,
+    ControllerConfig, DatacenterController, MetricSink, Policy, QosGuard, RepackEvent,
+    RepackReason, RepackTrigger,
 };
 use cavm_trace::{Reference, SimRng, TimeSeries};
 use proptest::prelude::*;
@@ -60,20 +73,72 @@ fn five_policies() -> [Policy; 5] {
     ]
 }
 
-fn three_triggers() -> [RepackTrigger; 3] {
+/// One re-pack schedule under test: the trigger, the optional QoS
+/// guard composed onto it, and the optional adaptive-slack bound.
+#[derive(Debug, Clone, Copy)]
+struct Schedule {
+    trigger: RepackTrigger,
+    guard: Option<QosGuard>,
+    adaptive_slack_max: Option<u32>,
+}
+
+impl Schedule {
+    const fn plain(trigger: RepackTrigger) -> Self {
+        Self {
+            trigger,
+            guard: None,
+            adaptive_slack_max: None,
+        }
+    }
+}
+
+/// The schedule axis: the PR 4 trigger matrix plus the guarded and
+/// adaptive variants this harness exists to pin.
+fn schedules() -> [Schedule; 6] {
     [
-        RepackTrigger::Periodic,
-        RepackTrigger::Fragmentation { slack: 1 },
-        RepackTrigger::Hybrid { slack: 2 },
+        Schedule::plain(RepackTrigger::Periodic),
+        Schedule::plain(RepackTrigger::Fragmentation { slack: 1 }),
+        Schedule::plain(RepackTrigger::Hybrid { slack: 2 }),
+        // The QoS-guarded fragmentation schedule of the adaptive
+        // experiment (low threshold so the guard actually exercises).
+        Schedule {
+            trigger: RepackTrigger::Fragmentation { slack: 1 },
+            guard: Some(QosGuard {
+                violation_ratio: 0.10,
+            }),
+            adaptive_slack_max: None,
+        },
+        // Guard composed onto the paper's periodic clock.
+        Schedule {
+            trigger: RepackTrigger::Periodic,
+            guard: Some(QosGuard {
+                violation_ratio: 0.05,
+            }),
+            adaptive_slack_max: None,
+        },
+        // Adaptive slack walking in [1, 3], with a guard on top.
+        Schedule {
+            trigger: RepackTrigger::Hybrid { slack: 1 },
+            guard: Some(QosGuard {
+                violation_ratio: 0.05,
+            }),
+            adaptive_slack_max: Some(3),
+        },
     ]
 }
 
-/// PCP and SuperVM legitimately overcommit (off-peak provisioning /
-/// joint sizing), and a fragmentation-only schedule keeps placements
-/// across boundaries while predictions drift — capacity invariants
-/// only bind outside those cases.
-fn capacity_binds(policy: Policy, trigger: RepackTrigger) -> bool {
-    trigger.periodic_repacks() && matches!(policy, Policy::Bfd | Policy::Ffd | Policy::Proposed(_))
+/// Whether per-server predicted load is bounded by the class capacity
+/// for this combination. PCP and SuperVM legitimately overcommit
+/// (off-peak provisioning / joint sizing), and a placement-keeping
+/// (fragmentation-only) schedule lets predictions drift over kept
+/// bins — with or without a [`QosGuard`], whose checks bound observed
+/// *violations*, not predicted load (a kept server whose summed peaks
+/// exceed capacity without ever violating is the correlation win, and
+/// is deliberately left alone). Capacity binds only for the
+/// boundary-re-packing schedules on capacity-respecting policies.
+fn capacity_binds(policy: Policy, schedule: Schedule) -> bool {
+    schedule.trigger.periodic_repacks()
+        && matches!(policy, Policy::Bfd | Policy::Ffd | Policy::Proposed(_))
 }
 
 /// One VM's randomly drawn schedule.
@@ -125,11 +190,25 @@ impl MetricSink for RepackLog {
 }
 
 impl RepackLog {
-    fn offcycle(&self) -> usize {
+    fn frag_fired(&self) -> usize {
         self.events
             .iter()
             .filter(|e| matches!(e.reason, RepackReason::Fragmentation { .. }))
             .count()
+    }
+
+    fn qos_fired(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e.reason, RepackReason::QosGuard { .. }))
+            .count()
+    }
+
+    /// Off-cycle re-packs as `SimReport::offcycle_repacks` counts
+    /// them: fragmentation- plus guard-fired (boundary `Overcommit`
+    /// capacity checks ride the period clock).
+    fn offcycle(&self) -> usize {
+        self.frag_fired() + self.qos_fired()
     }
 }
 
@@ -158,8 +237,9 @@ fn check_invariants(
     model: &Model,
     fleet: &ServerFleet,
     policy: Policy,
-    trigger: RepackTrigger,
+    schedule: Schedule,
 ) -> Result<(), TestCaseError> {
+    let trigger = schedule.trigger;
     prop_assert_eq!(c.clock(), model.clock, "clock diverged from the model");
     prop_assert_eq!(c.live_vms(), model.live.len());
 
@@ -200,7 +280,7 @@ fn check_invariants(
         trigger
     );
 
-    if capacity_binds(policy, trigger) {
+    if capacity_binds(policy, schedule) {
         let demands = c.predicted_vms();
         for (s, server) in placement.servers().iter().enumerate() {
             if server.len() < 2 {
@@ -236,15 +316,18 @@ fn run_case(
     seed: u64,
     fleet: &ServerFleet,
     policy: Policy,
-    trigger: RepackTrigger,
+    schedule: Schedule,
     dvfs_mode: DvfsMode,
 ) -> Result<(), TestCaseError> {
+    let trigger = schedule.trigger;
     let mut rng = SimRng::new(seed);
     let plans = draw_plans(&mut rng);
     let mut controller = DatacenterController::new(ControllerConfig {
         server_fleet: fleet.clone(),
         policy,
         repack_trigger: trigger,
+        qos_guard: schedule.guard,
+        adaptive_slack_max: schedule.adaptive_slack_max,
         dvfs_mode,
         period_samples: PERIOD,
         reference: Reference::Peak,
@@ -266,7 +349,7 @@ fn run_case(
                     .depart(id)
                     .map_err(|e| TestCaseError::fail(format!("depart({id}) at {k}: {e}")))?;
                 model.live.remove(&id);
-                check_invariants(&controller, &model, fleet, policy, trigger)?;
+                check_invariants(&controller, &model, fleet, policy, schedule)?;
             }
         }
         for (id, plan) in plans.iter().enumerate() {
@@ -278,45 +361,88 @@ fn run_case(
                     .arrive(id, trace, lease, &mut sink)
                     .map_err(|e| TestCaseError::fail(format!("arrive({id}) at {k}: {e}")))?;
                 model.live.insert(id);
-                check_invariants(&controller, &model, fleet, policy, trigger)?;
+                check_invariants(&controller, &model, fleet, policy, schedule)?;
             }
         }
 
-        // The fragmentation predicate, read through public state just
-        // before the tick that would act on it.
+        // Both off-cycle predicates, read through public state just
+        // before the tick that would act on them. The guard outranks
+        // the fragmentation check, whose armed state it consumes.
         let mid = controller.mid_period();
+        let live = controller.live_vms();
+        let qos_armed = controller.qos_armed();
+        let worst = controller.period_worst_violations();
+        prop_assert!(
+            (controller.period_violation_ratio() - worst as f64 / PERIOD as f64).abs() < 1e-12
+        );
+        let expect_qos = mid
+            && qos_armed
+            && live > 0
+            && schedule.guard.is_some_and(|g| g.exceeded(worst, PERIOD));
         let armed = controller.repack_armed();
         let estimate = independent_estimate(&controller, fleet);
         prop_assert_eq!(estimate, controller.fragmentation_estimate());
         let active = controller.placement().active_server_count();
-        let expect_fire = mid && armed && trigger.fires(estimate, active);
+        let slack = controller.current_slack();
+        prop_assert_eq!(slack.is_some(), trigger.slack().is_some());
+        let expect_frag = !expect_qos
+            && mid
+            && armed
+            && slack.is_some_and(|s| active.saturating_sub(estimate) >= s as usize);
 
-        let offcycle_before = sink.offcycle();
+        let (frag_before, qos_before) = (sink.frag_fired(), sink.qos_fired());
         controller
             .tick(&mut sink)
             .map_err(|e| TestCaseError::fail(format!("tick at {k}: {e}")))?;
         model.clock += 1;
-        let fired = sink.offcycle() - offcycle_before;
+        let frag = sink.frag_fired() - frag_before;
+        let qos = sink.qos_fired() - qos_before;
         prop_assert_eq!(
-            fired,
-            usize::from(expect_fire),
-            "{:?} at sample {}: armed={} estimate={} active={}",
+            qos,
+            usize::from(expect_qos),
+            "{:?} at sample {}: qos_armed={} worst={} guard={:?}",
+            trigger,
+            k,
+            qos_armed,
+            worst,
+            schedule.guard
+        );
+        prop_assert_eq!(
+            frag,
+            usize::from(expect_frag),
+            "{:?} at sample {}: armed={} estimate={} active={} slack={:?} qos_fired={}",
             trigger,
             k,
             armed,
             estimate,
-            active
+            active,
+            slack,
+            qos
         );
-        if fired == 1 {
-            let event = *sink.events.last().expect("a repack was recorded");
+        if frag + qos == 1 {
+            let event = *sink
+                .events
+                .iter()
+                .rev()
+                .find(|e| !matches!(e.reason, RepackReason::Overcommit { .. }))
+                .expect("a repack was recorded");
             prop_assert_eq!(event.sample, k);
-            prop_assert_eq!(
-                event.reason,
-                RepackReason::Fragmentation { estimate, active }
-            );
+            if frag == 1 {
+                prop_assert_eq!(
+                    event.reason,
+                    RepackReason::Fragmentation { estimate, active }
+                );
+            } else {
+                prop_assert_eq!(event.reason, RepackReason::QosGuard { violations: worst });
+            }
             prop_assert_eq!(event.servers_before, active);
+            prop_assert_eq!(event.slack_after, controller.current_slack());
+            if let Some(max) = schedule.adaptive_slack_max {
+                let s = event.slack_after.expect("fragmentation dimension");
+                prop_assert!(trigger.slack().unwrap() <= s && s <= max);
+            }
         }
-        check_invariants(&controller, &model, fleet, policy, trigger)?;
+        check_invariants(&controller, &model, fleet, policy, schedule)?;
     }
 
     controller
@@ -325,7 +451,16 @@ fn run_case(
     let report = controller.report();
     prop_assert_eq!(report.offcycle_repacks, sink.offcycle());
     prop_assert_eq!(report.periods.len(), TOTAL / PERIOD);
-    if trigger == RepackTrigger::Periodic {
+    if schedule.guard.is_none() {
+        // No guard: nothing may fire guard-shaped re-packs, on- or
+        // off-cycle.
+        prop_assert_eq!(sink.qos_fired(), 0);
+        prop_assert!(!sink
+            .events
+            .iter()
+            .any(|e| matches!(e.reason, RepackReason::Overcommit { .. })));
+    }
+    if trigger == RepackTrigger::Periodic && schedule.guard.is_none() {
         prop_assert_eq!(report.offcycle_repacks, 0);
         // Every repack rode the period clock.
         prop_assert!(sink
@@ -353,16 +488,26 @@ fn hetero_fleet() -> ServerFleet {
 }
 
 proptest! {
-    /// The full matrix: every policy × trigger × DVFS mode survives a
-    /// random departure-heavy event sequence on a uniform fleet with
-    /// all per-event invariants intact.
+    /// The full matrix: every policy × schedule (triggers, guards,
+    /// adaptive slack) × DVFS mode survives a random departure-heavy
+    /// event sequence on a uniform fleet with all per-event invariants
+    /// intact. Dynamic DVFS multiplies only the plain-trigger
+    /// schedules (the guard logic never reads the governor) to bound
+    /// runtime.
     #[test]
-    fn invariants_hold_for_all_policies_triggers_and_dvfs(seed in any::<u64>()) {
+    fn invariants_hold_for_all_policies_schedules_and_dvfs(seed in any::<u64>()) {
         let fleet = uniform_fleet();
         for policy in five_policies() {
-            for trigger in three_triggers() {
-                for dvfs in [DvfsMode::Static, DvfsMode::Dynamic { interval_samples: 8 }] {
-                    run_case(seed, &fleet, policy, trigger, dvfs)?;
+            for schedule in schedules() {
+                run_case(seed, &fleet, policy, schedule, DvfsMode::Static)?;
+                if schedule.guard.is_none() {
+                    run_case(
+                        seed,
+                        &fleet,
+                        policy,
+                        schedule,
+                        DvfsMode::Dynamic { interval_samples: 8 },
+                    )?;
                 }
             }
         }
@@ -375,57 +520,83 @@ proptest! {
     fn invariants_hold_on_heterogeneous_fleets(seed in any::<u64>()) {
         let fleet = hetero_fleet();
         for policy in [Policy::Proposed(Default::default()), Policy::Bfd] {
-            for trigger in three_triggers() {
-                run_case(seed, &fleet, policy, trigger, DvfsMode::Static)?;
+            for schedule in schedules() {
+                run_case(seed, &fleet, policy, schedule, DvfsMode::Static)?;
             }
         }
     }
 }
 
-/// A deterministic smoke of the harness itself: the drawn schedules
-/// really are departure-heavy enough to arm (and fire) the
-/// fragmentation trigger somewhere in the seed range the proptests
-/// sweep — otherwise the "fires iff" branch would be vacuous.
-#[test]
-fn fragmentation_repacks_actually_happen_in_the_harness() {
-    let fleet = uniform_fleet();
-    let fired = (0..64u64).any(|seed| {
-        let mut rng = SimRng::new(seed);
-        let plans = draw_plans(&mut rng);
-        let mut controller = DatacenterController::new(ControllerConfig {
-            server_fleet: fleet.clone(),
-            policy: Policy::Proposed(Default::default()),
-            repack_trigger: RepackTrigger::Fragmentation { slack: 1 },
-            dvfs_mode: DvfsMode::Static,
-            period_samples: PERIOD,
-            reference: Reference::Peak,
-            dynamic_headroom: 0.25,
-            default_demand: 2.0,
-            sample_dt_s: 5.0,
-        })
-        .expect("valid config");
-        let mut sink = RepackLog::default();
-        for k in 0..TOTAL {
-            for (id, plan) in plans.iter().enumerate() {
-                if plan.departure == Some(k) {
-                    controller.depart(id).expect("scheduled departure");
-                }
+/// Replays one harness schedule end to end and reports what fired.
+fn smoke_run(seed: u64, fleet: &ServerFleet, schedule: Schedule) -> RepackLog {
+    let mut rng = SimRng::new(seed);
+    let plans = draw_plans(&mut rng);
+    let mut controller = DatacenterController::new(ControllerConfig {
+        server_fleet: fleet.clone(),
+        policy: Policy::Proposed(Default::default()),
+        repack_trigger: schedule.trigger,
+        qos_guard: schedule.guard,
+        adaptive_slack_max: schedule.adaptive_slack_max,
+        dvfs_mode: DvfsMode::Static,
+        period_samples: PERIOD,
+        reference: Reference::Peak,
+        dynamic_headroom: 0.25,
+        default_demand: 2.0,
+        sample_dt_s: 5.0,
+    })
+    .expect("valid config");
+    let mut sink = RepackLog::default();
+    for k in 0..TOTAL {
+        for (id, plan) in plans.iter().enumerate() {
+            if plan.departure == Some(k) {
+                controller.depart(id).expect("scheduled departure");
             }
-            for (id, plan) in plans.iter().enumerate() {
-                if plan.arrival == k {
-                    let horizon = plan.departure.unwrap_or(TOTAL);
-                    let trace = draw_trace(&mut rng, horizon - k);
-                    controller
-                        .arrive(id, trace, plan.departure.map(|d| d - k), &mut sink)
-                        .expect("scheduled arrival");
-                }
-            }
-            controller.tick(&mut sink).expect("tick");
         }
-        controller.offcycle_repacks() > 0
+        for (id, plan) in plans.iter().enumerate() {
+            if plan.arrival == k {
+                let horizon = plan.departure.unwrap_or(TOTAL);
+                let trace = draw_trace(&mut rng, horizon - k);
+                controller
+                    .arrive(id, trace, plan.departure.map(|d| d - k), &mut sink)
+                    .expect("scheduled arrival");
+            }
+        }
+        controller.tick(&mut sink).expect("tick");
+    }
+    sink
+}
+
+/// A deterministic smoke of the harness itself: the drawn schedules
+/// really are departure-heavy (and violation-prone) enough to arm and
+/// fire the fragmentation trigger *and* the QoS guard somewhere in the
+/// seed range the proptests sweep — otherwise the two "fires iff"
+/// branches would be vacuous.
+#[test]
+fn fragmentation_and_qos_repacks_actually_happen_in_the_harness() {
+    let fleet = uniform_fleet();
+    let frag = (0..64u64).any(|seed| {
+        smoke_run(
+            seed,
+            &fleet,
+            Schedule::plain(RepackTrigger::Fragmentation { slack: 1 }),
+        )
+        .frag_fired()
+            > 0
     });
     assert!(
-        fired,
-        "no seed in 0..64 ever fired an off-cycle re-pack — the harness lost its teeth"
+        frag,
+        "no seed in 0..64 ever fired a fragmentation re-pack — the harness lost its teeth"
+    );
+    let guarded = Schedule {
+        trigger: RepackTrigger::Fragmentation { slack: 1 },
+        guard: Some(QosGuard {
+            violation_ratio: 0.10,
+        }),
+        adaptive_slack_max: None,
+    };
+    let qos = (0..64u64).any(|seed| smoke_run(seed, &fleet, guarded).qos_fired() > 0);
+    assert!(
+        qos,
+        "no seed in 0..64 ever fired a QoS-guard re-pack — the guard axis is vacuous"
     );
 }

@@ -278,6 +278,8 @@ fn vacated_servers_stay_as_eligible_as_fresh_ones_for_open_ended_arrivals() {
         .unwrap(),
         policy: Policy::Ffd,
         repack_trigger: RepackTrigger::Periodic,
+        qos_guard: None,
+        adaptive_slack_max: None,
         dvfs_mode: cavm_core::dvfs::DvfsMode::Static,
         period_samples: PERIOD,
         reference: Reference::Peak,
@@ -346,6 +348,8 @@ fn hybrid_trigger_fires_offcycle_repacks_under_departure_churn() {
             .unwrap(),
             policy,
             repack_trigger: RepackTrigger::Hybrid { slack: 1 },
+            qos_guard: None,
+            adaptive_slack_max: None,
             dvfs_mode: cavm_core::dvfs::DvfsMode::Static,
             period_samples: PERIOD,
             reference: Reference::Peak,
@@ -512,4 +516,292 @@ fn lifecycle_validation_happens_at_build_time() {
         .lifecycle(foreign)
         .build()
         .is_err());
+}
+
+#[test]
+fn qos_guard_repacks_away_drifted_overcommit_mid_period() {
+    // Two 4.5-core tenants against a 2.0-core default prediction: the
+    // first batch pass packs both onto one 8-core server, and every
+    // sample violates (9 > 8). Without a guard the fragmentation-only
+    // schedule never corrects this; with one, the violation ratio
+    // crossing the threshold fires an off-cycle re-pack whose
+    // refreshed (observed-peak) predictions split the pair.
+    use cavm_power::LinearPowerModel;
+    use cavm_sim::{ControllerConfig, DatacenterController, QosGuard, RepackReason};
+    use cavm_trace::{Reference, TimeSeries};
+
+    const PERIOD: usize = 60;
+    let config = |guard: Option<QosGuard>| ControllerConfig {
+        server_fleet: cavm_core::fleet::ServerFleet::uniform(
+            4,
+            8.0,
+            LinearPowerModel::xeon_e5410(),
+        )
+        .unwrap(),
+        policy: Policy::Bfd,
+        repack_trigger: RepackTrigger::Fragmentation { slack: 1 },
+        qos_guard: guard,
+        adaptive_slack_max: None,
+        dvfs_mode: cavm_core::dvfs::DvfsMode::Static,
+        period_samples: PERIOD,
+        reference: Reference::Peak,
+        dynamic_headroom: 0.25,
+        default_demand: 2.0,
+        sample_dt_s: 5.0,
+    };
+    let drive = |guard: Option<QosGuard>| {
+        let mut controller = DatacenterController::new(config(guard)).unwrap();
+        let mut sink = ReportSink::new();
+        for id in 0..2 {
+            let trace = TimeSeries::new(5.0, vec![4.5; 2 * PERIOD]).unwrap();
+            controller.arrive(id, trace, None, &mut sink).unwrap();
+        }
+        for _ in 0..PERIOD {
+            controller.tick(&mut sink).unwrap();
+        }
+        (controller, sink)
+    };
+
+    // Unguarded: a whole period of violations, still one server.
+    let (unguarded, _) = drive(None);
+    assert_eq!(unguarded.placement().active_server_count(), 1);
+    assert_eq!(unguarded.offcycle_repacks(), 0);
+    assert_eq!(unguarded.report().violation_instances, PERIOD);
+
+    // Guarded at 10%: fires once the worst ratio crosses 0.1 (7
+    // violations of 60), splits the pair, and violations stop.
+    let guard = QosGuard {
+        violation_ratio: 0.1,
+    };
+    let (guarded, sink) = drive(Some(guard));
+    assert_eq!(
+        guarded.placement().active_server_count(),
+        2,
+        "the refreshed predictions must split the overcommitted pair"
+    );
+    let qos_events: Vec<_> = sink
+        .repacks()
+        .iter()
+        .filter(|e| matches!(e.reason, RepackReason::QosGuard { .. }))
+        .collect();
+    assert_eq!(qos_events.len(), 1, "one guard re-pack heals the server");
+    let event = qos_events[0];
+    assert_eq!(event.reason, RepackReason::QosGuard { violations: 7 });
+    assert_eq!(event.sample, 7, "armed by violation 7, fired next tick");
+    assert_eq!(event.servers_before, 1);
+    assert_eq!(event.servers_after, 2);
+    assert!(
+        guarded.report().violation_instances < PERIOD / 4,
+        "violations must stop after the guard re-pack"
+    );
+    // The healed period still reports the pre-re-pack worst ratio
+    // through the folded floor.
+    let report = guarded.report();
+    assert!(report.periods[0].max_violation_ratio >= 7.0 / PERIOD as f64);
+}
+
+#[test]
+fn boundary_capacity_check_force_repacks_overcommitted_servers() {
+    // Two tenants whose 4.5-core peaks coincide only on the *last
+    // three* samples of period 0: the running ratio never exceeds the
+    // 4% threshold at any mid-period check (the guard evaluates one
+    // tick after each violation, when the count is still 1 then 2),
+    // so the mid-period guard stays quiet — but the period *ends* at
+    // 3/60 = 5% > 4%, and the refreshed predictions (4.5 + 4.5 on 8
+    // cores) overcommit the kept server. The guard's boundary
+    // capacity check must catch exactly this breached-and-still-
+    // overcommitted combination: trim the largest member off, re-admit
+    // it onto a second server, and emit an `Overcommit` re-pack event
+    // at the boundary.
+    use cavm_power::LinearPowerModel;
+    use cavm_sim::{ControllerConfig, DatacenterController, QosGuard, RepackReason};
+    use cavm_trace::{Reference, TimeSeries};
+
+    const PERIOD: usize = 60;
+    let trace = || {
+        let values = (0..3 * PERIOD)
+            .map(|t| if (57..60).contains(&t) { 4.5 } else { 2.0 })
+            .collect();
+        TimeSeries::new(5.0, values).unwrap()
+    };
+    let mut controller = DatacenterController::new(ControllerConfig {
+        server_fleet: cavm_core::fleet::ServerFleet::uniform(
+            4,
+            8.0,
+            LinearPowerModel::xeon_e5410(),
+        )
+        .unwrap(),
+        policy: Policy::Bfd,
+        repack_trigger: RepackTrigger::Fragmentation { slack: 1 },
+        qos_guard: Some(QosGuard {
+            violation_ratio: 0.04,
+        }),
+        adaptive_slack_max: None,
+        dvfs_mode: cavm_core::dvfs::DvfsMode::Static,
+        period_samples: PERIOD,
+        reference: Reference::Peak,
+        dynamic_headroom: 0.25,
+        default_demand: 2.0,
+        sample_dt_s: 5.0,
+    })
+    .unwrap();
+    let mut sink = ReportSink::new();
+    controller.arrive(0, trace(), None, &mut sink).unwrap();
+    controller.arrive(1, trace(), None, &mut sink).unwrap();
+    for _ in 0..PERIOD {
+        controller.tick(&mut sink).unwrap();
+    }
+    assert_eq!(
+        controller.placement().active_server_count(),
+        1,
+        "period 0 packs the pair on the 2.0-core default predictions"
+    );
+    assert_eq!(
+        controller.report().violation_instances,
+        3,
+        "the tail peaks violate, crossing the threshold only at period end"
+    );
+
+    // The period-1 boundary keeps the placement but refreshes the
+    // predictions to the observed 4.5-core peaks — overcommitted, and
+    // the server has a violation record.
+    controller.tick(&mut sink).unwrap();
+    assert_eq!(
+        controller.placement().active_server_count(),
+        2,
+        "the capacity check must split the violating overcommitted pair"
+    );
+    let overcommit: Vec<_> = sink
+        .repacks()
+        .iter()
+        .filter(|e| matches!(e.reason, RepackReason::Overcommit { .. }))
+        .collect();
+    assert_eq!(overcommit.len(), 1);
+    let event = overcommit[0];
+    assert_eq!(event.reason, RepackReason::Overcommit { servers: 1 });
+    assert_eq!(event.sample, PERIOD, "fires at the boundary tick");
+    assert_eq!(event.servers_after, 2);
+    assert_eq!(
+        event.migrations, 1,
+        "the trim moves exactly one of the pair"
+    );
+    // A boundary capacity check is not an off-cycle re-pack.
+    assert_eq!(controller.offcycle_repacks(), 0);
+    // Replaying period 1 on the split placement stays violation-free
+    // (each server now hosts one 4.5-core-predicted tenant).
+    for _ in 0..PERIOD {
+        controller.tick(&mut sink).unwrap();
+    }
+    assert_eq!(controller.report().violation_instances, 3);
+}
+
+#[test]
+fn buffered_sink_is_transparent_when_roomy_and_counts_drops_when_not() {
+    use cavm_sim::Buffered;
+
+    let traces = fleet(9, 4.0, 11);
+    let horizon = traces.vms()[0].fine.len();
+    let lifecycle = churn_lifecycle(9, horizon);
+    let scenario = || {
+        ScenarioBuilder::new(traces.clone())
+            .servers(12)
+            .policy(Policy::Proposed(Default::default()))
+            .lifecycle(lifecycle.clone())
+            .build()
+            .unwrap()
+    };
+
+    // Roomy queue: the buffered stream folds back into exactly the
+    // unbuffered report (both see zero drops).
+    let mut plain = ReportSink::new();
+    scenario().run_with_sink(&mut plain).unwrap();
+    let plain_report = plain.into_report().unwrap();
+    let mut roomy = Buffered::new(ReportSink::new(), 1 << 16);
+    scenario().run_with_sink(&mut roomy).unwrap();
+    assert_eq!(roomy.dropped(), 0);
+    let roomy_report = roomy.into_inner().into_report().unwrap();
+    assert_eq!(plain_report, roomy_report);
+
+    // A one-slot queue overflows; the terminal report the inner sink
+    // receives carries the exact drop count.
+    let mut tight = Buffered::new(ReportSink::new(), 1);
+    scenario().run_with_sink(&mut tight).unwrap();
+    let dropped = tight.dropped();
+    assert!(dropped > 0, "a one-slot queue must overflow under churn");
+    let tight_report = tight.into_inner().into_report().unwrap();
+    assert_eq!(tight_report.sink_dropped_events, dropped);
+    // The report itself is the controller's, not reassembled from the
+    // (lossy) stream: totals survive the drops.
+    assert_eq!(tight_report.energy, plain_report.energy);
+    assert_eq!(
+        tight_report.violation_instances,
+        plain_report.violation_instances
+    );
+}
+
+#[test]
+fn adaptive_slack_stays_within_bounds_and_streams_on_repacks() {
+    use cavm_sim::QosGuard;
+
+    let traces = fleet(9, 4.0, 11);
+    let horizon = traces.vms()[0].fine.len();
+    let lifecycle = churn_lifecycle(9, horizon);
+    let mut sink = ReportSink::new();
+    ScenarioBuilder::new(traces)
+        .servers(12)
+        .policy(Policy::Proposed(Default::default()))
+        .repack_trigger(RepackTrigger::Hybrid { slack: 1 })
+        .adaptive_slack_max(3)
+        .qos_guard(QosGuard {
+            violation_ratio: 0.25,
+        })
+        .lifecycle(lifecycle)
+        .build()
+        .unwrap()
+        .run_with_sink(&mut sink)
+        .unwrap();
+    assert!(!sink.repacks().is_empty());
+    for event in sink.repacks() {
+        let slack = event
+            .slack_after
+            .expect("a fragmentation-dimension schedule streams its slack");
+        assert!((1..=3).contains(&slack), "slack {slack} left [1, 3]");
+    }
+}
+
+#[test]
+fn guard_and_adaptive_knobs_are_validated_at_build_time() {
+    use cavm_sim::QosGuard;
+
+    let traces = fleet(4, 2.0, 1);
+    let build = |f: fn(ScenarioBuilder) -> ScenarioBuilder| {
+        f(ScenarioBuilder::new(traces.clone())).build().map(|_| ())
+    };
+    // Guard ratio must lie in (0, 1].
+    assert!(build(|b| b.qos_guard(QosGuard {
+        violation_ratio: 0.0
+    }))
+    .is_err());
+    assert!(build(|b| b.qos_guard(QosGuard {
+        violation_ratio: 1.5
+    }))
+    .is_err());
+    assert!(build(|b| b.qos_guard(QosGuard {
+        violation_ratio: f64::NAN
+    }))
+    .is_err());
+    assert!(build(|b| b.qos_guard(QosGuard {
+        violation_ratio: 1.0
+    }))
+    .is_ok());
+    // Adaptive slack needs a fragmentation dimension and max ≥ slack.
+    assert!(build(|b| b.adaptive_slack_max(3)).is_err());
+    assert!(build(|b| b
+        .repack_trigger(RepackTrigger::Hybrid { slack: 2 })
+        .adaptive_slack_max(1))
+    .is_err());
+    assert!(build(|b| b
+        .repack_trigger(RepackTrigger::Hybrid { slack: 2 })
+        .adaptive_slack_max(2))
+    .is_ok());
 }

@@ -17,6 +17,23 @@
 //!   number generator whose mean is the same as the collected value"
 //!   (§V-B, citing Benson et al.),
 //! * Poisson (query arrivals), exponential (inter-arrival gaps).
+//!
+//! # Example
+//!
+//! ```
+//! use cavm_trace::SimRng;
+//!
+//! let mut a = SimRng::new(7);
+//! let mut b = SimRng::new(7);
+//! // Identical seeds replay identical streams, across every
+//! // distribution.
+//! assert_eq!(a.next_u64(), b.next_u64());
+//! assert_eq!(a.normal(0.0, 1.0), b.normal(0.0, 1.0));
+//! // The mean-parameterized lognormal stays positive (it refines
+//! // coarse datacenter samples into fine ones, §V-B).
+//! let sample = a.lognormal_mean_cv(2.0, 0.5);
+//! assert!(sample > 0.0);
+//! ```
 
 use crate::TraceError;
 use serde::{Deserialize, Serialize};

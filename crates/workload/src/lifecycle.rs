@@ -15,6 +15,43 @@
 //! everything-at-t-0 schedule that reproduces the batch semantics.
 //! Trace-driven schedules (e.g. replayed from a real cluster log) enter
 //! through [`Lifecycle::from_entries`].
+//!
+//! # Example
+//!
+//! A day of 5-second samples with leases arriving by a Poisson process
+//! and holding exponentially-distributed lifetimes — identical seeds
+//! reproduce identical schedules:
+//!
+//! ```
+//! use cavm_workload::lifecycle::{ArrivalProcess, LifecycleBuilder, LifetimeModel};
+//!
+//! # fn main() -> Result<(), cavm_workload::WorkloadError> {
+//! let horizon = 24 * 720; // 24 h of 5 s samples
+//! let build = || {
+//!     LifecycleBuilder::new(16, horizon)
+//!         .seed(42)
+//!         .arrivals(ArrivalProcess::Poisson {
+//!             mean_gap_samples: 400.0,
+//!         })
+//!         .lifetimes(LifetimeModel::Exponential {
+//!             mean_samples: 2000.0,
+//!         })
+//!         .build()
+//! };
+//! let schedule = build()?;
+//! assert_eq!(schedule, build()?, "seeded schedules are deterministic");
+//! assert!(schedule.len() <= 16);
+//! assert!(schedule.max_concurrent() >= 1);
+//! // Every entry lives inside the horizon, departures after arrivals.
+//! for entry in schedule.entries() {
+//!     assert!(entry.arrival_sample < horizon);
+//!     if let Some(d) = entry.departure_sample {
+//!         assert!(d > entry.arrival_sample);
+//!     }
+//! }
+//! # Ok(())
+//! # }
+//! ```
 
 use crate::WorkloadError;
 use cavm_trace::SimRng;

@@ -7,8 +7,10 @@
 //! custom `MetricSink` narrates the run live — periods as they
 //! complete, incremental (lease-aware) mid-period admissions,
 //! fragmentation-fired off-cycle re-packs under the adaptive
-//! `RepackTrigger::Hybrid` schedule, per-class energy — before the
-//! terminal `SimReport` prints the totals.
+//! `RepackTrigger::Hybrid` schedule with a composed `QosGuard` (and
+//! the `SlackController`'s live slack on every re-pack event),
+//! per-class energy — before the terminal `SimReport` prints the
+//! totals.
 //!
 //! Run with: `cargo run --release --example online_churn`
 
@@ -39,12 +41,26 @@ impl MetricSink for Narrator {
     }
 
     fn on_repack(&mut self, event: &RepackEvent) {
-        if let RepackReason::Fragmentation { estimate, active } = event.reason {
-            println!(
+        let slack = event
+            .slack_after
+            .map_or_else(String::new, |s| format!(", slack now {s}"));
+        match event.reason {
+            RepackReason::Periodic => {}
+            RepackReason::Fragmentation { estimate, active } => println!(
                 "  t={:>5}  fragmentation re-pack: {} active servers vs bound {} -> {} \
-                 ({} migrations)",
+                 ({} migrations{slack})",
                 event.sample, active, estimate, event.servers_after, event.migrations
-            );
+            ),
+            RepackReason::QosGuard { violations } => println!(
+                "  t={:>5}  QoS guard re-pack: worst server at {} over-capacity samples, \
+                 {} hotspot move(s){slack}",
+                event.sample, violations, event.migrations
+            ),
+            RepackReason::Overcommit { servers } => println!(
+                "  t={:>5}  boundary capacity check: {} overcommitted server(s) trimmed \
+                 ({} migrations)",
+                event.sample, servers, event.migrations
+            ),
         }
     }
 
@@ -105,8 +121,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .servers(10)
         .policy(Policy::Proposed(Default::default()))
         // Consolidate off-cycle as soon as departures leave a whole
-        // server's worth of slack, on top of the hourly clock.
+        // server's worth of slack, on top of the hourly clock; let the
+        // slack adapt to what re-packs actually buy, and move hotspots
+        // off any server violating more than 8% of a period.
         .repack_trigger(RepackTrigger::Hybrid { slack: 1 })
+        .adaptive_slack_max(3)
+        .qos_guard(QosGuard {
+            violation_ratio: 0.08,
+        })
         .lifecycle(lifecycle)
         .build()?;
     scenario.run_with_sink(&mut narrator)?;

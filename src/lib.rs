@@ -98,9 +98,9 @@ pub mod prelude {
     pub use cavm_microarch::{machine::Machine, stream::StreamProfile};
     pub use cavm_power::{DvfsLadder, EnergyMeter, Frequency, LinearPowerModel, PowerModel};
     pub use cavm_sim::{
-        ClassBreakdown, ControllerConfig, DatacenterController, MetricSink, NullSink, PeriodRecord,
-        Policy, RepackEvent, RepackReason, RepackTrigger, ReportSink, Scenario, ScenarioBuilder,
-        SimReport, ViolationEvent, VmEvent,
+        Buffered, ClassBreakdown, ControllerConfig, DatacenterController, MetricSink, NullSink,
+        PeriodRecord, Policy, QosGuard, RepackEvent, RepackReason, RepackTrigger, ReportSink,
+        Scenario, ScenarioBuilder, SimReport, SinkEvent, SlackController, ViolationEvent, VmEvent,
     };
     pub use cavm_trace::{Envelope, Reference, SimRng, TimeSeries};
     pub use cavm_workload::{
