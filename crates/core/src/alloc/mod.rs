@@ -238,6 +238,28 @@ impl Placement {
         ))
     }
 
+    /// Removes and returns *every* member of server `server`, oldest
+    /// admission first — the emergency-evacuation primitive a
+    /// fault-tolerant controller runs when a server fails. The slot
+    /// itself survives (empty) so sibling indices and caller-side
+    /// per-server state stay valid, exactly as with
+    /// [`Placement::evict`]; the evacuees re-admit one by one through
+    /// the active policy with the failed server excluded.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParameter`] when `server` does not
+    /// exist. Draining an already-empty server is fine and returns an
+    /// empty vector.
+    pub fn drain_server(&mut self, server: usize) -> crate::Result<Vec<usize>> {
+        match self.servers.get_mut(server) {
+            Some(members) => Ok(std::mem::take(members)),
+            None => Err(CoreError::InvalidParameter(
+                "drain target server does not exist",
+            )),
+        }
+    }
+
     /// `vm id → hosting server` for ids in `0..n_vms`, built in one
     /// pass over the membership lists — the lookup the replay engine's
     /// assignment/migration pass reuses instead of calling
@@ -612,6 +634,23 @@ mod tests {
         // The emptied slot is reusable.
         p.admit(2, 1).unwrap();
         assert_eq!(p.server_of(2), Some(1));
+    }
+
+    #[test]
+    fn placement_drain_server_empties_but_keeps_the_slot() {
+        let mut p = Placement::from_servers(vec![vec![0, 1], vec![2]]);
+        // Drain returns members in admission order; the slot survives.
+        assert_eq!(p.drain_server(0).unwrap(), vec![0, 1]);
+        assert_eq!(p.server(0), Some(&[][..]));
+        assert_eq!(p.server_count(), 2);
+        assert_eq!(p.active_server_count(), 1);
+        // Draining an already-empty server is a no-op, not an error.
+        assert_eq!(p.drain_server(0).unwrap(), Vec::<usize>::new());
+        // Out-of-range servers are rejected.
+        assert!(p.drain_server(5).is_err());
+        // Evacuees are free to re-admit elsewhere.
+        p.admit(0, 1).unwrap();
+        assert_eq!(p.server_of(0), Some(1));
     }
 
     #[test]

@@ -63,6 +63,14 @@ pub struct OpenServer<'a> {
     pub drain_samples: Option<usize>,
     /// The server's incremental Eqn (2) aggregate.
     pub agg: &'a ServerCostAggregate,
+    /// Whether the server is operational
+    /// ([`ServerHealth::Healthy`](crate::fleet::ServerHealth)). Every
+    /// admission rule skips unhealthy candidates outright — a failed
+    /// server keeps its slot (and its class-capacity reservation) but
+    /// can never be picked, in either lease tier. Capacity math
+    /// ([`OpenServer::fits`]) stays health-blind on purpose: health is
+    /// an admissibility question, not a sizing one.
+    pub healthy: bool,
 }
 
 impl OpenServer<'_> {
@@ -99,7 +107,7 @@ fn best_fit_tier(
 ) -> Option<usize> {
     let mut best: Option<(usize, f64, f64)> = None;
     for (i, server) in servers.iter().enumerate() {
-        if !server.fits(vm.demand) || !admissible(server) {
+        if !server.healthy || !server.fits(vm.demand) || !admissible(server) {
             continue;
         }
         let residual = server.remaining();
@@ -142,8 +150,8 @@ pub fn first_fit_server(
 ) -> Option<usize> {
     servers
         .iter()
-        .position(|s| s.fits(vm.demand) && s.outlives(lease))
-        .or_else(|| servers.iter().position(|s| s.fits(vm.demand)))
+        .position(|s| s.healthy && s.fits(vm.demand) && s.outlives(lease))
+        .or_else(|| servers.iter().position(|s| s.healthy && s.fits(vm.demand)))
 }
 
 /// Max-Eqn-2-cost scan over the servers passing `admissible`.
@@ -155,7 +163,7 @@ fn max_cost_tier(
 ) -> Option<usize> {
     let mut best: Option<(usize, f64, f64)> = None;
     for (i, server) in servers.iter().enumerate() {
-        if !server.fits(vm.demand) || !admissible(server) {
+        if !server.healthy || !server.fits(vm.demand) || !admissible(server) {
             continue;
         }
         let cost = server.agg.candidate_cost(vm.id, vm.demand, matrix);
@@ -206,6 +214,7 @@ mod tests {
         aggs: Vec<ServerCostAggregate>,
         meta: Vec<(usize, f64, f64)>,
         drains: Vec<Option<usize>>,
+        health: Vec<bool>,
     }
 
     impl Fixture {
@@ -221,7 +230,13 @@ mod tests {
                 meta.push((class, cores, wpc));
             }
             let drains = vec![None; meta.len()];
-            Self { aggs, meta, drains }
+            let health = vec![true; meta.len()];
+            Self {
+                aggs,
+                meta,
+                drains,
+                health,
+            }
         }
 
         fn drains(mut self, drains: &[Option<usize>]) -> Self {
@@ -230,18 +245,26 @@ mod tests {
             self
         }
 
+        fn failed(mut self, server: usize) -> Self {
+            self.health[server] = false;
+            self
+        }
+
         fn views(&self) -> Vec<OpenServer<'_>> {
             self.aggs
                 .iter()
                 .zip(&self.meta)
-                .zip(&self.drains)
+                .zip(self.drains.iter().zip(&self.health))
                 .map(
-                    |((agg, &(class, cores, watts_per_core)), &drain_samples)| OpenServer {
-                        class,
-                        cores,
-                        watts_per_core,
-                        drain_samples,
-                        agg,
+                    |((agg, &(class, cores, watts_per_core)), (&drain_samples, &healthy))| {
+                        OpenServer {
+                            class,
+                            cores,
+                            watts_per_core,
+                            drain_samples,
+                            agg,
+                            healthy,
+                        }
                     },
                 )
                 .collect()
@@ -373,6 +396,43 @@ mod tests {
         )
         .drains(&[None, Some(20)]);
         assert_eq!(max_cost_server(&vm, Some(500), &fx.views(), &m), Some(0));
+    }
+
+    #[test]
+    fn no_rule_ever_picks_a_failed_server() {
+        let mut m = CostMatrix::new(3, Reference::Peak).unwrap();
+        m.push_sample(&[4.0, 0.5, 0.5]).unwrap();
+        m.push_sample(&[0.5, 4.0, 4.0]).unwrap();
+        let vm = VmDescriptor::new(2, 2.0);
+        // Server 0 is the winner under every rule: tightest fit, first
+        // in order, and the anti-correlated Eqn (2) host. Fail it.
+        let fx = Fixture::new(
+            &[(&[(0, 6.0)], 8.0, 0, 37.5), (&[(1, 3.0)], 8.0, 0, 37.5)],
+            &m,
+        )
+        .failed(0);
+        let views = fx.views();
+        assert_eq!(best_fit_server(&vm, None, &views), Some(1));
+        assert_eq!(first_fit_server(&vm, None, &views), Some(1));
+        assert_eq!(max_cost_server(&vm, None, &views, &m), Some(1));
+        // Health beats the lease fallback tier too: a failed outliving
+        // server never shadows a healthy draining one.
+        let fx = Fixture::new(
+            &[(&[(0, 6.0)], 8.0, 0, 37.5), (&[(1, 3.0)], 8.0, 0, 37.5)],
+            &m,
+        )
+        .drains(&[None, Some(10)])
+        .failed(0);
+        let views = fx.views();
+        assert_eq!(best_fit_server(&vm, Some(99), &views), Some(1));
+        assert_eq!(first_fit_server(&vm, Some(99), &views), Some(1));
+        assert_eq!(max_cost_server(&vm, Some(99), &views, &m), Some(1));
+        // With every server failed, each rule opens a new server.
+        let fx = Fixture::new(&[(&[(0, 3.0)], 8.0, 0, 37.5)], &m).failed(0);
+        let views = fx.views();
+        assert_eq!(best_fit_server(&vm, None, &views), None);
+        assert_eq!(first_fit_server(&vm, None, &views), None);
+        assert_eq!(max_cost_server(&vm, None, &views, &m), None);
     }
 
     #[test]

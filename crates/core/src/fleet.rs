@@ -48,6 +48,38 @@ use serde::{Deserialize, Serialize};
 /// path, [`crate::alloc::AllocationPolicy::place_uniform`]).
 pub const UNBOUNDED: usize = usize::MAX;
 
+/// Operational health of one provisioned server slot.
+///
+/// The fleet description ([`ServerClass`]/[`ServerFleet`]) is static
+/// hardware inventory; health is the *runtime* dimension a controller
+/// layers on top of it: a `Failed` server keeps its slot (its class
+/// capacity stays consumed — the hardware exists, it just cannot host
+/// anything) but must never be targeted by placement. The online
+/// admission path enforces this structurally: an
+/// [`OpenServer`](crate::alloc::OpenServer) view carries its server's
+/// health and every `place_one` rule skips unhealthy candidates.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ServerHealth {
+    /// The server is operational and may host VMs.
+    #[default]
+    Healthy,
+    /// The server has failed: resident VMs must evacuate and no
+    /// admission or re-pack may target it until it recovers.
+    Failed,
+}
+
+impl ServerHealth {
+    /// Whether this is [`ServerHealth::Failed`].
+    pub fn is_failed(&self) -> bool {
+        matches!(self, Self::Failed)
+    }
+
+    /// Whether this is [`ServerHealth::Healthy`].
+    pub fn is_healthy(&self) -> bool {
+        matches!(self, Self::Healthy)
+    }
+}
+
 /// One homogeneous slice of the fleet: `count` identical servers.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ServerClass {

@@ -8,6 +8,7 @@ use cavm_core::fleet::ServerFleet;
 use cavm_power::LinearPowerModel;
 use cavm_trace::Reference;
 use cavm_workload::datacenter::VmFleet;
+use cavm_workload::faults::FaultPlan;
 use cavm_workload::lifecycle::Lifecycle;
 use serde::{Deserialize, Serialize};
 
@@ -79,6 +80,8 @@ pub struct Scenario {
     pub(crate) dynamic_headroom: f64,
     pub(crate) default_demand: f64,
     pub(crate) lifecycle: Option<Lifecycle>,
+    pub(crate) faults: Option<FaultPlan>,
+    pub(crate) max_deferred: usize,
 }
 
 impl Scenario {
@@ -118,6 +121,16 @@ impl Scenario {
         self.lifecycle.as_ref()
     }
 
+    /// The server fault schedule, or `None` for a fault-free replay.
+    pub fn faults(&self) -> Option<&FaultPlan> {
+        self.faults.as_ref()
+    }
+
+    /// Capacity of the degraded-mode deferred-admission queue.
+    pub fn max_deferred(&self) -> usize {
+        self.max_deferred
+    }
+
     /// Opens an online [`DatacenterController`] with this scenario's
     /// knobs (fleet, policy, DVFS mode, period, reference, defaults).
     /// [`Scenario::run`] is exactly this controller driven by the
@@ -140,6 +153,7 @@ impl Scenario {
             dynamic_headroom: self.dynamic_headroom,
             default_demand: self.default_demand,
             sample_dt_s: self.fleet.vms()[0].fine.dt(),
+            max_deferred: self.max_deferred,
         })
     }
 }
@@ -171,6 +185,8 @@ pub struct ScenarioBuilder {
     dynamic_headroom: f64,
     default_demand: f64,
     lifecycle: Option<Lifecycle>,
+    faults: Option<FaultPlan>,
+    max_deferred: usize,
 }
 
 impl ScenarioBuilder {
@@ -192,6 +208,8 @@ impl ScenarioBuilder {
             dynamic_headroom: 0.25,
             default_demand: 2.0,
             lifecycle: None,
+            faults: None,
+            max_deferred: 1024,
         }
     }
 
@@ -302,6 +320,25 @@ impl ScenarioBuilder {
     /// equal the fleet's fine trace length.
     pub fn lifecycle(mut self, lifecycle: Lifecycle) -> Self {
         self.lifecycle = Some(lifecycle);
+        self
+    }
+
+    /// Injects a server fault schedule (default: none): each planned
+    /// transition becomes a `ServerFail`/`ServerRecover` event in the
+    /// replay stream, interleaved with the lifecycle at its sample.
+    /// Transitions aimed at servers the run never provisions are
+    /// skipped; re-failing an already-failed server (e.g. a correlated
+    /// outage overlapping an independent failure) is idempotent.
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+
+    /// Capacity of the degraded-mode deferred-admission queue (default
+    /// 1024): how many VMs the controller will remember while the
+    /// shrunken fleet cannot host them. Must be at least 1.
+    pub fn max_deferred(mut self, capacity: usize) -> Self {
+        self.max_deferred = capacity;
         self
     }
 
@@ -433,6 +470,37 @@ impl ScenarioBuilder {
                 }
             }
         }
+        if self.max_deferred == 0 {
+            return Err(SimError::InvalidParameter(
+                "deferred-admission queue needs at least one slot",
+            ));
+        }
+        if let Some(plan) = &self.faults {
+            // Hand-built plans may carry a backwards clock or aim past
+            // the fleet; builder-made ones never do. Out-of-horizon
+            // samples are harmless (the replay never reaches them).
+            let mut previous = 0usize;
+            for entry in plan.entries() {
+                if entry.sample < previous {
+                    return Err(SimError::NonMonotoneClock {
+                        sample: entry.sample,
+                        previous,
+                    });
+                }
+                previous = entry.sample;
+            }
+            let servers = server_fleet
+                .total_slots()
+                .expect("bounded fleet checked above");
+            if let Some(max) = plan.max_server() {
+                if max >= servers {
+                    return Err(SimError::UnknownServer {
+                        server: max,
+                        servers,
+                    });
+                }
+            }
+        }
         Ok(Scenario {
             fleet: self.fleet,
             server_fleet,
@@ -446,6 +514,8 @@ impl ScenarioBuilder {
             dynamic_headroom: self.dynamic_headroom,
             default_demand: self.default_demand,
             lifecycle: self.lifecycle,
+            faults: self.faults,
+            max_deferred: self.max_deferred,
         })
     }
 }

@@ -60,12 +60,13 @@ use cavm_core::alloc::{
 };
 use cavm_core::corr::CostMatrix;
 use cavm_core::dvfs::{DvfsMode, FleetFrequencyPlanner};
-use cavm_core::fleet::ServerFleet;
+use cavm_core::fleet::{ServerFleet, ServerHealth};
 use cavm_core::servercost::{server_cost_of, ServerCostAggregate};
 use cavm_core::CoreError;
 use cavm_power::{EnergyMeter, PowerModel};
 use cavm_trace::{Reference, TimeSeries};
 use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
 
 pub(crate) const VIOLATION_EPS: f64 = 1e-9;
 
@@ -378,6 +379,18 @@ pub enum RepackReason {
         /// Servers whose predicted aggregate exceeded capacity.
         servers: usize,
     },
+    /// Server `server` failed ([`VmEvent::ServerFail`]) and its
+    /// residents were emergency-evacuated: each re-admitted through
+    /// the active policy's single-VM rule with every failed server
+    /// excluded. `migrations` counts the residents that landed on an
+    /// outliving server; the rest entered the deferred-admission
+    /// queue. Unlike every other reason this is not a consolidation
+    /// move and does not count toward
+    /// [`SimReport::offcycle_repacks`](crate::SimReport::offcycle_repacks).
+    Evacuation {
+        /// The failed server the residents fled.
+        server: usize,
+    },
 }
 
 /// One full re-pack of the live placement, as streamed to
@@ -430,6 +443,23 @@ pub enum VmEvent {
     Depart {
         /// Id of a currently live VM.
         id: usize,
+    },
+    /// A provisioned server fails. Its residents are
+    /// emergency-evacuated through the active policy (failed servers
+    /// excluded); residents the shrunken fleet cannot host enter the
+    /// bounded deferred-admission queue. While any server is failed
+    /// the controller runs **degraded**: fragmentation/hybrid
+    /// consolidation and deliberate boundary overcommit are suspended
+    /// (the [`QosGuard`] stays armed).
+    ServerFail {
+        /// Index of a currently provisioned, healthy server.
+        server: usize,
+    },
+    /// A failed server comes back. Its slot is admissible again and
+    /// the deferred-admission queue immediately retries in FIFO order.
+    ServerRecover {
+        /// Index of a currently failed server.
+        server: usize,
     },
     /// Advance one monitoring sample.
     Tick,
@@ -531,6 +561,20 @@ pub trait MetricSink {
     /// single-VM placement path.
     fn on_admit(&mut self, sample: usize, vm: usize, server: usize) {
         let _ = (sample, vm, server);
+    }
+
+    /// A server failed ([`VmEvent::ServerFail`]); `residents` is the
+    /// number of VMs about to be emergency-evacuated. Fires before the
+    /// evacuation's migrations and its
+    /// [`RepackReason::Evacuation`] re-pack event.
+    fn on_server_fail(&mut self, sample: usize, server: usize, residents: usize) {
+        let _ = (sample, server, residents);
+    }
+
+    /// A failed server recovered ([`VmEvent::ServerRecover`]); fires
+    /// before the deferred-admission queue retries.
+    fn on_server_recover(&mut self, sample: usize, server: usize) {
+        let _ = (sample, server);
     }
 
     /// The session finished; `report` is the terminal aggregate (the
@@ -675,6 +719,13 @@ pub struct ControllerConfig {
     pub default_demand: f64,
     /// Monitoring sample interval, seconds (the energy-integration dt).
     pub sample_dt_s: f64,
+    /// Capacity of the degraded-mode deferred-admission queue: how
+    /// many live-but-unplaceable VMs the controller will hold and
+    /// retry (each tick, at every recovery and at period boundaries)
+    /// after server failures shrink the fleet. An event that would
+    /// overflow the queue is rejected atomically with
+    /// [`SimError::DeferredQueueFull`]. Must be at least 1.
+    pub max_deferred: usize,
 }
 
 impl ControllerConfig {
@@ -730,6 +781,11 @@ impl ControllerConfig {
         if !(self.sample_dt_s.is_finite() && self.sample_dt_s > 0.0) {
             return Err(SimError::InvalidParameter(
                 "sample interval must be finite and > 0",
+            ));
+        }
+        if self.max_deferred == 0 {
+            return Err(SimError::InvalidParameter(
+                "deferred-admission queue needs at least one slot",
             ));
         }
         if let Policy::Proposed(config) = self.policy {
@@ -852,6 +908,16 @@ pub struct DatacenterController {
     /// Dense (id-indexed) descriptor table of the current period.
     dense_vms: Vec<VmDescriptor>,
 
+    // ---- fault-tolerance state.
+    /// Per-provisioned-server health, parallel to `placement`. Only
+    /// rebuilt wholesale by a full batch re-pack, which degraded mode
+    /// suspends — so failed slots survive period boundaries.
+    health: Vec<ServerHealth>,
+    /// Live-but-unplaceable VM ids, FIFO. Retried every tick, at each
+    /// recovery and at period boundaries; bounded by
+    /// [`ControllerConfig::max_deferred`].
+    deferred: VecDeque<usize>,
+
     // ---- period window & matrix state.
     matrix: Option<CostMatrix>,
     window: Vec<Vec<f64>>,
@@ -869,6 +935,10 @@ pub struct DatacenterController {
     violation_instances: usize,
     online_admissions: usize,
     offcycle_repacks: usize,
+    server_failures: usize,
+    server_recoveries: usize,
+    evacuations: usize,
+    deferred_peak: usize,
 }
 
 impl DatacenterController {
@@ -969,6 +1039,12 @@ impl DatacenterController {
             violation_instances: 0,
             online_admissions: 0,
             offcycle_repacks: 0,
+            health: Vec::new(),
+            deferred: VecDeque::new(),
+            server_failures: 0,
+            server_recoveries: 0,
+            evacuations: 0,
+            deferred_peak: 0,
             cfg,
         })
     }
@@ -999,6 +1075,60 @@ impl DatacenterController {
     /// Off-cycle (fragmentation-fired) re-packs so far.
     pub fn offcycle_repacks(&self) -> usize {
         self.offcycle_repacks
+    }
+
+    /// Per-provisioned-server health, parallel to
+    /// [`DatacenterController::placement`].
+    pub fn server_health(&self) -> &[ServerHealth] {
+        &self.health
+    }
+
+    /// Currently failed servers.
+    pub fn failed_servers(&self) -> usize {
+        self.health.iter().filter(|h| h.is_failed()).count()
+    }
+
+    /// Whether the controller is in degraded mode: at least one server
+    /// is failed, or the deferred-admission queue is non-empty (the
+    /// fleet has not yet re-absorbed everything a failure displaced).
+    /// Degraded mode suspends fragmentation/hybrid consolidation and
+    /// deliberate boundary overcommit; the [`QosGuard`] stays armed.
+    pub fn degraded(&self) -> bool {
+        !self.deferred.is_empty() || self.health.iter().any(|h| h.is_failed())
+    }
+
+    /// Live VMs currently waiting in the deferred-admission queue.
+    pub fn deferred_vms(&self) -> usize {
+        self.deferred.len()
+    }
+
+    /// Ids currently waiting in the deferred-admission queue, in FIFO
+    /// retry order.
+    pub fn deferred_ids(&self) -> Vec<usize> {
+        self.deferred.iter().copied().collect()
+    }
+
+    /// High-water mark of the deferred-admission queue over the
+    /// session.
+    pub fn deferred_peak(&self) -> usize {
+        self.deferred_peak
+    }
+
+    /// [`VmEvent::ServerFail`] events processed so far (monotone).
+    pub fn server_failures(&self) -> usize {
+        self.server_failures
+    }
+
+    /// [`VmEvent::ServerRecover`] events processed so far (monotone).
+    pub fn server_recoveries(&self) -> usize {
+        self.server_recoveries
+    }
+
+    /// VMs moved onto an outliving server by emergency evacuations so
+    /// far (monotone; deferred evacuees count once they actually
+    /// admit, as online admissions).
+    pub fn evacuations(&self) -> usize {
+        self.evacuations
     }
 
     /// The live placement — stale between periods (the next period's
@@ -1092,10 +1222,17 @@ impl DatacenterController {
     ///
     /// # Errors
     ///
-    /// Returns [`SimError::InvalidParameter`] for a finished session,
-    /// a duplicate or unknown VM id; placement/trace/power errors
-    /// propagate, with fleet exhaustion mapped to
-    /// [`SimError::InsufficientServers`].
+    /// Returns [`SimError::SessionFinished`] after [`finish`],
+    /// [`SimError::DuplicateVm`] / [`SimError::UnknownVm`] /
+    /// [`SimError::VmAlreadyDeparted`] for malformed VM events,
+    /// [`SimError::UnknownServer`] / [`SimError::ServerAlreadyFailed`]
+    /// / [`SimError::ServerNotFailed`] for malformed server-health
+    /// events and [`SimError::DeferredQueueFull`] when degraded-mode
+    /// deferral would overflow (the event is rejected atomically);
+    /// placement/trace/power errors propagate, with fleet exhaustion
+    /// mapped to [`SimError::InsufficientServers`].
+    ///
+    /// [`finish`]: DatacenterController::finish
     pub fn apply(&mut self, event: VmEvent, sink: &mut dyn MetricSink) -> crate::Result<()> {
         match event {
             VmEvent::Arrive {
@@ -1104,15 +1241,15 @@ impl DatacenterController {
                 lease_samples,
             } => self.arrive(id, trace, lease_samples, sink),
             VmEvent::Depart { id } => self.depart(id),
+            VmEvent::ServerFail { server } => self.server_fail(server, sink),
+            VmEvent::ServerRecover { server } => self.server_recover(server, sink),
             VmEvent::Tick => self.tick(sink),
         }
     }
 
     fn check_open(&self) -> crate::Result<()> {
         if self.finished {
-            return Err(SimError::InvalidParameter(
-                "controller session already finished",
-            ));
+            return Err(SimError::SessionFinished);
         }
         Ok(())
     }
@@ -1135,9 +1272,7 @@ impl DatacenterController {
     ) -> crate::Result<()> {
         self.check_open()?;
         if self.slots.get(id).is_some_and(|s| s.is_some()) {
-            return Err(SimError::InvalidParameter(
-                "vm id already registered with the controller",
-            ));
+            return Err(SimError::DuplicateVm { id });
         }
         while self.slots.len() <= id {
             let fresh = self.slots.len();
@@ -1156,7 +1291,25 @@ impl DatacenterController {
         if self.in_period {
             let demand = self.cfg.default_demand;
             let vm = VmDescriptor::new(id, demand).with_off_peak(demand * 0.9);
-            self.admit_live(vm, sink)?;
+            if self.degraded() {
+                // The fleet is short on capacity because servers
+                // failed: an arrival that cannot be hosted degrades
+                // into the deferred queue instead of aborting the
+                // session. A full queue rejects the event atomically —
+                // the registration above is rolled back.
+                match self.admit_live(vm, sink) {
+                    Err(SimError::InsufficientServers { .. }) => {
+                        if let Err(full) = self.defer(id) {
+                            self.slots[id] = None;
+                            self.dense_vms[id] = VmDescriptor::new(id, 0.0).with_off_peak(0.0);
+                            return Err(full);
+                        }
+                    }
+                    other => other?,
+                }
+            } else {
+                self.admit_live(vm, sink)?;
+            }
         }
         Ok(())
     }
@@ -1172,11 +1325,18 @@ impl DatacenterController {
             .slots
             .get_mut(id)
             .and_then(|s| s.as_mut())
-            .ok_or(SimError::InvalidParameter("unknown vm id"))?;
+            .ok_or(SimError::UnknownVm { id })?;
         if !slot.live {
-            return Err(SimError::InvalidParameter("vm already departed"));
+            return Err(SimError::VmAlreadyDeparted { id });
         }
         slot.live = false;
+        if self.deferred.contains(&id) {
+            // A queued VM departing simply leaves the queue — it was
+            // never placed.
+            self.deferred.retain(|&d| d != id);
+            self.dense_vms[id] = VmDescriptor::new(id, 0.0).with_off_peak(0.0);
+            return Ok(());
+        }
         if self.in_period && self.placement.server_of(id).is_some() {
             let server = self.placement.evict(id).map_err(SimError::Core)?;
             self.dense_vms[id] = VmDescriptor::new(id, 0.0).with_off_peak(0.0);
@@ -1213,15 +1373,27 @@ impl DatacenterController {
         self.check_open()?;
         if !self.in_period {
             self.start_period(sink)?;
+            // The boundary may have placed queued VMs (or outlived
+            // their departure): drop stale queue entries so degraded
+            // mode ends as soon as everything is re-absorbed.
+            self.prune_deferred();
             self.in_period = true;
         } else {
+            // Degraded mode retries the deferred queue every tick —
+            // departures free capacity between recoveries.
+            if !self.deferred.is_empty() {
+                self.drain_deferred(sink)?;
+            }
             // QoS outranks energy: an armed guard is evaluated first.
             // Its surgical re-pack does NOT consolidate (it can even
             // open a server), so a pending fragmentation check is not
             // consumed — it stays armed and is evaluated next tick,
             // against the post-heal placement.
             let qos_fired = self.maybe_qos_repack(sink)?;
-            if !qos_fired && self.repack_armed {
+            // While degraded, consolidation into the shrunken fleet is
+            // suspended: the armed flag is *kept* so the check runs
+            // once capacity is whole again.
+            if !qos_fired && self.repack_armed && !self.degraded() {
                 self.repack_armed = false;
                 let estimate = self.fragmentation_estimate();
                 let active = self.placement.active_server_count();
@@ -1241,6 +1413,182 @@ impl DatacenterController {
         self.clock += 1;
         if self.clock - self.period_start == self.cfg.period_samples {
             self.end_period(sink)?;
+        }
+        Ok(())
+    }
+
+    /// Fails a provisioned server and emergency-evacuates its
+    /// residents: each re-admits through the active policy's single-VM
+    /// rule (failed servers are never candidates), streamed as
+    /// migrations under one [`RepackReason::Evacuation`] event;
+    /// residents the shrunken fleet cannot host enter the deferred
+    /// queue. The failed slot keeps consuming its fleet-class capacity
+    /// (the hardware exists, it just cannot host) until
+    /// [`VmEvent::ServerRecover`].
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::UnknownServer`] for an unprovisioned index,
+    /// [`SimError::ServerAlreadyFailed`] for a double fault, and
+    /// [`SimError::DeferredQueueFull`] when the residents could not
+    /// all be queued in the worst case — checked *before* any state
+    /// changes, so a rejected event leaves the session untouched.
+    pub fn server_fail(&mut self, server: usize, sink: &mut dyn MetricSink) -> crate::Result<()> {
+        self.check_open()?;
+        let servers = self.placement.server_count();
+        if server >= servers {
+            return Err(SimError::UnknownServer { server, servers });
+        }
+        self.health.resize(servers, ServerHealth::Healthy);
+        if self.health[server].is_failed() {
+            return Err(SimError::ServerAlreadyFailed { server });
+        }
+        let residents = self.placement.servers()[server].len();
+        if self.deferred.len() + residents > self.cfg.max_deferred {
+            return Err(SimError::DeferredQueueFull {
+                capacity: self.cfg.max_deferred,
+            });
+        }
+
+        let servers_before = self.placement.active_server_count();
+        self.health[server] = ServerHealth::Failed;
+        self.server_failures += 1;
+        sink.on_server_fail(self.clock, server, residents);
+        if residents == 0 {
+            return Ok(());
+        }
+
+        // Evacuate: the members leave their failed host wholesale, its
+        // live state is zeroed, and each evacuee re-admits in id order
+        // through the policy (health-aware, so neither the failed
+        // origin nor any other failed server is a candidate).
+        let mut evacuees = self
+            .placement
+            .drain_server(server)
+            .map_err(SimError::Core)?;
+        evacuees.sort_unstable();
+        for &id in &evacuees {
+            if let Some(a) = self.assignment.get_mut(id) {
+                *a = None;
+            }
+        }
+        self.aggregates[server] = ServerCostAggregate::new();
+        let mut moved = 0usize;
+        for &id in &evacuees {
+            let vm = self.dense_vms[id];
+            match self.admit_slot_excluding(vm, None) {
+                Ok(dest) => {
+                    moved += 1;
+                    self.evacuations += 1;
+                    self.class_migrations[self.placement.classes()[dest]] += 1;
+                    sink.on_migration(self.period, id, server, dest);
+                }
+                Err(SimError::InsufficientServers { .. }) => {
+                    self.defer(id)
+                        .expect("capacity for every resident was checked above");
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        self.period_migrations += moved;
+        sink.on_repack(&RepackEvent {
+            sample: self.clock,
+            period: self.period,
+            reason: RepackReason::Evacuation { server },
+            servers_before,
+            servers_after: self.placement.active_server_count(),
+            migrations: moved,
+            slack_after: self.current_slack(),
+        });
+        Ok(())
+    }
+
+    /// Recovers a failed server: its slot is admissible again and the
+    /// deferred-admission queue immediately retries in FIFO order.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::UnknownServer`] for an unprovisioned index and
+    /// [`SimError::ServerNotFailed`] when the server is healthy.
+    pub fn server_recover(
+        &mut self,
+        server: usize,
+        sink: &mut dyn MetricSink,
+    ) -> crate::Result<()> {
+        self.check_open()?;
+        let servers = self.placement.server_count();
+        if server >= servers {
+            return Err(SimError::UnknownServer { server, servers });
+        }
+        if !self.health.get(server).is_some_and(|h| h.is_failed()) {
+            return Err(SimError::ServerNotFailed { server });
+        }
+        self.health[server] = ServerHealth::Healthy;
+        self.server_recoveries += 1;
+        sink.on_server_recover(self.clock, server);
+        if !self.deferred.is_empty() {
+            self.drain_deferred(sink)?;
+        }
+        Ok(())
+    }
+
+    /// Queues a live, unplaced VM for deferred admission (idempotent:
+    /// an already-queued id is left in place).
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::DeferredQueueFull`] when the queue is at capacity;
+    /// nothing is mutated.
+    fn defer(&mut self, id: usize) -> crate::Result<()> {
+        if self.deferred.contains(&id) {
+            return Ok(());
+        }
+        if self.deferred.len() >= self.cfg.max_deferred {
+            return Err(SimError::DeferredQueueFull {
+                capacity: self.cfg.max_deferred,
+            });
+        }
+        self.deferred.push_back(id);
+        self.deferred_peak = self.deferred_peak.max(self.deferred.len());
+        Ok(())
+    }
+
+    /// Drops queue entries that no longer need admission: departed
+    /// VMs, and VMs a period boundary already placed.
+    fn prune_deferred(&mut self) {
+        if self.deferred.is_empty() {
+            return;
+        }
+        let deferred = std::mem::take(&mut self.deferred);
+        self.deferred = deferred
+            .into_iter()
+            .filter(|&id| {
+                self.slots[id].as_ref().is_some_and(|s| s.live)
+                    && self.placement.server_of(id).is_none()
+            })
+            .collect();
+    }
+
+    /// Retries every queued VM once, FIFO: those the fleet can now
+    /// host admit through the normal incremental path (counted as
+    /// online admissions); the rest keep their queue position.
+    fn drain_deferred(&mut self, sink: &mut dyn MetricSink) -> crate::Result<()> {
+        let pending: Vec<usize> = self.deferred.drain(..).collect();
+        for id in pending {
+            let live = self.slots[id].as_ref().is_some_and(|s| s.live);
+            if !live || self.placement.server_of(id).is_some() {
+                continue;
+            }
+            let vm = self.dense_vms[id];
+            match self.admit_live(vm, sink) {
+                Ok(()) => {}
+                Err(SimError::InsufficientServers { .. }) => {
+                    self.deferred.push_back(id);
+                    // No peak update: the queue is no longer than it
+                    // was before the drain.
+                }
+                Err(e) => return Err(e),
+            }
         }
         Ok(())
     }
@@ -1313,6 +1661,9 @@ impl DatacenterController {
             online_admissions: self.online_admissions,
             offcycle_repacks: self.offcycle_repacks,
             sink_dropped_events: 0,
+            server_failures: self.server_failures,
+            evacuations: self.evacuations,
+            deferred_peak: self.deferred_peak,
         }
     }
 
@@ -1446,9 +1797,15 @@ impl DatacenterController {
 
         // A fragmentation-only schedule keeps the standing placement
         // across boundaries once one exists; everything else (and the
-        // very first placement) runs the batch ALLOCATE pass.
-        let keep = !self.cfg.repack_trigger.periodic_repacks()
-            && self.placement.servers().iter().any(|m| !m.is_empty());
+        // very first placement) runs the batch ALLOCATE pass. Degraded
+        // mode also keeps: the health-blind batch pass would pack onto
+        // failed slots (and lose their health state in the rebuild),
+        // so a degraded boundary works incrementally instead — evict
+        // the departed, re-admit the pending, consolidate later.
+        let degraded = self.degraded();
+        let keep = (!self.cfg.repack_trigger.periodic_repacks() || degraded)
+            && (self.placement.servers().iter().any(|m| !m.is_empty())
+                || (degraded && self.placement.server_count() > 0));
         if keep {
             self.keep_placement_boundary(sink)?;
             return Ok(());
@@ -1564,6 +1921,12 @@ impl DatacenterController {
             freq_idx.push(ladder.index_of(f).expect("planner returns ladder levels"));
         }
         self.freq_idx = freq_idx;
+        // A full batch re-pack renumbers the server slots wholesale,
+        // which only ever happens outside degraded mode (degraded
+        // boundaries keep, and degraded suspends the fragmentation
+        // re-pack) — so every slot of the fresh placement is healthy.
+        debug_assert!(!self.health.iter().any(|h| h.is_failed()));
+        self.health = vec![ServerHealth::Healthy; bins];
         self.placement = placement;
         Ok(migrations)
     }
@@ -1635,14 +1998,26 @@ impl DatacenterController {
         // the largest members are trimmed off (and re-admitted below)
         // until the remainder fits the capacity, moving the minimum of
         // VMs.
+        //
+        // Degraded mode suspends the deliberate overcommit entirely:
+        // with capacity already lost to failures, *any* predicted
+        // overcommit is trimmed at the boundary — no breach evidence
+        // required, guard configured or not. The correlation gap is a
+        // bet the shrunken fleet can no longer cover.
+        let degraded = self.degraded();
         let mut forced: Vec<(usize, usize)> = Vec::new();
         let mut over_servers = 0usize;
         let servers_before = self.placement.active_server_count();
-        if let Some(guard) = self.cfg.qos_guard {
+        if self.cfg.qos_guard.is_some() || degraded {
             for s in 0..bins {
                 let members = self.placement.servers()[s].clone();
                 let violations = prior_violations.get(s).copied().unwrap_or(0);
-                if members.is_empty() || !guard.exceeded(violations, self.cfg.period_samples) {
+                let evidence = degraded
+                    || self
+                        .cfg
+                        .qos_guard
+                        .is_some_and(|g| g.exceeded(violations, self.cfg.period_samples));
+                if members.is_empty() || !evidence {
                     continue;
                 }
                 let mut load: f64 = members.iter().map(|&id| self.dense_vms[id].demand).sum();
@@ -1687,11 +2062,21 @@ impl DatacenterController {
             let mut migrations = 0usize;
             for &(id, old) in &forced {
                 let vm = self.dense_vms[id];
-                let server = self.admit_slot_excluding(vm, Some(old))?;
-                if server != old {
-                    migrations += 1;
-                    self.class_migrations[self.placement.classes()[server]] += 1;
-                    sink.on_migration(self.period, id, old, server);
+                match self.admit_slot_excluding(vm, Some(old)) {
+                    Ok(server) => {
+                        if server != old {
+                            migrations += 1;
+                            self.class_migrations[self.placement.classes()[server]] += 1;
+                            sink.on_migration(self.period, id, old, server);
+                        }
+                    }
+                    Err(SimError::InsufficientServers { .. }) if degraded => {
+                        // The trimmed VM has nowhere to go on the
+                        // shrunken fleet: queue it like any other
+                        // displaced VM.
+                        self.defer(id)?;
+                    }
+                    Err(e) => return Err(e),
                 }
             }
             self.period_migrations += migrations;
@@ -1709,12 +2094,22 @@ impl DatacenterController {
         }
 
         // VMs that arrived between periods join incrementally, in id
-        // order, with their predicted descriptors.
+        // order, with their predicted descriptors — and so do queued
+        // VMs (live but unplaced), which makes the boundary a natural
+        // deferred-queue retry; successes are pruned from the queue by
+        // the caller.
         for id in 0..universe {
             let live = self.slots[id].as_ref().is_some_and(|s| s.live);
             if live && self.placement.server_of(id).is_none() {
                 let vm = self.dense_vms[id];
-                self.admit_live(vm, sink)?;
+                if degraded {
+                    match self.admit_live(vm, sink) {
+                        Err(SimError::InsufficientServers { .. }) => self.defer(id)?,
+                        other => other?,
+                    }
+                } else {
+                    self.admit_live(vm, sink)?;
+                }
             }
         }
         if evicted_any && self.cfg.repack_trigger.slack().is_some() {
@@ -1935,6 +2330,13 @@ impl DatacenterController {
             let members: &[usize] = &self.placement.servers()[s];
             if members.is_empty() {
                 // A fully vacated server is powered off until re-used.
+                continue;
+            }
+            if self.health.get(s).is_some_and(|h| h.is_failed()) {
+                // Evacuation empties failed servers, so this arm is
+                // normally unreachable — but a failed server draws no
+                // power and can violate nothing, whatever its members
+                // claim.
                 continue;
             }
             let class = self.classes_of[s];
@@ -2223,6 +2625,7 @@ impl DatacenterController {
                     watts_per_core: self.class_wpc[self.classes_of[s]],
                     drain_samples,
                     agg: &self.aggregates[s],
+                    healthy: !self.health.get(s).is_some_and(|h| h.is_failed()),
                 })
                 .collect();
             admit_choice(self.cfg.policy, &vm, lease, &views, matrix).map(|i| candidates[i])
@@ -2238,6 +2641,8 @@ impl DatacenterController {
                 self.freq_idx.push(0);
                 self.window_max_agg.push(0.0);
                 self.server_violations.push(0);
+                self.health.resize(s, ServerHealth::Healthy);
+                self.health.push(ServerHealth::Healthy);
                 s
             }
         };

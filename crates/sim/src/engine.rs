@@ -18,7 +18,9 @@ use crate::config::Scenario;
 use crate::controller::{MetricSink, ReportSink, VmEvent};
 use crate::report::SimReport;
 use crate::SimError;
+use cavm_workload::faults::{FaultEntry, FaultKind};
 use cavm_workload::lifecycle::LifecycleEntry;
+use std::collections::BTreeSet;
 
 impl Scenario {
     /// Runs the scenario to completion. Deterministic: identical
@@ -66,10 +68,32 @@ impl Scenario {
             .filter(|&(d, _)| d < total)
             .collect();
         departures.sort_unstable();
+        let fault_entries: &[FaultEntry] = self.faults.as_ref().map_or(&[], |p| p.entries());
 
         let mut next_arrival = 0usize;
         let mut next_departure = 0usize;
+        let mut next_fault = 0usize;
+        // Servers currently down, as the engine has applied them. The
+        // plan may legitimately schedule overlapping transitions (a
+        // correlated outage over an independent failure); this set
+        // keeps the injection idempotent. Transitions aimed at servers
+        // the controller has not provisioned yet are skipped — a rack
+        // that never powered on cannot fail.
+        let mut down: BTreeSet<usize> = BTreeSet::new();
         for k in 0..total {
+            // Per-sample delivery order: recoveries first (capacity
+            // returns before this sample's churn), then departures,
+            // arrivals, failures, and finally the tick.
+            while next_fault < fault_entries.len()
+                && fault_entries[next_fault].sample == k
+                && fault_entries[next_fault].kind == FaultKind::Recover
+            {
+                let server = fault_entries[next_fault].server;
+                if down.remove(&server) {
+                    controller.apply(VmEvent::ServerRecover { server }, sink)?;
+                }
+                next_fault += 1;
+            }
             while next_departure < departures.len() && departures[next_departure].0 == k {
                 controller.apply(
                     VmEvent::Depart {
@@ -100,6 +124,27 @@ impl Scenario {
                     sink,
                 )?;
                 next_arrival += 1;
+            }
+            while next_fault < fault_entries.len() && fault_entries[next_fault].sample == k {
+                let FaultEntry { kind, server, .. } = fault_entries[next_fault];
+                match kind {
+                    FaultKind::Fail => {
+                        if !down.contains(&server) && server < controller.placement().server_count()
+                        {
+                            controller.apply(VmEvent::ServerFail { server }, sink)?;
+                            down.insert(server);
+                        }
+                    }
+                    // A same-sample Recover after a Fail (builder plans
+                    // rank recoveries first, but hand-built plans may
+                    // not) still applies.
+                    FaultKind::Recover => {
+                        if down.remove(&server) {
+                            controller.apply(VmEvent::ServerRecover { server }, sink)?;
+                        }
+                    }
+                }
+                next_fault += 1;
             }
             controller.apply(VmEvent::Tick, sink)?;
         }

@@ -23,6 +23,59 @@ pub enum SimError {
         /// Servers the scenario's fleet has.
         available: usize,
     },
+    /// An `Arrive` event reused the id of a VM that is still live in
+    /// the session.
+    DuplicateVm {
+        /// The offending VM id.
+        id: usize,
+    },
+    /// A `Depart` event named a VM id the session has never seen.
+    UnknownVm {
+        /// The offending VM id.
+        id: usize,
+    },
+    /// A `Depart` event named a VM that already departed.
+    VmAlreadyDeparted {
+        /// The offending VM id.
+        id: usize,
+    },
+    /// A `ServerFail`/`ServerRecover` event named a server index the
+    /// session has not provisioned.
+    UnknownServer {
+        /// The offending server index.
+        server: usize,
+        /// Servers currently provisioned in the session.
+        servers: usize,
+    },
+    /// A `ServerFail` event targeted a server that is already failed.
+    ServerAlreadyFailed {
+        /// The offending server index.
+        server: usize,
+    },
+    /// A `ServerRecover` event targeted a server that is not failed.
+    ServerNotFailed {
+        /// The offending server index.
+        server: usize,
+    },
+    /// An event plan's clock ran backwards: a scheduled sample
+    /// precedes the one before it.
+    NonMonotoneClock {
+        /// The out-of-order sample index.
+        sample: usize,
+        /// The sample index it should not precede.
+        previous: usize,
+    },
+    /// The degraded-mode deferred-admission queue is full: the fleet
+    /// has lost too much capacity to even *remember* every pending VM.
+    /// The triggering event is rejected atomically (session state is
+    /// unchanged) so the caller can shed load and continue.
+    DeferredQueueFull {
+        /// The configured queue capacity
+        /// (`ControllerConfig::max_deferred`).
+        capacity: usize,
+    },
+    /// An event arrived after `finish` closed the controller session.
+    SessionFinished,
 }
 
 impl fmt::Display for SimError {
@@ -37,6 +90,39 @@ impl fmt::Display for SimError {
                     f,
                     "placement needs {needed} servers but only {available} exist"
                 )
+            }
+            SimError::DuplicateVm { id } => {
+                write!(f, "vm {id} is already live in the session")
+            }
+            SimError::UnknownVm { id } => {
+                write!(f, "vm {id} was never registered with the controller")
+            }
+            SimError::VmAlreadyDeparted { id } => {
+                write!(f, "vm {id} already departed")
+            }
+            SimError::UnknownServer { server, servers } => {
+                write!(f, "server {server} does not exist ({servers} provisioned)")
+            }
+            SimError::ServerAlreadyFailed { server } => {
+                write!(f, "server {server} is already failed")
+            }
+            SimError::ServerNotFailed { server } => {
+                write!(f, "server {server} is not failed")
+            }
+            SimError::NonMonotoneClock { sample, previous } => {
+                write!(
+                    f,
+                    "event clock ran backwards: sample {sample} scheduled after sample {previous}"
+                )
+            }
+            SimError::DeferredQueueFull { capacity } => {
+                write!(
+                    f,
+                    "deferred-admission queue is full ({capacity} slots); event rejected"
+                )
+            }
+            SimError::SessionFinished => {
+                write!(f, "controller session already finished")
             }
         }
     }
@@ -93,5 +179,38 @@ mod tests {
         assert!(e.to_string().contains("30"));
         assert!(std::error::Error::source(&e).is_none());
         assert!(std::error::Error::source(&SimError::from(TraceError::EmptyInput)).is_some());
+    }
+
+    #[test]
+    fn event_path_variants_render_their_context() {
+        assert!(SimError::DuplicateVm { id: 7 }.to_string().contains("7"));
+        assert!(SimError::UnknownVm { id: 3 }
+            .to_string()
+            .contains("never registered"));
+        assert!(SimError::VmAlreadyDeparted { id: 4 }
+            .to_string()
+            .contains("departed"));
+        let e = SimError::UnknownServer {
+            server: 9,
+            servers: 5,
+        };
+        assert!(e.to_string().contains("9") && e.to_string().contains("5"));
+        assert!(SimError::ServerAlreadyFailed { server: 2 }
+            .to_string()
+            .contains("already failed"));
+        assert!(SimError::ServerNotFailed { server: 2 }
+            .to_string()
+            .contains("not failed"));
+        let e = SimError::NonMonotoneClock {
+            sample: 10,
+            previous: 20,
+        };
+        assert!(e.to_string().contains("backwards"));
+        assert!(SimError::DeferredQueueFull { capacity: 8 }
+            .to_string()
+            .contains("8 slots"));
+        assert!(SimError::SessionFinished.to_string().contains("finished"));
+        // None of the event-path variants wrap a foreign source.
+        assert!(std::error::Error::source(&SimError::SessionFinished).is_none());
     }
 }

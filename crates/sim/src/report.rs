@@ -114,6 +114,15 @@ pub struct SimReport {
     /// the stream was consumed unbuffered — the controller itself
     /// never drops events; only the adapter's bounded queue can.
     pub sink_dropped_events: u64,
+    /// [`VmEvent::ServerFail`](crate::VmEvent) events processed over
+    /// the session. Always 0 for a fault-free run.
+    pub server_failures: usize,
+    /// VMs moved onto an outliving server by emergency evacuations.
+    /// Evacuees that had to wait in the deferred queue count as
+    /// [`SimReport::online_admissions`] once they land instead.
+    pub evacuations: usize,
+    /// High-water mark of the degraded-mode deferred-admission queue.
+    pub deferred_peak: usize,
 }
 
 impl SimReport {
@@ -198,6 +207,9 @@ mod tests {
             online_admissions: 0,
             offcycle_repacks: 0,
             sink_dropped_events: 0,
+            server_failures: 0,
+            evacuations: 0,
+            deferred_peak: 0,
         }
     }
 

@@ -94,6 +94,23 @@ pub enum SinkEvent {
         /// The hosting server.
         server: usize,
     },
+    /// A server failure ([`MetricSink::on_server_fail`]).
+    ServerFail {
+        /// Global sample index of the failure.
+        sample: usize,
+        /// The failed server.
+        server: usize,
+        /// VMs resident at the instant of failure (about to
+        /// emergency-evacuate).
+        residents: usize,
+    },
+    /// A server recovery ([`MetricSink::on_server_recover`]).
+    ServerRecover {
+        /// Global sample index of the recovery.
+        sample: usize,
+        /// The recovered server.
+        server: usize,
+    },
 }
 
 /// A bounded, batching adapter around an inner [`MetricSink`]. See the
@@ -171,6 +188,14 @@ impl<S: MetricSink> Buffered<S> {
                     .inner
                     .on_class_energy(period, class, &name, period_joules),
                 SinkEvent::Admit { sample, vm, server } => self.inner.on_admit(sample, vm, server),
+                SinkEvent::ServerFail {
+                    sample,
+                    server,
+                    residents,
+                } => self.inner.on_server_fail(sample, server, residents),
+                SinkEvent::ServerRecover { sample, server } => {
+                    self.inner.on_server_recover(sample, server)
+                }
             }
         }
     }
@@ -226,6 +251,18 @@ impl<S: MetricSink> MetricSink for Buffered<S> {
         self.enqueue(SinkEvent::Admit { sample, vm, server });
     }
 
+    fn on_server_fail(&mut self, sample: usize, server: usize, residents: usize) {
+        self.enqueue(SinkEvent::ServerFail {
+            sample,
+            server,
+            residents,
+        });
+    }
+
+    fn on_server_recover(&mut self, sample: usize, server: usize) {
+        self.enqueue(SinkEvent::ServerRecover { sample, server });
+    }
+
     fn on_summary(&mut self, report: &SimReport) {
         // Everything still queued is delivered before the summary, and
         // the summary itself is never queued (nor droppable): the
@@ -275,6 +312,14 @@ mod tests {
             self.calls.push(format!("admit{vm}"));
         }
 
+        fn on_server_fail(&mut self, sample: usize, server: usize, _residents: usize) {
+            self.calls.push(format!("fail{server}@{sample}"));
+        }
+
+        fn on_server_recover(&mut self, sample: usize, server: usize) {
+            self.calls.push(format!("recover{server}@{sample}"));
+        }
+
         fn on_summary(&mut self, report: &SimReport) {
             self.calls.push("summary".into());
             self.summary = Some(report.clone());
@@ -317,6 +362,9 @@ mod tests {
             online_admissions: 0,
             offcycle_repacks: 0,
             sink_dropped_events: 0,
+            server_failures: 0,
+            evacuations: 0,
+            deferred_peak: 0,
         }
     }
 
@@ -390,6 +438,36 @@ mod tests {
         let mut sink = Buffered::new(Recorder::default(), 0);
         sink.on_admit(0, 1, 0);
         sink.on_admit(1, 2, 0);
+        assert_eq!(sink.queued(), 1);
+        assert_eq!(sink.dropped(), 1);
+    }
+
+    #[test]
+    fn fault_events_batch_in_order_and_overflow_counts_them() {
+        let mut sink = Buffered::new(Recorder::default(), 64);
+        sink.on_server_fail(4, 2, 3);
+        sink.on_migration(0, 7, 2, 1);
+        sink.on_repack(&RepackEvent {
+            sample: 4,
+            period: 0,
+            reason: RepackReason::Evacuation { server: 2 },
+            servers_before: 3,
+            servers_after: 3,
+            migrations: 1,
+            slack_after: None,
+        });
+        sink.on_server_recover(9, 2);
+        assert!(sink.inner().calls.is_empty(), "nothing before the flush");
+        sink.on_period(&period(0));
+        assert_eq!(
+            sink.inner().calls,
+            vec!["fail2@4", "migrate7", "repack@4", "recover2@9", "period0"],
+            "failure, evacuation and recovery keep stream order"
+        );
+        // Fail/recover events are droppable like any queued event.
+        let mut sink = Buffered::new(Recorder::default(), 1);
+        sink.on_server_fail(0, 0, 0);
+        sink.on_server_recover(1, 0);
         assert_eq!(sink.queued(), 1);
         assert_eq!(sink.dropped(), 1);
     }

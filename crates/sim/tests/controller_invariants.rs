@@ -35,6 +35,26 @@
 //!   re-pack), with the event carrying exactly that violation count;
 //!   without a configured guard it never fires.
 //!
+//! A second **chaos axis** layers random `ServerFail`/`ServerRecover`
+//! events over the same matrix and checks the fault-tolerance
+//! contract after every event:
+//!
+//! * **no VM rides a failed server** — post-event, every failed
+//!   server's membership is empty and its health reads `Failed`
+//!   exactly when the model says so;
+//! * **membership is conserved under failure** — mid-period, the
+//!   placed VMs and the deferred-admission queue partition the live
+//!   set (no VM lost, none duplicated);
+//! * **fault counters are monotone** — failures, recoveries,
+//!   evacuations and the deferred-queue peak never decrease, and
+//!   `degraded()` reads exactly "some server failed or someone is
+//!   deferred";
+//! * **degraded mode suspends consolidation** — no fragmentation
+//!   re-pack fires while degraded (the QoS guard stays armed), and
+//!   evacuation re-pack events never count as off-cycle re-packs;
+//! * **the queue drains after recovery** — once every server is back
+//!   and the horizon runs out, no VM is left deferred.
+//!
 //! [`DatacenterController`]: cavm_sim::DatacenterController
 //! [`RepackTrigger`]: cavm_sim::RepackTrigger
 //! [`QosGuard`]: cavm_sim::QosGuard
@@ -204,6 +224,13 @@ impl RepackLog {
             .count()
     }
 
+    fn evacuations_fired(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e.reason, RepackReason::Evacuation { .. }))
+            .count()
+    }
+
     /// Off-cycle re-packs as `SimReport::offcycle_repacks` counts
     /// them: fragmentation- plus guard-fired (boundary `Overcommit`
     /// capacity checks ride the period clock).
@@ -334,6 +361,7 @@ fn run_case(
         dynamic_headroom: 0.25,
         default_demand: 2.0,
         sample_dt_s: 5.0,
+        max_deferred: 1024,
     })
     .expect("harness config is valid");
     let mut sink = RepackLog::default();
@@ -471,6 +499,244 @@ fn run_case(
     Ok(())
 }
 
+/// Monotone fault-counter snapshot.
+#[derive(Default, Clone, Copy)]
+struct FaultCounters {
+    failures: usize,
+    recoveries: usize,
+    evacuations: usize,
+    deferred_peak: usize,
+}
+
+impl FaultCounters {
+    fn read(c: &DatacenterController) -> Self {
+        Self {
+            failures: c.server_failures(),
+            recoveries: c.server_recoveries(),
+            evacuations: c.evacuations(),
+            deferred_peak: c.deferred_peak(),
+        }
+    }
+}
+
+/// The chaos-axis invariants, checked after every single event.
+fn check_chaos_invariants(
+    c: &DatacenterController,
+    model: &Model,
+    down: &BTreeSet<usize>,
+    last: &mut FaultCounters,
+) -> Result<(), TestCaseError> {
+    // Health is tracked per provisioned server and agrees with the
+    // model's down set exactly.
+    let health = c.server_health();
+    prop_assert_eq!(health.len(), c.placement().server_count());
+    for (s, h) in health.iter().enumerate() {
+        prop_assert_eq!(
+            h.is_failed(),
+            down.contains(&s),
+            "server {} health diverged from the model",
+            s
+        );
+    }
+    prop_assert_eq!(c.failed_servers(), down.len());
+
+    // No VM ever rides a failed server.
+    for &s in down {
+        prop_assert!(
+            c.placement().servers()[s].is_empty(),
+            "failed server {} still hosts VMs",
+            s
+        );
+    }
+
+    // Placed ∪ deferred partitions the live set (mid-period; between
+    // periods the placement is stale by contract, but the deferred
+    // queue must still only hold live VMs).
+    let placed: BTreeSet<usize> = c.placement().servers().iter().flatten().copied().collect();
+    let deferred: BTreeSet<usize> = c.deferred_ids().into_iter().collect();
+    prop_assert_eq!(deferred.len(), c.deferred_vms(), "queue holds duplicates");
+    prop_assert!(
+        deferred.is_subset(&model.live),
+        "deferred queue holds dead VMs"
+    );
+    if c.mid_period() {
+        prop_assert!(
+            placed.is_disjoint(&deferred),
+            "a VM is both placed and deferred"
+        );
+        let mut covered = placed;
+        covered.extend(&deferred);
+        prop_assert_eq!(
+            &covered,
+            &model.live,
+            "placed ∪ deferred must equal the live set"
+        );
+    }
+
+    // Degraded is exactly "capacity lost or someone waiting".
+    prop_assert_eq!(
+        c.degraded(),
+        !down.is_empty() || c.deferred_vms() > 0,
+        "degraded() diverged from its definition"
+    );
+
+    // Counters only ever grow.
+    let now = FaultCounters::read(c);
+    prop_assert!(now.failures >= last.failures, "failure counter regressed");
+    prop_assert!(
+        now.recoveries >= last.recoveries,
+        "recovery counter regressed"
+    );
+    prop_assert!(
+        now.evacuations >= last.evacuations,
+        "evacuation counter regressed"
+    );
+    prop_assert!(
+        now.deferred_peak >= last.deferred_peak.max(c.deferred_vms()),
+        "deferred peak fell below the live queue"
+    );
+    *last = now;
+    Ok(())
+}
+
+/// Drives one policy × schedule combination through the departure-heavy
+/// plan with random server failures layered on top. Failures stop (and
+/// everything recovers) one period before the horizon so the drained
+/// end state is checkable.
+fn run_chaos_case(
+    seed: u64,
+    fleet: &ServerFleet,
+    policy: Policy,
+    schedule: Schedule,
+) -> Result<(usize, usize), TestCaseError> {
+    let mut rng = SimRng::new(seed);
+    let plans = draw_plans(&mut rng);
+    let mut fault_rng = SimRng::new(seed ^ 0x5EED_FA17);
+    let mut controller = DatacenterController::new(ControllerConfig {
+        server_fleet: fleet.clone(),
+        policy,
+        repack_trigger: schedule.trigger,
+        qos_guard: schedule.guard,
+        adaptive_slack_max: schedule.adaptive_slack_max,
+        dvfs_mode: DvfsMode::Static,
+        period_samples: PERIOD,
+        reference: Reference::Peak,
+        dynamic_headroom: 0.25,
+        default_demand: 2.0,
+        sample_dt_s: 5.0,
+        max_deferred: 1024,
+    })
+    .expect("harness config is valid");
+    let mut sink = RepackLog::default();
+    let mut model = Model {
+        live: BTreeSet::new(),
+        clock: 0,
+    };
+    let mut down: BTreeSet<usize> = BTreeSet::new();
+    let mut counters = FaultCounters::default();
+    let calm_after = TOTAL - PERIOD;
+
+    for k in 0..TOTAL {
+        // Recoveries first, as the replay engine delivers them.
+        if k == calm_after {
+            for server in std::mem::take(&mut down) {
+                controller
+                    .server_recover(server, &mut sink)
+                    .map_err(|e| TestCaseError::fail(format!("recover({server}) at {k}: {e}")))?;
+            }
+            check_chaos_invariants(&controller, &model, &down, &mut counters)?;
+        } else if !down.is_empty() && fault_rng.bernoulli(0.3) {
+            let pick = *down
+                .iter()
+                .nth(fault_rng.below(down.len()))
+                .expect("non-empty down set");
+            down.remove(&pick);
+            controller
+                .server_recover(pick, &mut sink)
+                .map_err(|e| TestCaseError::fail(format!("recover({pick}) at {k}: {e}")))?;
+            check_chaos_invariants(&controller, &model, &down, &mut counters)?;
+        }
+
+        for (id, plan) in plans.iter().enumerate() {
+            if plan.departure == Some(k) {
+                controller
+                    .depart(id)
+                    .map_err(|e| TestCaseError::fail(format!("depart({id}) at {k}: {e}")))?;
+                model.live.remove(&id);
+                check_chaos_invariants(&controller, &model, &down, &mut counters)?;
+            }
+        }
+        for (id, plan) in plans.iter().enumerate() {
+            if plan.arrival == k {
+                let horizon = plan.departure.unwrap_or(TOTAL);
+                let trace = draw_trace(&mut rng, horizon - k);
+                let lease = plan.departure.map(|d| d - k);
+                controller
+                    .arrive(id, trace, lease, &mut sink)
+                    .map_err(|e| TestCaseError::fail(format!("arrive({id}) at {k}: {e}")))?;
+                model.live.insert(id);
+                check_chaos_invariants(&controller, &model, &down, &mut counters)?;
+            }
+        }
+
+        // Random failure of a provisioned, currently-healthy server.
+        let provisioned = controller.placement().server_count();
+        if k < calm_after && provisioned > down.len() && fault_rng.bernoulli(0.08) {
+            let healthy: Vec<usize> = (0..provisioned).filter(|s| !down.contains(s)).collect();
+            let pick = healthy[fault_rng.below(healthy.len())];
+            controller
+                .server_fail(pick, &mut sink)
+                .map_err(|e| TestCaseError::fail(format!("fail({pick}) at {k}: {e}")))?;
+            down.insert(pick);
+            check_chaos_invariants(&controller, &model, &down, &mut counters)?;
+        }
+
+        // While degraded, consolidation is suspended: no fragmentation
+        // re-pack may fire at this tick (the QoS guard stays live).
+        let degraded_before = controller.degraded();
+        let frag_before = sink.frag_fired();
+        controller
+            .tick(&mut sink)
+            .map_err(|e| TestCaseError::fail(format!("tick at {k}: {e}")))?;
+        model.clock += 1;
+        if degraded_before {
+            prop_assert_eq!(
+                sink.frag_fired(),
+                frag_before,
+                "a fragmentation re-pack fired while degraded at sample {}",
+                k
+            );
+        }
+        check_chaos_invariants(&controller, &model, &down, &mut counters)?;
+    }
+
+    // Everything recovered one period ago and every tick retries the
+    // queue: nobody may still be waiting.
+    prop_assert!(down.is_empty());
+    prop_assert_eq!(
+        controller.deferred_vms(),
+        0,
+        "deferred queue failed to drain after recovery"
+    );
+    controller
+        .finish(&mut sink)
+        .map_err(|e| TestCaseError::fail(format!("finish: {e}")))?;
+    let report = controller.report();
+    // Evacuation re-packs are accounted separately from off-cycle
+    // consolidation, and the report mirrors the counters.
+    prop_assert_eq!(report.offcycle_repacks, sink.offcycle());
+    prop_assert_eq!(report.server_failures, counters.failures);
+    prop_assert_eq!(report.evacuations, counters.evacuations);
+    prop_assert_eq!(report.deferred_peak, counters.deferred_peak);
+    // At most one evacuation event per failure (empty servers fail
+    // silently), and moved evacuees imply a streamed evacuation event.
+    prop_assert!(sink.evacuations_fired() <= counters.failures);
+    if counters.evacuations > 0 {
+        prop_assert!(sink.evacuations_fired() > 0);
+    }
+    Ok((counters.failures, counters.evacuations))
+}
+
 fn uniform_fleet() -> ServerFleet {
     ServerFleet::uniform(8, 8.0, LinearPowerModel::xeon_e5410()).expect("valid uniform fleet")
 }
@@ -525,6 +791,59 @@ proptest! {
             }
         }
     }
+
+    /// The chaos axis: every policy × schedule survives the same
+    /// departure-heavy sequence with random server failures and
+    /// recoveries layered on top, with every fault-tolerance invariant
+    /// checked after every event.
+    #[test]
+    fn chaos_invariants_hold_for_all_policies_and_schedules(seed in any::<u64>()) {
+        let fleet = uniform_fleet();
+        for policy in five_policies() {
+            for schedule in schedules() {
+                run_chaos_case(seed, &fleet, policy, schedule)?;
+            }
+        }
+    }
+
+    /// Chaos on a heterogeneous fleet: class-aware evacuation targets
+    /// and per-class capacity bookkeeping under failure.
+    #[test]
+    fn chaos_invariants_hold_on_heterogeneous_fleets(seed in any::<u64>()) {
+        let fleet = hetero_fleet();
+        for policy in [Policy::Proposed(Default::default()), Policy::Bfd] {
+            for schedule in schedules() {
+                run_chaos_case(seed, &fleet, policy, schedule)?;
+            }
+        }
+    }
+}
+
+/// The chaos axis has teeth: somewhere in the seed range the proptests
+/// sweep, failures actually hit occupied servers (forcing evacuations)
+/// — otherwise the no-VM-on-failed-server and membership invariants
+/// would be vacuous.
+#[test]
+fn failures_and_evacuations_actually_happen_in_the_chaos_harness() {
+    let fleet = uniform_fleet();
+    let mut failures = 0usize;
+    let mut evacuations = 0usize;
+    for seed in 0..16u64 {
+        let (f, e) = run_chaos_case(
+            seed,
+            &fleet,
+            Policy::Proposed(Default::default()),
+            Schedule::plain(RepackTrigger::Hybrid { slack: 1 }),
+        )
+        .expect("chaos case");
+        failures += f;
+        evacuations += e;
+    }
+    assert!(failures > 0, "no seed in 0..16 ever failed a server");
+    assert!(
+        evacuations > 0,
+        "no failure in 0..16 ever hit an occupied server — evacuation is untested"
+    );
 }
 
 /// Replays one harness schedule end to end and reports what fired.
@@ -543,6 +862,7 @@ fn smoke_run(seed: u64, fleet: &ServerFleet, schedule: Schedule) -> RepackLog {
         dynamic_headroom: 0.25,
         default_demand: 2.0,
         sample_dt_s: 5.0,
+        max_deferred: 1024,
     })
     .expect("valid config");
     let mut sink = RepackLog::default();

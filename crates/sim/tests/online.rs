@@ -286,6 +286,7 @@ fn vacated_servers_stay_as_eligible_as_fresh_ones_for_open_ended_arrivals() {
         dynamic_headroom: 0.25,
         default_demand: 3.0,
         sample_dt_s: 5.0,
+        max_deferred: 1024,
     })
     .unwrap();
     let mut sink = ReportSink::new();
@@ -356,6 +357,7 @@ fn hybrid_trigger_fires_offcycle_repacks_under_departure_churn() {
             dynamic_headroom: 0.25,
             default_demand: 3.9,
             sample_dt_s: 5.0,
+            max_deferred: 1024,
         })
         .unwrap();
         let mut sink = ReportSink::new();
@@ -548,6 +550,7 @@ fn qos_guard_repacks_away_drifted_overcommit_mid_period() {
         dynamic_headroom: 0.25,
         default_demand: 2.0,
         sample_dt_s: 5.0,
+        max_deferred: 1024,
     };
     let drive = |guard: Option<QosGuard>| {
         let mut controller = DatacenterController::new(config(guard)).unwrap();
@@ -643,6 +646,7 @@ fn boundary_capacity_check_force_repacks_overcommitted_servers() {
         dynamic_headroom: 0.25,
         default_demand: 2.0,
         sample_dt_s: 5.0,
+        max_deferred: 1024,
     })
     .unwrap();
     let mut sink = ReportSink::new();
@@ -804,4 +808,397 @@ fn guard_and_adaptive_knobs_are_validated_at_build_time() {
         .repack_trigger(RepackTrigger::Hybrid { slack: 2 })
         .adaptive_slack_max(2))
     .is_ok());
+}
+
+/// Records fault-path stream traffic while forwarding nothing else.
+#[derive(Default)]
+struct FaultLog {
+    fails: Vec<(usize, usize, usize)>,
+    recoveries: Vec<(usize, usize)>,
+    admits: Vec<(usize, usize, usize)>,
+    repacks: Vec<cavm_sim::RepackEvent>,
+}
+
+impl cavm_sim::MetricSink for FaultLog {
+    fn on_server_fail(&mut self, sample: usize, server: usize, residents: usize) {
+        self.fails.push((sample, server, residents));
+    }
+
+    fn on_server_recover(&mut self, sample: usize, server: usize) {
+        self.recoveries.push((sample, server));
+    }
+
+    fn on_admit(&mut self, sample: usize, vm: usize, server: usize) {
+        self.admits.push((sample, vm, server));
+    }
+
+    fn on_repack(&mut self, event: &cavm_sim::RepackEvent) {
+        self.repacks.push(*event);
+    }
+}
+
+fn fault_controller(
+    servers: usize,
+    max_deferred: usize,
+    demand: f64,
+) -> cavm_sim::DatacenterController {
+    use cavm_power::LinearPowerModel;
+    use cavm_sim::{ControllerConfig, DatacenterController};
+    use cavm_trace::Reference;
+
+    DatacenterController::new(ControllerConfig {
+        server_fleet: cavm_core::fleet::ServerFleet::uniform(
+            servers,
+            8.0,
+            LinearPowerModel::xeon_e5410(),
+        )
+        .unwrap(),
+        policy: Policy::Ffd,
+        repack_trigger: RepackTrigger::Periodic,
+        qos_guard: None,
+        adaptive_slack_max: None,
+        dvfs_mode: DvfsMode::Static,
+        period_samples: 60,
+        reference: Reference::Peak,
+        dynamic_headroom: 0.25,
+        default_demand: demand,
+        sample_dt_s: 5.0,
+        max_deferred,
+    })
+    .unwrap()
+}
+
+#[test]
+fn single_server_failure_evacuates_residents_through_the_policy() {
+    use cavm_sim::RepackReason;
+    use cavm_trace::TimeSeries;
+
+    let trace = || TimeSeries::new(5.0, vec![2.0; 180]).unwrap();
+    let mut controller = fault_controller(4, 1024, 2.0);
+    let mut sink = FaultLog::default();
+    controller.arrive(0, trace(), None, &mut sink).unwrap();
+    controller.arrive(1, trace(), None, &mut sink).unwrap();
+    for _ in 0..3 {
+        controller.tick(&mut sink).unwrap();
+    }
+    assert_eq!(controller.placement().server_of(0), Some(0));
+    assert_eq!(controller.placement().server_of(1), Some(0));
+
+    controller.server_fail(0, &mut sink).unwrap();
+    // Both residents re-admitted through the policy, never onto the
+    // failed server; health, counters and the stream all agree.
+    assert!(controller.server_health()[0].is_failed());
+    assert!(controller.placement().servers()[0].is_empty());
+    assert_eq!(controller.placement().server_of(0), Some(1));
+    assert_eq!(controller.placement().server_of(1), Some(1));
+    assert_eq!(controller.server_failures(), 1);
+    assert_eq!(controller.evacuations(), 2);
+    assert_eq!(controller.deferred_vms(), 0);
+    assert!(controller.degraded());
+    assert_eq!(sink.fails, vec![(3, 0, 2)]);
+    let evac: Vec<_> = sink
+        .repacks
+        .iter()
+        .filter(|e| matches!(e.reason, RepackReason::Evacuation { .. }))
+        .collect();
+    assert_eq!(evac.len(), 1);
+    assert_eq!(evac[0].reason, RepackReason::Evacuation { server: 0 });
+    assert_eq!(evac[0].migrations, 2);
+    // An evacuation is disaster response, not consolidation.
+    assert_eq!(controller.offcycle_repacks(), 0);
+
+    controller.server_recover(0, &mut sink).unwrap();
+    assert!(controller.server_health()[0].is_healthy());
+    assert!(!controller.degraded());
+    assert_eq!(controller.server_recoveries(), 1);
+    assert_eq!(sink.recoveries, vec![(3, 0)]);
+    // The recovered slot is admissible again: a first-fit arrival
+    // lands exactly where the lease-blind rule says — server 0.
+    controller.arrive(2, trace(), None, &mut sink).unwrap();
+    assert_eq!(controller.placement().server_of(2), Some(0));
+}
+
+#[test]
+fn failure_with_no_spare_capacity_defers_and_drains_on_recovery() {
+    use cavm_sim::RepackReason;
+    use cavm_trace::TimeSeries;
+
+    let trace = || TimeSeries::new(5.0, vec![3.0; 180]).unwrap();
+    // Two 8-core servers, four 3-core tenants: 0,1 on s0 and 2,3 on
+    // s1, nothing spare.
+    let mut controller = fault_controller(2, 1024, 3.0);
+    let mut sink = FaultLog::default();
+    for id in 0..4 {
+        controller.arrive(id, trace(), None, &mut sink).unwrap();
+    }
+    controller.tick(&mut sink).unwrap();
+    assert_eq!(controller.placement().server_of(2), Some(1));
+    assert_eq!(controller.placement().server_of(3), Some(1));
+
+    controller.server_fail(1, &mut sink).unwrap();
+    // No server can host the evacuees: graceful degradation queues
+    // them instead of erroring the session.
+    assert_eq!(controller.deferred_vms(), 2);
+    assert_eq!(controller.deferred_ids(), vec![2, 3]);
+    assert_eq!(controller.evacuations(), 0, "nobody actually moved");
+    assert_eq!(controller.live_vms(), 4, "deferred VMs stay live");
+    assert!(controller.degraded());
+    let evac: Vec<_> = sink
+        .repacks
+        .iter()
+        .filter(|e| matches!(e.reason, RepackReason::Evacuation { .. }))
+        .collect();
+    assert_eq!(evac.len(), 1);
+    assert_eq!(evac[0].migrations, 0, "all residents deferred, none moved");
+
+    // Mid-period ticks retry the queue; with the fleet still short it
+    // stays put.
+    controller.tick(&mut sink).unwrap();
+    assert_eq!(controller.deferred_vms(), 2);
+
+    // Recovery drains it: both land back on the repaired server as
+    // online admissions.
+    let admitted_before = controller.online_admissions();
+    controller.server_recover(1, &mut sink).unwrap();
+    assert_eq!(controller.deferred_vms(), 0);
+    assert!(!controller.degraded());
+    assert_eq!(controller.placement().server_of(2), Some(1));
+    assert_eq!(controller.placement().server_of(3), Some(1));
+    assert_eq!(controller.online_admissions(), admitted_before + 2);
+    assert_eq!(
+        sink.admits.iter().filter(|&&(_, vm, _)| vm >= 2).count(),
+        2,
+        "drained admissions stream like any other admission"
+    );
+    let report = {
+        let mut end = cavm_sim::ReportSink::new();
+        for _ in 0..120 {
+            controller.tick(&mut end).unwrap();
+        }
+        controller.finish(&mut end).unwrap();
+        controller.report()
+    };
+    assert_eq!(report.server_failures, 1);
+    assert_eq!(report.evacuations, 0);
+    assert_eq!(report.deferred_peak, 2);
+}
+
+#[test]
+fn deferred_queue_overflow_rejects_the_failure_atomically() {
+    use cavm_sim::SimError;
+    use cavm_trace::TimeSeries;
+
+    let trace = || TimeSeries::new(5.0, vec![3.0; 180]).unwrap();
+    let mut controller = fault_controller(2, 1, 3.0);
+    let mut sink = FaultLog::default();
+    for id in 0..4 {
+        controller.arrive(id, trace(), None, &mut sink).unwrap();
+    }
+    controller.tick(&mut sink).unwrap();
+
+    // Failing s1 would need to defer both residents, but the queue
+    // only holds one: the event is rejected before any state changes.
+    let err = controller.server_fail(1, &mut sink).unwrap_err();
+    assert_eq!(err, SimError::DeferredQueueFull { capacity: 1 });
+    assert!(controller.server_health()[1].is_healthy());
+    assert_eq!(controller.placement().server_of(2), Some(1));
+    assert_eq!(controller.placement().server_of(3), Some(1));
+    assert_eq!(controller.server_failures(), 0);
+    assert_eq!(controller.deferred_vms(), 0);
+    assert!(!controller.degraded());
+    assert!(sink.fails.is_empty(), "a rejected failure streams nothing");
+}
+
+#[test]
+fn malformed_event_sequences_yield_typed_errors() {
+    use cavm_sim::{NullSink, SimError, VmEvent};
+    use cavm_trace::TimeSeries;
+
+    let trace = || TimeSeries::new(5.0, vec![2.0; 180]).unwrap();
+    let mut controller = fault_controller(4, 1024, 2.0);
+    let mut sink = NullSink;
+    controller.arrive(0, trace(), None, &mut sink).unwrap();
+    assert_eq!(
+        controller.arrive(0, trace(), None, &mut sink).unwrap_err(),
+        SimError::DuplicateVm { id: 0 }
+    );
+    assert_eq!(
+        controller.depart(7).unwrap_err(),
+        SimError::UnknownVm { id: 7 }
+    );
+    controller.depart(0).unwrap();
+    assert_eq!(
+        controller.depart(0).unwrap_err(),
+        SimError::VmAlreadyDeparted { id: 0 }
+    );
+    controller.arrive(1, trace(), None, &mut sink).unwrap();
+    controller.tick(&mut sink).unwrap();
+    let provisioned = controller.placement().server_count();
+    assert_eq!(
+        controller.server_fail(99, &mut sink).unwrap_err(),
+        SimError::UnknownServer {
+            server: 99,
+            servers: provisioned
+        }
+    );
+    assert_eq!(
+        controller.server_recover(0, &mut sink).unwrap_err(),
+        SimError::ServerNotFailed { server: 0 }
+    );
+    controller.server_fail(0, &mut sink).unwrap();
+    assert_eq!(
+        controller.server_fail(0, &mut sink).unwrap_err(),
+        SimError::ServerAlreadyFailed { server: 0 }
+    );
+    controller.server_recover(0, &mut sink).unwrap();
+    controller.finish(&mut sink).unwrap();
+    assert_eq!(
+        controller.apply(VmEvent::Tick, &mut sink).unwrap_err(),
+        SimError::SessionFinished
+    );
+}
+
+#[test]
+fn scenario_faults_are_validated_and_replayed_deterministically() {
+    use cavm_workload::faults::{FaultEntry, FaultKind, FaultModel, FaultPlan, FaultPlanBuilder};
+
+    let traces = fleet(9, 4.0, 11);
+    let horizon = traces.vms()[0].fine.len();
+    let lifecycle = churn_lifecycle(9, horizon);
+    let plan = FaultPlanBuilder::new(horizon)
+        .seed(23)
+        .block(
+            0,
+            12,
+            FaultModel {
+                mtbf_samples: 2_000.0,
+                mttr_samples: 150.0,
+                outage_mtbf_samples: Some(12_000.0),
+                outage_mttr_samples: 80.0,
+            },
+        )
+        .build()
+        .unwrap();
+    assert!(
+        plan.failures() > 0,
+        "the plan must actually schedule faults"
+    );
+    let run = |p: Option<FaultPlan>| {
+        let mut b = ScenarioBuilder::new(traces.clone())
+            .servers(12)
+            .policy(Policy::Proposed(Default::default()))
+            .lifecycle(lifecycle.clone());
+        if let Some(p) = p {
+            b = b.faults(p);
+        }
+        b.build().unwrap().run().unwrap()
+    };
+
+    // Deterministic, and the faults visibly happened.
+    let a = run(Some(plan.clone()));
+    let b = run(Some(plan.clone()));
+    assert_eq!(a, b);
+    assert!(a.server_failures > 0);
+
+    // An empty plan is bit-identical to no plan at all.
+    assert_eq!(run(Some(FaultPlan::empty())), run(None));
+
+    // Build-time validation: a backwards hand-built clock and an
+    // out-of-fleet server are typed errors; a zero-slot queue too.
+    let entry = |sample, kind, server| FaultEntry {
+        sample,
+        kind,
+        server,
+    };
+    let backwards = FaultPlan::from_entries(vec![
+        entry(10, FaultKind::Fail, 0),
+        entry(5, FaultKind::Recover, 0),
+    ]);
+    let err = ScenarioBuilder::new(traces.clone())
+        .servers(12)
+        .faults(backwards)
+        .build()
+        .unwrap_err();
+    assert_eq!(
+        err,
+        cavm_sim::SimError::NonMonotoneClock {
+            sample: 5,
+            previous: 10
+        }
+    );
+    let out_of_fleet = FaultPlan::from_entries(vec![entry(0, FaultKind::Fail, 12)]);
+    let err = ScenarioBuilder::new(traces.clone())
+        .servers(12)
+        .faults(out_of_fleet)
+        .build()
+        .unwrap_err();
+    assert_eq!(
+        err,
+        cavm_sim::SimError::UnknownServer {
+            server: 12,
+            servers: 12
+        }
+    );
+    assert!(ScenarioBuilder::new(traces.clone())
+        .max_deferred(0)
+        .build()
+        .is_err());
+}
+
+#[test]
+fn buffered_sink_stays_transparent_under_server_faults() {
+    use cavm_sim::Buffered;
+    use cavm_workload::faults::{FaultModel, FaultPlanBuilder};
+
+    let traces = fleet(9, 4.0, 11);
+    let horizon = traces.vms()[0].fine.len();
+    let lifecycle = churn_lifecycle(9, horizon);
+    let plan = FaultPlanBuilder::new(horizon)
+        .seed(29)
+        .block(
+            0,
+            12,
+            FaultModel {
+                mtbf_samples: 2_500.0,
+                mttr_samples: 120.0,
+                outage_mtbf_samples: None,
+                outage_mttr_samples: 1.0,
+            },
+        )
+        .build()
+        .unwrap();
+    let scenario = || {
+        ScenarioBuilder::new(traces.clone())
+            .servers(12)
+            .policy(Policy::Proposed(Default::default()))
+            .lifecycle(lifecycle.clone())
+            .faults(plan.clone())
+            .build()
+            .unwrap()
+    };
+
+    // Roomy queue: fail/recover/evacuation events buffer and fold back
+    // into exactly the unbuffered report.
+    let mut plain = ReportSink::new();
+    scenario().run_with_sink(&mut plain).unwrap();
+    let plain_report = plain.into_report().unwrap();
+    assert!(
+        plain_report.server_failures > 0,
+        "faults must reach the run"
+    );
+    let mut roomy = Buffered::new(ReportSink::new(), 1 << 16);
+    scenario().run_with_sink(&mut roomy).unwrap();
+    assert_eq!(roomy.dropped(), 0);
+    assert_eq!(roomy.into_inner().into_report().unwrap(), plain_report);
+
+    // A one-slot queue drops fault events like any others and counts
+    // every one; the terminal report stays the controller's own.
+    let mut tight = Buffered::new(ReportSink::new(), 1);
+    scenario().run_with_sink(&mut tight).unwrap();
+    let dropped = tight.dropped();
+    assert!(dropped > 0);
+    let tight_report = tight.into_inner().into_report().unwrap();
+    assert_eq!(tight_report.sink_dropped_events, dropped);
+    assert_eq!(tight_report.server_failures, plain_report.server_failures);
+    assert_eq!(tight_report.evacuations, plain_report.evacuations);
 }

@@ -40,12 +40,14 @@
 pub mod clients;
 pub mod datacenter;
 mod error;
+pub mod faults;
 pub mod lifecycle;
 pub mod websearch;
 
 pub use clients::ClientWave;
 pub use datacenter::{DailyArchetype, DatacenterTraceBuilder, VmFleet, VmTrace};
 pub use error::WorkloadError;
+pub use faults::{FaultEntry, FaultKind, FaultModel, FaultPlan, FaultPlanBuilder};
 pub use lifecycle::{ArrivalProcess, Lifecycle, LifecycleBuilder, LifecycleEntry, LifetimeModel};
 pub use websearch::{WebSearchCluster, WebSearchClusterConfig};
 

@@ -10,7 +10,9 @@
 //! `RepackTrigger::Hybrid` schedule with a composed `QosGuard` (and
 //! the `SlackController`'s live slack on every re-pack event),
 //! per-class energy — before the terminal `SimReport` prints the
-//! totals.
+//! totals. A `FaultPlan` additionally knocks servers out mid-run:
+//! watch residents evacuate the failed box, the controller run
+//! degraded while capacity is down, and recovery hand the fleet back.
 //!
 //! Run with: `cargo run --release --example online_churn`
 
@@ -61,7 +63,20 @@ impl MetricSink for Narrator {
                  ({} migrations)",
                 event.sample, servers, event.migrations
             ),
+            RepackReason::Evacuation { server } => println!(
+                "  t={:>5}  emergency evacuation of failed server {server}: {} resident(s) \
+                 moved or deferred",
+                event.sample, event.migrations
+            ),
         }
+    }
+
+    fn on_server_fail(&mut self, sample: usize, server: usize, residents: usize) {
+        println!("  t={sample:>5}  server {server} FAILED with {residents} resident VM(s)");
+    }
+
+    fn on_server_recover(&mut self, sample: usize, server: usize) {
+        println!("  t={sample:>5}  server {server} recovered — capacity restored");
     }
 
     fn on_class_energy(&mut self, period: usize, _class: usize, name: &str, period_joules: f64) {
@@ -76,13 +91,17 @@ impl MetricSink for Narrator {
     fn on_summary(&mut self, report: &SimReport) {
         println!(
             "\n=== {} === {:.2} kWh, max violation {:.2}%, {} migrations, {} online \
-             admissions, {} off-cycle re-packs",
+             admissions, {} off-cycle re-packs, {} failures survived ({} evacuations, \
+             deferred-queue peak {})",
             report.policy,
             report.energy.kilowatt_hours(),
             report.max_violation_percent,
             report.total_migrations(),
             report.online_admissions,
-            report.offcycle_repacks
+            report.offcycle_repacks,
+            report.server_failures,
+            report.evacuations,
+            report.deferred_peak
         );
     }
 }
@@ -116,6 +135,27 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         lifecycle.max_concurrent()
     );
 
+    // Hardware is mortal: each of the 10 servers fails independently
+    // about once per simulated week and takes ~25 minutes to repair,
+    // and the whole rack shares one correlated outage process.
+    let faults = FaultPlanBuilder::new(horizon)
+        .seed(17)
+        .block(
+            0,
+            10,
+            FaultModel {
+                mtbf_samples: 9_000.0,
+                mttr_samples: 300.0,
+                outage_mtbf_samples: Some(60_000.0),
+                outage_mttr_samples: 120.0,
+            },
+        )
+        .build()?;
+    println!(
+        "fault plan: {} scheduled server failures",
+        faults.failures()
+    );
+
     let mut narrator = Narrator { admissions: 0 };
     let scenario = ScenarioBuilder::new(fleet)
         .servers(10)
@@ -130,6 +170,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             violation_ratio: 0.08,
         })
         .lifecycle(lifecycle)
+        .faults(faults)
         .build()?;
     scenario.run_with_sink(&mut narrator)?;
 

@@ -91,7 +91,7 @@ pub mod prelude {
         },
         corr::{cost_of_traces, CostMatrix, CostMetric, PearsonStream},
         dvfs::{DvfsMode, FleetFrequencyPlanner, FrequencyPlanner},
-        fleet::{ServerClass, ServerFleet},
+        fleet::{ServerClass, ServerFleet, ServerHealth},
         predict::{EwmaPredictor, LastValuePredictor, MovingAveragePredictor, Predictor},
         servercost::{server_cost, server_cost_of},
     };
@@ -106,6 +106,7 @@ pub mod prelude {
     pub use cavm_workload::{
         clients::ClientWave,
         datacenter::{DailyArchetype, DatacenterTraceBuilder, VmFleet},
+        faults::{FaultEntry, FaultKind, FaultModel, FaultPlan, FaultPlanBuilder},
         lifecycle::{ArrivalProcess, Lifecycle, LifecycleBuilder, LifecycleEntry, LifetimeModel},
         websearch::WebSearchCluster,
     };
