@@ -7,15 +7,23 @@
 //!   per-pair path, at n ∈ {64, 256, 1024, 4096} (seed capped at 1024:
 //!   its ~640 B/pair layout would need ~5 GB at 4096);
 //! * **allocation** — ns per full ALLOCATE pass of the proposed policy
-//!   (incremental server-cost scan) plus BFD as the correlation-blind
-//!   yardstick, at n ∈ {64, 256, 1024}, both on the uniform 8-core
-//!   fleet (`alloc`) and on a 3-class 4/8/16-core heterogeneous fleet
-//!   (`alloc_hetero`).
+//!   (incremental server-cost scan with the per-candidate (dw, dp)
+//!   index) plus BFD as the correlation-blind yardstick, at
+//!   n ∈ {64, 256, 1024}, both on the uniform 8-core fleet (`alloc`)
+//!   and on a 3-class 4/8/16-core heterogeneous fleet (`alloc_hetero`).
+//!   Each row carries the previous artifact's timing as
+//!   `prev_proposed_ns_per_placement`, so an optimization PR records
+//!   its own before/after in one regeneration.
 //!
-//! Writes `BENCH_corr.json` (repo root when run from there) so future
-//! PRs have a trajectory to compare against — rewriting the whole
-//! artifact, so re-run `exp_online` afterwards to restore its
-//! `"online"` section:
+//! Every row also records the core count it was measured on; on a
+//! 1-core host the parallel kernel is not measured at all (the row
+//! reads `null`) — a "parallel" number from a serial machine is noise,
+//! not data.
+//!
+//! Rewrites only its own sections of `BENCH_corr.json` (repo root when
+//! run from there): trailing sections appended by the other
+//! experiments (`"online"`, `"faults"`, `"scale"`) are preserved
+//! verbatim.
 //!
 //! ```text
 //! cargo run --release -p cavm-bench --bin exp_perf_corr
@@ -63,7 +71,7 @@ struct MatrixRow {
     n: usize,
     soa_peak_ns: f64,
     soa_p95_ns: f64,
-    soa_peak_par_ns: f64,
+    soa_peak_par_ns: Option<f64>,
     seed_peak_ns: Option<f64>,
 }
 
@@ -72,9 +80,12 @@ struct AllocRow {
     proposed_ns: f64,
     bfd_ns: f64,
     servers: usize,
+    /// The previous artifact's `proposed_ns_per_placement` for this n
+    /// — the "before" of whatever allocator change this run measures.
+    prev_proposed_ns: Option<f64>,
 }
 
-fn measure_matrix(n: usize) -> MatrixRow {
+fn measure_matrix(n: usize, cores: usize) -> MatrixRow {
     let utils = sample(n, n as u64);
     let reps = reps_for(n);
 
@@ -84,9 +95,13 @@ fn measure_matrix(n: usize) -> MatrixRow {
     let mut p95 = CostMatrix::new(n, Reference::Percentile(95.0)).expect("valid size");
     let soa_p95_ns = median_ns(reps, || p95.push_sample(black_box(&utils)).expect("width"));
 
-    let mut par = CostMatrix::new(n, Reference::Peak).expect("valid size");
-    let soa_peak_par_ns = median_ns(reps, || {
-        par.par_push_sample(black_box(&utils)).expect("width")
+    // On a 1-core host the parallel kernel degenerates to the serial
+    // one plus thread overhead: skip the measurement entirely.
+    let soa_peak_par_ns = (cores > 1).then(|| {
+        let mut par = CostMatrix::new(n, Reference::Peak).expect("valid size");
+        median_ns(reps, || {
+            par.par_push_sample(black_box(&utils)).expect("width")
+        })
     });
 
     let seed_peak_ns = (n <= SEED_MATRIX_CAP).then(|| {
@@ -108,6 +123,31 @@ fn measure_matrix(n: usize) -> MatrixRow {
 /// The uniform fleet (classic 8-core servers, unbounded supply).
 fn uniform_fleet() -> ServerFleet {
     ServerFleet::uniform(UNBOUNDED, 8.0, LinearPowerModel::xeon_e5410()).expect("valid fleet")
+}
+
+/// Pulls `proposed_ns_per_placement` values, in row order, out of one
+/// array section of the previous artifact (hand-rolled: the artifact
+/// is written by this binary, so the shape is known).
+fn previous_proposed_ns(artifact: &str, section: &str) -> Vec<f64> {
+    const KEY: &str = "\"proposed_ns_per_placement\": ";
+    let Some(start) = artifact.find(&format!("\"{section}\": [")) else {
+        return Vec::new();
+    };
+    let body = &artifact[start..];
+    let end = body.find(']').unwrap_or(body.len());
+    let mut out = Vec::new();
+    let mut rest = &body[..end];
+    while let Some(at) = rest.find(KEY) {
+        rest = &rest[at + KEY.len()..];
+        let digits: String = rest
+            .chars()
+            .take_while(|c| c.is_ascii_digit() || *c == '.')
+            .collect();
+        if let Ok(v) = digits.parse::<f64>() {
+            out.push(v);
+        }
+    }
+    out
 }
 
 fn measure_alloc(n: usize, fleet: &ServerFleet) -> AllocRow {
@@ -141,6 +181,7 @@ fn measure_alloc(n: usize, fleet: &ServerFleet) -> AllocRow {
         proposed_ns,
         bfd_ns,
         servers,
+        prev_proposed_ns: None,
     }
 }
 
@@ -149,55 +190,67 @@ fn json_opt(v: Option<f64>) -> String {
 }
 
 fn main() {
+    const PATH: &str = "BENCH_corr.json";
     let cores = std::thread::available_parallelism()
         .map(|p| p.get())
         .unwrap_or(1);
+    let previous = std::fs::read_to_string(PATH).unwrap_or_default();
+    // Sections appended by the other experiments survive a rewrite.
+    let tail: Option<&str> = ["\n  \"online\":", "\n  \"faults\":", "\n  \"scale\":"]
+        .iter()
+        .filter_map(|key| previous.find(key))
+        .min()
+        .map(|start| {
+            let end = previous.rfind('}').expect("valid json artifact");
+            previous[start..end].trim_start_matches('\n').trim_end()
+        });
+
     eprintln!("measuring matrix ticks (cores: {cores}) ...");
     let matrix_rows: Vec<MatrixRow> = MATRIX_SIZES
         .iter()
         .map(|&n| {
-            let row = measure_matrix(n);
+            let row = measure_matrix(n, cores);
             eprintln!(
-            "  n={:4}: soa {:>12.0} ns/tick  p95 {:>12.0} ns/tick  par {:>12.0} ns/tick  seed {}",
-            n,
-            row.soa_peak_ns,
-            row.soa_p95_ns,
-            row.soa_peak_par_ns,
-            row.seed_peak_ns.map_or("-".into(), |v| format!("{v:.0} ns/tick")),
-        );
+                "  n={:4}: soa {:>12.0} ns/tick  p95 {:>12.0} ns/tick  par {}  seed {}",
+                n,
+                row.soa_peak_ns,
+                row.soa_p95_ns,
+                row.soa_peak_par_ns
+                    .map_or("skipped (1 core)".into(), |v| format!("{v:.0} ns/tick")),
+                row.seed_peak_ns
+                    .map_or("-".into(), |v| format!("{v:.0} ns/tick")),
+            );
             row
         })
         .collect();
 
     eprintln!("measuring allocation (uniform 8-core fleet) ...");
     let uniform = uniform_fleet();
-    let alloc_rows: Vec<AllocRow> = ALLOC_SIZES
-        .iter()
-        .map(|&n| {
-            let row = measure_alloc(n, &uniform);
-            eprintln!(
-                "  n={:4}: proposed {:>12.0} ns/placement ({} servers)  bfd {:>12.0} ns",
-                n, row.proposed_ns, row.servers, row.bfd_ns
-            );
-            row
-        })
-        .collect();
-
+    let measure_rows = |fleet_of: &dyn Fn(usize) -> ServerFleet, section: &str| -> Vec<AllocRow> {
+        let prev = previous_proposed_ns(&previous, section);
+        ALLOC_SIZES
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| {
+                let mut row = measure_alloc(n, &fleet_of(n));
+                row.prev_proposed_ns = prev.get(i).copied();
+                let delta = row.prev_proposed_ns.map_or(String::new(), |p| {
+                    format!("  ({:.2}x vs prev)", p / row.proposed_ns)
+                });
+                eprintln!(
+                    "  n={:4}: proposed {:>12.0} ns/placement ({} servers)  bfd {:>12.0} ns{}",
+                    n, row.proposed_ns, row.servers, row.bfd_ns, delta
+                );
+                row
+            })
+            .collect()
+    };
+    let alloc_rows = measure_rows(&|_| uniform.clone(), "alloc");
     eprintln!("measuring allocation (3-class 4/8/16-core fleet) ...");
-    let hetero_rows: Vec<AllocRow> = ALLOC_SIZES
-        .iter()
-        .map(|&n| {
-            let row = measure_alloc(
-                n,
-                &ServerFleet::mixed_4_8_16(n, n, n).expect("valid counts"),
-            );
-            eprintln!(
-                "  n={:4}: proposed {:>12.0} ns/placement ({} servers)  bfd {:>12.0} ns",
-                n, row.proposed_ns, row.servers, row.bfd_ns
-            );
-            row
-        })
-        .collect();
+    let hetero_rows = measure_rows(
+        &|n| ServerFleet::mixed_4_8_16(n, n, n).expect("valid counts"),
+        "alloc_hetero",
+    );
 
     let mut out = String::new();
     out.push_str("{\n");
@@ -205,7 +258,7 @@ fn main() {
     let _ = writeln!(out, "  \"cores\": {cores},");
     let _ = writeln!(
         out,
-        "  \"note\": \"seed_peak is the retained per-pair baseline (PairwiseCostMatrix); null above n={SEED_MATRIX_CAP}. par uses std::thread chunked rows; speedup requires >1 core.\","
+        "  \"note\": \"seed_peak is the retained per-pair baseline (PairwiseCostMatrix); null above n={SEED_MATRIX_CAP}. par uses std::thread chunked rows; not measured (null) on 1-core hosts. prev_proposed_ns_per_placement is the previous artifact's timing (before/after across allocator changes).\","
     );
     out.push_str("  \"matrix_tick\": [\n");
     for (i, r) in matrix_rows.iter().enumerate() {
@@ -213,21 +266,18 @@ fn main() {
             .seed_peak_ns
             .map(|seed| format!("{:.2}", seed / r.soa_peak_ns))
             .unwrap_or_else(|| "null".to_string());
-        // On a single-core host the parallel path degenerates to the
-        // serial kernel; a "speedup" there is measurement noise, not a
-        // claim — record null.
-        let par_speedup = if cores > 1 {
-            format!("{:.2}", r.soa_peak_ns / r.soa_peak_par_ns)
-        } else {
-            "null".to_string()
-        };
+        let par_speedup = r
+            .soa_peak_par_ns
+            .map(|par| format!("{:.2}", r.soa_peak_ns / par))
+            .unwrap_or_else(|| "null".to_string());
         let _ = write!(
             out,
-            "    {{\"n\": {}, \"soa_peak_ns_per_tick\": {:.0}, \"soa_p95_ns_per_tick\": {:.0}, \"soa_peak_par_ns_per_tick\": {:.0}, \"seed_peak_ns_per_tick\": {}, \"speedup_vs_seed\": {}, \"par_speedup_vs_serial\": {}}}",
+            "    {{\"n\": {}, \"cores\": {}, \"soa_peak_ns_per_tick\": {:.0}, \"soa_p95_ns_per_tick\": {:.0}, \"soa_peak_par_ns_per_tick\": {}, \"seed_peak_ns_per_tick\": {}, \"speedup_vs_seed\": {}, \"par_speedup_vs_serial\": {}}}",
             r.n,
+            cores,
             r.soa_peak_ns,
             r.soa_p95_ns,
-            r.soa_peak_par_ns,
+            json_opt(r.soa_peak_par_ns),
             json_opt(r.seed_peak_ns),
             speedup,
             par_speedup,
@@ -243,15 +293,28 @@ fn main() {
         for (i, r) in rows.iter().enumerate() {
             let _ = write!(
                 out,
-                "    {{\"n\": {}, \"proposed_ns_per_placement\": {:.0}, \"bfd_ns_per_placement\": {:.0}, \"servers\": {}}}",
-                r.n, r.proposed_ns, r.bfd_ns, r.servers
+                "    {{\"n\": {}, \"cores\": {}, \"proposed_ns_per_placement\": {:.0}, \"prev_proposed_ns_per_placement\": {}, \"bfd_ns_per_placement\": {:.0}, \"servers\": {}}}",
+                r.n,
+                cores,
+                r.proposed_ns,
+                json_opt(r.prev_proposed_ns),
+                r.bfd_ns,
+                r.servers
             );
             out.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
         }
     }
-    out.push_str("  ]\n}\n");
+    out.push_str("  ]");
+    if let Some(tail) = tail {
+        out.push_str(",\n");
+        out.push_str(tail);
+    }
+    out.push_str("\n}\n");
 
-    std::fs::write("BENCH_corr.json", &out).expect("write BENCH_corr.json");
+    std::fs::write(PATH, &out).expect("write BENCH_corr.json");
     println!("{out}");
-    eprintln!("wrote BENCH_corr.json");
+    eprintln!(
+        "wrote {PATH} (trailing sections preserved: {})",
+        tail.is_some()
+    );
 }

@@ -156,22 +156,38 @@ impl ProposedPolicy {
 }
 
 /// One open server: membership, packed load and the Eqn (2) pair sums
-/// all live in the single [`ServerCostAggregate`], so each candidate
-/// probe of the ALLOCATE scan is O(|members|) instead of a full
-/// O(|members|²) re-evaluation and there is no parallel state to keep
-/// in sync. `cores`/`class` pin the server to its fleet class.
+/// all live in the single [`ServerCostAggregate`], plus the bin's
+/// **candidate index** — per still-unallocated VM, its `(û_j+û_k)·Cost`
+/// and `Cost` pair sums against this bin's committed members,
+/// accumulated in commit order. The index turns every probe of the
+/// ALLOCATE scan into an O(1)
+/// [`candidate_cost_with`](ServerCostAggregate::candidate_cost_with)
+/// combine (it used to be an O(|members|) matrix walk *per probe*,
+/// the dominant cost of batch `place`), and because the per-candidate
+/// sums extend by exactly one term per commit — in the same order
+/// `pair_delta` folds them — the probe values are bit-identical to the
+/// scan they replace. `cores`/`class` pin the server to its fleet
+/// class.
 struct Bin {
     agg: ServerCostAggregate,
     cores: f64,
     class: usize,
+    /// `dw[i]`: descriptor index i's Σ `(û_i + û_m)·Cost(i,m)` over
+    /// this bin's members, in commit order.
+    dw: Vec<f64>,
+    /// `dp[i]`: descriptor index i's Σ `Cost(i,m)` over this bin's
+    /// members, in commit order.
+    dp: Vec<f64>,
 }
 
 impl Bin {
-    fn open(class: usize, cores: f64) -> Self {
+    fn open(class: usize, cores: f64, n_vms: usize) -> Self {
         Bin {
             agg: ServerCostAggregate::new(),
             cores,
             class,
+            dw: vec![0.0; n_vms],
+            dp: vec![0.0; n_vms],
         }
     }
 
@@ -181,6 +197,23 @@ impl Bin {
 
     fn member_ids(&self) -> Vec<usize> {
         self.agg.members().iter().map(|&(id, _)| id).collect()
+    }
+
+    /// Commits descriptor `idx` to this bin and extends the candidate
+    /// index of every VM still in `unalloc` by the new member's pair
+    /// terms — one matrix row walk per admission, amortizing what used
+    /// to be re-walked by every later probe. The term and accumulation
+    /// order mirror [`ServerCostAggregate`]'s `pair_delta` fold
+    /// exactly, keeping subsequent O(1) probes bit-identical.
+    fn admit(&mut self, idx: usize, vms: &[VmDescriptor], matrix: &CostMatrix, unalloc: &[usize]) {
+        let vm = &vms[idx];
+        self.agg.push(vm.id, vm.demand, matrix);
+        for &j in unalloc {
+            let cand = &vms[j];
+            let c = matrix.cost_or_neutral(vm.id, cand.id);
+            self.dw[j] += (vm.demand + cand.demand) * c;
+            self.dp[j] += c;
+        }
     }
 }
 
@@ -213,7 +246,7 @@ impl AllocationPolicy for ProposedPolicy {
             match cursor.open_next() {
                 Some((class, cores)) => {
                     open_capacity += cores;
-                    bins.push(Bin::open(class, cores));
+                    bins.push(Bin::open(class, cores, vms.len()));
                 }
                 // The fleet cannot cover the estimate; proceed with
                 // what exists and let the fill report exhaustion if
@@ -297,7 +330,7 @@ impl AllocationPolicy for ProposedPolicy {
                     let (class, cores) = cursor
                         .open_next()
                         .ok_or_else(|| cursor.exhausted(unalloc.len()))?;
-                    bins.push(Bin::open(class, cores));
+                    bins.push(Bin::open(class, cores, vms.len()));
                 }
             }
         }
@@ -331,8 +364,10 @@ impl AllocationPolicy for ProposedPolicy {
 /// turns the fit check into a single binary search: every index at or
 /// past `partition_point(demand > rem)` fits, everything before it is
 /// too large, so a pass stops scanning (and the whole loop exits) the
-/// moment nothing fits. Candidate scoring goes through the bin's
-/// [`ServerCostAggregate`], making each probe O(|members|).
+/// moment nothing fits. Candidate scoring reads the bin's incremental
+/// candidate index, making each probe O(1) — bit-identical to (and
+/// debug-asserted against) the O(|members|) matrix-walking probe it
+/// replaced.
 fn fill_bin(
     bin: &mut Bin,
     unalloc: &mut Vec<usize>,
@@ -365,7 +400,14 @@ fn fill_bin(
             let mut best: Option<(usize, f64)> = None;
             for (pos, &idx) in unalloc.iter().enumerate().skip(first_fit) {
                 let vm = &vms[idx];
-                let cost = bin.agg.candidate_cost(vm.id, vm.demand, matrix);
+                let cost = bin
+                    .agg
+                    .candidate_cost_with(vm.demand, bin.dw[idx], bin.dp[idx]);
+                debug_assert_eq!(
+                    cost.to_bits(),
+                    bin.agg.candidate_cost(vm.id, vm.demand, matrix).to_bits(),
+                    "candidate index drifted from the direct probe"
+                );
                 if cost < th && th > th_floor {
                     continue;
                 }
@@ -383,7 +425,7 @@ fn fill_bin(
         match choice {
             Some(pos) => {
                 let idx = unalloc.remove(pos);
-                bin.agg.push(vms[idx].id, vms[idx].demand, matrix);
+                bin.admit(idx, vms, matrix, unalloc);
                 placed += 1;
             }
             None => return placed,

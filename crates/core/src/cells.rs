@@ -1,0 +1,463 @@
+//! Placement cells — sharding the correlation machinery.
+//!
+//! Every dense structure in the paper scales as O(n²) per monitoring
+//! tick, which walls the reproduction off from production fleet sizes
+//! (13 ms/tick at n = 4096 under the Peak reference). The way out is
+//! an observation about Eqn (2): the server cost only ever consumes
+//! **intra-server** pair sums, so pair state between VMs that can
+//! never share a server is wasted work. Partitioning the fleet into
+//! rack/cluster-sized **placement cells** — each owning its own
+//! [`CostMatrix`] over only its members — turns the per-tick cost into
+//! O(Σ cellᵢ²): with `c` equal cells, a `c`-fold reduction, while the
+//! numbers *inside* each cell stay the exact Eqn (1)/(2) quantities.
+//!
+//! What crosses cell boundaries is decided by a constant-size
+//! [`MomentSketch`](cavm_trace::MomentSketch) router (see
+//! `cavm-trace::sketch` and the sim crate's sharded controller), never
+//! by a dense structure — arrivals route in O(cells).
+//!
+//! This module provides the core abstraction: [`PlacementCell`] (a
+//! member set plus its own matrix) and [`CellFleet`] (a partition of
+//! VM ids into cells with a scatter-gather tick), plus
+//! [`partition_fleet`] for splitting a [`ServerFleet`]'s hardware
+//! across cells class-by-class.
+//!
+//! # Example
+//!
+//! ```
+//! use cavm_core::cells::CellFleet;
+//! use cavm_trace::Reference;
+//!
+//! # fn main() -> Result<(), cavm_core::CoreError> {
+//! let mut cells = CellFleet::contiguous(64, 4, Reference::Peak)?;
+//! // One monitoring tick for the whole fleet: each cell sees only its
+//! // own 16 members — 4× less pair work than a dense 64² matrix.
+//! cells.push_sample(&vec![1.0; 64])?;
+//! assert_eq!(cells.pair_work(), 4 * (16 * 15) / 2);
+//! assert_eq!(cells.dense_pair_work(), (64 * 63) / 2);
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::corr::CostMatrix;
+use crate::fleet::{ServerClass, ServerFleet, UNBOUNDED};
+use crate::CoreError;
+use cavm_trace::Reference;
+
+/// One placement cell: a set of (global) VM ids and the dense
+/// [`CostMatrix`] over exactly those members, indexed by the member's
+/// *local* position. Within the cell every Eqn (1)/(2) quantity is
+/// exact; the cell simply never spends pair state on VMs it can never
+/// co-locate.
+#[derive(Debug, Clone)]
+pub struct PlacementCell {
+    /// Global VM ids, in local-index order.
+    members: Vec<usize>,
+    matrix: CostMatrix,
+    /// Gather buffer for [`PlacementCell::push_global_sample`].
+    scratch: Vec<f64>,
+}
+
+impl PlacementCell {
+    /// Creates a cell over `members` (global VM ids; local index =
+    /// position in the vector).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParameter`] for an empty member set
+    /// and propagates [`CostMatrix::new`] validation.
+    pub fn new(members: Vec<usize>, reference: Reference) -> crate::Result<Self> {
+        if members.is_empty() {
+            return Err(CoreError::InvalidParameter(
+                "placement cell needs at least one member",
+            ));
+        }
+        let n = members.len();
+        Ok(Self {
+            members,
+            matrix: CostMatrix::new(n, reference)?,
+            scratch: vec![0.0; n],
+        })
+    }
+
+    /// The cell's members (global VM ids, in local-index order).
+    pub fn members(&self) -> &[usize] {
+        &self.members
+    }
+
+    /// The cell's own cost matrix (local indices).
+    pub fn matrix(&self) -> &CostMatrix {
+        &self.matrix
+    }
+
+    /// Feeds one fleet-wide monitoring tick: gathers the members'
+    /// utilizations out of the global sample and pushes them as this
+    /// cell's tick — O(|members|²) instead of O(n²).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::UnknownVm`] when a member id is outside
+    /// the global sample.
+    pub fn push_global_sample(&mut self, utils: &[f64]) -> crate::Result<()> {
+        for (slot, &id) in self.scratch.iter_mut().zip(&self.members) {
+            *slot = *utils.get(id).ok_or(CoreError::UnknownVm {
+                id,
+                known: utils.len(),
+            })?;
+        }
+        self.matrix.push_sample(&self.scratch)
+    }
+
+    /// Forgets all samples (keeps the membership).
+    pub fn reset(&mut self) {
+        self.matrix.reset();
+    }
+}
+
+/// A partition of `n` VM ids into [`PlacementCell`]s with a
+/// scatter-gather tick — the sharded replacement for one dense n²
+/// matrix. See the [module docs](self).
+#[derive(Debug, Clone)]
+pub struct CellFleet {
+    cells: Vec<PlacementCell>,
+    /// `cell_of[id]` = index of the cell owning global VM `id`.
+    cell_of: Vec<usize>,
+}
+
+impl CellFleet {
+    /// Partitions ids `0..n_vms` into `n_cells` contiguous,
+    /// near-equal-sized cells (the first `n_vms % n_cells` cells get
+    /// one extra member).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParameter`] for zero cells or fewer
+    /// VMs than cells.
+    pub fn contiguous(n_vms: usize, n_cells: usize, reference: Reference) -> crate::Result<Self> {
+        if n_cells == 0 {
+            return Err(CoreError::InvalidParameter(
+                "cell fleet needs at least one cell",
+            ));
+        }
+        if n_vms < n_cells {
+            return Err(CoreError::InvalidParameter(
+                "cell fleet needs at least one VM per cell",
+            ));
+        }
+        let base = n_vms / n_cells;
+        let rem = n_vms % n_cells;
+        let mut cells = Vec::with_capacity(n_cells);
+        let mut cell_of = vec![0usize; n_vms];
+        let mut next = 0usize;
+        for c in 0..n_cells {
+            let size = base + usize::from(c < rem);
+            let members: Vec<usize> = (next..next + size).collect();
+            for &id in &members {
+                cell_of[id] = c;
+            }
+            next += size;
+            cells.push(PlacementCell::new(members, reference)?);
+        }
+        Ok(Self { cells, cell_of })
+    }
+
+    /// Builds a fleet from an explicit id partition (each VM id `0..n`
+    /// must appear in exactly one cell).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParameter`] when the member sets do
+    /// not partition `0..n` and propagates [`PlacementCell::new`]
+    /// validation.
+    pub fn from_partition(partition: Vec<Vec<usize>>, reference: Reference) -> crate::Result<Self> {
+        let n: usize = partition.iter().map(Vec::len).sum();
+        let mut cell_of = vec![usize::MAX; n];
+        for (c, members) in partition.iter().enumerate() {
+            for &id in members {
+                if id >= n || cell_of[id] != usize::MAX {
+                    return Err(CoreError::InvalidParameter(
+                        "cell partition must cover each VM id exactly once",
+                    ));
+                }
+                cell_of[id] = c;
+            }
+        }
+        let cells = partition
+            .into_iter()
+            .map(|members| PlacementCell::new(members, reference))
+            .collect::<crate::Result<Vec<_>>>()?;
+        Ok(Self { cells, cell_of })
+    }
+
+    /// The cells.
+    pub fn cells(&self) -> &[PlacementCell] {
+        &self.cells
+    }
+
+    /// Cell at `index`, or `None` past the end.
+    pub fn cell(&self, index: usize) -> Option<&PlacementCell> {
+        self.cells.get(index)
+    }
+
+    /// Number of cells.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// `false` by construction; provided for API completeness.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Total VMs across all cells.
+    pub fn vm_count(&self) -> usize {
+        self.cell_of.len()
+    }
+
+    /// The cell owning global VM `id`, or `None` for an unknown id.
+    pub fn cell_of(&self, id: usize) -> Option<usize> {
+        self.cell_of.get(id).copied()
+    }
+
+    /// Feeds one fleet-wide monitoring tick to every cell —
+    /// O(Σ cellᵢ²) total pair updates.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::SampleCountMismatch`] when the sample is
+    /// not fleet-wide.
+    pub fn push_sample(&mut self, utils: &[f64]) -> crate::Result<()> {
+        if utils.len() != self.cell_of.len() {
+            return Err(CoreError::SampleCountMismatch {
+                got: utils.len(),
+                expected: self.cell_of.len(),
+            });
+        }
+        for cell in &mut self.cells {
+            cell.push_global_sample(utils)?;
+        }
+        Ok(())
+    }
+
+    /// Pair slots updated per tick across all cells: Σ mᵢ(mᵢ−1)/2.
+    pub fn pair_work(&self) -> usize {
+        self.cells
+            .iter()
+            .map(|c| {
+                let m = c.members.len();
+                m * (m - 1) / 2
+            })
+            .sum()
+    }
+
+    /// Pair slots a dense matrix over the same VMs would update per
+    /// tick: n(n−1)/2.
+    pub fn dense_pair_work(&self) -> usize {
+        let n = self.cell_of.len();
+        n * (n - 1) / 2
+    }
+
+    /// Forgets all samples in every cell (keeps the partition).
+    pub fn reset(&mut self) {
+        for cell in &mut self.cells {
+            cell.reset();
+        }
+    }
+}
+
+/// One cell's slice of a partitioned [`ServerFleet`]: the hardware the
+/// cell controls plus the mapping from its local class indices back to
+/// the global fleet's.
+#[derive(Debug, Clone)]
+pub struct CellSubfleet {
+    /// The cell's own (bounded) server fleet.
+    pub fleet: ServerFleet,
+    /// `class_map[local]` = global class index in the parent fleet.
+    pub class_map: Vec<usize>,
+}
+
+/// Splits a bounded [`ServerFleet`] into `n_cells` sub-fleets,
+/// class by class: each class's `count` is divided evenly, and the
+/// remainders rotate across cells so capacity stays balanced. Classes
+/// whose share in a cell is zero are omitted from that cell's fleet
+/// (a [`ServerClass`] cannot be empty), which is why each sub-fleet
+/// carries a `class_map` back to global class indices.
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidParameter`] for zero cells, an
+/// unbounded fleet, or more cells than servers (every cell must own at
+/// least one server).
+pub fn partition_fleet(fleet: &ServerFleet, n_cells: usize) -> crate::Result<Vec<CellSubfleet>> {
+    if n_cells == 0 {
+        return Err(CoreError::InvalidParameter(
+            "fleet partition needs at least one cell",
+        ));
+    }
+    let slots = fleet.total_slots().ok_or(CoreError::InvalidParameter(
+        "cannot partition an unbounded fleet into cells",
+    ))?;
+    if slots < n_cells {
+        return Err(CoreError::InvalidParameter(
+            "fleet partition needs at least one server per cell",
+        ));
+    }
+    let mut shares = vec![Vec::<(usize, usize)>::new(); n_cells]; // (global class, count)
+    let mut rotation = 0usize;
+    for (gi, class) in fleet.classes().iter().enumerate() {
+        debug_assert_ne!(class.count(), UNBOUNDED);
+        let base = class.count() / n_cells;
+        let rem = class.count() % n_cells;
+        for (c, share) in shares.iter_mut().enumerate() {
+            let extra = usize::from((c + n_cells - rotation % n_cells) % n_cells < rem);
+            let count = base + extra;
+            if count > 0 {
+                share.push((gi, count));
+            }
+        }
+        rotation += rem;
+    }
+    shares
+        .into_iter()
+        .map(|share| {
+            let mut classes = Vec::with_capacity(share.len());
+            let mut class_map = Vec::with_capacity(share.len());
+            for (gi, count) in share {
+                let class = &fleet.classes()[gi];
+                classes.push(ServerClass::new(
+                    class.name(),
+                    count,
+                    class.cores(),
+                    class.power_model().clone(),
+                )?);
+                class_map.push(gi);
+            }
+            Ok(CellSubfleet {
+                fleet: ServerFleet::new(classes)?,
+                class_map,
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cavm_power::LinearPowerModel;
+    use cavm_trace::SimRng;
+
+    #[test]
+    fn contiguous_partition_shapes() {
+        let cells = CellFleet::contiguous(10, 3, Reference::Peak).unwrap();
+        assert_eq!(cells.len(), 3);
+        assert_eq!(cells.vm_count(), 10);
+        let sizes: Vec<usize> = cells.cells().iter().map(|c| c.members().len()).collect();
+        assert_eq!(sizes, vec![4, 3, 3]);
+        assert_eq!(cells.cell_of(0), Some(0));
+        assert_eq!(cells.cell_of(4), Some(1));
+        assert_eq!(cells.cell_of(9), Some(2));
+        assert_eq!(cells.cell_of(10), None);
+        assert!(CellFleet::contiguous(2, 3, Reference::Peak).is_err());
+        assert!(CellFleet::contiguous(2, 0, Reference::Peak).is_err());
+    }
+
+    #[test]
+    fn cell_costs_match_the_dense_matrix_bitwise() {
+        // The cells are the same kernel over a gathered sample, so
+        // intra-cell pair costs must equal the dense matrix's bits.
+        let n = 24;
+        let mut rng = SimRng::new(3);
+        let samples: Vec<Vec<f64>> = (0..50)
+            .map(|_| (0..n).map(|_| rng.lognormal_mean_cv(2.0, 0.5)).collect())
+            .collect();
+        let mut dense = CostMatrix::new(n, Reference::Peak).unwrap();
+        let mut cells = CellFleet::contiguous(n, 4, Reference::Peak).unwrap();
+        for s in &samples {
+            dense.push_sample(s).unwrap();
+            cells.push_sample(s).unwrap();
+        }
+        for cell in cells.cells() {
+            for (li, &gi) in cell.members().iter().enumerate() {
+                for (lj, &gj) in cell.members().iter().enumerate().skip(li + 1) {
+                    let local = cell.matrix().cost(li, lj).unwrap();
+                    let global = dense.cost(gi, gj).unwrap();
+                    assert_eq!(local.to_bits(), global.to_bits(), "pair ({gi},{gj})");
+                }
+            }
+        }
+        assert!(cells.pair_work() < cells.dense_pair_work() / 3);
+    }
+
+    #[test]
+    fn explicit_partition_validates() {
+        let ok = CellFleet::from_partition(vec![vec![0, 2], vec![1, 3]], Reference::Peak);
+        assert!(ok.is_ok());
+        let dup = CellFleet::from_partition(vec![vec![0, 1], vec![1, 2]], Reference::Peak);
+        assert!(dup.is_err());
+        let gap = CellFleet::from_partition(vec![vec![0, 3]], Reference::Peak);
+        assert!(gap.is_err());
+    }
+
+    #[test]
+    fn sample_width_is_checked() {
+        let mut cells = CellFleet::contiguous(6, 2, Reference::Peak).unwrap();
+        assert!(matches!(
+            cells.push_sample(&[0.0; 5]),
+            Err(CoreError::SampleCountMismatch {
+                got: 5,
+                expected: 6
+            })
+        ));
+    }
+
+    #[test]
+    fn fleet_partition_conserves_hardware() {
+        let fleet = ServerFleet::mixed_4_8_16(7, 5, 3).unwrap();
+        let parts = partition_fleet(&fleet, 4).unwrap();
+        assert_eq!(parts.len(), 4);
+        // Per-class counts are conserved and every cell is non-empty.
+        let mut totals = vec![0usize; fleet.len()];
+        for part in &parts {
+            assert!(part.fleet.total_slots().unwrap() >= 1);
+            for (local, class) in part.fleet.classes().iter().enumerate() {
+                let gi = part.class_map[local];
+                assert_eq!(class.cores(), fleet.classes()[gi].cores());
+                assert_eq!(class.name(), fleet.classes()[gi].name());
+                totals[gi] += class.count();
+            }
+        }
+        let counts: Vec<usize> = fleet.classes().iter().map(ServerClass::count).collect();
+        assert_eq!(totals, counts);
+    }
+
+    #[test]
+    fn fleet_partition_rotates_remainders_over_cells() {
+        // Three 1-server classes over 3 cells: without rotation every
+        // remainder would land on cell 0 and later cells would starve.
+        let xeon = LinearPowerModel::xeon_e5410();
+        let fleet = ServerFleet::new(vec![
+            ServerClass::new("a", 1, 8.0, xeon.clone()).unwrap(),
+            ServerClass::new("b", 1, 8.0, xeon.clone()).unwrap(),
+            ServerClass::new("c", 1, 8.0, xeon.clone()).unwrap(),
+        ])
+        .unwrap();
+        let parts = partition_fleet(&fleet, 3).unwrap();
+        for part in &parts {
+            assert_eq!(part.fleet.total_slots(), Some(1));
+        }
+    }
+
+    #[test]
+    fn fleet_partition_validation() {
+        let fleet = ServerFleet::uniform(4, 8.0, LinearPowerModel::xeon_e5410()).unwrap();
+        assert!(partition_fleet(&fleet, 0).is_err());
+        assert!(partition_fleet(&fleet, 5).is_err());
+        let unbounded = ServerFleet::unbounded(8.0).unwrap();
+        assert!(partition_fleet(&unbounded, 2).is_err());
+        // Degenerate single cell: the sub-fleet is the whole fleet.
+        let parts = partition_fleet(&fleet, 1).unwrap();
+        assert_eq!(parts.len(), 1);
+        assert_eq!(parts[0].fleet, fleet);
+        assert_eq!(parts[0].class_map, vec![0]);
+    }
+}

@@ -206,6 +206,23 @@ impl ServerCostAggregate {
         )
     }
 
+    /// Eqn (2) for the server after hypothetically adding a candidate
+    /// whose pair sums against the committed members are already known
+    /// — the O(1) probe behind incrementally-maintained candidate
+    /// indexes (see `ProposedPolicy`'s per-bin index). `(dw, dp)` must
+    /// equal what [`ServerCostAggregate::candidate_cost`] would compute
+    /// internally: the candidate's `(û_j + û_k)·Cost(j,k)` and
+    /// `Cost(j,k)` sums accumulated *in member commit order*, so the
+    /// result is bit-identical to the O(|members|) probe.
+    pub fn candidate_cost_with(&self, util: f64, dw: f64, dp: f64) -> f64 {
+        Self::combine(
+            self.members.len() + 1,
+            self.total_util + util,
+            self.weighted_pair_sum + dw,
+            self.plain_pair_sum + dp,
+        )
+    }
+
     /// Commits `(id, util)` as a member, updating the pair sums in
     /// O(|members|). An `id` beyond the matrix contributes neutral
     /// pairs.

@@ -114,6 +114,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cells;
 pub mod config;
 pub mod controller;
 mod engine;
@@ -121,6 +122,7 @@ mod error;
 pub mod report;
 pub mod sink;
 
+pub use cells::ShardedController;
 pub use config::{Policy, Scenario, ScenarioBuilder};
 pub use controller::{
     ControllerConfig, DatacenterController, MetricSink, NullSink, QosGuard, RepackEvent,

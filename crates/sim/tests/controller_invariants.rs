@@ -67,7 +67,7 @@ use cavm_core::fleet::{ServerClass, ServerFleet};
 use cavm_power::LinearPowerModel;
 use cavm_sim::{
     ControllerConfig, DatacenterController, MetricSink, Policy, QosGuard, RepackEvent,
-    RepackReason, RepackTrigger,
+    RepackReason, RepackTrigger, ShardedController,
 };
 use cavm_trace::{Reference, SimRng, TimeSeries};
 use proptest::prelude::*;
@@ -816,6 +816,290 @@ proptest! {
                 run_chaos_case(seed, &fleet, policy, schedule)?;
             }
         }
+    }
+}
+
+/// Builds the harness [`ControllerConfig`] for one combination.
+fn harness_config(
+    fleet: &ServerFleet,
+    policy: Policy,
+    schedule: Schedule,
+    dvfs_mode: DvfsMode,
+) -> ControllerConfig {
+    ControllerConfig {
+        server_fleet: fleet.clone(),
+        policy,
+        repack_trigger: schedule.trigger,
+        qos_guard: schedule.guard,
+        adaptive_slack_max: schedule.adaptive_slack_max,
+        dvfs_mode,
+        period_samples: PERIOD,
+        reference: Reference::Peak,
+        dynamic_headroom: 0.25,
+        default_demand: 2.0,
+        sample_dt_s: 5.0,
+        max_deferred: 1024,
+    }
+}
+
+/// The cells axis, part 1: a [`ShardedController`] configured with a
+/// single cell must be **bit-identical** to the flat controller —
+/// same terminal report (energy compared bitwise) *and* the same
+/// streamed re-pack event sequence — because the degenerate path
+/// delegates verbatim instead of routing.
+fn run_single_cell_equivalence_case(
+    seed: u64,
+    fleet: &ServerFleet,
+    policy: Policy,
+    schedule: Schedule,
+    dvfs_mode: DvfsMode,
+) -> Result<(), TestCaseError> {
+    let mut rng = SimRng::new(seed);
+    let plans = draw_plans(&mut rng);
+    let traces: Vec<TimeSeries> = plans
+        .iter()
+        .map(|plan| {
+            let horizon = plan.departure.unwrap_or(TOTAL);
+            draw_trace(&mut rng, horizon - plan.arrival)
+        })
+        .collect();
+    let mut flat = DatacenterController::new(harness_config(fleet, policy, schedule, dvfs_mode))
+        .expect("harness config is valid");
+    let mut sharded = ShardedController::new(harness_config(fleet, policy, schedule, dvfs_mode), 1)
+        .expect("harness config is valid");
+    let mut flat_sink = RepackLog::default();
+    let mut sharded_sink = RepackLog::default();
+
+    for k in 0..TOTAL {
+        for (id, plan) in plans.iter().enumerate() {
+            if plan.departure == Some(k) {
+                flat.depart(id)
+                    .map_err(|e| TestCaseError::fail(format!("flat depart({id}) at {k}: {e}")))?;
+                sharded
+                    .depart(id)
+                    .map_err(|e| TestCaseError::fail(format!("cell depart({id}) at {k}: {e}")))?;
+            }
+        }
+        for (id, plan) in plans.iter().enumerate() {
+            if plan.arrival == k {
+                let lease = plan.departure.map(|d| d - k);
+                flat.arrive(id, traces[id].clone(), lease, &mut flat_sink)
+                    .map_err(|e| TestCaseError::fail(format!("flat arrive({id}) at {k}: {e}")))?;
+                sharded
+                    .arrive(id, traces[id].clone(), lease, &mut sharded_sink)
+                    .map_err(|e| TestCaseError::fail(format!("cell arrive({id}) at {k}: {e}")))?;
+            }
+        }
+        flat.tick(&mut flat_sink)
+            .map_err(|e| TestCaseError::fail(format!("flat tick at {k}: {e}")))?;
+        sharded
+            .tick(&mut sharded_sink)
+            .map_err(|e| TestCaseError::fail(format!("cell tick at {k}: {e}")))?;
+        prop_assert_eq!(flat.clock(), sharded.clock());
+        prop_assert_eq!(flat.live_vms(), sharded.live_vms());
+    }
+    prop_assert_eq!(
+        &flat_sink.events,
+        &sharded_sink.events,
+        "single-cell re-pack stream diverged from flat ({:?}/{:?})",
+        policy.name(),
+        schedule.trigger
+    );
+    let a = flat.report();
+    let b = sharded.report();
+    prop_assert_eq!(
+        a.energy.joules().to_bits(),
+        b.energy.joules().to_bits(),
+        "single-cell energy diverged bitwise ({:?}/{:?})",
+        policy.name(),
+        schedule.trigger
+    );
+    prop_assert_eq!(a, b, "single-cell report diverged from flat");
+    Ok(())
+}
+
+/// The cells axis, part 2: with several cells, sketch-routed admission
+/// must never violate **per-class capacity inside any cell** — every
+/// cell's placement uses at most the servers its sub-fleet provides,
+/// the sub-fleets partition the global fleet exactly, the union of the
+/// cells' live VMs matches the model, and the merged report is the sum
+/// of its parts.
+fn run_multi_cell_case(
+    seed: u64,
+    fleet: &ServerFleet,
+    policy: Policy,
+    cells: usize,
+) -> Result<(), TestCaseError> {
+    let schedule = Schedule::plain(RepackTrigger::Periodic);
+    let mut rng = SimRng::new(seed);
+    let plans = draw_plans(&mut rng);
+    let mut sharded = ShardedController::new(
+        harness_config(fleet, policy, schedule, DvfsMode::Static),
+        cells,
+    )
+    .expect("harness config is valid");
+    let mut sink = RepackLog::default();
+    let mut model = Model {
+        live: BTreeSet::new(),
+        clock: 0,
+    };
+
+    // The sub-fleets partition the global fleet: per-class counts sum
+    // to the global count and every cell owns at least one server.
+    let mut class_totals = vec![0usize; fleet.len()];
+    for cell in 0..sharded.cells() {
+        let sub = &sharded
+            .cell_controller(cell)
+            .expect("cell exists")
+            .config()
+            .server_fleet;
+        prop_assert!(sub.total_slots().expect("bounded sub-fleet") >= 1);
+        for class in sub.classes() {
+            let global = fleet
+                .classes()
+                .iter()
+                .position(|g| g.name() == class.name())
+                .expect("cell classes come from the global fleet");
+            prop_assert_eq!(class.cores(), fleet.classes()[global].cores());
+            class_totals[global] += class.count();
+        }
+    }
+    let global_counts: Vec<usize> = fleet.classes().iter().map(ServerClass::count).collect();
+    prop_assert_eq!(
+        class_totals,
+        global_counts,
+        "cells must partition the fleet"
+    );
+
+    for k in 0..TOTAL {
+        for (id, plan) in plans.iter().enumerate() {
+            if plan.departure == Some(k) {
+                sharded
+                    .depart(id)
+                    .map_err(|e| TestCaseError::fail(format!("depart({id}) at {k}: {e}")))?;
+                model.live.remove(&id);
+            }
+        }
+        for (id, plan) in plans.iter().enumerate() {
+            if plan.arrival == k {
+                let horizon = plan.departure.unwrap_or(TOTAL);
+                let trace = draw_trace(&mut rng, horizon - k);
+                sharded
+                    .arrive(id, trace, plan.departure.map(|d| d - k), &mut sink)
+                    .map_err(|e| TestCaseError::fail(format!("arrive({id}) at {k}: {e}")))?;
+                model.live.insert(id);
+                let cell = sharded.cell_of_vm(id).expect("admitted VMs are routed");
+                prop_assert!(cell < sharded.cells());
+            }
+        }
+        sharded
+            .tick(&mut sink)
+            .map_err(|e| TestCaseError::fail(format!("tick at {k}: {e}")))?;
+        model.clock += 1;
+        prop_assert_eq!(sharded.clock(), model.clock);
+        prop_assert_eq!(
+            sharded.live_vms() + sharded.deferred_vms(),
+            model.live.len()
+        );
+
+        // Per-cell, per-class capacity: no cell's placement may name
+        // more servers of a class than its own sub-fleet provides.
+        for cell in 0..sharded.cells() {
+            let inner = sharded.cell_controller(cell).expect("cell exists");
+            let sub = &inner.config().server_fleet;
+            let mut used = vec![0usize; sub.len()];
+            for &class in inner.placement().classes() {
+                prop_assert!(class < sub.len(), "cell {} names class {}", cell, class);
+                used[class] += 1;
+            }
+            for (class, &n) in used.iter().enumerate() {
+                prop_assert!(
+                    n <= sub.classes()[class].count(),
+                    "cell {} uses {} of {} class-{} servers at sample {}",
+                    cell,
+                    n,
+                    sub.classes()[class].count(),
+                    class,
+                    k
+                );
+            }
+        }
+    }
+
+    // The merged report is the sum of its cells.
+    let merged = sharded.report();
+    let inner_reports: Vec<_> = (0..sharded.cells())
+        .map(|c| sharded.cell_controller(c).expect("cell exists").report())
+        .collect();
+    prop_assert_eq!(merged.periods.len(), TOTAL / PERIOD);
+    prop_assert_eq!(
+        merged.violation_instances,
+        inner_reports
+            .iter()
+            .map(|r| r.violation_instances)
+            .sum::<usize>()
+    );
+    prop_assert_eq!(
+        merged.online_admissions,
+        inner_reports
+            .iter()
+            .map(|r| r.online_admissions)
+            .sum::<usize>()
+    );
+    for (p, row) in merged.periods.iter().enumerate() {
+        let sum: usize = inner_reports
+            .iter()
+            .filter_map(|r| r.periods.get(p))
+            .map(|r| r.servers_used)
+            .sum();
+        prop_assert_eq!(row.servers_used, sum, "period {} server sum diverged", p);
+    }
+    Ok(())
+}
+
+proptest! {
+    /// Single-cell ≡ flat, for **all five policies** across the plain
+    /// schedules and a guarded one, static and dynamic DVFS — the
+    /// degenerate sharded configuration may not perturb a single bit.
+    #[test]
+    fn sharded_single_cell_is_bit_identical_to_flat(seed in any::<u64>()) {
+        let fleet = uniform_fleet();
+        let guarded = Schedule {
+            trigger: RepackTrigger::Fragmentation { slack: 1 },
+            guard: Some(QosGuard { violation_ratio: 0.10 }),
+            adaptive_slack_max: None,
+        };
+        for policy in five_policies() {
+            for schedule in [
+                Schedule::plain(RepackTrigger::Periodic),
+                Schedule::plain(RepackTrigger::Hybrid { slack: 2 }),
+                guarded,
+            ] {
+                run_single_cell_equivalence_case(seed, &fleet, policy, schedule, DvfsMode::Static)?;
+            }
+            run_single_cell_equivalence_case(
+                seed,
+                &fleet,
+                policy,
+                Schedule::plain(RepackTrigger::Periodic),
+                DvfsMode::Dynamic { interval_samples: 8 },
+            )?;
+        }
+    }
+
+    /// Sketch-routed admission over 2–3 cells keeps every cell inside
+    /// its own per-class server budget for all five policies, and the
+    /// merged report stays the sum of its cells.
+    #[test]
+    fn multi_cell_admission_respects_per_class_capacity(
+        seed in any::<u64>(),
+        cells in 2usize..4,
+    ) {
+        let fleet = uniform_fleet();
+        for policy in five_policies() {
+            run_multi_cell_case(seed, &fleet, policy, cells)?;
+        }
+        run_multi_cell_case(seed, &hetero_fleet(), Policy::Proposed(Default::default()), cells)?;
     }
 }
 

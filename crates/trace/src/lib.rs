@@ -10,6 +10,9 @@
 //!   paper ([`Reference`]: peak or N-th percentile).
 //! * [`streaming`] — constant-memory statistics: the P² quantile
 //!   estimator, exponentially-weighted moving averages, windowed maxima.
+//! * [`sketch`] — constant-size per-VM demand summaries ([`MomentSketch`]:
+//!   running moments + a phase envelope) that let the placement-cell
+//!   router steer arrivals in O(cells) without any dense pair structure.
 //! * [`envelope`] — Verma-style binary envelopes (`u(t) ≥ threshold`) and
 //!   overlap metrics, needed by the PCP baseline of the paper.
 //! * [`rng`] — a small deterministic PRNG ([`SimRng`]) with the
@@ -43,6 +46,7 @@ pub mod envelope;
 mod error;
 pub mod rng;
 pub mod series;
+pub mod sketch;
 pub mod stats;
 pub mod streaming;
 
@@ -50,6 +54,7 @@ pub use envelope::Envelope;
 pub use error::TraceError;
 pub use rng::SimRng;
 pub use series::TimeSeries;
+pub use sketch::{MomentSketch, PHASE_BUCKETS};
 pub use stats::{percentile, Reference, Summary, Welford};
 pub use streaming::{Ewma, P2Cell, P2Clock, P2Quantile, StreamingPeak, WindowedMax};
 

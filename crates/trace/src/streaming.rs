@@ -384,34 +384,32 @@ impl P2Cell {
         }
 
         // Reconstruct the full 5-marker position vector; the clock has
-        // already advanced np for this tick. The arithmetic below is a
-        // verbatim transcription of `P2Quantile::push` so the two paths
-        // stay bit-identical.
+        // already advanced np for this tick. The arithmetic below
+        // produces bit-identical markers to `P2Quantile::push`; steps 1
+        // and 2 are phrased as arithmetic selects instead of the
+        // classic branch ladder so the hot matrix-tick loop does not
+        // stall on data-dependent branches.
         let q = &mut self.q;
         let mut n = [1.0, self.n[0], self.n[1], self.n[2], (count - 1) as f64];
         let np = &clock.np;
 
         // 1. Find the cell k containing x and update extreme markers.
-        let k = if x < q[0] {
-            q[0] = x;
-            0
-        } else if x < q[1] {
-            0
-        } else if x < q[2] {
-            1
-        } else if x < q[3] {
-            2
-        } else if x <= q[4] {
-            3
-        } else {
-            q[4] = x;
-            3
-        };
+        //    The marker heights are non-decreasing (initial sort plus
+        //    the neighbor guards of step 3 preserve it), so the cell
+        //    index is the count of interior markers at or below x —
+        //    three flag additions instead of a five-way ladder. The
+        //    extreme updates compile to conditional moves.
+        q[0] = if x < q[0] { x } else { q[0] };
+        q[4] = if x > q[4] { x } else { q[4] };
+        let k = usize::from(x >= q[1]) + usize::from(x >= q[2]) + usize::from(x >= q[3]);
 
-        // 2. Increment positions of markers above the cell.
-        for item in n.iter_mut().take(5).skip(k + 1) {
-            *item += 1.0;
-        }
+        // 2. Increment positions of markers above the cell. k ≤ 3, so
+        //    n[4] always advances; the interior flags add 0.0 or 1.0
+        //    (exact for the positive finite positions).
+        n[1] += f64::from(u8::from(k < 1));
+        n[2] += f64::from(u8::from(k < 2));
+        n[3] += f64::from(u8::from(k < 3));
+        n[4] += 1.0;
 
         // 3. Adjust interior markers that drifted off their desired
         //    positions by one or more.
