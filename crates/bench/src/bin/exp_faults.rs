@@ -7,13 +7,16 @@
 //! triggers an **emergency evacuation** through the live policy's
 //! incremental placement, capacity loss beyond what the shrunken
 //! fleet can host flows into the bounded **deferred-admission queue**
-//! (graceful degradation), and recoveries drain it back. The run
-//! prints one row per MTBF against the fault-free baseline and
-//! asserts the robustness headline: even at the harshest point of the
-//! sweep the QoS-guarded schedule keeps the worst-period violation
-//! ratio bounded, every deferred VM is eventually admitted (none
-//! lost), and the fault-free row reproduces the no-fault run
-//! bit-for-bit. A `"faults"` section lands in `BENCH_corr.json`.
+//! (graceful degradation), and recoveries drain it back. The sweep is
+//! declared as a [`SweepGrid`] over the fault axis: one fault-free
+//! cell (plus an empty-plan cell asserted bit-identical to it), then
+//! one cell per MTBF. The run prints one row per MTBF against the
+//! fault-free baseline and asserts the robustness headline: even at
+//! the harshest point of the sweep the QoS-guarded schedule keeps the
+//! worst-period violation ratio bounded, every deferred VM is
+//! eventually admitted (none lost), and the fault-free row reproduces
+//! the no-fault run bit-for-bit. A `"faults"` section lands in
+//! `BENCH_corr.json`.
 //!
 //! ```text
 //! cargo run --release -p cavm-bench --bin exp_faults
@@ -28,9 +31,9 @@
 //! (worst-period violation-percent ceiling asserted across the sweep,
 //! default 25).
 
-use cavm_bench::bar;
-use cavm_core::dvfs::DvfsMode;
-use cavm_sim::{Policy, QosGuard, RepackTrigger, ScenarioBuilder, SimReport};
+use cavm_bench::sweep::{FaultCase, Schedule, SweepGrid, WorkloadCase};
+use cavm_bench::{artifact, bar};
+use cavm_sim::{Policy, QosGuard, SimReport};
 use cavm_workload::datacenter::DatacenterTraceBuilder;
 use cavm_workload::faults::{FaultModel, FaultPlan, FaultPlanBuilder};
 use cavm_workload::lifecycle::{ArrivalProcess, Lifecycle, LifecycleBuilder, LifetimeModel};
@@ -65,30 +68,6 @@ fn env_f64_list(key: &str, default: &[f64]) -> Vec<f64> {
             })
             .collect(),
     }
-}
-
-/// Splices the `"faults"` section into an existing `BENCH_corr.json`
-/// (replacing a previous faults section) or wraps it in a fresh
-/// document when the perf artifact does not exist yet.
-fn write_bench_json(section: &str) {
-    const PATH: &str = "BENCH_corr.json";
-    let body = match std::fs::read_to_string(PATH) {
-        Ok(existing) => {
-            let head = match existing.find(",\n  \"faults\":") {
-                Some(idx) => existing[..idx].to_string(),
-                None => {
-                    let idx = existing.rfind('}').expect("valid json artifact");
-                    existing[..idx].trim_end().to_string()
-                }
-            };
-            format!("{head},\n  \"faults\": {section}\n}}\n")
-        }
-        Err(_) => {
-            format!("{{\n  \"schema\": \"cavm-bench-corr/1\",\n  \"faults\": {section}\n}}\n")
-        }
-    };
-    std::fs::write(PATH, body).expect("write BENCH_corr.json");
-    eprintln!("updated {PATH} (faults section)");
 }
 
 /// One row of the sweep: the plan's MTBF (`None` = fault-free
@@ -137,23 +116,19 @@ fn main() {
         .build()
         .expect("static lifecycle parameters are valid");
 
-    let run = |faults: Option<FaultPlan>| -> SimReport {
-        let mut builder = ScenarioBuilder::new(fleet.clone())
-            .servers(servers)
-            .policy(Policy::Proposed(Default::default()))
-            .dvfs_mode(DvfsMode::Static)
-            .repack_trigger(RepackTrigger::Hybrid { slack })
-            .adaptive_slack_max(slack + 3)
-            .qos_guard(qos_guard)
-            .lifecycle(lifecycle.clone());
-        if let Some(plan) = faults {
-            builder = builder.faults(plan);
-        }
-        builder
-            .build()
-            .expect("scenario parameters are valid")
-            .run()
-            .expect("scenario runs to completion")
+    let schedule = Schedule::guarded_hybrid(slack, qos_guard, slack + 3);
+    let grid = |faults: Vec<FaultCase>| {
+        SweepGrid::over(vec![WorkloadCase::open(
+            "departure-heavy",
+            fleet.clone(),
+            lifecycle.clone(),
+        )])
+        .servers(vec![servers])
+        .policies(vec![Policy::Proposed(Default::default())])
+        .schedules(vec![schedule])
+        .faults(faults)
+        .run()
+        .expect("fault grid runs to completion")
     };
 
     let plan_for = |mtbf_hours: f64, band: usize| -> FaultPlan {
@@ -178,10 +153,14 @@ fn main() {
 
     // Fault-free baseline — and the no-fault path is bit-identical to
     // a scenario that never heard of fault plans.
-    let baseline = run(None);
+    let mut baseline_rows = grid(vec![
+        FaultCase::none(),
+        FaultCase::plan("empty-plan", FaultPlan::empty()),
+    ]);
+    let empty_plan = baseline_rows.pop().expect("grid ran two cells").report;
+    let baseline = baseline_rows.pop().expect("grid ran two cells").report;
     assert_eq!(
-        baseline,
-        run(Some(FaultPlan::empty())),
+        baseline, empty_plan,
         "an empty fault plan must be bit-identical to no plan at all"
     );
     assert_eq!(baseline.server_failures, 0);
@@ -193,18 +172,26 @@ fn main() {
     // the baseline actually lives in.
     let fault_band = baseline.peak_servers_used().clamp(2, servers);
 
+    let plans: Vec<(f64, FaultPlan)> = mtbfs
+        .iter()
+        .map(|&mtbf| (mtbf, plan_for(mtbf, fault_band)))
+        .collect();
     let mut rows = vec![Row {
         mtbf_hours: None,
         scheduled_failures: 0,
         report: baseline,
     }];
-    for &mtbf in &mtbfs {
-        let plan = plan_for(mtbf, fault_band);
-        let scheduled = plan.failures();
+    let swept = grid(
+        plans
+            .iter()
+            .map(|(mtbf, plan)| FaultCase::plan(format!("mtbf {mtbf} h"), plan.clone()))
+            .collect(),
+    );
+    for ((mtbf, plan), row) in plans.iter().zip(swept) {
         rows.push(Row {
-            mtbf_hours: Some(mtbf),
-            scheduled_failures: scheduled,
-            report: run(Some(plan)),
+            mtbf_hours: Some(*mtbf),
+            scheduled_failures: plan.failures(),
+            report: row.report,
         });
     }
 
@@ -316,5 +303,5 @@ fn main() {
         section.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
     }
     section.push_str("    ]\n  }");
-    write_bench_json(&section);
+    artifact::splice_section("faults", &section);
 }

@@ -7,17 +7,17 @@
 //! (uniform) leases, so placement periods see mid-period arrivals that
 //! must be admitted through the **incremental single-VM placement**
 //! (`AllocationPolicy::place_one` — no re-pack, lease-aware) and
-//! departures that power servers off. The run asserts that every
-//! policy exercised the incremental admit path, prints the
-//! Table II-style comparison, then re-runs the proposed policy on a
-//! **departure-heavy** schedule under four re-pack schedules —
-//! `periodic`, `fragmentation`, the QoS-**guarded** fragmentation
-//! schedule (`QosGuard` + adaptive `SlackController`) and `hybrid` —
-//! asserting that `hybrid` never burns more energy than the paper's
-//! periodic-only clock and that `guarded` recovers the pure
-//! fragmentation schedule's violation drift (worst-period ratio ≤
-//! periodic's) while keeping energy ≤ 0.95× periodic — and appends an
-//! `"online"` section (comparison + adaptive rows) to
+//! departures that power servers off. Both comparisons are declared as
+//! [`SweepGrid`]s: policies × the env-selected schedule on the churn
+//! workload, then the proposed policy × the five standard re-pack
+//! schedules (`periodic`, `fragmentation`, QoS-**guarded**
+//! fragmentation, `hybrid`, `hybrid-adaptive`) on a departure-heavy
+//! schedule. The run asserts that every policy exercised the
+//! incremental admit path, that `hybrid` never burns more energy than
+//! the paper's periodic-only clock, and that `guarded` recovers the
+//! pure fragmentation schedule's violation drift (worst-period ratio ≤
+//! periodic's) while keeping energy ≤ 0.95× periodic — and splices an
+//! `"online"` section (comparison + adaptive rows) into
 //! `BENCH_corr.json`.
 //!
 //! ```text
@@ -32,9 +32,9 @@
 //! default 0.08), `CAVM_ONLINE_SLACK_MAX` (adaptive-slack upper bound
 //! of the `hybrid-adaptive` schedule, default slack + 3).
 
-use cavm_bench::{bar, PCP_AFFINITY_THRESHOLD, PCP_ENVELOPE_PERCENTILE};
-use cavm_core::dvfs::DvfsMode;
-use cavm_sim::{Policy, QosGuard, RepackTrigger, ReportSink, ScenarioBuilder, SimReport};
+use cavm_bench::sweep::{Schedule, SweepGrid, SweepRow, WorkloadCase};
+use cavm_bench::{artifact, bar, PCP_AFFINITY_THRESHOLD, PCP_ENVELOPE_PERCENTILE};
+use cavm_sim::{Policy, QosGuard};
 use cavm_workload::datacenter::DatacenterTraceBuilder;
 use cavm_workload::lifecycle::{ArrivalProcess, Lifecycle, LifecycleBuilder, LifetimeModel};
 use std::fmt::Write as _;
@@ -51,109 +51,6 @@ fn env_f64(key: &str, default: f64) -> f64 {
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(default)
-}
-
-/// One re-pack schedule of the adaptive comparison: a trigger plus the
-/// optional QoS guard and adaptive-slack bound composed onto it.
-#[derive(Clone, Copy)]
-struct Schedule {
-    name: &'static str,
-    trigger: RepackTrigger,
-    guard: Option<QosGuard>,
-    slack_max: Option<u32>,
-}
-
-impl Schedule {
-    fn apply(self, builder: ScenarioBuilder) -> ScenarioBuilder {
-        let mut builder = builder.repack_trigger(self.trigger);
-        if let Some(guard) = self.guard {
-            builder = builder.qos_guard(guard);
-        }
-        if let Some(max) = self.slack_max {
-            builder = builder.adaptive_slack_max(max);
-        }
-        builder
-    }
-}
-
-/// The five schedules of the adaptive section: `guarded` is the
-/// fragmentation schedule with the QoS guard composed on, and
-/// `hybrid-adaptive` is the hybrid clock with the [`SlackController`]
-/// walking the slack up when re-packs stop paying for their
-/// migrations (the knob the static `hybrid` row trades ~500
-/// migrations on).
-///
-/// [`SlackController`]: cavm_sim::SlackController
-fn schedules(slack: u32, guard: QosGuard, slack_max: u32) -> [Schedule; 5] {
-    [
-        Schedule {
-            name: "periodic",
-            trigger: RepackTrigger::Periodic,
-            guard: None,
-            slack_max: None,
-        },
-        Schedule {
-            name: "fragmentation",
-            trigger: RepackTrigger::Fragmentation { slack },
-            guard: None,
-            slack_max: None,
-        },
-        Schedule {
-            name: "guarded",
-            trigger: RepackTrigger::Fragmentation { slack },
-            guard: Some(guard),
-            slack_max: None,
-        },
-        Schedule {
-            name: "hybrid",
-            trigger: RepackTrigger::Hybrid { slack },
-            guard: None,
-            slack_max: None,
-        },
-        Schedule {
-            name: "hybrid-adaptive",
-            trigger: RepackTrigger::Hybrid { slack },
-            guard: None,
-            slack_max: Some(slack_max),
-        },
-    ]
-}
-
-fn env_schedule(key: &str, slack: u32, guard: QosGuard, slack_max: u32) -> Schedule {
-    let all = schedules(slack, guard, slack_max);
-    match std::env::var(key) {
-        Err(_) => all[0],
-        Ok(v) => *all
-            .iter()
-            .find(|s| s.name == v)
-            .unwrap_or_else(|| panic!("{key}={v}: expected periodic|fragmentation|guarded|hybrid")),
-    }
-}
-
-/// Splices the `"online"` section into an existing `BENCH_corr.json`
-/// (replacing a previous online section) or wraps it in a fresh
-/// document when the perf artifact does not exist yet.
-fn write_bench_json(section: &str) {
-    const PATH: &str = "BENCH_corr.json";
-    let body = match std::fs::read_to_string(PATH) {
-        Ok(existing) => {
-            // Drop a previously appended online section, then the
-            // closing brace, and re-append.
-            let head = match existing.find(",\n  \"online\":") {
-                Some(idx) => existing[..idx].to_string(),
-                None => {
-                    let idx = existing.rfind('}').expect("valid json artifact");
-                    existing[..idx].trim_end().to_string()
-                }
-            };
-            format!("{head},\n  \"online\": {section}\n}}\n")
-        }
-        Err(_) => {
-            format!("{{\n  \"schema\": \"cavm-bench-corr/1\",\n  \"online\": {section}\n}}\n")
-        }
-    };
-    std::fs::write(PATH, body).expect("write BENCH_corr.json");
-    eprintln!("updated {PATH} (online section)");
 }
 
 fn main() {
@@ -194,9 +91,9 @@ fn main() {
         violation_ratio: env_f64("CAVM_ONLINE_QOS", 0.08),
     };
     let slack_max = env_usize("CAVM_ONLINE_SLACK_MAX", slack as usize + 3) as u32;
-    let schedule = env_schedule("CAVM_ONLINE_TRIGGER", slack, qos_guard, slack_max);
+    let schedule = Schedule::from_env("CAVM_ONLINE_TRIGGER", slack, qos_guard, slack_max);
 
-    let policies = [
+    let policies = vec![
         Policy::Bfd,
         Policy::Ffd,
         Policy::Pcp {
@@ -208,35 +105,27 @@ fn main() {
         },
         Policy::Proposed(Default::default()),
     ];
-    let reports: Vec<SimReport> = policies
-        .iter()
-        .map(|&policy| {
-            let mut sink = ReportSink::new();
-            schedule
-                .apply(
-                    ScenarioBuilder::new(fleet.clone())
-                        .servers(vms.max(4))
-                        .policy(policy)
-                        .dvfs_mode(DvfsMode::Static)
-                        .lifecycle(lifecycle.clone()),
-                )
-                .build()
-                .expect("scenario parameters are valid")
-                .run_with_sink(&mut sink)
-                .expect("scenario runs to completion");
-            let report = sink.into_report().expect("summary fired");
-            assert!(
-                report.online_admissions > 0,
-                "{}: mid-horizon arrivals must go through the incremental admit path",
-                report.policy
-            );
-            report
-        })
-        .collect();
-    let baseline = reports
+    let rows: Vec<SweepRow> = SweepGrid::over(vec![WorkloadCase::open(
+        "churn",
+        fleet.clone(),
+        lifecycle.clone(),
+    )])
+    .servers(vec![vms.max(4)])
+    .policies(policies)
+    .schedules(vec![schedule])
+    .run_with(|cell, report| {
+        assert!(
+            report.online_admissions > 0,
+            "{}: mid-horizon arrivals must go through the incremental admit path",
+            cell.policy.name()
+        );
+    })
+    .expect("churn grid runs to completion");
+    let baseline = rows
         .iter()
         .find(|r| r.policy == "BFD")
         .expect("BFD is in the policy set")
+        .report
         .energy;
 
     println!(
@@ -251,7 +140,8 @@ fn main() {
         "{:<10} {:>12} {:>12} {:>10} {:>12} {:>8}  normalized bar",
         "policy", "energy kWh", "norm. power", "max viol%", "migrations", "admits"
     );
-    for r in &reports {
+    for row in &rows {
+        let r = &row.report;
         let norm = r.energy.normalized_to(&baseline).expect("baseline > 0");
         println!(
             "{:<10} {:>12.2} {:>12.3} {:>10.2} {:>12} {:>8}  {}",
@@ -265,8 +155,8 @@ fn main() {
         );
     }
 
-    let proposed = &reports[4];
-    let bfd = &reports[0];
+    let proposed = &rows[4].report;
+    let bfd = &rows[0].report;
     println!();
     println!(
         "proposed vs BFD under churn: {:.1}% energy, {} vs {} violation instances",
@@ -305,24 +195,18 @@ fn main() {
         "departure-heavy schedule must retire most leases mid-run"
     );
 
-    let adaptive_schedules = schedules(slack, qos_guard, slack_max);
-    let adaptive: Vec<SimReport> = adaptive_schedules
-        .iter()
-        .map(|&s| {
-            s.apply(
-                ScenarioBuilder::new(fleet.clone())
-                    .servers(vms.max(4))
-                    .policy(Policy::Proposed(Default::default()))
-                    .dvfs_mode(DvfsMode::Static)
-                    .lifecycle(departure_heavy.clone()),
-            )
-            .build()
-            .expect("scenario parameters are valid")
-            .run()
-            .expect("scenario runs to completion")
-        })
-        .collect();
-    let periodic_energy = adaptive[0].energy;
+    let adaptive_schedules = Schedule::standard(slack, qos_guard, slack_max);
+    let adaptive: Vec<SweepRow> = SweepGrid::over(vec![WorkloadCase::open(
+        "departure-heavy",
+        fleet,
+        departure_heavy.clone(),
+    )])
+    .servers(vec![vms.max(4)])
+    .policies(vec![Policy::Proposed(Default::default())])
+    .schedules(adaptive_schedules.to_vec())
+    .run()
+    .expect("adaptive grid runs to completion");
+    let periodic_energy = adaptive[0].report.energy;
 
     println!();
     println!(
@@ -336,11 +220,12 @@ fn main() {
         "{:<14} {:>12} {:>12} {:>10} {:>12} {:>9}  vs periodic",
         "schedule", "energy kWh", "norm. power", "max viol%", "migrations", "re-packs"
     );
-    for (s, r) in adaptive_schedules.iter().zip(&adaptive) {
+    for row in &adaptive {
+        let r = &row.report;
         let norm = r.energy.normalized_to(&periodic_energy).expect("nonzero");
         println!(
             "{:<14} {:>12.2} {:>12.3} {:>10.2} {:>12} {:>9}  {}",
-            s.name,
+            row.schedule,
             r.energy.kilowatt_hours(),
             norm,
             r.max_violation_percent,
@@ -349,10 +234,10 @@ fn main() {
             bar(norm, 30),
         );
     }
-    let periodic = &adaptive[0];
-    let guarded = &adaptive[2];
-    let hybrid = &adaptive[3];
-    let hybrid_adaptive = &adaptive[4];
+    let periodic = &adaptive[0].report;
+    let guarded = &adaptive[2].report;
+    let hybrid = &adaptive[3].report;
+    let hybrid_adaptive = &adaptive[4].report;
     assert!(
         hybrid.offcycle_repacks > 0,
         "the departure-heavy schedule must fire off-cycle re-packs"
@@ -421,7 +306,8 @@ fn main() {
     );
     let _ = writeln!(section, "    \"trigger\": \"{}\",", schedule.name);
     section.push_str("    \"policies\": [\n");
-    for (i, r) in reports.iter().enumerate() {
+    for (i, row) in rows.iter().enumerate() {
+        let r = &row.report;
         let _ = write!(
             section,
             "      {{\"policy\": \"{}\", \"energy_kwh\": {:.3}, \"normalized_power\": {:.4}, \"max_violation_percent\": {:.3}, \"migrations\": {}, \"online_admissions\": {}}}",
@@ -432,7 +318,7 @@ fn main() {
             r.total_migrations(),
             r.online_admissions,
         );
-        section.push_str(if i + 1 < reports.len() { ",\n" } else { "\n" });
+        section.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
     }
     section.push_str("    ],\n");
     let _ = writeln!(section, "    \"adaptive\": {{");
@@ -446,23 +332,20 @@ fn main() {
     let _ = writeln!(section, "      \"adaptive_slack_max\": {slack_max},");
     let _ = writeln!(section, "      \"departed_leases\": {departed_in_run},");
     section.push_str("      \"triggers\": [\n");
-    for (i, (s, r)) in adaptive_schedules.iter().zip(&adaptive).enumerate() {
+    for (i, row) in adaptive.iter().enumerate() {
+        let r = &row.report;
         let _ = write!(
             section,
             "        {{\"trigger\": \"{}\", \"energy_kwh\": {:.3}, \"normalized_power\": {:.4}, \"max_violation_percent\": {:.3}, \"migrations\": {}, \"offcycle_repacks\": {}}}",
-            s.name,
+            row.schedule,
             r.energy.kilowatt_hours(),
             r.energy.normalized_to(&periodic_energy).expect("nonzero"),
             r.max_violation_percent,
             r.total_migrations(),
             r.offcycle_repacks,
         );
-        section.push_str(if i + 1 < adaptive_schedules.len() {
-            ",\n"
-        } else {
-            "\n"
-        });
+        section.push_str(if i + 1 < adaptive.len() { ",\n" } else { "\n" });
     }
     section.push_str("      ]\n    }\n  }");
-    write_bench_json(&section);
+    artifact::splice_section("online", &section);
 }

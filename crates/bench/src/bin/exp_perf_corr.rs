@@ -21,14 +21,16 @@
 //! not data.
 //!
 //! Rewrites only its own sections of `BENCH_corr.json` (repo root when
-//! run from there): trailing sections appended by the other
-//! experiments (`"online"`, `"faults"`, `"scale"`) are preserved
-//! verbatim.
+//! run from there): every other top-level section — appended by the
+//! other experiments, or by binaries this one has never heard of — is
+//! preserved verbatim via the schema-agnostic
+//! [`artifact`] scanner.
 //!
 //! ```text
 //! cargo run --release -p cavm-bench --bin exp_perf_corr
 //! ```
 
+use cavm_bench::artifact;
 use cavm_core::alloc::{AllocationPolicy, BfdPolicy, ProposedPolicy, VmDescriptor};
 use cavm_core::corr::baseline::PairwiseCostMatrix;
 use cavm_core::corr::CostMatrix;
@@ -189,21 +191,28 @@ fn json_opt(v: Option<f64>) -> String {
     v.map_or_else(|| "null".to_string(), |x| format!("{x:.0}"))
 }
 
+/// The top-level sections this binary owns (rewrites from scratch).
+const OWN_SECTIONS: [&str; 6] = [
+    "schema",
+    "cores",
+    "note",
+    "matrix_tick",
+    "alloc",
+    "alloc_hetero",
+];
+
 fn main() {
-    const PATH: &str = "BENCH_corr.json";
     let cores = std::thread::available_parallelism()
         .map(|p| p.get())
         .unwrap_or(1);
-    let previous = std::fs::read_to_string(PATH).unwrap_or_default();
-    // Sections appended by the other experiments survive a rewrite.
-    let tail: Option<&str> = ["\n  \"online\":", "\n  \"faults\":", "\n  \"scale\":"]
-        .iter()
-        .filter_map(|key| previous.find(key))
-        .min()
-        .map(|start| {
-            let end = previous.rfind('}').expect("valid json artifact");
-            previous[start..end].trim_start_matches('\n').trim_end()
-        });
+    let previous = std::fs::read_to_string(artifact::BENCH_JSON_PATH).unwrap_or_default();
+    // Every section owned by another experiment — known to this binary
+    // or not — survives the rewrite verbatim.
+    let tail: Vec<(String, String)> = artifact::top_level_sections(&previous)
+        .unwrap_or_default()
+        .into_iter()
+        .filter(|(key, _)| !OWN_SECTIONS.contains(&key.as_str()))
+        .collect();
 
     eprintln!("measuring matrix ticks (cores: {cores}) ...");
     let matrix_rows: Vec<MatrixRow> = MATRIX_SIZES
@@ -305,16 +314,16 @@ fn main() {
         }
     }
     out.push_str("  ]");
-    if let Some(tail) = tail {
-        out.push_str(",\n");
-        out.push_str(tail);
+    for (key, value) in &tail {
+        let _ = write!(out, ",\n  \"{key}\": {value}");
     }
     out.push_str("\n}\n");
 
-    std::fs::write(PATH, &out).expect("write BENCH_corr.json");
+    std::fs::write(artifact::BENCH_JSON_PATH, &out).expect("write BENCH_corr.json");
     println!("{out}");
     eprintln!(
-        "wrote {PATH} (trailing sections preserved: {})",
-        tail.is_some()
+        "wrote {} (trailing sections preserved: {})",
+        artifact::BENCH_JSON_PATH,
+        tail.len()
     );
 }

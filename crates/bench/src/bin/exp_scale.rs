@@ -276,29 +276,6 @@ fn run_day(vms: usize, cells: usize, servers: usize, hours: usize, seed: u64) ->
     }
 }
 
-/// Splices the `scale` section into `BENCH_corr.json`, preserving
-/// everything before it (`scale` is kept as the last section).
-fn write_bench_json(section: &str) {
-    const PATH: &str = "BENCH_corr.json";
-    let body = match std::fs::read_to_string(PATH) {
-        Ok(existing) => {
-            let head = match existing.find(",\n  \"scale\":") {
-                Some(idx) => existing[..idx].to_string(),
-                None => {
-                    let idx = existing.rfind('}').expect("valid json artifact");
-                    existing[..idx].trim_end().to_string()
-                }
-            };
-            format!("{head},\n  \"scale\": {section}\n}}\n")
-        }
-        Err(_) => {
-            format!("{{\n  \"schema\": \"cavm-bench-corr/1\",\n  \"scale\": {section}\n}}\n")
-        }
-    };
-    std::fs::write(PATH, body).expect("write BENCH_corr.json");
-    eprintln!("updated {PATH} (scale section)");
-}
-
 fn main() {
     let tick_n = env_usize("CAVM_SCALE_TICK_N", 4096);
     let tick_cells = env_usize("CAVM_SCALE_TICK_CELLS", 16);
@@ -366,5 +343,5 @@ fn main() {
         day.dense_pair_work,
     );
     section.push_str("  }");
-    write_bench_json(&section);
+    cavm_bench::artifact::splice_section("scale", &section);
 }

@@ -10,6 +10,9 @@ use cavm_core::dvfs::DvfsMode;
 use cavm_sim::{Policy, ScenarioBuilder, SimReport};
 use cavm_workload::datacenter::{DatacenterTraceBuilder, VmFleet};
 
+pub mod artifact;
+pub mod sweep;
+
 /// Seed used by all Setup-2 experiments (reports are deterministic).
 pub const SETUP2_SEED: u64 = 2013;
 

@@ -190,6 +190,57 @@ pub struct ScenarioBuilder {
 }
 
 impl ScenarioBuilder {
+    /// Starts a builder around a streaming [`TraceDataset`] — real
+    /// CSV readers and synthetic generators alike.
+    ///
+    /// Drains the dataset through
+    /// [`cavm_workload::dataset::assemble`] into a fleet plus a
+    /// trace-driven lifecycle, and returns a builder pre-seeded with
+    /// both; every other knob (`servers`, `policy`, triggers, faults,
+    /// …) composes as usual.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Workload`] when ingestion fails (malformed
+    /// CSV, NaN/negative demand, backwards arrival clocks, …).
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use cavm_sim::{Policy, ScenarioBuilder};
+    /// use cavm_workload::dataset::{DemandModel, SyntheticApp, SyntheticTraceBuilder};
+    /// use cavm_workload::{ArrivalProcess, LifetimeModel};
+    ///
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// let mut dataset = SyntheticTraceBuilder::new(1440)
+    ///     .seed(42)
+    ///     .app(SyntheticApp {
+    ///         name: "web".into(),
+    ///         vm_count: 8,
+    ///         arrivals: ArrivalProcess::Poisson { mean_gap_samples: 60.0 },
+    ///         lifetimes: LifetimeModel::Uniform { min_samples: 360, max_samples: 1080 },
+    ///         demand: DemandModel::Uniform { lo: 0.5, hi: 2.0 },
+    ///     })
+    ///     .build()?;
+    /// let report = ScenarioBuilder::dataset(&mut dataset)?
+    ///     .servers(8)
+    ///     .policy(Policy::Proposed(Default::default()))
+    ///     .build()?
+    ///     .run()?;
+    /// assert!(report.energy.joules() > 0.0);
+    /// # Ok(())
+    /// # }
+    /// ```
+    ///
+    /// [`TraceDataset`]: cavm_workload::dataset::TraceDataset
+    pub fn dataset<D>(dataset: &mut D) -> Result<Self, SimError>
+    where
+        D: cavm_workload::dataset::TraceDataset + ?Sized,
+    {
+        let (fleet, lifecycle) = cavm_workload::dataset::assemble(dataset)?;
+        Ok(Self::new(fleet).lifecycle(lifecycle))
+    }
+
     /// Starts a builder around a trace fleet.
     pub fn new(fleet: VmFleet) -> Self {
         Self {

@@ -1,6 +1,7 @@
 use cavm_core::CoreError;
 use cavm_power::PowerError;
 use cavm_trace::TraceError;
+use cavm_workload::WorkloadError;
 use std::fmt;
 
 /// Errors produced by the datacenter simulator.
@@ -12,6 +13,9 @@ pub enum SimError {
     Power(PowerError),
     /// An underlying correlation/allocation operation failed.
     Core(CoreError),
+    /// Workload/dataset ingestion failed
+    /// ([`ScenarioBuilder::dataset`](crate::ScenarioBuilder::dataset)).
+    Workload(WorkloadError),
     /// A scenario parameter was out of range.
     InvalidParameter(&'static str),
     /// A placement needed more servers than the scenario's fleet
@@ -84,6 +88,7 @@ impl fmt::Display for SimError {
             SimError::Trace(e) => write!(f, "trace error: {e}"),
             SimError::Power(e) => write!(f, "power error: {e}"),
             SimError::Core(e) => write!(f, "core error: {e}"),
+            SimError::Workload(e) => write!(f, "workload error: {e}"),
             SimError::InvalidParameter(what) => write!(f, "invalid parameter: {what}"),
             SimError::InsufficientServers { needed, available } => {
                 write!(
@@ -134,6 +139,7 @@ impl std::error::Error for SimError {
             SimError::Trace(e) => Some(e),
             SimError::Power(e) => Some(e),
             SimError::Core(e) => Some(e),
+            SimError::Workload(e) => Some(e),
             _ => None,
         }
     }
@@ -157,6 +163,12 @@ impl From<CoreError> for SimError {
     }
 }
 
+impl From<WorkloadError> for SimError {
+    fn from(e: WorkloadError) -> Self {
+        SimError::Workload(e)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -172,6 +184,9 @@ mod tests {
         assert!(SimError::from(CoreError::InvalidParameter("x"))
             .to_string()
             .contains("core"));
+        let w = SimError::from(WorkloadError::InvalidParameter("x"));
+        assert!(w.to_string().contains("workload"));
+        assert!(std::error::Error::source(&w).is_some());
         let e = SimError::InsufficientServers {
             needed: 30,
             available: 20,

@@ -82,8 +82,9 @@ pub enum DailyArchetype {
 
 impl DailyArchetype {
     /// Mean utilization (cores) of this archetype at `hour ∈ [0, 24)`,
-    /// with bursts materialized at `burst_hours`.
-    fn mean_at(&self, hour: f64, burst_hours: &[f64]) -> f64 {
+    /// with bursts materialized at `burst_hours`. Shared with the
+    /// `dataset::SyntheticTrace` demand models.
+    pub(crate) fn mean_at(&self, hour: f64, burst_hours: &[f64]) -> f64 {
         match *self {
             DailyArchetype::Diurnal {
                 base,
@@ -125,7 +126,7 @@ impl DailyArchetype {
     }
 
     /// Validates the archetype's numeric ranges.
-    fn validate(&self) -> crate::Result<()> {
+    pub(crate) fn validate(&self) -> crate::Result<()> {
         let ok = match *self {
             DailyArchetype::Diurnal {
                 base,
@@ -185,6 +186,31 @@ pub struct VmFleet {
 }
 
 impl VmFleet {
+    /// Builds a fleet directly from per-VM traces (the
+    /// [`dataset`](crate::dataset) ingestion path; synthetic fleets
+    /// come from [`DatacenterTraceBuilder`]).
+    ///
+    /// Ids are reassigned to positional order — the replay engine
+    /// indexes fleets positionally — and every trace must share one
+    /// fine sampling grid. The group count is inferred from the
+    /// largest group index present.
+    pub fn from_traces(mut vms: Vec<VmTrace>) -> crate::Result<VmFleet> {
+        let first = vms.first().ok_or(WorkloadError::InvalidParameter(
+            "fleet needs at least one VM",
+        ))?;
+        let (len, dt) = (first.fine.len(), first.fine.dt());
+        if vms.iter().any(|v| v.fine.len() != len || v.fine.dt() != dt) {
+            return Err(WorkloadError::InvalidParameter(
+                "all fleet traces must share one fine sampling grid",
+            ));
+        }
+        let groups = vms.iter().map(|v| v.group + 1).max().unwrap_or(1);
+        for (id, vm) in vms.iter_mut().enumerate() {
+            vm.id = id;
+        }
+        Ok(VmFleet { vms, groups })
+    }
+
     /// The VMs, in id order.
     pub fn vms(&self) -> &[VmTrace] {
         &self.vms

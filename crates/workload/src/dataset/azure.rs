@@ -1,0 +1,393 @@
+//! Readings-style trace CSV, in the shape of the Azure public VM
+//! traces: one row per VM per sampling interval.
+//!
+//! Schema (header-mapped, extra columns such as `min_cpu`/`max_cpu`
+//! are tolerated and ignored):
+//!
+//! ```csv
+//! timestamp,vm_id,avg_cpu
+//! 0,web-0,1.5
+//! 300,web-0,2.25
+//! 300,web-1,0.75
+//! ```
+//!
+//! * `timestamp` — seconds since trace start, aligned to the sample
+//!   grid (`timestamp = sample * dt`).
+//! * `vm_id` — opaque VM identifier; all of a VM's rows must be
+//!   contiguous in the file (the Azure per-VM readings dumps have this
+//!   shape), which is what lets the reader stream one VM's window at a
+//!   time instead of loading the file whole.
+//! * `avg_cpu` — CPU demand in cores for that interval.
+//!
+//! A VM's first reading is its arrival, its last reading its
+//! departure; a VM whose readings run to the final sample holds an
+//! unbounded lease. VM groups must appear in non-decreasing arrival
+//! order (guaranteed by [`write_azure_csv`], enforced by
+//! [`assemble`](super::assemble)).
+
+use super::csv::CsvReader;
+use super::{TraceDataset, TraceRecord};
+use crate::lifecycle::Lifecycle;
+use crate::{VmFleet, WorkloadError};
+use std::collections::HashSet;
+use std::fmt::Write as _;
+use std::fs::File;
+use std::io::{BufRead, BufReader};
+use std::path::Path;
+
+/// Streaming reader for readings-style (Azure-format) trace CSV.
+#[derive(Debug)]
+pub struct AzureTraceReader<R> {
+    csv: CsvReader<R>,
+    sample_dt_s: f64,
+    horizon_samples: usize,
+    col_timestamp: usize,
+    col_vm: usize,
+    col_cpu: usize,
+    /// First row of the next VM group, already consumed from the CSV.
+    pending: Option<Reading>,
+    /// VM ids whose groups have already been emitted.
+    seen: HashSet<String>,
+    done: bool,
+}
+
+#[derive(Debug)]
+struct Reading {
+    vm: String,
+    sample: usize,
+    cpu: f64,
+}
+
+impl AzureTraceReader<BufReader<File>> {
+    /// Opens `path` and maps its header.
+    pub fn open<P: AsRef<Path>>(
+        path: P,
+        sample_dt_s: f64,
+        horizon_samples: usize,
+    ) -> crate::Result<Self> {
+        Self::with_csv(CsvReader::open(path)?, sample_dt_s, horizon_samples)
+    }
+}
+
+impl<R: BufRead> AzureTraceReader<R> {
+    /// Wraps an already-open reader and maps its header.
+    pub fn new(input: R, sample_dt_s: f64, horizon_samples: usize) -> crate::Result<Self> {
+        Self::with_csv(CsvReader::new(input)?, sample_dt_s, horizon_samples)
+    }
+
+    fn with_csv(
+        csv: CsvReader<R>,
+        sample_dt_s: f64,
+        horizon_samples: usize,
+    ) -> crate::Result<Self> {
+        if !(sample_dt_s.is_finite() && sample_dt_s > 0.0) {
+            return Err(WorkloadError::InvalidParameter(
+                "sample interval must be positive and finite",
+            ));
+        }
+        let col_timestamp = csv.require_column("timestamp")?;
+        let col_vm = csv.require_column("vm_id")?;
+        let col_cpu = csv.require_column("avg_cpu")?;
+        Ok(AzureTraceReader {
+            csv,
+            sample_dt_s,
+            horizon_samples,
+            col_timestamp,
+            col_vm,
+            col_cpu,
+            pending: None,
+            seen: HashSet::new(),
+            done: false,
+        })
+    }
+
+    /// Parses the next data row into a grid-aligned reading.
+    fn next_reading(&mut self) -> Option<crate::Result<Reading>> {
+        let row = match self.csv.next_row()? {
+            Ok(row) => row,
+            Err(e) => return Some(Err(e)),
+        };
+        let timestamp = match row.parse_f64(self.col_timestamp, "timestamp") {
+            Ok(t) => t,
+            Err(e) => return Some(Err(e)),
+        };
+        let sample = timestamp / self.sample_dt_s;
+        let rounded = sample.round();
+        if !(timestamp.is_finite() && timestamp >= 0.0)
+            || rounded * self.sample_dt_s != timestamp
+            || rounded as usize >= self.horizon_samples
+        {
+            return Some(Err(WorkloadError::BadField {
+                line: row.line(),
+                column: "timestamp",
+                value: row.field(self.col_timestamp).to_owned(),
+            }));
+        }
+        let cpu = match row.parse_f64(self.col_cpu, "avg_cpu") {
+            Ok(c) => c,
+            Err(e) => return Some(Err(e)),
+        };
+        Some(Ok(Reading {
+            vm: row.field(self.col_vm).to_owned(),
+            sample: rounded as usize,
+            cpu,
+        }))
+    }
+}
+
+impl<R: BufRead> TraceDataset for AzureTraceReader<R> {
+    fn sample_dt_s(&self) -> f64 {
+        self.sample_dt_s
+    }
+
+    fn horizon_samples(&self) -> usize {
+        self.horizon_samples
+    }
+
+    fn next_record(&mut self) -> Option<crate::Result<TraceRecord>> {
+        if self.done {
+            return None;
+        }
+        // Start the group from the pending row (peeked while closing
+        // the previous group) or the next row in the file.
+        let first = match self.pending.take() {
+            Some(r) => r,
+            None => match self.next_reading()? {
+                Ok(r) => r,
+                Err(e) => {
+                    self.done = true;
+                    return Some(Err(e));
+                }
+            },
+        };
+        if !self.seen.insert(first.vm.clone()) {
+            self.done = true;
+            return Some(Err(WorkloadError::InvalidParameter(
+                "vm readings must be contiguous (vm_id reappears later in the file)",
+            )));
+        }
+        let arrival = first.sample;
+        let mut demand = vec![first.cpu];
+        let mut last = first.sample;
+        loop {
+            match self.next_reading() {
+                None => {
+                    self.done = true;
+                    break;
+                }
+                Some(Err(e)) => {
+                    self.done = true;
+                    return Some(Err(e));
+                }
+                Some(Ok(r)) if r.vm == first.vm => {
+                    if r.sample <= last {
+                        self.done = true;
+                        return Some(Err(WorkloadError::NonMonotoneClock {
+                            sample: r.sample,
+                            previous: last,
+                        }));
+                    }
+                    if r.sample != last + 1 {
+                        self.done = true;
+                        return Some(Err(WorkloadError::InvalidParameter(
+                            "vm readings must be contiguous (gap in timestamp run)",
+                        )));
+                    }
+                    last = r.sample;
+                    demand.push(r.cpu);
+                }
+                Some(Ok(r)) => {
+                    self.pending = Some(r);
+                    break;
+                }
+            }
+        }
+        let lease = if last + 1 == self.horizon_samples {
+            None
+        } else {
+            Some(last + 1 - arrival)
+        };
+        Some(Ok(TraceRecord {
+            name: first.vm,
+            group: 0,
+            arrival_sample: arrival,
+            lease_samples: lease,
+            demand,
+        }))
+    }
+}
+
+/// Serializes a fleet + lifecycle to readings-style (Azure-format)
+/// CSV, the exact inverse of [`AzureTraceReader`].
+///
+/// One row is written per live sample per scheduled VM, VM groups in
+/// lifecycle entry order (non-decreasing arrival), timestamps as
+/// `sample * dt`. `f64` values are written with Rust's shortest
+/// round-trip `Display`, so a write → read cycle reproduces every
+/// demand sample bit-identically.
+pub fn write_azure_csv(fleet: &VmFleet, lifecycle: &Lifecycle) -> crate::Result<String> {
+    let horizon = lifecycle.horizon_samples();
+    let mut out = String::from("timestamp,vm_id,avg_cpu\n");
+    for entry in lifecycle.entries() {
+        let vm = fleet
+            .vms()
+            .get(entry.id)
+            .ok_or(WorkloadError::InvalidParameter(
+                "lifecycle entry id outside the fleet",
+            ))?;
+        if vm.fine.len() < horizon {
+            return Err(WorkloadError::InvalidParameter(
+                "fleet trace shorter than the lifecycle horizon",
+            ));
+        }
+        let dt = vm.fine.dt();
+        let end = entry.departure_sample.unwrap_or(horizon).min(horizon);
+        for sample in entry.arrival_sample..end {
+            let ts = sample as f64 * dt;
+            let cpu = vm.fine.values()[sample];
+            // Errors are impossible when writing to a String.
+            let _ = writeln!(out, "{ts},{},{cpu}", vm.name);
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::assemble;
+    use super::*;
+    use std::io::Cursor;
+
+    fn reader(text: &str, dt: f64, horizon: usize) -> AzureTraceReader<Cursor<Vec<u8>>> {
+        AzureTraceReader::new(Cursor::new(text.as_bytes().to_vec()), dt, horizon).expect("header")
+    }
+
+    #[test]
+    fn streams_vm_groups_into_records() {
+        let csv = "timestamp,vm_id,avg_cpu\n\
+                   0,a,1\n300,a,2\n\
+                   300,b,0.5\n600,b,0.25\n900,b,0.125\n";
+        let mut r = reader(csv, 300.0, 4);
+        let a = r.next_record().unwrap().unwrap();
+        assert_eq!(a.name, "a");
+        assert_eq!(a.arrival_sample, 0);
+        assert_eq!(a.lease_samples, Some(2));
+        assert_eq!(a.demand, vec![1.0, 2.0]);
+        let b = r.next_record().unwrap().unwrap();
+        assert_eq!(b.arrival_sample, 1);
+        // b's readings run to the final sample: unbounded lease.
+        assert_eq!(b.lease_samples, None);
+        assert_eq!(b.demand, vec![0.5, 0.25, 0.125]);
+        assert!(r.next_record().is_none());
+    }
+
+    #[test]
+    fn extra_columns_are_tolerated() {
+        let csv = "vm_id,timestamp,min_cpu,avg_cpu,max_cpu\na,0,0,1.5,9\n";
+        let mut r = reader(csv, 300.0, 2);
+        let rec = r.next_record().unwrap().unwrap();
+        assert_eq!(rec.demand, vec![1.5]);
+    }
+
+    #[test]
+    fn missing_required_column_is_a_typed_error() {
+        let err = AzureTraceReader::new(Cursor::new(b"timestamp,vm_id,cpu\n".to_vec()), 300.0, 4)
+            .unwrap_err();
+        assert_eq!(err, WorkloadError::MissingColumn { column: "avg_cpu" });
+    }
+
+    #[test]
+    fn off_grid_timestamp_is_a_typed_error() {
+        let mut r = reader("timestamp,vm_id,avg_cpu\n150,a,1\n", 300.0, 4);
+        assert_eq!(
+            r.next_record().unwrap().unwrap_err(),
+            WorkloadError::BadField {
+                line: 2,
+                column: "timestamp",
+                value: "150".into()
+            }
+        );
+    }
+
+    #[test]
+    fn timestamp_past_horizon_is_a_typed_error() {
+        let mut r = reader("timestamp,vm_id,avg_cpu\n1200,a,1\n", 300.0, 4);
+        assert!(matches!(
+            r.next_record().unwrap().unwrap_err(),
+            WorkloadError::BadField {
+                line: 2,
+                column: "timestamp",
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn backwards_clock_within_a_vm_is_a_typed_error() {
+        let mut r = reader("timestamp,vm_id,avg_cpu\n600,a,1\n300,a,1\n", 300.0, 4);
+        assert_eq!(
+            r.next_record().unwrap().unwrap_err(),
+            WorkloadError::NonMonotoneClock {
+                sample: 1,
+                previous: 2
+            }
+        );
+    }
+
+    #[test]
+    fn gap_within_a_vm_is_a_typed_error() {
+        let mut r = reader("timestamp,vm_id,avg_cpu\n0,a,1\n600,a,1\n", 300.0, 4);
+        assert!(r.next_record().unwrap().is_err());
+    }
+
+    #[test]
+    fn split_vm_group_is_a_typed_error() {
+        let csv = "timestamp,vm_id,avg_cpu\n0,a,1\n300,b,1\n600,a,1\n";
+        let mut r = reader(csv, 300.0, 4);
+        r.next_record().unwrap().unwrap();
+        r.next_record().unwrap().unwrap();
+        assert!(r.next_record().unwrap().is_err());
+    }
+
+    #[test]
+    fn write_then_read_round_trips_exactly() {
+        use crate::lifecycle::{ArrivalProcess, LifecycleBuilder, LifetimeModel};
+        let fleet = crate::DatacenterTraceBuilder::new(5)
+            .groups(2)
+            .seed(11)
+            .duration_hours(1.0)
+            .build()
+            .unwrap();
+        let horizon = fleet.vms()[0].fine.len();
+        let lifecycle = LifecycleBuilder::new(5, horizon)
+            .seed(11)
+            .arrivals(ArrivalProcess::Poisson {
+                mean_gap_samples: 60.0,
+            })
+            .lifetimes(LifetimeModel::Uniform {
+                min_samples: 120,
+                max_samples: 480,
+            })
+            .build()
+            .unwrap();
+        let csv = write_azure_csv(&fleet, &lifecycle).unwrap();
+        let dt = fleet.vms()[0].fine.dt();
+        let mut r = AzureTraceReader::new(Cursor::new(csv.into_bytes()), dt, horizon).unwrap();
+        let (fleet2, lifecycle2) = assemble(&mut r).unwrap();
+        assert_eq!(lifecycle2.entries(), lifecycle.entries());
+        for (entry, vm2) in lifecycle.entries().iter().zip(fleet2.vms()) {
+            let original = &fleet.vms()[entry.id];
+            assert_eq!(vm2.name, original.name);
+            let end = entry.departure_sample.unwrap_or(horizon);
+            // In-window demand is bit-identical; outside is zero.
+            assert_eq!(
+                &vm2.fine.values()[entry.arrival_sample..end],
+                &original.fine.values()[entry.arrival_sample..end]
+            );
+            assert!(vm2.fine.values()[..entry.arrival_sample]
+                .iter()
+                .chain(&vm2.fine.values()[end..])
+                .all(|&v| v == 0.0));
+        }
+    }
+}

@@ -1,0 +1,364 @@
+//! Request-log-style trace CSV, in the shape of the Huawei cloud VM
+//! request datasets: one `create` / `delete` event row per VM.
+//!
+//! Schema (header-mapped, extra columns tolerated and ignored):
+//!
+//! ```csv
+//! time,vm_id,cpu,mem,kind
+//! 0,req-0,2,4096,create
+//! 600,req-1,0.5,1024,create
+//! 1800,req-0,2,4096,delete
+//! ```
+//!
+//! * `time` — seconds since trace start, aligned to the sample grid,
+//!   non-decreasing over the file (request logs are time-ordered; a
+//!   backwards clock is a typed error).
+//! * `vm_id` — opaque VM identifier; exactly one `create`, at most
+//!   one later `delete`.
+//! * `cpu` — requested cores, held flat over the VM's whole lease
+//!   (request logs carry sizing, not utilization).
+//! * `mem` — requested memory; parsed for schema fidelity but unused
+//!   (the simulator's demand model is scalar CPU, see ARCHITECTURE).
+//! * `kind` — `create` or `delete`.
+//!
+//! A VM with no `delete` row holds an unbounded lease. Unlike the
+//! readings format, a request log is two rows per VM, so the reader
+//! ingests the whole (tiny) event stream up front, then emits records
+//! sorted by arrival — memory is O(#VMs), never O(file samples).
+
+use super::csv::CsvReader;
+use super::{TraceDataset, TraceRecord};
+use crate::WorkloadError;
+use std::collections::HashMap;
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+use std::fs::File;
+use std::io::{BufRead, BufReader};
+use std::path::Path;
+
+/// Streaming reader for request-log-style (Huawei-format) trace CSV.
+#[derive(Debug)]
+pub struct HuaweiTraceReader<R> {
+    csv: Option<CsvReader<R>>,
+    sample_dt_s: f64,
+    horizon_samples: usize,
+    col_time: usize,
+    col_vm: usize,
+    col_cpu: usize,
+    col_mem: usize,
+    col_kind: usize,
+    /// Records in arrival order, materialized on first pull.
+    ready: VecDeque<crate::Result<TraceRecord>>,
+}
+
+impl HuaweiTraceReader<BufReader<File>> {
+    /// Opens `path` and maps its header.
+    pub fn open<P: AsRef<Path>>(
+        path: P,
+        sample_dt_s: f64,
+        horizon_samples: usize,
+    ) -> crate::Result<Self> {
+        Self::with_csv(CsvReader::open(path)?, sample_dt_s, horizon_samples)
+    }
+}
+
+impl<R: BufRead> HuaweiTraceReader<R> {
+    /// Wraps an already-open reader and maps its header.
+    pub fn new(input: R, sample_dt_s: f64, horizon_samples: usize) -> crate::Result<Self> {
+        Self::with_csv(CsvReader::new(input)?, sample_dt_s, horizon_samples)
+    }
+
+    fn with_csv(
+        csv: CsvReader<R>,
+        sample_dt_s: f64,
+        horizon_samples: usize,
+    ) -> crate::Result<Self> {
+        if !(sample_dt_s.is_finite() && sample_dt_s > 0.0) {
+            return Err(WorkloadError::InvalidParameter(
+                "sample interval must be positive and finite",
+            ));
+        }
+        let col_time = csv.require_column("time")?;
+        let col_vm = csv.require_column("vm_id")?;
+        let col_cpu = csv.require_column("cpu")?;
+        let col_mem = csv.require_column("mem")?;
+        let col_kind = csv.require_column("kind")?;
+        Ok(HuaweiTraceReader {
+            csv: Some(csv),
+            sample_dt_s,
+            horizon_samples,
+            col_time,
+            col_vm,
+            col_cpu,
+            col_mem,
+            col_kind,
+            ready: VecDeque::new(),
+        })
+    }
+
+    /// Reads the whole event log and sorts the resulting records by
+    /// arrival. Called once, on the first [`next_record`] pull.
+    ///
+    /// [`next_record`]: TraceDataset::next_record
+    fn ingest(&mut self, mut csv: CsvReader<R>) -> crate::Result<Vec<TraceRecord>> {
+        // vm -> (insertion order, arrival sample, cores, departed?).
+        let mut open: HashMap<String, (usize, usize, f64, Option<usize>)> = HashMap::new();
+        let mut order = 0usize;
+        let mut previous = 0usize;
+        while let Some(row) = csv.next_row() {
+            let row = row?;
+            let time = row.parse_f64(self.col_time, "time")?;
+            let sample = time / self.sample_dt_s;
+            let rounded = sample.round();
+            if !(time.is_finite() && time >= 0.0)
+                || rounded * self.sample_dt_s != time
+                || rounded as usize > self.horizon_samples
+            {
+                return Err(WorkloadError::BadField {
+                    line: row.line(),
+                    column: "time",
+                    value: row.field(self.col_time).to_owned(),
+                });
+            }
+            let sample = rounded as usize;
+            if sample < previous {
+                return Err(WorkloadError::NonMonotoneClock { sample, previous });
+            }
+            previous = sample;
+            let cpu = row.parse_f64(self.col_cpu, "cpu")?;
+            // Memory is schema-checked but unused: scalar-CPU demand.
+            row.parse_f64(self.col_mem, "mem")?;
+            let vm = row.field(self.col_vm);
+            match row.field(self.col_kind) {
+                "create" => {
+                    if sample >= self.horizon_samples {
+                        return Err(WorkloadError::BadField {
+                            line: row.line(),
+                            column: "time",
+                            value: row.field(self.col_time).to_owned(),
+                        });
+                    }
+                    if open
+                        .insert(vm.to_owned(), (order, sample, cpu, None))
+                        .is_some()
+                    {
+                        return Err(WorkloadError::InvalidParameter(
+                            "duplicate create event for a vm_id",
+                        ));
+                    }
+                    order += 1;
+                }
+                "delete" => match open.get_mut(vm) {
+                    Some((_, arrival, _, departed @ None)) if sample > *arrival => {
+                        *departed = Some(sample);
+                    }
+                    _ => {
+                        return Err(WorkloadError::InvalidParameter(
+                            "delete event without a live matching create",
+                        ))
+                    }
+                },
+                _ => {
+                    return Err(WorkloadError::BadField {
+                        line: row.line(),
+                        column: "kind",
+                        value: row.field(self.col_kind).to_owned(),
+                    })
+                }
+            }
+        }
+
+        let mut vms: Vec<(usize, String, usize, f64, Option<usize>)> = open
+            .into_iter()
+            .map(|(name, (order, arrival, cpu, departed))| (order, name, arrival, cpu, departed))
+            .collect();
+        // Arrival order, creation order breaking ties — this is the id
+        // order assemble() will assign.
+        vms.sort_by_key(|&(order, _, arrival, _, _)| (arrival, order));
+        Ok(vms
+            .into_iter()
+            .map(|(_, name, arrival, cpu, departed)| {
+                let end = departed.unwrap_or(self.horizon_samples);
+                let lease = match departed {
+                    Some(d) if d < self.horizon_samples => Some(d - arrival),
+                    _ => None,
+                };
+                TraceRecord {
+                    name,
+                    group: 0,
+                    arrival_sample: arrival,
+                    lease_samples: lease,
+                    demand: vec![cpu; end - arrival],
+                }
+            })
+            .collect())
+    }
+}
+
+impl<R: BufRead> TraceDataset for HuaweiTraceReader<R> {
+    fn sample_dt_s(&self) -> f64 {
+        self.sample_dt_s
+    }
+
+    fn horizon_samples(&self) -> usize {
+        self.horizon_samples
+    }
+
+    fn next_record(&mut self) -> Option<crate::Result<TraceRecord>> {
+        if let Some(csv) = self.csv.take() {
+            match self.ingest(csv) {
+                Ok(records) => self.ready = records.into_iter().map(Ok).collect(),
+                Err(e) => return Some(Err(e)),
+            }
+        }
+        self.ready.pop_front()
+    }
+}
+
+/// Serializes trace records to request-log-style (Huawei-format) CSV,
+/// the inverse of [`HuaweiTraceReader`].
+///
+/// Each record contributes a `create` row at its arrival (cpu = the
+/// record's mean demand, held flat; the format carries request sizing,
+/// not a utilization series) and, for bounded leases, a `delete` row
+/// at departure. Rows are time-sorted.
+pub fn write_huawei_csv(records: &[TraceRecord], sample_dt_s: f64) -> crate::Result<String> {
+    if !(sample_dt_s.is_finite() && sample_dt_s > 0.0) {
+        return Err(WorkloadError::InvalidParameter(
+            "sample interval must be positive and finite",
+        ));
+    }
+    // (sample, kind: create=0 delete=1, record index)
+    let mut events: Vec<(usize, u8, usize)> = Vec::new();
+    for (i, record) in records.iter().enumerate() {
+        if record.demand.is_empty() {
+            return Err(WorkloadError::InvalidParameter(
+                "record has an empty demand window",
+            ));
+        }
+        events.push((record.arrival_sample, 0, i));
+        if let Some(lease) = record.lease_samples {
+            events.push((record.arrival_sample + lease, 1, i));
+        }
+    }
+    events.sort_unstable();
+    let mut out = String::from("time,vm_id,cpu,mem,kind\n");
+    for (sample, kind, i) in events {
+        let record = &records[i];
+        let cpu = record.demand.iter().sum::<f64>() / record.demand.len() as f64;
+        let time = sample as f64 * sample_dt_s;
+        let kind = if kind == 0 { "create" } else { "delete" };
+        let _ = writeln!(out, "{time},{},{cpu},1024,{kind}", record.name);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::assemble;
+    use super::*;
+    use std::io::Cursor;
+
+    fn reader(text: &str, dt: f64, horizon: usize) -> HuaweiTraceReader<Cursor<Vec<u8>>> {
+        HuaweiTraceReader::new(Cursor::new(text.as_bytes().to_vec()), dt, horizon).expect("header")
+    }
+
+    #[test]
+    fn create_delete_pairs_become_flat_leases() {
+        let csv = "time,vm_id,cpu,mem,kind\n\
+                   0,a,2,4096,create\n\
+                   300,b,0.5,1024,create\n\
+                   900,a,2,4096,delete\n";
+        let mut r = reader(csv, 300.0, 6);
+        let a = r.next_record().unwrap().unwrap();
+        assert_eq!((a.arrival_sample, a.lease_samples), (0, Some(3)));
+        assert_eq!(a.demand, vec![2.0, 2.0, 2.0]);
+        let b = r.next_record().unwrap().unwrap();
+        // No delete row: b runs to the horizon.
+        assert_eq!((b.arrival_sample, b.lease_samples), (1, None));
+        assert_eq!(b.demand, vec![0.5; 5]);
+        assert!(r.next_record().is_none());
+    }
+
+    #[test]
+    fn records_emit_in_arrival_order_for_assemble() {
+        // Deletes arrive in the opposite order of creates; records
+        // must still stream by arrival so assemble() accepts them.
+        let csv = "time,vm_id,cpu,mem,kind\n\
+                   0,early,1,0,create\n\
+                   300,late,1,0,create\n\
+                   600,late,1,0,delete\n\
+                   900,early,1,0,delete\n";
+        let mut r = reader(csv, 300.0, 6);
+        let (fleet, lifecycle) = assemble(&mut r).unwrap();
+        assert_eq!(fleet.vms()[0].name, "early");
+        assert_eq!(fleet.vms()[1].name, "late");
+        assert_eq!(lifecycle.entries()[1].departure_sample, Some(2));
+    }
+
+    #[test]
+    fn delete_at_the_horizon_is_an_unbounded_lease() {
+        let csv = "time,vm_id,cpu,mem,kind\n0,a,1,0,create\n1800,a,1,0,delete\n";
+        let mut r = reader(csv, 300.0, 6);
+        let a = r.next_record().unwrap().unwrap();
+        assert_eq!(a.lease_samples, None);
+        assert_eq!(a.demand.len(), 6);
+    }
+
+    #[test]
+    fn backwards_clock_is_a_typed_error() {
+        let csv = "time,vm_id,cpu,mem,kind\n600,a,1,0,create\n300,b,1,0,create\n";
+        let mut r = reader(csv, 300.0, 6);
+        assert_eq!(
+            r.next_record().unwrap().unwrap_err(),
+            WorkloadError::NonMonotoneClock {
+                sample: 1,
+                previous: 2
+            }
+        );
+    }
+
+    #[test]
+    fn unknown_kind_missing_header_and_orphan_delete_are_typed_errors() {
+        let mut r = reader("time,vm_id,cpu,mem,kind\n0,a,1,0,resize\n", 300.0, 6);
+        assert_eq!(
+            r.next_record().unwrap().unwrap_err(),
+            WorkloadError::BadField {
+                line: 2,
+                column: "kind",
+                value: "resize".into()
+            }
+        );
+        let err = HuaweiTraceReader::new(Cursor::new(b"time,vm_id,cpu,mem\n".to_vec()), 300.0, 6)
+            .unwrap_err();
+        assert_eq!(err, WorkloadError::MissingColumn { column: "kind" });
+        let mut r = reader("time,vm_id,cpu,mem,kind\n0,a,1,0,delete\n", 300.0, 6);
+        assert!(r.next_record().unwrap().is_err());
+    }
+
+    #[test]
+    fn write_then_read_round_trips() {
+        let records = vec![
+            TraceRecord {
+                name: "x".into(),
+                group: 0,
+                arrival_sample: 0,
+                lease_samples: Some(4),
+                demand: vec![1.25; 4],
+            },
+            TraceRecord {
+                name: "y".into(),
+                group: 0,
+                arrival_sample: 2,
+                lease_samples: None,
+                demand: vec![0.75; 6],
+            },
+        ];
+        let csv = write_huawei_csv(&records, 300.0).unwrap();
+        let mut r = HuaweiTraceReader::new(Cursor::new(csv.into_bytes()), 300.0, 8).unwrap();
+        let back: Vec<_> = std::iter::from_fn(|| r.next_record())
+            .map(|r| r.unwrap())
+            .collect();
+        assert_eq!(back, records);
+    }
+}

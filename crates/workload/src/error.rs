@@ -8,6 +8,52 @@ pub enum WorkloadError {
     Trace(TraceError),
     /// A generator parameter was out of range.
     InvalidParameter(&'static str),
+    /// A dataset file's header is missing a required column.
+    MissingColumn {
+        /// Name of the column the format requires.
+        column: &'static str,
+    },
+    /// A dataset row has the wrong number of fields (truncated or
+    /// overlong relative to the header).
+    BadColumnCount {
+        /// 1-based line number in the file.
+        line: usize,
+        /// Field count the header promised.
+        expected: usize,
+        /// Field count actually present.
+        got: usize,
+    },
+    /// A dataset field failed to parse as its expected type.
+    BadField {
+        /// 1-based line number in the file.
+        line: usize,
+        /// Column the field belongs to.
+        column: &'static str,
+        /// The offending raw text.
+        value: String,
+    },
+    /// Reading a dataset file failed at the I/O layer.
+    Io {
+        /// Human-readable description (path and OS error).
+        context: String,
+    },
+    /// A trace-driven demand sample was NaN or negative.
+    InvalidDemand {
+        /// VM (record index in stream order) the sample belongs to.
+        vm: usize,
+        /// Offset of the sample within the VM's live window.
+        sample: usize,
+        /// The offending value.
+        value: f64,
+    },
+    /// Trace records arrived with a backwards clock: arrivals must be
+    /// non-decreasing in stream order.
+    NonMonotoneClock {
+        /// Arrival sample of the offending record.
+        sample: usize,
+        /// Arrival sample of the record before it.
+        previous: usize,
+    },
 }
 
 impl fmt::Display for WorkloadError {
@@ -15,6 +61,31 @@ impl fmt::Display for WorkloadError {
         match self {
             WorkloadError::Trace(e) => write!(f, "trace error: {e}"),
             WorkloadError::InvalidParameter(what) => write!(f, "invalid parameter: {what}"),
+            WorkloadError::MissingColumn { column } => {
+                write!(f, "dataset header is missing required column `{column}`")
+            }
+            WorkloadError::BadColumnCount {
+                line,
+                expected,
+                got,
+            } => write!(f, "line {line}: expected {expected} fields, got {got}"),
+            WorkloadError::BadField {
+                line,
+                column,
+                value,
+            } => write!(
+                f,
+                "line {line}: column `{column}` has unparseable value `{value}`"
+            ),
+            WorkloadError::Io { context } => write!(f, "dataset i/o error: {context}"),
+            WorkloadError::InvalidDemand { vm, sample, value } => write!(
+                f,
+                "vm {vm}: demand sample {sample} is {value}; demand must be finite and >= 0"
+            ),
+            WorkloadError::NonMonotoneClock { sample, previous } => write!(
+                f,
+                "arrival clock went backwards: sample {sample} after {previous}"
+            ),
         }
     }
 }
@@ -23,7 +94,7 @@ impl std::error::Error for WorkloadError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             WorkloadError::Trace(e) => Some(e),
-            WorkloadError::InvalidParameter(_) => None,
+            _ => None,
         }
     }
 }

@@ -39,6 +39,7 @@
 
 pub mod clients;
 pub mod datacenter;
+pub mod dataset;
 mod error;
 pub mod faults;
 pub mod lifecycle;
@@ -46,6 +47,10 @@ pub mod websearch;
 
 pub use clients::ClientWave;
 pub use datacenter::{DailyArchetype, DatacenterTraceBuilder, VmFleet, VmTrace};
+pub use dataset::{
+    AzureTraceReader, DemandModel, HuaweiTraceReader, SyntheticApp, SyntheticTrace,
+    SyntheticTraceBuilder, TraceDataset, TraceRecord,
+};
 pub use error::WorkloadError;
 pub use faults::{FaultEntry, FaultKind, FaultModel, FaultPlan, FaultPlanBuilder};
 pub use lifecycle::{ArrivalProcess, Lifecycle, LifecycleBuilder, LifecycleEntry, LifetimeModel};

@@ -2,9 +2,11 @@
 //! while the correlation-aware controller keeps placing them.
 //!
 //! Demonstrates the event-driven API the batch replay is built on:
-//! a `Lifecycle` schedule (Poisson arrivals, bounded leases) drives
-//! `DatacenterController` through `Scenario::run_with_sink`, and a
-//! custom `MetricSink` narrates the run live — periods as they
+//! the workload is a `SyntheticTrace` — two apps with their own
+//! arrival, lease, and demand distributions, streamed through the
+//! `TraceDataset` surface into `ScenarioBuilder::dataset` (the same
+//! entry point a real Azure/Huawei CSV reader plugs into) — and a
+//! custom `MetricSink` narrates the run live: periods as they
 //! complete, incremental (lease-aware) mid-period admissions,
 //! fragmentation-fired off-cycle re-packs under the adaptive
 //! `RepackTrigger::Hybrid` schedule with a composed `QosGuard` (and
@@ -107,28 +109,56 @@ impl MetricSink for Narrator {
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    // A synthetic day of correlated traces; only the schedule below
-    // decides who is actually running when.
-    let vms = 12;
-    let fleet = DatacenterTraceBuilder::new(vms)
-        .groups(4)
+    // Six hours of correlated demand on a 5 s grid, described as a
+    // dataset: two apps with their own arrival, lease, and demand
+    // distributions. Swapping in a real cloud trace is a one-line
+    // change — `AzureTraceReader::open(...)` implements the same
+    // `TraceDataset` trait this generator streams through.
+    let horizon = 4_320; // 6 h at 5 s/sample
+    let mut dataset = SyntheticTraceBuilder::new(horizon)
         .seed(17)
-        .duration_hours(6.0)
-        .vm_scale_range(0.35, 1.05)
+        // Interactive tier: leases arrive every ~20 minutes, hold
+        // 1.5–4 hours, and share a correlated mid-afternoon peak —
+        // exactly the structure the proposed policy anti-correlates.
+        .app(SyntheticApp {
+            name: "web".into(),
+            vm_count: 8,
+            arrivals: ArrivalProcess::Poisson {
+                mean_gap_samples: 240.0,
+            },
+            lifetimes: LifetimeModel::Uniform {
+                min_samples: 1_080,
+                max_samples: 2_880,
+            },
+            demand: DemandModel::Archetype {
+                archetype: DailyArchetype::Diurnal {
+                    base: 0.4,
+                    peak: 2.2,
+                    peak_hour: 3.0,
+                    width_h: 1.2,
+                },
+                cv: 0.2,
+            },
+        })
+        // Batch tier: shorter uncorrelated jobs that fill the troughs.
+        .app(SyntheticApp {
+            name: "batch".into(),
+            vm_count: 4,
+            arrivals: ArrivalProcess::Poisson {
+                mean_gap_samples: 300.0,
+            },
+            lifetimes: LifetimeModel::Uniform {
+                min_samples: 720,
+                max_samples: 2_160,
+            },
+            demand: DemandModel::Uniform { lo: 0.2, hi: 1.2 },
+        })
         .build()?;
-    let horizon = fleet.vms()[0].fine.len();
 
-    // Leases arrive every ~20 minutes on average and hold 1.5–4 hours.
-    let lifecycle = LifecycleBuilder::new(vms, horizon)
-        .seed(17)
-        .arrivals(ArrivalProcess::Poisson {
-            mean_gap_samples: 240.0,
-        })
-        .lifetimes(LifetimeModel::Uniform {
-            min_samples: 1080,
-            max_samples: 2880,
-        })
-        .build()?;
+    // `assemble` drains any `TraceDataset` into the engine's native
+    // workload pair: a `VmFleet` of full-horizon traces plus the
+    // `Lifecycle` that says when each lease is actually live.
+    let (fleet, lifecycle) = assemble(&mut dataset)?;
     println!(
         "schedule: {} VMs, peak concurrency {}\n",
         lifecycle.len(),

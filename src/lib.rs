@@ -106,6 +106,10 @@ pub mod prelude {
     pub use cavm_workload::{
         clients::ClientWave,
         datacenter::{DailyArchetype, DatacenterTraceBuilder, VmFleet},
+        dataset::{
+            assemble, AzureTraceReader, DemandModel, HuaweiTraceReader, SyntheticApp,
+            SyntheticTrace, SyntheticTraceBuilder, TraceDataset, TraceRecord,
+        },
         faults::{FaultEntry, FaultKind, FaultModel, FaultPlan, FaultPlanBuilder},
         lifecycle::{ArrivalProcess, Lifecycle, LifecycleBuilder, LifecycleEntry, LifetimeModel},
         websearch::WebSearchCluster,
