@@ -31,6 +31,7 @@
 //! (worst-period violation-percent ceiling asserted across the sweep,
 //! default 25).
 
+use cavm_bench::env;
 use cavm_bench::sweep::{FaultCase, Schedule, SweepGrid, WorkloadCase};
 use cavm_bench::{artifact, bar};
 use cavm_sim::{Policy, QosGuard, SimReport};
@@ -42,34 +43,6 @@ use std::fmt::Write as _;
 /// Fine samples per hour (5 s sampling).
 const SAMPLES_PER_HOUR: f64 = 720.0;
 
-fn env_usize(key: &str, default: usize) -> usize {
-    std::env::var(key)
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(default)
-}
-
-fn env_f64(key: &str, default: f64) -> f64 {
-    std::env::var(key)
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(default)
-}
-
-fn env_f64_list(key: &str, default: &[f64]) -> Vec<f64> {
-    match std::env::var(key) {
-        Err(_) => default.to_vec(),
-        Ok(v) => v
-            .split(',')
-            .map(|s| {
-                s.trim()
-                    .parse()
-                    .unwrap_or_else(|_| panic!("{key}: expected comma-separated hours, got {s:?}"))
-            })
-            .collect(),
-    }
-}
-
 /// One row of the sweep: the plan's MTBF (`None` = fault-free
 /// baseline) and the resulting report.
 struct Row {
@@ -79,15 +52,15 @@ struct Row {
 }
 
 fn main() {
-    let vms = env_usize("CAVM_FAULTS_VMS", 40);
-    let hours = env_f64("CAVM_FAULTS_HOURS", 24.0);
-    let mtbfs = env_f64_list("CAVM_FAULTS_MTBFS", &[12.0, 6.0, 3.0]);
-    let mttr_min = env_f64("CAVM_FAULTS_MTTR_MIN", 20.0);
-    let slack = env_usize("CAVM_FAULTS_SLACK", 1) as u32;
+    let vms = env::parse_or("CAVM_FAULTS_VMS", 40);
+    let hours = env::parse_or("CAVM_FAULTS_HOURS", 24.0);
+    let mtbfs = env::parse_list_or("CAVM_FAULTS_MTBFS", &[12.0, 6.0, 3.0]);
+    let mttr_min = env::parse_or("CAVM_FAULTS_MTTR_MIN", 20.0);
+    let slack = env::parse_or("CAVM_FAULTS_SLACK", 1) as u32;
     let qos_guard = QosGuard {
-        violation_ratio: env_f64("CAVM_FAULTS_QOS", 0.08),
+        violation_ratio: env::parse_or("CAVM_FAULTS_QOS", 0.08),
     };
-    let violation_bound = env_f64("CAVM_FAULTS_BOUND", 25.0);
+    let violation_bound = env::parse_or("CAVM_FAULTS_BOUND", 25.0);
     let servers = vms.max(4);
 
     let fleet = DatacenterTraceBuilder::new((vms * 3).max(vms))

@@ -16,29 +16,16 @@
 //! Environment knobs (for CI smoke runs): `CAVM_HETERO_VMS` (default
 //! 40), `CAVM_HETERO_HOURS` (default 24).
 
+use cavm_bench::env;
 use cavm_bench::{bar, PCP_AFFINITY_THRESHOLD, PCP_ENVELOPE_PERCENTILE};
 use cavm_core::dvfs::DvfsMode;
 use cavm_core::fleet::ServerFleet;
 use cavm_sim::{Policy, ScenarioBuilder, SimReport};
 use cavm_workload::datacenter::DatacenterTraceBuilder;
 
-fn env_usize(key: &str, default: usize) -> usize {
-    std::env::var(key)
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(default)
-}
-
-fn env_f64(key: &str, default: f64) -> f64 {
-    std::env::var(key)
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(default)
-}
-
 fn main() {
-    let vms = env_usize("CAVM_HETERO_VMS", 40);
-    let hours = env_f64("CAVM_HETERO_HOURS", 24.0);
+    let vms = env::parse_or("CAVM_HETERO_VMS", 40);
+    let hours = env::parse_or("CAVM_HETERO_HOURS", 24.0);
     let fleet = DatacenterTraceBuilder::new((vms * 3).max(vms))
         .groups((vms / 4).max(2))
         .seed(2013)

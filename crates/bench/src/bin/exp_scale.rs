@@ -26,6 +26,7 @@
 //! cargo run --release -p cavm-bench --bin exp_scale
 //! ```
 
+use cavm_bench::env;
 use cavm_core::cells::CellFleet;
 use cavm_core::corr::CostMatrix;
 use cavm_core::dvfs::DvfsMode;
@@ -43,20 +44,6 @@ const PERIOD_SAMPLES: usize = SAMPLES_PER_HOUR; // hourly re-pack, as in the pap
 const MEAN_LEASE_SAMPLES: f64 = 1.5 * SAMPLES_PER_HOUR as f64;
 /// Arrivals land in the first 80% of the horizon so late VMs still live.
 const ARRIVAL_WINDOW: f64 = 0.8;
-
-fn env_usize(key: &str, default: usize) -> usize {
-    std::env::var(key)
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(default)
-}
-
-fn env_u64(key: &str, default: u64) -> u64 {
-    std::env::var(key)
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(default)
-}
 
 /// Median ns of `reps` timed invocations of `f` (after one warm-up).
 fn median_ns<F: FnMut()>(reps: usize, mut f: F) -> f64 {
@@ -194,6 +181,7 @@ fn run_day(vms: usize, cells: usize, servers: usize, hours: usize, seed: u64) ->
             repack_trigger: Default::default(),
             qos_guard: None,
             adaptive_slack_max: None,
+            overcommit: None,
             dvfs_mode: DvfsMode::Static,
             period_samples: PERIOD_SAMPLES,
             reference: Reference::Peak,
@@ -277,13 +265,13 @@ fn run_day(vms: usize, cells: usize, servers: usize, hours: usize, seed: u64) ->
 }
 
 fn main() {
-    let tick_n = env_usize("CAVM_SCALE_TICK_N", 4096);
-    let tick_cells = env_usize("CAVM_SCALE_TICK_CELLS", 16);
-    let vms = env_usize("CAVM_SCALE_VMS", 100_000);
-    let cells = env_usize("CAVM_SCALE_CELLS", 256);
-    let servers = env_usize("CAVM_SCALE_SERVERS", 1536);
-    let hours = env_usize("CAVM_SCALE_HOURS", 24);
-    let seed = env_u64("CAVM_SCALE_SEED", 2013);
+    let tick_n = env::parse_or("CAVM_SCALE_TICK_N", 4096);
+    let tick_cells = env::parse_or("CAVM_SCALE_TICK_CELLS", 16);
+    let vms = env::parse_or("CAVM_SCALE_VMS", 100_000);
+    let cells = env::parse_or("CAVM_SCALE_CELLS", 256);
+    let servers = env::parse_or("CAVM_SCALE_SERVERS", 1536);
+    let hours = env::parse_or("CAVM_SCALE_HOURS", 24);
+    let seed = env::parse_or("CAVM_SCALE_SEED", 2013);
 
     eprintln!("tick microbench: dense n={tick_n} vs {tick_cells} cells ...");
     let bench = tick_bench(tick_n, tick_cells);

@@ -6,6 +6,7 @@
 //! shared last-level cache. Also prints the contrast case the paper's
 //! argument implies: a cache-resident workload IS hurt by co-location.
 
+use cavm_bench::env;
 use cavm_microarch::{machine::Machine, stream::StreamProfile};
 
 const INSTRUCTIONS: u64 = 3_000_000;
@@ -13,10 +14,7 @@ const SEED: u64 = 1;
 
 fn main() {
     // `CAVM_T1_INSTRUCTIONS` shrinks the run for CI smoke checks.
-    let instructions = std::env::var("CAVM_T1_INSTRUCTIONS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(INSTRUCTIONS);
+    let instructions = env::parse_or("CAVM_T1_INSTRUCTIONS", INSTRUCTIONS);
     let machine = Machine::opteron_like().expect("preset machine is valid");
     let (solo, paired) = machine
         .colocation_study(

@@ -34,6 +34,7 @@
 //! [`TraceDataset`]: cavm_workload::dataset::TraceDataset
 //! [`ShardedController`]: cavm_sim::ShardedController
 
+use cavm_bench::env;
 use cavm_bench::sweep::{Schedule, SweepGrid, SweepRow, WorkloadCase};
 use cavm_bench::{artifact, bar};
 use cavm_core::dvfs::DvfsMode;
@@ -47,24 +48,6 @@ use cavm_workload::datacenter::VmFleet;
 use cavm_workload::dataset::{assemble, AzureTraceReader, HuaweiTraceReader};
 use cavm_workload::lifecycle::Lifecycle;
 use std::fmt::Write as _;
-
-fn env_usize(key: &str, default: usize) -> usize {
-    std::env::var(key)
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(default)
-}
-
-fn env_f64(key: &str, default: f64) -> f64 {
-    std::env::var(key)
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(default)
-}
-
-fn env_path(key: &str, default: &str) -> String {
-    std::env::var(key).unwrap_or_else(|_| default.to_string())
-}
 
 struct Knobs {
     dt_s: f64,
@@ -104,6 +87,7 @@ fn replay_sharded(fleet: &VmFleet, lifecycle: &Lifecycle, knobs: &Knobs) -> SimR
             repack_trigger: RepackTrigger::Hybrid { slack: knobs.slack },
             qos_guard: Some(knobs.qos),
             adaptive_slack_max: None,
+            overcommit: None,
             dvfs_mode: DvfsMode::Static,
             period_samples: knobs.period_samples,
             reference: Reference::Peak,
@@ -162,6 +146,7 @@ fn run_dialect(
         trigger: RepackTrigger::Fragmentation { slack: knobs.slack },
         guard: Some(knobs.qos),
         slack_max: None,
+        overcommit: None,
     };
     let flat = SweepGrid::over(vec![WorkloadCase::open(
         name,
@@ -212,23 +197,23 @@ fn run_dialect(
 
 fn main() {
     let knobs = Knobs {
-        dt_s: env_f64("CAVM_TRACE_DT_S", 300.0),
-        horizon: env_usize("CAVM_TRACE_HORIZON", 48),
-        period_samples: env_usize("CAVM_TRACE_PERIOD_SAMPLES", 12),
-        servers: env_usize("CAVM_TRACE_SERVERS", 24),
-        cells: env_usize("CAVM_TRACE_CELLS", 16),
-        slack: env_usize("CAVM_TRACE_SLACK", 1) as u32,
+        dt_s: env::parse_or("CAVM_TRACE_DT_S", 300.0),
+        horizon: env::parse_or("CAVM_TRACE_HORIZON", 48),
+        period_samples: env::parse_or("CAVM_TRACE_PERIOD_SAMPLES", 12),
+        servers: env::parse_or("CAVM_TRACE_SERVERS", 24),
+        cells: env::parse_or("CAVM_TRACE_CELLS", 16),
+        slack: env::parse_or("CAVM_TRACE_SLACK", 1) as u32,
         qos: QosGuard {
-            violation_ratio: env_f64("CAVM_TRACE_QOS", 0.08),
+            violation_ratio: env::parse_or("CAVM_TRACE_QOS", 0.08),
         },
     };
-    let azure_path = env_path(
+    let azure_path = env::parse_or(
         "CAVM_TRACE_AZURE",
-        "crates/workload/testdata/azure_sample.csv",
+        "crates/workload/testdata/azure_sample.csv".to_string(),
     );
-    let huawei_path = env_path(
+    let huawei_path = env::parse_or(
         "CAVM_TRACE_HUAWEI",
-        "crates/workload/testdata/huawei_sample.csv",
+        "crates/workload/testdata/huawei_sample.csv".to_string(),
     );
 
     let mut azure_reader = AzureTraceReader::open(&azure_path, knobs.dt_s, knobs.horizon)

@@ -11,6 +11,7 @@ use cavm_sim::{Policy, ScenarioBuilder, SimReport};
 use cavm_workload::datacenter::{DatacenterTraceBuilder, VmFleet};
 
 pub mod artifact;
+pub mod env;
 pub mod sweep;
 
 /// Seed used by all Setup-2 experiments (reports are deterministic).

@@ -41,7 +41,9 @@
 //! ```
 
 use cavm_core::dvfs::DvfsMode;
-use cavm_sim::{Policy, QosGuard, RepackTrigger, ScenarioBuilder, SimError, SimReport};
+use cavm_sim::{
+    OvercommitConfig, Policy, QosGuard, RepackTrigger, ScenarioBuilder, SimError, SimReport,
+};
 use cavm_workload::datacenter::VmFleet;
 use cavm_workload::dataset::{assemble, TraceDataset};
 use cavm_workload::faults::FaultPlan;
@@ -59,6 +61,9 @@ pub struct Schedule {
     pub guard: Option<QosGuard>,
     /// Adaptive-slack upper bound, if the slack controller is on.
     pub slack_max: Option<u32>,
+    /// Deliberate correlation-gap overcommit margins, if on (requires
+    /// a guard).
+    pub overcommit: Option<OvercommitConfig>,
 }
 
 impl Schedule {
@@ -69,6 +74,7 @@ impl Schedule {
             trigger: RepackTrigger::Periodic,
             guard: None,
             slack_max: None,
+            overcommit: None,
         }
     }
 
@@ -85,24 +91,28 @@ impl Schedule {
                 trigger: RepackTrigger::Fragmentation { slack },
                 guard: None,
                 slack_max: None,
+                overcommit: None,
             },
             Schedule {
                 name: "guarded",
                 trigger: RepackTrigger::Fragmentation { slack },
                 guard: Some(guard),
                 slack_max: None,
+                overcommit: None,
             },
             Schedule {
                 name: "hybrid",
                 trigger: RepackTrigger::Hybrid { slack },
                 guard: None,
                 slack_max: None,
+                overcommit: None,
             },
             Schedule {
                 name: "hybrid-adaptive",
                 trigger: RepackTrigger::Hybrid { slack },
                 guard: None,
                 slack_max: Some(slack_max),
+                overcommit: None,
             },
         ]
     }
@@ -115,6 +125,22 @@ impl Schedule {
             trigger: RepackTrigger::Hybrid { slack },
             guard: Some(guard),
             slack_max: Some(slack_max),
+            overcommit: None,
+        }
+    }
+
+    /// The guarded fragmentation clock with deliberate
+    /// correlation-gap overcommit on top: servers admit past plain
+    /// capacity by an adaptive per-class margin when the Eqn (2) pair
+    /// costs say the peaks anti-align, with the QoS guard as the
+    /// reactive backstop.
+    pub fn guarded_overcommit(slack: u32, guard: QosGuard, margin: f64, max_margin: f64) -> Self {
+        Schedule {
+            name: "guarded-overcommit",
+            trigger: RepackTrigger::Fragmentation { slack },
+            guard: Some(guard),
+            slack_max: None,
+            overcommit: Some(OvercommitConfig { margin, max_margin }),
         }
     }
 
@@ -143,6 +169,9 @@ impl Schedule {
         }
         if let Some(max) = self.slack_max {
             builder = builder.adaptive_slack_max(max);
+        }
+        if let Some(oc) = self.overcommit {
+            builder = builder.overcommit(oc.margin, oc.max_margin);
         }
         builder
     }
@@ -491,6 +520,7 @@ mod tests {
                     trigger: RepackTrigger::Hybrid { slack: 1 },
                     guard: None,
                     slack_max: None,
+                    overcommit: None,
                 },
             ])
             .period_samples(360)

@@ -90,9 +90,9 @@ impl AllocationPolicy for FfdPolicy {
         vm: &VmDescriptor,
         lease: Option<usize>,
         servers: &[OpenServer<'_>],
-        _matrix: &CostMatrix,
+        matrix: &CostMatrix,
     ) -> Option<usize> {
-        first_fit_server(vm, lease, servers)
+        first_fit_server(vm, lease, servers, matrix)
     }
 }
 

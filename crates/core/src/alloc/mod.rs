@@ -44,6 +44,7 @@ pub use supervm::SuperVmPolicy;
 
 use crate::corr::CostMatrix;
 use crate::fleet::ServerFleet;
+use crate::servercost::ServerCostAggregate;
 use crate::CoreError;
 use cavm_trace::{Reference, TimeSeries};
 use serde::{Deserialize, Serialize};
@@ -473,7 +474,7 @@ pub trait AllocationPolicy {
     /// server for an *arriving* VM, or returns `None` to open the next
     /// fill-order server — no full re-pack. `servers` are
     /// [`OpenServer`] views over the live per-server
-    /// [`ServerCostAggregate`](crate::servercost::ServerCostAggregate)s,
+    /// [`crate::servercost::ServerCostAggregate`] values,
     /// so a correlation-aware probe is O(|members|) per candidate.
     ///
     /// `lease` is the arriving VM's remaining lease in samples (`None`
@@ -488,6 +489,12 @@ pub trait AllocationPolicy {
     /// the proposed policy override it (first fit / maximal Eqn (2)
     /// server cost). The matrix may predate `vm` — unobserved pairs
     /// (including ids beyond the matrix) score the neutral cost.
+    ///
+    /// Feasibility under every rule is [`OpenServer::admits`]: plain
+    /// fit, or — on servers carrying a positive
+    /// [`OpenServer::overcommit_margin`] — a deliberate correlation-gap
+    /// overcommit (predicted sum up to `capacity × (1 + margin)` whose
+    /// Eqn (1) coincident estimate stays within plain capacity).
     fn place_one(
         &self,
         vm: &VmDescriptor,
@@ -495,9 +502,152 @@ pub trait AllocationPolicy {
         servers: &[OpenServer<'_>],
         matrix: &CostMatrix,
     ) -> Option<usize> {
-        let _ = matrix;
-        online::best_fit_server(vm, lease, servers)
+        online::best_fit_server(vm, lease, servers, matrix)
     }
+
+    /// Batch placement with deliberate correlation-gap overcommit: runs
+    /// the policy's plain [`place`](AllocationPolicy::place), then — if
+    /// any fleet class carries a positive margin — tries to *retire*
+    /// lightly-loaded servers by relocating their members onto the
+    /// remaining servers under the [`OpenServer::admits`] rule (plain
+    /// fit, or predicted sum up to `capacity × (1 + margin)` when the
+    /// Eqn (2) cost says the peaks anti-align and the Eqn (1)
+    /// coincident estimate stays within plain capacity). Victims are
+    /// visited lightest-first; each relocates all-or-nothing through
+    /// the policy's own [`place_one`](AllocationPolicy::place_one)
+    /// rule, so a victim that cannot fully disperse is left untouched.
+    ///
+    /// `margins` is indexed by fleet class; classes beyond its length
+    /// get margin 0. With every margin ≤ 0 the plain placement is
+    /// returned **unchanged** — the bit-identity anchor for every
+    /// overcommit-off code path.
+    ///
+    /// # Errors
+    ///
+    /// As [`AllocationPolicy::place`] (the dispersal pass itself cannot
+    /// fail — it only declines to move).
+    fn place_with_margins(
+        &self,
+        vms: &[VmDescriptor],
+        matrix: &CostMatrix,
+        fleet: &ServerFleet,
+        margins: &[f64],
+    ) -> crate::Result<Placement> {
+        let placement = self.place(vms, matrix, fleet)?;
+        if margins.iter().all(|&m| m <= 0.0) {
+            return Ok(placement);
+        }
+        Ok(overcommit_consolidate(
+            self, placement, vms, matrix, fleet, margins,
+        ))
+    }
+}
+
+/// The [`AllocationPolicy::place_with_margins`] dispersal pass: retire
+/// lightly-loaded servers of a finished placement by relocating their
+/// members onto margin-carrying peers, all-or-nothing per victim.
+fn overcommit_consolidate<P: AllocationPolicy + ?Sized>(
+    policy: &P,
+    placement: Placement,
+    vms: &[VmDescriptor],
+    matrix: &CostMatrix,
+    fleet: &ServerFleet,
+    margins: &[f64],
+) -> Placement {
+    let desc_of: std::collections::HashMap<usize, VmDescriptor> =
+        vms.iter().map(|d| (d.id, *d)).collect();
+    let mut bins: Vec<(Vec<usize>, usize)> = placement
+        .servers()
+        .iter()
+        .cloned()
+        .zip(placement.classes().iter().copied())
+        .collect();
+    let mut aggs: Vec<ServerCostAggregate> = bins
+        .iter()
+        .map(|(members, _)| {
+            let mut agg = ServerCostAggregate::new();
+            for &id in members {
+                agg.push(id, desc_of[&id].demand, matrix);
+            }
+            agg
+        })
+        .collect();
+
+    // Victims lightest-first (ties by index): the cheapest servers to
+    // empty are tried before the ones that would need the most moves.
+    let mut victims: Vec<usize> = (0..bins.len()).collect();
+    victims.sort_by(|&a, &b| {
+        aggs[a]
+            .total_util()
+            .partial_cmp(&aggs[b].total_util())
+            .expect("finite loads")
+            .then(a.cmp(&b))
+    });
+
+    for v in victims {
+        if bins[v].0.is_empty() {
+            continue;
+        }
+        // Relocate members largest-first through the policy's own
+        // admission rule, against margin-carrying views of every
+        // *other* non-empty server. All-or-nothing: commit only when
+        // every member found a home.
+        let mut members = bins[v].0.clone();
+        members.sort_by(|&a, &b| {
+            desc_of[&b]
+                .demand
+                .partial_cmp(&desc_of[&a].demand)
+                .expect("finite demands")
+                .then(a.cmp(&b))
+        });
+        let mut trial = aggs.clone();
+        let mut moves: Vec<(usize, usize)> = Vec::new();
+        let mut complete = true;
+        for &id in &members {
+            let vm = desc_of[&id];
+            let mut idx_map = Vec::new();
+            let mut views = Vec::new();
+            for (b, (bin_members, class)) in bins.iter().enumerate() {
+                // Skip the victim itself and servers already retired by
+                // an earlier victim — resurrecting one would churn
+                // migrations without closing any server.
+                if b == v || bin_members.is_empty() {
+                    continue;
+                }
+                let spec = &fleet.classes()[*class];
+                idx_map.push(b);
+                views.push(OpenServer {
+                    class: *class,
+                    cores: spec.cores(),
+                    watts_per_core: spec.busy_watts_per_core(),
+                    drain_samples: None,
+                    agg: &trial[b],
+                    healthy: true,
+                    overcommit_margin: margins.get(*class).copied().unwrap_or(0.0).max(0.0),
+                });
+            }
+            match policy.place_one(&vm, None, &views, matrix) {
+                Some(pos) => {
+                    let target = idx_map[pos];
+                    trial[target].push(id, vm.demand, matrix);
+                    moves.push((id, target));
+                }
+                None => {
+                    complete = false;
+                    break;
+                }
+            }
+        }
+        if complete {
+            aggs = trial;
+            for (id, target) in moves {
+                bins[target].0.push(id);
+            }
+            bins[v].0.clear();
+            aggs[v].clear();
+        }
+    }
+    Placement::from_classed_servers(bins)
 }
 
 /// Shared input validation for all policies (the fleet validates itself

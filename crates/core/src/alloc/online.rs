@@ -36,7 +36,7 @@
 
 use crate::alloc::{VmDescriptor, FIT_EPS};
 use crate::corr::CostMatrix;
-use crate::servercost::ServerCostAggregate;
+use crate::servercost::{coincident_estimate, ServerCostAggregate};
 
 #[cfg(doc)]
 use crate::alloc::AllocationPolicy;
@@ -71,6 +71,15 @@ pub struct OpenServer<'a> {
     /// ([`OpenServer::fits`]) stays health-blind on purpose: health is
     /// an admissibility question, not a sizing one.
     pub healthy: bool,
+    /// Deliberate-overcommit margin granted to this server, as a
+    /// fraction of `cores`. [`OpenServer::admits`] accepts a candidate
+    /// whose predicted per-VM sum exceeds capacity by up to this
+    /// fraction *when* the Eqn (2) cost says the candidate's peaks
+    /// anti-align with the residents (the Eqn (1)
+    /// [`coincident_estimate`] stays within plain capacity). `0.0` —
+    /// the value everywhere overcommit is off — makes `admits`
+    /// bit-identical to plain [`OpenServer::fits`].
+    pub overcommit_margin: f64,
 }
 
 impl OpenServer<'_> {
@@ -82,6 +91,34 @@ impl OpenServer<'_> {
     /// Whether a VM of `demand` cores fits the residual capacity.
     pub fn fits(&self, demand: f64) -> bool {
         demand <= self.remaining() + FIT_EPS
+    }
+
+    /// Whether the server admits `vm` under the deliberate-overcommit
+    /// rule: plain [`fits`](OpenServer::fits), or — when this server
+    /// carries a positive [`overcommit_margin`] and already has
+    /// residents to anti-align with — a predicted per-VM sum of up to
+    /// `cores × (1 + margin)` whose Eqn (1) [`coincident_estimate`]
+    /// (the sum deflated by the post-insertion Eqn (2) cost) still
+    /// lands within plain capacity. An empty server never overcommits:
+    /// with no residents there are no pairs, Eqn (2) has nothing to
+    /// say, and the estimate would be vacuous. With `overcommit_margin
+    /// == 0.0` this is exactly `fits(vm.demand)` — the bit-identity
+    /// anchor for every margin-off code path.
+    ///
+    /// [`overcommit_margin`]: OpenServer::overcommit_margin
+    pub fn admits(&self, vm: &VmDescriptor, matrix: &CostMatrix) -> bool {
+        if self.fits(vm.demand) {
+            return true;
+        }
+        if self.overcommit_margin <= 0.0 || self.agg.is_empty() {
+            return false;
+        }
+        let predicted = self.agg.total_util() + vm.demand;
+        if predicted > self.cores * (1.0 + self.overcommit_margin) + FIT_EPS {
+            return false;
+        }
+        let cost = self.agg.candidate_cost(vm.id, vm.demand, matrix);
+        coincident_estimate(predicted, cost) <= self.cores + FIT_EPS
     }
 
     /// Whether the server stays busy at least as long as an arriving
@@ -103,11 +140,12 @@ impl OpenServer<'_> {
 fn best_fit_tier(
     vm: &VmDescriptor,
     servers: &[OpenServer<'_>],
+    matrix: &CostMatrix,
     admissible: impl Fn(&OpenServer<'_>) -> bool,
 ) -> Option<usize> {
     let mut best: Option<(usize, f64, f64)> = None;
     for (i, server) in servers.iter().enumerate() {
-        if !server.healthy || !server.fits(vm.demand) || !admissible(server) {
+        if !server.healthy || !server.admits(vm, matrix) || !admissible(server) {
             continue;
         }
         let residual = server.remaining();
@@ -131,13 +169,18 @@ fn best_fit_tier(
 /// keep-last semantics as the batch BFD scan, so a uniform fleet
 /// admits exactly where batch BFD would. Servers that outlive the
 /// arrival's `lease` are preferred (see the [module docs](self)).
+/// Feasibility is [`OpenServer::admits`]: bit-identical to plain fit
+/// until a server carries a positive overcommit margin, at which point
+/// an overcommitted admission ranks by its (negative) residual — the
+/// tightest possible pack.
 pub fn best_fit_server(
     vm: &VmDescriptor,
     lease: Option<usize>,
     servers: &[OpenServer<'_>],
+    matrix: &CostMatrix,
 ) -> Option<usize> {
-    best_fit_tier(vm, servers, |s| s.outlives(lease))
-        .or_else(|| best_fit_tier(vm, servers, |_| true))
+    best_fit_tier(vm, servers, matrix, |s| s.outlives(lease))
+        .or_else(|| best_fit_tier(vm, servers, matrix, |_| true))
 }
 
 /// First-fit admission: the lowest-indexed feasible server that
@@ -147,11 +190,16 @@ pub fn first_fit_server(
     vm: &VmDescriptor,
     lease: Option<usize>,
     servers: &[OpenServer<'_>],
+    matrix: &CostMatrix,
 ) -> Option<usize> {
     servers
         .iter()
-        .position(|s| s.healthy && s.fits(vm.demand) && s.outlives(lease))
-        .or_else(|| servers.iter().position(|s| s.healthy && s.fits(vm.demand)))
+        .position(|s| s.healthy && s.admits(vm, matrix) && s.outlives(lease))
+        .or_else(|| {
+            servers
+                .iter()
+                .position(|s| s.healthy && s.admits(vm, matrix))
+        })
 }
 
 /// Max-Eqn-2-cost scan over the servers passing `admissible`.
@@ -163,7 +211,7 @@ fn max_cost_tier(
 ) -> Option<usize> {
     let mut best: Option<(usize, f64, f64)> = None;
     for (i, server) in servers.iter().enumerate() {
-        if !server.healthy || !server.fits(vm.demand) || !admissible(server) {
+        if !server.healthy || !server.admits(vm, matrix) || !admissible(server) {
             continue;
         }
         let cost = server.agg.candidate_cost(vm.id, vm.demand, matrix);
@@ -215,6 +263,7 @@ mod tests {
         meta: Vec<(usize, f64, f64)>,
         drains: Vec<Option<usize>>,
         health: Vec<bool>,
+        margins: Vec<f64>,
     }
 
     impl Fixture {
@@ -231,17 +280,25 @@ mod tests {
             }
             let drains = vec![None; meta.len()];
             let health = vec![true; meta.len()];
+            let margins = vec![0.0; meta.len()];
             Self {
                 aggs,
                 meta,
                 drains,
                 health,
+                margins,
             }
         }
 
         fn drains(mut self, drains: &[Option<usize>]) -> Self {
             assert_eq!(drains.len(), self.meta.len());
             self.drains = drains.to_vec();
+            self
+        }
+
+        fn margins(mut self, margins: &[f64]) -> Self {
+            assert_eq!(margins.len(), self.meta.len());
+            self.margins = margins.to_vec();
             self
         }
 
@@ -255,8 +312,12 @@ mod tests {
                 .iter()
                 .zip(&self.meta)
                 .zip(self.drains.iter().zip(&self.health))
+                .zip(&self.margins)
                 .map(
-                    |((agg, &(class, cores, watts_per_core)), (&drain_samples, &healthy))| {
+                    |(
+                        ((agg, &(class, cores, watts_per_core)), (&drain_samples, &healthy)),
+                        &overcommit_margin,
+                    )| {
                         OpenServer {
                             class,
                             cores,
@@ -264,6 +325,7 @@ mod tests {
                             drain_samples,
                             agg,
                             healthy,
+                            overcommit_margin,
                         }
                     },
                 )
@@ -297,6 +359,60 @@ mod tests {
     }
 
     #[test]
+    fn admits_overcommits_only_anti_aligned_candidates() {
+        // VM 2's peaks de-phase perfectly with VM 0 and coincide
+        // exactly with VM 1.
+        let mut m = CostMatrix::new(3, Reference::Peak).unwrap();
+        m.push_sample(&[4.0, 0.0, 0.0]).unwrap();
+        m.push_sample(&[0.0, 4.0, 4.0]).unwrap();
+        let vm = VmDescriptor::new(2, 4.0);
+        // 6-core servers: residual 2 < demand 4, so plain fit fails
+        // and only the margin path can admit.
+        let anti = Fixture::new(&[(&[(0, 4.0)], 6.0, 0, 37.5)], &m).margins(&[0.5]);
+        assert!(
+            anti.views()[0].admits(&vm, &m),
+            "anti-aligned peaks overcommit: coincident estimate within capacity"
+        );
+        let corr = Fixture::new(&[(&[(1, 4.0)], 6.0, 0, 37.5)], &m).margins(&[0.5]);
+        assert!(
+            !corr.views()[0].admits(&vm, &m),
+            "aligned peaks never overcommit"
+        );
+        // Margin zero is bit-identical to plain fit, anti-aligned or
+        // not.
+        let plain = Fixture::new(&[(&[(0, 4.0)], 6.0, 0, 37.5)], &m);
+        assert!(!plain.views()[0].admits(&vm, &m));
+        assert!(plain.views()[0].admits(&VmDescriptor::new(2, 2.0), &m));
+        // The margin caps the predicted sum regardless of correlation:
+        // 4 + 4 = 8 > 6 × 1.1.
+        let tiny = Fixture::new(&[(&[(0, 4.0)], 6.0, 0, 37.5)], &m).margins(&[0.1]);
+        assert!(!tiny.views()[0].admits(&vm, &m));
+        // An empty server never overcommits — no residents, no pairs,
+        // no Eqn (2) evidence.
+        let empty = Fixture::new(&[(&[], 3.0, 0, 37.5)], &m).margins(&[0.5]);
+        assert!(!empty.views()[0].admits(&vm, &m));
+    }
+
+    #[test]
+    fn overcommit_margin_extends_every_admission_rule() {
+        let mut m = CostMatrix::new(3, Reference::Peak).unwrap();
+        m.push_sample(&[4.0, 0.0, 0.0]).unwrap();
+        m.push_sample(&[0.0, 4.0, 4.0]).unwrap();
+        let vm = VmDescriptor::new(2, 4.0);
+        // One server, anti-aligned resident, too full for plain fit.
+        let fx = Fixture::new(&[(&[(0, 4.0)], 6.0, 0, 37.5)], &m);
+        let views = fx.views();
+        assert_eq!(best_fit_server(&vm, None, &views, &m), None);
+        assert_eq!(first_fit_server(&vm, None, &views, &m), None);
+        assert_eq!(max_cost_server(&vm, None, &views, &m), None);
+        let fx = fx.margins(&[0.5]);
+        let views = fx.views();
+        assert_eq!(best_fit_server(&vm, None, &views, &m), Some(0));
+        assert_eq!(first_fit_server(&vm, None, &views, &m), Some(0));
+        assert_eq!(max_cost_server(&vm, None, &views, &m), Some(0));
+    }
+
+    #[test]
     fn best_fit_picks_tightest_then_efficiency() {
         let m = CostMatrix::new(8, Reference::Peak).unwrap();
         let vm = VmDescriptor::new(7, 2.0);
@@ -309,7 +425,7 @@ mod tests {
             ],
             &m,
         );
-        assert_eq!(best_fit_server(&vm, None, &fx.views()), Some(2));
+        assert_eq!(best_fit_server(&vm, None, &fx.views(), &m), Some(2));
         // With equal efficiency the last tie wins (batch BFD keep-last).
         let fx = Fixture::new(
             &[
@@ -319,10 +435,10 @@ mod tests {
             ],
             &m,
         );
-        assert_eq!(best_fit_server(&vm, None, &fx.views()), Some(2));
+        assert_eq!(best_fit_server(&vm, None, &fx.views(), &m), Some(2));
         // Nothing fits: open a new server.
         let vm = VmDescriptor::new(7, 7.0);
-        assert_eq!(best_fit_server(&vm, None, &fx.views()), None);
+        assert_eq!(best_fit_server(&vm, None, &fx.views(), &m), None);
     }
 
     #[test]
@@ -338,18 +454,18 @@ mod tests {
         .drains(&[None, Some(50)]);
         // A 200-sample lease outlasts server 1's drain: prefer server 0
         // even though it is a looser fit.
-        assert_eq!(best_fit_server(&vm, Some(200), &fx.views()), Some(0));
+        assert_eq!(best_fit_server(&vm, Some(200), &fx.views(), &m), Some(0));
         // A 50-sample lease departs with (or before) server 1's members:
         // the lease-blind tightest fit stands.
-        assert_eq!(best_fit_server(&vm, Some(50), &fx.views()), Some(1));
+        assert_eq!(best_fit_server(&vm, Some(50), &fx.views(), &m), Some(1));
         // No lease info on the arrival: an open-ended VM avoids the
         // draining server too.
-        assert_eq!(best_fit_server(&vm, None, &fx.views()), Some(0));
+        assert_eq!(best_fit_server(&vm, None, &fx.views(), &m), Some(0));
         // When only draining servers fit, the bias falls back instead
         // of opening a new server.
         let fx = Fixture::new(&[(&[(1, 6.0)], 8.0, 0, 37.5)], &m).drains(&[Some(50)]);
-        assert_eq!(best_fit_server(&vm, Some(200), &fx.views()), Some(0));
-        assert_eq!(first_fit_server(&vm, Some(200), &fx.views()), Some(0));
+        assert_eq!(best_fit_server(&vm, Some(200), &fx.views(), &m), Some(0));
+        assert_eq!(first_fit_server(&vm, Some(200), &fx.views(), &m), Some(0));
         assert_eq!(max_cost_server(&vm, Some(200), &fx.views(), &m), Some(0));
     }
 
@@ -361,7 +477,7 @@ mod tests {
             &[(&[(0, 3.0)], 8.0, 0, 37.5), (&[(1, 6.0)], 8.0, 0, 37.5)],
             &m,
         );
-        assert_eq!(first_fit_server(&vm, None, &fx.views()), Some(0));
+        assert_eq!(first_fit_server(&vm, None, &fx.views(), &m), Some(0));
         // Lease-aware first fit skips ahead to the first outliving
         // server.
         let fx = Fixture::new(
@@ -369,7 +485,7 @@ mod tests {
             &m,
         )
         .drains(&[Some(10), None]);
-        assert_eq!(first_fit_server(&vm, Some(99), &fx.views()), Some(1));
+        assert_eq!(first_fit_server(&vm, Some(99), &fx.views(), &m), Some(1));
     }
 
     #[test]
@@ -412,8 +528,8 @@ mod tests {
         )
         .failed(0);
         let views = fx.views();
-        assert_eq!(best_fit_server(&vm, None, &views), Some(1));
-        assert_eq!(first_fit_server(&vm, None, &views), Some(1));
+        assert_eq!(best_fit_server(&vm, None, &views, &m), Some(1));
+        assert_eq!(first_fit_server(&vm, None, &views, &m), Some(1));
         assert_eq!(max_cost_server(&vm, None, &views, &m), Some(1));
         // Health beats the lease fallback tier too: a failed outliving
         // server never shadows a healthy draining one.
@@ -424,14 +540,14 @@ mod tests {
         .drains(&[None, Some(10)])
         .failed(0);
         let views = fx.views();
-        assert_eq!(best_fit_server(&vm, Some(99), &views), Some(1));
-        assert_eq!(first_fit_server(&vm, Some(99), &views), Some(1));
+        assert_eq!(best_fit_server(&vm, Some(99), &views, &m), Some(1));
+        assert_eq!(first_fit_server(&vm, Some(99), &views, &m), Some(1));
         assert_eq!(max_cost_server(&vm, Some(99), &views, &m), Some(1));
         // With every server failed, each rule opens a new server.
         let fx = Fixture::new(&[(&[(0, 3.0)], 8.0, 0, 37.5)], &m).failed(0);
         let views = fx.views();
-        assert_eq!(best_fit_server(&vm, None, &views), None);
-        assert_eq!(first_fit_server(&vm, None, &views), None);
+        assert_eq!(best_fit_server(&vm, None, &views, &m), None);
+        assert_eq!(first_fit_server(&vm, None, &views, &m), None);
         assert_eq!(max_cost_server(&vm, None, &views, &m), None);
     }
 

@@ -101,6 +101,37 @@ pub fn server_cost_with_candidate(
     server_cost(&weighted, matrix)
 }
 
+/// Eqn (1) coincident-aggregate estimate: the predicted load a server
+/// would actually see if its members' peaks de-phase the way the
+/// Eqn (2) server cost says they do.
+///
+/// Eqn (1)'s correlation gap is that anti-correlated VMs' coincident
+/// aggregate sits well below the sum of their individual peaks; the
+/// server cost (range `[1, 2]`) measures exactly that de-phasing — a
+/// perfectly anti-correlated pair scores 2 (the aggregate peak is half
+/// the summed peaks), a fully correlated one scores 1 (no gap at all).
+/// Dividing the predicted per-VM sum by the cost therefore estimates
+/// the coincident aggregate, and is the quantity deliberate overcommit
+/// admission checks against the *plain* capacity. Costs below 1 (never
+/// produced by Eqn 2, but guarded anyway) clamp to 1 so the estimate
+/// never exceeds the sum.
+///
+/// # Example
+///
+/// ```
+/// use cavm_core::servercost::coincident_estimate;
+///
+/// // Perfectly anti-correlated members: 10 summed cores coincide as 5.
+/// assert_eq!(coincident_estimate(10.0, 2.0), 5.0);
+/// // Fully correlated members enjoy no gap.
+/// assert_eq!(coincident_estimate(10.0, 1.0), 10.0);
+/// // Sub-1 costs clamp: the estimate never exceeds the sum.
+/// assert_eq!(coincident_estimate(10.0, 0.5), 10.0);
+/// ```
+pub fn coincident_estimate(predicted_sum: f64, server_cost: f64) -> f64 {
+    predicted_sum / server_cost.max(1.0)
+}
+
 /// Incrementally maintained Eqn (2) aggregate for one server.
 ///
 /// Rewriting Eqn (2) with `w_j = û_j / U` (`U = Σ û`) gives

@@ -58,6 +58,7 @@
 //!     repack_trigger: Default::default(),
 //!     qos_guard: None,
 //!     adaptive_slack_max: None,
+//!     overcommit: None,
 //!     dvfs_mode: DvfsMode::Static,
 //!     period_samples: 16,
 //!     reference: Reference::Peak,
@@ -446,6 +447,17 @@ impl ShardedController {
 
     /// The O(cells) routing decision. Score = projected worst-phase
     /// aggregate after adding the VM's envelope.
+    ///
+    /// Feasibility is deliberately *plain-capacity* even when the
+    /// per-cell controllers run a deliberate-overcommit margin: the
+    /// margin is an intra-cell, per-server bet priced by exact Eqn (2)
+    /// pair costs, which the sketch router does not have. Inflating
+    /// the phase-bucket feasibility by the margin as well would count
+    /// the same headroom twice (router capacity × (1 + m), then server
+    /// capacity × (1 + m) again inside the cell). Cells admit past
+    /// their router budget on their own margin only through the
+    /// infeasible-fallback path below, exactly as a full flat fleet
+    /// would.
     fn route_to_cell(&self, ref_demand: f64, profile: &[f64; PHASE_BUCKETS]) -> usize {
         let score = |c: usize| -> f64 {
             self.phase_load[c]
@@ -737,7 +749,11 @@ impl ShardedController {
             freq_levels_ghz: self.union_ghz.clone(),
             online_admissions: reports.iter().map(|r| r.online_admissions).sum(),
             offcycle_repacks: reports.iter().map(|r| r.offcycle_repacks).sum(),
-            sink_dropped_events: 0,
+            // Inner controllers report 0 here (only a `Buffered`
+            // adapter can drop, and it folds its counter in at
+            // `on_summary`), but summing keeps the merge faithful if
+            // a cell's report ever arrives with drops recorded.
+            sink_dropped_events: reports.iter().map(|r| r.sink_dropped_events).sum(),
             server_failures: reports.iter().map(|r| r.server_failures).sum(),
             evacuations: reports.iter().map(|r| r.evacuations).sum(),
             deferred_peak: reports.iter().map(|r| r.deferred_peak).sum(),
@@ -768,6 +784,7 @@ mod tests {
             repack_trigger: Default::default(),
             qos_guard: None,
             adaptive_slack_max: None,
+            overcommit: None,
             dvfs_mode: DvfsMode::Static,
             period_samples: 16,
             reference: Reference::Peak,
@@ -816,6 +833,68 @@ mod tests {
             b.energy.joules().to_bits(),
             "single-cell energy must be bit-identical"
         );
+    }
+
+    /// Pins the sharded report to the flat one **field by field**. The
+    /// exhaustive destructuring (no `..`) is the point: adding a field
+    /// to [`SimReport`] fails this test's compilation until the merge
+    /// in [`ShardedController::report`] — and this list — handle it,
+    /// which is exactly the audit that caught `sink_dropped_events`
+    /// being silently zeroed in the merge.
+    #[test]
+    fn single_cell_report_pins_every_field() {
+        let mut rng = SimRng::new(23);
+        let traces: Vec<TimeSeries> = (0..8).map(|i| diurnal(&mut rng, 64, i as f64)).collect();
+        let mut flat = DatacenterController::new(config(8)).unwrap();
+        let mut sharded = ShardedController::new(config(8), 1).unwrap();
+        let mut sink = NullSink;
+        for (id, t) in traces.iter().enumerate() {
+            flat.arrive(id, t.clone(), Some(40), &mut sink).unwrap();
+            sharded.arrive(id, t.clone(), Some(40), &mut sink).unwrap();
+        }
+        for k in 0..48 {
+            if k == 40 {
+                flat.depart(0).unwrap();
+                sharded.depart(0).unwrap();
+            }
+            flat.tick(&mut sink).unwrap();
+            sharded.tick(&mut sink).unwrap();
+        }
+        let want = flat.report();
+        let SimReport {
+            policy,
+            dynamic_dvfs,
+            energy,
+            max_violation_percent,
+            mean_violation_percent,
+            violation_instances,
+            periods,
+            classes,
+            freq_histogram,
+            freq_levels_ghz,
+            online_admissions,
+            offcycle_repacks,
+            sink_dropped_events,
+            server_failures,
+            evacuations,
+            deferred_peak,
+        } = sharded.report();
+        assert_eq!(policy, want.policy);
+        assert_eq!(dynamic_dvfs, want.dynamic_dvfs);
+        assert_eq!(energy, want.energy);
+        assert_eq!(max_violation_percent, want.max_violation_percent);
+        assert_eq!(mean_violation_percent, want.mean_violation_percent);
+        assert_eq!(violation_instances, want.violation_instances);
+        assert_eq!(periods, want.periods);
+        assert_eq!(classes, want.classes);
+        assert_eq!(freq_histogram, want.freq_histogram);
+        assert_eq!(freq_levels_ghz, want.freq_levels_ghz);
+        assert_eq!(online_admissions, want.online_admissions);
+        assert_eq!(offcycle_repacks, want.offcycle_repacks);
+        assert_eq!(sink_dropped_events, want.sink_dropped_events);
+        assert_eq!(server_failures, want.server_failures);
+        assert_eq!(evacuations, want.evacuations);
+        assert_eq!(deferred_peak, want.deferred_peak);
     }
 
     #[test]

@@ -1,6 +1,8 @@
 //! Scenario description and builder.
 
-use crate::controller::{ControllerConfig, DatacenterController, QosGuard, RepackTrigger};
+use crate::controller::{
+    ControllerConfig, DatacenterController, OvercommitConfig, QosGuard, RepackTrigger,
+};
 use crate::SimError;
 use cavm_core::alloc::proposed::ProposedConfig;
 use cavm_core::dvfs::DvfsMode;
@@ -74,6 +76,7 @@ pub struct Scenario {
     pub(crate) repack_trigger: RepackTrigger,
     pub(crate) qos_guard: Option<QosGuard>,
     pub(crate) adaptive_slack_max: Option<u32>,
+    pub(crate) overcommit: Option<OvercommitConfig>,
     pub(crate) dvfs_mode: DvfsMode,
     pub(crate) period_samples: usize,
     pub(crate) reference: Reference,
@@ -103,6 +106,12 @@ impl Scenario {
     /// The adaptive-slack upper bound, if adaptive slack is enabled.
     pub fn adaptive_slack_max(&self) -> Option<u32> {
         self.adaptive_slack_max
+    }
+
+    /// The deliberate-overcommit configuration, if overcommit is
+    /// enabled.
+    pub fn overcommit(&self) -> Option<OvercommitConfig> {
+        self.overcommit
     }
 
     /// Samples per placement period.
@@ -147,6 +156,7 @@ impl Scenario {
             repack_trigger: self.repack_trigger,
             qos_guard: self.qos_guard,
             adaptive_slack_max: self.adaptive_slack_max,
+            overcommit: self.overcommit,
             dvfs_mode: self.dvfs_mode,
             period_samples: self.period_samples,
             reference: self.reference,
@@ -179,6 +189,7 @@ pub struct ScenarioBuilder {
     repack_trigger: RepackTrigger,
     qos_guard: Option<QosGuard>,
     adaptive_slack_max: Option<u32>,
+    overcommit: Option<OvercommitConfig>,
     dvfs_mode: DvfsMode,
     period_samples: usize,
     reference: Reference,
@@ -253,6 +264,7 @@ impl ScenarioBuilder {
             repack_trigger: RepackTrigger::Periodic,
             qos_guard: None,
             adaptive_slack_max: None,
+            overcommit: None,
             dvfs_mode: DvfsMode::Static,
             period_samples: 720,
             reference: Reference::Peak,
@@ -328,6 +340,20 @@ impl ScenarioBuilder {
     /// trigger with a fragmentation dimension.
     pub fn adaptive_slack_max(mut self, max: u32) -> Self {
         self.adaptive_slack_max = Some(max);
+        self
+    }
+
+    /// Enables deliberate correlation-gap overcommit (default: off):
+    /// admission and re-packs accept predicted per-VM sums up to
+    /// `capacity x (1 + margin)` on servers whose Eqn (1) coincident
+    /// estimate stays within plain capacity, with a per-class
+    /// [`OvercommitController`](crate::OvercommitController) walking
+    /// the live margin between 0 and `max_margin` from observed
+    /// violation ratios. Requires [`ScenarioBuilder::qos_guard`] (the
+    /// reactive backstop); `margin` must lie in `[0, max_margin]` and
+    /// `max_margin` in `(0, 1]`.
+    pub fn overcommit(mut self, margin: f64, max_margin: f64) -> Self {
+        self.overcommit = Some(OvercommitConfig { margin, max_margin });
         self
     }
 
@@ -460,6 +486,23 @@ impl ScenarioBuilder {
                 Some(_) => {}
             }
         }
+        if let Some(oc) = self.overcommit {
+            if self.qos_guard.is_none() {
+                return Err(SimError::InvalidParameter(
+                    "deliberate overcommit requires a qos guard as the reactive backstop",
+                ));
+            }
+            if !(oc.max_margin.is_finite() && oc.max_margin > 0.0 && oc.max_margin <= 1.0) {
+                return Err(SimError::InvalidParameter(
+                    "overcommit max margin must lie in (0, 1]",
+                ));
+            }
+            if !(oc.margin.is_finite() && (0.0..=oc.max_margin).contains(&oc.margin)) {
+                return Err(SimError::InvalidParameter(
+                    "overcommit margin must lie in [0, max_margin]",
+                ));
+            }
+        }
         let len = self.fleet.vms()[0].fine.len();
         if len < self.period_samples {
             return Err(SimError::InvalidParameter("traces shorter than one period"));
@@ -559,6 +602,7 @@ impl ScenarioBuilder {
             repack_trigger: self.repack_trigger,
             qos_guard: self.qos_guard,
             adaptive_slack_max: self.adaptive_slack_max,
+            overcommit: self.overcommit,
             dvfs_mode: self.dvfs_mode,
             period_samples: self.period_samples,
             reference: self.reference,
@@ -650,6 +694,32 @@ mod tests {
             .dvfs_mode(DvfsMode::Dynamic {
                 interval_samples: 0
             })
+            .build()
+            .is_err());
+        // Overcommit needs the guard backstop and in-range margins.
+        assert!(ScenarioBuilder::new(fleet())
+            .overcommit(0.1, 0.25)
+            .build()
+            .is_err());
+        assert!(ScenarioBuilder::new(fleet())
+            .qos_guard(QosGuard {
+                violation_ratio: 0.05
+            })
+            .overcommit(0.1, 0.25)
+            .build()
+            .is_ok());
+        assert!(ScenarioBuilder::new(fleet())
+            .qos_guard(QosGuard {
+                violation_ratio: 0.05
+            })
+            .overcommit(0.3, 0.25)
+            .build()
+            .is_err());
+        assert!(ScenarioBuilder::new(fleet())
+            .qos_guard(QosGuard {
+                violation_ratio: 0.05
+            })
+            .overcommit(0.0, 0.0)
             .build()
             .is_err());
     }

@@ -311,13 +311,14 @@ impl SlackController {
     }
 
     /// Feeds back one fired re-pack's realized outcome; a re-pack with
-    /// no migrations carries no cost signal and leaves the slack
-    /// unchanged.
+    /// no migrations carries no cost signal and leaves the slack —
+    /// *and* an in-progress [`SlackController::MISS_STREAK`] — fully
+    /// unchanged: only a priced observation resets the decay streak.
     pub fn observe(&mut self, servers_freed: usize, migrations: usize) {
-        self.misses = 0;
         if migrations == 0 {
             return;
         }
+        self.misses = 0;
         let gain = servers_freed as f64 / migrations as f64;
         if gain < Self::RAISE_BELOW {
             self.current = (self.current + 1).min(self.max);
@@ -340,6 +341,117 @@ impl SlackController {
             }
         } else {
             self.misses = 0;
+        }
+    }
+}
+
+/// Deliberate correlation-gap overcommit, threaded through
+/// [`ControllerConfig::overcommit`] /
+/// `ScenarioBuilder::overcommit`.
+///
+/// With a margin in effect, incremental admission and the batch re-pack
+/// both accept servers whose *predicted per-VM sum* runs up to
+/// `capacity × (1 + margin)` — but only when the Eqn (2) pairwise cost
+/// says the candidate's peaks anti-align with the residents, i.e. the
+/// Eqn (1) coincident-aggregate estimate (`predicted sum / cost`) still
+/// lands within plain capacity
+/// ([`OpenServer::admits`](cavm_core::alloc::OpenServer::admits)).
+/// The configured [`QosGuard`] stays armed as the reactive backstop,
+/// and an [`OvercommitController`] walks the live margin per fleet
+/// class from the observed per-period violation ratios. Degraded mode
+/// (failed servers or a non-empty deferred queue) suspends the margin
+/// outright.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OvercommitConfig {
+    /// Starting (and post-breach re-growable) margin as a fraction of
+    /// capacity; must lie in `[0, max_margin]`.
+    pub margin: f64,
+    /// Hard ceiling the adaptive margin never exceeds; must lie in
+    /// `(0, 1]`.
+    pub max_margin: f64,
+}
+
+/// Closed-loop tuning of the deliberate-overcommit margin — the same
+/// walk/decay machinery as [`SlackController`], driven by the observed
+/// per-period violation ratio instead of migration cost.
+///
+/// Each completed period feeds
+/// [`OvercommitController::observe_period`] the class's worst
+/// per-server violation ratio against the guard threshold:
+///
+/// * **Shrink on breach** — a period whose worst ratio exceeded the
+///   guard's threshold means the correlation-gap bet failed; the
+///   margin steps down [`OvercommitController::STEP`] immediately
+///   (never below zero — the guard's own trim handles the standing
+///   placement).
+/// * **Grow on sustained headroom** —
+///   [`OvercommitController::RAISE_STREAK`] consecutive periods whose
+///   worst ratio stayed at or below *half* the guard threshold grow
+///   the margin one step, up to the configured ceiling. A ratio
+///   between the two bands holds the margin (and resets the streak):
+///   QoS is acceptable but not comfortable.
+///
+/// ```
+/// use cavm_sim::OvercommitController;
+///
+/// let mut ctl = OvercommitController::new(0.10, 0.25);
+/// assert_eq!(ctl.current(), 0.10);
+/// // A breached period shrinks the margin immediately.
+/// ctl.observe_period(0.08, 0.05);
+/// assert!(ctl.current() < 0.10);
+/// // Two comfortable periods in a row grow it back one step.
+/// ctl.observe_period(0.0, 0.05);
+/// ctl.observe_period(0.01, 0.05);
+/// assert_eq!(ctl.current(), 0.10);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OvercommitController {
+    max: f64,
+    current: f64,
+    hits: u32,
+}
+
+impl OvercommitController {
+    /// Margin step per adaptation, as a fraction of capacity.
+    pub const STEP: f64 = 0.05;
+    /// Consecutive comfortable periods (worst ratio ≤ half the guard
+    /// threshold) before the margin grows one step.
+    pub const RAISE_STREAK: u32 = 2;
+
+    /// A controller starting at `initial`, ceilinged at `max` (clamped
+    /// up to `initial` if smaller).
+    pub fn new(initial: f64, max: f64) -> Self {
+        Self {
+            max: max.max(initial),
+            current: initial,
+            hits: 0,
+        }
+    }
+
+    /// The margin currently in effect.
+    pub fn current(&self) -> f64 {
+        self.current
+    }
+
+    /// The ceiling the margin grows toward.
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Feeds back one completed period: the class's worst per-server
+    /// violation ratio against the guard's threshold.
+    pub fn observe_period(&mut self, worst_ratio: f64, guard_ratio: f64) {
+        if worst_ratio > guard_ratio {
+            self.hits = 0;
+            self.current = (self.current - Self::STEP).max(0.0);
+        } else if worst_ratio <= guard_ratio * 0.5 {
+            self.hits += 1;
+            if self.hits >= Self::RAISE_STREAK {
+                self.hits = 0;
+                self.current = (self.current + Self::STEP).min(self.max);
+            }
+        } else {
+            self.hits = 0;
         }
     }
 }
@@ -706,6 +818,18 @@ pub struct ControllerConfig {
     /// realized servers-freed-per-migration gain. Requires a trigger
     /// with a fragmentation dimension; `None` keeps the slack static.
     pub adaptive_slack_max: Option<u32>,
+    /// Deliberate correlation-gap overcommit: when set, admission and
+    /// re-packs accept predicted per-VM sums up to `capacity × (1 +
+    /// margin)` on servers whose Eqn (1) coincident estimate stays
+    /// within plain capacity, with a per-class
+    /// [`OvercommitController`] walking the live margin from observed
+    /// violation ratios. Requires a configured [`qos_guard`] (the
+    /// reactive backstop); suspended in degraded mode. `None` (the
+    /// default) keeps every margin at zero — bit-identical to the
+    /// margin-free controller.
+    ///
+    /// [`qos_guard`]: ControllerConfig::qos_guard
+    pub overcommit: Option<OvercommitConfig>,
     /// Static or dynamic frequency scaling.
     pub dvfs_mode: DvfsMode,
     /// Samples per placement period.
@@ -770,6 +894,23 @@ impl ControllerConfig {
                     ))
                 }
                 Some(_) => {}
+            }
+        }
+        if let Some(oc) = self.overcommit {
+            if self.qos_guard.is_none() {
+                return Err(SimError::InvalidParameter(
+                    "deliberate overcommit requires a qos guard as its reactive backstop",
+                ));
+            }
+            if !(oc.max_margin.is_finite() && oc.max_margin > 0.0 && oc.max_margin <= 1.0) {
+                return Err(SimError::InvalidParameter(
+                    "overcommit max margin must lie in (0, 1]",
+                ));
+            }
+            if !(oc.margin.is_finite() && oc.margin >= 0.0 && oc.margin <= oc.max_margin) {
+                return Err(SimError::InvalidParameter(
+                    "overcommit margin must lie in [0, max_margin]",
+                ));
             }
         }
         if !(self.dynamic_headroom.is_finite() && self.dynamic_headroom >= 0.0) {
@@ -902,6 +1043,15 @@ pub struct DatacenterController {
     /// has a fragmentation dimension (degenerate equal bounds when
     /// [`ControllerConfig::adaptive_slack_max`] is unset).
     slack_ctl: Option<SlackController>,
+    /// The live deliberate-overcommit margins, one per fleet class;
+    /// `Some` exactly when [`ControllerConfig::overcommit`] is set.
+    overcommit_ctl: Option<Vec<OvercommitController>>,
+    /// Per server slot: the period index until which the boundary trim
+    /// loop's revocation holds — a trimmed server is denied further
+    /// deliberate overcommit through this period, breaking the
+    /// admit-then-trim ping-pong. Parallel to `placement`; reset
+    /// wholesale by a full batch re-pack (slots renumber).
+    overcommit_hold: Vec<usize>,
     pcp_clusters: Option<usize>,
     period_class_joules_start: Vec<f64>,
     assignment: Vec<Option<usize>>,
@@ -1022,6 +1172,10 @@ impl DatacenterController {
                 .repack_trigger
                 .slack()
                 .map(|s| SlackController::new(s, cfg.adaptive_slack_max.unwrap_or(s))),
+            overcommit_ctl: cfg
+                .overcommit
+                .map(|oc| vec![OvercommitController::new(oc.margin, oc.max_margin); n_classes]),
+            overcommit_hold: Vec::new(),
             pcp_clusters: None,
             period_class_joules_start: vec![0.0; n_classes],
             assignment: Vec::new(),
@@ -1199,6 +1353,51 @@ impl DatacenterController {
     /// [`RepackTrigger::Periodic`].
     pub fn current_slack(&self) -> Option<u32> {
         self.slack_ctl.map(|c| c.current())
+    }
+
+    /// The deliberate-overcommit margins currently in effect, one per
+    /// fleet class — walked by the per-class [`OvercommitController`]s
+    /// from observed violation ratios. `None` without
+    /// [`ControllerConfig::overcommit`]. Degraded mode and per-slot
+    /// trim holds suspend the margins *in use* without changing these
+    /// controller values.
+    pub fn overcommit_margins(&self) -> Option<Vec<f64>> {
+        self.overcommit_ctl
+            .as_ref()
+            .map(|ctls| ctls.iter().map(|c| c.current()).collect())
+    }
+
+    /// Whether server `s` is under a boundary-trim revocation hold: an
+    /// evidence-backed trim denies the slot further deliberate
+    /// overcommit through the following period, breaking the
+    /// admit-then-trim ping-pong.
+    pub fn overcommit_held(&self, s: usize) -> bool {
+        self.overcommit_hold.get(s).copied().unwrap_or(0) > self.period
+    }
+
+    /// The deliberate-overcommit margin in effect for server `s` right
+    /// now: zero when overcommit is unconfigured, suspended by
+    /// degraded mode, or revoked for this slot by a boundary trim.
+    fn margin_of(&self, s: usize) -> f64 {
+        if self.degraded() || self.overcommit_held(s) {
+            return 0.0;
+        }
+        match (&self.overcommit_ctl, self.classes_of.get(s)) {
+            (Some(ctls), Some(&class)) => ctls[class].current(),
+            _ => 0.0,
+        }
+    }
+
+    /// The per-class margin vector the batch re-pack packs with: the
+    /// live controller values, or all zeros when overcommit is off or
+    /// the controller is degraded (a full re-pack renumbers slots, so
+    /// per-slot holds do not apply here).
+    fn batch_margins(&self) -> Vec<f64> {
+        let n = self.cfg.server_fleet.len();
+        if self.degraded() {
+            return vec![0.0; n];
+        }
+        self.overcommit_margins().unwrap_or_else(|| vec![0.0; n])
     }
 
     /// The live Eqn (3) lower bound: the fill-order server count
@@ -1703,23 +1902,48 @@ impl DatacenterController {
     }
 
     /// The full policy re-pack of the live VM set (plus the PCP cluster
-    /// count when applicable) — the batch ALLOCATE pass.
+    /// count when applicable) — the batch ALLOCATE pass. Runs through
+    /// [`AllocationPolicy::place_with_margins`] with the live per-class
+    /// overcommit margins (all zeros — and hence the policy's plain
+    /// `place`, bit for bit — when overcommit is off or the controller
+    /// is degraded).
     fn place_live(&self, vms: &[VmDescriptor]) -> crate::Result<(Placement, Option<usize>)> {
         let fleet = &self.cfg.server_fleet;
+        let margins = self.batch_margins();
         let matrix = self
             .matrix
             .as_ref()
             .expect("matrix is built before placement");
         match self.cfg.policy {
-            Policy::Bfd => Ok((BfdPolicy.place(vms, matrix, fleet).map_err(map_core)?, None)),
-            Policy::Ffd => Ok((FfdPolicy.place(vms, matrix, fleet).map_err(map_core)?, None)),
+            Policy::Bfd => Ok((
+                BfdPolicy
+                    .place_with_margins(vms, matrix, fleet, &margins)
+                    .map_err(map_core)?,
+                None,
+            )),
+            Policy::Ffd => Ok((
+                FfdPolicy
+                    .place_with_margins(vms, matrix, fleet, &margins)
+                    .map_err(map_core)?,
+                None,
+            )),
             Policy::Proposed(config) => {
                 let policy = ProposedPolicy::new(config).map_err(SimError::Core)?;
-                Ok((policy.place(vms, matrix, fleet).map_err(map_core)?, None))
+                Ok((
+                    policy
+                        .place_with_margins(vms, matrix, fleet, &margins)
+                        .map_err(map_core)?,
+                    None,
+                ))
             }
             Policy::SuperVm { min_pair_cost } => {
                 let policy = SuperVmPolicy::new(min_pair_cost).map_err(SimError::Core)?;
-                Ok((policy.place(vms, matrix, fleet).map_err(map_core)?, None))
+                Ok((
+                    policy
+                        .place_with_margins(vms, matrix, fleet, &margins)
+                        .map_err(map_core)?,
+                    None,
+                ))
             }
             Policy::Pcp {
                 envelope_percentile,
@@ -1732,7 +1956,9 @@ impl DatacenterController {
                     Some(w) if !w.is_empty() => w,
                     _ => {
                         return Ok((
-                            BfdPolicy.place(vms, matrix, fleet).map_err(map_core)?,
+                            BfdPolicy
+                                .place_with_margins(vms, matrix, fleet, &margins)
+                                .map_err(map_core)?,
                             Some(1),
                         ))
                     }
@@ -1750,7 +1976,8 @@ impl DatacenterController {
                     .map_err(SimError::Core)?;
                 let clusters = pcp.cluster_count();
                 Ok((
-                    pcp.place(vms, matrix, fleet).map_err(map_core)?,
+                    pcp.place_with_margins(vms, matrix, fleet, &margins)
+                        .map_err(map_core)?,
                     Some(clusters),
                 ))
             }
@@ -1927,6 +2154,9 @@ impl DatacenterController {
         // re-pack) — so every slot of the fresh placement is healthy.
         debug_assert!(!self.health.iter().any(|h| h.is_failed()));
         self.health = vec![ServerHealth::Healthy; bins];
+        // The renumbering also voids any per-slot overcommit holds: the
+        // trimmed server a hold pointed at no longer exists.
+        self.overcommit_hold = vec![0; bins];
         self.placement = placement;
         Ok(migrations)
     }
@@ -2008,6 +2238,7 @@ impl DatacenterController {
         let mut forced: Vec<(usize, usize)> = Vec::new();
         let mut over_servers = 0usize;
         let servers_before = self.placement.active_server_count();
+        self.overcommit_hold.resize(bins, 0);
         if self.cfg.qos_guard.is_some() || degraded {
             for s in 0..bins {
                 let members = self.placement.servers()[s].clone();
@@ -2025,6 +2256,13 @@ impl DatacenterController {
                     continue;
                 }
                 over_servers += 1;
+                // A trimmed server sits out deliberate overcommit for
+                // the trim period and the next: re-admitting the same
+                // margin it just breached would ping-pong VMs between
+                // the trim loop and the admission gate every boundary.
+                if self.overcommit_ctl.is_some() {
+                    self.overcommit_hold[s] = self.period + 2;
+                }
                 let mut by_demand = members;
                 by_demand.sort_by(|&a, &b| {
                     self.dense_vms[b]
@@ -2473,6 +2711,33 @@ impl DatacenterController {
                 meter.joules() - self.period_class_joules_start[c],
             );
         }
+        // ---- Overcommit margin feedback. Each class's controller
+        // walks on the worst violation ratio its servers produced this
+        // period, measured against the guard threshold. Degraded
+        // periods are skipped: failure-inflated violations say nothing
+        // about whether the correlation-gap bet was sound, and the
+        // margins are already suspended while degraded.
+        if !self.degraded() && self.cfg.period_samples > 0 {
+            if let Some(ctls) = self.overcommit_ctl.as_mut() {
+                let guard = self
+                    .cfg
+                    .qos_guard
+                    .expect("validate(): overcommit requires a qos guard")
+                    .violation_ratio;
+                let mut worst = vec![self.period_ratio_floor; ctls.len()];
+                for (s, &v) in self.server_violations.iter().enumerate() {
+                    let ratio = v as f64 / self.cfg.period_samples as f64;
+                    if let Some(&class) = self.classes_of.get(s) {
+                        if ratio > worst[class] {
+                            worst[class] = ratio;
+                        }
+                    }
+                }
+                for (class, ctl) in ctls.iter_mut().enumerate() {
+                    ctl.observe_period(worst[class], guard);
+                }
+            }
+        }
         self.period_records.push(record);
         self.period += 1;
         self.in_period = false;
@@ -2607,6 +2872,11 @@ impl DatacenterController {
             .and_then(|s| s.lease_end)
             .map(|end| end.saturating_sub(self.clock));
 
+        // Healing moves (exclude set: guard splits, boundary trims,
+        // evacuations) place at plain capacity — margin 0. A VM being
+        // moved *off* an overloaded server must not land on another
+        // one's overcommit bet.
+        let healing = exclude.is_some();
         let choice = {
             let matrix = self.matrix.as_ref().expect("ensured above");
             let candidates: Vec<usize> = (0..self.placement.server_count())
@@ -2626,6 +2896,7 @@ impl DatacenterController {
                     drain_samples,
                     agg: &self.aggregates[s],
                     healthy: !self.health.get(s).is_some_and(|h| h.is_failed()),
+                    overcommit_margin: if healing { 0.0 } else { self.margin_of(s) },
                 })
                 .collect();
             admit_choice(self.cfg.policy, &vm, lease, &views, matrix).map(|i| candidates[i])
@@ -2643,6 +2914,8 @@ impl DatacenterController {
                 self.server_violations.push(0);
                 self.health.resize(s, ServerHealth::Healthy);
                 self.health.push(ServerHealth::Healthy);
+                self.overcommit_hold.resize(s, 0);
+                self.overcommit_hold.push(0);
                 s
             }
         };
@@ -2677,5 +2950,128 @@ fn admit_choice(
         Policy::Bfd | Policy::Pcp { .. } | Policy::SuperVm { .. } => {
             BfdPolicy.place_one(vm, lease, servers, matrix)
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Regression for the decay-streak bug: a zero-migration re-pack
+    /// carries no cost signal, so it must leave an in-progress miss
+    /// streak untouched. The broken `observe` cleared `misses` before
+    /// its `migrations == 0` early return, letting a cost-free re-pack
+    /// indefinitely postpone the slack decay.
+    #[test]
+    fn cost_free_repack_does_not_interrupt_miss_streak() {
+        let mut ctl = SlackController::new(1, 3);
+        ctl.observe(1, 8); // expensive: slack 1 -> 2
+        assert_eq!(ctl.current(), 2);
+        ctl.observe_miss(1); // streak 1 of MISS_STREAK=2
+        ctl.observe(0, 0); // cost-free re-pack: no signal
+        ctl.observe_miss(1); // streak completes -> decay
+        assert_eq!(
+            ctl.current(),
+            1,
+            "a zero-migration observe must not reset the miss streak"
+        );
+    }
+
+    /// A priced observation (migrations > 0) legitimately resets the
+    /// streak — only the cost-free case was the bug.
+    #[test]
+    fn priced_repack_still_resets_miss_streak() {
+        let mut ctl = SlackController::new(1, 3);
+        ctl.observe(1, 8); // slack 1 -> 2
+        ctl.observe_miss(1); // streak 1
+        ctl.observe(1, 3); // priced, mid-band: holds slack, resets streak
+        ctl.observe_miss(1); // streak 1 again, not 2
+        assert_eq!(ctl.current(), 2, "a priced observe must reset the streak");
+        ctl.observe_miss(1);
+        assert_eq!(ctl.current(), 1);
+    }
+
+    #[test]
+    fn overcommit_controller_walks_within_bounds() {
+        let guard = 0.05;
+        let mut ctl = OvercommitController::new(0.0, 0.10);
+        // Comfortable periods grow the margin in STEP increments after
+        // RAISE_STREAK, never past the ceiling.
+        for _ in 0..20 {
+            ctl.observe_period(0.0, guard);
+            assert!(ctl.current() <= ctl.max() + 1e-12);
+            assert!(ctl.current() >= 0.0);
+        }
+        assert!(
+            (ctl.current() - 0.10).abs() < 1e-9,
+            "sustained headroom reaches the ceiling"
+        );
+        // A breach shrinks immediately.
+        ctl.observe_period(0.20, guard);
+        assert!((ctl.current() - 0.05).abs() < 1e-9);
+        // Middle band (acceptable but not comfortable) holds.
+        ctl.observe_period(0.04, guard);
+        assert!((ctl.current() - 0.05).abs() < 1e-9);
+        // And the middle band resets the raise streak: one comfortable
+        // period after it must not grow yet.
+        ctl.observe_period(0.0, guard);
+        assert!((ctl.current() - 0.05).abs() < 1e-9);
+        ctl.observe_period(0.0, guard);
+        assert!((ctl.current() - 0.10).abs() < 1e-9);
+        // Repeated breaches floor at zero.
+        for _ in 0..5 {
+            ctl.observe_period(0.9, guard);
+        }
+        assert_eq!(ctl.current(), 0.0);
+    }
+
+    fn config_with(
+        overcommit: Option<OvercommitConfig>,
+        guard: Option<QosGuard>,
+    ) -> ControllerConfig {
+        ControllerConfig {
+            server_fleet: cavm_core::fleet::ServerFleet::uniform(
+                8,
+                8.0,
+                cavm_power::LinearPowerModel::xeon_e5410(),
+            )
+            .unwrap(),
+            policy: Policy::Proposed(Default::default()),
+            repack_trigger: RepackTrigger::Periodic,
+            qos_guard: guard,
+            adaptive_slack_max: None,
+            overcommit,
+            dvfs_mode: DvfsMode::Static,
+            period_samples: 16,
+            reference: Reference::Peak,
+            dynamic_headroom: 0.1,
+            default_demand: 1.0,
+            sample_dt_s: 5.0,
+            max_deferred: 64,
+        }
+    }
+
+    #[test]
+    fn overcommit_config_validation() {
+        let guard = Some(QosGuard {
+            violation_ratio: 0.05,
+        });
+        let oc = |margin, max_margin| Some(OvercommitConfig { margin, max_margin });
+
+        config_with(oc(0.0, 0.25), guard)
+            .validate()
+            .expect("margin 0 with a guard is valid");
+        assert!(
+            config_with(oc(0.0, 0.25), None).validate().is_err(),
+            "overcommit requires the guard"
+        );
+        assert!(
+            config_with(oc(0.0, 0.0), guard).validate().is_err(),
+            "max_margin must be positive"
+        );
+        assert!(
+            config_with(oc(0.5, 0.25), guard).validate().is_err(),
+            "margin must not exceed max_margin"
+        );
     }
 }

@@ -125,8 +125,9 @@ pub mod sink;
 pub use cells::ShardedController;
 pub use config::{Policy, Scenario, ScenarioBuilder};
 pub use controller::{
-    ControllerConfig, DatacenterController, MetricSink, NullSink, QosGuard, RepackEvent,
-    RepackReason, RepackTrigger, ReportSink, SlackController, ViolationEvent, VmEvent,
+    ControllerConfig, DatacenterController, MetricSink, NullSink, OvercommitConfig,
+    OvercommitController, QosGuard, RepackEvent, RepackReason, RepackTrigger, ReportSink,
+    SlackController, ViolationEvent, VmEvent,
 };
 pub use error::SimError;
 pub use report::{ClassBreakdown, PeriodRecord, SimReport};

@@ -66,8 +66,8 @@ use cavm_core::dvfs::DvfsMode;
 use cavm_core::fleet::{ServerClass, ServerFleet};
 use cavm_power::LinearPowerModel;
 use cavm_sim::{
-    ControllerConfig, DatacenterController, MetricSink, Policy, QosGuard, RepackEvent,
-    RepackReason, RepackTrigger, ShardedController,
+    ControllerConfig, DatacenterController, MetricSink, OvercommitConfig, Policy, QosGuard,
+    RepackEvent, RepackReason, RepackTrigger, ShardedController,
 };
 use cavm_trace::{Reference, SimRng, TimeSeries};
 use proptest::prelude::*;
@@ -100,6 +100,7 @@ struct Schedule {
     trigger: RepackTrigger,
     guard: Option<QosGuard>,
     adaptive_slack_max: Option<u32>,
+    overcommit: Option<OvercommitConfig>,
 }
 
 impl Schedule {
@@ -108,13 +109,14 @@ impl Schedule {
             trigger,
             guard: None,
             adaptive_slack_max: None,
+            overcommit: None,
         }
     }
 }
 
 /// The schedule axis: the PR 4 trigger matrix plus the guarded and
 /// adaptive variants this harness exists to pin.
-fn schedules() -> [Schedule; 6] {
+fn schedules() -> [Schedule; 7] {
     [
         Schedule::plain(RepackTrigger::Periodic),
         Schedule::plain(RepackTrigger::Fragmentation { slack: 1 }),
@@ -127,6 +129,7 @@ fn schedules() -> [Schedule; 6] {
                 violation_ratio: 0.10,
             }),
             adaptive_slack_max: None,
+            overcommit: None,
         },
         // Guard composed onto the paper's periodic clock.
         Schedule {
@@ -135,6 +138,7 @@ fn schedules() -> [Schedule; 6] {
                 violation_ratio: 0.05,
             }),
             adaptive_slack_max: None,
+            overcommit: None,
         },
         // Adaptive slack walking in [1, 3], with a guard on top.
         Schedule {
@@ -143,6 +147,22 @@ fn schedules() -> [Schedule; 6] {
                 violation_ratio: 0.05,
             }),
             adaptive_slack_max: Some(3),
+            overcommit: None,
+        },
+        // Deliberate correlation-gap overcommit on the guarded
+        // fragmentation schedule (Fragmentation keeps `capacity_binds`
+        // honest: the plain-capacity invariant is not asserted here,
+        // the margin-bounded one below is).
+        Schedule {
+            trigger: RepackTrigger::Fragmentation { slack: 1 },
+            guard: Some(QosGuard {
+                violation_ratio: 0.10,
+            }),
+            adaptive_slack_max: None,
+            overcommit: Some(OvercommitConfig {
+                margin: 0.15,
+                max_margin: 0.25,
+            }),
         },
     ]
 }
@@ -307,6 +327,22 @@ fn check_invariants(
         trigger
     );
 
+    // The overcommit axis, part 1: the live per-class margins never
+    // leave [0, max_margin] no matter how the feedback walks them.
+    if let Some(oc) = schedule.overcommit {
+        let margins = c.overcommit_margins().expect("overcommit is configured");
+        prop_assert_eq!(margins.len(), fleet.len());
+        for (class, &m) in margins.iter().enumerate() {
+            prop_assert!(
+                (0.0..=oc.max_margin + FIT_EPS).contains(&m),
+                "class {} margin {} outside [0, {}]",
+                class,
+                m,
+                oc.max_margin
+            );
+        }
+    }
+
     if capacity_binds(policy, schedule) {
         let demands = c.predicted_vms();
         for (s, server) in placement.servers().iter().enumerate() {
@@ -355,6 +391,7 @@ fn run_case(
         repack_trigger: trigger,
         qos_guard: schedule.guard,
         adaptive_slack_max: schedule.adaptive_slack_max,
+        overcommit: schedule.overcommit,
         dvfs_mode,
         period_samples: PERIOD,
         reference: Reference::Peak,
@@ -390,6 +427,35 @@ fn run_case(
                     .map_err(|e| TestCaseError::fail(format!("arrive({id}) at {k}: {e}")))?;
                 model.live.insert(id);
                 check_invariants(&controller, &model, fleet, policy, schedule)?;
+                // The overcommit axis, part 2: at every admission the
+                // landing server's predicted per-VM sum stays within
+                // capacity x (1 + max_margin) — the deliberate bet is
+                // bounded at the moment it is made. (Standing
+                // placements may drift past this between boundaries on
+                // placement-keeping schedules; that is the guard's
+                // territory, not the admission gate's.)
+                // Deferred arrivals (the fleet genuinely full even
+                // with the margin) have no landing server to check.
+                if let (Some(oc), Some(s)) =
+                    (schedule.overcommit, controller.placement().server_of(id))
+                {
+                    let placement = controller.placement();
+                    let members = &placement.servers()[s];
+                    if members.len() >= 2 {
+                        let demands = controller.predicted_vms();
+                        let load: f64 = members.iter().map(|&i| demands[i].demand).sum();
+                        let cores = fleet.classes()[placement.classes()[s]].cores();
+                        prop_assert!(
+                            load <= cores * (1.0 + oc.max_margin) + FIT_EPS,
+                            "admission of vm {} put {} cores on a {}-core server \
+                             (margin cap {})",
+                            id,
+                            load,
+                            cores,
+                            oc.max_margin
+                        );
+                    }
+                }
             }
         }
 
@@ -618,6 +684,7 @@ fn run_chaos_case(
         repack_trigger: schedule.trigger,
         qos_guard: schedule.guard,
         adaptive_slack_max: schedule.adaptive_slack_max,
+        overcommit: schedule.overcommit,
         dvfs_mode: DvfsMode::Static,
         period_samples: PERIOD,
         reference: Reference::Peak,
@@ -832,6 +899,7 @@ fn harness_config(
         repack_trigger: schedule.trigger,
         qos_guard: schedule.guard,
         adaptive_slack_max: schedule.adaptive_slack_max,
+        overcommit: schedule.overcommit,
         dvfs_mode,
         period_samples: PERIOD,
         reference: Reference::Peak,
@@ -1068,12 +1136,20 @@ proptest! {
             trigger: RepackTrigger::Fragmentation { slack: 1 },
             guard: Some(QosGuard { violation_ratio: 0.10 }),
             adaptive_slack_max: None,
+            overcommit: None,
+        };
+        // Overcommit margins are per-cell state; the degenerate single
+        // cell must still delegate them bit-identically.
+        let overcommitted = Schedule {
+            overcommit: Some(OvercommitConfig { margin: 0.15, max_margin: 0.25 }),
+            ..guarded
         };
         for policy in five_policies() {
             for schedule in [
                 Schedule::plain(RepackTrigger::Periodic),
                 Schedule::plain(RepackTrigger::Hybrid { slack: 2 }),
                 guarded,
+                overcommitted,
             ] {
                 run_single_cell_equivalence_case(seed, &fleet, policy, schedule, DvfsMode::Static)?;
             }
@@ -1140,6 +1216,7 @@ fn smoke_run(seed: u64, fleet: &ServerFleet, schedule: Schedule) -> RepackLog {
         repack_trigger: schedule.trigger,
         qos_guard: schedule.guard,
         adaptive_slack_max: schedule.adaptive_slack_max,
+        overcommit: schedule.overcommit,
         dvfs_mode: DvfsMode::Static,
         period_samples: PERIOD,
         reference: Reference::Peak,
@@ -1197,10 +1274,86 @@ fn fragmentation_and_qos_repacks_actually_happen_in_the_harness() {
             violation_ratio: 0.10,
         }),
         adaptive_slack_max: None,
+        overcommit: None,
     };
     let qos = (0..64u64).any(|seed| smoke_run(seed, &fleet, guarded).qos_fired() > 0);
     assert!(
         qos,
         "no seed in 0..64 ever fired a QoS-guard re-pack — the guard axis is vacuous"
+    );
+}
+
+/// Replays the overcommit schedule once and reports whether any
+/// admission landed a multi-VM server past *plain* capacity — i.e. a
+/// genuine correlation-gap bet, not just a margin that never mattered.
+fn overcommit_bet_happened(seed: u64, fleet: &ServerFleet) -> bool {
+    let schedule = Schedule {
+        trigger: RepackTrigger::Fragmentation { slack: 1 },
+        guard: Some(QosGuard {
+            violation_ratio: 0.10,
+        }),
+        adaptive_slack_max: None,
+        overcommit: Some(OvercommitConfig {
+            margin: 0.15,
+            max_margin: 0.25,
+        }),
+    };
+    let mut rng = SimRng::new(seed);
+    let plans = draw_plans(&mut rng);
+    let mut controller = DatacenterController::new(harness_config(
+        fleet,
+        Policy::Proposed(Default::default()),
+        schedule,
+        DvfsMode::Static,
+    ))
+    .expect("valid config");
+    let mut sink = RepackLog::default();
+    let mut bet = false;
+    for k in 0..TOTAL {
+        for (id, plan) in plans.iter().enumerate() {
+            if plan.departure == Some(k) {
+                controller.depart(id).expect("scheduled departure");
+            }
+        }
+        for (id, plan) in plans.iter().enumerate() {
+            if plan.arrival == k {
+                let horizon = plan.departure.unwrap_or(TOTAL);
+                let trace = draw_trace(&mut rng, horizon - k);
+                controller
+                    .arrive(id, trace, plan.departure.map(|d| d - k), &mut sink)
+                    .expect("scheduled arrival");
+                let placement = controller.placement();
+                // A deferred arrival (tight fleet full) is no bet.
+                if let Some(s) = placement.server_of(id) {
+                    let members = &placement.servers()[s];
+                    if members.len() >= 2 {
+                        let demands = controller.predicted_vms();
+                        let load: f64 = members.iter().map(|&i| demands[i].demand).sum();
+                        let cores = fleet.classes()[placement.classes()[s]].cores();
+                        if load > cores + FIT_EPS {
+                            bet = true;
+                        }
+                    }
+                }
+            }
+        }
+        controller.tick(&mut sink).expect("tick");
+    }
+    bet
+}
+
+/// The overcommit axis has teeth: somewhere in the seed range the
+/// proptests sweep, an admission actually crosses plain capacity on the
+/// strength of the margin — otherwise the margin-bounded admission
+/// invariant would be vacuous.
+#[test]
+fn overcommit_admissions_actually_happen_in_the_harness() {
+    // A deliberately tight fleet: half the uniform harness fleet, so
+    // plain capacity runs out and the margin path gets exercised.
+    let fleet = ServerFleet::uniform(4, 8.0, LinearPowerModel::xeon_e5410()).expect("valid fleet");
+    let hit = (0..64u64).any(|seed| overcommit_bet_happened(seed, &fleet));
+    assert!(
+        hit,
+        "no seed in 0..64 ever admitted past plain capacity — the overcommit axis is vacuous"
     );
 }

@@ -280,6 +280,7 @@ fn vacated_servers_stay_as_eligible_as_fresh_ones_for_open_ended_arrivals() {
         repack_trigger: RepackTrigger::Periodic,
         qos_guard: None,
         adaptive_slack_max: None,
+        overcommit: None,
         dvfs_mode: cavm_core::dvfs::DvfsMode::Static,
         period_samples: PERIOD,
         reference: Reference::Peak,
@@ -351,6 +352,7 @@ fn hybrid_trigger_fires_offcycle_repacks_under_departure_churn() {
             repack_trigger: RepackTrigger::Hybrid { slack: 1 },
             qos_guard: None,
             adaptive_slack_max: None,
+            overcommit: None,
             dvfs_mode: cavm_core::dvfs::DvfsMode::Static,
             period_samples: PERIOD,
             reference: Reference::Peak,
@@ -544,6 +546,7 @@ fn qos_guard_repacks_away_drifted_overcommit_mid_period() {
         repack_trigger: RepackTrigger::Fragmentation { slack: 1 },
         qos_guard: guard,
         adaptive_slack_max: None,
+        overcommit: None,
         dvfs_mode: cavm_core::dvfs::DvfsMode::Static,
         period_samples: PERIOD,
         reference: Reference::Peak,
@@ -640,6 +643,7 @@ fn boundary_capacity_check_force_repacks_overcommitted_servers() {
             violation_ratio: 0.04,
         }),
         adaptive_slack_max: None,
+        overcommit: None,
         dvfs_mode: cavm_core::dvfs::DvfsMode::Static,
         period_samples: PERIOD,
         reference: Reference::Peak,
@@ -697,6 +701,135 @@ fn boundary_capacity_check_force_repacks_overcommitted_servers() {
         controller.tick(&mut sink).unwrap();
     }
     assert_eq!(controller.report().violation_instances, 3);
+}
+
+#[test]
+fn trimmed_server_is_not_reovercommitted_until_its_hold_expires() {
+    // The admit-then-trim ping-pong regression. Three tenants whose
+    // 3.3-core peaks coincide only on each period's last three samples
+    // pack onto one server on the 2.0-core default predictions; the
+    // period ends at 3/60 = 5% > 4% (too late for the mid-period
+    // guard), and the refreshed 3.3-core predictions leave the kept
+    // server at 9.9 > 8 cores — the boundary capacity check trims one
+    // tenant off. With deliberate overcommit configured, the trimmed
+    // server (6.6 cores predicted) would immediately re-admit the next
+    // mid-period arrival through the margin gate (8.6 <= 8 x 1.1)
+    // and be re-trimmed a boundary later. The trim's revocation hold
+    // must deny the slot its margin through the next period — and then
+    // lapse, because the hold is per-incident, not a permanent
+    // blacklist.
+    use cavm_power::LinearPowerModel;
+    use cavm_sim::{
+        ControllerConfig, DatacenterController, OvercommitConfig, QosGuard, RepackReason,
+    };
+    use cavm_trace::{Reference, TimeSeries};
+
+    const PERIOD: usize = 60;
+    let trace = || {
+        let values = (0..4 * PERIOD)
+            .map(|t| if t % PERIOD >= 57 { 3.3 } else { 2.0 })
+            .collect();
+        TimeSeries::new(5.0, values).unwrap()
+    };
+    let mut controller = DatacenterController::new(ControllerConfig {
+        server_fleet: cavm_core::fleet::ServerFleet::uniform(
+            4,
+            8.0,
+            LinearPowerModel::xeon_e5410(),
+        )
+        .unwrap(),
+        policy: Policy::Bfd,
+        repack_trigger: RepackTrigger::Fragmentation { slack: 1 },
+        qos_guard: Some(QosGuard {
+            violation_ratio: 0.04,
+        }),
+        adaptive_slack_max: None,
+        overcommit: Some(OvercommitConfig {
+            margin: 0.15,
+            max_margin: 0.25,
+        }),
+        dvfs_mode: cavm_core::dvfs::DvfsMode::Static,
+        period_samples: PERIOD,
+        reference: Reference::Peak,
+        dynamic_headroom: 0.25,
+        default_demand: 2.0,
+        sample_dt_s: 5.0,
+        max_deferred: 1024,
+    })
+    .unwrap();
+    let mut sink = ReportSink::new();
+    for id in 0..3 {
+        controller.arrive(id, trace(), None, &mut sink).unwrap();
+    }
+    for _ in 0..PERIOD {
+        controller.tick(&mut sink).unwrap();
+    }
+    assert_eq!(
+        controller.placement().active_server_count(),
+        1,
+        "period 0 packs the trio on the 2.0-core default predictions"
+    );
+
+    // Boundary: evidence (5% > 4%) + overcommit (9.9 > 8) trims the
+    // smallest set that restores plain capacity — one tenant — and
+    // puts the slot under a revocation hold.
+    controller.tick(&mut sink).unwrap();
+    let overcommit_events = |sink: &ReportSink| {
+        sink.repacks()
+            .iter()
+            .filter(|e| matches!(e.reason, RepackReason::Overcommit { .. }))
+            .count()
+    };
+    assert_eq!(overcommit_events(&sink), 1, "one boundary trim");
+    assert_eq!(controller.placement().active_server_count(), 2);
+    let held: Vec<usize> = (0..4).filter(|&s| controller.overcommit_held(s)).collect();
+    assert_eq!(held.len(), 1, "exactly the trimmed slot is held");
+    let trimmed = held[0];
+    let margins = controller.overcommit_margins().expect("overcommit is on");
+    assert!(
+        margins.iter().all(|&m| m > 0.0),
+        "the hold revokes the slot's margin without zeroing the class controller"
+    );
+
+    // A mid-period arrival would margin-fit the trimmed server (6.6 +
+    // 2.0 = 8.6 <= 8 x margin cap) and BFD would prefer it as the
+    // fullest bin — the hold must turn it away to a plain-capacity
+    // server.
+    for _ in 0..5 {
+        controller.tick(&mut sink).unwrap();
+    }
+    controller.arrive(3, trace(), None, &mut sink).unwrap();
+    let landed = controller
+        .placement()
+        .server_of(3)
+        .expect("three near-empty servers can host a 2-core tenant");
+    assert_ne!(
+        landed, trimmed,
+        "a held server must not re-admit past plain capacity"
+    );
+    let load_on_trimmed: f64 = controller.placement().servers()[trimmed]
+        .iter()
+        .map(|&id| controller.predicted_vms()[id].demand)
+        .sum();
+    assert!(
+        load_on_trimmed <= 8.0 + 1e-9,
+        "the trimmed server stays within plain capacity while held"
+    );
+
+    // Two more boundaries: the split placement is violation-free, so
+    // no further trim fires (no ping-pong) and the hold lapses.
+    for _ in 0..2 * PERIOD + 1 {
+        controller.tick(&mut sink).unwrap();
+    }
+    assert_eq!(
+        overcommit_events(&sink),
+        1,
+        "the trim must not recur every boundary"
+    );
+    assert!(
+        (0..4).all(|s| !controller.overcommit_held(s)),
+        "the revocation hold expires after the following period"
+    );
 }
 
 #[test]
@@ -857,6 +990,7 @@ fn fault_controller(
         repack_trigger: RepackTrigger::Periodic,
         qos_guard: None,
         adaptive_slack_max: None,
+        overcommit: None,
         dvfs_mode: DvfsMode::Static,
         period_samples: 60,
         reference: Reference::Peak,
