@@ -183,7 +183,13 @@ impl MetricSink for CellSink<'_> {
 /// The sharded datacenter session: one flat [`DatacenterController`]
 /// per placement cell plus an O(cells) sketch router in front. See the
 /// [module docs](self).
-#[derive(Debug)]
+///
+/// Like the flat controller the whole session is `Clone`-able:
+/// [`snapshot`](Self::snapshot)/[`fork`](Self::fork) copy **cell-wise**
+/// (each cell's flat controller clones independently, plus the O(cells)
+/// routing tables), so a fork of a 256-cell session costs the sum of
+/// 256 small per-cell clones, never a fleet-wide dense matrix.
+#[derive(Debug, Clone)]
 pub struct ShardedController {
     inner: Vec<DatacenterController>,
     /// `class_maps[cell][local_class]` → global class index.
@@ -763,6 +769,55 @@ impl ShardedController {
     /// Read access to one cell's flat controller, for inspection.
     pub fn cell_controller(&self, cell: usize) -> Option<&DatacenterController> {
         self.inner.get(cell)
+    }
+
+    /// An independent copy of the whole sharded session, cell-wise.
+    ///
+    /// Alias of [`fork`](Self::fork); see
+    /// [`DatacenterController::snapshot`] for the semantics.
+    pub fn snapshot(&self) -> Self {
+        self.clone()
+    }
+
+    /// Forks the sharded session: every cell's flat controller is
+    /// cloned independently along with the O(cells) routing state.
+    /// Events applied to the fork never touch the original and vice
+    /// versa.
+    pub fn fork(&self) -> Self {
+        self.clone()
+    }
+
+    /// Runs a hypothetical off-cycle re-pack on a **fork of every
+    /// cell** and returns the summed delta, without touching the live
+    /// session. Cells re-pack independently (exactly as a real
+    /// off-cycle trigger would fire per cell), so the delta is the sum
+    /// of per-cell [`WhatIfDelta`](crate::controller::WhatIfDelta)s.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any per-cell re-pack failure
+    /// (e.g. [`SimError::InsufficientServers`]).
+    pub fn what_if_repack(&self) -> crate::Result<crate::controller::WhatIfDelta> {
+        let mut servers_before = 0;
+        let mut servers_after = 0;
+        let mut servers_freed = 0;
+        let mut migrations = 0;
+        let mut energy_estimate = 0.0;
+        for cell in &self.inner {
+            let delta = cell.what_if().repack()?;
+            servers_before += delta.servers_before;
+            servers_after += delta.servers_after;
+            servers_freed += delta.servers_freed;
+            migrations += delta.migrations;
+            energy_estimate += delta.energy_estimate;
+        }
+        Ok(crate::controller::WhatIfDelta {
+            servers_before,
+            servers_after,
+            servers_freed,
+            migrations,
+            energy_estimate,
+        })
     }
 }
 

@@ -150,7 +150,15 @@ impl Scenario {
     /// Propagates [`SimError::InvalidParameter`] from controller
     /// validation (the builder has already validated the same knobs).
     pub fn controller(&self) -> crate::Result<DatacenterController> {
-        DatacenterController::new(ControllerConfig {
+        DatacenterController::new(self.controller_config())
+    }
+
+    /// The controller-side view of this scenario's knobs — what
+    /// [`Scenario::controller`] opens a session with. Useful to seed a
+    /// [`SessionHost`](crate::service::SessionHost) with many
+    /// identically-configured (or per-tenant varied) sessions.
+    pub fn controller_config(&self) -> ControllerConfig {
+        ControllerConfig {
             server_fleet: self.server_fleet.clone(),
             policy: self.policy,
             repack_trigger: self.repack_trigger,
@@ -164,7 +172,7 @@ impl Scenario {
             default_demand: self.default_demand,
             sample_dt_s: self.fleet.vms()[0].fine.dt(),
             max_deferred: self.max_deferred,
-        })
+        }
     }
 }
 

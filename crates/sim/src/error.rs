@@ -80,6 +80,22 @@ pub enum SimError {
     },
     /// An event arrived after `finish` closed the controller session.
     SessionFinished,
+    /// The [`sink::Threaded`](crate::sink::Threaded) consumer thread
+    /// panicked while delivering events to the wrapped sink. The
+    /// panic is surfaced as a typed error at
+    /// [`Threaded::finish`](crate::sink::Threaded::finish) — never as
+    /// a poisoned lock or a hung join — and the wrapped sink is lost
+    /// with the unwound thread.
+    SinkWorkerPanicked,
+    /// A [`SessionEvent`](crate::service::SessionEvent) named a
+    /// session index the [`SessionHost`](crate::service::SessionHost)
+    /// does not own.
+    UnknownSession {
+        /// The offending session index.
+        session: usize,
+        /// Sessions the host owns.
+        sessions: usize,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -128,6 +144,12 @@ impl fmt::Display for SimError {
             }
             SimError::SessionFinished => {
                 write!(f, "controller session already finished")
+            }
+            SimError::SinkWorkerPanicked => {
+                write!(f, "threaded sink worker panicked; wrapped sink lost")
+            }
+            SimError::UnknownSession { session, sessions } => {
+                write!(f, "session {session} does not exist ({sessions} hosted)")
             }
         }
     }
@@ -225,7 +247,16 @@ mod tests {
             .to_string()
             .contains("8 slots"));
         assert!(SimError::SessionFinished.to_string().contains("finished"));
+        assert!(SimError::SinkWorkerPanicked
+            .to_string()
+            .contains("panicked"));
+        let e = SimError::UnknownSession {
+            session: 9,
+            sessions: 4,
+        };
+        assert!(e.to_string().contains("9") && e.to_string().contains("4"));
         // None of the event-path variants wrap a foreign source.
         assert!(std::error::Error::source(&SimError::SessionFinished).is_none());
+        assert!(std::error::Error::source(&SimError::SinkWorkerPanicked).is_none());
     }
 }

@@ -22,7 +22,17 @@
 //! (`on_period`, `on_repack`, `on_migration`, `on_violation`,
 //! `on_class_energy`, …) instead of only a terminal report — wrap an
 //! expensive sink in [`sink::Buffered`] to batch delivery behind a
-//! bounded queue that can never stall the replay loop.
+//! bounded queue that can never stall the replay loop, or in
+//! [`sink::Threaded`] to consume those batches on a dedicated worker
+//! thread with identical semantics.
+//!
+//! Above the single session sits the **service layer**: the controller
+//! is cheaply `Clone`-able, so [`DatacenterController::fork`] and the
+//! [`WhatIf`] API answer "what if I re-packed now?" against a copy of
+//! live state without perturbing it, and [`service::SessionHost`]
+//! hosts many independent sessions at once, replaying an interleaved
+//! event schedule on a worker pool with bit-identical results at any
+//! pool size.
 //! Accounting matches Table II exactly:
 //!
 //! * **Placement** — any [`Policy`]: BFD, FFD, PCP (re-clustered each
@@ -120,6 +130,7 @@ pub mod controller;
 mod engine;
 mod error;
 pub mod report;
+pub mod service;
 pub mod sink;
 
 pub use cells::ShardedController;
@@ -127,11 +138,12 @@ pub use config::{Policy, Scenario, ScenarioBuilder};
 pub use controller::{
     ControllerConfig, DatacenterController, MetricSink, NullSink, OvercommitConfig,
     OvercommitController, QosGuard, RepackEvent, RepackReason, RepackTrigger, ReportSink,
-    SlackController, ViolationEvent, VmEvent,
+    SlackController, ViolationEvent, VmEvent, WhatIf, WhatIfDelta,
 };
 pub use error::SimError;
 pub use report::{ClassBreakdown, PeriodRecord, SimReport};
-pub use sink::{Buffered, SinkEvent};
+pub use service::{MergedReport, ServiceReport, SessionEvent, SessionHost};
+pub use sink::{Buffered, SinkEvent, Threaded};
 
 /// Crate-wide result alias.
 pub type Result<T> = std::result::Result<T, SimError>;

@@ -10,6 +10,15 @@
 //! flush points — every completed period, at the terminal summary, or
 //! whenever the caller asks via [`Buffered::drain`].
 //!
+//! [`Threaded`] keeps exactly the same producer-side semantics but
+//! delivers each flushed batch on a dedicated worker thread, so an
+//! expensive sink overlaps with simulation instead of stalling it.
+//! The wrapped sink moves into the worker; [`Threaded::finish`] joins
+//! and returns it (or the typed
+//! [`SimError::SinkWorkerPanicked`]
+//! if it panicked). The two adapters nest in either order without
+//! double-counting drops.
+//!
 //! The terminal [`SimReport`] an inner sink receives through
 //! [`MetricSink::on_summary`] carries the adapter's drop counter in
 //! [`SimReport::sink_dropped_events`], so a consumer can tell a quiet
@@ -51,8 +60,12 @@
 //! ```
 
 use crate::controller::{MetricSink, RepackEvent, ViolationEvent};
+use crate::error::SimError;
 use crate::report::{PeriodRecord, SimReport};
 use std::collections::VecDeque;
+use std::fmt;
+use std::sync::mpsc;
+use std::thread;
 
 /// One buffered controller event, in delivery order.
 #[derive(Debug, Clone, PartialEq)]
@@ -113,6 +126,39 @@ pub enum SinkEvent {
     },
 }
 
+impl SinkEvent {
+    /// Replays this event into `sink` through the matching
+    /// [`MetricSink`] method. Shared by [`Buffered::drain`] and the
+    /// [`Threaded`] worker loop so both adapters deliver batches
+    /// identically.
+    pub fn deliver(self, sink: &mut dyn MetricSink) {
+        match self {
+            SinkEvent::Period(record) => sink.on_period(&record),
+            SinkEvent::Repack(event) => sink.on_repack(&event),
+            SinkEvent::Migration {
+                period,
+                vm,
+                from,
+                to,
+            } => sink.on_migration(period, vm, from, to),
+            SinkEvent::Violation(event) => sink.on_violation(&event),
+            SinkEvent::ClassEnergy {
+                period,
+                class,
+                name,
+                period_joules,
+            } => sink.on_class_energy(period, class, &name, period_joules),
+            SinkEvent::Admit { sample, vm, server } => sink.on_admit(sample, vm, server),
+            SinkEvent::ServerFail {
+                sample,
+                server,
+                residents,
+            } => sink.on_server_fail(sample, server, residents),
+            SinkEvent::ServerRecover { sample, server } => sink.on_server_recover(sample, server),
+        }
+    }
+}
+
 /// A bounded, batching adapter around an inner [`MetricSink`]. See the
 /// [module docs](self).
 #[derive(Debug, Clone)]
@@ -169,34 +215,7 @@ impl<S: MetricSink> Buffered<S> {
     /// the terminal summary.
     pub fn drain(&mut self) {
         while let Some(event) = self.queue.pop_front() {
-            match event {
-                SinkEvent::Period(record) => self.inner.on_period(&record),
-                SinkEvent::Repack(event) => self.inner.on_repack(&event),
-                SinkEvent::Migration {
-                    period,
-                    vm,
-                    from,
-                    to,
-                } => self.inner.on_migration(period, vm, from, to),
-                SinkEvent::Violation(event) => self.inner.on_violation(&event),
-                SinkEvent::ClassEnergy {
-                    period,
-                    class,
-                    name,
-                    period_joules,
-                } => self
-                    .inner
-                    .on_class_energy(period, class, &name, period_joules),
-                SinkEvent::Admit { sample, vm, server } => self.inner.on_admit(sample, vm, server),
-                SinkEvent::ServerFail {
-                    sample,
-                    server,
-                    residents,
-                } => self.inner.on_server_fail(sample, server, residents),
-                SinkEvent::ServerRecover { sample, server } => {
-                    self.inner.on_server_recover(sample, server)
-                }
-            }
+            event.deliver(&mut self.inner);
         }
     }
 
@@ -267,11 +286,270 @@ impl<S: MetricSink> MetricSink for Buffered<S> {
         // Everything still queued is delivered before the summary, and
         // the summary itself is never queued (nor droppable): the
         // inner sink sees it exactly once, with the adapter's drop
-        // counter folded in.
+        // counter folded in. The fold is **additive** — a controller
+        // report always arrives with `sink_dropped_events == 0`, so
+        // standalone behaviour is unchanged, but when adapters nest
+        // (e.g. [`Threaded`]`<Buffered<S>>`) each layer adds its own
+        // drops instead of the inner layer overwriting the outer
+        // layer's count.
         self.drain();
         let mut report = report.clone();
-        report.sink_dropped_events = self.dropped;
+        report.sink_dropped_events += self.dropped;
         self.inner.on_summary(&report);
+    }
+}
+
+/// Messages crossing the channel between a [`Threaded`] producer and
+/// its worker thread. Batches only ever cross at flush points, so the
+/// channel bound is small and the replay loop blocks at most once per
+/// period while the worker catches up.
+enum WorkerMsg {
+    /// A drained batch of queued events, in arrival order. A flush at
+    /// a period boundary appends the (never-droppable)
+    /// [`SinkEvent::Period`] record as the batch's final element.
+    Batch(Vec<SinkEvent>),
+    /// The terminal report, drop counter already folded in.
+    Summary(SimReport),
+}
+
+/// A [`Buffered`]-compatible adapter that delivers batches on a real
+/// `std::thread` worker, overlapping sink I/O with simulation.
+///
+/// The producer side is **identical** to [`Buffered`]: events land in
+/// a bounded in-memory queue and an overflowing queue drops the
+/// incoming event and counts it. Because the drop decision happens on
+/// the replay thread against the same bounded queue, the set of
+/// dropped events — and therefore everything the wrapped sink
+/// eventually sees — is bit-for-bit the sequence [`Buffered`] would
+/// have delivered, regardless of thread scheduling. Only the *timing*
+/// of delivery differs: at each flush point the queued batch crosses a
+/// small bounded channel to the worker instead of running inline.
+///
+/// The wrapped sink **moves into** the worker thread — this is the
+/// answer to the `&mut self` handoff problem: the replay loop never
+/// touches the sink concurrently because it cannot reach it at all.
+/// [`finish`](Self::finish) closes the channel, joins the worker and
+/// returns the sink. If the sink panicked while consuming events the
+/// join surfaces it as the typed
+/// [`SimError::SinkWorkerPanicked`]
+/// instead of a poisoned lock or a hung join; events sent after the
+/// panic are discarded without blocking.
+///
+/// Nesting composes: the drop-counter fold into
+/// [`SimReport::sink_dropped_events`] is additive on both adapters, so
+/// `Threaded<Buffered<S>>` (or the reverse) reports the *sum* of both
+/// layers' drops.
+///
+/// ```
+/// use cavm_sim::sink::Threaded;
+/// use cavm_sim::MetricSink;
+///
+/// #[derive(Default)]
+/// struct Count(usize);
+/// impl MetricSink for Count {
+///     fn on_admit(&mut self, _s: usize, _vm: usize, _server: usize) {
+///         self.0 += 1;
+///     }
+/// }
+///
+/// let mut sink = Threaded::new(Count::default(), 8);
+/// sink.on_admit(0, 1, 0);
+/// sink.flush();
+/// let count = sink.finish().expect("worker joined");
+/// assert_eq!(count.0, 1);
+/// ```
+pub struct Threaded<S> {
+    queue: VecDeque<SinkEvent>,
+    capacity: usize,
+    dropped: u64,
+    tx: Option<mpsc::SyncSender<WorkerMsg>>,
+    worker: Option<thread::JoinHandle<S>>,
+}
+
+impl<S> fmt::Debug for Threaded<S> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Threaded")
+            .field("queued", &self.queue.len())
+            .field("capacity", &self.capacity)
+            .field("dropped", &self.dropped)
+            .field("worker_alive", &self.worker.is_some())
+            .finish()
+    }
+}
+
+impl<S: MetricSink + Send + 'static> Threaded<S> {
+    /// Moves `inner` into a spawned worker thread and wraps it behind
+    /// a producer-side queue of at most `capacity` events (clamped up
+    /// to 1, exactly like [`Buffered::new`]). Period records and the
+    /// terminal summary are flushed at the boundary itself and can
+    /// never be dropped.
+    pub fn new(inner: S, capacity: usize) -> Self {
+        // Bound 2: one batch in flight plus one queued keeps the
+        // worker busy while bounding memory; the producer only ever
+        // blocks at a flush point, never per event.
+        let (tx, rx) = mpsc::sync_channel::<WorkerMsg>(2);
+        let worker = thread::Builder::new()
+            .name("cavm-sink".into())
+            .spawn(move || {
+                let mut sink = inner;
+                while let Ok(msg) = rx.recv() {
+                    match msg {
+                        WorkerMsg::Batch(events) => {
+                            for event in events {
+                                event.deliver(&mut sink);
+                            }
+                        }
+                        WorkerMsg::Summary(report) => sink.on_summary(&report),
+                    }
+                }
+                sink
+            })
+            .expect("spawn sink worker thread");
+        Self {
+            queue: VecDeque::with_capacity(capacity.clamp(1, 4096)),
+            capacity: capacity.max(1),
+            dropped: 0,
+            tx: Some(tx),
+            worker: Some(worker),
+        }
+    }
+
+    /// Events currently queued on the producer side, not yet handed to
+    /// the worker.
+    pub fn queued(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Events dropped on queue overflow so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Hands every queued event to the worker as one batch, in arrival
+    /// order. Called automatically on every completed period and at
+    /// the terminal summary. Blocks only while the channel's small
+    /// batch window is full; if the worker has panicked the batch is
+    /// discarded without blocking (the panic surfaces at
+    /// [`finish`](Self::finish)).
+    pub fn flush(&mut self) {
+        if self.queue.is_empty() {
+            return;
+        }
+        let batch: Vec<SinkEvent> = self.queue.drain(..).collect();
+        self.send(WorkerMsg::Batch(batch));
+    }
+
+    /// Closes the channel, joins the worker and returns the wrapped
+    /// sink. Any still-queued events are flushed first.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::SinkWorkerPanicked`] if the wrapped sink
+    /// panicked while consuming events; the sink is lost with the
+    /// unwound thread. The join itself can never hang: dropping the
+    /// sender ends the worker loop.
+    pub fn finish(mut self) -> crate::Result<S> {
+        self.flush();
+        drop(self.tx.take());
+        let worker = self.worker.take().expect("finish consumes the worker");
+        worker.join().map_err(|_| SimError::SinkWorkerPanicked)
+    }
+
+    /// Enqueues one event, dropping (and counting) it when the queue
+    /// is at capacity — byte-identical drop logic to
+    /// [`Buffered::enqueue`], which is what makes the adapter
+    /// deterministic under any thread schedule.
+    fn enqueue(&mut self, event: SinkEvent) {
+        if self.queue.len() >= self.capacity {
+            self.dropped += 1;
+        } else {
+            self.queue.push_back(event);
+        }
+    }
+
+    fn send(&mut self, msg: WorkerMsg) {
+        if let Some(tx) = &self.tx {
+            // A send error means the worker panicked and dropped the
+            // receiver; discard silently — `finish` reports the panic.
+            let _ = tx.send(msg);
+        }
+    }
+}
+
+impl<S> Drop for Threaded<S> {
+    fn drop(&mut self) {
+        // `finish` already took both handles on the happy path. If the
+        // adapter is dropped without `finish` (e.g. unwinding out of a
+        // failed replay), close the channel and join so the worker
+        // never outlives the adapter; a worker panic is swallowed here
+        // because `drop` cannot report it.
+        drop(self.tx.take());
+        if let Some(worker) = self.worker.take() {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl<S: MetricSink + Send + 'static> MetricSink for Threaded<S> {
+    fn on_period(&mut self, record: &PeriodRecord) {
+        // Same flush point as `Buffered::on_period`: the queued events
+        // precede the record in stream order and the record itself
+        // never touches the bounded queue, so it can never be dropped.
+        let mut batch: Vec<SinkEvent> = self.queue.drain(..).collect();
+        batch.push(SinkEvent::Period(record.clone()));
+        self.send(WorkerMsg::Batch(batch));
+    }
+
+    fn on_repack(&mut self, event: &RepackEvent) {
+        self.enqueue(SinkEvent::Repack(*event));
+    }
+
+    fn on_migration(&mut self, period: usize, vm: usize, from: usize, to: usize) {
+        self.enqueue(SinkEvent::Migration {
+            period,
+            vm,
+            from,
+            to,
+        });
+    }
+
+    fn on_violation(&mut self, event: &ViolationEvent) {
+        self.enqueue(SinkEvent::Violation(*event));
+    }
+
+    fn on_class_energy(&mut self, period: usize, class: usize, name: &str, period_joules: f64) {
+        self.enqueue(SinkEvent::ClassEnergy {
+            period,
+            class,
+            name: name.to_string(),
+            period_joules,
+        });
+    }
+
+    fn on_admit(&mut self, sample: usize, vm: usize, server: usize) {
+        self.enqueue(SinkEvent::Admit { sample, vm, server });
+    }
+
+    fn on_server_fail(&mut self, sample: usize, server: usize, residents: usize) {
+        self.enqueue(SinkEvent::ServerFail {
+            sample,
+            server,
+            residents,
+        });
+    }
+
+    fn on_server_recover(&mut self, sample: usize, server: usize) {
+        self.enqueue(SinkEvent::ServerRecover { sample, server });
+    }
+
+    fn on_summary(&mut self, report: &SimReport) {
+        // Same order and additive drop fold as `Buffered::on_summary`:
+        // queued events first, then the summary exactly once, never
+        // droppable.
+        self.flush();
+        let mut report = report.clone();
+        report.sink_dropped_events += self.dropped;
+        self.send(WorkerMsg::Summary(report));
     }
 }
 
@@ -478,5 +756,263 @@ mod tests {
         sink.on_migration(1, 4, 0, 2);
         let recorder = sink.into_inner();
         assert_eq!(recorder.calls, vec!["migrate4"]);
+    }
+
+    // ---- Threaded transparency suite: mirrors the Buffered tests
+    // above, event for event, with delivery on the worker thread.
+
+    #[test]
+    fn threaded_events_batch_until_the_period_boundary_in_order() {
+        let mut sink = Threaded::new(Recorder::default(), 64);
+        sink.on_admit(3, 7, 1);
+        sink.on_violation(&violation(5));
+        sink.on_repack(&RepackEvent {
+            sample: 6,
+            period: 0,
+            reason: RepackReason::Fragmentation {
+                estimate: 1,
+                active: 3,
+            },
+            servers_before: 3,
+            servers_after: 1,
+            migrations: 2,
+            slack_after: Some(1),
+        });
+        assert_eq!(sink.queued(), 3);
+        sink.on_period(&period(0));
+        assert_eq!(sink.queued(), 0);
+        assert_eq!(sink.dropped(), 0);
+        let recorder = sink.finish().expect("worker joined");
+        assert_eq!(
+            recorder.calls,
+            vec!["admit7", "violation@5", "repack@6", "period0"],
+            "arrival order survives the batch and the thread hop"
+        );
+    }
+
+    #[test]
+    fn threaded_overflow_drops_newest_and_counts_exactly() {
+        let mut sink = Threaded::new(Recorder::default(), 2);
+        for k in 0..5 {
+            sink.on_violation(&violation(k));
+        }
+        // Drop decisions are made on the producer side before anything
+        // crosses the channel, so the counter is exact and scheduler-
+        // independent.
+        assert_eq!(sink.queued(), 2);
+        assert_eq!(sink.dropped(), 3);
+        sink.flush();
+        assert_eq!(sink.dropped(), 3, "the counter survives the flush");
+        let recorder = sink.finish().expect("worker joined");
+        assert_eq!(recorder.calls, vec!["violation@0", "violation@1"]);
+    }
+
+    #[test]
+    fn threaded_summary_drains_first_and_carries_the_drop_counter() {
+        let mut sink = Threaded::new(Recorder::default(), 2);
+        for k in 0..4 {
+            sink.on_violation(&violation(k));
+        }
+        sink.on_summary(&report());
+        let recorder = sink.finish().expect("worker joined");
+        assert_eq!(
+            recorder.calls,
+            vec!["violation@0", "violation@1", "summary"],
+            "queued events deliver before the summary; the summary is never dropped"
+        );
+        assert_eq!(
+            recorder
+                .summary
+                .expect("summary delivered")
+                .sink_dropped_events,
+            2
+        );
+    }
+
+    #[test]
+    fn threaded_zero_capacity_is_clamped_to_one() {
+        let mut sink = Threaded::new(Recorder::default(), 0);
+        sink.on_admit(0, 1, 0);
+        sink.on_admit(1, 2, 0);
+        assert_eq!(sink.queued(), 1);
+        assert_eq!(sink.dropped(), 1);
+        let recorder = sink.finish().expect("worker joined");
+        assert_eq!(recorder.calls, vec!["admit1"]);
+    }
+
+    #[test]
+    fn threaded_fault_events_batch_in_order_and_overflow_counts_them() {
+        let mut sink = Threaded::new(Recorder::default(), 64);
+        sink.on_server_fail(4, 2, 3);
+        sink.on_migration(0, 7, 2, 1);
+        sink.on_repack(&RepackEvent {
+            sample: 4,
+            period: 0,
+            reason: RepackReason::Evacuation { server: 2 },
+            servers_before: 3,
+            servers_after: 3,
+            migrations: 1,
+            slack_after: None,
+        });
+        sink.on_server_recover(9, 2);
+        sink.on_period(&period(0));
+        let recorder = sink.finish().expect("worker joined");
+        assert_eq!(
+            recorder.calls,
+            vec!["fail2@4", "migrate7", "repack@4", "recover2@9", "period0"],
+            "failure, evacuation and recovery keep stream order"
+        );
+        // Fail/recover events are droppable like any queued event.
+        let mut sink = Threaded::new(Recorder::default(), 1);
+        sink.on_server_fail(0, 0, 0);
+        sink.on_server_recover(1, 0);
+        assert_eq!(sink.queued(), 1);
+        assert_eq!(sink.dropped(), 1);
+        drop(sink); // Drop joins the worker without finish().
+    }
+
+    #[test]
+    fn threaded_finish_without_flush_delivers_queued_events() {
+        let mut sink = Threaded::new(Recorder::default(), 8);
+        sink.on_migration(1, 4, 0, 2);
+        let recorder = sink.finish().expect("worker joined");
+        assert_eq!(recorder.calls, vec!["migrate4"]);
+    }
+
+    /// Drives identical pseudo-random event sequences through
+    /// `Buffered` and `Threaded` across several capacities: the inner
+    /// recorder must see the exact same call sequence and the exact
+    /// same folded drop counter — the pinning guarantee the module
+    /// docs promise.
+    #[test]
+    fn threaded_is_pinned_event_for_event_against_buffered() {
+        for &capacity in &[1usize, 2, 3, 8, 64] {
+            let mut state: u64 = 0x2013_0000 ^ capacity as u64;
+            let mut next = move || {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                (state >> 33) as usize
+            };
+            let mut buffered = Buffered::new(Recorder::default(), capacity);
+            let mut threaded = Threaded::new(Recorder::default(), capacity);
+            let mut periods = 0usize;
+            for k in 0..400 {
+                let sinks: [&mut dyn MetricSink; 2] = [&mut buffered, &mut threaded];
+                let op = next() % 9;
+                for sink in sinks {
+                    match op {
+                        0 => sink.on_admit(k, k % 17, k % 5),
+                        1 => sink.on_violation(&violation(k)),
+                        2 => sink.on_migration(periods, k % 13, 0, 1),
+                        3 => sink.on_class_energy(periods, 0, "xeon", k as f64),
+                        4 => sink.on_server_fail(k, k % 4, 2),
+                        5 => sink.on_server_recover(k, k % 4),
+                        6 => sink.on_repack(&RepackEvent {
+                            sample: k,
+                            period: periods,
+                            reason: RepackReason::Periodic,
+                            servers_before: 4,
+                            servers_after: 3,
+                            migrations: 1,
+                            slack_after: None,
+                        }),
+                        _ => sink.on_period(&period(periods)),
+                    }
+                }
+                if op >= 7 {
+                    periods += 1;
+                }
+            }
+            buffered.on_summary(&report());
+            threaded.on_summary(&report());
+            assert_eq!(buffered.dropped(), threaded.dropped());
+            let pinned = buffered.into_inner();
+            let recorded = threaded.finish().expect("worker joined");
+            assert_eq!(
+                pinned.calls, recorded.calls,
+                "capacity {capacity}: Threaded must deliver the exact Buffered sequence"
+            );
+            assert_eq!(
+                pinned.summary.as_ref().map(|r| r.sink_dropped_events),
+                recorded.summary.as_ref().map(|r| r.sink_dropped_events)
+            );
+        }
+    }
+
+    /// A sink that panics while consuming an event on the worker.
+    struct PanicsOnAdmit;
+
+    impl MetricSink for PanicsOnAdmit {
+        fn on_admit(&mut self, _sample: usize, _vm: usize, _server: usize) {
+            panic!("sink exploded mid-delivery");
+        }
+    }
+
+    #[test]
+    fn panic_in_sink_joins_as_typed_error_without_deadlock() {
+        let mut sink = Threaded::new(PanicsOnAdmit, 1);
+        sink.on_admit(0, 1, 0);
+        sink.flush();
+        // Keep producing after the worker has (or is about to have)
+        // panicked: sends must either land or fail fast — a 1-slot
+        // queue over a 2-batch channel would deadlock here if a dead
+        // receiver could block a send.
+        for k in 0..32 {
+            sink.on_admit(k, k, 0);
+            sink.flush();
+        }
+        assert_eq!(sink.finish().map(|_| ()), Err(SimError::SinkWorkerPanicked));
+    }
+
+    // ---- nesting: the additive drop fold composes in either order.
+
+    #[test]
+    fn threaded_around_buffered_sums_drop_counters() {
+        // Outer Threaded drops 2 of 4 (capacity 2); its surviving
+        // batch then overflows the inner Buffered (capacity 1) for 1
+        // more drop on the worker side.
+        let inner = Buffered::new(Recorder::default(), 1);
+        let mut sink = Threaded::new(inner, 2);
+        for k in 0..4 {
+            sink.on_violation(&violation(k));
+        }
+        sink.on_summary(&report());
+        assert_eq!(sink.dropped(), 2);
+        let buffered = sink.finish().expect("worker joined");
+        assert_eq!(buffered.dropped(), 1);
+        let recorder = buffered.into_inner();
+        assert_eq!(recorder.calls, vec!["violation@0", "summary"]);
+        assert_eq!(
+            recorder
+                .summary
+                .expect("summary delivered")
+                .sink_dropped_events,
+            3,
+            "outer 2 + inner 1, no overwrite and no double count"
+        );
+    }
+
+    #[test]
+    fn buffered_around_threaded_sums_drop_counters() {
+        let inner = Threaded::new(Recorder::default(), 1);
+        let mut sink = Buffered::new(inner, 2);
+        for k in 0..4 {
+            sink.on_violation(&violation(k));
+        }
+        sink.on_summary(&report());
+        assert_eq!(sink.dropped(), 2);
+        let threaded = sink.into_inner();
+        assert_eq!(threaded.dropped(), 1);
+        let recorder = threaded.finish().expect("worker joined");
+        assert_eq!(recorder.calls, vec!["violation@0", "summary"]);
+        assert_eq!(
+            recorder
+                .summary
+                .expect("summary delivered")
+                .sink_dropped_events,
+            3,
+            "outer 2 + inner 1, summed through the thread hop"
+        );
     }
 }

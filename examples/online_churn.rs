@@ -70,6 +70,9 @@ impl MetricSink for Narrator {
                  moved or deferred",
                 event.sample, event.migrations
             ),
+            // Only ever emitted on a what-if fork, never by a live
+            // session — unreachable in this replay.
+            RepackReason::WhatIf => {}
         }
     }
 

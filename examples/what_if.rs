@@ -1,0 +1,120 @@
+//! "What if I re-packed right now?" — speculative questions against a
+//! live datacenter session, answered on a fork.
+//!
+//! The controller is cheaply `Clone`-able end to end, so an operator
+//! can snapshot the live session mid-period and run hypotheticals on
+//! the copy without the live session ever noticing:
+//!
+//! 1. **The built-in question** — `live.what_if().repack()` runs a
+//!    full off-cycle re-pack on a fork and returns the delta: servers
+//!    freed, migrations it would cost, and an energy estimate for the
+//!    remainder of the period.
+//! 2. **Arbitrary suffixes** — `live.fork()` hands back a whole
+//!    independent controller; feed it any event stream (here: a burst
+//!    of hypothetical arrivals) to see how the fleet would absorb it.
+//!
+//! Both run against the same state the live session is in at the fork
+//! instant, and the example proves isolation by hashing the live
+//! session's debug state around every probe.
+//!
+//! Run with: `cargo run --release --example what_if`
+
+use cavm::prelude::*;
+use cavm::sim::service::lifecycle_events;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A day of churn over 12 VMs in 3 correlated groups.
+    let fleet = DatacenterTraceBuilder::new(12)
+        .groups(3)
+        .seed(42)
+        .duration_hours(8.0)
+        .build()?;
+    let horizon = fleet.vms()[0].fine.len();
+    let lifecycle = LifecycleBuilder::new(12, horizon)
+        .seed(43)
+        .arrivals(ArrivalProcess::Poisson {
+            mean_gap_samples: 240.0,
+        })
+        .lifetimes(LifetimeModel::Exponential {
+            mean_samples: 2400.0,
+        })
+        .build()?;
+    let scenario = ScenarioBuilder::new(fleet.clone())
+        .servers(16)
+        .policy(Policy::Proposed(Default::default()))
+        .repack_trigger(RepackTrigger::Hybrid { slack: 1 })
+        .lifecycle(lifecycle.clone())
+        .build()?;
+    let events = lifecycle_events(&fleet, &lifecycle, scenario.period_samples())?;
+
+    // Replay the real session into the middle of the day.
+    let mut live = scenario.controller()?;
+    let k = events.len() * 5 / 8;
+    for event in &events[..k] {
+        live.apply(event.clone(), &mut NullSink)?;
+    }
+    println!(
+        "live session at sample {}: {} VMs on {} active servers",
+        live.clock(),
+        live.live_vms(),
+        live.placement().active_server_count(),
+    );
+    let state_before = format!("{live:?}");
+
+    // ---- question 1: what would an off-cycle re-pack free right now?
+    let delta = live.what_if().repack()?;
+    println!(
+        "what-if re-pack: {} -> {} servers ({} freed) for {} migrations, \
+         ~{:.0} J saved over the rest of the period",
+        delta.servers_before,
+        delta.servers_after,
+        delta.servers_freed,
+        delta.migrations,
+        delta.energy_estimate,
+    );
+
+    // ---- question 2: could we absorb a burst of 4 hot tenants?
+    let mut burst = live.fork();
+    let dt = fleet.vms()[0].fine.dt();
+    let remaining = horizon - live.clock();
+    for id in 100..104 {
+        let trace = TimeSeries::from_fn(dt, remaining, |i| {
+            2.0 + 0.5 * ((id + i) as f64 * 0.01).sin()
+        })?;
+        burst.apply(
+            VmEvent::Arrive {
+                id,
+                trace,
+                lease_samples: None,
+            },
+            &mut NullSink,
+        )?;
+    }
+    println!(
+        "burst of 4 hot tenants would need {} active servers (live session still has {})",
+        burst.placement().active_server_count(),
+        live.placement().active_server_count(),
+    );
+
+    // Neither probe touched the live session.
+    assert_eq!(
+        format!("{live:?}"),
+        state_before,
+        "probes leaked into live state"
+    );
+    println!("live session unchanged by both probes ✓");
+
+    // The real session carries on as if nothing happened.
+    for event in &events[k..] {
+        live.apply(event.clone(), &mut NullSink)?;
+    }
+    live.finish(&mut NullSink)?;
+    let report = live.report();
+    println!(
+        "day complete: {:.3e} J, worst period violation {:.2}%, {} off-cycle re-packs",
+        report.energy.joules(),
+        report.max_violation_percent,
+        report.offcycle_repacks,
+    );
+    Ok(())
+}

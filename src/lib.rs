@@ -98,9 +98,10 @@ pub mod prelude {
     pub use cavm_microarch::{machine::Machine, stream::StreamProfile};
     pub use cavm_power::{DvfsLadder, EnergyMeter, Frequency, LinearPowerModel, PowerModel};
     pub use cavm_sim::{
-        Buffered, ClassBreakdown, ControllerConfig, DatacenterController, MetricSink, NullSink,
-        PeriodRecord, Policy, QosGuard, RepackEvent, RepackReason, RepackTrigger, ReportSink,
-        Scenario, ScenarioBuilder, SimReport, SinkEvent, SlackController, ViolationEvent, VmEvent,
+        Buffered, ClassBreakdown, ControllerConfig, DatacenterController, MergedReport, MetricSink,
+        NullSink, PeriodRecord, Policy, QosGuard, RepackEvent, RepackReason, RepackTrigger,
+        ReportSink, Scenario, ScenarioBuilder, ServiceReport, SessionEvent, SessionHost, SimReport,
+        SinkEvent, SlackController, Threaded, ViolationEvent, VmEvent, WhatIf, WhatIfDelta,
     };
     pub use cavm_trace::{Envelope, Reference, SimRng, TimeSeries};
     pub use cavm_workload::{
